@@ -1,0 +1,113 @@
+//! Scaled-down versions of the paper's figure experiments, wired into
+//! `cargo bench` so every figure's code path is exercised and timed.
+//! Full-scale regeneration lives in the `fig*`/`table2` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_bench::{make_stga, nas_setup, nas_sim_config, psa_setup, psa_sim_config};
+use gridsec_core::RiskMode;
+use gridsec_heuristics::{MinMin, Sufferage};
+use gridsec_sim::simulate;
+
+const N_PSA: usize = 150;
+const N_NAS: usize = 300;
+
+fn fig7a_quick(c: &mut Criterion) {
+    let w = psa_setup(N_PSA, 3);
+    let config = psa_sim_config(3);
+    let mut group = c.benchmark_group("fig7a_quick");
+    group.sample_size(10);
+    for &f in &[0.0, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("minmin_f", format!("{f:.1}")),
+            &f,
+            |b, _| {
+                b.iter(|| {
+                    simulate(
+                        &w.jobs,
+                        &w.grid,
+                        &mut MinMin::new(RiskMode::FRisky(f)),
+                        &config,
+                    )
+                    .expect("drains")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig7b_quick(c: &mut Criterion) {
+    let w = psa_setup(N_PSA, 5);
+    let config = psa_sim_config(5);
+    let mut group = c.benchmark_group("fig7b_quick");
+    group.sample_size(10);
+    for &g in &[10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("stga_gens", g), &g, |b, _| {
+            b.iter(|| {
+                let mut stga = make_stga(&w.jobs, &w.grid, 5, g, 8).expect("params");
+                simulate(&w.jobs, &w.grid, &mut stga, &config).expect("drains")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig8_quick(c: &mut Criterion) {
+    let w = nas_setup(N_NAS, 7);
+    let config = nas_sim_config(7);
+    let mut group = c.benchmark_group("fig8_fig9_table2_quick");
+    group.sample_size(10);
+    group.bench_function("minmin_secure_nas", |b| {
+        b.iter(|| {
+            simulate(
+                &w.jobs,
+                &w.grid,
+                &mut MinMin::new(RiskMode::Secure),
+                &config,
+            )
+            .expect("drains")
+        });
+    });
+    group.bench_function("sufferage_risky_nas", |b| {
+        b.iter(|| {
+            simulate(
+                &w.jobs,
+                &w.grid,
+                &mut Sufferage::new(RiskMode::Risky),
+                &config,
+            )
+            .expect("drains")
+        });
+    });
+    group.bench_function("stga_nas", |b| {
+        b.iter(|| {
+            let mut stga = make_stga(&w.jobs, &w.grid, 7, 25, 15).expect("params");
+            simulate(&w.jobs, &w.grid, &mut stga, &config).expect("drains")
+        });
+    });
+    group.finish();
+}
+
+fn fig10_quick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_quick");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let w = psa_setup(n, 9);
+        let config = psa_sim_config(9);
+        group.bench_with_input(BenchmarkId::new("sufferage_frisky_scale", n), &n, |b, _| {
+            b.iter(|| {
+                simulate(
+                    &w.jobs,
+                    &w.grid,
+                    &mut Sufferage::new(RiskMode::FRisky(0.5)),
+                    &config,
+                )
+                .expect("drains")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7a_quick, fig7b_quick, fig8_quick, fig10_quick);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! History-table cost: Eq. 2 similarity and LRU lookup at Table-1 scale
+//! (150 entries), plus insert-with-eviction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_stga::chromosome::Chromosome;
+use gridsec_stga::history::{eq2_similarity, similarity, BatchSignature, HistoryTable};
+
+fn sig(tag: u64, jobs: usize, sites: usize) -> BatchSignature {
+    let f = |i: usize| ((tag as usize * 31 + i * 7) % 100) as f64;
+    BatchSignature {
+        ready_times: (0..sites).map(f).collect(),
+        etc: (0..jobs * sites).map(f).collect(),
+        demands: (0..jobs).map(|i| 0.6 + 0.3 * (f(i) / 100.0)).collect(),
+    }
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    for &k in &[20usize, 240, 2_400] {
+        let a: Vec<f64> = (0..k).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..k).map(|i| (i as f64) * 1.01).collect();
+        group.bench_with_input(BenchmarkId::new("normalised", k), &k, |bch, _| {
+            bch.iter(|| similarity(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("eq2_literal", k), &k, |bch, _| {
+            bch.iter(|| eq2_similarity(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_table");
+    // Table-1 scale: 150 entries, 15-job × 12-site signatures.
+    let mut table = HistoryTable::new(150);
+    for t in 0..150u64 {
+        table.insert(sig(t, 15, 12), Chromosome::from_genes(vec![0; 15]));
+    }
+    let query = sig(3, 15, 12);
+    group.bench_function("lookup_150_entries", |b| {
+        b.iter(|| table.lookup(&query, 0.8, 100));
+    });
+    group.bench_function("insert_with_eviction", |b| {
+        let mut t2 = table.clone();
+        let mut n = 1000u64;
+        b.iter(|| {
+            n += 1;
+            t2.insert(sig(n, 15, 12), Chromosome::from_genes(vec![0; 15]));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Per-batch scheduling cost: the paper's "fastness" claim (§3).
+//!
+//! Measures how long one scheduling round takes for each algorithm at
+//! realistic batch sizes. The STGA's cost is dominated by `generations ×
+//! population` fitness evaluations; the heuristics are quadratic in the
+//! batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_bench::psa_setup;
+use gridsec_core::etc::NodeAvailability;
+use gridsec_core::{RiskMode, SecurityModel, Time};
+use gridsec_heuristics::{MinMin, Sufferage};
+use gridsec_sim::{BatchJob, BatchScheduler, GridView};
+use gridsec_stga::{GaParams, Stga, StgaParams};
+
+fn batch_of(n: usize, seed: u64) -> (Vec<BatchJob>, gridsec_workloads_grid::GridBundle) {
+    let w = psa_setup(n.max(1), seed);
+    let batch = w.jobs[..n]
+        .iter()
+        .cloned()
+        .map(|job| BatchJob {
+            job,
+            secure_only: false,
+        })
+        .collect();
+    let avail = w
+        .grid
+        .sites()
+        .map(|s| NodeAvailability::new(s.nodes, Time::ZERO))
+        .collect();
+    (
+        batch,
+        gridsec_workloads_grid::GridBundle {
+            grid: w.grid,
+            avail,
+        },
+    )
+}
+
+/// Local helper types so the bench owns grid + availability together.
+mod gridsec_workloads_grid {
+    use gridsec_core::etc::NodeAvailability;
+    use gridsec_core::Grid;
+
+    pub struct GridBundle {
+        pub grid: Grid,
+        pub avail: Vec<NodeAvailability>,
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_batch_scheduling_cost");
+    group.sample_size(10);
+    for &n in &[8usize, 32, 128] {
+        let (batch, bundle) = batch_of(n, 7);
+        let view = || GridView {
+            grid: &bundle.grid,
+            avail: &bundle.avail,
+            now: Time::ZERO,
+            model: SecurityModel::default(),
+        };
+
+        group.bench_with_input(BenchmarkId::new("min_min", n), &n, |b, _| {
+            let mut s = MinMin::new(RiskMode::FRisky(0.5));
+            b.iter(|| s.schedule(&batch, &view()));
+        });
+        group.bench_with_input(BenchmarkId::new("sufferage", n), &n, |b, _| {
+            let mut s = Sufferage::new(RiskMode::FRisky(0.5));
+            b.iter(|| s.schedule(&batch, &view()));
+        });
+        group.bench_with_input(BenchmarkId::new("stga_100gen", n), &n, |b, _| {
+            let params = StgaParams {
+                ga: GaParams::default().with_seed(7),
+                ..StgaParams::default()
+            };
+            let mut s = Stga::new(params).expect("valid params");
+            b.iter(|| s.schedule(&batch, &view()));
+        });
+        group.bench_with_input(BenchmarkId::new("stga_25gen", n), &n, |b, _| {
+            let params = StgaParams {
+                ga: GaParams::default().with_generations(25).with_seed(7),
+                ..StgaParams::default()
+            };
+            let mut s = Stga::new(params).expect("valid params");
+            b.iter(|| s.schedule(&batch, &view()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Simulator throughput: events per second of the discrete-event engine
+//! under a cheap scheduler, and the cost of ETC construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_bench::{psa_setup, psa_sim_config};
+use gridsec_core::EtcMatrix;
+use gridsec_sim::scheduler::EarliestCompletion;
+use gridsec_sim::simulate;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    for &n in &[200usize, 1_000, 5_000] {
+        let w = psa_setup(n, 13);
+        let config = psa_sim_config(13);
+        group.bench_with_input(BenchmarkId::new("mct_full_sim", n), &n, |b, _| {
+            b.iter(|| {
+                simulate(&w.jobs, &w.grid, &mut EarliestCompletion, &config).expect("drains")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_etc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("etc_construction");
+    for &n in &[100usize, 1_000, 10_000] {
+        let w = psa_setup(n, 17);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| EtcMatrix::build(&w.jobs, &w.grid));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_etc);
+criterion_main!(benches);

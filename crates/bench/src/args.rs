@@ -1,0 +1,84 @@
+//! Minimal command-line handling shared by the figure binaries.
+
+/// Options common to every experiment binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Scale workloads down for a fast smoke run.
+    pub quick: bool,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Optional path for a JSON dump of the results.
+    pub json: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            quick: false,
+            seed: 2005,
+            json: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--quick`, `--seed <u64>` and `--json <path>` from the
+    /// process arguments; unknown arguments abort with a usage message.
+    pub fn parse() -> BenchArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    out.seed = v.parse().unwrap_or_else(|_| usage("--seed must be a u64"));
+                }
+                "--json" => {
+                    out.json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument `{other}`")),
+            }
+        }
+        out
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--quick] [--seed <u64>] [--json <path>]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> BenchArgs {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = v(&[]);
+        assert!(!a.quick);
+        assert_eq!(a.seed, 2005);
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = v(&["--quick", "--seed", "42", "--json", "out.json"]);
+        assert!(a.quick);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Ablation benches for the design knobs DESIGN.md §3/§6 calls out:
+//!
+//! 1. failure-law λ sweep (the paper never fixes λ);
+//! 2. failure-detection timing (at-end vs uniform-fraction);
+//! 3. STGA history-table capacity;
+//! 4. STGA similarity threshold;
+//! 5. population seeding mix (history / heuristics on-off).
+
+use gridsec_bench::{print_header, psa_setup, psa_sim_config, run_one, AsciiTable, BenchArgs};
+use gridsec_core::rng::subseed;
+use gridsec_core::{FailureDetection, RiskMode, Time};
+use gridsec_heuristics::MinMin;
+use gridsec_sim::simulate;
+use gridsec_stga::{GaParams, Stga, StgaParams};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n = if args.quick { 200 } else { 1000 };
+    let w = psa_setup(n, args.seed);
+
+    print_header("Ablation 1: failure-law λ sweep (Min-Min Risky, PSA)");
+    let mut t = AsciiTable::new(vec!["lambda", "makespan (s)", "Nfail", "Nrisk"]);
+    for lambda in [0.5, 1.0, 3.0, 6.0, 12.0] {
+        let config = psa_sim_config(args.seed)
+            .with_lambda(lambda)
+            .expect("positive λ");
+        let out = run_one(&w.jobs, &w.grid, &mut MinMin::new(RiskMode::Risky), &config);
+        t.row(vec![
+            format!("{lambda:.1}"),
+            format!("{:.3e}", out.metrics.makespan.seconds()),
+            out.metrics.n_fail.to_string(),
+            out.metrics.n_risk.to_string(),
+        ]);
+    }
+    t.print();
+
+    print_header("Ablation 2: failure-detection timing (Min-Min Risky, PSA)");
+    let mut t = AsciiTable::new(vec!["detection", "makespan (s)", "avg response (s)"]);
+    for (label, fd) in [
+        ("at-end", FailureDetection::AtEnd),
+        ("uniform-fraction", FailureDetection::UniformFraction),
+    ] {
+        let config = psa_sim_config(args.seed).with_failure_detection(fd);
+        let out = run_one(&w.jobs, &w.grid, &mut MinMin::new(RiskMode::Risky), &config);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.3e}", out.metrics.makespan.seconds()),
+            format!("{:.3e}", out.metrics.avg_response),
+        ]);
+    }
+    t.print();
+
+    let gens = if args.quick { 30 } else { 100 };
+    let ga = GaParams::default()
+        .with_generations(gens)
+        .with_seed(subseed(args.seed, 0x57A6));
+
+    print_header("Ablation 3: STGA history-table capacity");
+    let mut t = AsciiTable::new(vec!["capacity", "makespan (s)", "scheduler time (s)"]);
+    for cap in [1usize, 25, 150, 600] {
+        let params = StgaParams {
+            ga,
+            table_capacity: cap,
+            ..StgaParams::default()
+        };
+        let mut stga = Stga::new(params).expect("valid params");
+        stga.train(&w.jobs, &w.grid, 8).expect("training");
+        let out = run_one(&w.jobs, &w.grid, &mut stga, &psa_sim_config(args.seed));
+        t.row(vec![
+            cap.to_string(),
+            format!("{:.3e}", out.metrics.makespan.seconds()),
+            format!("{:.3}", out.scheduler_seconds),
+        ]);
+    }
+    t.print();
+
+    print_header("Ablation 4: STGA similarity threshold");
+    let mut t = AsciiTable::new(vec!["threshold", "makespan (s)"]);
+    for th in [0.5, 0.8, 0.95, 0.999] {
+        let params = StgaParams {
+            ga,
+            similarity_threshold: th,
+            ..StgaParams::default()
+        };
+        let mut stga = Stga::new(params).expect("valid params");
+        stga.train(&w.jobs, &w.grid, 8).expect("training");
+        let out = run_one(&w.jobs, &w.grid, &mut stga, &psa_sim_config(args.seed));
+        t.row(vec![
+            format!("{th:.3}"),
+            format!("{:.3e}", out.metrics.makespan.seconds()),
+        ]);
+    }
+    t.print();
+
+    print_header("Ablation 5: population seeding mix");
+    let mut t = AsciiTable::new(vec!["history", "heuristics", "makespan (s)"]);
+    for (hist_frac, heur) in [(0.5, true), (0.5, false), (0.0, true), (0.0, false)] {
+        let params = StgaParams {
+            ga,
+            history_fraction: hist_frac,
+            heuristic_seeds: heur,
+            ..StgaParams::default()
+        };
+        let mut stga = Stga::new(params).expect("valid params");
+        if hist_frac > 0.0 {
+            stga.train(&w.jobs, &w.grid, 8).expect("training");
+        }
+        let out = simulate(&w.jobs, &w.grid, &mut stga, &psa_sim_config(args.seed))
+            .expect("simulation drains");
+        println!("{}", out.summary());
+        t.row(vec![
+            if hist_frac > 0.0 { "on" } else { "off" }.to_string(),
+            if heur { "on" } else { "off" }.to_string(),
+            format!("{:.3e}", out.metrics.makespan.seconds()),
+        ]);
+    }
+    t.print();
+
+    print_header("Ablation 6: DFTS-style replication of risky placements");
+    let mut t = AsciiTable::new(vec![
+        "threshold",
+        "makespan (s)",
+        "Nfail",
+        "backups",
+        "util (%)",
+    ]);
+    {
+        let config = psa_sim_config(args.seed).with_lambda(8.0).expect("λ > 0");
+        let out = run_one(&w.jobs, &w.grid, &mut MinMin::new(RiskMode::Risky), &config);
+        t.row(vec![
+            "off".to_string(),
+            format!("{:.3e}", out.metrics.makespan.seconds()),
+            out.metrics.n_fail.to_string(),
+            "0".to_string(),
+            format!("{:.1}", out.metrics.overall_utilization),
+        ]);
+        for threshold in [0.8, 0.5, 0.2] {
+            let config = config.clone().with_max_replicas(2);
+            let mut s = gridsec_sim::Replicated::new(MinMin::new(RiskMode::Risky), threshold);
+            let out = run_one(&w.jobs, &w.grid, &mut s, &config);
+            t.row(vec![
+                format!("{threshold:.1}"),
+                format!("{:.3e}", out.metrics.makespan.seconds()),
+                out.metrics.n_fail.to_string(),
+                out.replica_dispatches.to_string(),
+                format!("{:.1}", out.metrics.overall_utilization),
+            ]);
+        }
+    }
+    t.print();
+
+    print_header("Ablation 7: execution-time estimate error (paper §5 future work)");
+    let mut t = AsciiTable::new(vec!["estimates", "Min-Min (s)", "STGA (s)"]);
+    for (label, model) in [
+        ("exact", gridsec_sim::EstimateModel::Exact),
+        (
+            "±25%",
+            gridsec_sim::EstimateModel::Multiplicative { err: 0.25 },
+        ),
+        (
+            "±2x",
+            gridsec_sim::EstimateModel::Multiplicative { err: 1.0 },
+        ),
+        (
+            "constant",
+            gridsec_sim::EstimateModel::Constant { work: 150_000.0 },
+        ),
+    ] {
+        let config = psa_sim_config(args.seed).with_estimates(model);
+        let mm = run_one(
+            &w.jobs,
+            &w.grid,
+            &mut MinMin::new(RiskMode::FRisky(0.5)),
+            &config,
+        );
+        let mut stga = Stga::new(StgaParams {
+            ga,
+            ..StgaParams::default()
+        })
+        .expect("valid params");
+        stga.train(&w.jobs, &w.grid, 8).expect("training");
+        let st = run_one(&w.jobs, &w.grid, &mut stga, &config);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.3e}", mm.metrics.makespan.seconds()),
+            format!("{:.3e}", st.metrics.makespan.seconds()),
+        ]);
+    }
+    t.print();
+
+    print_header("Ablation 8: single-population GA vs island-model GA (one batch)");
+    {
+        use gridsec_core::etc::NodeAvailability;
+        use gridsec_core::SecurityModel;
+        use gridsec_heuristics::common::{Fallback, MapCtx};
+        use gridsec_sim::{BatchJob, GridView};
+        use gridsec_stga::fitness::FitnessKind;
+        use gridsec_stga::{evolve, evolve_islands, IslandParams};
+
+        let batch_n = if args.quick { 24 } else { 64 };
+        let batch: Vec<BatchJob> = w.jobs[..batch_n]
+            .iter()
+            .cloned()
+            .map(|job| BatchJob {
+                job,
+                secure_only: false,
+            })
+            .collect();
+        let avail: Vec<NodeAvailability> = w
+            .grid
+            .sites()
+            .map(|s| NodeAvailability::new(s.nodes, Time::ZERO))
+            .collect();
+        let view = GridView {
+            grid: &w.grid,
+            avail: &avail,
+            now: Time::ZERO,
+            model: SecurityModel::default(),
+        };
+        let ctx = MapCtx::build(&batch, &view, RiskMode::Risky, Fallback::default());
+        let mut t = AsciiTable::new(vec!["engine", "batch fitness (s)", "wall time (ms)"]);
+        let t0 = std::time::Instant::now();
+        let mut rng = gridsec_core::rng::stream(args.seed, gridsec_core::rng::Stream::Genetic);
+        let single = evolve(
+            &ctx,
+            &avail,
+            vec![],
+            &ga.with_population(200),
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+        );
+        let single_ms = t0.elapsed().as_millis();
+        t.row(vec![
+            "single population (200)".to_string(),
+            format!("{:.0}", single.best_fitness),
+            single_ms.to_string(),
+        ]);
+        let t0 = std::time::Instant::now();
+        let islands = evolve_islands(
+            &ctx,
+            &avail,
+            vec![],
+            &IslandParams {
+                ga: ga.with_population(50),
+                islands: 4,
+                epochs: 5,
+                migrants: 2,
+            },
+            FitnessKind::Makespan,
+            None,
+        );
+        let island_ms = t0.elapsed().as_millis();
+        t.row(vec![
+            "4 islands x 50".to_string(),
+            format!("{:.0}", islands.best_fitness),
+            island_ms.to_string(),
+        ]);
+        t.print();
+    }
+
+    // Sanity horizon check: everything above used the default horizon.
+    let _ = Time::INFINITY;
+}

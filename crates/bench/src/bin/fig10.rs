@@ -1,0 +1,74 @@
+//! Fig. 10: scaling the PSA workload over N ∈ {1000, 2000, 5000, 10000}
+//! for the three best performers (Min-Min f-risky, Sufferage f-risky,
+//! STGA) — (a) makespan, (b) N_fail / N_risk, (c) slowdown ratio,
+//! (d) average response time.
+
+use gridsec_bench::{
+    make_stga, maybe_dump, print_header, psa_setup, psa_sim_config, run_one, AsciiTable, BenchArgs,
+    ExperimentRecord,
+};
+use gridsec_core::RiskMode;
+use gridsec_heuristics::{MinMin, Sufferage};
+use gridsec_sim::SimOutput;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sizes: Vec<usize> = if args.quick {
+        vec![200, 500]
+    } else {
+        vec![1_000, 2_000, 5_000, 10_000]
+    };
+    print_header(&format!("Fig. 10: PSA scaling, N in {sizes:?}"));
+
+    let mode = RiskMode::FRisky(RiskMode::PAPER_F);
+    let mut records: Vec<ExperimentRecord> = Vec::new();
+    let mut rows: Vec<(usize, Vec<SimOutput>)> = Vec::new();
+    for &n in &sizes {
+        let w = psa_setup(n, args.seed);
+        let config = psa_sim_config(args.seed);
+        println!("\n-- N = {n} --");
+        let mm = run_one(&w.jobs, &w.grid, &mut MinMin::new(mode), &config);
+        let sf = run_one(&w.jobs, &w.grid, &mut Sufferage::new(mode), &config);
+        let mut stga = make_stga(&w.jobs, &w.grid, args.seed, 100, 8).expect("valid STGA params");
+        let st = run_one(&w.jobs, &w.grid, &mut stga, &config);
+        for o in [&mm, &sf, &st] {
+            records.push(ExperimentRecord::new(
+                "fig10",
+                format!("N={n} {}", o.scheduler_name),
+                o.clone(),
+            ));
+        }
+        rows.push((n, vec![mm, sf, st]));
+    }
+
+    for (title, f) in [
+        (
+            "(a) makespan (s)",
+            metric_makespan as fn(&SimOutput) -> String,
+        ),
+        ("(b) Nfail / Nrisk", metric_fail_risk),
+        ("(c) slowdown ratio", metric_slowdown),
+        ("(d) avg response (s)", metric_response),
+    ] {
+        println!("\nFig. 10{title}");
+        let mut table = AsciiTable::new(vec!["N", "Min-Min f-Risky", "Sufferage f-Risky", "STGA"]);
+        for (n, outs) in &rows {
+            table.row(vec![n.to_string(), f(&outs[0]), f(&outs[1]), f(&outs[2])]);
+        }
+        table.print();
+    }
+    maybe_dump(&args.json, &records);
+}
+
+fn metric_makespan(o: &SimOutput) -> String {
+    format!("{:.3e}", o.metrics.makespan.seconds())
+}
+fn metric_fail_risk(o: &SimOutput) -> String {
+    format!("{} / {}", o.metrics.n_fail, o.metrics.n_risk)
+}
+fn metric_slowdown(o: &SimOutput) -> String {
+    format!("{:.2}", o.metrics.slowdown_ratio)
+}
+fn metric_response(o: &SimOutput) -> String {
+    format!("{:.3e}", o.metrics.avg_response)
+}

@@ -1,0 +1,86 @@
+//! Fig. 5: solution-quality trajectories of the conventional GA vs the
+//! STGA on the same batch sequence — the STGA's history-seeded initial
+//! population starts near the convergence point.
+//!
+//! We replay a sequence of similar PSA batches through both schedulers and
+//! print each round's generation-0 (initial-population) best fitness and
+//! final best fitness. Once the STGA's table holds similar batches, its
+//! generation-0 quality approaches its final quality, while the
+//! conventional GA keeps starting from scratch.
+
+use gridsec_bench::{print_header, psa_setup, AsciiTable, BenchArgs};
+use gridsec_core::etc::NodeAvailability;
+use gridsec_core::{SecurityModel, Time};
+use gridsec_sim::{BatchJob, BatchScheduler, GridView};
+use gridsec_stga::{GaParams, StandardGa, Stga, StgaParams};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let rounds = if args.quick { 4 } else { 10 };
+    let batch_size = 12;
+    let w = psa_setup(rounds * batch_size, args.seed);
+    print_header("Fig. 5: initial-population quality, conventional GA vs STGA");
+
+    let ga_params = GaParams::default()
+        .with_population(if args.quick { 50 } else { 200 })
+        .with_generations(if args.quick { 30 } else { 100 })
+        .with_seed(args.seed);
+    let mut ga = StandardGa::new(ga_params).expect("valid GA params");
+    let mut stga = Stga::new(StgaParams {
+        ga: ga_params,
+        ..StgaParams::default()
+    })
+    .expect("valid STGA params");
+
+    let avail: Vec<NodeAvailability> = w
+        .grid
+        .sites()
+        .map(|s| NodeAvailability::new(s.nodes, Time::ZERO))
+        .collect();
+
+    let mut table = AsciiTable::new(vec![
+        "round",
+        "GA initial",
+        "GA final",
+        "STGA initial",
+        "STGA final",
+        "STGA head-start %",
+    ]);
+    for r in 0..rounds {
+        // Similar batches: the same jobs with mildly shifted work, which is
+        // exactly the temporal locality the STGA exploits.
+        let batch: Vec<BatchJob> = w.jobs[r * batch_size..(r + 1) * batch_size]
+            .iter()
+            .cloned()
+            .map(|job| BatchJob {
+                job,
+                secure_only: false,
+            })
+            .collect();
+        let view = GridView {
+            grid: &w.grid,
+            avail: &avail,
+            now: Time::ZERO,
+            model: SecurityModel::default(),
+        };
+        let _ = ga.schedule(&batch, &view);
+        let _ = stga.schedule(&batch, &view);
+        let tga = ga.last_trajectory().expect("GA ran");
+        let tst = stga.last_trajectory().expect("STGA ran");
+        let head_start = 100.0 * (tga[0] - tst[0]) / tga[0];
+        table.row(vec![
+            (r + 1).to_string(),
+            format!("{:.0}", tga[0]),
+            format!("{:.0}", tga[tga.len() - 1]),
+            format!("{:.0}", tst[0]),
+            format!("{:.0}", tst[tst.len() - 1]),
+            format!("{head_start:+.1}"),
+        ]);
+    }
+    println!();
+    table.print();
+    println!(
+        "\nhead-start = how much better the STGA's initial population is than\n\
+         the conventional GA's random initial population (positive = better)."
+    );
+}

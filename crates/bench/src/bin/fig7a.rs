@@ -1,0 +1,45 @@
+//! Fig. 7(a): makespan of Min-Min f-risky and Sufferage f-risky as the
+//! risk threshold `f` sweeps 0 → 1 (PSA workload, N = 1000).
+//!
+//! The paper observes two concave curves with minima around f ≈ 0.5–0.6,
+//! motivating its choice of f = 0.5.
+
+use gridsec_bench::{maybe_dump, psa_setup, psa_sim_config, run_one, AsciiTable, BenchArgs};
+use gridsec_bench::{print_header, ExperimentRecord};
+use gridsec_core::RiskMode;
+use gridsec_heuristics::{MinMin, Sufferage};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n = if args.quick { 200 } else { 1000 };
+    let w = psa_setup(n, args.seed);
+    let config = psa_sim_config(args.seed);
+    print_header(&format!("Fig. 7(a): makespan vs f (PSA, N = {n})"));
+
+    let fs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut table = AsciiTable::new(vec!["f", "Min-Min f-Risky", "Sufferage f-Risky"]);
+    let mut records = Vec::new();
+    for &f in &fs {
+        let mode = RiskMode::FRisky(f);
+        let mm = run_one(&w.jobs, &w.grid, &mut MinMin::new(mode), &config);
+        let sf = run_one(&w.jobs, &w.grid, &mut Sufferage::new(mode), &config);
+        table.row(vec![
+            format!("{f:.1}"),
+            format!("{:.0}", mm.metrics.makespan.seconds()),
+            format!("{:.0}", sf.metrics.makespan.seconds()),
+        ]);
+        records.push(ExperimentRecord::new(
+            "fig7a",
+            format!("f={f:.1} minmin"),
+            mm,
+        ));
+        records.push(ExperimentRecord::new(
+            "fig7a",
+            format!("f={f:.1} sufferage"),
+            sf,
+        ));
+    }
+    println!();
+    table.print();
+    maybe_dump(&args.json, &records);
+}

@@ -1,0 +1,46 @@
+//! Fig. 7(b): STGA makespan as a function of the number of GA iterations
+//! (PSA workload, N = 1000).
+//!
+//! The paper reports fluctuation below ~25 iterations, convergence onset
+//! near 40, and a flat constant beyond ~50 — demonstrating that the
+//! history-seeded STGA needs very few generations per round.
+
+use gridsec_bench::{
+    make_stga, maybe_dump, print_header, psa_setup, psa_sim_config, run_one, AsciiTable, BenchArgs,
+    ExperimentRecord,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n = if args.quick { 200 } else { 1000 };
+    let w = psa_setup(n, args.seed);
+    let config = psa_sim_config(args.seed);
+    print_header(&format!(
+        "Fig. 7(b): STGA makespan vs iterations (PSA, N = {n})"
+    ));
+
+    let gens: Vec<usize> = if args.quick {
+        vec![0, 10, 25, 50, 100]
+    } else {
+        vec![0, 10, 25, 40, 50, 75, 100, 150, 200]
+    };
+    let mut table = AsciiTable::new(vec!["iterations", "makespan (s)", "scheduler time (s)"]);
+    let mut records = Vec::new();
+    for &g in &gens {
+        let mut stga = make_stga(&w.jobs, &w.grid, args.seed, g, 8).expect("valid STGA params");
+        let out = run_one(&w.jobs, &w.grid, &mut stga, &config);
+        table.row(vec![
+            g.to_string(),
+            format!("{:.0}", out.metrics.makespan.seconds()),
+            format!("{:.3}", out.scheduler_seconds),
+        ]);
+        records.push(ExperimentRecord::new(
+            "fig7b",
+            format!("generations={g}"),
+            out,
+        ));
+    }
+    println!();
+    table.print();
+    maybe_dump(&args.json, &records);
+}

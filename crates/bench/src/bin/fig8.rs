@@ -1,0 +1,69 @@
+//! Fig. 8: the seven-algorithm comparison on the NAS trace workload —
+//! (a) makespan, (b) N_fail / N_risk, (c) slowdown ratio, (d) average
+//! response time.
+
+use gridsec_bench::{
+    maybe_dump, nas_setup, nas_sim_config, paper_schedulers, print_header, run_one, AsciiTable,
+    BenchArgs, ExperimentRecord,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n = if args.quick { 1_000 } else { 16_000 };
+    let w = nas_setup(n, args.seed);
+    let config = nas_sim_config(args.seed);
+    print_header(&format!(
+        "Fig. 8: seven algorithms on the NAS trace (N = {n})"
+    ));
+
+    let mut records = Vec::new();
+    let mut table = AsciiTable::new(vec![
+        "algorithm",
+        "makespan (s)",
+        "Nfail",
+        "Nrisk",
+        "slowdown",
+        "avg response (s)",
+    ]);
+    for mut s in paper_schedulers(&w.jobs, &w.grid, args.seed, 15) {
+        let out = run_one(&w.jobs, &w.grid, s.as_mut(), &config);
+        table.row(vec![
+            out.scheduler_name.clone(),
+            format!("{:.3e}", out.metrics.makespan.seconds()),
+            out.metrics.n_fail.to_string(),
+            out.metrics.n_risk.to_string(),
+            format!("{:.2}", out.metrics.slowdown_ratio),
+            format!("{:.3e}", out.metrics.avg_response),
+        ]);
+        records.push(ExperimentRecord::new(
+            "fig8",
+            out.scheduler_name.clone(),
+            out,
+        ));
+    }
+    println!();
+    table.print();
+
+    // The paper's headline claims, restated against this run.
+    let find = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.output.scheduler_name == name)
+            .map(|r| &r.output.metrics)
+    };
+    if let (Some(stga), Some(mm_risky), Some(mm_sec)) =
+        (find("STGA"), find("Min-Min Risky"), find("Min-Min Secure"))
+    {
+        println!(
+            "\nSTGA vs Min-Min Risky : makespan {:+.1}%  response {:+.1}%",
+            100.0 * (mm_risky.makespan.seconds() / stga.makespan.seconds() - 1.0),
+            100.0 * (mm_risky.avg_response / stga.avg_response - 1.0),
+        );
+        println!(
+            "STGA vs Min-Min Secure: makespan {:+.1}%  response {:+.1}%",
+            100.0 * (mm_sec.makespan.seconds() / stga.makespan.seconds() - 1.0),
+            100.0 * (mm_sec.avg_response / stga.avg_response - 1.0),
+        );
+    }
+    maybe_dump(&args.json, &records);
+}

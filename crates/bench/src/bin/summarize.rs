@@ -1,0 +1,95 @@
+//! Renders the JSON dumps produced by the figure binaries into one
+//! markdown report — the machine-generated companion to EXPERIMENTS.md.
+//!
+//! ```console
+//! cargo run -p gridsec-bench --bin summarize -- results/*.json > report.md
+//! ```
+
+use gridsec_bench::ExperimentRecord;
+use std::collections::BTreeMap;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: summarize <results1.json> [results2.json ...]");
+        std::process::exit(2);
+    }
+    let mut by_experiment: BTreeMap<String, Vec<ExperimentRecord>> = BTreeMap::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let records: Vec<ExperimentRecord> = match serde_json::from_str(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {path} is not a results dump: {e}");
+                std::process::exit(1);
+            }
+        };
+        for r in records {
+            by_experiment
+                .entry(r.experiment.clone())
+                .or_default()
+                .push(r);
+        }
+    }
+
+    println!("# GridSec experiment report\n");
+    println!(
+        "Generated from {} record file(s); every row is one full simulation.\n",
+        paths.len()
+    );
+    for (experiment, records) in &by_experiment {
+        println!("## {experiment}\n");
+        println!(
+            "| run | scheduler | makespan (s) | avg response (s) | slowdown | Nfail | Nrisk | util % | fairness | sched s |"
+        );
+        println!("|---|---|---|---|---|---|---|---|---|---|");
+        for r in records {
+            let m = &r.output.metrics;
+            println!(
+                "| {} | {} | {:.4e} | {:.4e} | {:.2} | {} | {} | {:.1} | {:.3} | {:.3} |",
+                r.params,
+                r.output.scheduler_name,
+                m.makespan.seconds(),
+                m.avg_response,
+                m.slowdown_ratio,
+                m.n_fail,
+                m.n_risk,
+                m.overall_utilization,
+                m.utilization_fairness,
+                r.output.scheduler_seconds,
+            );
+        }
+        println!();
+        // Per-experiment headline: best makespan and best slowdown.
+        if let Some(best_ms) = records
+            .iter()
+            .min_by(|a, b| a.output.metrics.makespan.cmp(&b.output.metrics.makespan))
+        {
+            println!(
+                "*Best makespan:* **{}** ({}) at {:.4e} s.",
+                best_ms.output.scheduler_name,
+                best_ms.params,
+                best_ms.output.metrics.makespan.seconds()
+            );
+        }
+        if let Some(best_sd) = records.iter().min_by(|a, b| {
+            a.output
+                .metrics
+                .slowdown_ratio
+                .total_cmp(&b.output.metrics.slowdown_ratio)
+        }) {
+            println!(
+                "*Best slowdown:* **{}** ({}) at {:.2}.\n",
+                best_sd.output.scheduler_name,
+                best_sd.params,
+                best_sd.output.metrics.slowdown_ratio
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Table 2: global comparison on the NAS trace — makespan ratio α and
+//! response-time ratio β of every heuristic relative to the STGA, plus the
+//! holistic ranking.
+
+use gridsec_bench::{
+    maybe_dump, nas_setup, nas_sim_config, paper_schedulers, print_header, run_one, AsciiTable,
+    BenchArgs, ExperimentRecord,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n = if args.quick { 1_000 } else { 16_000 };
+    let w = nas_setup(n, args.seed);
+    let config = nas_sim_config(args.seed);
+    print_header(&format!(
+        "Table 2: α/β ratios vs STGA on the NAS trace (N = {n})"
+    ));
+
+    let mut records = Vec::new();
+    let mut results = Vec::new();
+    for mut s in paper_schedulers(&w.jobs, &w.grid, args.seed, 15) {
+        let out = run_one(&w.jobs, &w.grid, s.as_mut(), &config);
+        records.push(ExperimentRecord::new(
+            "table2",
+            out.scheduler_name.clone(),
+            out.clone(),
+        ));
+        results.push(out);
+    }
+    let stga = results
+        .iter()
+        .find(|o| o.scheduler_name == "STGA")
+        .expect("roster includes the STGA")
+        .clone();
+
+    // Rank by α + β (holistic, smaller is better), STGA pinned first.
+    let mut scored: Vec<(String, f64, f64)> = results
+        .iter()
+        .map(|o| {
+            (
+                o.scheduler_name.clone(),
+                o.metrics.alpha_vs(&stga.metrics),
+                o.metrics.beta_vs(&stga.metrics),
+            )
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = scored[a].1 + scored[a].2;
+        let kb = scored[b].1 + scored[b].2;
+        ka.total_cmp(&kb)
+    });
+    let rank_of = |i: usize| order.iter().position(|&x| x == i).unwrap() + 1;
+
+    let mut table = AsciiTable::new(vec!["heuristic", "alpha", "beta", "rank"]);
+    for (i, (name, a, b)) in scored.iter().enumerate() {
+        table.row(vec![
+            name.clone(),
+            format!("{a:.3}"),
+            format!("{b:.3}"),
+            ordinal(rank_of(i)),
+        ]);
+    }
+    scored.sort_by(|x, y| (x.1 + x.2).total_cmp(&(y.1 + y.2)));
+    println!();
+    table.print();
+    maybe_dump(&args.json, &records);
+}
+
+fn ordinal(n: usize) -> String {
+    let suffix = match (n % 10, n % 100) {
+        (1, 11) | (2, 12) | (3, 13) => "th",
+        (1, _) => "st",
+        (2, _) => "nd",
+        (3, _) => "rd",
+        _ => "th",
+    };
+    format!("{n}{suffix}")
+}

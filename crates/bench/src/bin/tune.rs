@@ -1,0 +1,55 @@
+//! Exploration harness: compare the risky heuristics and the STGA on the
+//! NAS workload across batch periods (env `INTERVALS`, comma-separated
+//! seconds) and job counts (`N`), to locate the batch-size regime where
+//! batch-global optimisation separates from greedy mapping.
+
+use gridsec_bench::{make_stga, nas_setup, print_header, run_one};
+use gridsec_core::rng::subseed;
+use gridsec_core::{RiskMode, Time};
+use gridsec_heuristics::{MinMin, Sufferage};
+use gridsec_sim::SimConfig;
+
+fn env_list(name: &str, default: &str) -> Vec<f64> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("numeric list"))
+        .collect()
+}
+
+fn main() {
+    let n: usize = std::env::var("N")
+        .unwrap_or_else(|_| "16000".into())
+        .parse()
+        .expect("N must be usize");
+    let seed: u64 = std::env::var("SEED")
+        .unwrap_or_else(|_| "2005".into())
+        .parse()
+        .expect("SEED must be u64");
+    let intervals = env_list("INTERVALS", "3600,14400");
+    let w = nas_setup(n, seed);
+    for &interval in &intervals {
+        print_header(&format!("NAS N = {n}, batch period = {interval} s"));
+        let config = SimConfig::default()
+            .with_interval(Time::new(interval))
+            .with_seed(subseed(seed, 0xFA11));
+        let expected_batch = (n as f64 / (46.0 * 86_400.0) * interval).ceil() as usize;
+        run_one(&w.jobs, &w.grid, &mut MinMin::new(RiskMode::Risky), &config);
+        run_one(
+            &w.jobs,
+            &w.grid,
+            &mut Sufferage::new(RiskMode::Risky),
+            &config,
+        );
+        for &fw in &env_list("FLOW", "0.0001") {
+            let stga = make_stga(&w.jobs, &w.grid, seed, 100, expected_batch.max(1))
+                .expect("valid STGA params");
+            let mut p = *stga.params();
+            p.ga.flow_weight = fw;
+            let history = stga.history().clone();
+            let mut stga = gridsec_stga::Stga::with_history(p, history);
+            print!("flow={fw:<8} ");
+            run_one(&w.jobs, &w.grid, &mut stga, &config);
+        }
+    }
+}

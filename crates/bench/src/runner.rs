@@ -1,0 +1,169 @@
+//! Experiment plumbing: workload setup, scheduler roster, single-run
+//! execution and JSON records.
+
+use gridsec_core::rng::subseed;
+use gridsec_core::{Grid, Job, Result, RiskMode, Time};
+use gridsec_heuristics::{MinMin, Sufferage};
+use gridsec_sim::{simulate, BatchScheduler, SimConfig, SimOutput};
+use gridsec_stga::{GaParams, Stga, StgaParams};
+use gridsec_workloads::{NasConfig, NasWorkload, PsaConfig, PsaWorkload};
+use serde::{Deserialize, Serialize};
+
+/// The PSA batch period (Table 1 gives none; DESIGN.md §3: 1000 s ≈ 8
+/// jobs per batch at the 0.008/s arrival rate).
+pub const PSA_INTERVAL: f64 = 1_000.0;
+/// The NAS batch period (DESIGN.md §3: hourly batches ≈ 15 jobs each).
+pub const NAS_INTERVAL: f64 = 3_600.0;
+
+/// Builds the PSA workload of Table 1 at the given size.
+pub fn psa_setup(n_jobs: usize, seed: u64) -> PsaWorkload {
+    PsaConfig::default()
+        .with_n_jobs(n_jobs)
+        .with_seed(seed)
+        .generate()
+        .expect("valid PSA defaults")
+}
+
+/// Simulator configuration used by every PSA experiment.
+pub fn psa_sim_config(seed: u64) -> SimConfig {
+    SimConfig::default()
+        .with_interval(Time::new(PSA_INTERVAL))
+        .with_seed(subseed(seed, 0xFA11))
+}
+
+/// Builds the NAS workload of Table 1 at the given size.
+pub fn nas_setup(n_jobs: usize, seed: u64) -> NasWorkload {
+    NasConfig::default()
+        .with_n_jobs(n_jobs)
+        .with_seed(seed)
+        .generate()
+        .expect("valid NAS defaults")
+}
+
+/// Simulator configuration used by every NAS experiment.
+pub fn nas_sim_config(seed: u64) -> SimConfig {
+    SimConfig::default()
+        .with_interval(Time::new(NAS_INTERVAL))
+        .with_seed(subseed(seed, 0xFA11))
+}
+
+/// Builds a trained STGA: Table 1 parameters, history warmed on the first
+/// `training_jobs` of the workload with the expected batch size.
+pub fn make_stga(
+    jobs: &[Job],
+    grid: &Grid,
+    seed: u64,
+    generations: usize,
+    expected_batch: usize,
+) -> Result<Stga> {
+    let params = StgaParams {
+        ga: GaParams::default()
+            .with_generations(generations)
+            .with_seed(subseed(seed, 0x57A6)),
+        ..StgaParams::default()
+    };
+    let mut stga = Stga::new(params)?;
+    stga.train(jobs, grid, expected_batch.max(1))?;
+    Ok(stga)
+}
+
+/// The paper's seven-algorithm roster (Fig. 8 order): the six
+/// security-driven heuristics plus a trained STGA.
+pub fn paper_schedulers(
+    jobs: &[Job],
+    grid: &Grid,
+    seed: u64,
+    expected_batch: usize,
+) -> Vec<Box<dyn BatchScheduler>> {
+    let mut v: Vec<Box<dyn BatchScheduler>> = vec![
+        Box::new(MinMin::new(RiskMode::Secure)),
+        Box::new(MinMin::new(RiskMode::FRisky(RiskMode::PAPER_F))),
+        Box::new(MinMin::new(RiskMode::Risky)),
+        Box::new(Sufferage::new(RiskMode::Secure)),
+        Box::new(Sufferage::new(RiskMode::FRisky(RiskMode::PAPER_F))),
+        Box::new(Sufferage::new(RiskMode::Risky)),
+    ];
+    let stga = make_stga(jobs, grid, seed, 100, expected_batch).expect("valid STGA parameters");
+    v.push(Box::new(stga));
+    v
+}
+
+/// Runs one scheduler over one workload and prints its summary line.
+pub fn run_one(
+    jobs: &[Job],
+    grid: &Grid,
+    scheduler: &mut dyn BatchScheduler,
+    config: &SimConfig,
+) -> SimOutput {
+    let out = simulate(jobs, grid, scheduler, config).expect("simulation must drain");
+    println!("{}", out.summary());
+    out
+}
+
+/// A named experiment result for the JSON dump.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier ("fig8", "table2", …).
+    pub experiment: String,
+    /// Free-form parameter description (e.g. "N=1000 f=0.5").
+    pub params: String,
+    /// The run output.
+    pub output: SimOutput,
+}
+
+impl ExperimentRecord {
+    /// Creates a record.
+    pub fn new(experiment: &str, params: impl Into<String>, output: SimOutput) -> Self {
+        ExperimentRecord {
+            experiment: experiment.to_string(),
+            params: params.into(),
+            output,
+        }
+    }
+}
+
+/// Writes records as pretty JSON if a path was requested.
+pub fn maybe_dump(path: &Option<String>, records: &[ExperimentRecord]) {
+    if let Some(p) = path {
+        let json = serde_json::to_string_pretty(records).expect("records serialise");
+        std::fs::write(p, json).expect("write JSON dump");
+        println!("[wrote {p}]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psa_setup_respects_size_and_seed() {
+        let w = psa_setup(50, 1);
+        assert_eq!(w.jobs.len(), 50);
+        assert_eq!(w.grid.len(), 20);
+        let w2 = psa_setup(50, 1);
+        assert_eq!(w.jobs, w2.jobs);
+    }
+
+    #[test]
+    fn nas_setup_builds_12_sites() {
+        let w = nas_setup(100, 1);
+        assert_eq!(w.grid.len(), 12);
+        assert_eq!(w.jobs.len(), 100);
+    }
+
+    #[test]
+    fn roster_is_seven_strong() {
+        let w = psa_setup(30, 2);
+        let roster = paper_schedulers(&w.jobs, &w.grid, 2, 8);
+        assert_eq!(roster.len(), 7);
+        assert_eq!(roster[6].name(), "STGA");
+    }
+
+    #[test]
+    fn quick_end_to_end_run() {
+        let w = psa_setup(30, 3);
+        let mut s = MinMin::new(RiskMode::Risky);
+        let out = run_one(&w.jobs, &w.grid, &mut s, &psa_sim_config(3));
+        assert_eq!(out.metrics.n_jobs, 30);
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text table/row formatting for experiment output.
+
+/// A simple fixed-width ASCII table builder.
+#[derive(Debug, Clone)]
+pub struct AsciiTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> AsciiTable {
+        AsciiTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            (0..ncols)
+                .map(|i| format!(" {:>width$} ", cells[i], width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a number compactly (engineering style for big magnitudes).
+pub fn fmt_num(x: f64) -> String {
+    let a = x.abs();
+    if a >= 1e6 {
+        format!("{:.3}e6", x / 1e6)
+    } else if a >= 1e4 {
+        format!("{:.1}", x)
+    } else if a >= 1.0 {
+        format!("{:.2}", x)
+    } else {
+        format!("{:.4}", x)
+    }
+}
+
+/// Prints a section header.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// One formatted row helper used by figure binaries.
+pub fn format_row(label: &str, values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|&v| fmt_num(v)).collect();
+    format!("{label:<24} {}", cells.join("  "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = AsciiTable::new(vec!["alg", "makespan"]);
+        t.row(vec!["Min-Min", "123.4"]);
+        t.row(vec!["STGA", "99.9"]);
+        let r = t.render();
+        assert!(r.contains("Min-Min"));
+        assert!(r.contains("STGA"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = AsciiTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(2_500_000.0), "2.500e6");
+        assert_eq!(fmt_num(12345.0), "12345.0");
+        assert_eq!(fmt_num(3.17159), "3.17");
+        assert_eq!(fmt_num(0.125), "0.1250");
+    }
+
+    #[test]
+    fn format_row_joins() {
+        let r = format_row("x", &[1.0, 2.0]);
+        assert!(r.starts_with('x'));
+        assert!(r.contains("1.00") && r.contains("2.00"));
+    }
+}

@@ -1,0 +1,175 @@
+//! `gridsec` — command-line front end for the GridSec scheduling library.
+//!
+//! ```console
+//! gridsec example-spec > exp.json        # write a starter spec
+//! gridsec run exp.json                   # run it, print the comparison
+//! gridsec run exp.json --json out.json   # also dump machine-readable results
+//! gridsec generate psa 1000 > psa.swf    # emit a workload as SWF
+//! gridsec generate nas 16000 > nas.swf
+//! ```
+
+mod spec;
+
+use gridsec_sim::simulate;
+use gridsec_workloads::{swf, NasConfig, PsaConfig};
+use spec::ExperimentSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("example-spec") => cmd_example_spec(),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  gridsec run <spec.json> [--json <out.json>]\n  \
+         gridsec example-spec\n  gridsec generate <psa|nas> <n_jobs> [seed]"
+    );
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("error: `run` needs a spec path");
+        return 2;
+    };
+    let json_out = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Some(p.clone()),
+            None => {
+                eprintln!("error: --json needs a path");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let spec = match ExperimentSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let (jobs, grid) = match spec.workload.build() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "workload: {} jobs on {} sites; sim seed {}",
+        jobs.len(),
+        grid.len(),
+        spec.sim.seed
+    );
+    let mut outputs = Vec::new();
+    for sspec in &spec.schedulers {
+        let mut scheduler = match sspec.build(&jobs, &grid) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        match simulate(&jobs, &grid, scheduler.as_mut(), &spec.sim) {
+            Ok(out) => {
+                println!("{}", out.summary());
+                outputs.push(out);
+            }
+            Err(e) => {
+                eprintln!("error: {} failed: {e}", scheduler.name());
+                return 1;
+            }
+        }
+    }
+    if let Some(p) = json_out {
+        match serde_json::to_string_pretty(&outputs) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&p, s) {
+                    eprintln!("error: cannot write {p}: {e}");
+                    return 1;
+                }
+                println!("[wrote {p}]");
+            }
+            Err(e) => {
+                eprintln!("error: serialisation failed: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn cmd_example_spec() -> i32 {
+    let spec = ExperimentSpec::example();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&spec).expect("example spec serialises")
+    );
+    0
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let (Some(kind), Some(n)) = (args.first(), args.get(1)) else {
+        eprintln!("error: `generate` needs <psa|nas> <n_jobs>");
+        return 2;
+    };
+    let n: usize = match n.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: n_jobs must be an integer");
+            return 2;
+        }
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2005);
+    let jobs = match kind.as_str() {
+        "psa" => match PsaConfig::default()
+            .with_n_jobs(n)
+            .with_seed(seed)
+            .generate()
+        {
+            Ok(w) => w.jobs,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        },
+        "nas" => match NasConfig::default()
+            .with_n_jobs(n)
+            .with_seed(seed)
+            .generate()
+        {
+            Ok(w) => w.jobs,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        },
+        other => {
+            eprintln!("error: unknown workload kind `{other}`");
+            return 2;
+        }
+    };
+    print!("{}", swf::write(&jobs));
+    0
+}

@@ -1,0 +1,284 @@
+//! JSON experiment specifications for the `gridsec` CLI.
+//!
+//! A spec file describes a full experiment: the workload (PSA, synthetic
+//! NAS, or an SWF trace file), the scheduler roster, and the simulator
+//! configuration. See `gridsec example-spec` for a starting point.
+
+use gridsec_core::{Error, Grid, Job, Result, RiskMode};
+use gridsec_sim::{BatchScheduler, SimConfig};
+use gridsec_stga::{
+    GaParams, SaParams, SimulatedAnnealing, StandardGa, Stga, StgaParams, TabuParams, TabuSearch,
+};
+use gridsec_workloads::{swf, NasConfig, PsaConfig};
+use serde::{Deserialize, Serialize};
+
+/// Workload selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkloadSpec {
+    /// The Table-1 parameter-sweep workload.
+    Psa {
+        /// PSA generator configuration (defaults = Table 1).
+        #[serde(default)]
+        config: PsaConfig,
+    },
+    /// The synthetic NAS iPSC/860 trace.
+    Nas {
+        /// NAS generator configuration (defaults = Table 1 / DESIGN.md).
+        #[serde(default)]
+        config: NasConfig,
+    },
+    /// A real trace in Standard Workload Format; runs on the NAS grid.
+    Swf {
+        /// Path to the `.swf` file.
+        path: String,
+        /// Conversion options (width folding, time squeeze, SD seed).
+        #[serde(default)]
+        convert: swf::ConvertOptions,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materialises the workload: jobs plus the grid they run on.
+    pub fn build(&self) -> Result<(Vec<Job>, Grid)> {
+        match self {
+            WorkloadSpec::Psa { config } => {
+                let w = config.generate()?;
+                Ok((w.jobs, w.grid))
+            }
+            WorkloadSpec::Nas { config } => {
+                let w = config.generate()?;
+                Ok((w.jobs, w.grid))
+            }
+            WorkloadSpec::Swf { path, convert } => {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    Error::invalid("workload.path", format!("cannot read {path}: {e}"))
+                })?;
+                let records = swf::parse(&text)?;
+                let jobs = swf::to_jobs(&records, convert)?;
+                let grid = NasConfig::default().grid()?;
+                Ok((jobs, grid))
+            }
+        }
+    }
+}
+
+/// One scheduler to run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "algorithm", rename_all = "snake_case")]
+pub enum SchedulerSpec {
+    /// Security-driven Min-Min.
+    MinMin {
+        /// Risk mode (`{"Secure"}`, `{"Risky"}` or `{"FRisky": 0.5}`).
+        mode: RiskMode,
+    },
+    /// Security-driven Sufferage.
+    Sufferage {
+        /// Risk mode.
+        mode: RiskMode,
+    },
+    /// Max-Min baseline.
+    MaxMin {
+        /// Risk mode.
+        mode: RiskMode,
+    },
+    /// Duplex: best of Min-Min and Max-Min per batch.
+    Duplex {
+        /// Risk mode.
+        mode: RiskMode,
+    },
+    /// Switching Algorithm (MET/MCT on the load-balance index).
+    Switching {
+        /// Risk mode.
+        mode: RiskMode,
+        /// Lower balance threshold.
+        low: f64,
+        /// Upper balance threshold.
+        high: f64,
+    },
+    /// Minimum completion time (immediate mode).
+    Mct {
+        /// Risk mode.
+        mode: RiskMode,
+    },
+    /// Minimum execution time (immediate mode).
+    Met {
+        /// Risk mode.
+        mode: RiskMode,
+    },
+    /// Opportunistic load balancing (immediate mode).
+    Olb {
+        /// Risk mode.
+        mode: RiskMode,
+    },
+    /// k-percent best.
+    Kpb {
+        /// Risk mode.
+        mode: RiskMode,
+        /// The percentage of best-executing sites considered.
+        k_percent: f64,
+    },
+    /// Uniform-random admissible site.
+    Random {
+        /// Risk mode.
+        mode: RiskMode,
+        /// RNG seed.
+        #[serde(default)]
+        seed: u64,
+    },
+    /// The Space-Time Genetic Algorithm.
+    Stga {
+        /// STGA parameters (defaults = Table 1).
+        #[serde(default)]
+        params: StgaParams,
+        /// Training batch size (0 disables training).
+        #[serde(default)]
+        train_batch: usize,
+    },
+    /// The conventional GA baseline.
+    Ga {
+        /// GA parameters (defaults = Table 1).
+        #[serde(default)]
+        params: GaParams,
+    },
+    /// Simulated annealing (offline-style metaheuristic baseline).
+    Sa {
+        /// SA parameters.
+        #[serde(default)]
+        params: SaParams,
+    },
+    /// Tabu search baseline.
+    Tabu {
+        /// Tabu parameters.
+        #[serde(default)]
+        params: TabuParams,
+    },
+}
+
+impl SchedulerSpec {
+    /// Instantiates the scheduler; `jobs`/`grid` are used for STGA
+    /// training.
+    pub fn build(&self, jobs: &[Job], grid: &Grid) -> Result<Box<dyn BatchScheduler>> {
+        use gridsec_heuristics as h;
+        Ok(match self {
+            SchedulerSpec::MinMin { mode } => Box::new(h::MinMin::new(*mode)),
+            SchedulerSpec::Sufferage { mode } => Box::new(h::Sufferage::new(*mode)),
+            SchedulerSpec::MaxMin { mode } => Box::new(h::MaxMin::new(*mode)),
+            SchedulerSpec::Duplex { mode } => Box::new(h::Duplex::new(*mode)),
+            SchedulerSpec::Switching { mode, low, high } => {
+                Box::new(h::Switching::new(*mode, *low, *high)?)
+            }
+            SchedulerSpec::Mct { mode } => Box::new(h::Mct::new(*mode)),
+            SchedulerSpec::Met { mode } => Box::new(h::Met::new(*mode)),
+            SchedulerSpec::Olb { mode } => Box::new(h::Olb::new(*mode)),
+            SchedulerSpec::Kpb { mode, k_percent } => Box::new(h::Kpb::new(*mode, *k_percent)?),
+            SchedulerSpec::Random { mode, seed } => Box::new(h::RandomScheduler::new(*mode, *seed)),
+            SchedulerSpec::Stga {
+                params,
+                train_batch,
+            } => {
+                let mut stga = Stga::new(*params)?;
+                if *train_batch > 0 {
+                    stga.train(jobs, grid, *train_batch)?;
+                }
+                Box::new(stga)
+            }
+            SchedulerSpec::Ga { params } => Box::new(StandardGa::new(*params)?),
+            SchedulerSpec::Sa { params } => Box::new(SimulatedAnnealing::new(*params)?),
+            SchedulerSpec::Tabu { params } => Box::new(TabuSearch::new(*params)?),
+        })
+    }
+}
+
+/// A complete experiment specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+    /// Schedulers to compare (each gets a fresh simulation).
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Simulator configuration.
+    #[serde(default)]
+    pub sim: SimConfig,
+}
+
+impl ExperimentSpec {
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<ExperimentSpec> {
+        serde_json::from_str(text)
+            .map_err(|e| Error::invalid("spec", format!("invalid JSON spec: {e}")))
+    }
+
+    /// A ready-to-edit example spec.
+    pub fn example() -> ExperimentSpec {
+        ExperimentSpec {
+            workload: WorkloadSpec::Psa {
+                config: PsaConfig::default().with_n_jobs(500),
+            },
+            schedulers: vec![
+                SchedulerSpec::MinMin {
+                    mode: RiskMode::Secure,
+                },
+                SchedulerSpec::MinMin {
+                    mode: RiskMode::FRisky(0.5),
+                },
+                SchedulerSpec::Sufferage {
+                    mode: RiskMode::Risky,
+                },
+                SchedulerSpec::Stga {
+                    params: StgaParams::default(),
+                    train_batch: 8,
+                },
+            ],
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_spec_roundtrips() {
+        let spec = ExperimentSpec::example();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back.schedulers.len(), 4);
+        let (jobs, grid) = back.workload.build().unwrap();
+        assert_eq!(jobs.len(), 500);
+        assert_eq!(grid.len(), 20);
+    }
+
+    #[test]
+    fn schedulers_instantiate() {
+        let spec = ExperimentSpec::example();
+        let (jobs, grid) = spec.workload.build().unwrap();
+        for s in &spec.schedulers {
+            let b = s.build(&jobs[..50], &grid).unwrap();
+            assert!(!b.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(ExperimentSpec::from_json("{").is_err());
+        assert!(ExperimentSpec::from_json("{\"workload\": 5}").is_err());
+    }
+
+    #[test]
+    fn nas_spec_builds() {
+        let spec = ExperimentSpec {
+            workload: WorkloadSpec::Nas {
+                config: NasConfig::default().with_n_jobs(100),
+            },
+            schedulers: vec![SchedulerSpec::Mct {
+                mode: RiskMode::Risky,
+            }],
+            sim: SimConfig::default(),
+        };
+        let (jobs, grid) = spec.workload.build().unwrap();
+        assert_eq!(jobs.len(), 100);
+        assert_eq!(grid.len(), 12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types shared across the `gridsec` crates.
+
+use std::fmt;
+
+/// Convenience alias over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by model construction and schedule validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A schedule referenced a job that is not part of the batch.
+    UnknownJob(u64),
+    /// A schedule referenced a site that is not part of the grid.
+    UnknownSite(usize),
+    /// A job was assigned to a site with fewer nodes than the job's width.
+    WidthExceedsSite {
+        /// Job identifier.
+        job: u64,
+        /// Required node count.
+        width: u32,
+        /// Nodes available at the target site.
+        site_nodes: u32,
+    },
+    /// A batch schedule did not cover every job exactly once.
+    IncompleteSchedule {
+        /// Number of jobs expected.
+        expected: usize,
+        /// Number of jobs actually assigned.
+        assigned: usize,
+    },
+    /// A workload trace could not be parsed.
+    TraceParse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The grid has no site that can run the given job under the given mode.
+    NoFeasibleSite(u64),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Error::UnknownJob(id) => write!(f, "schedule references unknown job {id}"),
+            Error::UnknownSite(id) => write!(f, "schedule references unknown site {id}"),
+            Error::WidthExceedsSite {
+                job,
+                width,
+                site_nodes,
+            } => write!(
+                f,
+                "job {job} needs {width} nodes but target site has only {site_nodes}"
+            ),
+            Error::IncompleteSchedule { expected, assigned } => write!(
+                f,
+                "schedule covers {assigned} of {expected} jobs in the batch"
+            ),
+            Error::TraceParse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            Error::NoFeasibleSite(id) => {
+                write!(
+                    f,
+                    "no feasible site for job {id} under the active risk mode"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand for an [`Error::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::invalid("lambda", "must be positive");
+        assert!(e.to_string().contains("lambda"));
+        assert!(e.to_string().contains("positive"));
+
+        let e = Error::WidthExceedsSite {
+            job: 7,
+            width: 32,
+            site_nodes: 16,
+        };
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::UnknownJob(1), Error::UnknownJob(1));
+        assert_ne!(Error::UnknownJob(1), Error::UnknownJob(2));
+    }
+}

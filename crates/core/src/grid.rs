@@ -1,0 +1,196 @@
+//! The Grid: an ordered collection of [`Site`]s.
+
+use crate::error::{Error, Result};
+use crate::job::Job;
+use crate::security::RiskMode;
+use crate::security::SecurityModel;
+use crate::site::{Site, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// A validated, immutable collection of sites forming the Grid.
+///
+/// Site ids are required to be dense (`Site k` has `id == k`), which lets the
+/// rest of the library index by `SiteId` without hashing.
+///
+/// ```
+/// use gridsec_core::{Grid, Site};
+/// let grid = Grid::new(vec![
+///     Site::builder(0).nodes(16).security_level(0.9).build().unwrap(),
+///     Site::builder(1).nodes(8).security_level(0.5).build().unwrap(),
+/// ]).unwrap();
+/// assert_eq!(grid.len(), 2);
+/// assert_eq!(grid.max_nodes(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    sites: Vec<Site>,
+}
+
+impl Grid {
+    /// Builds a grid, checking that the site list is non-empty and densely
+    /// indexed.
+    pub fn new(sites: Vec<Site>) -> Result<Grid> {
+        if sites.is_empty() {
+            return Err(Error::invalid("sites", "a grid needs at least one site"));
+        }
+        for (k, s) in sites.iter().enumerate() {
+            if s.id.0 != k {
+                return Err(Error::invalid(
+                    "sites",
+                    format!("site at position {k} has id {} (ids must be dense)", s.id),
+                ));
+            }
+        }
+        Ok(Grid { sites })
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the grid is empty (never true for a validated grid).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; ids originating from this grid are
+    /// always valid.
+    #[inline]
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0]
+    }
+
+    /// Checked lookup.
+    #[inline]
+    pub fn get(&self, id: SiteId) -> Option<&Site> {
+        self.sites.get(id.0)
+    }
+
+    /// Iterates over all sites in id order.
+    pub fn sites(&self) -> impl Iterator<Item = &Site> {
+        self.sites.iter()
+    }
+
+    /// All site ids in order.
+    pub fn site_ids(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.sites.len()).map(SiteId)
+    }
+
+    /// Largest node count over all sites (the widest schedulable job).
+    pub fn max_nodes(&self) -> u32 {
+        self.sites.iter().map(|s| s.nodes).max().unwrap_or(0)
+    }
+
+    /// Total processing power (Σ nodes × speed).
+    pub fn total_power(&self) -> f64 {
+        self.sites.iter().map(Site::power).sum()
+    }
+
+    /// Highest security level offered by any site.
+    pub fn max_security_level(&self) -> f64 {
+        self.sites
+            .iter()
+            .map(|s| s.security_level)
+            .fold(0.0, f64::max)
+    }
+
+    /// Sites on which `job` fits *and* is admissible under `mode` according
+    /// to `model` (the security-driven site filter of §2).
+    ///
+    /// Returns an empty vector when no site qualifies — callers apply their
+    /// fallback policy (see `gridsec-heuristics`).
+    pub fn admissible_sites(
+        &self,
+        job: &Job,
+        mode: RiskMode,
+        model: &SecurityModel,
+    ) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .filter(|s| s.fits_width(job.width) && mode.admits(model, job.security_demand, s))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Sites on which the job fits by width alone (risk ignored).
+    pub fn fitting_sites(&self, job: &Job) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .filter(|s| s.fits_width(job.width))
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::SecurityModel;
+
+    fn grid3() -> Grid {
+        Grid::new(vec![
+            Site::builder(0)
+                .nodes(16)
+                .speed(1.0)
+                .security_level(0.9)
+                .build()
+                .unwrap(),
+            Site::builder(1)
+                .nodes(8)
+                .speed(2.0)
+                .security_level(0.5)
+                .build()
+                .unwrap(),
+            Site::builder(2)
+                .nodes(4)
+                .speed(4.0)
+                .security_level(0.7)
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_ids_enforced() {
+        let bad = vec![Site::builder(1).build().unwrap()];
+        assert!(Grid::new(bad).is_err());
+        assert!(Grid::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn aggregates() {
+        let g = grid3();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.max_nodes(), 16);
+        assert_eq!(g.total_power(), 16.0 + 16.0 + 16.0);
+        assert!((g.max_security_level() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitting_sites_respects_width() {
+        let g = grid3();
+        let wide = Job::builder(0).width(10).build().unwrap();
+        assert_eq!(g.fitting_sites(&wide), vec![SiteId(0)]);
+        let narrow = Job::builder(1).width(2).build().unwrap();
+        assert_eq!(g.fitting_sites(&narrow).len(), 3);
+    }
+
+    #[test]
+    fn admissible_sites_secure_mode() {
+        let g = grid3();
+        let model = SecurityModel::new(3.0).unwrap();
+        let job = Job::builder(0).security_demand(0.6).build().unwrap();
+        let secure = g.admissible_sites(&job, RiskMode::Secure, &model);
+        // SL ≥ 0.6 → sites 0 (0.9) and 2 (0.7).
+        assert_eq!(secure, vec![SiteId(0), SiteId(2)]);
+        let risky = g.admissible_sites(&job, RiskMode::Risky, &model);
+        assert_eq!(risky.len(), 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! Simulated time.
+//!
+//! All times are simulated seconds held in an `f64`. The [`Time`] newtype
+//! provides a total order (via [`f64::total_cmp`]) so times can live in
+//! binary heaps and B-tree keys, plus saturating/validated arithmetic that
+//! keeps NaNs out of the simulation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in seconds.
+///
+/// `Time` is a thin wrapper over `f64` that implements `Ord` using
+/// [`f64::total_cmp`], making it safe to use as a priority in event queues.
+/// Construction via [`Time::new`] rejects NaN; the arithmetic operators
+/// preserve finiteness for finite inputs.
+///
+/// ```
+/// use gridsec_core::Time;
+/// let a = Time::new(3.0);
+/// let b = Time::new(4.5);
+/// assert!(a < b);
+/// assert_eq!((a + b).seconds(), 7.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Time(f64);
+
+// JSON has no literal for IEEE infinities (serde_json emits `null`), so
+// Time serialises finite values as plain numbers and the `INFINITY`
+// sentinel as an explicit `null`, and accepts both back.
+impl serde::Serialize for Time {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+        if self.0.is_finite() {
+            s.serialize_f64(self.0)
+        } else {
+            s.serialize_none()
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Time {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
+        let v = Option::<f64>::deserialize(d)?;
+        match v {
+            Some(x) => Time::try_new(x).ok_or_else(|| serde::de::Error::custom("NaN time")),
+            None => Ok(Time::INFINITY),
+        }
+    }
+}
+
+impl Time {
+    /// The zero instant / zero duration.
+    pub const ZERO: Time = Time(0.0);
+    /// A time later than any finite time; used as "never"/sentinel.
+    pub const INFINITY: Time = Time(f64::INFINITY);
+
+    /// Creates a `Time` from seconds.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is NaN (a NaN time would silently corrupt event
+    /// ordering).
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        assert!(!seconds.is_nan(), "Time cannot be NaN");
+        Time(seconds)
+    }
+
+    /// Creates a `Time` from seconds, returning `None` on NaN.
+    #[inline]
+    pub fn try_new(seconds: f64) -> Option<Self> {
+        if seconds.is_nan() {
+            None
+        } else {
+            Some(Time(seconds))
+        }
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this time is finite (not the `INFINITY` sentinel).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps to be no earlier than `floor`.
+    #[inline]
+    pub fn at_least(self, floor: Time) -> Time {
+        self.max(floor)
+    }
+
+    /// Convenience constructor: `n` hours.
+    #[inline]
+    pub fn hours(n: f64) -> Time {
+        Time::new(n * 3600.0)
+    }
+
+    /// Convenience constructor: `n` days.
+    #[inline]
+    pub fn days(n: f64) -> Time {
+        Time::new(n * 86_400.0)
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time::new(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Time {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Time::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [Time::new(3.0), Time::ZERO, Time::INFINITY, Time::new(1.5)];
+        v.sort();
+        assert_eq!(v[0], Time::ZERO);
+        assert_eq!(v[1], Time::new(1.5));
+        assert_eq!(v[2], Time::new(3.0));
+        assert_eq!(v[3], Time::INFINITY);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Time::new(10.0);
+        let b = Time::new(4.0);
+        assert_eq!((a + b).seconds(), 14.0);
+        assert_eq!((a - b).seconds(), 6.0);
+        assert_eq!((a * 2.0).seconds(), 20.0);
+        assert_eq!((a / 2.0).seconds(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    fn try_new_filters_nan() {
+        assert!(Time::try_new(f64::NAN).is_none());
+        assert_eq!(Time::try_new(2.0), Some(Time::new(2.0)));
+    }
+
+    #[test]
+    fn min_max_at_least() {
+        let a = Time::new(1.0);
+        let b = Time::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.at_least(b), b);
+        assert_eq!(b.at_least(a), b);
+    }
+
+    #[test]
+    fn sum_and_units() {
+        let total: Time = vec![Time::new(1.0), Time::new(2.0)].into_iter().sum();
+        assert_eq!(total, Time::new(3.0));
+        assert_eq!(Time::hours(1.0).seconds(), 3600.0);
+        assert_eq!(Time::days(1.0).seconds(), 86_400.0);
+    }
+
+    #[test]
+    fn infinity_is_not_finite() {
+        assert!(!Time::INFINITY.is_finite());
+        assert!(Time::ZERO.is_finite());
+    }
+}

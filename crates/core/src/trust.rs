@@ -1,0 +1,317 @@
+//! Fuzzy-logic trust index: deriving site security levels from
+//! operational evidence.
+//!
+//! The paper's §1 notes that `SL` "could … be a weighted sum of several
+//! system security parameters (e.g., job execution history, security
+//! levels of defense tools employed)" and cites the authors' fuzzy-logic
+//! trust model (Song, Hwang & Macwan, *Fuzzy Trust Integration for
+//! Security Enforcement in Grid Computing*, NPC 2004). This module
+//! implements that derivation so `SL` need not be hand-assigned:
+//!
+//! 1. Two input signals per site, each in `[0, 1]`:
+//!    * **defense capability** — strength of the deployed defenses
+//!      (firewall, IDS, patch level), and
+//!    * **reputation** — observed behaviour (job success rate, absence of
+//!      IDS alerts), maintained online by [`ReputationTracker`].
+//! 2. Each input is fuzzified over three triangular membership sets
+//!    (*low*, *medium*, *high*).
+//! 3. A 3×3 rule base maps input sets to output sets.
+//! 4. Product (Larsen) inference with centroid weighting defuzzifies the
+//!    output into the scalar trust index used as the site's `SL`. With
+//!    the standard triangular partition this reduces to a bilinear
+//!    interpolation of the rule table, so the index is monotone in both
+//!    inputs.
+//!
+//! The index is monotone in both inputs and spans the paper's `SL` range.
+
+use serde::{Deserialize, Serialize};
+
+/// A triangular fuzzy membership function over `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Triangle {
+    /// Left foot (membership 0).
+    pub a: f64,
+    /// Peak (membership 1).
+    pub b: f64,
+    /// Right foot (membership 0).
+    pub c: f64,
+}
+
+impl Triangle {
+    /// Creates a triangle; requires `a ≤ b ≤ c`.
+    ///
+    /// # Panics
+    /// Panics if the ordering is violated.
+    pub fn new(a: f64, b: f64, c: f64) -> Triangle {
+        assert!(a <= b && b <= c, "triangle needs a ≤ b ≤ c");
+        Triangle { a, b, c }
+    }
+
+    /// Membership degree of `x`.
+    pub fn membership(&self, x: f64) -> f64 {
+        if x < self.a || x > self.c {
+            0.0
+        } else if x == self.b {
+            1.0
+        } else if x < self.b {
+            if self.b == self.a {
+                1.0
+            } else {
+                (x - self.a) / (self.b - self.a)
+            }
+        } else if self.c == self.b {
+            1.0
+        } else {
+            (self.c - x) / (self.c - self.b)
+        }
+    }
+
+    /// The peak position (used as the centroid approximation).
+    pub fn center(&self) -> f64 {
+        self.b
+    }
+}
+
+/// The three linguistic levels used for all variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Low membership set.
+    Low,
+    /// Medium membership set.
+    Medium,
+    /// High membership set.
+    High,
+}
+
+/// Standard partition of `[0, 1]` into low/medium/high triangles.
+fn partition() -> [(Level, Triangle); 3] {
+    [
+        (Level::Low, Triangle::new(0.0, 0.0, 0.5)),
+        (Level::Medium, Triangle::new(0.0, 0.5, 1.0)),
+        (Level::High, Triangle::new(0.5, 1.0, 1.0)),
+    ]
+}
+
+/// Mamdani rule base: `(defense, reputation) → trust`.
+///
+/// Conservative by design: trust is high only when *both* signals are
+/// strong; a bad reputation caps trust regardless of defenses (a
+/// well-defended site that keeps destroying jobs should not be trusted).
+fn rule(defense: Level, reputation: Level) -> Level {
+    use Level::*;
+    match (defense, reputation) {
+        (High, High) => High,
+        (High, Medium) | (Medium, High) => Medium,
+        (Medium, Medium) => Medium,
+        (Low, High) | (High, Low) => Low,
+        (Low, Medium) | (Medium, Low) => Low,
+        (Low, Low) => Low,
+    }
+}
+
+/// Output centroids for defuzzification.
+fn output_center(level: Level) -> f64 {
+    match level {
+        Level::Low => 0.2,
+        Level::Medium => 0.55,
+        Level::High => 0.9,
+    }
+}
+
+/// Computes the fuzzy trust index from defense capability and reputation
+/// (both clamped to `[0, 1]`). The result lies in `[0.2, 0.9]` — spanning
+/// essentially the paper's `SL ~ U[0.4, 1.0]` operating range.
+///
+/// ```
+/// use gridsec_core::trust::trust_index;
+/// let strong = trust_index(0.95, 0.95);
+/// let weak = trust_index(0.1, 0.2);
+/// assert!(strong > 0.8 && weak < 0.3);
+/// ```
+pub fn trust_index(defense: f64, reputation: f64) -> f64 {
+    let d = defense.clamp(0.0, 1.0);
+    let r = reputation.clamp(0.0, 1.0);
+    let parts = partition();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(dl, dt) in &parts {
+        let md = dt.membership(d);
+        if md == 0.0 {
+            continue;
+        }
+        for &(rl, rt) in &parts {
+            let mr = rt.membership(r);
+            if mr == 0.0 {
+                continue;
+            }
+            // Product (Larsen) activation, centroid-weighted aggregation:
+            // with a sum-to-one triangular partition this interpolates
+            // the rule table bilinearly, guaranteeing monotonicity.
+            let w = md * mr;
+            let out = rule(dl, rl);
+            num += w * output_center(out);
+            den += w;
+        }
+    }
+    if den == 0.0 {
+        0.2 // fully out-of-range inputs default to minimal trust
+    } else {
+        num / den
+    }
+}
+
+/// Online reputation from observed job outcomes with exponential decay,
+/// the "job execution history" input of the trust index.
+///
+/// Each observation is a success (1) or failure (0); the reputation is an
+/// exponentially-weighted success rate, starting from an optimistic prior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReputationTracker {
+    value: f64,
+    decay: f64,
+}
+
+impl ReputationTracker {
+    /// Creates a tracker with the given decay factor in `(0, 1)` (weight
+    /// of history vs the newest observation) and an optimistic prior of
+    /// 1.0.
+    ///
+    /// # Panics
+    /// Panics unless `0 < decay < 1`.
+    pub fn new(decay: f64) -> ReputationTracker {
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "decay must be in the open interval (0, 1)"
+        );
+        ReputationTracker { value: 1.0, decay }
+    }
+
+    /// Records one job outcome.
+    pub fn observe(&mut self, success: bool) {
+        let x = if success { 1.0 } else { 0.0 };
+        self.value = self.decay * self.value + (1.0 - self.decay) * x;
+    }
+
+    /// The current reputation in `[0, 1]`.
+    pub fn reputation(&self) -> f64 {
+        self.value
+    }
+
+    /// Convenience: the trust index of this reputation combined with a
+    /// static defense capability.
+    pub fn trust_with_defense(&self, defense: f64) -> f64 {
+        trust_index(defense, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_membership_shape() {
+        let t = Triangle::new(0.0, 0.5, 1.0);
+        assert_eq!(t.membership(0.5), 1.0);
+        assert_eq!(t.membership(0.0), 0.0);
+        assert_eq!(t.membership(1.0), 0.0);
+        assert!((t.membership(0.25) - 0.5).abs() < 1e-12);
+        assert!((t.membership(0.75) - 0.5).abs() < 1e-12);
+        assert_eq!(t.membership(-0.1), 0.0);
+        assert_eq!(t.membership(1.1), 0.0);
+    }
+
+    #[test]
+    fn shoulder_triangles() {
+        let left = Triangle::new(0.0, 0.0, 0.5);
+        assert_eq!(left.membership(0.0), 1.0);
+        assert!((left.membership(0.25) - 0.5).abs() < 1e-12);
+        let right = Triangle::new(0.5, 1.0, 1.0);
+        assert_eq!(right.membership(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a ≤ b ≤ c")]
+    fn bad_triangle_rejected() {
+        let _ = Triangle::new(0.5, 0.2, 1.0);
+    }
+
+    #[test]
+    fn trust_index_extremes() {
+        assert!(trust_index(1.0, 1.0) > 0.85);
+        assert!(trust_index(0.0, 0.0) < 0.25);
+    }
+
+    #[test]
+    fn trust_index_monotone_in_both_inputs() {
+        let grid: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        for &r in &grid {
+            let mut prev = -1.0;
+            for &d in &grid {
+                let t = trust_index(d, r);
+                assert!(t >= prev - 1e-9, "non-monotone in defense at ({d}, {r})");
+                prev = t;
+            }
+        }
+        for &d in &grid {
+            let mut prev = -1.0;
+            for &r in &grid {
+                let t = trust_index(d, r);
+                assert!(t >= prev - 1e-9, "non-monotone in reputation at ({d}, {r})");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn bad_reputation_caps_trust() {
+        // Strong defenses but terrible history: low trust.
+        assert!(trust_index(1.0, 0.0) < 0.4);
+    }
+
+    #[test]
+    fn trust_index_within_output_range() {
+        for i in 0..=20 {
+            for j in 0..=20 {
+                let t = trust_index(i as f64 / 20.0, j as f64 / 20.0);
+                assert!((0.2 - 1e-9..=0.9 + 1e-9).contains(&t), "t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_clamped() {
+        assert_eq!(trust_index(5.0, 5.0), trust_index(1.0, 1.0));
+        assert_eq!(trust_index(-1.0, -2.0), trust_index(0.0, 0.0));
+    }
+
+    #[test]
+    fn reputation_tracks_and_decays() {
+        let mut r = ReputationTracker::new(0.9);
+        assert_eq!(r.reputation(), 1.0);
+        for _ in 0..50 {
+            r.observe(false);
+        }
+        assert!(r.reputation() < 0.05);
+        for _ in 0..100 {
+            r.observe(true);
+        }
+        assert!(r.reputation() > 0.9);
+    }
+
+    #[test]
+    fn reputation_feeds_trust() {
+        let mut r = ReputationTracker::new(0.8);
+        let fresh = r.trust_with_defense(0.9);
+        for _ in 0..30 {
+            r.observe(false);
+        }
+        let burned = r.trust_with_defense(0.9);
+        assert!(burned < fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn decay_bounds_enforced() {
+        let _ = ReputationTracker::new(1.0);
+    }
+}

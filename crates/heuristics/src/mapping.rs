@@ -1,0 +1,220 @@
+//! Low-level batch-mapping algorithms over explicit ETC matrices.
+//!
+//! These functions implement the two-phase greedy loops of Min-Min,
+//! Max-Min and Sufferage against a [`MapCtx`] and a mutable availability
+//! state, returning `(job, site)` pairs in dispatch order. They are pure
+//! with respect to the grid: tests drive them with hand-written
+//! (including inconsistent) ETC matrices such as the paper's Fig. 2
+//! example.
+
+use crate::common::MapCtx;
+use gridsec_core::etc::NodeAvailability;
+use gridsec_core::Time;
+
+/// Min-Min: repeatedly pick the unassigned job whose *best* completion
+/// time is smallest, and assign it there. Ties break on lower job index,
+/// then lower site index (deterministic).
+pub fn map_min_min(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
+    map_by_best(ctx, avail, |best, incumbent| best < incumbent)
+}
+
+/// Max-Min: the dual — pick the unassigned job whose best completion time
+/// is *largest* (runs long jobs early).
+pub fn map_max_min(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
+    map_by_best(ctx, avail, |best, incumbent| best > incumbent)
+}
+
+/// Shared Min-Min / Max-Min skeleton; `prefer(candidate, incumbent)`
+/// decides whether a job's best CT beats the current selection.
+fn map_by_best(
+    ctx: &MapCtx,
+    avail: &mut [NodeAvailability],
+    prefer: impl Fn(Time, Time) -> bool,
+) -> Vec<(usize, usize)> {
+    let n = ctx.n_jobs();
+    let mut unassigned: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    while !unassigned.is_empty() {
+        let mut pick: Option<(usize, usize, Time)> = None; // (pos, site, ct)
+        for (pos, &j) in unassigned.iter().enumerate() {
+            let (s, ct) = ctx
+                .best(avail, j)
+                .expect("every batch job has a feasible candidate");
+            if pick.is_none_or(|(_, _, t)| prefer(ct, t)) {
+                pick = Some((pos, s, ct));
+            }
+        }
+        let (pos, site, _) = pick.expect("non-empty unassigned set");
+        let job = unassigned.remove(pos);
+        ctx.commit(avail, job, site);
+        out.push((job, site));
+    }
+    out
+}
+
+/// Sufferage: repeatedly pick the unassigned job with the largest
+/// *sufferage* (second-best CT − best CT) and assign it to its best site.
+/// A job with a single candidate has sufferage 0.
+pub fn map_sufferage(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
+    let n = ctx.n_jobs();
+    let mut unassigned: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    while !unassigned.is_empty() {
+        let mut pick: Option<(usize, usize, Time)> = None; // (pos, site, sufferage)
+        for (pos, &j) in unassigned.iter().enumerate() {
+            let (s, best, second) = ctx
+                .best_two(avail, j)
+                .expect("every batch job has a feasible candidate");
+            let sufferage = second - best;
+            if pick.is_none_or(|(_, _, v)| sufferage > v) {
+                pick = Some((pos, s, sufferage));
+            }
+        }
+        let (pos, site, _) = pick.expect("non-empty unassigned set");
+        let job = unassigned.remove(pos);
+        ctx.commit(avail, job, site);
+        out.push((job, site));
+    }
+    out
+}
+
+/// Makespan implied by a mapping: latest committed completion time. Takes
+/// a *fresh* availability state and replays the mapping.
+pub fn mapping_makespan(
+    ctx: &MapCtx,
+    mut avail: Vec<NodeAvailability>,
+    mapping: &[(usize, usize)],
+) -> Time {
+    let mut makespan = Time::ZERO;
+    for &(j, s) in mapping {
+        let ct = ctx.commit(&mut avail, j, s);
+        makespan = makespan.max(ct);
+    }
+    makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_core::etc::EtcMatrix;
+
+    /// A hand-constructed inconsistent ETC instance in the spirit of the
+    /// paper's Fig. 2: three jobs, two single-node sites. Min-Min commits
+    /// J2 then J1 to S1 and forces J3 late (makespan 14); Sufferage sees
+    /// J3's huge penalty on S2, gives it S1 first, and finishes at 11.
+    fn fig2_ctx() -> (MapCtx, Vec<NodeAvailability>) {
+        // Rows J1..J3, columns S1, S2.
+        let etc = EtcMatrix::from_raw(3, 2, vec![4.0, 8.0, 3.0, 6.0, 7.0, 18.0]);
+        let ctx = MapCtx {
+            etc,
+            widths: vec![1, 1, 1],
+            arrivals: vec![Time::ZERO; 3],
+            candidates: vec![vec![0, 1]; 3],
+            now: Time::ZERO,
+            commit_order: vec![],
+        };
+        let avail = vec![
+            NodeAvailability::new(1, Time::ZERO),
+            NodeAvailability::new(1, Time::ZERO),
+        ];
+        (ctx, avail)
+    }
+
+    #[test]
+    fn fig2_min_min_schedules_smallest_first() {
+        let (ctx, mut avail) = fig2_ctx();
+        let mapping = map_min_min(&ctx, &mut avail);
+        // J2 (index 1) has the smallest earliest ETC (3 on S1) — first.
+        assert_eq!(mapping[0], (1, 0));
+        // Then J1 stays on S1 (3+4=7 beats 8 on S2), trapping J3.
+        assert_eq!(mapping[1], (0, 0));
+        assert_eq!(mapping[2], (2, 0));
+        let (ctx, avail) = fig2_ctx();
+        let ms = mapping_makespan(&ctx, avail, &mapping);
+        assert_eq!(ms, Time::new(14.0));
+    }
+
+    #[test]
+    fn fig2_sufferage_rescues_the_suffering_job() {
+        let (ctx, mut avail) = fig2_ctx();
+        let mapping = map_sufferage(&ctx, &mut avail);
+        // J3 (index 2) suffers most (18 − 7 = 11) — scheduled first to S1.
+        assert_eq!(mapping[0], (2, 0));
+        let (ctx, avail) = fig2_ctx();
+        let ms = mapping_makespan(&ctx, avail, &mapping);
+        assert_eq!(ms, Time::new(11.0));
+    }
+
+    #[test]
+    fn fig2_sufferage_beats_min_min() {
+        let (ctx, mut a1) = fig2_ctx();
+        let mm = map_min_min(&ctx, &mut a1);
+        let (ctx2, mut a2) = fig2_ctx();
+        let sf = map_sufferage(&ctx2, &mut a2);
+        let (ctx3, a3) = fig2_ctx();
+        let ms_mm = mapping_makespan(&ctx3, a3.clone(), &mm);
+        let ms_sf = mapping_makespan(&ctx3, a3, &sf);
+        assert!(ms_sf < ms_mm, "sufferage {ms_sf} vs min-min {ms_mm}");
+    }
+
+    #[test]
+    fn max_min_runs_long_jobs_first() {
+        let (ctx, mut avail) = fig2_ctx();
+        let mapping = map_max_min(&ctx, &mut avail);
+        // J3's best CT (7) is the largest best — scheduled first.
+        assert_eq!(mapping[0], (2, 0));
+    }
+
+    #[test]
+    fn all_mappings_cover_each_job_once() {
+        let (ctx, a) = fig2_ctx();
+        for f in [map_min_min, map_max_min, map_sufferage] {
+            let mut avail = a.clone();
+            let m = f(&ctx, &mut avail);
+            let mut jobs: Vec<usize> = m.iter().map(|&(j, _)| j).collect();
+            jobs.sort_unstable();
+            assert_eq!(jobs, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn candidates_restrict_assignments() {
+        let etc = EtcMatrix::from_raw(2, 2, vec![1.0, 10.0, 1.0, 10.0]);
+        let ctx = MapCtx {
+            etc,
+            widths: vec![1, 1],
+            arrivals: vec![Time::ZERO; 2],
+            // Job 0 may only use the slow site 1.
+            candidates: vec![vec![1], vec![0, 1]],
+            now: Time::ZERO,
+            commit_order: vec![],
+        };
+        let mut avail = vec![
+            NodeAvailability::new(1, Time::ZERO),
+            NodeAvailability::new(1, Time::ZERO),
+        ];
+        let m = map_min_min(&ctx, &mut avail);
+        let site_of = |j: usize| m.iter().find(|&&(jj, _)| jj == j).unwrap().1;
+        assert_eq!(site_of(0), 1);
+        assert_eq!(site_of(1), 0);
+    }
+
+    #[test]
+    fn arrival_floor_delays_start() {
+        let etc = EtcMatrix::from_raw(1, 1, vec![5.0]);
+        let ctx = MapCtx {
+            etc,
+            widths: vec![1],
+            arrivals: vec![Time::new(100.0)],
+            candidates: vec![vec![0]],
+            now: Time::new(50.0),
+            commit_order: vec![],
+        };
+        let avail = vec![NodeAvailability::new(1, Time::ZERO)];
+        let mut a = avail.clone();
+        let m = map_min_min(&ctx, &mut a);
+        let ms = mapping_makespan(&ctx, avail, &m);
+        // Start no earlier than the arrival (100), not `now` (50).
+        assert_eq!(ms, Time::new(105.0));
+    }
+}

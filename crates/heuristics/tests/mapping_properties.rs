@@ -1,0 +1,121 @@
+//! Property tests for the low-level mapping algorithms over arbitrary
+//! (including inconsistent) ETC matrices.
+
+use gridsec_core::etc::{EtcMatrix, NodeAvailability};
+use gridsec_core::Time;
+use gridsec_heuristics::common::MapCtx;
+use gridsec_heuristics::mapping::{map_max_min, map_min_min, map_sufferage, mapping_makespan};
+use proptest::prelude::*;
+
+/// Random mapping instance: n jobs × m single-node sites with arbitrary
+/// finite execution times, full candidate lists.
+fn arb_instance() -> impl Strategy<Value = (MapCtx, Vec<NodeAvailability>)> {
+    (1usize..12, 1usize..6).prop_flat_map(|(n, m)| {
+        prop::collection::vec(1.0f64..1_000.0, n * m).prop_map(move |data| {
+            let ctx = MapCtx {
+                etc: EtcMatrix::from_raw(n, m, data),
+                widths: vec![1; n],
+                arrivals: vec![Time::ZERO; n],
+                candidates: vec![(0..m).collect(); n],
+                now: Time::ZERO,
+                commit_order: vec![],
+            };
+            let avail = vec![NodeAvailability::new(1, Time::ZERO); m];
+            (ctx, avail)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mappings_are_permutations((ctx, avail) in arb_instance()) {
+        for f in [map_min_min, map_max_min, map_sufferage] {
+            let mut a = avail.clone();
+            let mapping = f(&ctx, &mut a);
+            let mut jobs: Vec<usize> = mapping.iter().map(|&(j, _)| j).collect();
+            jobs.sort_unstable();
+            prop_assert_eq!(jobs, (0..ctx.n_jobs()).collect::<Vec<_>>());
+            for &(_, s) in &mapping {
+                prop_assert!(s < ctx.etc.n_sites());
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_best_single_exec((ctx, avail) in arb_instance()) {
+        // Any schedule's makespan is ≥ the largest per-job minimum exec.
+        let lb = (0..ctx.n_jobs())
+            .map(|j| {
+                ctx.etc
+                    .row(j)
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0f64, f64::max);
+        for f in [map_min_min, map_max_min, map_sufferage] {
+            let mut a = avail.clone();
+            let mapping = f(&ctx, &mut a);
+            let ms = mapping_makespan(&ctx, avail.clone(), &mapping);
+            prop_assert!(ms.seconds() >= lb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn makespan_at_most_serial_sum((ctx, avail) in arb_instance()) {
+        // Upper bound: running every job serially at its *worst* time.
+        let ub: f64 = (0..ctx.n_jobs())
+            .map(|j| {
+                ctx.etc
+                    .row(j)
+                    .iter()
+                    .copied()
+                    .filter(|t| t.is_finite())
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        for f in [map_min_min, map_max_min, map_sufferage] {
+            let mut a = avail.clone();
+            let mapping = f(&ctx, &mut a);
+            let ms = mapping_makespan(&ctx, avail.clone(), &mapping);
+            prop_assert!(ms.seconds() <= ub + 1e-6);
+        }
+    }
+
+    #[test]
+    fn min_min_greedy_invariant((ctx, avail) in arb_instance()) {
+        // The first Min-Min pick has the globally smallest completion time
+        // on an idle grid — i.e. the smallest ETC entry of the matrix.
+        let mut a = avail.clone();
+        let mapping = map_min_min(&ctx, &mut a);
+        let (j0, s0) = mapping[0];
+        let first_ct = ctx.etc.get(j0, s0);
+        let global_min = ctx
+            .etc
+            .raw()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((first_ct - global_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restricted_candidates_are_honoured(
+        (ctx, avail) in arb_instance(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        // Restrict one job to a single site; every mapping must comply.
+        let mut ctx = ctx;
+        let j = pick.index(ctx.n_jobs());
+        let s = pick.index(ctx.etc.n_sites());
+        ctx.candidates[j] = vec![s];
+        for f in [map_min_min, map_max_min, map_sufferage] {
+            let mut a = avail.clone();
+            let mapping = f(&ctx, &mut a);
+            let (_, site) = mapping.iter().find(|&&(jj, _)| jj == j).unwrap();
+            prop_assert_eq!(*site, s);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Replication wrapper: DFTS-style fault tolerance (Abawajy, the paper's
+//! ref. \[1\]) on top of any base scheduler.
+//!
+//! The wrapped scheduler produces its normal assignment; for every job
+//! whose chosen site is *risky* (failure probability above a threshold),
+//! the wrapper adds a backup replica on the best *safe* site (earliest
+//! completion among sites with `SL ≥ SD`), when one exists. The engine
+//! completes the job with whichever replica succeeds first, so a primary
+//! failure no longer costs a full reschedule round-trip — at the price of
+//! the backup's resource consumption.
+//!
+//! Use with [`SimConfig::with_max_replicas`](crate::SimConfig) ≥ 2.
+
+use crate::scheduler::{BatchJob, BatchScheduler, GridView};
+use gridsec_core::etc::NodeAvailability;
+use gridsec_core::{BatchSchedule, SiteId, Time};
+
+/// Wraps a scheduler, replicating risky placements onto safe sites.
+pub struct Replicated<S> {
+    inner: S,
+    /// Replicate when the primary's failure probability exceeds this.
+    threshold: f64,
+}
+
+impl<S> Replicated<S> {
+    /// Creates the wrapper; placements with `P(fail) > threshold` get a
+    /// backup replica.
+    pub fn new(inner: S, threshold: f64) -> Replicated<S> {
+        Replicated {
+            inner,
+            threshold: threshold.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: BatchScheduler> BatchScheduler for Replicated<S> {
+    fn name(&self) -> String {
+        format!("Replicated[{}]", self.inner.name())
+    }
+
+    fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule {
+        let base = self.inner.schedule(batch, view);
+        // Track commitments of the base schedule so backup completion
+        // estimates account for the primaries.
+        let mut avail: Vec<NodeAvailability> = view.avail_clone();
+        for a in &base.assignments {
+            if let Some(bj) = batch.iter().find(|b| b.job.id == a.job) {
+                let site = view.grid.site(a.site);
+                if let Some(start) =
+                    avail[a.site.0].earliest_start(bj.job.width, view.now.max(bj.job.arrival))
+                {
+                    avail[a.site.0].commit(bj.job.width, start + bj.job.exec_time(site.speed));
+                }
+            }
+        }
+        let mut out = base.clone();
+        for a in &base.assignments {
+            let Some(bj) = batch.iter().find(|b| b.job.id == a.job) else {
+                continue;
+            };
+            let primary = view.grid.site(a.site);
+            let p = view
+                .model
+                .fail_probability(bj.job.security_demand, primary.security_level);
+            if p <= self.threshold {
+                continue;
+            }
+            // Best safe backup site, excluding the primary.
+            let mut best: Option<(SiteId, Time)> = None;
+            for site in view.grid.sites() {
+                if site.id == a.site
+                    || !site.fits_width(bj.job.width)
+                    || bj.job.security_demand > site.security_level
+                {
+                    continue;
+                }
+                let Some(start) =
+                    avail[site.id.0].earliest_start(bj.job.width, view.now.max(bj.job.arrival))
+                else {
+                    continue;
+                };
+                let ct = start + bj.job.exec_time(site.speed);
+                if best.is_none_or(|(_, t)| ct < t) {
+                    best = Some((site.id, ct));
+                }
+            }
+            if let Some((backup, ct)) = best {
+                avail[backup.0].commit(bj.job.width, ct);
+                out.push(bj.job.id, backup);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::simulate;
+    use crate::scheduler::EarliestCompletion;
+    use gridsec_core::{Grid, Job, Site};
+
+    fn risky_grid() -> Grid {
+        Grid::new(vec![
+            Site::builder(0)
+                .nodes(2)
+                .speed(10.0)
+                .security_level(0.1)
+                .build()
+                .unwrap(),
+            Site::builder(1)
+                .nodes(2)
+                .speed(1.0)
+                .security_level(0.95)
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn jobs(n: u64) -> Vec<Job> {
+        (0..n)
+            .map(|i| {
+                Job::builder(i)
+                    .arrival(Time::new(i as f64 * 5.0))
+                    .work(40.0)
+                    .security_demand(0.9)
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replication_reduces_failed_reschedules() {
+        let grid = risky_grid();
+        let workload = jobs(40);
+        // λ large → the fast unsafe site almost always fails.
+        let base_config = SimConfig::default()
+            .with_interval(Time::new(20.0))
+            .with_lambda(50.0)
+            .unwrap();
+        let plain = simulate(&workload, &grid, &mut EarliestCompletion, &base_config).unwrap();
+        let repl_config = base_config.clone().with_max_replicas(2);
+        let replicated = simulate(
+            &workload,
+            &grid,
+            &mut Replicated::new(EarliestCompletion, 0.5),
+            &repl_config,
+        )
+        .unwrap();
+        assert_eq!(replicated.metrics.n_jobs, 40);
+        assert!(replicated.replica_dispatches > 0);
+        // With a safe backup racing every risky primary, jobs never need
+        // the fail-and-reschedule path.
+        assert!(
+            replicated.metrics.n_fail <= plain.metrics.n_fail,
+            "replicated {} vs plain {}",
+            replicated.metrics.n_fail,
+            plain.metrics.n_fail
+        );
+        assert!(replicated.metrics.avg_response <= plain.metrics.avg_response * 1.5);
+    }
+
+    #[test]
+    fn no_replication_below_threshold() {
+        let grid = Grid::new(vec![Site::builder(0)
+            .nodes(4)
+            .security_level(1.0)
+            .build()
+            .unwrap()])
+        .unwrap();
+        let workload = jobs(10);
+        let config = SimConfig::default()
+            .with_interval(Time::new(20.0))
+            .with_max_replicas(2);
+        let out = simulate(
+            &workload,
+            &grid,
+            &mut Replicated::new(EarliestCompletion, 0.2),
+            &config,
+        )
+        .unwrap();
+        // Everything is safe → wrapper adds nothing.
+        assert_eq!(out.replica_dispatches, 0);
+    }
+
+    #[test]
+    fn wrapper_name_reflects_inner() {
+        let r = Replicated::new(EarliestCompletion, 0.5);
+        assert_eq!(r.name(), "Replicated[MCT]");
+    }
+}

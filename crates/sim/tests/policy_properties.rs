@@ -1,0 +1,135 @@
+//! Property tests for the engine's batching policies and replication
+//! handling: for any workload, every policy must drain every job, honour
+//! batch-size bounds, and keep the metric identities.
+
+use gridsec_core::{Grid, Job, Site, Time};
+use gridsec_sim::scheduler::EarliestCompletion;
+use gridsec_sim::{simulate, BatchPolicy, SimConfig};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (1.0f64..2_000.0, 0.0f64..20_000.0, 0.0f64..=1.0, 1u32..=4),
+        1..60,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (work, arrival, sd, width))| {
+                Job::builder(i as u64)
+                    .work(work)
+                    .arrival(Time::new(arrival))
+                    .security_demand(sd)
+                    .width(width)
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    })
+}
+
+fn grid() -> Grid {
+    Grid::new(vec![
+        Site::builder(0)
+            .nodes(4)
+            .speed(1.0)
+            .security_level(0.5)
+            .build()
+            .unwrap(),
+        Site::builder(1)
+            .nodes(4)
+            .speed(2.0)
+            .security_level(0.9)
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_policy_drains_every_job(
+        jobs in arb_workload(),
+        trigger in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let g = grid();
+        for policy in [
+            BatchPolicy::Periodic,
+            BatchPolicy::CountTriggered(trigger),
+            BatchPolicy::Hybrid(trigger),
+        ] {
+            let config = SimConfig::default()
+                .with_interval(Time::new(500.0))
+                .with_batch_policy(policy)
+                .with_seed(seed);
+            let out = simulate(&jobs, &g, &mut EarliestCompletion, &config).unwrap();
+            prop_assert_eq!(out.metrics.n_jobs, jobs.len());
+            prop_assert!(out.metrics.n_fail <= out.metrics.n_risk);
+            prop_assert!(out.metrics.slowdown_ratio >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn count_trigger_bounds_arrival_batches(
+        jobs in arb_workload(),
+        trigger in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        let g = grid();
+        let config = SimConfig::default()
+            .with_interval(Time::new(1_000.0))
+            .with_batch_policy(BatchPolicy::CountTriggered(trigger))
+            .with_seed(seed);
+        let out = simulate(&jobs, &g, &mut EarliestCompletion, &config).unwrap();
+        // Arrivals can only accumulate to the trigger before a batch
+        // fires; retried (failed) jobs may add at most a handful on top.
+        prop_assert!(
+            out.max_batch_size <= trigger + out.metrics.n_fail.max(1),
+            "batch {} vs trigger {} (+{} failures)",
+            out.max_batch_size,
+            trigger,
+            out.metrics.n_fail
+        );
+    }
+
+    #[test]
+    fn timeline_attempt_count_matches_failures(
+        jobs in arb_workload(),
+        seed in 0u64..200,
+    ) {
+        let g = grid();
+        let config = SimConfig::default()
+            .with_interval(Time::new(500.0))
+            .with_seed(seed)
+            .with_timeline();
+        let out = simulate(&jobs, &g, &mut EarliestCompletion, &config).unwrap();
+        let tl = out.timeline.expect("requested");
+        let failed_spans = tl.spans().iter().filter(|s| s.failed).count();
+        // Without replication, attempts = jobs + failed attempts, and
+        // every failed attempt is a recorded failure of some job.
+        prop_assert_eq!(tl.len(), jobs.len() + failed_spans);
+        prop_assert!(failed_spans >= out.metrics.n_fail);
+    }
+
+    #[test]
+    fn seeds_fully_determine_output(
+        jobs in arb_workload(),
+        seed in 0u64..200,
+    ) {
+        let g = grid();
+        let config = SimConfig::default()
+            .with_interval(Time::new(750.0))
+            .with_seed(seed);
+        let mut a = simulate(&jobs, &g, &mut EarliestCompletion, &config).unwrap();
+        let mut b = simulate(&jobs, &g, &mut EarliestCompletion, &config).unwrap();
+        // Wall-clock scheduler time is the only legitimately
+        // non-deterministic field.
+        a.scheduler_seconds = 0.0;
+        b.scheduler_seconds = 0.0;
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Analytic validation of the simulator against queueing theory.
+//!
+//! A single 1-node site fed Poisson arrivals with exponential service and
+//! an immediate dispatcher is (nearly) an M/M/1 queue — the only deviation
+//! is the batching delay, which we make negligible by using a tiny batch
+//! period. M/M/1 predicts the mean *sojourn* (response) time
+//! `W = 1 / (μ − λ)`; the simulated mean response must land close to it.
+//!
+//! This is a strong end-to-end correctness check: it exercises arrivals,
+//! batching, reservation, dispatch and the metrics pipeline against an
+//! exact closed-form result that was never used in the implementation.
+
+use gridsec_core::rng::{stream, Stream};
+use gridsec_core::{Grid, Job, Site, Time};
+use gridsec_sim::scheduler::EarliestCompletion;
+use gridsec_sim::{simulate, SimConfig};
+use rand::Rng;
+
+/// Generates `n` jobs with Poisson(λ) arrivals and Exp(μ) service.
+fn mm1_workload(n: usize, lambda: f64, mu: f64, seed: u64) -> Vec<Job> {
+    let mut rng = stream(seed, Stream::Workload);
+    let mut t = 0.0;
+    (0..n)
+        .map(|i| {
+            let ua: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -ua.ln() / lambda;
+            let us: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let service = (-us.ln() / mu).max(1e-6);
+            Job::builder(i as u64)
+                .arrival(Time::new(t))
+                .work(service)
+                .security_demand(0.0) // always safe: no failure noise
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn run_mm1(lambda: f64, mu: f64, n: usize, seed: u64) -> f64 {
+    let grid = Grid::new(vec![Site::builder(0)
+        .nodes(1)
+        .speed(1.0)
+        .security_level(1.0)
+        .build()
+        .unwrap()])
+    .unwrap();
+    let jobs = mm1_workload(n, lambda, mu, seed);
+    // Batch period ≪ mean inter-arrival so batching delay is negligible
+    // relative to W.
+    let config = SimConfig::default()
+        .with_interval(Time::new(0.01 / lambda))
+        .with_seed(seed);
+    let out = simulate(&jobs, &grid, &mut EarliestCompletion, &config).unwrap();
+    assert_eq!(out.metrics.n_jobs, n);
+    out.metrics.avg_response
+}
+
+#[test]
+fn mm1_mean_response_matches_theory_at_moderate_load() {
+    // ρ = 0.5: W = 1 / (μ − λ) = 1 / (2 − 1) = 1.
+    let lambda = 1.0;
+    let mu = 2.0;
+    let analytic = 1.0 / (mu - lambda);
+    // Average over several seeds to tame M/M/1's heavy response variance.
+    let runs = 6;
+    let mean: f64 = (0..runs)
+        .map(|s| run_mm1(lambda, mu, 20_000, 1_000 + s))
+        .sum::<f64>()
+        / runs as f64;
+    let rel_err = (mean - analytic).abs() / analytic;
+    assert!(
+        rel_err < 0.10,
+        "simulated W = {mean:.4}, analytic W = {analytic:.4}, rel err {rel_err:.3}"
+    );
+}
+
+#[test]
+fn mm1_mean_response_matches_theory_at_high_load() {
+    // ρ = 0.8: W = 1 / (2 − 1.6) = 2.5. Longer queues, harder test.
+    let lambda = 1.6;
+    let mu = 2.0;
+    let analytic = 1.0 / (mu - lambda);
+    let runs = 6;
+    let mean: f64 = (0..runs)
+        .map(|s| run_mm1(lambda, mu, 40_000, 2_000 + s))
+        .sum::<f64>()
+        / runs as f64;
+    let rel_err = (mean - analytic).abs() / analytic;
+    assert!(
+        rel_err < 0.15,
+        "simulated W = {mean:.4}, analytic W = {analytic:.4}, rel err {rel_err:.3}"
+    );
+}
+
+#[test]
+fn utilization_matches_rho() {
+    // M/M/1 utilisation is ρ = λ/μ; measured over the makespan horizon it
+    // converges to ρ for long runs.
+    let lambda = 1.0;
+    let mu = 2.0;
+    let grid = Grid::new(vec![Site::builder(0).nodes(1).build().unwrap()]).unwrap();
+    let jobs = mm1_workload(30_000, lambda, mu, 77);
+    let config = SimConfig::default().with_interval(Time::new(0.01));
+    let out = simulate(&jobs, &grid, &mut EarliestCompletion, &config).unwrap();
+    let rho = lambda / mu;
+    let measured = out.metrics.overall_utilization / 100.0;
+    assert!(
+        (measured - rho).abs() < 0.03,
+        "utilisation {measured:.3} vs ρ = {rho}"
+    );
+}

@@ -1,0 +1,296 @@
+//! Fitness evaluation: the completion time of the schedule a chromosome
+//! encodes (§3: "the fitness value … is the completion time of the
+//! schedule represented by the solution"; smallest is best).
+//!
+//! Many schedules share the same makespan (only the site finishing last
+//! matters), so the fitness adds a *flow* term — the mean job completion
+//! time scaled by a configurable weight
+//! ([`GaParams::flow_weight`](crate::GaParams), default
+//! [`DEFAULT_FLOW_WEIGHT`]) — that steers the GA toward schedules that
+//! also finish the *other* jobs early. At the default weight it acts as a
+//! pure tie-breaker; larger weights trade batch makespan for throughput,
+//! which matters in the on-line setting (ablation `flow_weight` in
+//! `gridsec-bench`).
+
+use crate::chromosome::Chromosome;
+use gridsec_core::etc::NodeAvailability;
+use gridsec_core::Time;
+use gridsec_heuristics::common::MapCtx;
+use serde::{Deserialize, Serialize};
+
+/// Default weight of the mean-completion (flow) term relative to the
+/// makespan: small enough to act as a pure tie-breaker.
+pub const DEFAULT_FLOW_WEIGHT: f64 = 1e-4;
+
+/// Which quantity the GA minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FitnessKind {
+    /// Batch makespan (the paper's fitness), with the mean-completion
+    /// tie-break.
+    #[default]
+    Makespan,
+    /// Batch makespan with each risky execution inflated by its expected
+    /// number of attempts `1/(1−P_fail)` — a risk-aware ablation variant
+    /// (not used by the paper's base STGA).
+    ExpectedMakespan,
+}
+
+/// Security context needed by [`FitnessKind::ExpectedMakespan`]: per-job ×
+/// per-site expected-attempt multipliers (1.0 where `SD ≤ SL`).
+#[derive(Debug, Clone)]
+pub struct RiskWeights {
+    n_sites: usize,
+    weights: Vec<f64>,
+}
+
+impl RiskWeights {
+    /// Builds the multiplier table from per-job demands and per-site
+    /// levels under a security model.
+    pub fn build(model: &gridsec_core::SecurityModel, sds: &[f64], sls: &[f64]) -> RiskWeights {
+        let n_sites = sls.len();
+        let mut weights = Vec::with_capacity(sds.len() * n_sites);
+        for &sd in sds {
+            for &sl in sls {
+                let w = model.expected_attempts(sd, sl);
+                weights.push(if w.is_finite() { w } else { 1e9 });
+            }
+        }
+        RiskWeights { n_sites, weights }
+    }
+
+    /// Multiplier for batch job `j` on site `s`.
+    #[inline]
+    pub fn get(&self, j: usize, s: usize) -> f64 {
+        self.weights[j * self.n_sites + s]
+    }
+}
+
+/// Resets `scratch` to mirror `base` without reallocating inner buffers.
+pub fn reset_scratch(scratch: &mut Vec<NodeAvailability>, base: &[NodeAvailability]) {
+    scratch.truncate(base.len());
+    for (i, b) in base.iter().enumerate() {
+        if i < scratch.len() {
+            scratch[i].clone_from(b);
+        } else {
+            scratch.push(b.clone());
+        }
+    }
+}
+
+/// Evaluates a chromosome against a caller-provided scratch availability
+/// buffer (reused across calls — the hot path of the GA).
+pub fn evaluate_with_scratch(
+    ctx: &MapCtx,
+    base_avail: &[NodeAvailability],
+    scratch: &mut Vec<NodeAvailability>,
+    chromosome: &Chromosome,
+    kind: FitnessKind,
+    risk: Option<&RiskWeights>,
+    flow_weight: f64,
+) -> f64 {
+    debug_assert_eq!(chromosome.len(), ctx.n_jobs());
+    reset_scratch(scratch, base_avail);
+    let mut makespan = Time::ZERO;
+    let mut sum_ct = 0.0;
+    for j in ctx.order_iter() {
+        let s = chromosome.site_of(j);
+        let exec = ctx.etc.get(j, s);
+        if !exec.is_finite() {
+            return f64::INFINITY;
+        }
+        let exec = match kind {
+            FitnessKind::Makespan => exec,
+            FitnessKind::ExpectedMakespan => exec * risk.map_or(1.0, |r| r.get(j, s)),
+        };
+        let start = match scratch[s].earliest_start(ctx.widths[j], ctx.now.max(ctx.arrivals[j])) {
+            Some(t) => t,
+            None => return f64::INFINITY,
+        };
+        let ct = start + Time::new(exec);
+        scratch[s].commit(ctx.widths[j], ct);
+        makespan = makespan.max(ct);
+        sum_ct += ct.seconds();
+    }
+    makespan.seconds() + flow_weight * (sum_ct / ctx.n_jobs() as f64)
+}
+
+/// Convenience wrapper allocating its own scratch buffer: replays the
+/// chromosome's assignments (in batch order) and returns the fitness.
+/// Infeasible genes (non-fitting sites) yield `f64::INFINITY`, so they can
+/// never win selection.
+pub fn evaluate(
+    ctx: &MapCtx,
+    base_avail: &[NodeAvailability],
+    chromosome: &Chromosome,
+    kind: FitnessKind,
+    risk: Option<&RiskWeights>,
+) -> f64 {
+    let mut scratch = Vec::with_capacity(base_avail.len());
+    evaluate_with_scratch(
+        ctx,
+        base_avail,
+        &mut scratch,
+        chromosome,
+        kind,
+        risk,
+        DEFAULT_FLOW_WEIGHT,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_core::etc::EtcMatrix;
+    use gridsec_core::SecurityModel;
+
+    fn ctx2() -> (MapCtx, Vec<NodeAvailability>) {
+        // 2 jobs × 2 single-node sites.
+        let etc = EtcMatrix::from_raw(2, 2, vec![10.0, 20.0, 30.0, 15.0]);
+        let ctx = MapCtx {
+            etc,
+            widths: vec![1, 1],
+            arrivals: vec![Time::ZERO; 2],
+            candidates: vec![vec![0, 1]; 2],
+            now: Time::ZERO,
+            commit_order: vec![],
+        };
+        let avail = vec![
+            NodeAvailability::new(1, Time::ZERO),
+            NodeAvailability::new(1, Time::ZERO),
+        ];
+        (ctx, avail)
+    }
+
+    /// Strips the tie-break term for exact-makespan assertions.
+    fn close(actual: f64, makespan: f64) -> bool {
+        (actual - makespan).abs() <= DEFAULT_FLOW_WEIGHT * makespan * 2.0 + 1e-9
+    }
+
+    #[test]
+    fn fitness_is_schedule_makespan_plus_tiebreak() {
+        let (ctx, avail) = ctx2();
+        // Both jobs on site 0: 10 then 10+30 = 40.
+        let c = Chromosome::from_genes(vec![0, 0]);
+        let f = evaluate(&ctx, &avail, &c, FitnessKind::Makespan, None);
+        assert!(close(f, 40.0), "f = {f}");
+        // Split: max(10, 15) = 15.
+        let c = Chromosome::from_genes(vec![0, 1]);
+        let f = evaluate(&ctx, &avail, &c, FitnessKind::Makespan, None);
+        assert!(close(f, 15.0), "f = {f}");
+        // Swapped: max(20, 30) = 30.
+        let c = Chromosome::from_genes(vec![1, 0]);
+        let f = evaluate(&ctx, &avail, &c, FitnessKind::Makespan, None);
+        assert!(close(f, 30.0), "f = {f}");
+    }
+
+    #[test]
+    fn tiebreak_prefers_earlier_average_completion() {
+        // Two schedules with the *same* makespan (100) but different mean
+        // completion: A gives CTs {100, 99} (mean 99.5), B gives {100, 50}
+        // (mean 75). The tie-break must rank B strictly better.
+        let etc = EtcMatrix::from_raw(2, 2, vec![100.0, 100.0, 50.0, 99.0]);
+        let ctx = MapCtx {
+            etc,
+            widths: vec![1, 1],
+            arrivals: vec![Time::ZERO; 2],
+            candidates: vec![vec![0, 1]; 2],
+            now: Time::ZERO,
+            commit_order: vec![],
+        };
+        let avail = vec![
+            NodeAvailability::new(1, Time::ZERO),
+            NodeAvailability::new(1, Time::ZERO),
+        ];
+        let a = Chromosome::from_genes(vec![0, 1]); // CTs 100, 99
+        let b = Chromosome::from_genes(vec![1, 0]); // CTs 100, 50
+        let fa = evaluate(&ctx, &avail, &a, FitnessKind::Makespan, None);
+        let fb = evaluate(&ctx, &avail, &b, FitnessKind::Makespan, None);
+        assert!(fb < fa, "tie-break should prefer B: {fb} vs {fa}");
+        // But the tie-break never overrides a real makespan difference.
+        let worse = Chromosome::from_genes(vec![0, 0]); // CTs 100, 150
+        let fw = evaluate(&ctx, &avail, &worse, FitnessKind::Makespan, None);
+        assert!(fw > fa);
+    }
+
+    #[test]
+    fn infeasible_gene_is_infinite() {
+        let etc = EtcMatrix::from_raw(1, 2, vec![10.0, f64::INFINITY]);
+        let ctx = MapCtx {
+            etc,
+            widths: vec![1],
+            arrivals: vec![Time::ZERO],
+            candidates: vec![vec![0]],
+            now: Time::ZERO,
+            commit_order: vec![],
+        };
+        let avail = vec![
+            NodeAvailability::new(1, Time::ZERO),
+            NodeAvailability::new(1, Time::ZERO),
+        ];
+        let c = Chromosome::from_genes(vec![1]);
+        assert!(evaluate(&ctx, &avail, &c, FitnessKind::Makespan, None).is_infinite());
+    }
+
+    #[test]
+    fn fitness_respects_preexisting_load() {
+        let (ctx, mut avail) = ctx2();
+        avail[1].commit(1, Time::new(100.0));
+        let c = Chromosome::from_genes(vec![0, 1]);
+        // Job 1 on busy site 1: 100 + 15 = 115.
+        let f = evaluate(&ctx, &avail, &c, FitnessKind::Makespan, None);
+        assert!(close(f, 115.0), "f = {f}");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let (ctx, avail) = ctx2();
+        let c = Chromosome::from_genes(vec![0, 1]);
+        let fresh = evaluate(&ctx, &avail, &c, FitnessKind::Makespan, None);
+        let mut scratch = Vec::new();
+        for _ in 0..3 {
+            let reused = evaluate_with_scratch(
+                &ctx,
+                &avail,
+                &mut scratch,
+                &c,
+                FitnessKind::Makespan,
+                None,
+                DEFAULT_FLOW_WEIGHT,
+            );
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn reset_scratch_handles_size_changes() {
+        let base3 = vec![NodeAvailability::new(2, Time::ZERO); 3];
+        let base1 = vec![NodeAvailability::new(4, Time::new(5.0))];
+        let mut scratch = Vec::new();
+        reset_scratch(&mut scratch, &base3);
+        assert_eq!(scratch, base3);
+        reset_scratch(&mut scratch, &base1);
+        assert_eq!(scratch, base1);
+        reset_scratch(&mut scratch, &base3);
+        assert_eq!(scratch, base3);
+    }
+
+    #[test]
+    fn expected_makespan_penalises_risky_sites() {
+        let model = SecurityModel::new(3.0).unwrap();
+        // Job 0 has SD 0.9; site 0 is unsafe (SL 0.4), site 1 safe (1.0).
+        let risk = RiskWeights::build(&model, &[0.9, 0.5], &[0.4, 1.0]);
+        assert!(risk.get(0, 0) > 1.0);
+        assert_eq!(risk.get(0, 1), 1.0);
+        // SD 0.5 > SL 0.4: risky, multiplier above 1 (but small gap).
+        assert!(risk.get(1, 0) > 1.0 && risk.get(1, 0) < risk.get(0, 0));
+        assert_eq!(risk.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn risk_weights_boundary() {
+        let model = SecurityModel::new(3.0).unwrap();
+        let risk = RiskWeights::build(&model, &[0.5], &[0.5, 0.6]);
+        assert_eq!(risk.get(0, 0), 1.0); // SD == SL: safe
+        assert_eq!(risk.get(0, 1), 1.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The generic GA engine: selection → crossover → mutation → elitism,
+//! with rayon-parallel, allocation-free fitness evaluation.
+
+use crate::chromosome::Chromosome;
+use crate::fitness::{evaluate_with_scratch, FitnessKind, RiskWeights};
+use crate::ops::{crossover, mutate};
+use crate::params::GaParams;
+use crate::selection::{elite_indices, RouletteWheel};
+use gridsec_core::etc::NodeAvailability;
+use gridsec_heuristics::common::MapCtx;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Outcome of one evolution run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaResult {
+    /// The best chromosome found.
+    pub best: Chromosome,
+    /// Its fitness (batch makespan + tie-break, seconds).
+    pub best_fitness: f64,
+    /// Best fitness after each generation (index 0 = initial population),
+    /// for convergence plots (Fig. 5 / Fig. 7b). Shorter than
+    /// `generations + 1` only when `stall_limit` stopped evolution early.
+    pub trajectory: Vec<f64>,
+}
+
+/// Evolves `initial` over `params.generations` generations and returns the
+/// best solution seen. The initial population is padded with random
+/// feasible chromosomes (or truncated) to `params.population`.
+///
+/// Single-job batches are solved exactly by enumeration — the GA could
+/// only ever rediscover the best site, so the engine skips straight to it.
+///
+/// Determinism: all stochastic choices flow from `rng`; fitness evaluation
+/// is data-parallel but side-effect-free.
+pub fn evolve<R: Rng + ?Sized>(
+    ctx: &MapCtx,
+    base_avail: &[NodeAvailability],
+    initial: Vec<Chromosome>,
+    params: &GaParams,
+    kind: FitnessKind,
+    risk: Option<&RiskWeights>,
+    rng: &mut R,
+) -> GaResult {
+    evolve_population(ctx, base_avail, initial, params, kind, risk, rng).0
+}
+
+/// Like [`evolve`], but also returns the final population and its fitness
+/// values — the building block of the island-model GA
+/// ([`crate::islands`]), which keeps populations alive across migration
+/// epochs.
+pub fn evolve_population<R: Rng + ?Sized>(
+    ctx: &MapCtx,
+    base_avail: &[NodeAvailability],
+    initial: Vec<Chromosome>,
+    params: &GaParams,
+    kind: FitnessKind,
+    risk: Option<&RiskWeights>,
+    rng: &mut R,
+) -> (GaResult, Vec<Chromosome>, Vec<f64>) {
+    params.validate().expect("GA parameters must be valid");
+    let n = ctx.n_jobs();
+    assert!(n > 0, "cannot evolve an empty batch");
+
+    if n == 1 {
+        let r = solve_single_job(ctx, base_avail, params, kind, risk);
+        let fitness = vec![r.best_fitness];
+        let population = vec![r.best.clone()];
+        return (r, population, fitness);
+    }
+
+    let mut population: Vec<Chromosome> = initial
+        .into_iter()
+        .filter(|c| c.len() == n)
+        .take(params.population)
+        .collect();
+    while population.len() < params.population {
+        population.push(Chromosome::random(&ctx.candidates, rng));
+    }
+
+    let eval_all = |pop: &[Chromosome]| -> Vec<f64> {
+        pop.par_iter()
+            .map_init(Vec::new, |scratch, c| {
+                evaluate_with_scratch(ctx, base_avail, scratch, c, kind, risk, params.flow_weight)
+            })
+            .collect()
+    };
+
+    let mut fitness = eval_all(&population);
+    let (mut best, mut best_fitness) = current_best(&population, &fitness);
+    let mut trajectory = Vec::with_capacity(params.generations + 1);
+    trajectory.push(best_fitness);
+    let mut stall = 0usize;
+
+    for _ in 0..params.generations {
+        let wheel = RouletteWheel::build(&fitness);
+        let mut next: Vec<Chromosome> = elite_indices(&fitness, params.elitism)
+            .into_iter()
+            .map(|i| population[i].clone())
+            .collect();
+        while next.len() < params.population {
+            let pa = &population[wheel.spin(rng)];
+            let pb = &population[wheel.spin(rng)];
+            let (mut ca, mut cb) = if rng.gen::<f64>() < params.crossover_prob {
+                crossover(pa, pb, rng)
+            } else {
+                (pa.clone(), pb.clone())
+            };
+            if rng.gen::<f64>() < params.mutation_prob {
+                mutate(&mut ca, &ctx.candidates, rng);
+            }
+            if rng.gen::<f64>() < params.mutation_prob {
+                mutate(&mut cb, &ctx.candidates, rng);
+            }
+            next.push(ca);
+            if next.len() < params.population {
+                next.push(cb);
+            }
+        }
+        population = next;
+        fitness = eval_all(&population);
+        let (gen_best, gen_fit) = current_best(&population, &fitness);
+        if gen_fit < best_fitness {
+            best = gen_best;
+            best_fitness = gen_fit;
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+        trajectory.push(best_fitness);
+        if let Some(limit) = params.stall_limit {
+            if stall >= limit {
+                break;
+            }
+        }
+    }
+
+    (
+        GaResult {
+            best,
+            best_fitness,
+            trajectory,
+        },
+        population,
+        fitness,
+    )
+}
+
+/// Exact solution for a single-job batch: try every candidate site.
+fn solve_single_job(
+    ctx: &MapCtx,
+    base_avail: &[NodeAvailability],
+    params: &GaParams,
+    kind: FitnessKind,
+    risk: Option<&RiskWeights>,
+) -> GaResult {
+    let mut scratch = Vec::with_capacity(base_avail.len());
+    let mut best: Option<(Chromosome, f64)> = None;
+    for &s in &ctx.candidates[0] {
+        let c = Chromosome::from_genes(vec![s as u16]);
+        let f = evaluate_with_scratch(
+            ctx,
+            base_avail,
+            &mut scratch,
+            &c,
+            kind,
+            risk,
+            params.flow_weight,
+        );
+        if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
+            best = Some((c, f));
+        }
+    }
+    let (best, best_fitness) = best.expect("single job has at least one candidate");
+    GaResult {
+        best,
+        best_fitness,
+        trajectory: vec![best_fitness; params.generations + 1],
+    }
+}
+
+fn current_best(population: &[Chromosome], fitness: &[f64]) -> (Chromosome, f64) {
+    let mut bi = 0;
+    for i in 1..fitness.len() {
+        if fitness[i] < fitness[bi] {
+            bi = i;
+        }
+    }
+    (population[bi].clone(), fitness[bi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_core::etc::EtcMatrix;
+    use gridsec_core::rng::{stream, Stream};
+    use gridsec_core::Time;
+
+    /// 6 jobs × 3 identical single-node sites; optimum spreads the load.
+    fn ctx() -> (MapCtx, Vec<NodeAvailability>) {
+        let n = 6;
+        let m = 3;
+        let mut etc = Vec::new();
+        for j in 0..n {
+            for _ in 0..m {
+                etc.push(10.0 * (j + 1) as f64);
+            }
+        }
+        let ctx = MapCtx {
+            etc: EtcMatrix::from_raw(n, m, etc),
+            widths: vec![1; n],
+            arrivals: vec![Time::ZERO; n],
+            candidates: vec![(0..m).collect(); n],
+            now: Time::ZERO,
+            commit_order: vec![],
+        };
+        let avail = vec![NodeAvailability::new(1, Time::ZERO); m];
+        (ctx, avail)
+    }
+
+    fn small_params() -> GaParams {
+        GaParams::default()
+            .with_population(40)
+            .with_generations(60)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn ga_finds_balanced_schedule() {
+        let (ctx, avail) = ctx();
+        let mut rng = stream(11, Stream::Genetic);
+        let r = evolve(
+            &ctx,
+            &avail,
+            vec![],
+            &small_params(),
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+        );
+        // Work totals 10+20+…+60 = 210 over 3 sites → lower bound 70.
+        // The GA should find a schedule at or near it (optimum = 70).
+        assert!(r.best_fitness <= 80.0, "fitness {}", r.best_fitness);
+        assert!(r.best.is_feasible(&ctx.candidates));
+    }
+
+    #[test]
+    fn trajectory_is_monotone_nonincreasing_with_elitism() {
+        let (ctx, avail) = ctx();
+        let mut rng = stream(12, Stream::Genetic);
+        let r = evolve(
+            &ctx,
+            &avail,
+            vec![],
+            &small_params(),
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+        );
+        assert_eq!(r.trajectory.len(), 61);
+        assert!(r.trajectory.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(*r.trajectory.last().unwrap(), r.best_fitness);
+    }
+
+    #[test]
+    fn seeded_population_cannot_be_worse_than_seed() {
+        let (ctx, avail) = ctx();
+        // A deliberately good seed: round-robin.
+        let seed_chrom = Chromosome::from_genes(vec![0, 1, 2, 0, 1, 2]);
+        let seed_fit =
+            crate::fitness::evaluate(&ctx, &avail, &seed_chrom, FitnessKind::Makespan, None);
+        let mut rng = stream(13, Stream::Genetic);
+        let r = evolve(
+            &ctx,
+            &avail,
+            vec![seed_chrom],
+            &small_params().with_generations(5),
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+        );
+        assert!(r.best_fitness <= seed_fit);
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let (ctx, avail) = ctx();
+        let run = |seed| {
+            let mut rng = stream(seed, Stream::Genetic);
+            evolve(
+                &ctx,
+                &avail,
+                vec![],
+                &small_params(),
+                FitnessKind::Makespan,
+                None,
+                &mut rng,
+            )
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrong_length_seeds_are_dropped() {
+        let (ctx, avail) = ctx();
+        let mut rng = stream(14, Stream::Genetic);
+        let bad = Chromosome::from_genes(vec![0, 1]); // length 2 ≠ 6
+        let r = evolve(
+            &ctx,
+            &avail,
+            vec![bad],
+            &small_params().with_generations(1),
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+        );
+        assert_eq!(r.best.len(), 6);
+    }
+
+    #[test]
+    fn zero_generations_returns_initial_best() {
+        let (ctx, avail) = ctx();
+        let mut rng = stream(15, Stream::Genetic);
+        let r = evolve(
+            &ctx,
+            &avail,
+            vec![],
+            &small_params().with_generations(0),
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+        );
+        assert_eq!(r.trajectory.len(), 1);
+        assert!(r.best_fitness.is_finite());
+    }
+
+    #[test]
+    fn single_job_is_solved_exactly() {
+        // One job, three sites with different speeds: exact best must be
+        // the fastest site, regardless of RNG.
+        let etc = EtcMatrix::from_raw(1, 3, vec![30.0, 10.0, 20.0]);
+        let ctx = MapCtx {
+            etc,
+            widths: vec![1],
+            arrivals: vec![Time::ZERO],
+            candidates: vec![vec![0, 1, 2]],
+            now: Time::ZERO,
+            commit_order: vec![],
+        };
+        let avail = vec![NodeAvailability::new(1, Time::ZERO); 3];
+        let mut rng = stream(16, Stream::Genetic);
+        let r = evolve(
+            &ctx,
+            &avail,
+            vec![],
+            &small_params(),
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+        );
+        assert_eq!(r.best.site_of(0), 1);
+        assert_eq!(r.trajectory.len(), 61);
+    }
+
+    #[test]
+    fn stall_limit_stops_early() {
+        let (ctx, avail) = ctx();
+        let mut params = small_params();
+        params.generations = 500;
+        params.stall_limit = Some(5);
+        let mut rng = stream(17, Stream::Genetic);
+        let r = evolve(
+            &ctx,
+            &avail,
+            vec![],
+            &params,
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+        );
+        assert!(
+            r.trajectory.len() < 501,
+            "expected early stop, got {} generations",
+            r.trajectory.len() - 1
+        );
+    }
+}

@@ -1,0 +1,391 @@
+//! The STGA history (lookup) table: evolution over *time* (§3).
+//!
+//! Each entry stores the three input parameters of a past scheduling round
+//! — (1) next-available times of the sites, (2) the job-execution-time
+//! (ETC) matrix, (3) the job security demands — plus the best chromosome
+//! the GA found for that round. New batches are matched against entries by
+//! the average of the per-parameter vector similarities (Eq. 2); entries
+//! above the similarity threshold seed the initial population. The table
+//! is bounded (Table 1: 150 entries) with LRU replacement.
+
+use crate::chromosome::Chromosome;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Eq. 2 as printed: `1 − Σ|aᵢ−bᵢ| / max{max aᵢ, max bᵢ}`, clamped to
+/// `[0, 1]`.
+///
+/// As printed the sum is not normalised by the vector length, so for long
+/// vectors the similarity collapses to 0 unless the vectors are nearly
+/// identical; [`similarity`] (the default used by the table) divides the
+/// summed deviation by `k` (the mean absolute deviation), which keeps the
+/// 0.8 threshold meaningful at realistic batch sizes. Both are exposed;
+/// DESIGN.md §6 records the deviation.
+pub fn eq2_similarity(a: &[f64], b: &[f64]) -> f64 {
+    pairwise_similarity(a, b, false)
+}
+
+/// Length-normalised Eq. 2: `1 − (Σ|aᵢ−bᵢ|/k) / max{max aᵢ, max bᵢ}`.
+pub fn similarity(a: &[f64], b: &[f64]) -> f64 {
+    pairwise_similarity(a, b, true)
+}
+
+fn pairwise_similarity(a: &[f64], b: &[f64], normalise: bool) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let k = a.len().min(b.len());
+    let denom = a
+        .iter()
+        .chain(b.iter())
+        .copied()
+        .fold(0.0f64, |acc, x| acc.max(x.abs()));
+    if denom == 0.0 {
+        return 1.0; // both all-zero
+    }
+    let mut sum = 0.0;
+    for i in 0..k {
+        sum += (a[i] - b[i]).abs();
+    }
+    // Length mismatch beyond the common prefix counts as full deviation.
+    let extra = (a.len().max(b.len()) - k) as f64 * denom;
+    let dev = if normalise {
+        (sum + extra) / a.len().max(b.len()) as f64
+    } else {
+        sum + extra
+    };
+    (1.0 - dev / denom).clamp(0.0, 1.0)
+}
+
+/// The signature of one scheduling round: the three Eq. 2 input vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSignature {
+    /// Per-site next-available (ready) times at the batch boundary,
+    /// re-based so the earliest is 0 (batches at different absolute times
+    /// with the same *relative* load should match).
+    pub ready_times: Vec<f64>,
+    /// Flattened ETC matrix (row-major, jobs × sites).
+    pub etc: Vec<f64>,
+    /// Per-job security demands.
+    pub demands: Vec<f64>,
+}
+
+impl BatchSignature {
+    /// Average of the three per-parameter similarities (§3).
+    pub fn similarity(&self, other: &BatchSignature) -> f64 {
+        let s1 = similarity(&self.ready_times, &other.ready_times);
+        let s2 = similarity(&self.etc, &other.etc);
+        let s3 = similarity(&self.demands, &other.demands);
+        (s1 + s2 + s3) / 3.0
+    }
+}
+
+/// One history entry: a past round's signature and its best schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// The round's input signature.
+    pub signature: BatchSignature,
+    /// The best chromosome the GA found for it.
+    pub chromosome: Chromosome,
+    last_used: u64,
+}
+
+/// Bounded LRU table of past scheduling solutions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryTable {
+    capacity: usize,
+    clock: u64,
+    entries: Vec<Entry>,
+}
+
+impl HistoryTable {
+    /// Creates an empty table with the given capacity (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> HistoryTable {
+        assert!(capacity >= 1, "history table capacity must be ≥ 1");
+        HistoryTable {
+            capacity,
+            clock: 0,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The table capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a round's result, evicting the least-recently-used entry if
+    /// full.
+    pub fn insert(&mut self, signature: BatchSignature, chromosome: Chromosome) {
+        self.clock += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push(Entry {
+            signature,
+            chromosome,
+            last_used: self.clock,
+        });
+    }
+
+    /// Returns up to `limit` chromosomes whose signatures are at least
+    /// `threshold`-similar to `query`, best matches first, touching their
+    /// LRU stamps.
+    pub fn lookup(
+        &mut self,
+        query: &BatchSignature,
+        threshold: f64,
+        limit: usize,
+    ) -> Vec<Chromosome> {
+        self.clock += 1;
+        let clock = self.clock;
+        let mut scored: Vec<(usize, f64)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.signature.similarity(query)))
+            .filter(|&(_, s)| s >= threshold)
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored.truncate(limit);
+        let mut out = Vec::with_capacity(scored.len());
+        for (i, _) in scored {
+            self.entries[i].last_used = clock;
+            out.push(self.entries[i].chromosome.clone());
+        }
+        out
+    }
+
+    /// The best similarity of any entry against `query` (diagnostics).
+    pub fn best_similarity(&self, query: &BatchSignature) -> Option<f64> {
+        self.entries
+            .iter()
+            .map(|e| e.signature.similarity(query))
+            .max_by(f64::total_cmp)
+    }
+
+    /// Serialises the table to JSON — lets a production scheduler persist
+    /// its learned history across restarts (the paper's "time" dimension
+    /// survives the process).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("history serialises")
+    }
+
+    /// Restores a table saved with [`HistoryTable::to_json`].
+    pub fn from_json(text: &str) -> gridsec_core::Result<HistoryTable> {
+        serde_json::from_str(text).map_err(|e| {
+            gridsec_core::Error::invalid("history", format!("invalid history JSON: {e}"))
+        })
+    }
+}
+
+/// A thread-safe, shareable history table: several schedulers (e.g. in
+/// parallel parameter sweeps that share training) can read and update the
+/// same table.
+#[derive(Debug, Clone)]
+pub struct SharedHistory(Arc<Mutex<HistoryTable>>);
+
+impl SharedHistory {
+    /// Wraps a fresh table of the given capacity.
+    pub fn new(capacity: usize) -> SharedHistory {
+        SharedHistory(Arc::new(Mutex::new(HistoryTable::new(capacity))))
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&self, signature: BatchSignature, chromosome: Chromosome) {
+        self.0.lock().insert(signature, chromosome);
+    }
+
+    /// Looks up seeds (see [`HistoryTable::lookup`]).
+    pub fn lookup(&self, query: &BatchSignature, threshold: f64, limit: usize) -> Vec<Chromosome> {
+        self.0.lock().lookup(query, threshold, limit)
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(ready: &[f64], etc: &[f64], sd: &[f64]) -> BatchSignature {
+        BatchSignature {
+            ready_times: ready.to_vec(),
+            etc: etc.to_vec(),
+            demands: sd.to_vec(),
+        }
+    }
+
+    #[test]
+    fn similarity_reflexive_and_bounded() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(similarity(&a, &a), 1.0);
+        assert_eq!(eq2_similarity(&a, &a), 1.0);
+        let b = [3.0, 2.0, 1.0];
+        let s = similarity(&a, &b);
+        assert!((0.0..=1.0).contains(&s));
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn similarity_symmetric() {
+        let a = [1.0, 5.0, 2.0];
+        let b = [2.0, 3.0, 4.0];
+        assert_eq!(similarity(&a, &b), similarity(&b, &a));
+    }
+
+    #[test]
+    fn eq2_collapses_on_long_vectors_normalised_does_not() {
+        // 100 elements each off by 10 % of max.
+        let a: Vec<f64> = vec![10.0; 100];
+        let b: Vec<f64> = vec![9.0; 100];
+        assert_eq!(eq2_similarity(&a, &b), 0.0); // Σdev = 100 > max = 10
+        let s = similarity(&a, &b);
+        assert!((s - 0.9).abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn empty_and_zero_vectors() {
+        assert_eq!(similarity(&[], &[]), 1.0);
+        assert_eq!(similarity(&[1.0], &[]), 0.0);
+        assert_eq!(similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_penalised() {
+        let a = [5.0, 5.0];
+        let b = [5.0, 5.0, 5.0, 5.0];
+        let s = similarity(&a, &b);
+        // Two missing elements of four count as full deviation: 1 − 0.5.
+        assert!((s - 0.5).abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn signature_similarity_averages_three_parts() {
+        let a = sig(&[0.0, 10.0], &[1.0, 2.0], &[0.7]);
+        let b = sig(&[0.0, 10.0], &[1.0, 2.0], &[0.7]);
+        assert_eq!(a.similarity(&b), 1.0);
+        let c = sig(&[10.0, 0.0], &[1.0, 2.0], &[0.7]);
+        let s = a.similarity(&c);
+        assert!(s < 1.0 && s > 0.3);
+    }
+
+    #[test]
+    fn table_insert_and_lookup() {
+        let mut t = HistoryTable::new(10);
+        let s1 = sig(&[0.0], &[10.0, 20.0], &[0.6]);
+        t.insert(s1.clone(), Chromosome::from_genes(vec![0]));
+        let hits = t.lookup(&s1, 0.8, 5);
+        assert_eq!(hits.len(), 1);
+        // A very different signature misses.
+        let s2 = sig(&[1000.0], &[900.0, 1.0], &[0.9]);
+        assert!(t.lookup(&s2, 0.8, 5).is_empty());
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = HistoryTable::new(2);
+        let s1 = sig(&[1.0], &[1.0], &[0.6]);
+        let s2 = sig(&[2.0], &[2.0], &[0.7]);
+        let s3 = sig(&[3.0], &[3.0], &[0.8]);
+        t.insert(s1.clone(), Chromosome::from_genes(vec![1]));
+        t.insert(s2.clone(), Chromosome::from_genes(vec![2]));
+        // Touch s1 so s2 becomes LRU.
+        let _ = t.lookup(&s1, 0.99, 1);
+        t.insert(s3.clone(), Chromosome::from_genes(vec![3]));
+        assert_eq!(t.len(), 2);
+        // s2 was evicted; s1 and s3 still match themselves.
+        assert_eq!(t.lookup(&s1, 0.99, 1).len(), 1);
+        assert_eq!(t.lookup(&s3, 0.99, 1).len(), 1);
+        assert!(t.lookup(&s2, 0.999, 1).is_empty());
+    }
+
+    #[test]
+    fn lookup_orders_by_similarity_and_limits() {
+        let mut t = HistoryTable::new(10);
+        let q = sig(&[10.0, 10.0], &[5.0], &[0.7]);
+        t.insert(
+            sig(&[10.0, 10.0], &[5.0], &[0.7]),
+            Chromosome::from_genes(vec![0]),
+        ); // exact
+        t.insert(
+            sig(&[10.0, 9.0], &[5.0], &[0.7]),
+            Chromosome::from_genes(vec![1]),
+        ); // close
+        t.insert(
+            sig(&[10.0, 5.0], &[5.0], &[0.7]),
+            Chromosome::from_genes(vec![2]),
+        ); // farther
+        let hits = t.lookup(&q, 0.5, 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], Chromosome::from_genes(vec![0]));
+        assert_eq!(hits[1], Chromosome::from_genes(vec![1]));
+    }
+
+    #[test]
+    fn shared_history_is_usable_across_clones() {
+        let h = SharedHistory::new(4);
+        let s1 = sig(&[1.0], &[1.0], &[0.6]);
+        let h2 = h.clone();
+        h.insert(s1.clone(), Chromosome::from_genes(vec![0]));
+        assert_eq!(h2.len(), 1);
+        assert_eq!(h2.lookup(&s1, 0.9, 3).len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_entries_and_lru() {
+        let mut t = HistoryTable::new(3);
+        let s1 = sig(&[1.0], &[1.0], &[0.6]);
+        let s2 = sig(&[9.0], &[5.0], &[0.8]);
+        t.insert(s1.clone(), Chromosome::from_genes(vec![0]));
+        t.insert(s2.clone(), Chromosome::from_genes(vec![1]));
+        let json = t.to_json();
+        let mut back = HistoryTable::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.capacity(), 3);
+        assert_eq!(back.lookup(&s1, 0.99, 1), vec![Chromosome::from_genes(vec![0])]);
+        assert_eq!(back.lookup(&s2, 0.99, 1), vec![Chromosome::from_genes(vec![1])]);
+        assert!(HistoryTable::from_json("{").is_err());
+    }
+
+    #[test]
+    fn best_similarity_reports() {
+        let mut t = HistoryTable::new(4);
+        let s1 = sig(&[1.0], &[1.0], &[0.6]);
+        assert!(t.best_similarity(&s1).is_none());
+        t.insert(s1.clone(), Chromosome::from_genes(vec![0]));
+        assert_eq!(t.best_similarity(&s1), Some(1.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Genetic operators (§3): single-point crossover and point mutation.
+
+use crate::chromosome::Chromosome;
+use rand::Rng;
+
+/// Single-point crossover: swaps the tails of two chromosomes after a
+/// random cut point (paper: "random swapping of two portions of two
+/// arbitrarily selected chromosomes").
+///
+/// Both parents must have equal length ≥ 2; the cut is chosen in
+/// `1..len`, so both children differ from their parents whenever the
+/// tails differ.
+pub fn crossover<R: Rng + ?Sized>(
+    a: &Chromosome,
+    b: &Chromosome,
+    rng: &mut R,
+) -> (Chromosome, Chromosome) {
+    assert_eq!(a.len(), b.len(), "crossover needs equal-length parents");
+    let n = a.len();
+    if n < 2 {
+        return (a.clone(), b.clone());
+    }
+    let cut = rng.gen_range(1..n);
+    let mut ga = a.genes().to_vec();
+    let mut gb = b.genes().to_vec();
+    for i in cut..n {
+        std::mem::swap(&mut ga[i], &mut gb[i]);
+    }
+    (Chromosome::from_genes(ga), Chromosome::from_genes(gb))
+}
+
+/// Point mutation: re-draws the site of one random job from its candidate
+/// list (paper: "randomly changing the site assignment of a randomly
+/// selected job … to some other site").
+///
+/// When the job has more than one candidate the new gene is guaranteed to
+/// differ from the old one.
+pub fn mutate<R: Rng + ?Sized>(c: &mut Chromosome, candidates: &[Vec<usize>], rng: &mut R) {
+    if c.is_empty() {
+        return;
+    }
+    let j = rng.gen_range(0..c.len());
+    let cand = &candidates[j];
+    if cand.len() <= 1 {
+        return;
+    }
+    let old = c.site_of(j);
+    let mut pick = cand[rng.gen_range(0..cand.len())];
+    while pick == old {
+        pick = cand[rng.gen_range(0..cand.len())];
+    }
+    c.genes_mut()[j] = pick as u16;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_core::rng::{stream, Stream};
+
+    #[test]
+    fn crossover_swaps_tails() {
+        let mut rng = stream(1, Stream::Genetic);
+        let a = Chromosome::from_genes(vec![0, 0, 0, 0, 0]);
+        let b = Chromosome::from_genes(vec![1, 1, 1, 1, 1]);
+        let (c, d) = crossover(&a, &b, &mut rng);
+        // Each child is a prefix of one parent + suffix of the other.
+        let cut = c.genes().iter().position(|&g| g == 1).unwrap();
+        assert!((1..5).contains(&cut));
+        assert!(c.genes()[..cut].iter().all(|&g| g == 0));
+        assert!(c.genes()[cut..].iter().all(|&g| g == 1));
+        assert!(d.genes()[..cut].iter().all(|&g| g == 1));
+        assert!(d.genes()[cut..].iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn crossover_preserves_multiset_per_position() {
+        let mut rng = stream(2, Stream::Genetic);
+        let a = Chromosome::from_genes(vec![0, 1, 2, 3]);
+        let b = Chromosome::from_genes(vec![4, 5, 6, 7]);
+        let (c, d) = crossover(&a, &b, &mut rng);
+        for i in 0..4 {
+            let mut got = [c.genes()[i], d.genes()[i]];
+            got.sort_unstable();
+            let mut want = [a.genes()[i], b.genes()[i]];
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn crossover_of_singletons_is_identity() {
+        let mut rng = stream(3, Stream::Genetic);
+        let a = Chromosome::from_genes(vec![0]);
+        let b = Chromosome::from_genes(vec![1]);
+        let (c, d) = crossover(&a, &b, &mut rng);
+        assert_eq!(c, a);
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_gene_when_possible() {
+        let mut rng = stream(4, Stream::Genetic);
+        let cands = vec![vec![0, 1, 2]; 6];
+        for _ in 0..50 {
+            let mut c = Chromosome::from_genes(vec![0; 6]);
+            let before = c.clone();
+            mutate(&mut c, &cands, &mut rng);
+            let diff = c
+                .genes()
+                .iter()
+                .zip(before.genes())
+                .filter(|(x, y)| x != y)
+                .count();
+            assert_eq!(diff, 1);
+            assert!(c.is_feasible(&cands));
+        }
+    }
+
+    #[test]
+    fn mutation_noop_with_single_candidate() {
+        let mut rng = stream(5, Stream::Genetic);
+        let cands = vec![vec![2]; 3];
+        let mut c = Chromosome::from_genes(vec![2, 2, 2]);
+        mutate(&mut c, &cands, &mut rng);
+        assert_eq!(c.genes(), &[2, 2, 2]);
+    }
+}

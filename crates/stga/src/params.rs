@@ -1,0 +1,198 @@
+//! GA and STGA parameters (paper Table 1 defaults).
+
+use gridsec_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the generic GA engine.
+///
+/// Defaults are the paper's Table 1: population 200, 100 generations,
+/// crossover probability 0.8, mutation probability 0.01, elitism on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Population size (Table 1: 200).
+    pub population: usize,
+    /// Number of generations per scheduling round (Table 1: 100).
+    pub generations: usize,
+    /// Probability that a selected parent pair undergoes crossover
+    /// (Table 1: 0.8).
+    pub crossover_prob: f64,
+    /// Probability that an offspring undergoes a point mutation
+    /// (Table 1: 0.01).
+    pub mutation_prob: f64,
+    /// Number of elite individuals copied unchanged each generation
+    /// (the paper implements elitism; we default to 2).
+    pub elitism: usize,
+    /// Seed of the GA's random stream.
+    pub seed: u64,
+    /// Optional early stop: end evolution after this many consecutive
+    /// generations without improvement. `None` (default) runs the full
+    /// `generations`, as the paper does.
+    pub stall_limit: Option<usize>,
+    /// Weight of the mean-completion (flow) term added to the makespan
+    /// fitness. The paper's fitness is the pure schedule completion time;
+    /// a small flow term breaks ties among equal-makespan schedules in
+    /// favour of finishing the other jobs early, which matters for the
+    /// response-time and slowdown metrics in an *on-line* setting (see
+    /// `gridsec_stga::fitness`).
+    pub flow_weight: f64,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams {
+            population: 200,
+            generations: 100,
+            crossover_prob: 0.8,
+            mutation_prob: 0.01,
+            elitism: 2,
+            seed: 0x57A6,
+            stall_limit: None,
+            flow_weight: crate::fitness::DEFAULT_FLOW_WEIGHT,
+        }
+    }
+}
+
+impl GaParams {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.population < 2 {
+            return Err(Error::invalid("population", "need at least 2 individuals"));
+        }
+        if !(0.0..=1.0).contains(&self.crossover_prob) {
+            return Err(Error::invalid("crossover_prob", "must be in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.mutation_prob) {
+            return Err(Error::invalid("mutation_prob", "must be in [0, 1]"));
+        }
+        if self.elitism >= self.population {
+            return Err(Error::invalid(
+                "elitism",
+                "elite count must be below the population size",
+            ));
+        }
+        if !(self.flow_weight.is_finite() && self.flow_weight >= 0.0) {
+            return Err(Error::invalid(
+                "flow_weight",
+                "must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builder-style generation override (used by the Fig. 7b sweep).
+    pub fn with_generations(mut self, g: usize) -> Self {
+        self.generations = g;
+        self
+    }
+
+    /// Builder-style population override.
+    pub fn with_population(mut self, p: usize) -> Self {
+        self.population = p;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Parameters of the full STGA scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StgaParams {
+    /// The inner GA parameters.
+    pub ga: GaParams,
+    /// History (lookup) table capacity (Table 1: 150 entries, LRU).
+    pub table_capacity: usize,
+    /// Minimum Eq. 2 similarity for a history entry to seed the population
+    /// (Table 1: 0.8).
+    pub similarity_threshold: f64,
+    /// Maximum fraction of the population seeded from history (the rest is
+    /// heuristic + random, preserving the diversity the paper requires).
+    pub history_fraction: f64,
+    /// Whether to add Min-Min / Sufferage solutions to the initial
+    /// population.
+    pub heuristic_seeds: bool,
+    /// Number of training jobs used by [`Stga::train`](crate::Stga::train)
+    /// (Table 1: 500).
+    pub training_jobs: usize,
+}
+
+impl Default for StgaParams {
+    fn default() -> Self {
+        StgaParams {
+            ga: GaParams::default(),
+            table_capacity: 150,
+            similarity_threshold: 0.8,
+            history_fraction: 0.5,
+            heuristic_seeds: true,
+            training_jobs: 500,
+        }
+    }
+}
+
+impl StgaParams {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<()> {
+        self.ga.validate()?;
+        if self.table_capacity == 0 {
+            return Err(Error::invalid("table_capacity", "must be ≥ 1"));
+        }
+        if !(0.0..=1.0).contains(&self.similarity_threshold) {
+            return Err(Error::invalid("similarity_threshold", "must be in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.history_fraction) {
+            return Err(Error::invalid("history_fraction", "must be in [0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // builder-free mutation reads clearer in tests
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let p = GaParams::default();
+        assert_eq!(p.population, 200);
+        assert_eq!(p.generations, 100);
+        assert_eq!(p.crossover_prob, 0.8);
+        assert_eq!(p.mutation_prob, 0.01);
+        let s = StgaParams::default();
+        assert_eq!(s.table_capacity, 150);
+        assert_eq!(s.similarity_threshold, 0.8);
+        assert_eq!(s.training_jobs, 500);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(GaParams::default().with_population(1).validate().is_err());
+        let mut p = GaParams::default();
+        p.crossover_prob = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = GaParams::default();
+        p.elitism = 200;
+        assert!(p.validate().is_err());
+        let mut s = StgaParams::default();
+        s.table_capacity = 0;
+        assert!(s.validate().is_err());
+        let mut s = StgaParams::default();
+        s.similarity_threshold = -0.1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let p = GaParams::default()
+            .with_generations(10)
+            .with_population(50)
+            .with_seed(7);
+        assert_eq!(p.generations, 10);
+        assert_eq!(p.population, 50);
+        assert_eq!(p.seed, 7);
+    }
+}

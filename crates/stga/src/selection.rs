@@ -1,0 +1,149 @@
+//! Selection: value-based roulette wheel with elitism (§3).
+//!
+//! The scheduling fitness is a *cost* (makespan — smaller is better), so
+//! the wheel weights each individual by `(worst − fitness)`: the best
+//! solution gets the largest slice, the worst gets (almost) none. Elitism
+//! copies the best `k` individuals unchanged into the next generation.
+
+use rand::Rng;
+
+/// Indices of the `k` best (lowest-fitness) individuals, in order.
+pub fn elite_indices(fitness: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..fitness.len()).collect();
+    idx.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
+    idx.truncate(k);
+    idx
+}
+
+/// A pre-built roulette wheel over minimisation fitness values.
+#[derive(Debug, Clone)]
+pub struct RouletteWheel {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl RouletteWheel {
+    /// Builds the wheel. Infinite fitness values get zero weight. When all
+    /// finite values are equal (or none are finite) the wheel degenerates
+    /// to uniform over the finite (or all) individuals.
+    pub fn build(fitness: &[f64]) -> RouletteWheel {
+        assert!(!fitness.is_empty(), "wheel needs at least one individual");
+        let worst = fitness
+            .iter()
+            .copied()
+            .filter(|f| f.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut cumulative = Vec::with_capacity(fitness.len());
+        let mut total = 0.0;
+        if !worst.is_finite() {
+            // No finite individual: uniform.
+            for _ in fitness {
+                total += 1.0;
+                cumulative.push(total);
+            }
+            return RouletteWheel { cumulative, total };
+        }
+        // Small floor so the worst finite individual keeps a sliver of
+        // probability (pure (worst − f) would zero it out).
+        let span = fitness
+            .iter()
+            .copied()
+            .filter(|f| f.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        let floor = ((worst - span).abs().max(worst.abs()) * 1e-6).max(f64::MIN_POSITIVE);
+        for &f in fitness {
+            let w = if f.is_finite() {
+                (worst - f) + floor
+            } else {
+                0.0
+            };
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            // All-equal degenerate case: uniform over finite individuals.
+            total = 0.0;
+            cumulative.clear();
+            for &f in fitness {
+                total += if f.is_finite() { 1.0 } else { 0.0 };
+                cumulative.push(total);
+            }
+        }
+        RouletteWheel { cumulative, total }
+    }
+
+    /// Spins the wheel, returning an individual index.
+    pub fn spin<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = rng.gen_range(0.0..self.total.max(f64::MIN_POSITIVE));
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("no NaN in wheel"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_core::rng::{stream, Stream};
+
+    #[test]
+    fn elite_returns_best_indices() {
+        let fit = vec![5.0, 1.0, 3.0, 0.5];
+        assert_eq!(elite_indices(&fit, 2), vec![3, 1]);
+        assert_eq!(elite_indices(&fit, 0), Vec::<usize>::new());
+        assert_eq!(elite_indices(&fit, 10), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn wheel_prefers_low_fitness() {
+        let fit = vec![10.0, 100.0]; // index 0 is much better
+        let wheel = RouletteWheel::build(&fit);
+        let mut rng = stream(1, Stream::Genetic);
+        let mut count0 = 0;
+        for _ in 0..10_000 {
+            if wheel.spin(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        // Weight ratio ≈ 90 : ~0 → index 0 should win almost always.
+        assert!(count0 > 9_500, "count0 = {count0}");
+    }
+
+    #[test]
+    fn wheel_uniform_when_all_equal() {
+        let fit = vec![7.0; 4];
+        let wheel = RouletteWheel::build(&fit);
+        let mut rng = stream(2, Stream::Genetic);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[wheel.spin(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!(c > 1_500, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn wheel_excludes_infinite_individuals() {
+        let fit = vec![f64::INFINITY, 5.0, f64::INFINITY, 6.0];
+        let wheel = RouletteWheel::build(&fit);
+        let mut rng = stream(3, Stream::Genetic);
+        for _ in 0..2_000 {
+            let i = wheel.spin(&mut rng);
+            assert!(i == 1 || i == 3, "picked infeasible {i}");
+        }
+    }
+
+    #[test]
+    fn wheel_handles_all_infinite() {
+        let fit = vec![f64::INFINITY; 3];
+        let wheel = RouletteWheel::build(&fit);
+        let mut rng = stream(4, Stream::Genetic);
+        let i = wheel.spin(&mut rng);
+        assert!(i < 3);
+    }
+}

@@ -1,0 +1,170 @@
+//! Workload characterisation: the summary statistics used to check a
+//! synthetic trace against its published characterisation (and to compare
+//! it with a real SWF trace).
+
+use gridsec_core::stats::{mean, Histogram};
+use gridsec_core::{Grid, Job, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate characterisation of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// Arrival span (first to last submission), seconds.
+    pub span: f64,
+    /// Mean inter-arrival time, seconds.
+    pub mean_interarrival: f64,
+    /// Jobs per width class.
+    pub width_histogram: BTreeMap<u32, usize>,
+    /// Mean work (reference seconds).
+    pub mean_work: f64,
+    /// Total node-seconds demanded (`Σ width × work`).
+    pub total_node_seconds: f64,
+    /// Mean security demand.
+    pub mean_sd: f64,
+    /// Fraction of arrivals in each hour-of-day bucket (24 entries).
+    pub hourly_arrival_fraction: Vec<f64>,
+}
+
+impl WorkloadProfile {
+    /// Profiles a job list (jobs need not be sorted).
+    pub fn of(jobs: &[Job]) -> WorkloadProfile {
+        let n = jobs.len();
+        if n == 0 {
+            return WorkloadProfile {
+                n_jobs: 0,
+                span: 0.0,
+                mean_interarrival: 0.0,
+                width_histogram: BTreeMap::new(),
+                mean_work: 0.0,
+                total_node_seconds: 0.0,
+                mean_sd: 0.0,
+                hourly_arrival_fraction: vec![0.0; 24],
+            };
+        }
+        let mut arrivals: Vec<f64> = jobs.iter().map(|j| j.arrival.seconds()).collect();
+        arrivals.sort_by(f64::total_cmp);
+        let span = arrivals[n - 1] - arrivals[0];
+        let mut width_histogram = BTreeMap::new();
+        for j in jobs {
+            *width_histogram.entry(j.width).or_insert(0) += 1;
+        }
+        let works: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+        let sds: Vec<f64> = jobs.iter().map(|j| j.security_demand).collect();
+        let total_node_seconds = jobs.iter().map(|j| f64::from(j.width) * j.work).sum();
+        let mut hourly = Histogram::new(0.0, 24.0, 24);
+        for &a in &arrivals {
+            hourly.push((a % 86_400.0) / 3_600.0);
+        }
+        let hourly_arrival_fraction = hourly
+            .counts()
+            .iter()
+            .map(|&c| c as f64 / n as f64)
+            .collect();
+        WorkloadProfile {
+            n_jobs: n,
+            span,
+            mean_interarrival: if n > 1 { span / (n - 1) as f64 } else { 0.0 },
+            width_histogram,
+            mean_work: mean(&works),
+            total_node_seconds,
+            mean_sd: mean(&sds),
+            hourly_arrival_fraction,
+        }
+    }
+
+    /// Offered load relative to a grid over the arrival span:
+    /// `total node-seconds demanded / (total power × span)`. Values above
+    /// 1.0 mean the grid cannot keep up within the arrival window.
+    pub fn offered_load(&self, grid: &Grid) -> f64 {
+        let capacity = grid.total_power() * self.span.max(f64::MIN_POSITIVE);
+        self.total_node_seconds / capacity
+    }
+
+    /// Estimated batch size for a periodic scheduler with the given
+    /// interval.
+    pub fn expected_batch_size(&self, interval: Time) -> f64 {
+        if self.mean_interarrival == 0.0 {
+            self.n_jobs as f64
+        } else {
+            interval.seconds() / self.mean_interarrival
+        }
+    }
+
+    /// Human-readable dump.
+    pub fn summary(&self) -> String {
+        let widths: Vec<String> = self
+            .width_histogram
+            .iter()
+            .map(|(w, c)| format!("{w}:{c}"))
+            .collect();
+        format!(
+            "{} jobs over {:.1} days; mean work {:.0} s; {:.2e} node-s total; widths {{{}}}; mean SD {:.2}",
+            self.n_jobs,
+            self.span / 86_400.0,
+            self.mean_work,
+            self.total_node_seconds,
+            widths.join(" "),
+            self.mean_sd,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nas::NasConfig;
+    use crate::psa::PsaConfig;
+
+    #[test]
+    fn profile_of_empty() {
+        let p = WorkloadProfile::of(&[]);
+        assert_eq!(p.n_jobs, 0);
+        assert_eq!(p.hourly_arrival_fraction.len(), 24);
+    }
+
+    #[test]
+    fn psa_profile_matches_table1() {
+        let w = PsaConfig::default().with_n_jobs(2000).generate().unwrap();
+        let p = WorkloadProfile::of(&w.jobs);
+        assert_eq!(p.n_jobs, 2000);
+        // Mean inter-arrival ≈ 1/0.008 = 125 s.
+        assert!((p.mean_interarrival - 125.0).abs() < 15.0);
+        // Mean work ≈ the mean of 20 uniform levels of 300 000 = 157 500.
+        assert!((p.mean_work - 157_500.0).abs() < 12_000.0);
+        // Width 1 only.
+        assert_eq!(p.width_histogram.len(), 1);
+        assert!((0.6..=0.9).contains(&p.mean_sd));
+        // PSA is heavily over-subscribed relative to its arrival span.
+        assert!(p.offered_load(&w.grid) > 1.0);
+    }
+
+    #[test]
+    fn nas_profile_shows_diurnal_cycle_and_widths() {
+        // Use an unsqueezed trace: the paper's ×2 time squeeze compresses
+        // the day/night cycle to 12 h, scrambling hour-of-day phases.
+        let mut cfg = NasConfig::default().with_n_jobs(4000);
+        cfg.squeeze = 1.0;
+        let w = cfg.generate().unwrap();
+        let p = WorkloadProfile::of(&w.jobs);
+        // Power-of-two widths 1..8 after folding.
+        for w in p.width_histogram.keys() {
+            assert!(w.is_power_of_two() && *w <= 8);
+        }
+        // Prime-time hours (per-hour rate) clearly exceed night hours.
+        let day: f64 = p.hourly_arrival_fraction[8..18].iter().sum::<f64>() / 10.0;
+        let night: f64 = p.hourly_arrival_fraction[0..6].iter().sum::<f64>() / 6.0;
+        assert!(day > night * 2.0, "day {day:.3} night {night:.3}");
+        assert!(p.summary().contains("jobs over"));
+    }
+
+    #[test]
+    fn expected_batch_size() {
+        let w = PsaConfig::default().with_n_jobs(1000).generate().unwrap();
+        let p = WorkloadProfile::of(&w.jobs);
+        let b = p.expected_batch_size(Time::new(1000.0));
+        assert!((b - 8.0).abs() < 1.5, "batch ≈ 8, got {b}");
+    }
+}

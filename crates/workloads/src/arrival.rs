@@ -1,0 +1,232 @@
+//! Arrival processes.
+//!
+//! * [`PoissonProcess`] — homogeneous Poisson arrivals (exponential
+//!   inter-arrival times), used by the PSA workload (rate 0.008/s).
+//! * [`ModulatedPoisson`] — non-homogeneous Poisson via thinning, with a
+//!   diurnal × weekly rate profile, used by the synthetic NAS trace
+//!   (production traces show strong day/night and weekday/weekend cycles).
+
+use gridsec_core::Time;
+use rand::Rng;
+
+/// Homogeneous Poisson process with rate `λ` arrivals per second.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given positive rate.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
+        PoissonProcess { rate }
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Samples the next arrival strictly after `now`.
+    pub fn next_after<R: Rng + ?Sized>(&self, now: Time, rng: &mut R) -> Time {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        now + Time::new(-u.ln() / self.rate)
+    }
+
+    /// Generates the first `n` arrival instants starting from time 0.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Time> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = Time::ZERO;
+        for _ in 0..n {
+            t = self.next_after(t, rng);
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Diurnal × weekly rate profile for [`ModulatedPoisson`].
+///
+/// The relative intensity at time `t` is `day_shape(hour) × week_shape(dow)`
+/// where prime-time working hours (8:00–18:00) carry most of the load —
+/// the pattern reported for the NASA Ames iPSC/860 trace.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalProfile {
+    /// Relative intensity during prime time (8:00–18:00 weekdays).
+    pub prime: f64,
+    /// Relative intensity during weekday nights.
+    pub night: f64,
+    /// Relative intensity on weekends (whole day).
+    pub weekend: f64,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        // Roughly 70 % of submissions in prime time, consistent with the
+        // published trace characterisation.
+        DiurnalProfile {
+            prime: 1.0,
+            night: 0.25,
+            weekend: 0.15,
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// Relative intensity (≤ 1) at simulated time `t` (t = 0 is Monday
+    /// 00:00).
+    pub fn intensity(&self, t: Time) -> f64 {
+        let secs = t.seconds();
+        let day = (secs / 86_400.0).floor() as i64;
+        let dow = day.rem_euclid(7); // 0 = Monday
+        let hour = (secs % 86_400.0) / 3600.0;
+        if dow >= 5 {
+            self.weekend
+        } else if (8.0..18.0).contains(&hour) {
+            self.prime
+        } else {
+            self.night
+        }
+    }
+
+    /// The peak intensity, for thinning.
+    pub fn peak(&self) -> f64 {
+        self.prime.max(self.night).max(self.weekend)
+    }
+}
+
+/// Non-homogeneous Poisson arrivals via Lewis–Shedler thinning.
+#[derive(Debug, Clone, Copy)]
+pub struct ModulatedPoisson {
+    /// Peak rate (arrivals/s) during the highest-intensity period.
+    pub peak_rate: f64,
+    /// The modulation profile.
+    pub profile: DiurnalProfile,
+}
+
+impl ModulatedPoisson {
+    /// Creates a modulated process with the given peak rate.
+    ///
+    /// # Panics
+    /// Panics if `peak_rate` is not positive and finite.
+    pub fn new(peak_rate: f64, profile: DiurnalProfile) -> Self {
+        assert!(
+            peak_rate.is_finite() && peak_rate > 0.0,
+            "peak rate must be positive"
+        );
+        ModulatedPoisson { peak_rate, profile }
+    }
+
+    /// Samples the next arrival strictly after `now` (thinning).
+    pub fn next_after<R: Rng + ?Sized>(&self, now: Time, rng: &mut R) -> Time {
+        let majorant = self.peak_rate * self.profile.peak();
+        let mut t = now;
+        loop {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += Time::new(-u.ln() / majorant);
+            let accept: f64 = rng.gen();
+            let local = self.peak_rate * self.profile.intensity(t);
+            if accept <= local / majorant {
+                return t;
+            }
+        }
+    }
+
+    /// Generates arrivals until either `n` jobs or the `horizon` is reached.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, horizon: Time, rng: &mut R) -> Vec<Time> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = Time::ZERO;
+        while out.len() < n {
+            t = self.next_after(t, rng);
+            if t > horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_core::rng::{stream, Stream};
+
+    #[test]
+    fn poisson_mean_interarrival_close_to_inverse_rate() {
+        let p = PoissonProcess::new(0.008);
+        let mut rng = stream(3, Stream::Workload);
+        let arrivals = p.generate(5000, &mut rng);
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+        let mean_gap = arrivals.last().unwrap().seconds() / 5000.0;
+        let expect = 1.0 / 0.008;
+        assert!(
+            (mean_gap - expect).abs() / expect < 0.05,
+            "mean gap {mean_gap} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn poisson_is_strictly_increasing_and_positive() {
+        let p = PoissonProcess::new(1.0);
+        let mut rng = stream(4, Stream::Workload);
+        let a = p.generate(100, &mut rng);
+        assert!(a[0] > Time::ZERO);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonProcess::new(0.0);
+    }
+
+    #[test]
+    fn profile_distinguishes_periods() {
+        let p = DiurnalProfile::default();
+        // Monday 12:00 — prime.
+        assert_eq!(p.intensity(Time::hours(12.0)), p.prime);
+        // Monday 03:00 — night.
+        assert_eq!(p.intensity(Time::hours(3.0)), p.night);
+        // Saturday noon (day 5) — weekend.
+        assert_eq!(p.intensity(Time::days(5.0) + Time::hours(12.0)), p.weekend);
+        assert_eq!(p.peak(), p.prime);
+    }
+
+    #[test]
+    fn modulated_concentrates_in_prime_time() {
+        let m = ModulatedPoisson::new(0.05, DiurnalProfile::default());
+        let mut rng = stream(5, Stream::Workload);
+        let arrivals = m.generate(4000, Time::days(60.0), &mut rng);
+        assert!(arrivals.len() > 1000, "got {}", arrivals.len());
+        let prime = arrivals
+            .iter()
+            .filter(|t| {
+                let p = DiurnalProfile::default();
+                p.intensity(**t) == p.prime
+            })
+            .count();
+        // Prime time is 10/24 h × 5/7 days ≈ 30 % of the week but should
+        // carry well over half the arrivals.
+        assert!(
+            prime as f64 / arrivals.len() as f64 > 0.5,
+            "prime fraction {}",
+            prime as f64 / arrivals.len() as f64
+        );
+    }
+
+    #[test]
+    fn modulated_respects_horizon() {
+        let m = ModulatedPoisson::new(0.001, DiurnalProfile::default());
+        let mut rng = stream(6, Stream::Workload);
+        let arrivals = m.generate(10_000, Time::days(1.0), &mut rng);
+        assert!(arrivals.iter().all(|t| *t <= Time::days(1.0)));
+        assert!(arrivals.len() < 10_000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Security-demand / security-level assignment (Table 1 distributions).
+
+use gridsec_core::{Error, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Uniform SD/SL distribution bounds.
+///
+/// Paper defaults (Table 1): `SL ~ U[0.4, 1.0]`, `SD ~ U[0.6, 0.9]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SecurityParams {
+    /// Lower bound of the job security-demand distribution.
+    pub sd_min: f64,
+    /// Upper bound of the job security-demand distribution.
+    pub sd_max: f64,
+    /// Lower bound of the site security-level distribution.
+    pub sl_min: f64,
+    /// Upper bound of the site security-level distribution.
+    pub sl_max: f64,
+}
+
+impl Default for SecurityParams {
+    fn default() -> Self {
+        SecurityParams {
+            sd_min: 0.6,
+            sd_max: 0.9,
+            sl_min: 0.4,
+            sl_max: 1.0,
+        }
+    }
+}
+
+impl SecurityParams {
+    /// Validates that both ranges are ordered and inside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        for (name, lo, hi) in [
+            ("sd", self.sd_min, self.sd_max),
+            ("sl", self.sl_min, self.sl_max),
+        ] {
+            if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+                return Err(Error::invalid(
+                    "security",
+                    format!("{name} range [{lo}, {hi}] must be ordered within [0, 1]"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples one job security demand.
+    pub fn sample_sd<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sd_min == self.sd_max {
+            self.sd_min
+        } else {
+            rng.gen_range(self.sd_min..=self.sd_max)
+        }
+    }
+
+    /// Samples one site security level.
+    pub fn sample_sl<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sl_min == self.sl_max {
+            self.sl_min
+        } else {
+            rng.gen_range(self.sl_min..=self.sl_max)
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // builder-free mutation reads clearer in tests
+mod tests {
+    use super::*;
+    use gridsec_core::rng::{stream, Stream};
+
+    #[test]
+    fn defaults_match_table1() {
+        let p = SecurityParams::default();
+        assert_eq!((p.sd_min, p.sd_max), (0.6, 0.9));
+        assert_eq!((p.sl_min, p.sl_max), (0.4, 1.0));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn samples_respect_bounds() {
+        let p = SecurityParams::default();
+        let mut rng = stream(1, Stream::SecurityDemand);
+        for _ in 0..1000 {
+            let sd = p.sample_sd(&mut rng);
+            let sl = p.sample_sl(&mut rng);
+            assert!((p.sd_min..=p.sd_max).contains(&sd));
+            assert!((p.sl_min..=p.sl_max).contains(&sl));
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let p = SecurityParams {
+            sd_min: 0.7,
+            sd_max: 0.7,
+            sl_min: 0.5,
+            sl_max: 0.5,
+        };
+        let mut rng = stream(2, Stream::SecurityDemand);
+        assert_eq!(p.sample_sd(&mut rng), 0.7);
+        assert_eq!(p.sample_sl(&mut rng), 0.5);
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let mut p = SecurityParams::default();
+        p.sd_min = 0.95;
+        p.sd_max = 0.6;
+        assert!(p.validate().is_err());
+        let mut q = SecurityParams::default();
+        q.sl_max = 1.5;
+        assert!(q.validate().is_err());
+    }
+}

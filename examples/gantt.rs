@@ -1,0 +1,77 @@
+//! Timeline recording: render an ASCII Gantt chart of a small run and
+//! trace one failed job's journey across sites.
+//!
+//! Run with: `cargo run --release --example gantt`
+
+use gridsec::prelude::*;
+
+fn main() {
+    let grid = Grid::new(vec![
+        Site::builder(0)
+            .nodes(2)
+            .speed(3.0)
+            .security_level(0.45)
+            .build()
+            .unwrap(),
+        Site::builder(1)
+            .nodes(2)
+            .speed(1.5)
+            .security_level(0.75)
+            .build()
+            .unwrap(),
+        Site::builder(2)
+            .nodes(4)
+            .speed(1.0)
+            .security_level(0.95)
+            .build()
+            .unwrap(),
+    ])
+    .unwrap();
+    let jobs: Vec<Job> = (0..24)
+        .map(|i| {
+            Job::builder(i)
+                .arrival(Time::new(i as f64 * 40.0))
+                .work(300.0 + 40.0 * (i % 5) as f64)
+                .width(1 + (i % 2) as u32)
+                .security_demand(0.6 + 0.03 * (i % 10) as f64)
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+    let config = SimConfig::default()
+        .with_interval(Time::new(200.0))
+        .with_lambda(6.0)
+        .unwrap()
+        .with_timeline();
+    let mut scheduler = MinMin::new(RiskMode::Risky);
+    let out = simulate(&jobs, &grid, &mut scheduler, &config).unwrap();
+    println!("{}\n", out.summary());
+
+    let timeline = out.timeline.expect("requested with with_timeline()");
+    println!(
+        "Gantt ({} attempts, horizon {:.0} s; '#' busy, '!' failure):\n",
+        timeline.len(),
+        timeline.horizon().seconds()
+    );
+    print!("{}", timeline.ascii_gantt(grid.len(), 100));
+
+    // Trace the first job that failed somewhere.
+    if let Some(fail) = timeline.spans().iter().find(|s| s.failed) {
+        println!("\njourney of {} (first failing job):", fail.job);
+        for span in timeline.job_history(fail.job) {
+            println!(
+                "  {} on {}: {:>7.0} s -> {:>7.0} s  [{}]",
+                span.job,
+                span.site,
+                span.start.seconds(),
+                span.end.seconds(),
+                if span.failed {
+                    "FAILED, rescheduled to a safe site"
+                } else {
+                    "completed"
+                }
+            );
+        }
+    }
+}

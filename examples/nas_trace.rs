@@ -1,0 +1,64 @@
+//! NAS trace scenario: replay the (synthetic) NASA Ames iPSC/860 trace on
+//! the paper's 12-site Grid, and optionally load the *real* trace from a
+//! Standard Workload Format file.
+//!
+//! Run with:
+//!   cargo run --release --example nas_trace            # synthetic trace
+//!   cargo run --release --example nas_trace -- path.swf  # real SWF trace
+
+use gridsec::prelude::*;
+use gridsec::workloads::swf;
+use gridsec::workloads::NasConfig;
+
+fn main() {
+    let nas = NasConfig::default().with_n_jobs(2_000);
+    let grid = nas.grid().unwrap();
+
+    // Load jobs: from an SWF file when given, else the synthetic trace.
+    let jobs: Vec<Job> = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let records = swf::parse(&text).expect("valid SWF");
+            println!("loaded {} SWF records from {path}", records.len());
+            swf::to_jobs(&records, &swf::ConvertOptions::default()).expect("convertible")
+        }
+        None => {
+            let w = nas.generate().unwrap();
+            println!(
+                "generated synthetic NAS trace: {} jobs over {:.1} days",
+                w.jobs.len(),
+                w.jobs.last().unwrap().arrival.seconds() / 86_400.0
+            );
+            w.jobs
+        }
+    };
+
+    let config = SimConfig::default().with_interval(Time::hours(1.0));
+
+    println!(
+        "\ngrid: 4 x 16-node + 8 x 8-node sites, SL = {}\n",
+        grid.sites()
+            .map(|s| format!("{:.2}", s.security_level))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    for mode in [RiskMode::Secure, RiskMode::FRisky(0.5), RiskMode::Risky] {
+        let mut mm = MinMin::new(mode);
+        let out = simulate(&jobs, &grid, &mut mm, &config).unwrap();
+        println!("{}", out.summary());
+        let mut sf = Sufferage::new(mode);
+        let out = simulate(&jobs, &grid, &mut sf, &config).unwrap();
+        println!("{}", out.summary());
+    }
+
+    // Utilisation profile under the risky Sufferage (cf. Fig. 9).
+    let mut sf = Sufferage::new(RiskMode::Risky);
+    let out = simulate(&jobs, &grid, &mut sf, &config).unwrap();
+    println!("\nper-site utilisation under Sufferage Risky:");
+    for (i, u) in out.metrics.site_utilization.iter().enumerate() {
+        let bar = "#".repeat((u / 2.5) as usize);
+        println!("  S{:<2} {:>5.1}% {}", i + 1, u, bar);
+    }
+}

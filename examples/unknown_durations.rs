@@ -1,0 +1,76 @@
+//! Scheduling with unknown job durations — the paper's §5 future-work
+//! question: how do the heuristics and the STGA fare when the scheduler's
+//! execution-time estimates are wrong?
+//!
+//! The engine shows the scheduler *estimated* work while executing the
+//! *true* work, so misestimation corrupts placement decisions exactly the
+//! way stale user estimates do in production batch systems.
+//!
+//! Run with: `cargo run --release --example unknown_durations`
+
+use gridsec::prelude::*;
+use gridsec::sim::EstimateModel;
+use gridsec::workloads::PsaConfig;
+
+fn main() {
+    let w = PsaConfig::default().with_n_jobs(400).generate().unwrap();
+    let base = SimConfig::default().with_interval(Time::new(1_000.0));
+
+    let scenarios: Vec<(&str, EstimateModel)> = vec![
+        ("exact estimates     ", EstimateModel::Exact),
+        (
+            "within 25% of truth ",
+            EstimateModel::Multiplicative { err: 0.25 },
+        ),
+        (
+            "within 2x of truth  ",
+            EstimateModel::Multiplicative { err: 1.0 },
+        ),
+        (
+            "within 5x of truth  ",
+            EstimateModel::Multiplicative { err: 4.0 },
+        ),
+        (
+            "total ignorance     ",
+            EstimateModel::Constant { work: 150_000.0 },
+        ),
+    ];
+
+    println!(
+        "duration-estimate sensitivity, {} PSA jobs, Min-Min 0.5-risky vs Sufferage 0.5-risky\n",
+        w.jobs.len()
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>11} {:>11}",
+        "estimates", "Min-Min (s)", "Sufferage (s)", "MM slowdn", "SF slowdn"
+    );
+    for (label, model) in scenarios {
+        let config = base.clone().with_estimates(model);
+        let mm = simulate(
+            &w.jobs,
+            &w.grid,
+            &mut MinMin::new(RiskMode::FRisky(0.5)),
+            &config,
+        )
+        .unwrap();
+        let sf = simulate(
+            &w.jobs,
+            &w.grid,
+            &mut Sufferage::new(RiskMode::FRisky(0.5)),
+            &config,
+        )
+        .unwrap();
+        println!(
+            "{label:<22} {:>14.0} {:>14.0} {:>11.2} {:>11.2}",
+            mm.metrics.makespan.seconds(),
+            sf.metrics.makespan.seconds(),
+            mm.metrics.slowdown_ratio,
+            sf.metrics.slowdown_ratio,
+        );
+    }
+    println!(
+        "\nModerate noise barely moves the needle (placement ranks are \
+         stable under\nmultiplicative error); total ignorance degrades \
+         both heuristics toward\nload-oblivious behaviour."
+    );
+}

@@ -1,0 +1,85 @@
+//! Reproducibility: identical seeds must give bit-identical results, and
+//! different seeds must actually change the stochastic components.
+
+use gridsec::prelude::*;
+use gridsec::workloads::{NasConfig, PsaConfig};
+
+#[test]
+fn psa_simulation_is_deterministic() {
+    let w = PsaConfig::default().with_n_jobs(150).generate().unwrap();
+    let config = SimConfig::default().with_interval(Time::new(1_000.0));
+    let run = || {
+        let mut s = MinMin::new(RiskMode::Risky);
+        simulate(&w.jobs, &w.grid, &mut s, &config).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.n_batches, b.n_batches);
+}
+
+#[test]
+fn stga_is_deterministic_given_seed() {
+    let w = PsaConfig::default().with_n_jobs(100).generate().unwrap();
+    let config = SimConfig::default().with_interval(Time::new(1_000.0));
+    let run = || {
+        let mut stga = Stga::new(StgaParams {
+            ga: GaParams::default()
+                .with_population(40)
+                .with_generations(15)
+                .with_seed(77),
+            ..StgaParams::default()
+        })
+        .unwrap();
+        stga.train(&w.jobs[..50], &w.grid, 8).unwrap();
+        simulate(&w.jobs, &w.grid, &mut stga, &config).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn different_failure_seeds_change_outcomes() {
+    // A workload guaranteed to create risk-taking (risky mode, low-SL
+    // sites), so the failure stream matters.
+    let w = PsaConfig::default().with_n_jobs(400).generate().unwrap();
+    let a = simulate(
+        &w.jobs,
+        &w.grid,
+        &mut MinMin::new(RiskMode::Risky),
+        &SimConfig::default()
+            .with_interval(Time::new(1_000.0))
+            .with_seed(1),
+    )
+    .unwrap();
+    let b = simulate(
+        &w.jobs,
+        &w.grid,
+        &mut MinMin::new(RiskMode::Risky),
+        &SimConfig::default()
+            .with_interval(Time::new(1_000.0))
+            .with_seed(2),
+    )
+    .unwrap();
+    // Same risk exposure, different realised failures (overwhelmingly
+    // likely with hundreds of risky jobs).
+    assert_eq!(a.metrics.n_jobs, b.metrics.n_jobs);
+    assert_ne!(
+        (a.metrics.n_fail, a.metrics.makespan),
+        (b.metrics.n_fail, b.metrics.makespan),
+        "different seeds should realise different failures"
+    );
+}
+
+#[test]
+fn workload_generators_are_seed_stable() {
+    let a = PsaConfig::default().with_n_jobs(60).generate().unwrap();
+    let b = PsaConfig::default().with_n_jobs(60).generate().unwrap();
+    assert_eq!(a.jobs, b.jobs);
+    assert_eq!(a.grid, b.grid);
+    let c = NasConfig::default().with_n_jobs(60).generate().unwrap();
+    let d = NasConfig::default().with_n_jobs(60).generate().unwrap();
+    assert_eq!(c.jobs, d.jobs);
+    assert_eq!(c.grid, d.grid);
+}

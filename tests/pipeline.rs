@@ -1,0 +1,164 @@
+//! End-to-end integration: workloads → schedulers → simulator → metrics,
+//! across every algorithm in the paper's roster.
+
+use gridsec::prelude::*;
+use gridsec::workloads::{NasConfig, PsaConfig};
+
+fn psa(n: usize) -> (Vec<Job>, Grid) {
+    let w = PsaConfig::default().with_n_jobs(n).generate().unwrap();
+    (w.jobs, w.grid)
+}
+
+fn nas(n: usize) -> (Vec<Job>, Grid) {
+    let w = NasConfig::default().with_n_jobs(n).generate().unwrap();
+    (w.jobs, w.grid)
+}
+
+fn all_schedulers(jobs: &[Job], grid: &Grid) -> Vec<Box<dyn BatchScheduler>> {
+    let mut stga = Stga::new(StgaParams {
+        ga: GaParams::default().with_population(40).with_generations(15),
+        ..StgaParams::default()
+    })
+    .unwrap();
+    stga.train(&jobs[..jobs.len().min(60)], grid, 8).unwrap();
+    vec![
+        Box::new(MinMin::new(RiskMode::Secure)),
+        Box::new(MinMin::new(RiskMode::FRisky(0.5))),
+        Box::new(MinMin::new(RiskMode::Risky)),
+        Box::new(Sufferage::new(RiskMode::Secure)),
+        Box::new(Sufferage::new(RiskMode::FRisky(0.5))),
+        Box::new(Sufferage::new(RiskMode::Risky)),
+        Box::new(MaxMin::new(RiskMode::Risky)),
+        Box::new(Duplex::new(RiskMode::FRisky(0.5))),
+        Box::new(Kpb::new(RiskMode::Risky, 40.0).unwrap()),
+        Box::new(Mct::new(RiskMode::Risky)),
+        Box::new(Met::new(RiskMode::FRisky(0.5))),
+        Box::new(Olb::new(RiskMode::Secure)),
+        Box::new(RandomScheduler::new(RiskMode::Risky, 5)),
+        Box::new(stga),
+        Box::new(
+            StandardGa::new(GaParams::default().with_population(30).with_generations(10)).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn every_scheduler_drains_a_psa_workload() {
+    let (jobs, grid) = psa(120);
+    let config = SimConfig::default().with_interval(Time::new(1_000.0));
+    for mut s in all_schedulers(&jobs, &grid) {
+        let out = simulate(&jobs, &grid, s.as_mut(), &config)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", s.name()));
+        assert_eq!(out.metrics.n_jobs, 120, "{}", s.name());
+        assert!(out.metrics.n_fail <= out.metrics.n_risk, "{}", s.name());
+        assert!(out.metrics.slowdown_ratio >= 1.0, "{}", s.name());
+        assert!(out.metrics.makespan > Time::ZERO, "{}", s.name());
+        assert!(
+            out.metrics.avg_response >= out.metrics.avg_service,
+            "{}",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn every_scheduler_drains_a_nas_workload() {
+    let (jobs, grid) = nas(150);
+    let config = SimConfig::default().with_interval(Time::hours(1.0));
+    for mut s in all_schedulers(&jobs, &grid) {
+        let out = simulate(&jobs, &grid, s.as_mut(), &config)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", s.name()));
+        assert_eq!(out.metrics.n_jobs, 150, "{}", s.name());
+        assert!(out.metrics.n_fail <= out.metrics.n_risk, "{}", s.name());
+    }
+}
+
+#[test]
+fn secure_mode_never_fails_jobs() {
+    let (jobs, grid) = psa(150);
+    // All security demands within reach of the best site → secure mode can
+    // honour every job (SL max is ~1.0, SD max 0.9 — but a random grid may
+    // have max SL below 0.9, in which case the fallback takes max-SL sites
+    // and some risk remains possible; so assert the *stronger* property
+    // only when the grid can honour it).
+    let max_sl = grid.max_security_level();
+    let honourable = jobs.iter().all(|j| j.security_demand <= max_sl);
+    let config = SimConfig::default().with_interval(Time::new(1_000.0));
+    for mode_secure in [true, false] {
+        let mut s = if mode_secure {
+            MinMin::new(RiskMode::Secure)
+        } else {
+            MinMin::new(RiskMode::Risky)
+        };
+        let out = simulate(&jobs, &grid, &mut s, &config).unwrap();
+        if mode_secure && honourable {
+            assert_eq!(out.metrics.n_risk, 0);
+            assert_eq!(out.metrics.n_fail, 0);
+        }
+    }
+}
+
+#[test]
+fn risky_modes_trade_failures_for_makespan() {
+    let (jobs, grid) = psa(300);
+    let config = SimConfig::default().with_interval(Time::new(1_000.0));
+    let secure = simulate(&jobs, &grid, &mut MinMin::new(RiskMode::Secure), &config).unwrap();
+    let risky = simulate(&jobs, &grid, &mut MinMin::new(RiskMode::Risky), &config).unwrap();
+    // The aggressive mode must take at least as much risk …
+    assert!(risky.metrics.n_risk >= secure.metrics.n_risk);
+    // … and with the paper's distributions it should pay off on makespan
+    // (more sites usable → better balance).
+    assert!(
+        risky.metrics.makespan <= secure.metrics.makespan,
+        "risky {} vs secure {}",
+        risky.metrics.makespan,
+        secure.metrics.makespan
+    );
+}
+
+#[test]
+fn stga_is_competitive_with_heuristics_on_makespan() {
+    let (jobs, grid) = psa(200);
+    let config = SimConfig::default().with_interval(Time::new(1_000.0));
+    let mm = simulate(&jobs, &grid, &mut MinMin::new(RiskMode::Risky), &config)
+        .unwrap()
+        .metrics
+        .makespan;
+    let mut stga = Stga::new(StgaParams {
+        ga: GaParams::default().with_population(60).with_generations(30),
+        ..StgaParams::default()
+    })
+    .unwrap();
+    stga.train(&jobs[..100], &grid, 8).unwrap();
+    let st = simulate(&jobs, &grid, &mut stga, &config)
+        .unwrap()
+        .metrics
+        .makespan;
+    // Allow a small tolerance: per-batch optimisation is not globally
+    // optimal, but the STGA should be in the heuristic's neighbourhood or
+    // better.
+    assert!(
+        st.seconds() <= mm.seconds() * 1.05,
+        "STGA {st} vs Min-Min Risky {mm}"
+    );
+}
+
+#[test]
+fn utilization_bounded_and_consistent() {
+    let (jobs, grid) = nas(200);
+    let config = SimConfig::default().with_interval(Time::hours(1.0));
+    let out = simulate(&jobs, &grid, &mut Sufferage::new(RiskMode::Risky), &config).unwrap();
+    assert_eq!(out.metrics.site_utilization.len(), grid.len());
+    for &u in &out.metrics.site_utilization {
+        assert!((0.0..=100.0 + 1e-9).contains(&u), "utilisation {u}");
+    }
+    // Overall utilisation is the node-weighted mean of per-site values.
+    let total_nodes: f64 = grid.sites().map(|s| f64::from(s.nodes)).sum();
+    let weighted: f64 = grid
+        .sites()
+        .zip(&out.metrics.site_utilization)
+        .map(|(s, &u)| u * f64::from(s.nodes))
+        .sum::<f64>()
+        / total_nodes;
+    assert!((weighted - out.metrics.overall_utilization).abs() < 1e-6);
+}

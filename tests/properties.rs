@@ -1,0 +1,109 @@
+//! Cross-crate property tests: random workloads and grids through the
+//! full pipeline must uphold the model invariants.
+
+use gridsec::prelude::*;
+use proptest::prelude::*;
+
+/// Random but valid grids: 1–6 sites, 1–8 nodes, speeds 0.5–4, SL 0–1.
+fn arb_grid() -> impl Strategy<Value = Grid> {
+    prop::collection::vec((1u32..=8, 0.5f64..4.0, 0.0f64..=1.0), 1..=6).prop_map(|specs| {
+        Grid::new(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (nodes, speed, sl))| {
+                    Site::builder(i)
+                        .nodes(nodes)
+                        .speed(speed)
+                        .security_level(sl)
+                        .build()
+                        .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+/// Random jobs with widths that always fit the widest site of `max_nodes`.
+fn arb_jobs(max_nodes: u32) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (1.0f64..5_000.0, 0.0f64..=1.0, 0.0f64..50_000.0, 1u32..=8),
+        1..40,
+    )
+    .prop_map(move |specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (work, sd, arrival, width))| {
+                Job::builder(i as u64)
+                    .work(work)
+                    .security_demand(sd)
+                    .arrival(Time::new(arrival))
+                    .width(width.min(max_nodes))
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    })
+}
+
+/// A coupled (grid, jobs) case where every job fits somewhere.
+fn arb_case() -> impl Strategy<Value = (Grid, Vec<Job>)> {
+    arb_grid().prop_flat_map(|grid| {
+        let max = grid.max_nodes();
+        arb_jobs(max).prop_map(move |jobs| (grid.clone(), jobs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn minmin_simulation_upholds_invariants(
+        (grid, jobs) in arb_case(),
+        seed in 0u64..1000,
+    ) {
+        let config = SimConfig::default()
+            .with_interval(Time::new(500.0))
+            .with_seed(seed);
+        let out = simulate(&jobs, &grid, &mut MinMin::new(RiskMode::FRisky(0.5)), &config).unwrap();
+        prop_assert_eq!(out.metrics.n_jobs, jobs.len());
+        prop_assert!(out.metrics.n_fail <= out.metrics.n_risk);
+        prop_assert!(out.metrics.slowdown_ratio >= 1.0 - 1e-9);
+        prop_assert!(out.metrics.avg_wait >= -1e-9);
+        // Makespan is at least the longest single execution lower bound.
+        let fastest_speed = grid.sites().map(|s| s.speed).fold(f64::MIN, f64::max);
+        let lb = jobs
+            .iter()
+            .map(|j| j.work / fastest_speed)
+            .fold(0.0f64, f64::max);
+        prop_assert!(out.metrics.makespan.seconds() >= lb - 1e-6);
+    }
+
+    #[test]
+    fn all_modes_complete_everything(
+        (grid, jobs) in arb_case(),
+        seed in 0u64..200,
+    ) {
+        let config = SimConfig::default()
+            .with_interval(Time::new(750.0))
+            .with_seed(seed);
+        for mode in [RiskMode::Secure, RiskMode::FRisky(0.3), RiskMode::Risky] {
+            let out = simulate(&jobs, &grid, &mut Sufferage::new(mode), &config).unwrap();
+            prop_assert_eq!(out.metrics.n_jobs, jobs.len());
+        }
+    }
+
+    #[test]
+    fn utilization_in_range(
+        (grid, jobs) in arb_case(),
+        seed in 0u64..200,
+    ) {
+        let config = SimConfig::default().with_seed(seed);
+        let out = simulate(&jobs, &grid, &mut Mct::new(RiskMode::Risky), &config).unwrap();
+        for &u in &out.metrics.site_utilization {
+            prop_assert!((0.0..=100.0 + 1e-9).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! SWF round-trip integration: synthetic NAS trace → SWF text → parse →
+//! convert → simulate, proving real archive traces drop in unchanged.
+
+use gridsec::prelude::*;
+use gridsec::workloads::swf::{self, ConvertOptions};
+use gridsec::workloads::NasConfig;
+
+#[test]
+fn swf_roundtrip_preserves_scheduling_inputs() {
+    let w = NasConfig::default().with_n_jobs(120).generate().unwrap();
+    let text = swf::write(&w.jobs);
+    let records = swf::parse(&text).unwrap();
+    assert_eq!(records.len(), w.jobs.len());
+
+    // Convert with no squeeze/folding beyond what the jobs already have.
+    let opts = ConvertOptions {
+        max_width: 16,
+        time_squeeze: 1.0,
+        seed: 42,
+        ..ConvertOptions::default()
+    };
+    let jobs = swf::to_jobs(&records, &opts).unwrap();
+    assert_eq!(jobs.len(), w.jobs.len());
+    for (a, b) in jobs.iter().zip(&w.jobs) {
+        assert_eq!(a.arrival, b.arrival);
+        assert_eq!(a.width, b.width);
+        assert!((a.work - b.work).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn swf_loaded_trace_simulates_end_to_end() {
+    let w = NasConfig::default().with_n_jobs(100).generate().unwrap();
+    let text = swf::write(&w.jobs);
+    let records = swf::parse(&text).unwrap();
+    let jobs = swf::to_jobs(
+        &records,
+        &ConvertOptions {
+            time_squeeze: 1.0,
+            ..ConvertOptions::default()
+        },
+    )
+    .unwrap();
+    let config = SimConfig::default().with_interval(Time::hours(1.0));
+    let out = simulate(
+        &jobs,
+        &w.grid,
+        &mut MinMin::new(RiskMode::FRisky(0.5)),
+        &config,
+    )
+    .unwrap();
+    assert_eq!(out.metrics.n_jobs, 100);
+}
+
+#[test]
+fn swf_parse_handles_the_archive_preamble() {
+    // A realistic archive header followed by two jobs.
+    let text = "\
+; Version: 2.2
+; Computer: Intel iPSC/860
+; Installation: NASA Ames Research Center
+; MaxJobs: 42264
+; MaxProcs: 128
+; Note: scrubbed
+1 0 10 120 32 -1 -1 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+2 60 5 3600 128 -1 -1 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+";
+    let records = swf::parse(text).unwrap();
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[1].processors, 128);
+    let jobs = swf::to_jobs(&records, &ConvertOptions::default()).unwrap();
+    // 128-proc job folds to the 16-node cap with 8× the work.
+    assert_eq!(jobs[1].width, 16);
+    assert!((jobs[1].work - 3600.0 * 8.0).abs() < 1e-9);
+}
