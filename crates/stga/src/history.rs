@@ -375,8 +375,14 @@ mod tests {
         let mut back = HistoryTable::from_json(&json).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.capacity(), 3);
-        assert_eq!(back.lookup(&s1, 0.99, 1), vec![Chromosome::from_genes(vec![0])]);
-        assert_eq!(back.lookup(&s2, 0.99, 1), vec![Chromosome::from_genes(vec![1])]);
+        assert_eq!(
+            back.lookup(&s1, 0.99, 1),
+            vec![Chromosome::from_genes(vec![0])]
+        );
+        assert_eq!(
+            back.lookup(&s2, 0.99, 1),
+            vec![Chromosome::from_genes(vec![1])]
+        );
         assert!(HistoryTable::from_json("{").is_err());
     }
 

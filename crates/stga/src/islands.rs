@@ -1,5 +1,5 @@
 //! Island-model parallel GA: several sub-populations evolve concurrently
-//! (one OS thread per island, crossbeam-scoped) and exchange their best
+//! (one OS thread per island, `std::thread::scope`d) and exchange their best
 //! individuals along a ring after every epoch.
 //!
 //! Islands are a classic scalability construction for GAs: the per-island
@@ -103,7 +103,12 @@ pub fn evolve_islands(
     for epoch in 0..params.epochs {
         // Last epoch absorbs the rounding remainder.
         let gens = if epoch + 1 == params.epochs {
-            params.ga.generations - per_epoch * (params.epochs - 1)
+            // Saturating: with epochs > generations, per_epoch is clamped to
+            // 1 and the product can exceed the total.
+            params
+                .ga
+                .generations
+                .saturating_sub(per_epoch * (params.epochs - 1))
         } else {
             per_epoch
         };
@@ -111,10 +116,10 @@ pub fn evolve_islands(
             generations: gens.max(1),
             ..params.ga
         };
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(islands.len());
             for island in islands.iter_mut() {
-                let handle = scope.spawn(move |_| {
+                let handle = scope.spawn(move || {
                     let mut rng = stream(island.seed, Stream::Custom(epoch as u64));
                     let seeds = std::mem::take(&mut island.population);
                     let (result, population, fitness) = evolve_population(
@@ -141,8 +146,7 @@ pub fn evolve_islands(
             for h in handles {
                 h.join().expect("island thread must not panic");
             }
-        })
-        .expect("island scope");
+        });
 
         // Ring migration: island i sends its best `migrants` to island
         // (i+1) % k, replacing the receiver's worst individuals.

@@ -208,14 +208,20 @@ mod tests {
 
     #[test]
     fn params_validated() {
-        let mut p = SaParams::default();
-        p.iterations = 0;
+        let p = SaParams {
+            iterations: 0,
+            ..SaParams::default()
+        };
         assert!(SimulatedAnnealing::new(p).is_err());
-        let mut p = SaParams::default();
-        p.cooling = 1.0;
+        let p = SaParams {
+            cooling: 1.0,
+            ..SaParams::default()
+        };
         assert!(SimulatedAnnealing::new(p).is_err());
-        let mut p = SaParams::default();
-        p.t0_fraction = 0.0;
+        let p = SaParams {
+            t0_fraction: 0.0,
+            ..SaParams::default()
+        };
         assert!(SimulatedAnnealing::new(p).is_err());
     }
 }

@@ -213,11 +213,15 @@ mod tests {
 
     #[test]
     fn params_validated() {
-        let mut p = TabuParams::default();
-        p.iterations = 0;
+        let p = TabuParams {
+            iterations: 0,
+            ..TabuParams::default()
+        };
         assert!(TabuSearch::new(p).is_err());
-        let mut p = TabuParams::default();
-        p.tenure = 0;
+        let p = TabuParams {
+            tenure: 0,
+            ..TabuParams::default()
+        };
         assert!(TabuSearch::new(p).is_err());
     }
 }

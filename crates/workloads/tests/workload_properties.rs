@@ -46,7 +46,7 @@ proptest! {
         let w = cfg.generate().unwrap();
         prop_assert_eq!(w.jobs.len(), n);
         for j in &w.jobs {
-            prop_assert!(j.width <= fold.max(1).min(16));
+            prop_assert!(j.width <= fold.clamp(1, 16));
             prop_assert!(j.work > 0.0);
             prop_assert!((0.6..=0.9).contains(&j.security_demand));
         }

@@ -1,0 +1,540 @@
+//! Vendored minimal stand-in for `proptest` (the build environment has no
+//! access to crates.io). Implements the strategy/runner surface this
+//! workspace uses: range and tuple strategies, `prop::collection`,
+//! `prop::sample::Index`, `any`, `prop_map` / `prop_flat_map`, and the
+//! [`proptest!`] / [`prop_assert!`] macros.
+//!
+//! Cases are generated from a deterministic ChaCha8 stream seeded by the
+//! test name and case index. There is **no shrinking** — a failure reports
+//! the case number (re-runnable deterministically) instead of a minimised
+//! input.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (`ProptestConfig::with_cases(n)`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies while generating one case.
+pub struct TestRunner {
+    rng: ChaCha8Rng,
+}
+
+impl TestRunner {
+    /// Creates the deterministic runner for (`name`, `case`).
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            rng: ChaCha8Rng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn StrategyObject<T>>);
+
+trait StrategyObject<T> {
+    fn generate_obj(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> StrategyObject<S::Value> for S {
+    fn generate_obj(&self, runner: &mut TestRunner) -> S::Value {
+        self.generate(runner)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        self.0.generate_obj(runner)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+/// Types with a canonical strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(runner: &mut TestRunner) -> u64 {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(runner: &mut TestRunner) -> u32 {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        runner.rng().gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// Canonical strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Size specification accepted by collection strategies.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            /// Minimum length (inclusive).
+            pub min: usize,
+            /// Maximum length (inclusive).
+            pub max: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                let (min, max) = r.into_inner();
+                assert!(min <= max, "empty size range");
+                SizeRange { min, max }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n }
+            }
+        }
+
+        /// Strategy for `Vec<T>` with length drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(elem, size)`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let len = runner.rng().gen_range(self.size.min..=self.size.max);
+                (0..len).map(|_| self.elem.generate(runner)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<T>`.
+        pub struct BTreeSetStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::btree_set(elem, size)`.
+        pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let target = runner.rng().gen_range(self.size.min..=self.size.max);
+                let mut out = std::collections::BTreeSet::new();
+                // Bounded attempts in case the element domain is too small.
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < target * 50 + 100 {
+                    out.insert(self.elem.generate(runner));
+                    attempts += 1;
+                }
+                assert!(
+                    out.len() >= self.size.min,
+                    "btree_set: element domain too small to reach minimum size {} (got {})",
+                    self.size.min,
+                    out.len()
+                );
+                out
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::*;
+
+        /// An index into a not-yet-known-length collection.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Maps this abstract index into `[0, len)`. Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(runner: &mut TestRunner) -> Index {
+                Index(runner.rng().gen())
+            }
+        }
+    }
+}
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+/// Runs one property over `cases` deterministic cases. Used by
+/// [`proptest!`]; public so the macro can reach it.
+pub fn run_property<F: FnMut(&mut TestRunner) -> Result<(), String>>(
+    name: &str,
+    cases: u32,
+    mut body: F,
+) {
+    for case in 0..cases as u64 {
+        let mut runner = TestRunner::deterministic(name, case);
+        match body(&mut runner) {
+            Ok(()) => {}
+            Err(msg) => panic!(
+                "proptest property `{name}` failed at case {case}/{cases}: {msg}\n\
+                 (cases are deterministic; re-run reproduces this failure)"
+            ),
+        }
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// the harness directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when an assumption does not hold. The stub
+/// treats a discard as a pass (no retry budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares deterministic property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn it_holds(x in 0u32..10, (a, b) in my_strategy()) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @funcs ($cfg); $($rest)* }
+    };
+    (@funcs ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategies = ($($strategy,)+);
+            $crate::run_property(stringify!($name), __config.cases, |__runner| {
+                let ($($pat,)+) = $crate::Strategy::generate(&__strategies, __runner);
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @funcs ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 1u32..=8, y in 0.5f64..4.0) {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!((0.5..4.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u8..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for x in v {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn flat_map_composes(
+            (n, v) in (1usize..5).prop_flat_map(|n| {
+                prop::collection::vec(0.0f64..1.0, n..=n).prop_map(move |v| (n, v))
+            }),
+        ) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn index_maps_into_len(i in any::<prop::sample::Index>(), len in 1usize..100) {
+            prop_assert!(i.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case() {
+        crate::run_property("always_fails", 3, |_runner| Err("boom".to_string()));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRunner::deterministic("t", 5);
+        let mut b = TestRunner::deterministic("t", 5);
+        let sa = (0u32..100).generate(&mut a);
+        let sb = (0u32..100).generate(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,122 @@
+//! Vendored stand-in for `rayon` (the build environment has no access to
+//! crates.io). Exposes the `par_iter` surface this workspace uses, executed
+//! **sequentially** — call sites keep rayon idioms so a real rayon can be
+//! swapped back in by replacing this vendor crate.
+
+use std::marker::PhantomData;
+
+/// Sequential "parallel" iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    inner: std::slice::Iter<'a, T>,
+}
+
+impl<'a, T> Iterator for ParIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        self.inner.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, T> ParIter<'a, T> {
+    /// `rayon`'s `map_init`: `init` runs once per worker (here: once), and
+    /// the state is threaded through every call.
+    pub fn map_init<S, O, I, F>(self, init: I, f: F) -> MapInit<'a, T, S, I, F>
+    where
+        I: FnMut() -> S,
+        F: FnMut(&mut S, &'a T) -> O,
+    {
+        MapInit {
+            iter: self.inner,
+            state: None,
+            init,
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Iterator produced by [`ParIter::map_init`].
+pub struct MapInit<'a, T, S, I, F> {
+    iter: std::slice::Iter<'a, T>,
+    state: Option<S>,
+    init: I,
+    f: F,
+    _marker: PhantomData<&'a T>,
+}
+
+impl<'a, T, S, O, I, F> Iterator for MapInit<'a, T, S, I, F>
+where
+    I: FnMut() -> S,
+    F: FnMut(&mut S, &'a T) -> O,
+{
+    type Item = O;
+    fn next(&mut self) -> Option<O> {
+        let item = self.iter.next()?;
+        if self.state.is_none() {
+            self.state = Some((self.init)());
+        }
+        Some((self.f)(
+            self.state.as_mut().expect("state initialised"),
+            item,
+        ))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+/// Extension trait providing `par_iter`, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// Returns the (sequential) "parallel" iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// The rayon prelude.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_init_threads_state() {
+        let xs = vec![1, 2, 3, 4];
+        let out: Vec<i32> = xs
+            .par_iter()
+            .map_init(Vec::new, |scratch: &mut Vec<i32>, &x| {
+                scratch.push(x);
+                x + *scratch.last().expect("just pushed")
+            })
+            .collect();
+        assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let xs = [5, 6, 7];
+        let out: Vec<i32> = xs.par_iter().copied().collect();
+        assert_eq!(out, vec![5, 6, 7]);
+    }
+}

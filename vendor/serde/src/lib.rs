@@ -1,0 +1,679 @@
+//! Vendored minimal stand-in for `serde` (the build environment has no
+//! access to crates.io). It keeps serde's *trait signatures* — so manual
+//! `impl Serialize`/`impl Deserialize` written against real serde compile
+//! unchanged — but routes everything through a simple JSON-like [`Value`]
+//! data model instead of serde's visitor machinery. The companion
+//! `serde_json` vendor crate renders and parses that model.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Display;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory data model every serialisation passes through.
+///
+/// Object fields keep insertion order so output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction).
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key when `self` is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `f64` if this is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialisation-side traits and helpers.
+pub mod ser {
+    use super::*;
+
+    /// The error trait serializers expose (`serde::ser::Error`).
+    pub trait Error: Sized + Display {
+        /// Builds an error from any printable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Converts any serialisable value into a [`Value`], adapting the error
+    /// type — the helper the derive macro uses for each field.
+    pub fn to_value_in<T: Serialize + ?Sized, E: Error>(value: &T) -> Result<Value, E> {
+        crate::to_value(value).map_err(|e| E::custom(e))
+    }
+}
+
+/// Deserialisation-side traits and helpers.
+pub mod de {
+    use super::*;
+
+    /// The error trait deserializers expose (`serde::de::Error`).
+    pub trait Error: Sized + Display {
+        /// Builds an error from any printable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A value that can be deserialised without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Deserialises a [`Value`] into `T`, adapting the error type — the
+    /// helper the derive macro uses for each field.
+    pub fn from_value_in<T: DeserializeOwned, E: Error>(value: Value) -> Result<T, E> {
+        T::deserialize(crate::ValueDeserializer(value)).map_err(|e| E::custom(e))
+    }
+}
+
+pub use de::DeserializeOwned;
+
+/// The concrete error used by the in-tree serializer/deserializer.
+#[derive(Debug, Clone)]
+pub struct SerdeError(pub String);
+
+impl Display for SerdeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+impl ser::Error for SerdeError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SerdeError(msg.to_string())
+    }
+}
+
+impl de::Error for SerdeError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SerdeError(msg.to_string())
+    }
+}
+
+/// A data format that can serialise the [`Value`] model.
+///
+/// Default methods cover the typed entry points manual impls call
+/// (`serialize_f64`, `serialize_none`, …); implementors only provide
+/// [`Serializer::serialize_value`].
+pub trait Serializer: Sized {
+    /// Output of a successful serialisation.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes a fully-built [`Value`].
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialises an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F64(v))
+    }
+    /// Serialises an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::I64(v))
+    }
+    /// Serialises a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v))
+    }
+    /// Serialises a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+    /// Serialises a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_string()))
+    }
+    /// Serialises a missing value (`None` / JSON `null`).
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+    /// Serialises a present optional value.
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Self::Ok, Self::Error> {
+        let value = ser::to_value_in::<T, Self::Error>(v)?;
+        self.serialize_value(value)
+    }
+    /// Serialises a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A data format the [`Value`] model can be read back from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Yields the complete input as a [`Value`].
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be serialised (same signature as real serde).
+pub trait Serialize {
+    /// Serialises `self` into the given format.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialised (same signature shape as real serde).
+pub trait Deserialize<'de>: Sized {
+    /// Deserialises a value of this type.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The serializer that materialises the [`Value`] model.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerdeError;
+    fn serialize_value(self, value: Value) -> Result<Value, SerdeError> {
+        Ok(value)
+    }
+}
+
+/// The deserializer that reads back from an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = SerdeError;
+    fn take_value(self) -> Result<Value, SerdeError> {
+        Ok(self.0)
+    }
+}
+
+/// Serialises `value` into the [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, SerdeError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialises a `T` out of a [`Value`].
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, SerdeError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and standard containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty => $variant:ident as $as:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::$variant(*self as $as))
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64
+);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a, E: ser::Error>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, E> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(ser::to_value_in::<T, E>(item)?);
+    }
+    Ok(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S::Error>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S::Error>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S::Error>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S::Error>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(ser::to_value_in::<$name, S::Error>(&self.$idx)?),+];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+    )+};
+}
+
+impl_ser_tuple!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// Map keys representable as JSON object keys.
+pub trait JsonKey: Sized {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    fn from_key(key: &str) -> Option<Self>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Option<Self> {
+        Some(key.to_string())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Option<Self> {
+                key.parse().ok()
+            }
+        }
+    )*};
+}
+
+impl_json_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+fn map_to_value<'a, K: JsonKey + 'a, V: Serialize + 'a, E: ser::Error>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Result<Value, E> {
+    let mut out = Vec::new();
+    for (k, v) in entries {
+        out.push((k.to_key(), ser::to_value_in::<V, E>(v)?));
+    }
+    Ok(Value::Object(out))
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = map_to_value::<K, V, S::Error>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<K: JsonKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort keys for deterministic output.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by_key(|(k, _)| k.to_key());
+        let v = map_to_value::<K, V, S::Error>(entries.into_iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+fn type_error<T, E: de::Error>(expected: &str, got: &Value) -> Result<T, E> {
+    Err(E::custom(format!("expected {expected}, got {got:?}")))
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                let out = match v {
+                    Value::I64(x) => <$t>::try_from(x).ok(),
+                    Value::U64(x) => <$t>::try_from(x).ok(),
+                    // Exclusive upper bound: `MAX as f64` rounds *up* to a
+                    // power of two for 64-bit types, so `x <= MAX as f64`
+                    // would admit MAX+1 and silently saturate. `MAX as f64
+                    // + 1.0` is exactly the first out-of-range value for
+                    // every width (rounding is a no-op where it matters).
+                    Value::F64(x) if x.fract() == 0.0
+                        && x >= <$t>::MIN as f64
+                        && x < <$t>::MAX as f64 + 1.0 => Some(x as $t),
+                    _ => None,
+                };
+                match out {
+                    Some(x) => Ok(x),
+                    None => type_error(stringify!($t), &v),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        match v.as_f64() {
+            Some(x) => Ok(x),
+            None => type_error("f64", &v),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        match v.as_f64() {
+            Some(x) => Ok(x as f32),
+            None => type_error("f32", &v),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        match v {
+            Value::Bool(b) => Ok(b),
+            _ => type_error("bool", &v),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        match v {
+            Value::Str(s) => Ok(s),
+            _ => type_error("string", &v),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        match &v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => type_error("char", &v),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        match v {
+            Value::Null => Ok(()),
+            _ => type_error("null", &v),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(de::from_value_in::<T, D::Error>(other)?)),
+        }
+    }
+}
+
+fn value_to_seq<T: DeserializeOwned, E: de::Error>(v: Value) -> Result<Vec<T>, E> {
+    match v {
+        Value::Array(items) => items
+            .into_iter()
+            .map(|item| de::from_value_in::<T, E>(item))
+            .collect(),
+        other => type_error("array", &other),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        value_to_seq::<T, D::Error>(deserializer.take_value()?)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(value_to_seq::<T, D::Error>(deserializer.take_value()?)?.into())
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = value_to_seq::<T, D::Error>(deserializer.take_value()?)?;
+        let n = items.len();
+        items.try_into().map_err(|_| {
+            <D::Error as de::Error>::custom(format!("expected array of length {N}, got {n}"))
+        })
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($name:ident),+)),+) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(de::from_value_in::<$name, D::Error>(
+                            it.next().expect("length checked"),
+                        )?,)+))
+                    }
+                    other => type_error(concat!("array of length ", $len), &other),
+                }
+            }
+        }
+    )+};
+}
+
+impl_de_tuple!(
+    (2; T0, T1),
+    (3; T0, T1, T2),
+    (4; T0, T1, T2, T3),
+    (5; T0, T1, T2, T3, T4)
+);
+
+fn value_to_map<K: JsonKey, V: DeserializeOwned, E: de::Error>(v: Value) -> Result<Vec<(K, V)>, E> {
+    match v {
+        Value::Object(fields) => fields
+            .into_iter()
+            .map(|(k, v)| {
+                let key =
+                    K::from_key(&k).ok_or_else(|| E::custom(format!("invalid map key `{k}`")))?;
+                Ok((key, de::from_value_in::<V, E>(v)?))
+            })
+            .collect(),
+        other => type_error("object", &other),
+    }
+}
+
+impl<'de, K: JsonKey + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(value_to_map::<K, V, D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, K: JsonKey + Eq + Hash, V: DeserializeOwned> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(value_to_map::<K, V, D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_value(&3u32).unwrap(), Value::U64(3));
+        assert_eq!(from_value::<u32>(Value::U64(3)).unwrap(), 3);
+        assert_eq!(from_value::<f64>(Value::I64(-2)).unwrap(), -2.0);
+        assert_eq!(from_value::<String>(Value::Str("hi".into())).unwrap(), "hi");
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        assert_eq!(to_value(&None::<u8>).unwrap(), Value::Null);
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+        let v = vec![1u8, 2, 3];
+        let val = to_value(&v).unwrap();
+        assert_eq!(from_value::<Vec<u8>>(val).unwrap(), v);
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert(4u32, 7usize);
+        let val = to_value(&m).unwrap();
+        assert_eq!(val.get("4"), Some(&Value::U64(7)));
+        assert_eq!(from_value::<BTreeMap<u32, usize>>(val).unwrap(), m);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u8, "x".to_string(), 2.5f64);
+        let val = to_value(&t).unwrap();
+        assert_eq!(from_value::<(u8, String, f64)>(val).unwrap(), t);
+    }
+
+    #[test]
+    fn int_overflow_rejected() {
+        assert!(from_value::<u8>(Value::U64(300)).is_err());
+        assert!(from_value::<u32>(Value::F64(1.5)).is_err());
+    }
+
+    #[test]
+    fn float_just_past_64bit_max_rejected_not_saturated() {
+        // 2^63 == i64::MAX + 1 and 2^64 == u64::MAX + 1: both must error,
+        // not silently saturate to MAX.
+        assert!(from_value::<i64>(Value::F64(9_223_372_036_854_775_808.0)).is_err());
+        assert!(from_value::<u64>(Value::F64(18_446_744_073_709_551_616.0)).is_err());
+        // The largest exactly-representable in-range floats still convert.
+        assert!(from_value::<i64>(Value::F64(9_223_372_036_854_774_784.0)).is_ok());
+        assert_eq!(
+            from_value::<i64>(Value::F64(-9.223372036854776e18)).unwrap(),
+            i64::MIN
+        );
+    }
+}

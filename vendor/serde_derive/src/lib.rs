@@ -1,0 +1,667 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! in-tree `serde` stand-in (the build environment has no access to
+//! crates.io, so `syn`/`quote` are unavailable — parsing is a hand-rolled
+//! scan over `proc_macro::TokenTree`s).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (`#[serde(default)]`,
+//!   `#[serde(default = "path")]`, and implicit `Option` defaulting);
+//! * newtype structs (serialised transparently);
+//! * enums with unit / newtype / tuple / struct variants, externally tagged
+//!   by default or internally tagged via `#[serde(tag = "...")]`, with
+//!   `#[serde(rename_all = "snake_case")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    /// `None` → required; `Some(None)` → `Default::default()`;
+    /// `Some(Some(path))` → `path()`.
+    default: Option<Option<String>>,
+    /// Whether the declared type is syntactically `Option<…>` (missing
+    /// fields then deserialise to `None`, matching real serde).
+    is_option: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    NewtypeStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        tag: Option<String>,
+        rename_all: Option<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token scanning helpers.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+/// Serde attribute directives gathered from `#[serde(...)]` lists.
+#[derive(Debug, Default)]
+struct SerdeAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    /// `default` flag: `Some(None)` bare, `Some(Some(path))` with a path.
+    default: Option<Option<String>>,
+}
+
+/// Consumes leading attributes, folding any `#[serde(...)]` contents.
+fn eat_attrs(cur: &mut Cursor) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        let is_attr = matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+        if !is_attr {
+            return attrs;
+        }
+        cur.next(); // '#'
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive: malformed attribute, got {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.eat_ident("serde") {
+            continue; // doc comment, derive list, etc.
+        }
+        let list = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde derive: malformed #[serde] attribute: {other:?}"),
+        };
+        let mut args = Cursor::new(list.stream());
+        while args.peek().is_some() {
+            let key = args.expect_ident();
+            let value = if args.eat_punct('=') {
+                match args.next() {
+                    Some(TokenTree::Literal(l)) => {
+                        let s = l.to_string();
+                        Some(s.trim_matches('"').to_string())
+                    }
+                    other => panic!("serde derive: expected literal after `{key} =`: {other:?}"),
+                }
+            } else {
+                None
+            };
+            match (key.as_str(), value) {
+                ("tag", Some(v)) => attrs.tag = Some(v),
+                ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+                ("default", v) => attrs.default = Some(v),
+                (other, _) => {
+                    panic!("serde derive: unsupported serde attribute `{other}` (vendored stub)")
+                }
+            }
+            args.eat_punct(',');
+        }
+    }
+}
+
+fn eat_visibility(cur: &mut Cursor) {
+    if cur.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cur.next();
+            }
+        }
+    }
+}
+
+/// Consumes type tokens up to a top-level comma, returning their text.
+/// Tracks `<`/`>` depth so commas inside generics don't end the field; the
+/// `>` of an `->` return-type arrow (a joint `-` followed by `>`) is not a
+/// generic close and must not change the depth.
+fn eat_type(cur: &mut Cursor) -> String {
+    let mut depth: i32 = 0;
+    let mut text = String::new();
+    let mut prev_joint_minus = false;
+    while let Some(tok) = cur.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_joint_minus => depth -= 1,
+            _ => {}
+        }
+        prev_joint_minus = matches!(
+            tok,
+            TokenTree::Punct(p) if p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint
+        );
+        text.push_str(&tok.to_string());
+        cur.next();
+    }
+    text
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = eat_attrs(&mut cur);
+        eat_visibility(&mut cur);
+        let name = cur.expect_ident();
+        assert!(
+            cur.eat_punct(':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        let ty = eat_type(&mut cur);
+        cur.eat_punct(',');
+        let is_option = ty.starts_with("Option<")
+            || ty.starts_with("::std::option::Option<")
+            || ty.starts_with("std::option::Option<")
+            || ty.starts_with("core::option::Option<");
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            is_option,
+        });
+    }
+    fields
+}
+
+/// Counts top-level fields of a tuple struct / tuple variant payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while cur.peek().is_some() {
+        let _attrs = eat_attrs(&mut cur);
+        eat_visibility(&mut cur);
+        let ty = eat_type(&mut cur);
+        if !ty.is_empty() {
+            count += 1;
+        }
+        cur.eat_punct(',');
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let _attrs = eat_attrs(&mut cur);
+        let name = cur.expect_ident();
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                if n == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) on unit variants.
+        if cur.eat_punct('=') {
+            while let Some(tok) = cur.peek() {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.next();
+            }
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let attrs = eat_attrs(&mut cur);
+    eat_visibility(&mut cur);
+    if cur.eat_ident("struct") {
+        let name = cur.expect_ident();
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                assert!(
+                    n == 1,
+                    "serde derive: only 1-field tuple structs supported (got {n} in `{name}`)"
+                );
+                Item::NewtypeStruct { name }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde derive: generic types unsupported by the vendored stub (`{name}`)")
+            }
+            other => panic!("serde derive: unexpected struct body for `{name}`: {other:?}"),
+        }
+    } else if cur.eat_ident("enum") {
+        let name = cur.expect_ident();
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                tag: attrs.tag,
+                rename_all: attrs.rename_all,
+                variants: parse_variants(g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde derive: generic enums unsupported by the vendored stub (`{name}`)")
+            }
+            other => panic!("serde derive: unexpected enum body for `{name}`: {other:?}"),
+        }
+    } else {
+        panic!("serde derive: expected `struct` or `enum`");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen.
+// ---------------------------------------------------------------------------
+
+fn rename(variant: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in variant.chars().enumerate() {
+                if ch.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(ch.to_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde derive: unsupported rename_all rule `{other}`"),
+        None => variant.to_string(),
+    }
+}
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from(
+        "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        code.push_str(&format!(
+            "__obj.push((\"{name}\".to_string(), \
+             ::serde::ser::to_value_in::<_, S::Error>({prefix}{name})?));\n",
+            name = f.name,
+            prefix = access_prefix,
+        ));
+    }
+    code
+}
+
+fn de_named_fields(fields: &[Field], ctor: &str, obj_expr: &str) -> String {
+    let mut code = format!(
+        "let __fields = {obj_expr};\n\
+         let __get = |k: &str| __fields.iter().find(|(kk, _)| kk == k).map(|(_, v)| v);\n\
+         ::std::result::Result::Ok({ctor} {{\n"
+    );
+    for f in fields {
+        let missing = match (&f.default, f.is_option) {
+            (Some(None), _) => "::std::default::Default::default()".to_string(),
+            (Some(Some(path)), _) => format!("{path}()"),
+            (None, true) => "::std::option::Option::None".to_string(),
+            (None, false) => format!(
+                "return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 \"missing field `{}`\"))",
+                f.name
+            ),
+        };
+        code.push_str(&format!(
+            "{name}: match __get(\"{name}\") {{\n\
+             ::std::option::Option::Some(__v) => \
+             ::serde::de::from_value_in::<_, D::Error>(__v.clone())?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+        ));
+    }
+    code.push_str("})\n");
+    code
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let mut body = ser_named_fields(fields, "&self.");
+            body.push_str(
+                "::serde::Serializer::serialize_value(serializer, ::serde::Value::Object(__obj))",
+            );
+            (name, body)
+        }
+        Item::NewtypeStruct { name } => (
+            name,
+            "let __v = ::serde::ser::to_value_in::<_, S::Error>(&self.0)?;\n\
+             ::serde::Serializer::serialize_value(serializer, __v)"
+                .to_string(),
+        ),
+        Item::Enum {
+            name,
+            tag,
+            rename_all,
+            variants,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let public = rename(vname, rename_all.as_deref());
+                let arm = match (&v.kind, tag) {
+                    (VariantKind::Unit, None) => format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_value(serializer, \
+                         ::serde::Value::Str(\"{public}\".to_string())),\n"
+                    ),
+                    (VariantKind::Unit, Some(tag)) => format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_value(serializer, \
+                         ::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                         ::serde::Value::Str(\"{public}\".to_string()))])),\n"
+                    ),
+                    (VariantKind::Newtype, None) => format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let __v = ::serde::ser::to_value_in::<_, S::Error>(__f0)?;\n\
+                         ::serde::Serializer::serialize_value(serializer, \
+                         ::serde::Value::Object(vec![(\"{public}\".to_string(), __v)]))\n}}\n"
+                    ),
+                    (VariantKind::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pushes: String = binds
+                            .iter()
+                            .map(|b| {
+                                format!(
+                                    "__items.push(::serde::ser::to_value_in::<_, S::Error>({b})?);\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname}({binds_pat}) => {{\n\
+                             let mut __items: ::std::vec::Vec<::serde::Value> = \
+                             ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Serializer::serialize_value(serializer, \
+                             ::serde::Value::Object(vec![(\"{public}\".to_string(), \
+                             ::serde::Value::Array(__items))]))\n}}\n",
+                            binds_pat = binds.join(", "),
+                        )
+                    }
+                    (VariantKind::Struct(fields), maybe_tag) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let ser_fields = ser_named_fields(fields, "");
+                        let finish = match maybe_tag {
+                            Some(tag) => format!(
+                                "__obj.insert(0, (\"{tag}\".to_string(), \
+                                 ::serde::Value::Str(\"{public}\".to_string())));\n\
+                                 ::serde::Serializer::serialize_value(serializer, \
+                                 ::serde::Value::Object(__obj))\n"
+                            ),
+                            None => format!(
+                                "::serde::Serializer::serialize_value(serializer, \
+                                 ::serde::Value::Object(vec![(\"{public}\".to_string(), \
+                                 ::serde::Value::Object(__obj))]))\n"
+                            ),
+                        };
+                        format!(
+                            "{name}::{vname} {{ {binds_pat} }} => {{\n{ser_fields}{finish}}}\n",
+                            binds_pat = binds.join(", "),
+                        )
+                    }
+                    (VariantKind::Newtype | VariantKind::Tuple(_), Some(_)) => panic!(
+                        "serde derive: tuple variants cannot be internally tagged (`{vname}`)"
+                    ),
+                };
+                arms.push_str(&arm);
+            }
+            (name, format!("match self {{\n{arms}}}\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::std::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let de = de_named_fields(
+                fields,
+                name,
+                &format!(
+                    "match __v {{ ::serde::Value::Object(m) => m, other => \
+                     return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                     format!(\"expected object for struct {name}, got {{other:?}}\"))) }}"
+                ),
+            );
+            (name, de)
+        }
+        Item::NewtypeStruct { name } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::de::from_value_in::<_, D::Error>(__v)?))"
+            ),
+        ),
+        Item::Enum {
+            name,
+            tag,
+            rename_all,
+            variants,
+        } => {
+            let body = match tag {
+                Some(tag) => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let public = rename(vname, rename_all.as_deref());
+                        let arm = match &v.kind {
+                            VariantKind::Unit => format!(
+                                "\"{public}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                            ),
+                            VariantKind::Struct(fields) => {
+                                let de = de_named_fields(
+                                    fields,
+                                    &format!("{name}::{vname}"),
+                                    "match &__v { ::serde::Value::Object(m) => m.clone(), _ => \
+                                     unreachable!(\"tag found implies object\") }",
+                                );
+                                format!("\"{public}\" => {{ {de} }}\n")
+                            }
+                            _ => panic!(
+                                "serde derive: tuple variants cannot be internally tagged \
+                                 (`{vname}`)"
+                            ),
+                        };
+                        arms.push_str(&arm);
+                    }
+                    format!(
+                        "let __tag = match __v.get(\"{tag}\") {{\n\
+                         ::std::option::Option::Some(::serde::Value::Str(s)) => s.clone(),\n\
+                         _ => return ::std::result::Result::Err(\
+                         <D::Error as ::serde::de::Error>::custom(\
+                         \"missing or non-string tag `{tag}` for enum {name}\")),\n}};\n\
+                         match __tag.as_str() {{\n{arms}\
+                         other => ::std::result::Result::Err(\
+                         <D::Error as ::serde::de::Error>::custom(\
+                         format!(\"unknown {name} tag `{{other}}`\"))),\n}}\n"
+                    )
+                }
+                None => {
+                    let mut str_arms = String::new();
+                    let mut obj_arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let public = rename(vname, rename_all.as_deref());
+                        match &v.kind {
+                            VariantKind::Unit => str_arms.push_str(&format!(
+                                "\"{public}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                            )),
+                            VariantKind::Newtype => obj_arms.push_str(&format!(
+                                "\"{public}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::de::from_value_in::<_, D::Error>(__inner)?)),\n"
+                            )),
+                            VariantKind::Tuple(n) => {
+                                let extracts: String = (0..*n)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::de::from_value_in::<_, D::Error>(\
+                                             __items[{i}].clone())?,"
+                                        )
+                                    })
+                                    .collect();
+                                obj_arms.push_str(&format!(
+                                    "\"{public}\" => {{\n\
+                                     let __items = match __inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                                     other => return ::std::result::Result::Err(\
+                                     <D::Error as ::serde::de::Error>::custom(\
+                                     format!(\"expected {n}-element array for {name}::{vname}, \
+                                     got {{other:?}}\"))),\n}};\n\
+                                     ::std::result::Result::Ok({name}::{vname}({extracts}))\n}}\n"
+                                ));
+                            }
+                            VariantKind::Struct(fields) => {
+                                let de = de_named_fields(
+                                    fields,
+                                    &format!("{name}::{vname}"),
+                                    "match __inner { ::serde::Value::Object(m) => m, other => \
+                                     return ::std::result::Result::Err(\
+                                     <D::Error as ::serde::de::Error>::custom(\
+                                     format!(\"expected object payload, got {other:?}\"))) }",
+                                );
+                                obj_arms.push_str(&format!("\"{public}\" => {{ {de} }}\n"));
+                            }
+                        }
+                    }
+                    format!(
+                        "match __v {{\n\
+                         ::serde::Value::Str(ref __s) => match __s.as_str() {{\n{str_arms}\
+                         other => ::std::result::Result::Err(\
+                         <D::Error as ::serde::de::Error>::custom(\
+                         format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                         ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __inner) = __m.into_iter().next().expect(\"len checked\");\n\
+                         match __k.as_str() {{\n{obj_arms}\
+                         other => ::std::result::Result::Err(\
+                         <D::Error as ::serde::de::Error>::custom(\
+                         format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                         other => ::std::result::Result::Err(\
+                         <D::Error as ::serde::de::Error>::custom(\
+                         format!(\"cannot deserialise {name} from {{other:?}}\"))),\n}}\n"
+                    )
+                }
+            };
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::std::result::Result<Self, D::Error> {{\n\
+         let __v = ::serde::Deserializer::take_value(deserializer)?;\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
