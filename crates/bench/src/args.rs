@@ -9,6 +9,12 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Optional path for a JSON dump of the results.
     pub json: Option<String>,
+    /// Worker threads for parallel sections (`None` = the rayon default:
+    /// `RAYON_NUM_THREADS` or all available cores).
+    pub threads: Option<usize>,
+    /// Independent replications per configuration (seeds derived from
+    /// `seed`; replications run in parallel on the thread pool).
+    pub reps: usize,
 }
 
 impl Default for BenchArgs {
@@ -17,15 +23,21 @@ impl Default for BenchArgs {
             quick: false,
             seed: 2005,
             json: None,
+            threads: None,
+            reps: 1,
         }
     }
 }
 
 impl BenchArgs {
-    /// Parses `--quick`, `--seed <u64>` and `--json <path>` from the
-    /// process arguments; unknown arguments abort with a usage message.
+    /// Parses `--quick`, `--seed <u64>`, `--json <path>`, `--threads <n>`
+    /// and `--reps <n>` from the process arguments, then applies
+    /// `--threads` to the global thread pool; unknown arguments abort
+    /// with a usage message.
     pub fn parse() -> BenchArgs {
-        Self::parse_from(std::env::args().skip(1))
+        let out = Self::parse_from(std::env::args().skip(1));
+        out.apply_threads();
+        out
     }
 
     /// Parses from an explicit argument iterator (testable).
@@ -42,11 +54,57 @@ impl BenchArgs {
                 "--json" => {
                     out.json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
                 }
+                "--threads" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--threads needs a value"));
+                    let n: usize = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads must be a positive integer"));
+                    if n == 0 {
+                        usage("--threads must be a positive integer");
+                    }
+                    out.threads = Some(n);
+                }
+                "--reps" => {
+                    let v = it.next().unwrap_or_else(|| usage("--reps needs a value"));
+                    let n: usize = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--reps must be a positive integer"));
+                    if n == 0 {
+                        usage("--reps must be a positive integer");
+                    }
+                    out.reps = n;
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument `{other}`")),
             }
         }
         out
+    }
+
+    /// For binaries that have no replicated mode: warns loudly when
+    /// `--reps` was passed, so a single-replication table is never
+    /// mistaken for a mean.
+    pub fn warn_unused_reps(&self, bin: &str) {
+        if self.reps > 1 {
+            eprintln!(
+                "warning: `{bin}` has no replicated mode; --reps {} ignored, \
+                 running a single replication",
+                self.reps
+            );
+        }
+    }
+
+    /// Sizes the global rayon pool to `--threads`, if given. Must run
+    /// before the first parallel section (`parse` calls it for you).
+    pub fn apply_threads(&self) {
+        if let Some(n) = self.threads {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("--threads must be applied before any parallel work");
+        }
     }
 }
 
@@ -54,7 +112,14 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--quick] [--seed <u64>] [--json <path>]");
+    eprintln!(
+        "usage: <bin> [--quick] [--seed <u64>] [--json <path>] [--threads <n>] [--reps <n>]\n\
+         \n\
+         --threads <n>  worker threads for parallel sections\n\
+         \x20              (default: RAYON_NUM_THREADS or all available cores)\n\
+         --reps <n>     independent replications per configuration, run in\n\
+         \x20              parallel and averaged (default: 1)"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -72,13 +137,27 @@ mod tests {
         assert!(!a.quick);
         assert_eq!(a.seed, 2005);
         assert!(a.json.is_none());
+        assert!(a.threads.is_none());
+        assert_eq!(a.reps, 1);
     }
 
     #[test]
     fn parses_flags() {
-        let a = v(&["--quick", "--seed", "42", "--json", "out.json"]);
+        let a = v(&[
+            "--quick",
+            "--seed",
+            "42",
+            "--json",
+            "out.json",
+            "--threads",
+            "3",
+            "--reps",
+            "5",
+        ]);
         assert!(a.quick);
         assert_eq!(a.seed, 42);
         assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.threads, Some(3));
+        assert_eq!(a.reps, 5);
     }
 }

@@ -15,6 +15,7 @@ use gridsec_stga::{GaParams, Stga, StgaParams};
 
 fn main() {
     let args = BenchArgs::parse();
+    args.warn_unused_reps("ablations");
     let n = if args.quick { 200 } else { 1000 };
     let w = psa_setup(n, args.seed);
 

@@ -4,12 +4,30 @@
 //! (d) average response time.
 
 use gridsec_bench::{
-    make_stga, maybe_dump, print_header, psa_setup, psa_sim_config, run_one, AsciiTable, BenchArgs,
-    ExperimentRecord,
+    make_stga, maybe_dump, print_header, psa_setup, psa_sim_config, replication_seeds, run_one,
+    AsciiTable, BenchArgs, ExperimentRecord, MetricMeans,
 };
 use gridsec_core::RiskMode;
 use gridsec_heuristics::{MinMin, Sufferage};
-use gridsec_sim::SimOutput;
+use gridsec_sim::{simulate, SimOutput};
+use rayon::prelude::*;
+
+const MODE: RiskMode = RiskMode::FRisky(RiskMode::PAPER_F);
+
+/// The figure's three schedulers on one (N, seed) configuration, without
+/// printing (replications run concurrently).
+fn trio(n: usize, seed: u64) -> Vec<SimOutput> {
+    let w = psa_setup(n, seed);
+    let config = psa_sim_config(seed);
+    let mut mm = MinMin::new(MODE);
+    let mut sf = Sufferage::new(MODE);
+    let mut stga = make_stga(&w.jobs, &w.grid, seed, 100, 8).expect("valid STGA params");
+    vec![
+        simulate(&w.jobs, &w.grid, &mut mm, &config).expect("simulation must drain"),
+        simulate(&w.jobs, &w.grid, &mut sf, &config).expect("simulation must drain"),
+        simulate(&w.jobs, &w.grid, &mut stga, &config).expect("simulation must drain"),
+    ]
+}
 
 fn main() {
     let args = BenchArgs::parse();
@@ -18,9 +36,13 @@ fn main() {
     } else {
         vec![1_000, 2_000, 5_000, 10_000]
     };
+    if args.reps > 1 {
+        run_replicated(&args, &sizes);
+        return;
+    }
     print_header(&format!("Fig. 10: PSA scaling, N in {sizes:?}"));
 
-    let mode = RiskMode::FRisky(RiskMode::PAPER_F);
+    let mode = MODE;
     let mut records: Vec<ExperimentRecord> = Vec::new();
     let mut rows: Vec<(usize, Vec<SimOutput>)> = Vec::new();
     for &n in &sizes {
@@ -54,6 +76,68 @@ fn main() {
         let mut table = AsciiTable::new(vec!["N", "Min-Min f-Risky", "Sufferage f-Risky", "STGA"]);
         for (n, outs) in &rows {
             table.row(vec![n.to_string(), f(&outs[0]), f(&outs[1]), f(&outs[2])]);
+        }
+        table.print();
+    }
+    maybe_dump(&args.json, &records);
+}
+
+/// `--reps R`: R independent replications per N, fanned out over the
+/// thread pool, reported as means.
+fn run_replicated(args: &BenchArgs, sizes: &[usize]) {
+    print_header(&format!(
+        "Fig. 10: PSA scaling, N in {sizes:?}, mean of {} replications",
+        args.reps
+    ));
+    let seeds = replication_seeds(args.seed, args.reps);
+    // One parallel task per (N, seed) pair: the pool load-balances the
+    // mixed run lengths.
+    let pairs: Vec<(usize, u64)> = sizes
+        .iter()
+        .flat_map(|&n| seeds.iter().map(move |&s| (n, s)))
+        .collect();
+    let runs: Vec<Vec<SimOutput>> = pairs.par_iter().map(|&(n, seed)| trio(n, seed)).collect();
+
+    let mut records: Vec<ExperimentRecord> = Vec::new();
+    for (pair, outs) in pairs.iter().zip(&runs) {
+        for o in outs {
+            records.push(ExperimentRecord::new(
+                "fig10",
+                format!("N={} seed={} {}", pair.0, pair.1, o.scheduler_name),
+                o.clone(),
+            ));
+        }
+    }
+
+    type MeanFmt = fn(&MetricMeans) -> String;
+    for (title, f) in [
+        (
+            "(a) makespan (s)",
+            (|m| format!("{:.3e}", m.makespan)) as MeanFmt,
+        ),
+        ("(b) Nfail / Nrisk", |m| {
+            format!("{:.1} / {:.1}", m.n_fail, m.n_risk)
+        }),
+        ("(c) slowdown ratio", |m| format!("{:.2}", m.slowdown)),
+        ("(d) avg response (s)", |m| {
+            format!("{:.3e}", m.avg_response)
+        }),
+    ] {
+        println!("\nFig. 10{title}");
+        let mut table = AsciiTable::new(vec!["N", "Min-Min f-Risky", "Sufferage f-Risky", "STGA"]);
+        for &n in sizes {
+            let mut cells = vec![n.to_string()];
+            for algo in 0..3 {
+                let m = MetricMeans::of(
+                    pairs
+                        .iter()
+                        .zip(&runs)
+                        .filter(|((pn, _), _)| *pn == n)
+                        .map(|(_, outs)| &outs[algo]),
+                );
+                cells.push(f(&m));
+            }
+            table.row(cells);
         }
         table.print();
     }

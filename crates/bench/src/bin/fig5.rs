@@ -16,6 +16,7 @@ use gridsec_stga::{GaParams, StandardGa, Stga, StgaParams};
 
 fn main() {
     let args = BenchArgs::parse();
+    args.warn_unused_reps("fig5");
     let rounds = if args.quick { 4 } else { 10 };
     let batch_size = 12;
     let w = psa_setup(rounds * batch_size, args.seed);

@@ -11,6 +11,7 @@ use gridsec_heuristics::{MinMin, Sufferage};
 
 fn main() {
     let args = BenchArgs::parse();
+    args.warn_unused_reps("fig7a");
     let n = if args.quick { 200 } else { 1000 };
     let w = psa_setup(n, args.seed);
     let config = psa_sim_config(args.seed);

@@ -12,6 +12,7 @@ use gridsec_bench::{
 
 fn main() {
     let args = BenchArgs::parse();
+    args.warn_unused_reps("fig7b");
     let n = if args.quick { 200 } else { 1000 };
     let w = psa_setup(n, args.seed);
     let config = psa_sim_config(args.seed);

@@ -3,13 +3,18 @@
 //! response time.
 
 use gridsec_bench::{
-    maybe_dump, nas_setup, nas_sim_config, paper_schedulers, print_header, run_one, AsciiTable,
-    BenchArgs, ExperimentRecord,
+    maybe_dump, nas_setup, nas_sim_config, paper_schedulers, print_header, replicate,
+    replication_seeds, run_one, AsciiTable, BenchArgs, ExperimentRecord, MetricMeans,
 };
+use gridsec_sim::{simulate, SimOutput};
 
 fn main() {
     let args = BenchArgs::parse();
     let n = if args.quick { 1_000 } else { 16_000 };
+    if args.reps > 1 {
+        run_replicated(&args, n);
+        return;
+    }
     let w = nas_setup(n, args.seed);
     let config = nas_sim_config(args.seed);
     print_header(&format!(
@@ -65,5 +70,56 @@ fn main() {
             100.0 * (mm_sec.avg_response / stga.avg_response - 1.0),
         );
     }
+    maybe_dump(&args.json, &records);
+}
+
+/// `--reps R`: R independent replications (fresh workload + failure seeds
+/// per replication) fanned out over the thread pool, reported as means.
+fn run_replicated(args: &BenchArgs, n: usize) {
+    print_header(&format!(
+        "Fig. 8: seven algorithms on the NAS trace (N = {n}, mean of {} replications)",
+        args.reps
+    ));
+    let seeds = replication_seeds(args.seed, args.reps);
+    let runs: Vec<Vec<SimOutput>> = replicate(&seeds, |seed| {
+        let w = nas_setup(n, seed);
+        let config = nas_sim_config(seed);
+        paper_schedulers(&w.jobs, &w.grid, seed, 15)
+            .into_iter()
+            .map(|mut s| {
+                simulate(&w.jobs, &w.grid, s.as_mut(), &config).expect("simulation must drain")
+            })
+            .collect()
+    });
+
+    let mut records = Vec::new();
+    let mut table = AsciiTable::new(vec![
+        "algorithm",
+        "makespan (s)",
+        "Nfail",
+        "Nrisk",
+        "slowdown",
+        "avg response (s)",
+    ]);
+    for i in 0..runs[0].len() {
+        let m = MetricMeans::of(runs.iter().map(|r| &r[i]));
+        table.row(vec![
+            runs[0][i].scheduler_name.clone(),
+            format!("{:.3e}", m.makespan),
+            format!("{:.1}", m.n_fail),
+            format!("{:.1}", m.n_risk),
+            format!("{:.2}", m.slowdown),
+            format!("{:.3e}", m.avg_response),
+        ]);
+        for (run, &seed) in runs.iter().zip(&seeds) {
+            records.push(ExperimentRecord::new(
+                "fig8",
+                format!("{} seed={seed}", run[i].scheduler_name),
+                run[i].clone(),
+            ));
+        }
+    }
+    println!();
+    table.print();
     maybe_dump(&args.json, &records);
 }

@@ -1,0 +1,339 @@
+//! Reproducible perf baseline: times the workspace's three dominant
+//! parallel workloads at 1, 2 and N threads and writes the speedup curve
+//! to `BENCH_PR2.json` (override with `--json <path>`).
+//!
+//! The three workloads mirror where the paper's experiments spend their
+//! time:
+//!
+//! 1. **STGA population fitness evaluation** — the GA hot path
+//!    (`par_iter().map_init(evaluate_with_scratch)` over the population).
+//! 2. **A fig5-style sweep** — conventional GA vs STGA over a sequence of
+//!    PSA batches (whole-scheduler wall-clock, parallel fitness inside).
+//! 3. **A multi-seed sim replication batch** — independent PSA
+//!    simulations fanned out per seed, the outer loop of every averaged
+//!    figure.
+//!
+//! Every workload is also checked for thread-count independence: digests
+//! of the results at 2 and N threads must be bit-identical to the
+//! 1-thread run, which in turn executes the exact sequential code path of
+//! the pre-pool shim.
+//!
+//! Run `--quick` for a smoke-sized configuration (CI) and `--threads <n>`
+//! to set the largest measured thread count.
+
+use gridsec_bench::{psa_setup, replicate, replication_seeds, BenchArgs};
+use gridsec_core::etc::{EtcMatrix, NodeAvailability};
+use gridsec_core::rng::{stream, Stream};
+use gridsec_core::{RiskMode, SecurityModel, Time};
+use gridsec_heuristics::common::MapCtx;
+use gridsec_heuristics::MinMin;
+use gridsec_sim::{simulate, BatchJob, BatchScheduler, GridView};
+use gridsec_stga::fitness::{evaluate_with_scratch, FitnessKind, DEFAULT_FLOW_WEIGHT};
+use gridsec_stga::{Chromosome, GaParams, StandardGa, Stga, StgaParams};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One workload timed at one thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RunTiming {
+    threads: usize,
+    /// Best-of-two wall-clock seconds.
+    secs: f64,
+    /// `secs(1 thread) / secs(this run)`.
+    speedup_vs_1_thread: f64,
+}
+
+/// The speedup curve of one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WorkloadReport {
+    name: String,
+    params: String,
+    runs: Vec<RunTiming>,
+    /// Result digests at every thread count matched the 1-thread run bit
+    /// for bit.
+    deterministic: bool,
+}
+
+/// The whole `BENCH_PR2.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PerfReport {
+    schema: String,
+    command: String,
+    host_available_parallelism: usize,
+    thread_counts: Vec<usize>,
+    workloads: Vec<WorkloadReport>,
+    note: String,
+}
+
+/// Sizing knobs for full vs `--quick` runs.
+struct Sizes {
+    population: usize,
+    eval_jobs: usize,
+    eval_sites: usize,
+    eval_iters: usize,
+    sweep_rounds: usize,
+    sweep_generations: usize,
+    sweep_population: usize,
+    rep_seeds: usize,
+    rep_jobs: usize,
+}
+
+impl Sizes {
+    fn new(quick: bool) -> Sizes {
+        if quick {
+            Sizes {
+                population: 96,
+                eval_jobs: 32,
+                eval_sites: 12,
+                eval_iters: 5,
+                sweep_rounds: 3,
+                sweep_generations: 15,
+                sweep_population: 60,
+                rep_seeds: 3,
+                rep_jobs: 120,
+            }
+        } else {
+            Sizes {
+                population: 512,
+                eval_jobs: 96,
+                eval_sites: 20,
+                eval_iters: 120,
+                sweep_rounds: 8,
+                sweep_generations: 80,
+                sweep_population: 200,
+                rep_seeds: 8,
+                rep_jobs: 1_000,
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.warn_unused_reps("perf_baseline");
+    let sizes = Sizes::new(args.quick);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let max_threads = args.threads.unwrap_or(host);
+    let mut thread_counts: Vec<usize> = [1, 2, max_threads]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    println!(
+        "perf baseline: thread counts {thread_counts:?} (host parallelism {host}), seed {}{}",
+        args.seed,
+        if args.quick { ", quick" } else { "" },
+    );
+
+    let workloads: Vec<WorkloadReport> = vec![
+        time_workload(
+            "stga_fitness_eval",
+            format!(
+                "population={} jobs={} sites={} iters={}",
+                sizes.population, sizes.eval_jobs, sizes.eval_sites, sizes.eval_iters
+            ),
+            &thread_counts,
+            || fitness_eval_workload(&sizes, args.seed),
+        ),
+        time_workload(
+            "fig5_sweep",
+            format!(
+                "rounds={} batch=12 population={} generations={}",
+                sizes.sweep_rounds, sizes.sweep_population, sizes.sweep_generations
+            ),
+            &thread_counts,
+            || fig5_sweep_workload(&sizes, args.seed),
+        ),
+        time_workload(
+            "sim_replication_batch",
+            format!("seeds={} psa_jobs={}", sizes.rep_seeds, sizes.rep_jobs),
+            &thread_counts,
+            || replication_workload(&sizes, args.seed),
+        ),
+    ];
+
+    let report = PerfReport {
+        schema: "gridsec-perf-baseline/v1".to_string(),
+        command: format!(
+            "perf_baseline{} --seed {} --threads {max_threads}",
+            if args.quick { " --quick" } else { "" },
+            args.seed
+        ),
+        host_available_parallelism: host,
+        thread_counts: thread_counts.clone(),
+        workloads,
+        note: "Wall-clock is best-of-two per thread count; speedups are relative to the \
+               1-thread run, which executes the strictly sequential code path. Absolute \
+               speedup is bounded by the host's available parallelism."
+            .to_string(),
+    };
+
+    let path = args.json.clone().unwrap_or_else(|| "BENCH_PR2.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&path, json).expect("write perf report");
+    println!("[wrote {path}]");
+}
+
+/// Times `work` at every thread count (dedicated pools, best of two runs)
+/// and verifies the result digest never changes.
+fn time_workload(
+    name: &str,
+    params: String,
+    thread_counts: &[usize],
+    work: impl Fn() -> u64,
+) -> WorkloadReport {
+    let mut runs: Vec<RunTiming> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    for &t in thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("pool builds");
+        let mut best = f64::INFINITY;
+        let mut digest = 0;
+        for _ in 0..2 {
+            let start = Instant::now();
+            digest = pool.install(&work);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        digests.push(digest);
+        let base = runs.first().map_or(best, |r: &RunTiming| r.secs);
+        runs.push(RunTiming {
+            threads: t,
+            secs: best,
+            speedup_vs_1_thread: base / best,
+        });
+        println!(
+            "  {name:>22} @ {t} thread(s): {best:.3}s (x{:.2})",
+            base / best
+        );
+    }
+    let deterministic = digests.iter().all(|&d| d == digests[0]);
+    assert!(
+        deterministic,
+        "{name}: results changed with thread count ({digests:?})"
+    );
+    WorkloadReport {
+        name: name.to_string(),
+        params,
+        runs,
+        deterministic,
+    }
+}
+
+/// Folds a float sequence into an order-sensitive digest of exact bits.
+fn digest_f64(acc: u64, x: f64) -> u64 {
+    acc.rotate_left(7) ^ x.to_bits()
+}
+
+/// Workload 1: repeated rayon-parallel population fitness evaluation on a
+/// synthetic batch — exactly the GA engine's `eval_all` hot path.
+fn fitness_eval_workload(sizes: &Sizes, seed: u64) -> u64 {
+    let n = sizes.eval_jobs;
+    let m = sizes.eval_sites;
+    let etc: Vec<f64> = (0..n * m).map(|i| 10.0 + ((i * 31) % 97) as f64).collect();
+    let ctx = MapCtx {
+        etc: EtcMatrix::from_raw(n, m, etc),
+        widths: vec![1; n],
+        arrivals: vec![Time::ZERO; n],
+        candidates: vec![(0..m).collect(); n],
+        now: Time::ZERO,
+        commit_order: vec![],
+    };
+    let avail = vec![NodeAvailability::new(2, Time::ZERO); m];
+    let mut rng = stream(seed, Stream::Genetic);
+    let population: Vec<Chromosome> = (0..sizes.population)
+        .map(|_| Chromosome::random(&ctx.candidates, &mut rng))
+        .collect();
+
+    let mut digest = 0;
+    for _ in 0..sizes.eval_iters {
+        let fitness: Vec<f64> = population
+            .par_iter()
+            .map_init(Vec::new, |scratch, c| {
+                evaluate_with_scratch(
+                    &ctx,
+                    &avail,
+                    scratch,
+                    c,
+                    FitnessKind::Makespan,
+                    None,
+                    DEFAULT_FLOW_WEIGHT,
+                )
+            })
+            .collect();
+        digest = fitness.iter().fold(digest, |a, &f| digest_f64(a, f));
+    }
+    digest
+}
+
+/// Workload 2: the fig5 round loop — conventional GA and STGA scheduling
+/// a sequence of similar PSA batches.
+fn fig5_sweep_workload(sizes: &Sizes, seed: u64) -> u64 {
+    let batch_size = 12;
+    let w = psa_setup(sizes.sweep_rounds * batch_size, seed);
+    let ga_params = GaParams::default()
+        .with_population(sizes.sweep_population)
+        .with_generations(sizes.sweep_generations)
+        .with_seed(seed);
+    let mut ga = StandardGa::new(ga_params).expect("valid GA params");
+    let mut stga = Stga::new(StgaParams {
+        ga: ga_params,
+        ..StgaParams::default()
+    })
+    .expect("valid STGA params");
+    let avail: Vec<NodeAvailability> = w
+        .grid
+        .sites()
+        .map(|s| NodeAvailability::new(s.nodes, Time::ZERO))
+        .collect();
+
+    let mut digest = 0;
+    for r in 0..sizes.sweep_rounds {
+        let batch: Vec<BatchJob> = w.jobs[r * batch_size..(r + 1) * batch_size]
+            .iter()
+            .cloned()
+            .map(|job| BatchJob {
+                job,
+                secure_only: false,
+            })
+            .collect();
+        let view = GridView {
+            grid: &w.grid,
+            avail: &avail,
+            now: Time::ZERO,
+            model: SecurityModel::default(),
+        };
+        let _ = ga.schedule(&batch, &view);
+        let _ = stga.schedule(&batch, &view);
+        for t in [ga.last_trajectory(), stga.last_trajectory()] {
+            let t = t.expect("scheduler ran");
+            digest = digest_f64(digest, t[0]);
+            digest = digest_f64(digest, t[t.len() - 1]);
+        }
+    }
+    digest
+}
+
+/// Workload 3: the outer replication loop of every averaged figure —
+/// independent per-seed PSA simulations fanned out over the pool.
+fn replication_workload(sizes: &Sizes, seed: u64) -> u64 {
+    let seeds = replication_seeds(seed, sizes.rep_seeds);
+    let outs = replicate(&seeds, |s| {
+        let w = psa_setup(sizes.rep_jobs, s);
+        let mut sched = MinMin::new(RiskMode::Risky);
+        let config = gridsec_bench::psa_sim_config(s);
+        simulate(&w.jobs, &w.grid, &mut sched, &config).expect("simulation must drain")
+    });
+    outs.iter().fold(0, |a, o| {
+        digest_f64(
+            digest_f64(a, o.metrics.makespan.seconds()),
+            o.metrics.avg_response,
+        )
+    })
+}

@@ -9,6 +9,7 @@ use gridsec_bench::{
 
 fn main() {
     let args = BenchArgs::parse();
+    args.warn_unused_reps("table2");
     let n = if args.quick { 1_000 } else { 16_000 };
     let w = nas_setup(n, args.seed);
     let config = nas_sim_config(args.seed);

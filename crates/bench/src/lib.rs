@@ -13,10 +13,15 @@
 //! | `fig10`     | Fig. 10   | PSA scaling, N ∈ {1000, 2000, 5000, 10000}            |
 //! | `fig5`      | Fig. 5    | GA-vs-STGA convergence trajectories                   |
 //! | `ablations` | DESIGN §6 | λ sweep, failure-timing, history knobs                |
+//! | `perf_baseline` | BENCH_PR2.json | wall-clock at 1/2/N threads (speedup curve)  |
 //!
 //! Every binary accepts `--quick` (scaled-down workloads for smoke runs),
-//! `--seed <u64>`, and `--json <path>` (machine-readable dump used to fill
-//! EXPERIMENTS.md). Criterion micro-benches live under `benches/`.
+//! `--seed <u64>`, `--json <path>` (machine-readable dump used to fill
+//! EXPERIMENTS.md), and `--threads <n>` (worker threads for the parallel
+//! sections); `fig8` and `fig10` additionally honour `--reps <n>`
+//! (independent replications fanned out over the thread pool — see
+//! [`replicate`]; the other binaries warn and ignore it). Criterion
+//! micro-benches live under `benches/`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -28,6 +33,6 @@ pub mod table;
 pub use args::BenchArgs;
 pub use runner::{
     make_stga, maybe_dump, nas_setup, nas_sim_config, paper_schedulers, psa_setup, psa_sim_config,
-    run_one, ExperimentRecord,
+    replicate, replication_seeds, run_one, ExperimentRecord, MetricMeans,
 };
 pub use table::{format_row, print_header, AsciiTable};

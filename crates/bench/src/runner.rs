@@ -1,5 +1,5 @@
-//! Experiment plumbing: workload setup, scheduler roster, single-run
-//! execution and JSON records.
+//! Experiment plumbing: workload setup, scheduler roster, single-run and
+//! parallel multi-seed replication execution, and JSON records.
 
 use gridsec_core::rng::subseed;
 use gridsec_core::{Grid, Job, Result, RiskMode, Time};
@@ -7,6 +7,7 @@ use gridsec_heuristics::{MinMin, Sufferage};
 use gridsec_sim::{simulate, BatchScheduler, SimConfig, SimOutput};
 use gridsec_stga::{GaParams, Stga, StgaParams};
 use gridsec_workloads::{NasConfig, NasWorkload, PsaConfig, PsaWorkload};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The PSA batch period (Table 1 gives none; DESIGN.md §3: 1000 s ≈ 8
@@ -100,6 +101,75 @@ pub fn run_one(
     out
 }
 
+/// Derives the seed list for `--reps` replications: replication 0 keeps
+/// the base seed (so a single-rep run is bit-identical to the plain run),
+/// later replications use independent subseeds.
+pub fn replication_seeds(base: u64, reps: usize) -> Vec<u64> {
+    (0..reps.max(1))
+        .map(|r| {
+            if r == 0 {
+                base
+            } else {
+                subseed(base, r as u64)
+            }
+        })
+        .collect()
+}
+
+/// Fans one run per seed out over the thread pool. The output order
+/// matches `seeds` regardless of thread count, so replicated sweeps are as
+/// deterministic as their single-seed counterparts.
+pub fn replicate<T: Send>(seeds: &[u64], run: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    seeds.par_iter().map(|&s| run(s)).collect()
+}
+
+/// Mean metrics over a set of replicated runs, for the `--reps` tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricMeans {
+    /// Number of replications averaged.
+    pub reps: usize,
+    /// Mean makespan (seconds).
+    pub makespan: f64,
+    /// Mean number of failed (rescheduled) jobs.
+    pub n_fail: f64,
+    /// Mean number of risky dispatches.
+    pub n_risk: f64,
+    /// Mean slowdown ratio.
+    pub slowdown: f64,
+    /// Mean average response time (seconds).
+    pub avg_response: f64,
+}
+
+impl MetricMeans {
+    /// Averages the metrics of `outputs` (which must be non-empty).
+    pub fn of<'a>(outputs: impl IntoIterator<Item = &'a SimOutput>) -> MetricMeans {
+        let mut m = MetricMeans {
+            reps: 0,
+            makespan: 0.0,
+            n_fail: 0.0,
+            n_risk: 0.0,
+            slowdown: 0.0,
+            avg_response: 0.0,
+        };
+        for o in outputs {
+            m.reps += 1;
+            m.makespan += o.metrics.makespan.seconds();
+            m.n_fail += o.metrics.n_fail as f64;
+            m.n_risk += o.metrics.n_risk as f64;
+            m.slowdown += o.metrics.slowdown_ratio;
+            m.avg_response += o.metrics.avg_response;
+        }
+        assert!(m.reps > 0, "cannot average zero replications");
+        let n = m.reps as f64;
+        m.makespan /= n;
+        m.n_fail /= n;
+        m.n_risk /= n;
+        m.slowdown /= n;
+        m.avg_response /= n;
+        m
+    }
+}
+
 /// A named experiment result for the JSON dump.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentRecord {
@@ -165,5 +235,52 @@ mod tests {
         let mut s = MinMin::new(RiskMode::Risky);
         let out = run_one(&w.jobs, &w.grid, &mut s, &psa_sim_config(3));
         assert_eq!(out.metrics.n_jobs, 30);
+    }
+
+    #[test]
+    fn replication_seeds_keep_the_base_first() {
+        assert_eq!(replication_seeds(7, 1), vec![7]);
+        let s = replication_seeds(7, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], 7);
+        let mut unique = s.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "replication seeds must be distinct");
+    }
+
+    #[test]
+    fn replicate_preserves_seed_order() {
+        let seeds = replication_seeds(11, 5);
+        let outs = replicate(&seeds, |s| {
+            let w = psa_setup(20, s);
+            let mut sched = MinMin::new(RiskMode::Risky);
+            simulate(&w.jobs, &w.grid, &mut sched, &psa_sim_config(s))
+                .expect("simulation must drain")
+        });
+        assert_eq!(outs.len(), 5);
+        // Slot 0 is the plain single-seed run, bit for bit.
+        let w = psa_setup(20, 11);
+        let mut sched = MinMin::new(RiskMode::Risky);
+        let direct = simulate(&w.jobs, &w.grid, &mut sched, &psa_sim_config(11)).unwrap();
+        assert_eq!(outs[0].metrics, direct.metrics);
+    }
+
+    #[test]
+    fn metric_means_average() {
+        let seeds = replication_seeds(3, 3);
+        let outs = replicate(&seeds, |s| {
+            let w = psa_setup(25, s);
+            let mut sched = MinMin::new(RiskMode::Risky);
+            simulate(&w.jobs, &w.grid, &mut sched, &psa_sim_config(s)).unwrap()
+        });
+        let m = MetricMeans::of(&outs);
+        assert_eq!(m.reps, 3);
+        let hand: f64 = outs
+            .iter()
+            .map(|o| o.metrics.makespan.seconds())
+            .sum::<f64>()
+            / 3.0;
+        assert!((m.makespan - hand).abs() < 1e-9);
     }
 }

@@ -4,6 +4,7 @@
 //! gridsec example-spec > exp.json        # write a starter spec
 //! gridsec run exp.json                   # run it, print the comparison
 //! gridsec run exp.json --json out.json   # also dump machine-readable results
+//! gridsec run exp.json --threads 4       # cap the scheduler worker pool
 //! gridsec generate psa 1000 > psa.swf    # emit a workload as SWF
 //! gridsec generate nas 16000 > nas.swf
 //! ```
@@ -15,7 +16,11 @@ use gridsec_workloads::{swf, NasConfig, PsaConfig};
 use spec::ExperimentSpec;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = apply_threads_flag(&mut args) {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("example-spec") => cmd_example_spec(),
@@ -36,8 +41,33 @@ fn main() {
 fn print_usage() {
     eprintln!(
         "usage:\n  gridsec run <spec.json> [--json <out.json>]\n  \
-         gridsec example-spec\n  gridsec generate <psa|nas> <n_jobs> [seed]"
+         gridsec example-spec\n  gridsec generate <psa|nas> <n_jobs> [seed]\n\
+         \n\
+         global options:\n  --threads <n>   worker threads for parallel scheduler sections\n  \
+         \x20               (default: RAYON_NUM_THREADS or all available cores)"
     );
+}
+
+/// Extracts a global `--threads <n>` option (any position) and sizes the
+/// rayon pool accordingly before any parallel work starts.
+fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Ok(());
+    };
+    if i + 1 >= args.len() {
+        return Err("--threads needs a value".into());
+    }
+    let n: usize = args[i + 1]
+        .parse()
+        .map_err(|_| "--threads must be a positive integer".to_string())?;
+    if n == 0 {
+        return Err("--threads must be a positive integer".into());
+    }
+    args.drain(i..=i + 1);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_run(args: &[String]) -> i32 {

@@ -5,7 +5,7 @@ use crate::grid::Grid;
 use crate::job::{Job, JobId};
 use crate::site::SiteId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// One job→site decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -78,12 +78,12 @@ impl BatchSchedule {
                 assigned: self.assignments.len(),
             });
         }
-        let batch_ids: HashSet<JobId> = batch.iter().map(|j| j.id).collect();
+        let by_id: HashMap<JobId, &Job> = batch.iter().map(|j| (j.id, j)).collect();
         let mut seen: HashSet<JobId> = HashSet::with_capacity(batch.len());
         for a in &self.assignments {
-            if !batch_ids.contains(&a.job) {
+            let Some(&job) = by_id.get(&a.job) else {
                 return Err(Error::UnknownJob(a.job.0));
-            }
+            };
             if !seen.insert(a.job) {
                 return Err(Error::IncompleteSchedule {
                     expected: batch.len(),
@@ -91,7 +91,6 @@ impl BatchSchedule {
                 });
             }
             let site = grid.get(a.site).ok_or(Error::UnknownSite(a.site.0))?;
-            let job = batch.iter().find(|j| j.id == a.job).expect("checked");
             if !site.fits_width(job.width) {
                 return Err(Error::WidthExceedsSite {
                     job: job.id.0,

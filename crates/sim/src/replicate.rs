@@ -13,7 +13,8 @@
 
 use crate::scheduler::{BatchJob, BatchScheduler, GridView};
 use gridsec_core::etc::NodeAvailability;
-use gridsec_core::{BatchSchedule, SiteId, Time};
+use gridsec_core::{BatchSchedule, JobId, SiteId, Time};
+use std::collections::HashMap;
 
 /// Wraps a scheduler, replicating risky placements onto safe sites.
 pub struct Replicated<S> {
@@ -45,11 +46,14 @@ impl<S: BatchScheduler> BatchScheduler for Replicated<S> {
 
     fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule {
         let base = self.inner.schedule(batch, view);
+        // Index the batch once: the assignment loops below would otherwise
+        // re-scan it per assignment (O(n²) for large batches).
+        let by_id: HashMap<JobId, &BatchJob> = batch.iter().map(|b| (b.job.id, b)).collect();
         // Track commitments of the base schedule so backup completion
         // estimates account for the primaries.
         let mut avail: Vec<NodeAvailability> = view.avail_clone();
         for a in &base.assignments {
-            if let Some(bj) = batch.iter().find(|b| b.job.id == a.job) {
+            if let Some(bj) = by_id.get(&a.job) {
                 let site = view.grid.site(a.site);
                 if let Some(start) =
                     avail[a.site.0].earliest_start(bj.job.width, view.now.max(bj.job.arrival))
@@ -60,7 +64,7 @@ impl<S: BatchScheduler> BatchScheduler for Replicated<S> {
         }
         let mut out = base.clone();
         for a in &base.assignments {
-            let Some(bj) = batch.iter().find(|b| b.job.id == a.job) else {
+            let Some(bj) = by_id.get(&a.job) else {
                 continue;
             };
             let primary = view.grid.site(a.site);

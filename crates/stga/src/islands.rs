@@ -1,6 +1,8 @@
 //! Island-model parallel GA: several sub-populations evolve concurrently
-//! (one OS thread per island, `std::thread::scope`d) and exchange their best
-//! individuals along a ring after every epoch.
+//! (fanned out over the shared rayon worker pool, so island-level and
+//! fitness-level parallelism draw from the same threads instead of
+//! oversubscribing) and exchange their best individuals along a ring after
+//! every epoch.
 //!
 //! Islands are a classic scalability construction for GAs: the per-island
 //! populations are smaller (cheaper generations), threads use otherwise
@@ -20,6 +22,7 @@ use gridsec_core::etc::NodeAvailability;
 use gridsec_core::rng::{stream, subseed, Stream};
 use gridsec_core::{Error, Result};
 use gridsec_heuristics::common::MapCtx;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Island-model parameters.
@@ -116,35 +119,19 @@ pub fn evolve_islands(
             generations: gens.max(1),
             ..params.ga
         };
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(islands.len());
-            for island in islands.iter_mut() {
-                let handle = scope.spawn(move || {
-                    let mut rng = stream(island.seed, Stream::Custom(epoch as u64));
-                    let seeds = std::mem::take(&mut island.population);
-                    let (result, population, fitness) = evolve_population(
-                        ctx,
-                        base_avail,
-                        seeds,
-                        &epoch_params,
-                        kind,
-                        risk,
-                        &mut rng,
-                    );
-                    island.population = population;
-                    island.fitness = fitness;
-                    let better = island
-                        .best
-                        .as_ref()
-                        .is_none_or(|b| result.best_fitness < b.best_fitness);
-                    if better {
-                        island.best = Some(result);
-                    }
-                });
-                handles.push(handle);
-            }
-            for h in handles {
-                h.join().expect("island thread must not panic");
+        islands.par_iter_mut().for_each(|island| {
+            let mut rng = stream(island.seed, Stream::Custom(epoch as u64));
+            let seeds = std::mem::take(&mut island.population);
+            let (result, population, fitness) =
+                evolve_population(ctx, base_avail, seeds, &epoch_params, kind, risk, &mut rng);
+            island.population = population;
+            island.fitness = fitness;
+            let better = island
+                .best
+                .as_ref()
+                .is_none_or(|b| result.best_fitness < b.best_fitness);
+            if better {
+                island.best = Some(result);
             }
         });
 

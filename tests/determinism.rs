@@ -72,6 +72,108 @@ fn different_failure_seeds_change_outcomes() {
     );
 }
 
+/// Builds a dedicated pool of `n` compute threads for a scoped run.
+fn pool(n: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("pool builds")
+}
+
+#[test]
+fn parallel_fitness_evaluation_matches_single_thread() {
+    // The STGA's population fitness evaluation is rayon-parallel; the
+    // whole simulated run must be bit-identical at any thread count.
+    let w = PsaConfig::default().with_n_jobs(100).generate().unwrap();
+    let config = SimConfig::default().with_interval(Time::new(1_000.0));
+    let run = || {
+        let mut stga = Stga::new(StgaParams {
+            ga: GaParams::default()
+                .with_population(40)
+                .with_generations(15)
+                .with_seed(77),
+            ..StgaParams::default()
+        })
+        .unwrap();
+        stga.train(&w.jobs[..50], &w.grid, 8).unwrap();
+        simulate(&w.jobs, &w.grid, &mut stga, &config).unwrap()
+    };
+    let sequential = pool(1).install(run);
+    for threads in [2, 4] {
+        let parallel = pool(threads).install(run);
+        assert_eq!(
+            sequential.metrics, parallel.metrics,
+            "{threads}-thread STGA run diverged from the sequential run"
+        );
+        assert_eq!(sequential.n_batches, parallel.n_batches);
+    }
+}
+
+#[test]
+fn parallel_islands_match_single_thread() {
+    use gridsec::core::etc::{EtcMatrix, NodeAvailability};
+    use gridsec::heuristics::common::MapCtx;
+    use gridsec::stga::{evolve_islands, fitness::FitnessKind};
+
+    let n = 8;
+    let m = 4;
+    let etc: Vec<f64> = (0..n * m).map(|i| 5.0 + (i % 13) as f64).collect();
+    let ctx = MapCtx {
+        etc: EtcMatrix::from_raw(n, m, etc),
+        widths: vec![1; n],
+        arrivals: vec![Time::ZERO; n],
+        candidates: vec![(0..m).collect(); n],
+        now: Time::ZERO,
+        commit_order: vec![],
+    };
+    let avail = vec![NodeAvailability::new(1, Time::ZERO); m];
+    let params = IslandParams {
+        ga: GaParams::default()
+            .with_population(20)
+            .with_generations(40)
+            .with_seed(7),
+        islands: 3,
+        epochs: 4,
+        migrants: 2,
+    };
+    let run = || evolve_islands(&ctx, &avail, vec![], &params, FitnessKind::Makespan, None);
+    let sequential = pool(1).install(run);
+    for threads in [2, 4] {
+        let parallel = pool(threads).install(run);
+        assert_eq!(
+            sequential.best_fitness, parallel.best_fitness,
+            "{threads}-thread island run diverged"
+        );
+        assert_eq!(sequential.best, parallel.best);
+        assert_eq!(sequential.trajectory, parallel.trajectory);
+    }
+}
+
+#[test]
+fn parallel_replication_sweep_matches_single_thread() {
+    use gridsec_bench::{psa_setup, psa_sim_config, replicate, replication_seeds};
+
+    let seeds = replication_seeds(2005, 6);
+    let sweep = || {
+        replicate(&seeds, |s| {
+            let w = psa_setup(60, s);
+            let mut sched = MinMin::new(RiskMode::Risky);
+            simulate(&w.jobs, &w.grid, &mut sched, &psa_sim_config(s)).unwrap()
+        })
+    };
+    let sequential = pool(1).install(sweep);
+    for threads in [2, 4] {
+        let parallel = pool(threads).install(sweep);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{threads}-thread replication sweep diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn workload_generators_are_seed_stable() {
     let a = PsaConfig::default().with_n_jobs(60).generate().unwrap();

@@ -1,0 +1,336 @@
+//! Slice-backed parallel iterators: the `par_iter` / `par_iter_mut` /
+//! `par_chunks` surface this workspace uses, running on the pool in
+//! [`crate::pool`].
+//!
+//! Unlike real rayon these are not lazy general-purpose iterators — each
+//! adapter holds the source slice and a closure, and the terminal methods
+//! (`collect`, `for_each`) run one parallel region. Results are written by
+//! item index into a pre-sized buffer, so every thread count produces the
+//! same `Vec`, in source order, bit for bit.
+
+use crate::pool::run_chunked;
+
+/// Shared raw pointer into a live buffer (used by `par_iter_mut`).
+/// Parallel regions touch disjoint indices, so concurrent use is
+/// race-free.
+///
+/// Safety of `Send`/`Sync`: the pointer is only dereferenced at indices
+/// inside the chunk range handed to each closure invocation, and those
+/// ranges partition the buffer.
+struct SendPtr<T>(*mut T);
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for SendPtr<T> {}
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Write-only view of an uninitialised output buffer, handed to the
+/// chunk closures of [`collect_chunked`]. Chunk ranges partition the
+/// buffer, so concurrent `write`s never alias.
+struct SlotWriter<O> {
+    ptr: *mut O,
+    len: usize,
+}
+
+#[allow(unsafe_code)]
+unsafe impl<O: Send> Send for SlotWriter<O> {}
+#[allow(unsafe_code)]
+unsafe impl<O: Send> Sync for SlotWriter<O> {}
+
+impl<O> SlotWriter<O> {
+    fn write(&self, i: usize, value: O) {
+        assert!(i < self.len, "slot index out of bounds");
+        // Safety: in-capacity slot (asserted above); callers write each
+        // index exactly once, from the chunk that owns it.
+        #[allow(unsafe_code)]
+        unsafe {
+            self.ptr.add(i).write(value);
+        }
+    }
+}
+
+/// The order-preserving core of every `collect` below: `fill(range, w)`
+/// must call `w.write(i, value)` for exactly the indices in `range`, and
+/// the resulting `Vec` holds slot `i`'s value at position `i` regardless
+/// of thread count.
+fn collect_chunked<O: Send>(
+    len: usize,
+    fill: impl Fn(std::ops::Range<usize>, &SlotWriter<O>) + Sync,
+) -> Vec<O> {
+    let mut out: Vec<O> = Vec::with_capacity(len);
+    let writer = SlotWriter {
+        ptr: out.as_mut_ptr(),
+        len,
+    };
+    run_chunked(len, |range| fill(range, &writer));
+    // Safety: `run_chunked` returned normally, so every chunk filled its
+    // slots. (On panic the Vec stays at len 0 and written slots leak,
+    // which is safe.)
+    #[allow(unsafe_code)]
+    unsafe {
+        out.set_len(len);
+    }
+    out
+}
+
+/// Maps `0..len` index-wise through `item`, collecting into a `Vec` whose
+/// slot `i` holds `item(i)`.
+fn collect_indexed<O: Send>(len: usize, item: impl Fn(usize) -> O + Sync) -> Vec<O> {
+    collect_chunked(len, |range, w| {
+        for i in range {
+            w.write(i, item(i));
+        }
+    })
+}
+
+/// Parallel iterator over `&[T]` (from
+/// [`IntoParallelRefIterator::par_iter`]).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maps each item through `f`.
+    pub fn map<O, F>(self, f: F) -> Map<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// `rayon`'s `map_init`: `init` builds one fresh state per worker
+    /// chunk (with one thread: exactly once), and `f` threads that state
+    /// through the chunk's items. The state must not influence results
+    /// across items if thread-count-independent output is required — use
+    /// it for scratch buffers.
+    pub fn map_init<S, O, I, F>(self, init: I, f: F) -> MapInit<'a, T, I, F>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> O + Sync,
+        O: Send,
+    {
+        MapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_chunked(self.items.len(), |range| {
+            for i in range {
+                f(&self.items[i]);
+            }
+        });
+    }
+}
+
+/// Mapped parallel iterator (see [`ParIter::map`]).
+pub struct Map<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, O: Send, F: Fn(&'a T) -> O + Sync> Map<'a, T, F> {
+    /// Evaluates in parallel, preserving source order.
+    pub fn collect<C: From<Vec<O>>>(self) -> C {
+        C::from(collect_indexed(self.items.len(), |i| {
+            (self.f)(&self.items[i])
+        }))
+    }
+}
+
+/// `map_init` parallel iterator (see [`ParIter::map_init`]).
+pub struct MapInit<'a, T, I, F> {
+    items: &'a [T],
+    init: I,
+    f: F,
+}
+
+impl<'a, T, S, O, I, F> MapInit<'a, T, I, F>
+where
+    T: Sync,
+    O: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> O + Sync,
+{
+    /// Evaluates in parallel, preserving source order.
+    pub fn collect<C: From<Vec<O>>>(self) -> C {
+        C::from(collect_chunked(self.items.len(), |range, w| {
+            let mut state = (self.init)();
+            for i in range {
+                w.write(i, (self.f)(&mut state, &self.items[i]));
+            }
+        }))
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (from
+/// [`IntoParallelRefMutIterator::par_iter_mut`]).
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> ParIterMut<'_, T> {
+    /// Runs `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let len = self.items.len();
+        let base = SendPtr(self.items.as_mut_ptr());
+        run_chunked(len, |range| {
+            for i in range {
+                // Safety: chunk ranges partition `0..len`, so each element
+                // is borrowed mutably by exactly one closure invocation.
+                #[allow(unsafe_code)]
+                let item = unsafe { &mut *base.get().add(i) };
+                f(item);
+            }
+        });
+    }
+}
+
+/// Parallel iterator over contiguous sub-slices (from
+/// [`ParallelSlice::par_chunks`]).
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Maps each chunk through `f`.
+    pub fn map<O, F>(self, f: F) -> ChunksMap<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a [T]) -> O + Sync,
+    {
+        ChunksMap {
+            items: self.items,
+            size: self.size,
+            f,
+        }
+    }
+
+    /// Runs `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a [T]) + Sync,
+    {
+        let size = self.size;
+        let n = self.items.len().div_ceil(size);
+        run_chunked(n, |range| {
+            for i in range {
+                let lo = i * size;
+                let hi = (lo + size).min(self.items.len());
+                f(&self.items[lo..hi]);
+            }
+        });
+    }
+}
+
+/// Mapped chunk iterator (see [`ParChunks::map`]).
+pub struct ChunksMap<'a, T, F> {
+    items: &'a [T],
+    size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, O: Send, F: Fn(&'a [T]) -> O + Sync> ChunksMap<'a, T, F> {
+    /// Evaluates in parallel, preserving chunk order.
+    pub fn collect<C: From<Vec<O>>>(self) -> C {
+        let n = self.items.len().div_ceil(self.size);
+        C::from(collect_indexed(n, |i| {
+            let lo = i * self.size;
+            let hi = (lo + self.size).min(self.items.len());
+            (self.f)(&self.items[lo..hi])
+        }))
+    }
+}
+
+/// Extension trait providing `par_iter`, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// Returns the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Extension trait providing `par_iter_mut`, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// Returns the mutable parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Extension trait providing `par_chunks`, mirroring
+/// `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized sub-slices (the last may
+    /// be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunks {
+            items: self,
+            size: chunk_size,
+        }
+    }
+}

@@ -1,111 +1,152 @@
-//! Vendored stand-in for `rayon` (the build environment has no access to
-//! crates.io). Exposes the `par_iter` surface this workspace uses, executed
-//! **sequentially** — call sites keep rayon idioms so a real rayon can be
-//! swapped back in by replacing this vendor crate.
+//! Vendored thread-backed stand-in for `rayon` (the build environment has
+//! no access to crates.io). Exposes the parallel-iterator surface this
+//! workspace uses — `par_iter` / `map` / `map_init`, `par_iter_mut`,
+//! `par_chunks` — plus `ThreadPoolBuilder` / `ThreadPool::install`, all
+//! executing on a real work pool: persistent worker threads claiming
+//! contiguous chunks off an atomic counter (see [`pool`]).
+//!
+//! Guarantees this workspace relies on:
+//!
+//! * **Order-stable, thread-count-independent results.** Terminal methods
+//!   write each item's result into its source index, so `collect` returns
+//!   the same `Vec` — bit for bit — at any thread count, and with one
+//!   thread execution is plain in-order iteration on the calling thread.
+//! * **Sizing.** The global pool is created on first use from
+//!   `RAYON_NUM_THREADS`, an earlier
+//!   [`ThreadPoolBuilder::build_global`], or the machine's available
+//!   parallelism. Dedicated pools from [`ThreadPoolBuilder::build`] own
+//!   their workers and are selected per-thread via
+//!   [`ThreadPool::install`].
+//! * **Panic propagation.** A panic inside a parallel region is caught,
+//!   the region runs to completion, and the payload is re-raised on the
+//!   caller.
+//!
+//! Known divergence from real rayon: `map_init` runs `init` once per
+//! *chunk* (per worker per region, roughly), and nested regions spawned
+//! from inside a dedicated pool's worker fall back to the global pool.
 
-use std::marker::PhantomData;
+#![warn(missing_docs)]
 
-/// Sequential "parallel" iterator over `&[T]`.
-pub struct ParIter<'a, T> {
-    inner: std::slice::Iter<'a, T>,
+mod iter;
+mod pool;
+
+use std::sync::Arc;
+
+pub use iter::{
+    ChunksMap, IntoParallelRefIterator, IntoParallelRefMutIterator, Map, MapInit, ParChunks,
+    ParIter, ParIterMut, ParallelSlice,
+};
+
+/// Number of compute threads a parallel region started on this thread
+/// would use (the installed pool's size, or the global pool's).
+pub fn current_num_threads() -> usize {
+    pool::effective_threads()
 }
 
-impl<'a, T> Iterator for ParIter<'a, T> {
-    type Item = &'a T;
-    fn next(&mut self) -> Option<&'a T> {
-        self.inner.next()
-    }
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.inner.size_hint()
+/// Error from [`ThreadPoolBuilder::build`] / `build_global`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
     }
 }
 
-impl<'a, T> ParIter<'a, T> {
-    /// `rayon`'s `map_init`: `init` runs once per worker (here: once), and
-    /// the state is threaded through every call.
-    pub fn map_init<S, O, I, F>(self, init: I, f: F) -> MapInit<'a, T, S, I, F>
-    where
-        I: FnMut() -> S,
-        F: FnMut(&mut S, &'a T) -> O,
-    {
-        MapInit {
-            iter: self.inner,
-            state: None,
-            init,
-            f,
-            _marker: PhantomData,
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds [`ThreadPool`]s, mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default sizing (`RAYON_NUM_THREADS` or available
+    /// parallelism).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Requests exactly `num_threads` compute threads (0 = default
+    /// sizing).
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = num_threads;
+        self
+    }
+
+    fn resolved(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            pool::default_threads()
         }
     }
-}
 
-/// Iterator produced by [`ParIter::map_init`].
-pub struct MapInit<'a, T, S, I, F> {
-    iter: std::slice::Iter<'a, T>,
-    state: Option<S>,
-    init: I,
-    f: F,
-    _marker: PhantomData<&'a T>,
-}
-
-impl<'a, T, S, O, I, F> Iterator for MapInit<'a, T, S, I, F>
-where
-    I: FnMut() -> S,
-    F: FnMut(&mut S, &'a T) -> O,
-{
-    type Item = O;
-    fn next(&mut self) -> Option<O> {
-        let item = self.iter.next()?;
-        if self.state.is_none() {
-            self.state = Some((self.init)());
-        }
-        Some((self.f)(
-            self.state.as_mut().expect("state initialised"),
-            item,
-        ))
+    /// Builds a dedicated pool with its own worker threads.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            pool: Arc::new(pool::Pool::new(self.resolved())),
+        })
     }
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.iter.size_hint()
+
+    /// Sizes the global pool. Must run before the global pool's first
+    /// use; afterwards it fails unless the size already matches.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        pool::set_global_threads(self.resolved()).map_err(ThreadPoolBuildError)
     }
 }
 
-/// Extension trait providing `par_iter`, mirroring
-/// `rayon::iter::IntoParallelRefIterator`.
-pub trait IntoParallelRefIterator<'a> {
-    /// The element type.
-    type Item: 'a;
-    /// Returns the (sequential) "parallel" iterator.
-    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+/// A dedicated thread pool (see [`ThreadPoolBuilder::build`]).
+pub struct ThreadPool {
+    pool: Arc<pool::Pool>,
 }
 
-impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
-    type Item = T;
-    fn par_iter(&'a self) -> ParIter<'a, T> {
-        ParIter { inner: self.iter() }
+impl ThreadPool {
+    /// This pool's compute-thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.pool.threads
     }
-}
 
-impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
-    type Item = T;
-    fn par_iter(&'a self) -> ParIter<'a, T> {
-        ParIter { inner: self.iter() }
+    /// Runs `op` with this pool handling the parallel regions it starts
+    /// (on the calling thread; regions fan out to this pool's workers).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        pool::install(&self.pool, op)
     }
 }
 
 /// The rayon prelude.
 pub mod prelude {
-    pub use super::{IntoParallelRefIterator, ParIter};
+    pub use super::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParIterMut, ParallelSlice,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPoolBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn pool(n: usize) -> super::ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
-    fn map_init_threads_state() {
-        let xs = vec![1, 2, 3, 4];
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_within_chunk() {
+        let xs = vec![1_i32, 2, 3, 4];
         let out: Vec<i32> = xs
             .par_iter()
             .map_init(Vec::new, |scratch: &mut Vec<i32>, &x| {
+                scratch.clear();
                 scratch.push(x);
                 x + *scratch.last().expect("just pushed")
             })
@@ -114,9 +155,138 @@ mod tests {
     }
 
     #[test]
-    fn par_iter_preserves_order() {
-        let xs = [5, 6, 7];
-        let out: Vec<i32> = xs.par_iter().copied().collect();
-        assert_eq!(out, vec![5, 6, 7]);
+    fn results_identical_across_thread_counts() {
+        let xs: Vec<f64> = (0..4096).map(|i| i as f64 * 0.37).collect();
+        let eval = || -> Vec<u64> {
+            xs.par_iter()
+                .map(|&x| (x.sin() * 1e6).sqrt().to_bits())
+                .collect()
+        };
+        let seq = pool(1).install(eval);
+        for n in [2, 3, 8] {
+            let par = pool(n).install(eval);
+            assert_eq!(seq, par, "thread count {n} changed results");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let xs: Vec<usize> = (0..513).collect();
+        let hits = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        pool(4).install(|| {
+            xs.par_iter().for_each(|&x| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(x, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.into_inner(), 513);
+        assert_eq!(sum.into_inner(), 513 * 512 / 2);
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut xs: Vec<u32> = (0..257).collect();
+        pool(4).install(|| xs.par_iter_mut().for_each(|x| *x += 1));
+        assert_eq!(xs, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice() {
+        let xs: Vec<u32> = (0..100).collect();
+        let sums: Vec<u32> =
+            pool(3).install(|| xs.par_chunks(7).map(|c| c.iter().sum::<u32>()).collect());
+        assert_eq!(sums.len(), 100usize.div_ceil(7));
+        assert_eq!(sums.iter().sum::<u32>(), xs.iter().sum::<u32>());
+        assert_eq!(sums[0], (0..7).sum::<u32>());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let xs: Vec<u8> = Vec::new();
+        let out: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let mut ys: Vec<u8> = Vec::new();
+        ys.par_iter_mut().for_each(|_| unreachable!());
+    }
+
+    #[test]
+    fn nested_regions_do_not_deadlock() {
+        let outer: Vec<usize> = (0..8).collect();
+        let totals: Vec<usize> = pool(4).install(|| {
+            outer
+                .par_iter()
+                .map(|&o| {
+                    let inner: Vec<usize> = (0..64).collect();
+                    let mapped: Vec<usize> = inner.par_iter().map(|&i| i * o).collect();
+                    mapped.iter().sum()
+                })
+                .collect()
+        });
+        let expect: Vec<usize> = (0..8).map(|o| (0..64).sum::<usize>() * o).collect();
+        assert_eq!(totals, expect);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let xs: Vec<usize> = (0..128).collect();
+        let p = pool(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                xs.par_iter().for_each(|&x| {
+                    if x == 77 {
+                        panic!("boom at {x}");
+                    }
+                })
+            })
+        }));
+        assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn install_is_reentrant_and_scoped() {
+        let p1 = pool(1);
+        let p4 = pool(4);
+        p4.install(|| {
+            assert_eq!(super::current_num_threads(), 4);
+            p1.install(|| assert_eq!(super::current_num_threads(), 1));
+            assert_eq!(super::current_num_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn map_init_state_not_shared_across_items_randomly() {
+        // The per-chunk scratch must be visible to every item of the
+        // chunk in order (sequential pool ⇒ one chunk ⇒ running count).
+        let xs = vec![1_u32; 10];
+        let out: Vec<u32> = pool(1).install(|| {
+            xs.par_iter()
+                .map_init(
+                    || 0_u32,
+                    |count, &x| {
+                        *count += x;
+                        *count
+                    },
+                )
+                .collect()
+        });
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_threads_really_run() {
+        // With 4 compute threads, 4 tasks that each wait for the others
+        // can only finish if they run concurrently.
+        use std::sync::Barrier;
+        let b = Barrier::new(4);
+        let xs = [0_usize, 1, 2, 3];
+        let log = Mutex::new(Vec::new());
+        pool(4).install(|| {
+            xs.par_iter().for_each(|&x| {
+                b.wait();
+                log.lock().unwrap().push(x);
+            })
+        });
+        assert_eq!(log.into_inner().unwrap().len(), 4);
     }
 }

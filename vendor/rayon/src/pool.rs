@@ -1,0 +1,303 @@
+//! The thread pool: persistent workers, self-scheduling parallel regions.
+//!
+//! A parallel region ([`run_chunked`]) splits `len` indexed items into
+//! contiguous chunks and publishes a type-erased job to the pool. Worker
+//! threads (and the calling thread, which always participates) claim
+//! chunks off a shared atomic counter — work-stealing-style
+//! self-scheduling without per-task queues — and the caller blocks on a
+//! completion latch until every chunk has run. Because each chunk covers a
+//! fixed, disjoint index range and callers write results by index, the
+//! *output* of a region is identical for every thread count; only the
+//! execution interleaving differs.
+//!
+//! Sizing: the global pool is created lazily on first use with
+//! `RAYON_NUM_THREADS` (if set), a size requested earlier via
+//! [`crate::ThreadPoolBuilder::build_global`], or
+//! `std::thread::available_parallelism()`. A pool of `n` threads runs
+//! `n - 1` background workers plus the caller, so `n = 1` means strictly
+//! sequential, in-order execution on the calling thread — bit-identical to
+//! the old sequential shim.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on chunks per compute thread: mild oversubscription so the
+/// atomic claim counter load-balances uneven per-item costs.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Type-erased pointer to a region's stack-held typed closure data.
+///
+/// Safety: only dereferenced by [`JobCore::claim_loop`] for chunk indices
+/// below `chunks`, and the region's caller does not return (and therefore
+/// the pointee is not dropped) until every such chunk has completed — see
+/// [`run_chunked`].
+struct DataPtr(*const ());
+#[allow(unsafe_code)]
+unsafe impl Send for DataPtr {}
+#[allow(unsafe_code)]
+unsafe impl Sync for DataPtr {}
+
+/// One parallel region: a claim counter, a completion latch and the
+/// trampoline back into typed code.
+struct JobCore {
+    /// Next chunk index to claim (values ≥ `chunks` mean "exhausted").
+    next: AtomicUsize,
+    /// Total chunks in the region.
+    chunks: usize,
+    /// Completion latch: (finished chunk count, first panic payload).
+    done: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+    all_done: Condvar,
+    /// Monomorphised trampoline: `run(data, chunk_index)`.
+    run: fn(*const (), usize),
+    data: DataPtr,
+}
+
+impl JobCore {
+    /// Claims and executes chunks until the counter is exhausted. Never
+    /// blocks; panics inside a chunk are captured into the latch so the
+    /// caller can re-raise them.
+    fn claim_loop(&self) {
+        loop {
+            let c = self.next.fetch_add(1, Ordering::Relaxed);
+            if c >= self.chunks {
+                return;
+            }
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| (self.run)(self.data.0, c)));
+            let mut done = self.done.lock().expect("pool latch poisoned");
+            done.0 += 1;
+            if let Err(payload) = outcome {
+                done.1.get_or_insert(payload);
+            }
+            if done.0 == self.chunks {
+                self.all_done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every chunk has finished, then re-raises the first
+    /// captured panic, if any.
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("pool latch poisoned");
+        while done.0 < self.chunks {
+            done = self.all_done.wait(done).expect("pool latch poisoned");
+        }
+        if let Some(payload) = done.1.take() {
+            drop(done);
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<JobCore>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A pool of `threads` compute threads (`threads - 1` spawned workers plus
+/// the thread that calls into a parallel region).
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    pub(crate) threads: usize,
+}
+
+impl Pool {
+    pub(crate) fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for i in 0..threads - 1 {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker(sh))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, threads }
+    }
+
+    /// Publishes up to `wakers` handles to `job` so idle workers join in.
+    fn inject(&self, job: &Arc<JobCore>, wakers: usize) {
+        if wakers == 0 {
+            return;
+        }
+        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        for _ in 0..wakers {
+            q.push_back(Arc::clone(job));
+        }
+        drop(q);
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Dedicated (non-global) pools release their workers; any handles
+        // still queued refer to regions whose chunks are already claimed,
+        // so draining them is a no-op. The flag must flip while the queue
+        // mutex is held: a worker checks it under that mutex before
+        // sleeping, so an unsynchronised store could land between a
+        // worker's check and its wait, and the notification would be lost
+        // (leaking the worker forever).
+        let q = self.shared.queue.lock().expect("pool queue poisoned");
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        drop(q);
+        self.shared.available.notify_all();
+    }
+}
+
+fn worker(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job.claim_loop();
+    }
+}
+
+/// Size requested by `ThreadPoolBuilder::build_global` before first use.
+static REQUESTED_GLOBAL: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+
+fn env_threads() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+pub(crate) fn default_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn global_pool() -> &'static Arc<Pool> {
+    GLOBAL.get_or_init(|| {
+        let requested = REQUESTED_GLOBAL.load(Ordering::SeqCst);
+        let n = if requested > 0 {
+            requested
+        } else {
+            default_threads()
+        };
+        Arc::new(Pool::new(n))
+    })
+}
+
+/// Installs `n` as the global pool size. Fails if the global pool already
+/// exists with a different size (mirroring rayon's
+/// `GlobalPoolAlreadyInitialized`).
+pub(crate) fn set_global_threads(n: usize) -> Result<(), String> {
+    REQUESTED_GLOBAL.store(n, Ordering::SeqCst);
+    let pool = global_pool();
+    if pool.threads == n.max(1) {
+        Ok(())
+    } else {
+        Err(format!(
+            "the global thread pool has already been initialized with {} threads",
+            pool.threads
+        ))
+    }
+}
+
+thread_local! {
+    /// Stack of pools installed via `ThreadPool::install` on this thread.
+    static CURRENT: RefCell<Vec<Arc<Pool>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_pool() -> Arc<Pool> {
+    CURRENT
+        .with(|c| c.borrow().last().cloned())
+        .unwrap_or_else(|| Arc::clone(global_pool()))
+}
+
+/// Runs `op` with `pool` as the calling thread's current pool.
+pub(crate) fn install<R>(pool: &Arc<Pool>, op: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CURRENT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    CURRENT.with(|c| c.borrow_mut().push(Arc::clone(pool)));
+    let _guard = Guard;
+    op()
+}
+
+/// Number of compute threads parallel regions on this thread will use.
+pub(crate) fn effective_threads() -> usize {
+    current_pool().threads
+}
+
+/// Executes `f` over disjoint sub-ranges covering `0..len`, in parallel on
+/// the current pool. `f(range)` must be pure with respect to range
+/// splitting for the region's result to be thread-count independent (every
+/// caller in this crate writes outputs by item index, which guarantees
+/// it). With one thread — or one chunk — this is exactly `f(0..len)` on
+/// the calling thread.
+pub(crate) fn run_chunked<F>(len: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let pool = current_pool();
+    let chunks = len.min(pool.threads * CHUNKS_PER_THREAD);
+    if pool.threads <= 1 || chunks <= 1 {
+        f(0..len);
+        return;
+    }
+
+    /// Typed view of one region, reached through `DataPtr`.
+    struct Region<'a, F> {
+        f: &'a F,
+        len: usize,
+        chunks: usize,
+    }
+    fn trampoline<F: Fn(Range<usize>) + Sync>(data: *const (), chunk: usize) {
+        // Safety: `data` points at the `Region` on the caller's stack; the
+        // caller is blocked in `wait()` until this chunk completes (see
+        // `DataPtr`), and `chunk < chunks` bounds the range arithmetic.
+        #[allow(unsafe_code)]
+        let region = unsafe { &*(data as *const Region<'_, F>) };
+        let base = region.len / region.chunks;
+        let extra = region.len % region.chunks;
+        let start = chunk * base + chunk.min(extra);
+        let end = start + base + usize::from(chunk < extra);
+        (region.f)(start..end);
+    }
+
+    let region = Region { f: &f, len, chunks };
+    let job = Arc::new(JobCore {
+        next: AtomicUsize::new(0),
+        chunks,
+        done: Mutex::new((0, None)),
+        all_done: Condvar::new(),
+        run: trampoline::<F>,
+        data: DataPtr(&region as *const Region<'_, F> as *const ()),
+    });
+    pool.inject(&job, (pool.threads - 1).min(chunks));
+    job.claim_loop();
+    job.wait();
+}
