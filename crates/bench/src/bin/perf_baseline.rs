@@ -1,9 +1,11 @@
 //! Reproducible perf baseline: times the workspace's three dominant
-//! parallel workloads at 1, 2 and N threads and writes the speedup curve
-//! to `BENCH_PR2.json` (override with `--json <path>`).
+//! parallel workloads at 1, 2 and N threads, times the PR 3 hot-path
+//! rewrites against their pre-refactor reference implementations, and
+//! writes the whole report to `BENCH_PR3.json` (override with
+//! `--json <path>`).
 //!
-//! The three workloads mirror where the paper's experiments spend their
-//! time:
+//! The three speedup workloads mirror where the paper's experiments spend
+//! their time:
 //!
 //! 1. **STGA population fitness evaluation** — the GA hot path
 //!    (`par_iter().map_init(evaluate_with_scratch)` over the population).
@@ -13,10 +15,19 @@
 //!    simulations fanned out per seed, the outer loop of every averaged
 //!    figure.
 //!
-//! Every workload is also checked for thread-count independence: digests
-//! of the results at 2 and N threads must be bit-identical to the
-//! 1-thread run, which in turn executes the exact sequential code path of
-//! the pre-pool shim.
+//! The before/after section covers the optimized hot paths:
+//!
+//! * the GA evolve loop (double-buffered populations + reusable roulette
+//!   table vs the old allocate-per-generation loop),
+//! * Min-Min and Sufferage mapping (invalidation caching + deterministic
+//!   parallel argmin vs the textbook O(n²·m) rescan),
+//! * history-table lookup (bucketed by batch-size signature vs the
+//!   linear scan),
+//! * `BatchSchedule::site_of` (indexed vs linear queries).
+//!
+//! Every measurement asserts the optimized path's output is bit-identical
+//! to its reference before reporting a time; every speedup workload is
+//! checked for thread-count independence.
 //!
 //! Run `--quick` for a smoke-sized configuration (CI) and `--threads <n>`
 //! to set the largest measured thread count.
@@ -24,15 +35,54 @@
 use gridsec_bench::{psa_setup, replicate, replication_seeds, BenchArgs};
 use gridsec_core::etc::{EtcMatrix, NodeAvailability};
 use gridsec_core::rng::{stream, Stream};
-use gridsec_core::{RiskMode, SecurityModel, Time};
+use gridsec_core::{BatchSchedule, JobId, RiskMode, SecurityModel, SiteId, Time};
 use gridsec_heuristics::common::MapCtx;
+use gridsec_heuristics::mapping;
 use gridsec_heuristics::MinMin;
 use gridsec_sim::{simulate, BatchJob, BatchScheduler, GridView};
 use gridsec_stga::fitness::{evaluate_with_scratch, FitnessKind, DEFAULT_FLOW_WEIGHT};
-use gridsec_stga::{Chromosome, GaParams, StandardGa, Stga, StgaParams};
+use gridsec_stga::history::{BatchSignature, HistoryTable};
+use gridsec_stga::ops::{crossover, mutate};
+use gridsec_stga::selection::{elite_indices, RouletteWheel};
+use gridsec_stga::{evolve, Chromosome, GaParams, StandardGa, Stga, StgaParams};
+use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counts heap allocations so hot-path rows can report an exact,
+/// noise-free allocation delta alongside wall-clock (the GA evolve loop's
+/// win is chiefly allocation reuse, which 1-core wall-clock under-states).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations performed while running `work`.
+fn count_allocs<R>(work: impl FnOnce() -> R) -> (u64, R) {
+    let start = ALLOCATIONS.load(Ordering::Relaxed);
+    let r = work();
+    (ALLOCATIONS.load(Ordering::Relaxed) - start, r)
+}
+
+/// A low-level mapping entry point (Min-Min / Max-Min / Sufferage).
+type MapFn = fn(&MapCtx, &mut [NodeAvailability]) -> Vec<(usize, usize)>;
 
 /// One workload timed at one thread count.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -55,7 +105,29 @@ struct WorkloadReport {
     deterministic: bool,
 }
 
-/// The whole `BENCH_PR2.json` document.
+/// One optimized hot path timed against its pre-refactor reference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HotPathReport {
+    name: String,
+    params: String,
+    /// Best-of-two wall-clock seconds of the pre-PR3 reference path.
+    before_secs: f64,
+    /// Best-of-two wall-clock seconds of the optimized path.
+    after_secs: f64,
+    /// `before_secs / after_secs`.
+    speedup: f64,
+    /// Heap allocations of one reference run (exact, noise-free).
+    before_allocs: u64,
+    /// Heap allocations of one optimized run.
+    after_allocs: u64,
+    /// `before_allocs / after_allocs`.
+    alloc_ratio: f64,
+    /// Output digests of both paths matched bit for bit.
+    equivalent: bool,
+    note: String,
+}
+
+/// The whole `BENCH_PR3.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct PerfReport {
     schema: String,
@@ -63,6 +135,7 @@ struct PerfReport {
     host_available_parallelism: usize,
     thread_counts: Vec<usize>,
     workloads: Vec<WorkloadReport>,
+    hot_paths: Vec<HotPathReport>,
     note: String,
 }
 
@@ -77,6 +150,17 @@ struct Sizes {
     sweep_population: usize,
     rep_seeds: usize,
     rep_jobs: usize,
+    ga_population: usize,
+    ga_generations: usize,
+    ga_jobs: usize,
+    ga_sites: usize,
+    map_jobs: usize,
+    map_sites: usize,
+    map_iters: usize,
+    lookup_entries: usize,
+    lookup_queries: usize,
+    site_assignments: usize,
+    site_queries: usize,
 }
 
 impl Sizes {
@@ -92,6 +176,17 @@ impl Sizes {
                 sweep_population: 60,
                 rep_seeds: 3,
                 rep_jobs: 120,
+                ga_population: 60,
+                ga_generations: 12,
+                ga_jobs: 16,
+                ga_sites: 6,
+                map_jobs: 40,
+                map_sites: 8,
+                map_iters: 2,
+                lookup_entries: 150,
+                lookup_queries: 40,
+                site_assignments: 400,
+                site_queries: 2_000,
             }
         } else {
             Sizes {
@@ -104,6 +199,17 @@ impl Sizes {
                 sweep_population: 200,
                 rep_seeds: 8,
                 rep_jobs: 1_000,
+                ga_population: 200,
+                ga_generations: 60,
+                ga_jobs: 32,
+                ga_sites: 12,
+                map_jobs: 160,
+                map_sites: 16,
+                map_iters: 3,
+                lookup_entries: 150,
+                lookup_queries: 300,
+                site_assignments: 4_000,
+                site_queries: 20_000,
             }
         }
     }
@@ -157,8 +263,29 @@ fn main() {
         ),
     ];
 
+    println!("hot paths (optimized vs pre-PR3 reference):");
+    let hot_paths = vec![
+        ga_evolve_hot_path(&sizes, args.seed),
+        mapping_hot_path(
+            "minmin_mapping",
+            &sizes,
+            args.seed,
+            mapping::map_min_min,
+            mapping::reference::map_min_min,
+        ),
+        mapping_hot_path(
+            "sufferage_mapping",
+            &sizes,
+            args.seed,
+            mapping::map_sufferage,
+            mapping::reference::map_sufferage,
+        ),
+        history_lookup_hot_path(&sizes),
+        site_of_hot_path(&sizes),
+    ];
+
     let report = PerfReport {
-        schema: "gridsec-perf-baseline/v1".to_string(),
+        schema: "gridsec-perf-baseline/v2".to_string(),
         command: format!(
             "perf_baseline{} --seed {} --threads {max_threads}",
             if args.quick { " --quick" } else { "" },
@@ -167,13 +294,16 @@ fn main() {
         host_available_parallelism: host,
         thread_counts: thread_counts.clone(),
         workloads,
+        hot_paths,
         note: "Wall-clock is best-of-two per thread count; speedups are relative to the \
                1-thread run, which executes the strictly sequential code path. Absolute \
-               speedup is bounded by the host's available parallelism."
+               speedup is bounded by the host's available parallelism. Hot-path rows \
+               time each PR 3 rewrite against its retained pre-refactor reference on the \
+               current pool, asserting bit-identical output first."
             .to_string(),
     };
 
-    let path = args.json.clone().unwrap_or_else(|| "BENCH_PR2.json".into());
+    let path = args.json.clone().unwrap_or_else(|| "BENCH_PR3.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&path, json).expect("write perf report");
     println!("[wrote {path}]");
@@ -318,6 +448,346 @@ fn fig5_sweep_workload(sizes: &Sizes, seed: u64) -> u64 {
         }
     }
     digest
+}
+
+/// Times `before` and `after` (best of two runs each), asserts their
+/// digests match, and assembles the report row.
+fn time_hot_path(
+    name: &str,
+    params: String,
+    note: &str,
+    before: impl Fn() -> u64,
+    after: impl Fn() -> u64,
+) -> HotPathReport {
+    let measure = |work: &dyn Fn() -> u64| {
+        let mut best = f64::INFINITY;
+        let mut digest = 0;
+        for _ in 0..2 {
+            let start = Instant::now();
+            digest = work();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let (allocs, _) = count_allocs(work);
+        (best, allocs, digest)
+    };
+    let (before_secs, before_allocs, before_digest) = measure(&before);
+    let (after_secs, after_allocs, after_digest) = measure(&after);
+    assert_eq!(
+        before_digest, after_digest,
+        "{name}: optimized path diverged from the reference"
+    );
+    let speedup = before_secs / after_secs;
+    let alloc_ratio = before_allocs as f64 / (after_allocs.max(1)) as f64;
+    println!(
+        "  {name:>22}: before {before_secs:.4}s / {before_allocs} allocs, \
+         after {after_secs:.4}s / {after_allocs} allocs (x{speedup:.2} time, x{alloc_ratio:.2} allocs)"
+    );
+    HotPathReport {
+        name: name.to_string(),
+        params,
+        before_secs,
+        after_secs,
+        speedup,
+        before_allocs,
+        after_allocs,
+        alloc_ratio,
+        equivalent: true,
+        note: note.to_string(),
+    }
+}
+
+/// A deterministic synthetic mapping instance shared by the GA and
+/// heuristic hot-path rows. Candidate lists are security-style
+/// restricted (roughly half the sites per job, never empty) — the shape
+/// `MapCtx::build` produces under the paper's risk modes, and the regime
+/// where invalidation caching pays off.
+fn hot_path_ctx(n: usize, m: usize) -> (MapCtx, Vec<NodeAvailability>) {
+    let etc: Vec<f64> = (0..n * m)
+        .map(|i| 5.0 + ((i * 131 + 17) % 251) as f64)
+        .collect();
+    let candidates: Vec<Vec<usize>> = (0..n)
+        .map(|j| {
+            let mut c: Vec<usize> = (0..m).filter(|&s| (j * 7 + s * 13) % 2 == 0).collect();
+            if c.is_empty() {
+                c.push(j % m);
+            }
+            c
+        })
+        .collect();
+    let ctx = MapCtx {
+        etc: EtcMatrix::from_raw(n, m, etc),
+        widths: vec![1; n],
+        arrivals: vec![Time::ZERO; n],
+        candidates,
+        now: Time::ZERO,
+        commit_order: vec![],
+    };
+    let avail = vec![NodeAvailability::new(2, Time::ZERO); m];
+    (ctx, avail)
+}
+
+/// The pre-PR3 GA generation loop, reconstructed from the same public
+/// building blocks: a fresh next-population `Vec`, a fresh roulette
+/// table and a fresh elite-index `Vec` every generation, fitness
+/// collected into a new buffer. RNG consumption is identical to
+/// [`evolve`], so both produce the same result for the same seed.
+fn old_evolve_digest(
+    ctx: &MapCtx,
+    avail: &[NodeAvailability],
+    params: &GaParams,
+    seed: u64,
+) -> u64 {
+    let mut rng = stream(seed, Stream::Genetic);
+    let mut population: Vec<Chromosome> = Vec::new();
+    while population.len() < params.population {
+        population.push(Chromosome::random(&ctx.candidates, &mut rng));
+    }
+    let eval_all = |pop: &[Chromosome]| -> Vec<f64> {
+        pop.par_iter()
+            .map_init(Vec::new, |scratch, c| {
+                evaluate_with_scratch(
+                    ctx,
+                    avail,
+                    scratch,
+                    c,
+                    FitnessKind::Makespan,
+                    None,
+                    params.flow_weight,
+                )
+            })
+            .collect()
+    };
+    let current_best = |fitness: &[f64]| {
+        let mut bi = 0;
+        for i in 1..fitness.len() {
+            if fitness[i] < fitness[bi] {
+                bi = i;
+            }
+        }
+        bi
+    };
+    let mut fitness = eval_all(&population);
+    let bi = current_best(&fitness);
+    let mut best = population[bi].clone();
+    let mut best_fitness = fitness[bi];
+    let mut trajectory = vec![best_fitness];
+    for _ in 0..params.generations {
+        let wheel = RouletteWheel::build(&fitness);
+        let mut next: Vec<Chromosome> = elite_indices(&fitness, params.elitism)
+            .into_iter()
+            .map(|i| population[i].clone())
+            .collect();
+        while next.len() < params.population {
+            let pa = &population[wheel.spin(&mut rng)];
+            let pb = &population[wheel.spin(&mut rng)];
+            let (mut ca, mut cb) = if rng.gen::<f64>() < params.crossover_prob {
+                crossover(pa, pb, &mut rng)
+            } else {
+                (pa.clone(), pb.clone())
+            };
+            if rng.gen::<f64>() < params.mutation_prob {
+                mutate(&mut ca, &ctx.candidates, &mut rng);
+            }
+            if rng.gen::<f64>() < params.mutation_prob {
+                mutate(&mut cb, &ctx.candidates, &mut rng);
+            }
+            next.push(ca);
+            if next.len() < params.population {
+                next.push(cb);
+            }
+        }
+        population = next;
+        fitness = eval_all(&population);
+        let gi = current_best(&fitness);
+        if fitness[gi] < best_fitness {
+            best = population[gi].clone();
+            best_fitness = fitness[gi];
+        }
+        trajectory.push(best_fitness);
+    }
+    let mut d = digest_f64(0, best_fitness);
+    for &g in best.genes() {
+        d = digest_f64(d, g as f64);
+    }
+    trajectory.iter().fold(d, |a, &t| digest_f64(a, t))
+}
+
+/// Hot path 1: the full GA evolve loop, double-buffered vs
+/// allocate-per-generation.
+fn ga_evolve_hot_path(sizes: &Sizes, seed: u64) -> HotPathReport {
+    let (ctx, avail) = hot_path_ctx(sizes.ga_jobs, sizes.ga_sites);
+    let params = GaParams::default()
+        .with_population(sizes.ga_population)
+        .with_generations(sizes.ga_generations)
+        .with_seed(seed);
+    time_hot_path(
+        "ga_evolve_loop",
+        format!(
+            "population={} generations={} jobs={} sites={}",
+            sizes.ga_population, sizes.ga_generations, sizes.ga_jobs, sizes.ga_sites
+        ),
+        "Double-buffered populations, elite splice by index into recycled slots, reusable \
+         roulette/elite/fitness buffers vs the old fresh-allocation generation loop.",
+        || old_evolve_digest(&ctx, &avail, &params, seed),
+        || {
+            let mut rng = stream(seed, Stream::Genetic);
+            let r = evolve(
+                &ctx,
+                &avail,
+                vec![],
+                &params,
+                FitnessKind::Makespan,
+                None,
+                &mut rng,
+            );
+            let mut d = digest_f64(0, r.best_fitness);
+            for &g in r.best.genes() {
+                d = digest_f64(d, g as f64);
+            }
+            r.trajectory.iter().fold(d, |a, &t| digest_f64(a, t))
+        },
+    )
+}
+
+/// Hot paths 2–3: one heuristic mapping loop, cached/parallel vs the
+/// textbook rescan.
+fn mapping_hot_path(
+    name: &str,
+    sizes: &Sizes,
+    seed: u64,
+    optimized: MapFn,
+    textbook: MapFn,
+) -> HotPathReport {
+    let (ctx, avail) = hot_path_ctx(sizes.map_jobs, sizes.map_sites);
+    let _ = seed;
+    let iters = sizes.map_iters;
+    let run = move |f: MapFn, ctx: &MapCtx, avail: &[NodeAvailability]| {
+        let mut d = 0;
+        for _ in 0..iters {
+            let mut a = avail.to_vec();
+            let mapping = f(ctx, &mut a);
+            for (j, s) in mapping {
+                d = digest_f64(d, (j * 1_000 + s) as f64);
+            }
+            for x in &a {
+                d = digest_f64(d, x.ready_time().seconds());
+            }
+        }
+        d
+    };
+    time_hot_path(
+        name,
+        format!(
+            "jobs={} sites={} iters={}",
+            sizes.map_jobs, sizes.map_sites, iters
+        ),
+        "Invalidation caching (recompute only jobs the committed site could affect) + \
+         deterministic parallel argmin vs the O(n²·m) full rescan per round.",
+        || run(textbook, &ctx, &avail),
+        || run(optimized, &ctx, &avail),
+    )
+}
+
+/// Hot path 4: history-table lookup, bucketed by batch-size signature vs
+/// linear scan over all entries.
+fn history_lookup_hot_path(sizes: &Sizes) -> HotPathReport {
+    let sig = |tag: u64, jobs: usize, sites: usize| -> BatchSignature {
+        let f = |i: usize| ((tag as usize * 31 + i * 7) % 100) as f64;
+        BatchSignature {
+            ready_times: (0..sites).map(f).collect(),
+            etc: (0..jobs * sites).map(f).collect(),
+            demands: (0..jobs).map(|i| 0.6 + 0.3 * (f(i) / 100.0)).collect(),
+        }
+    };
+    // Table-1 capacity, entries spread over six batch-size classes — the
+    // shape a long-running scheduler's table converges to.
+    let dims = [
+        (8usize, 8usize),
+        (12, 8),
+        (16, 8),
+        (8, 12),
+        (12, 12),
+        (16, 12),
+    ];
+    let mut table = HistoryTable::new(sizes.lookup_entries);
+    for t in 0..sizes.lookup_entries as u64 {
+        let (jobs, sites) = dims[(t as usize) % dims.len()];
+        table.insert(
+            sig(t, jobs, sites),
+            Chromosome::from_genes(vec![(t % 7) as u16; jobs]),
+        );
+    }
+    let queries: Vec<BatchSignature> = (0..sizes.lookup_queries as u64)
+        .map(|q| {
+            let (jobs, sites) = dims[(q as usize) % dims.len()];
+            sig(q * 3 + 1, jobs, sites)
+        })
+        .collect();
+    let run = |linear: bool| {
+        let mut t = table.clone();
+        let mut d = 0;
+        for q in &queries {
+            let hits = if linear {
+                t.lookup_linear(q, 0.8, 10)
+            } else {
+                t.lookup(q, 0.8, 10)
+            };
+            d = digest_f64(d, hits.len() as f64);
+            for c in &hits {
+                d = digest_f64(d, c.genes().first().copied().unwrap_or(0) as f64);
+            }
+        }
+        d
+    };
+    time_hot_path(
+        "history_lookup",
+        format!(
+            "entries={} queries={} dim_classes={}",
+            sizes.lookup_entries,
+            sizes.lookup_queries,
+            dims.len()
+        ),
+        "Bucketed by batch-size signature with an exact length-ratio similarity bound \
+         (skips whole buckets) vs scoring every entry.",
+        || run(true),
+        || run(false),
+    )
+}
+
+/// Hot path 5: repeated `site_of` queries, indexed vs linear scan.
+fn site_of_hot_path(sizes: &Sizes) -> HotPathReport {
+    let schedule = BatchSchedule::from_pairs(
+        (0..sizes.site_assignments as u64)
+            .map(|i| (JobId(i * 7 % 9_973), SiteId((i % 31) as usize))),
+    );
+    let queries: Vec<JobId> = (0..sizes.site_queries as u64)
+        .map(|q| JobId(q * 13 % 9_973))
+        .collect();
+    time_hot_path(
+        "schedule_site_of",
+        format!(
+            "assignments={} queries={}",
+            sizes.site_assignments, sizes.site_queries
+        ),
+        "ScheduleIndex built once (job→sites hash) vs a linear assignment scan per query.",
+        || {
+            let mut d = 0;
+            for &q in &queries {
+                let s = schedule.site_of(q).map_or(-1.0, |s| s.0 as f64);
+                d = digest_f64(d, s);
+            }
+            d
+        },
+        || {
+            let index = schedule.index();
+            let mut d = 0;
+            for &q in &queries {
+                let s = index.site_of(q).map_or(-1.0, |s| s.0 as f64);
+                d = digest_f64(d, s);
+            }
+            d
+        },
+    )
 }
 
 /// Workload 3: the outer replication loop of every averaged figure —

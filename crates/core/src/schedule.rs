@@ -58,12 +58,23 @@ impl BatchSchedule {
         self.assignments.is_empty()
     }
 
-    /// The site assigned to `job`, if any.
+    /// The site assigned to `job`, if any (the first assignment when the
+    /// job is replicated).
+    ///
+    /// This is a linear scan — right for one-off queries. Callers that
+    /// query many jobs against the same schedule should build a
+    /// [`ScheduleIndex`] once via [`BatchSchedule::index`].
     pub fn site_of(&self, job: JobId) -> Option<SiteId> {
         self.assignments
             .iter()
             .find(|a| a.job == job)
             .map(|a| a.site)
+    }
+
+    /// Builds a job→sites hash index over this schedule for O(1) repeated
+    /// queries (`site_of` is O(assignments) per call).
+    pub fn index(&self) -> ScheduleIndex {
+        ScheduleIndex::build(self)
     }
 
     /// Validates this schedule against a batch and a grid:
@@ -100,6 +111,53 @@ impl BatchSchedule {
             }
         }
         Ok(())
+    }
+}
+
+/// A job→sites hash index over one [`BatchSchedule`]: O(1) lookups for
+/// callers that query the same schedule repeatedly (dispatch bookkeeping,
+/// replication-aware validation, property suites). Holds every site a job
+/// was assigned to, in assignment order, so replicated schedules are
+/// fully represented.
+///
+/// The index is a snapshot — it does not track later mutations of the
+/// schedule it was built from.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleIndex {
+    sites: HashMap<JobId, Vec<SiteId>>,
+}
+
+impl ScheduleIndex {
+    /// Builds the index in one pass over the assignments.
+    pub fn build(schedule: &BatchSchedule) -> ScheduleIndex {
+        let mut sites: HashMap<JobId, Vec<SiteId>> =
+            HashMap::with_capacity(schedule.assignments.len());
+        for a in &schedule.assignments {
+            sites.entry(a.job).or_default().push(a.site);
+        }
+        ScheduleIndex { sites }
+    }
+
+    /// The site assigned to `job` (first assignment when replicated) —
+    /// identical to [`BatchSchedule::site_of`], in O(1).
+    pub fn site_of(&self, job: JobId) -> Option<SiteId> {
+        self.sites.get(&job).map(|s| s[0])
+    }
+
+    /// Every site `job` was assigned to, in assignment order (empty slice
+    /// when the job is not in the schedule).
+    pub fn sites_of(&self, job: JobId) -> &[SiteId] {
+        self.sites.get(&job).map_or(&[], |s| s.as_slice())
+    }
+
+    /// Number of distinct jobs in the schedule.
+    pub fn n_jobs(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the schedule had no assignments.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
     }
 }
 
@@ -185,5 +243,38 @@ mod tests {
         assert!(s.is_empty());
         s.push(JobId(0), SiteId(0));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn index_matches_linear_site_of() {
+        let s = BatchSchedule::from_pairs([
+            (JobId(4), SiteId(1)),
+            (JobId(0), SiteId(0)),
+            (JobId(2), SiteId(1)),
+        ]);
+        let idx = s.index();
+        for j in 0..6 {
+            assert_eq!(idx.site_of(JobId(j)), s.site_of(JobId(j)), "job {j}");
+        }
+        assert_eq!(idx.n_jobs(), 3);
+        assert!(!idx.is_empty());
+        assert!(BatchSchedule::new().index().is_empty());
+    }
+
+    #[test]
+    fn index_keeps_replicas_in_assignment_order() {
+        // Job 1 replicated on sites 2 then 0: site_of must return the
+        // first (matching the linear scan), sites_of both in order.
+        let s = BatchSchedule::from_pairs([
+            (JobId(1), SiteId(2)),
+            (JobId(3), SiteId(1)),
+            (JobId(1), SiteId(0)),
+        ]);
+        let idx = s.index();
+        assert_eq!(idx.site_of(JobId(1)), Some(SiteId(2)));
+        assert_eq!(idx.site_of(JobId(1)), s.site_of(JobId(1)));
+        assert_eq!(idx.sites_of(JobId(1)), &[SiteId(2), SiteId(0)]);
+        assert_eq!(idx.sites_of(JobId(3)), &[SiteId(1)]);
+        assert_eq!(idx.sites_of(JobId(9)), &[] as &[SiteId]);
     }
 }

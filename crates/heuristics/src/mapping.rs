@@ -6,48 +6,88 @@
 //! with respect to the grid: tests drive them with hand-written
 //! (including inconsistent) ETC matrices such as the paper's Fig. 2
 //! example.
+//!
+//! ## Hot-path structure
+//!
+//! The textbook loops are O(n²·m): every round rescans every unassigned
+//! job's candidate sites. The implementations here cut that two ways
+//! while staying **bit-identical** to the textbook versions (kept in
+//! [`reference`]; the property suite asserts equality on random
+//! instances):
+//!
+//! * **Invalidation caching.** Committing a job only delays the committed
+//!   site — [`NodeAvailability`] is monotone — so another job's cached
+//!   best (site, CT) stays exactly what a fresh scan would return unless
+//!   the committed site could have contributed to it. Min-Min/Max-Min
+//!   recompute a job only when its cached best sits on the committed
+//!   site; Sufferage (whose second-best may also move) recomputes when
+//!   the committed site is in the job's candidate list.
+//! * **Deterministic parallel argmin.** The per-round selection over
+//!   cached values runs on `par_iter().indexed_min_by`, whose tree
+//!   reduction breaks ties toward the lowest index — the same winner as
+//!   the sequential first-strictly-better scan, at every thread count.
 
 use crate::common::MapCtx;
 use gridsec_core::etc::NodeAvailability;
 use gridsec_core::Time;
+use rayon::prelude::*;
+use std::cmp::Ordering;
 
 /// Min-Min: repeatedly pick the unassigned job whose *best* completion
 /// time is smallest, and assign it there. Ties break on lower job index,
 /// then lower site index (deterministic).
 pub fn map_min_min(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
-    map_by_best(ctx, avail, |best, incumbent| best < incumbent)
+    map_by_best(ctx, avail, |a, b| a.cmp(b))
 }
 
 /// Max-Min: the dual — pick the unassigned job whose best completion time
 /// is *largest* (runs long jobs early).
 pub fn map_max_min(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
-    map_by_best(ctx, avail, |best, incumbent| best > incumbent)
+    map_by_best(ctx, avail, |a, b| b.cmp(a))
 }
 
-/// Shared Min-Min / Max-Min skeleton; `prefer(candidate, incumbent)`
-/// decides whether a job's best CT beats the current selection.
+/// Shared Min-Min / Max-Min skeleton: `cmp` orders candidate completion
+/// times so that `Ordering::Less` means "strictly better" (the argmin
+/// keeps the earliest position on ties, matching the sequential scan).
 fn map_by_best(
     ctx: &MapCtx,
     avail: &mut [NodeAvailability],
-    prefer: impl Fn(Time, Time) -> bool,
+    cmp: impl Fn(&Time, &Time) -> Ordering + Sync,
 ) -> Vec<(usize, usize)> {
     let n = ctx.n_jobs();
     let mut unassigned: Vec<usize> = (0..n).collect();
+    // Cached best (site, CT) per unassigned position, parallel initial
+    // fill.
+    let mut best: Vec<(usize, Time)> = {
+        let view: &[NodeAvailability] = avail;
+        unassigned
+            .par_iter()
+            .map(|&j| {
+                ctx.best(view, j)
+                    .expect("every batch job has a feasible candidate")
+            })
+            .collect()
+    };
     let mut out = Vec::with_capacity(n);
     while !unassigned.is_empty() {
-        let mut pick: Option<(usize, usize, Time)> = None; // (pos, site, ct)
-        for (pos, &j) in unassigned.iter().enumerate() {
-            let (s, ct) = ctx
-                .best(avail, j)
-                .expect("every batch job has a feasible candidate");
-            if pick.is_none_or(|(_, _, t)| prefer(ct, t)) {
-                pick = Some((pos, s, ct));
-            }
-        }
-        let (pos, site, _) = pick.expect("non-empty unassigned set");
+        let (pos, _) = best
+            .par_iter()
+            .indexed_min_by(|a, b| cmp(&a.1, &b.1))
+            .expect("non-empty unassigned set");
+        let (site, _) = best[pos];
         let job = unassigned.remove(pos);
+        best.remove(pos);
         ctx.commit(avail, job, site);
         out.push((job, site));
+        // Only jobs whose cached best sat on the committed site can have
+        // changed (availability is monotone; see module docs).
+        for (i, &j) in unassigned.iter().enumerate() {
+            if best[i].0 == site {
+                best[i] = ctx
+                    .best(avail, j)
+                    .expect("every batch job has a feasible candidate");
+            }
+        }
     }
     out
 }
@@ -57,25 +97,121 @@ fn map_by_best(
 /// A job with a single candidate has sufferage 0.
 pub fn map_sufferage(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
     let n = ctx.n_jobs();
+    let m = ctx.etc.n_sites();
     let mut unassigned: Vec<usize> = (0..n).collect();
+    // Candidate-membership mask: invalidation below must recompute every
+    // job that could see the committed site at all (its second-best may
+    // sit there even when its best does not).
+    let mut is_candidate = vec![false; n * m];
+    for (j, cands) in ctx.candidates.iter().enumerate() {
+        for &s in cands {
+            is_candidate[j * m + s] = true;
+        }
+    }
+    // Cached (best site, best CT, second-best CT) per unassigned
+    // position, parallel initial fill.
+    let mut cached: Vec<(usize, Time, Time)> = {
+        let view: &[NodeAvailability] = avail;
+        unassigned
+            .par_iter()
+            .map(|&j| {
+                ctx.best_two(view, j)
+                    .expect("every batch job has a feasible candidate")
+            })
+            .collect()
+    };
     let mut out = Vec::with_capacity(n);
     while !unassigned.is_empty() {
-        let mut pick: Option<(usize, usize, Time)> = None; // (pos, site, sufferage)
-        for (pos, &j) in unassigned.iter().enumerate() {
-            let (s, best, second) = ctx
-                .best_two(avail, j)
-                .expect("every batch job has a feasible candidate");
-            let sufferage = second - best;
-            if pick.is_none_or(|(_, _, v)| sufferage > v) {
-                pick = Some((pos, s, sufferage));
-            }
-        }
-        let (pos, site, _) = pick.expect("non-empty unassigned set");
+        // Largest sufferage wins; ties go to the earliest position, as in
+        // the sequential strictly-greater scan.
+        let (pos, _) = cached
+            .par_iter()
+            .indexed_min_by(|a, b| (b.2 - b.1).cmp(&(a.2 - a.1)))
+            .expect("non-empty unassigned set");
+        let (site, _, _) = cached[pos];
         let job = unassigned.remove(pos);
+        cached.remove(pos);
         ctx.commit(avail, job, site);
         out.push((job, site));
+        for (i, &j) in unassigned.iter().enumerate() {
+            if is_candidate[j * m + site] {
+                cached[i] = ctx
+                    .best_two(avail, j)
+                    .expect("every batch job has a feasible candidate");
+            }
+        }
     }
     out
+}
+
+/// The textbook O(n²·m) loops, exactly as implemented before the PR 3
+/// hot-path rewrite: full rescan of every unassigned job per round,
+/// sequential first-strictly-better selection. Kept as the behavioural
+/// reference — the property suite asserts the optimized loops above match
+/// these bit for bit on random instances, and `perf_baseline` times both
+/// sides.
+pub mod reference {
+    use super::*;
+
+    /// Reference Min-Min (see [`super::map_min_min`]).
+    pub fn map_min_min(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
+        map_by_best(ctx, avail, |best, incumbent| best < incumbent)
+    }
+
+    /// Reference Max-Min (see [`super::map_max_min`]).
+    pub fn map_max_min(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
+        map_by_best(ctx, avail, |best, incumbent| best > incumbent)
+    }
+
+    fn map_by_best(
+        ctx: &MapCtx,
+        avail: &mut [NodeAvailability],
+        prefer: impl Fn(Time, Time) -> bool,
+    ) -> Vec<(usize, usize)> {
+        let n = ctx.n_jobs();
+        let mut unassigned: Vec<usize> = (0..n).collect();
+        let mut out = Vec::with_capacity(n);
+        while !unassigned.is_empty() {
+            let mut pick: Option<(usize, usize, Time)> = None; // (pos, site, ct)
+            for (pos, &j) in unassigned.iter().enumerate() {
+                let (s, ct) = ctx
+                    .best(avail, j)
+                    .expect("every batch job has a feasible candidate");
+                if pick.is_none_or(|(_, _, t)| prefer(ct, t)) {
+                    pick = Some((pos, s, ct));
+                }
+            }
+            let (pos, site, _) = pick.expect("non-empty unassigned set");
+            let job = unassigned.remove(pos);
+            ctx.commit(avail, job, site);
+            out.push((job, site));
+        }
+        out
+    }
+
+    /// Reference Sufferage (see [`super::map_sufferage`]).
+    pub fn map_sufferage(ctx: &MapCtx, avail: &mut [NodeAvailability]) -> Vec<(usize, usize)> {
+        let n = ctx.n_jobs();
+        let mut unassigned: Vec<usize> = (0..n).collect();
+        let mut out = Vec::with_capacity(n);
+        while !unassigned.is_empty() {
+            let mut pick: Option<(usize, usize, Time)> = None; // (pos, site, sufferage)
+            for (pos, &j) in unassigned.iter().enumerate() {
+                let (s, best, second) = ctx
+                    .best_two(avail, j)
+                    .expect("every batch job has a feasible candidate");
+                let sufferage = second - best;
+                if pick.is_none_or(|(_, _, v)| sufferage > v) {
+                    pick = Some((pos, s, sufferage));
+                }
+            }
+            let (pos, site, _) = pick.expect("non-empty unassigned set");
+            let job = unassigned.remove(pos);
+            ctx.commit(avail, job, site);
+            out.push((job, site));
+        }
+        out
+    }
 }
 
 /// Makespan implied by a mapping: latest committed completion time. Takes
@@ -194,7 +330,12 @@ mod tests {
             NodeAvailability::new(1, Time::ZERO),
         ];
         let m = map_min_min(&ctx, &mut avail);
-        let site_of = |j: usize| m.iter().find(|&&(jj, _)| jj == j).unwrap().1;
+        let index = gridsec_core::BatchSchedule::from_pairs(
+            m.iter()
+                .map(|&(j, s)| (gridsec_core::JobId(j as u64), gridsec_core::SiteId(s))),
+        )
+        .index();
+        let site_of = |j: u64| index.site_of(gridsec_core::JobId(j)).unwrap().0;
         assert_eq!(site_of(0), 1);
         assert_eq!(site_of(1), 0);
     }

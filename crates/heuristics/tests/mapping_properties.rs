@@ -2,7 +2,7 @@
 //! (including inconsistent) ETC matrices.
 
 use gridsec_core::etc::{EtcMatrix, NodeAvailability};
-use gridsec_core::Time;
+use gridsec_core::{BatchSchedule, JobId, SiteId, Time};
 use gridsec_heuristics::common::MapCtx;
 use gridsec_heuristics::mapping::{map_max_min, map_min_min, map_sufferage, mapping_makespan};
 use proptest::prelude::*;
@@ -28,6 +28,48 @@ fn arb_instance() -> impl Strategy<Value = (MapCtx, Vec<NodeAvailability>)> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimized_loops_match_textbook_reference((ctx, avail) in arb_instance()) {
+        // The cached/parallel loops must reproduce the pre-PR3 textbook
+        // O(n²·m) loops exactly — mapping order, sites and final
+        // availability state.
+        use gridsec_heuristics::mapping::reference;
+        type MapFn = fn(&MapCtx, &mut [NodeAvailability]) -> Vec<(usize, usize)>;
+        let pairs: [(MapFn, MapFn); 3] = [
+            (map_min_min, reference::map_min_min),
+            (map_max_min, reference::map_max_min),
+            (map_sufferage, reference::map_sufferage),
+        ];
+        for (optimized, textbook) in pairs {
+            let mut a1 = avail.clone();
+            let mut a2 = avail.clone();
+            let got = optimized(&ctx, &mut a1);
+            let want = textbook(&ctx, &mut a2);
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(a1, a2);
+        }
+    }
+
+    #[test]
+    fn mapping_loops_are_thread_count_independent((ctx, avail) in arb_instance()) {
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool builds");
+            pool.install(|| {
+                let mut a = avail.clone();
+                let mm = map_min_min(&ctx, &mut a);
+                let mut a = avail.clone();
+                let sf = map_sufferage(&ctx, &mut a);
+                (mm, sf)
+            })
+        };
+        let one = run(1);
+        prop_assert_eq!(run(2), one.clone());
+        prop_assert_eq!(run(4), one);
+    }
 
     #[test]
     fn mappings_are_permutations((ctx, avail) in arb_instance()) {
@@ -106,7 +148,10 @@ proptest! {
         (ctx, avail) in arb_instance(),
         pick in any::<prop::sample::Index>(),
     ) {
-        // Restrict one job to a single site; every mapping must comply.
+        // Restrict one job to a single site; every mapping must comply —
+        // and every *other* job must stay inside its candidate list.
+        // Queried through a ScheduleIndex built once per mapping instead
+        // of a per-job linear scan.
         let mut ctx = ctx;
         let j = pick.index(ctx.n_jobs());
         let s = pick.index(ctx.etc.n_sites());
@@ -114,8 +159,15 @@ proptest! {
         for f in [map_min_min, map_max_min, map_sufferage] {
             let mut a = avail.clone();
             let mapping = f(&ctx, &mut a);
-            let (_, site) = mapping.iter().find(|&&(jj, _)| jj == j).unwrap();
-            prop_assert_eq!(*site, s);
+            let schedule = BatchSchedule::from_pairs(
+                mapping.iter().map(|&(jj, ss)| (JobId(jj as u64), SiteId(ss))),
+            );
+            let index = schedule.index();
+            prop_assert_eq!(index.site_of(JobId(j as u64)), Some(SiteId(s)));
+            for jj in 0..ctx.n_jobs() {
+                let site = index.site_of(JobId(jj as u64)).unwrap();
+                prop_assert!(ctx.candidates[jj].contains(&site.0));
+            }
         }
     }
 }

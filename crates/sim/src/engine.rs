@@ -264,8 +264,9 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
     /// Replication-aware validation: every batch job covered at least
     /// once, at most `max_replicas` times, on distinct fitting sites.
     fn validate_schedule(&self, schedule: &BatchSchedule, batch: &[BatchJob]) -> Result<()> {
-        let mut counts: HashMap<JobId, u32> = HashMap::with_capacity(batch.len());
-        let mut sites_of: HashMap<JobId, Vec<SiteId>> = HashMap::new();
+        // One job→sites index instead of per-assignment map churn; the
+        // replica checks below run off the indexed site lists.
+        let index = schedule.index();
         let in_batch: HashMap<JobId, u32> = batch.iter().map(|b| (b.job.id, b.job.width)).collect();
         for a in &schedule.assignments {
             let width = *in_batch.get(&a.job).ok_or(Error::UnknownJob(a.job.0))?;
@@ -277,30 +278,33 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
                     site_nodes: site.nodes,
                 });
             }
-            let c = counts.entry(a.job).or_insert(0);
-            *c += 1;
-            if *c > self.config.max_replicas {
+        }
+        for b in batch {
+            let sites = index.sites_of(b.job.id);
+            if sites.len() as u32 > self.config.max_replicas {
                 return Err(Error::invalid(
                     "schedule",
                     format!(
                         "job {} assigned {} times (max_replicas = {})",
-                        a.job, c, self.config.max_replicas
+                        b.job.id,
+                        sites.len(),
+                        self.config.max_replicas
                     ),
                 ));
             }
-            let sites = sites_of.entry(a.job).or_default();
-            if sites.contains(&a.site) {
-                return Err(Error::invalid(
-                    "schedule",
-                    format!("job {} replicated twice on site {}", a.job, a.site),
-                ));
+            for (i, s) in sites.iter().enumerate() {
+                if sites[..i].contains(s) {
+                    return Err(Error::invalid(
+                        "schedule",
+                        format!("job {} replicated twice on site {}", b.job.id, s),
+                    ));
+                }
             }
-            sites.push(a.site);
         }
-        if counts.len() != batch.len() {
+        if index.n_jobs() != batch.len() {
             return Err(Error::IncompleteSchedule {
                 expected: batch.len(),
-                assigned: counts.len(),
+                assigned: index.n_jobs(),
             });
         }
         Ok(())

@@ -10,9 +10,24 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A job→site assignment vector (gene `i` = site index of batch job `i`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Chromosome {
     genes: Vec<u16>,
+}
+
+// Manual Clone so `clone_from` reuses the destination's gene allocation —
+// the GA's elite splice clones into recycled population slots every
+// generation (derived Clone would always allocate afresh).
+impl Clone for Chromosome {
+    fn clone(&self) -> Self {
+        Chromosome {
+            genes: self.genes.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.genes.clone_from(&source.genes);
+    }
 }
 
 impl Chromosome {

@@ -3,9 +3,9 @@
 
 use crate::chromosome::Chromosome;
 use crate::fitness::{evaluate_with_scratch, FitnessKind, RiskWeights};
-use crate::ops::{crossover, mutate};
+use crate::ops::{crossover_in_place, mutate};
 use crate::params::GaParams;
-use crate::selection::{elite_indices, RouletteWheel};
+use crate::selection::{elite_indices_into, RouletteWheel};
 use gridsec_core::etc::NodeAvailability;
 use gridsec_heuristics::common::MapCtx;
 use rand::Rng;
@@ -78,47 +78,75 @@ pub fn evolve_population<R: Rng + ?Sized>(
         population.push(Chromosome::random(&ctx.candidates, rng));
     }
 
-    let eval_all = |pop: &[Chromosome]| -> Vec<f64> {
+    let eval_all = |pop: &[Chromosome], out: &mut Vec<f64>| {
         pop.par_iter()
             .map_init(Vec::new, |scratch, c| {
                 evaluate_with_scratch(ctx, base_avail, scratch, c, kind, risk, params.flow_weight)
             })
-            .collect()
+            .collect_into(out);
     };
 
-    let mut fitness = eval_all(&population);
+    let mut fitness: Vec<f64> = Vec::new();
+    eval_all(&population, &mut fitness);
     let (mut best, mut best_fitness) = current_best(&population, &fitness);
     let mut trajectory = Vec::with_capacity(params.generations + 1);
     trajectory.push(best_fitness);
     let mut stall = 0usize;
 
+    // Double-buffered generation state, allocated once for the whole run:
+    // `next` is the other population buffer (swapped in each generation,
+    // so chromosome slots — and their gene vectors, via `clone_from` —
+    // are recycled), `wheel` owns the cumulative selection table,
+    // `elites` the elite-index scratch, and `spare` absorbs the unplaced
+    // second child when the non-elite count is odd. After the first
+    // generation warms the buffers, a generation allocates nothing.
+    let mut next: Vec<Chromosome> = Vec::with_capacity(params.population);
+    let mut wheel = RouletteWheel::new();
+    let mut elites: Vec<usize> = Vec::new();
+    let mut spare = Chromosome::from_genes(Vec::new());
+
     for _ in 0..params.generations {
-        let wheel = RouletteWheel::build(&fitness);
-        let mut next: Vec<Chromosome> = elite_indices(&fitness, params.elitism)
-            .into_iter()
-            .map(|i| population[i].clone())
-            .collect();
+        wheel.rebuild(&fitness);
+        elite_indices_into(&fitness, params.elitism, &mut elites);
+        // All slots must exist up front so children can be built in
+        // place; the placeholders are allocation-free and only ever
+        // constructed in the first generation.
         while next.len() < params.population {
-            let pa = &population[wheel.spin(rng)];
-            let pb = &population[wheel.spin(rng)];
-            let (mut ca, mut cb) = if rng.gen::<f64>() < params.crossover_prob {
-                crossover(pa, pb, rng)
-            } else {
-                (pa.clone(), pb.clone())
-            };
-            if rng.gen::<f64>() < params.mutation_prob {
-                mutate(&mut ca, &ctx.candidates, rng);
-            }
-            if rng.gen::<f64>() < params.mutation_prob {
-                mutate(&mut cb, &ctx.candidates, rng);
-            }
-            next.push(ca);
-            if next.len() < params.population {
-                next.push(cb);
-            }
+            next.push(Chromosome::from_genes(Vec::new()));
         }
-        population = next;
-        fitness = eval_all(&population);
+        // Elite splice by index: clone the elites into the head of the
+        // recycled buffer (clone_from reuses each slot's gene allocation).
+        let mut filled = 0;
+        for &e in &elites {
+            next[filled].clone_from(&population[e]);
+            filled += 1;
+        }
+        while filled < params.population {
+            let pa = wheel.spin(rng);
+            let pb = wheel.spin(rng);
+            // Copy both parents into their destination slots (the odd
+            // tail child lands in `spare` — it still consumes its RNG
+            // draws, exactly like the discarded child did before), then
+            // cross and mutate in place.
+            let has_second = filled + 1 < params.population;
+            let (head, tail) = next.split_at_mut(filled + 1);
+            let ca = &mut head[filled];
+            let cb = if has_second { &mut tail[0] } else { &mut spare };
+            ca.clone_from(&population[pa]);
+            cb.clone_from(&population[pb]);
+            if rng.gen::<f64>() < params.crossover_prob {
+                crossover_in_place(ca, cb, rng);
+            }
+            if rng.gen::<f64>() < params.mutation_prob {
+                mutate(ca, &ctx.candidates, rng);
+            }
+            if rng.gen::<f64>() < params.mutation_prob {
+                mutate(cb, &ctx.candidates, rng);
+            }
+            filled += if has_second { 2 } else { 1 };
+        }
+        std::mem::swap(&mut population, &mut next);
+        eval_all(&population, &mut fitness);
         let (gen_best, gen_fit) = current_best(&population, &fitness);
         if gen_fit < best_fitness {
             best = gen_best;
@@ -179,14 +207,17 @@ fn solve_single_job(
     }
 }
 
+/// The best individual of a population. Tie-breaking is explicit: among
+/// equal-fitness individuals the **lowest index** wins — guaranteed by the
+/// deterministic `indexed_min_by` tree reduction rather than left to scan
+/// order, so the result is bit-identical at every thread count.
 fn current_best(population: &[Chromosome], fitness: &[f64]) -> (Chromosome, f64) {
-    let mut bi = 0;
-    for i in 1..fitness.len() {
-        if fitness[i] < fitness[bi] {
-            bi = i;
-        }
-    }
-    (population[bi].clone(), fitness[bi])
+    let (bi, bf) = fitness
+        .par_iter()
+        .map(|&f| f)
+        .indexed_min_by(|a, b| a.total_cmp(b))
+        .expect("population is non-empty");
+    (population[bi].clone(), bf)
 }
 
 #[cfg(test)]
@@ -362,6 +393,38 @@ mod tests {
         );
         assert_eq!(r.best.site_of(0), 1);
         assert_eq!(r.trajectory.len(), 61);
+    }
+
+    #[test]
+    fn current_best_breaks_ties_toward_lowest_index() {
+        // Three distinct chromosomes share the minimal fitness; the lowest
+        // index must win at every thread count (an earlier implementation
+        // relied on scan order).
+        let population: Vec<Chromosome> = (0..120)
+            .map(|i| Chromosome::from_genes(vec![(i % 4) as u16; 3]))
+            .collect();
+        let mut fitness = vec![50.0; 120];
+        fitness[17] = 10.0;
+        fitness[71] = 10.0; // beyond one reduction leaf
+        fitness[99] = 10.0;
+        for threads in [1, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (best, fit) = pool.install(|| current_best(&population, &fitness));
+            assert_eq!(fit, 10.0);
+            assert_eq!(best, population[17], "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn current_best_handles_all_infinite_fitness() {
+        let population: Vec<Chromosome> = (0..3).map(|_| Chromosome::from_genes(vec![0])).collect();
+        let fitness = vec![f64::INFINITY; 3];
+        let (best, fit) = current_best(&population, &fitness);
+        assert_eq!(fit, f64::INFINITY);
+        assert_eq!(best, population[0]);
     }
 
     #[test]

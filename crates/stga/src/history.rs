@@ -11,6 +11,7 @@
 use crate::chromosome::Chromosome;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Eq. 2 as printed: `1 − Σ|aᵢ−bᵢ| / max{max aᵢ, max bᵢ}`, clamped to
@@ -82,7 +83,50 @@ impl BatchSignature {
         let s3 = similarity(&self.demands, &other.demands);
         (s1 + s2 + s3) / 3.0
     }
+
+    /// The batch-size signature: the three vector lengths. Entries with
+    /// the same dimensions share a lookup bucket.
+    fn dims(&self) -> SigDims {
+        (self.ready_times.len(), self.etc.len(), self.demands.len())
+    }
 }
+
+/// Bucket key: the lengths of (ready_times, etc, demands).
+type SigDims = (usize, usize, usize);
+
+/// Upper bound on the similarity of two equal-length-or-not vectors,
+/// derived from lengths alone: the length-mismatch penalty in
+/// [`similarity`] caps the score at `min_len / max_len` (and at 1 when
+/// the lengths match).
+fn length_similarity_bound(a: usize, b: usize) -> f64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if hi == 0 {
+        1.0 // both empty → similarity() returns 1
+    } else {
+        lo as f64 / hi as f64
+    }
+}
+
+/// Upper bound on [`BatchSignature::similarity`] from dimensions alone,
+/// used to skip whole lookup buckets without changing any result.
+///
+/// The bound holds in real arithmetic, but `similarity` and this function
+/// round differently (`1 − (maxlen−k)/maxlen` vs `k/maxlen`), so the true
+/// score can exceed the raw bound by a few ulps. [`BOUND_MARGIN`] absorbs
+/// that: the filter compares against `bound + BOUND_MARGIN`, which can
+/// only admit extra buckets (still scored exactly), never skip one whose
+/// entries could pass the threshold.
+fn dims_similarity_bound(a: SigDims, b: SigDims) -> f64 {
+    (length_similarity_bound(a.0, b.0)
+        + length_similarity_bound(a.1, b.1)
+        + length_similarity_bound(a.2, b.2))
+        / 3.0
+}
+
+/// Rounding slack added to [`dims_similarity_bound`] before filtering —
+/// far above the few-ulp gap (≤ ~1e-15 on unit-range scores), far below
+/// any meaningful threshold granularity.
+const BOUND_MARGIN: f64 = 1e-9;
 
 /// One history entry: a past round's signature and its best schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,8 +139,27 @@ pub struct Entry {
 }
 
 /// Bounded LRU table of past scheduling solutions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Lookup is bucketed by batch-size signature (the three vector lengths):
+/// similarity between signatures of mismatched dimensions is capped at
+/// the length ratio, so buckets whose bound falls below the query
+/// threshold are skipped wholesale and only plausibly-similar entries are
+/// scored. The pruning is exact — results are identical to the linear
+/// scan ([`HistoryTable::lookup_linear`], kept as the test/bench
+/// reference) for every query.
+#[derive(Debug, Clone)]
 pub struct HistoryTable {
+    capacity: usize,
+    clock: u64,
+    entries: Vec<Entry>,
+    /// Entry indices grouped by signature dimensions (unordered within a
+    /// bucket; lookup sorts the surviving candidates).
+    buckets: HashMap<SigDims, Vec<usize>>,
+}
+
+/// The serialised form: everything but the derived bucket index.
+#[derive(Serialize, Deserialize)]
+struct HistoryTableWire {
     capacity: usize,
     clock: u64,
     entries: Vec<Entry>,
@@ -113,7 +176,34 @@ impl HistoryTable {
             capacity,
             clock: 0,
             entries: Vec::with_capacity(capacity),
+            buckets: HashMap::new(),
         }
+    }
+
+    /// Removes entry `i` from the table, keeping the bucket index
+    /// consistent with the `swap_remove` (the former last entry takes
+    /// index `i`).
+    fn remove_entry(&mut self, i: usize) {
+        let dims = self.entries[i].signature.dims();
+        let bucket = self.buckets.get_mut(&dims).expect("indexed entry");
+        let pos = bucket.iter().position(|&x| x == i).expect("indexed entry");
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.buckets.remove(&dims);
+        }
+        let last = self.entries.len() - 1;
+        if i != last {
+            let moved_dims = self.entries[last].signature.dims();
+            let moved = self
+                .buckets
+                .get_mut(&moved_dims)
+                .expect("indexed entry")
+                .iter_mut()
+                .find(|x| **x == last)
+                .expect("indexed entry");
+            *moved = i;
+        }
+        self.entries.swap_remove(i);
     }
 
     /// Number of stored entries.
@@ -143,8 +233,12 @@ impl HistoryTable {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
                 .expect("non-empty at capacity");
-            self.entries.swap_remove(lru);
+            self.remove_entry(lru);
         }
+        self.buckets
+            .entry(signature.dims())
+            .or_default()
+            .push(self.entries.len());
         self.entries.push(Entry {
             signature,
             chromosome,
@@ -155,7 +249,48 @@ impl HistoryTable {
     /// Returns up to `limit` chromosomes whose signatures are at least
     /// `threshold`-similar to `query`, best matches first, touching their
     /// LRU stamps.
+    ///
+    /// Only buckets whose dimension-derived similarity bound reaches
+    /// `threshold` are scored; results are identical to
+    /// [`HistoryTable::lookup_linear`].
     pub fn lookup(
+        &mut self,
+        query: &BatchSignature,
+        threshold: f64,
+        limit: usize,
+    ) -> Vec<Chromosome> {
+        self.clock += 1;
+        let clock = self.clock;
+        let qdims = query.dims();
+        let mut candidates: Vec<usize> = self
+            .buckets
+            .iter()
+            .filter(|(&dims, _)| dims_similarity_bound(qdims, dims) + BOUND_MARGIN >= threshold)
+            .flat_map(|(_, idx)| idx.iter().copied())
+            .collect();
+        // Entry order, so equal-similarity ties sort exactly as in the
+        // linear scan (the sort below is stable).
+        candidates.sort_unstable();
+        let mut scored: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .map(|i| (i, self.entries[i].signature.similarity(query)))
+            .filter(|&(_, s)| s >= threshold)
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored.truncate(limit);
+        let mut out = Vec::with_capacity(scored.len());
+        for (i, _) in scored {
+            self.entries[i].last_used = clock;
+            out.push(self.entries[i].chromosome.clone());
+        }
+        out
+    }
+
+    /// The pre-bucketing lookup: scores every entry. Kept as the
+    /// reference implementation — the property suite asserts
+    /// `lookup == lookup_linear` on random tables, and the perf baseline
+    /// times both.
+    pub fn lookup_linear(
         &mut self,
         query: &BatchSignature,
         threshold: f64,
@@ -190,15 +325,39 @@ impl HistoryTable {
 
     /// Serialises the table to JSON — lets a production scheduler persist
     /// its learned history across restarts (the paper's "time" dimension
-    /// survives the process).
+    /// survives the process). The bucket index is derived state and is
+    /// not serialised; the wire format is unchanged from before
+    /// bucketing.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("history serialises")
+        let wire = HistoryTableWire {
+            capacity: self.capacity,
+            clock: self.clock,
+            entries: self.entries.clone(),
+        };
+        serde_json::to_string(&wire).expect("history serialises")
     }
 
-    /// Restores a table saved with [`HistoryTable::to_json`].
+    /// Restores a table saved with [`HistoryTable::to_json`], rebuilding
+    /// the bucket index.
     pub fn from_json(text: &str) -> gridsec_core::Result<HistoryTable> {
-        serde_json::from_str(text).map_err(|e| {
+        let wire: HistoryTableWire = serde_json::from_str(text).map_err(|e| {
             gridsec_core::Error::invalid("history", format!("invalid history JSON: {e}"))
+        })?;
+        if wire.capacity == 0 {
+            return Err(gridsec_core::Error::invalid(
+                "history",
+                "history table capacity must be ≥ 1",
+            ));
+        }
+        let mut buckets: HashMap<SigDims, Vec<usize>> = HashMap::new();
+        for (i, e) in wire.entries.iter().enumerate() {
+            buckets.entry(e.signature.dims()).or_default().push(i);
+        }
+        Ok(HistoryTable {
+            capacity: wire.capacity,
+            clock: wire.clock,
+            entries: wire.entries,
+            buckets,
         })
     }
 }
@@ -384,6 +543,107 @@ mod tests {
             vec![Chromosome::from_genes(vec![1])]
         );
         assert!(HistoryTable::from_json("{").is_err());
+    }
+
+    #[test]
+    fn bucketed_lookup_matches_linear_scan() {
+        // Mixed dimensions, several thresholds, eviction churn along the
+        // way: the bucketed lookup must reproduce the linear scan exactly.
+        let mut bucketed = HistoryTable::new(12);
+        let mut linear = HistoryTable::new(12);
+        let make = |t: u64, d: usize| {
+            let v: Vec<f64> = (0..d)
+                .map(|i| ((t as usize * 13 + i * 5) % 40) as f64)
+                .collect();
+            (
+                sig(&v, &v, &v[..d.min(3)]),
+                Chromosome::from_genes(vec![t as u16; d]),
+            )
+        };
+        for t in 0..30u64 {
+            let (s, c) = make(t, 2 + (t % 4) as usize);
+            bucketed.insert(s.clone(), c.clone());
+            linear.insert(s, c);
+        }
+        for t in 0..30u64 {
+            for threshold in [0.0, 0.4, 0.8, 0.95] {
+                let (q, _) = make(t, 2 + ((t + 1) % 4) as usize);
+                assert_eq!(
+                    bucketed.lookup(&q, threshold, 5),
+                    linear.lookup_linear(&q, threshold, 5),
+                    "query {t} threshold {threshold}"
+                );
+            }
+        }
+        assert_eq!(bucketed.len(), linear.len());
+    }
+
+    #[test]
+    fn dims_bound_never_undercuts_true_similarity() {
+        let cases = [
+            (
+                sig(&[1.0, 2.0], &[3.0], &[0.5]),
+                sig(&[1.0], &[3.0, 4.0], &[0.5, 0.6]),
+            ),
+            (sig(&[], &[1.0], &[0.5]), sig(&[2.0], &[1.0], &[0.5])),
+            (sig(&[], &[], &[]), sig(&[], &[], &[])),
+            (
+                sig(&[9.0; 5], &[1.0; 10], &[0.7; 5]),
+                sig(&[9.0; 3], &[1.0; 10], &[0.7; 4]),
+            ),
+        ];
+        for (a, b) in cases {
+            let bound = dims_similarity_bound(a.dims(), b.dims());
+            let real = a.similarity(&b);
+            assert!(
+                real <= bound + BOUND_MARGIN,
+                "similarity {real} exceeds bound {bound} for {:?} vs {:?}",
+                a.dims(),
+                b.dims()
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_filter_survives_bound_rounding() {
+        // Adversarial rounding case: identical common prefixes, so each
+        // mismatched component scores 1 − 2/3 = 0.33333333333333337 —
+        // a few ulps ABOVE the raw k/maxlen bound of 0.3333333333333333.
+        // With a threshold right at the true similarity, a margin-less
+        // filter would skip the bucket that the linear scan returns.
+        let entry = sig(&[1.0, 1.0, 1.0], &[2.0, 2.0], &[1.0, 1.0, 1.0]);
+        let query = sig(&[1.0], &[2.0, 2.0], &[1.0]);
+        let mut bucketed = HistoryTable::new(4);
+        let mut linear = HistoryTable::new(4);
+        bucketed.insert(entry.clone(), Chromosome::from_genes(vec![7]));
+        linear.insert(entry.clone(), Chromosome::from_genes(vec![7]));
+        let threshold = entry.similarity(&query);
+        assert!(threshold > dims_similarity_bound(entry.dims(), query.dims()));
+        let hits = bucketed.lookup(&query, threshold, 4);
+        assert_eq!(hits, linear.lookup_linear(&query, threshold, 4));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn eviction_keeps_bucket_index_consistent() {
+        // Capacity 3 with constant churn across two dimension classes;
+        // after every insert the bucketed and linear lookups must agree.
+        let mut t = HistoryTable::new(3);
+        let mut reference = HistoryTable::new(3);
+        for i in 0..20u64 {
+            let d = 1 + (i % 2) as usize;
+            let v = vec![i as f64; d];
+            let s = sig(&v, &v, &v);
+            t.insert(s.clone(), Chromosome::from_genes(vec![i as u16]));
+            reference.insert(s, Chromosome::from_genes(vec![i as u16]));
+            let q = sig(&[i as f64], &[i as f64], &[i as f64]);
+            assert_eq!(
+                t.lookup(&q, 0.5, 3),
+                reference.lookup_linear(&q, 0.5, 3),
+                "after insert {i}"
+            );
+        }
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

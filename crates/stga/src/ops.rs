@@ -15,18 +15,27 @@ pub fn crossover<R: Rng + ?Sized>(
     b: &Chromosome,
     rng: &mut R,
 ) -> (Chromosome, Chromosome) {
+    let mut ca = a.clone();
+    let mut cb = b.clone();
+    crossover_in_place(&mut ca, &mut cb, rng);
+    (ca, cb)
+}
+
+/// [`crossover`] on two already-materialised children: swaps the tails of
+/// `a` and `b` in place, allocation-free. RNG consumption is identical to
+/// `crossover` (one cut draw when `len ≥ 2`, none otherwise), so the GA
+/// evolve loop can copy parents into recycled population slots and cross
+/// them there without changing any result.
+pub fn crossover_in_place<R: Rng + ?Sized>(a: &mut Chromosome, b: &mut Chromosome, rng: &mut R) {
     assert_eq!(a.len(), b.len(), "crossover needs equal-length parents");
     let n = a.len();
     if n < 2 {
-        return (a.clone(), b.clone());
+        return;
     }
     let cut = rng.gen_range(1..n);
-    let mut ga = a.genes().to_vec();
-    let mut gb = b.genes().to_vec();
     for i in cut..n {
-        std::mem::swap(&mut ga[i], &mut gb[i]);
+        std::mem::swap(&mut a.genes_mut()[i], &mut b.genes_mut()[i]);
     }
-    (Chromosome::from_genes(ga), Chromosome::from_genes(gb))
 }
 
 /// Point mutation: re-draws the site of one random job from its candidate
@@ -84,6 +93,23 @@ mod tests {
             let mut want = [a.genes()[i], b.genes()[i]];
             want.sort_unstable();
             assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn in_place_crossover_matches_allocating_crossover() {
+        for seed in 0..20 {
+            let mut r1 = stream(seed, Stream::Genetic);
+            let mut r2 = stream(seed, Stream::Genetic);
+            let a = Chromosome::from_genes(vec![0, 1, 2, 3, 4, 5]);
+            let b = Chromosome::from_genes(vec![9, 8, 7, 6, 5, 4]);
+            let (ca, cb) = crossover(&a, &b, &mut r1);
+            let mut da = a.clone();
+            let mut db = b.clone();
+            crossover_in_place(&mut da, &mut db, &mut r2);
+            assert_eq!((da, db), (ca, cb), "seed {seed}");
+            // Both paths consumed the same RNG state.
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
         }
     }
 

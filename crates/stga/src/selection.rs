@@ -9,10 +9,21 @@ use rand::Rng;
 
 /// Indices of the `k` best (lowest-fitness) individuals, in order.
 pub fn elite_indices(fitness: &[f64], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..fitness.len()).collect();
-    idx.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
-    idx.truncate(k);
+    let mut idx = Vec::new();
+    elite_indices_into(fitness, k, &mut idx);
     idx
+}
+
+/// [`elite_indices`] into a caller-owned scratch buffer — the evolve loop
+/// calls this once per generation without re-allocating. `out` is
+/// cleared first; after the call it holds the `k` best indices in order.
+pub fn elite_indices_into(fitness: &[f64], k: usize, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(0..fitness.len());
+    // Stable sort: equal-fitness individuals keep index order, so elite
+    // selection is deterministic and ties go to the lowest index.
+    out.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
+    out.truncate(k);
 }
 
 /// A pre-built roulette wheel over minimisation fitness values.
@@ -22,26 +33,52 @@ pub struct RouletteWheel {
     total: f64,
 }
 
+impl Default for RouletteWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl RouletteWheel {
+    /// An empty wheel to be filled by [`RouletteWheel::rebuild`] — lets
+    /// the evolve loop own one cumulative table for its whole run instead
+    /// of allocating a fresh one per generation.
+    pub fn new() -> RouletteWheel {
+        RouletteWheel {
+            cumulative: Vec::new(),
+            total: 0.0,
+        }
+    }
+
     /// Builds the wheel. Infinite fitness values get zero weight. When all
     /// finite values are equal (or none are finite) the wheel degenerates
     /// to uniform over the finite (or all) individuals.
     pub fn build(fitness: &[f64]) -> RouletteWheel {
+        let mut wheel = RouletteWheel::new();
+        wheel.rebuild(fitness);
+        wheel
+    }
+
+    /// Rebuilds the wheel in place over new fitness values, reusing the
+    /// cumulative table's allocation. Semantics are exactly those of
+    /// [`RouletteWheel::build`].
+    pub fn rebuild(&mut self, fitness: &[f64]) {
         assert!(!fitness.is_empty(), "wheel needs at least one individual");
         let worst = fitness
             .iter()
             .copied()
             .filter(|f| f.is_finite())
             .fold(f64::NEG_INFINITY, f64::max);
-        let mut cumulative = Vec::with_capacity(fitness.len());
-        let mut total = 0.0;
+        self.cumulative.clear();
+        self.cumulative.reserve(fitness.len());
+        self.total = 0.0;
         if !worst.is_finite() {
             // No finite individual: uniform.
             for _ in fitness {
-                total += 1.0;
-                cumulative.push(total);
+                self.total += 1.0;
+                self.cumulative.push(self.total);
             }
-            return RouletteWheel { cumulative, total };
+            return;
         }
         // Small floor so the worst finite individual keeps a sliver of
         // probability (pure (worst − f) would zero it out).
@@ -57,19 +94,18 @@ impl RouletteWheel {
             } else {
                 0.0
             };
-            total += w;
-            cumulative.push(total);
+            self.total += w;
+            self.cumulative.push(self.total);
         }
-        if total <= 0.0 {
+        if self.total <= 0.0 {
             // All-equal degenerate case: uniform over finite individuals.
-            total = 0.0;
-            cumulative.clear();
+            self.total = 0.0;
+            self.cumulative.clear();
             for &f in fitness {
-                total += if f.is_finite() { 1.0 } else { 0.0 };
-                cumulative.push(total);
+                self.total += if f.is_finite() { 1.0 } else { 0.0 };
+                self.cumulative.push(self.total);
             }
         }
-        RouletteWheel { cumulative, total }
     }
 
     /// Spins the wheel, returning an individual index.
@@ -136,6 +172,41 @@ mod tests {
             let i = wheel.spin(&mut rng);
             assert!(i == 1 || i == 3, "picked infeasible {i}");
         }
+    }
+
+    #[test]
+    fn rebuild_matches_build_and_reuses_allocation() {
+        let fits: [&[f64]; 4] = [
+            &[4.0, 2.0, 9.0],
+            &[7.0; 4],
+            &[f64::INFINITY, 5.0, f64::INFINITY, 6.0],
+            &[f64::INFINITY; 3],
+        ];
+        let mut wheel = RouletteWheel::new();
+        wheel.rebuild(&[1.0; 8]); // warm the allocation past every case
+        let cap = wheel.cumulative.capacity();
+        for fit in fits {
+            wheel.rebuild(fit);
+            let fresh = RouletteWheel::build(fit);
+            assert_eq!(wheel.cumulative, fresh.cumulative);
+            assert_eq!(wheel.total, fresh.total);
+            assert_eq!(wheel.cumulative.capacity(), cap, "table re-allocated");
+        }
+    }
+
+    #[test]
+    fn elite_indices_into_reuses_buffer() {
+        let fit = vec![5.0, 1.0, 3.0, 0.5];
+        let mut out = Vec::with_capacity(8);
+        let cap = out.capacity();
+        elite_indices_into(&fit, 2, &mut out);
+        assert_eq!(out, vec![3, 1]);
+        elite_indices_into(&fit, 10, &mut out);
+        assert_eq!(out, vec![3, 1, 2, 0]);
+        assert_eq!(out.capacity(), cap);
+        // Equal fitness: stable order, lowest indices first.
+        elite_indices_into(&[2.0; 5], 3, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 
     #[test]

@@ -106,4 +106,114 @@ proptest! {
             prop_assert!((0.0..=100.0 + 1e-9).contains(&u));
         }
     }
+
+    #[test]
+    fn roulette_wheel_distribution_is_sane(
+        mut fitness in prop::collection::vec(1.0f64..1_000.0, 2..20),
+        infinite in prop::collection::vec(0usize..20, 0..4),
+        seed in 0u64..1_000,
+    ) {
+        use gridsec::core::rng::{stream, Stream};
+        use gridsec::stga::selection::RouletteWheel;
+
+        for i in infinite {
+            if i < fitness.len() {
+                fitness[i] = f64::INFINITY;
+            }
+        }
+        prop_assume!(fitness.iter().any(|f| f.is_finite()));
+        let wheel = RouletteWheel::build(&fitness);
+        let mut rng = stream(seed, Stream::Genetic);
+        let spins = 4_000;
+        let mut counts = vec![0usize; fitness.len()];
+        for _ in 0..spins {
+            let i = wheel.spin(&mut rng);
+            prop_assert!(i < fitness.len());
+            counts[i] += 1;
+        }
+        // Infeasible (infinite-fitness) individuals are never selected.
+        for (i, &f) in fitness.iter().enumerate() {
+            if !f.is_finite() {
+                prop_assert!(counts[i] == 0, "picked infeasible {}", i);
+            }
+        }
+        // The value-based wheel weights by (worst − f): the best finite
+        // individual can never be sampled (meaningfully) less often than
+        // the worst. 5% slack on 4000 spins ≈ 13σ for a fair wheel.
+        let best = (0..fitness.len()).min_by(|&a, &b| fitness[a].total_cmp(&fitness[b])).unwrap();
+        let worst = (0..fitness.len())
+            .filter(|&i| fitness[i].is_finite())
+            .max_by(|&a, &b| fitness[a].total_cmp(&fitness[b]))
+            .unwrap();
+        prop_assert!(
+            counts[best] + spins / 20 >= counts[worst],
+            "best {} picked {} < worst {} picked {}",
+            best, counts[best], worst, counts[worst]
+        );
+    }
+
+    #[test]
+    fn bucketed_history_lookup_equals_linear_scan(
+        entries in prop::collection::vec(
+            (1usize..5, 1usize..5, 0.0f64..100.0, 0u16..8),
+            1..40,
+        ),
+        query in (1usize..5, 1usize..5, 0.0f64..100.0),
+        threshold in 0.0f64..=1.0,
+        limit in 1usize..8,
+    ) {
+        use gridsec::stga::history::{BatchSignature, HistoryTable};
+        use gridsec::stga::Chromosome;
+
+        let make_sig = |jobs: usize, sites: usize, x: f64| BatchSignature {
+            ready_times: (0..sites).map(|i| x + i as f64).collect(),
+            etc: (0..jobs * sites).map(|i| x * 0.5 + i as f64).collect(),
+            demands: (0..jobs).map(|i| (x * 0.01 + i as f64 * 0.07) % 1.0).collect(),
+        };
+        let mut bucketed = HistoryTable::new(24);
+        let mut linear = HistoryTable::new(24);
+        for (jobs, sites, x, gene) in entries {
+            let s = make_sig(jobs, sites, x);
+            bucketed.insert(s.clone(), Chromosome::from_genes(vec![gene; jobs]));
+            linear.insert(s, Chromosome::from_genes(vec![gene; jobs]));
+        }
+        let q = make_sig(query.0, query.1, query.2);
+        prop_assert_eq!(
+            bucketed.lookup(&q, threshold, limit),
+            linear.lookup_linear(&q, threshold, limit)
+        );
+        // And the tables stay equivalent for a follow-up query (the LRU
+        // stamps written by both paths must match too).
+        prop_assert_eq!(
+            bucketed.lookup(&q, threshold / 2.0, limit),
+            linear.lookup_linear(&q, threshold / 2.0, limit)
+        );
+    }
+
+    #[test]
+    fn indexed_site_of_equals_linear_site_of(
+        pairs in prop::collection::vec((0u64..30, 0usize..8), 0..60),
+        queries in prop::collection::vec(0u64..40, 1..30),
+    ) {
+        // Random schedules, duplicates (replicas) included: the O(1)
+        // index must agree with the linear scan on hits and misses alike.
+        let mut schedule = BatchSchedule::new();
+        let mut seen: std::collections::HashSet<(u64, usize)> = Default::default();
+        for (job, site) in pairs {
+            if seen.insert((job, site)) {
+                schedule.push(JobId(job), SiteId(site));
+            }
+        }
+        let index = schedule.index();
+        for q in queries {
+            prop_assert_eq!(index.site_of(JobId(q)), schedule.site_of(JobId(q)));
+            let all: Vec<SiteId> = schedule
+                .assignments
+                .iter()
+                .filter(|a| a.job == JobId(q))
+                .map(|a| a.site)
+                .collect();
+            prop_assert_eq!(index.sites_of(JobId(q)), all.as_slice());
+        }
+    }
 }

@@ -78,6 +78,29 @@ fn collect_chunked<O: Send>(
     out
 }
 
+/// Like [`collect_chunked`], but reuses `out`'s allocation instead of
+/// building a fresh `Vec` (the hot-loop variant: the GA evolve loop calls
+/// this once per generation with the same buffer). `out` is cleared
+/// first; on panic it is left empty (written slots leak, which is safe).
+fn collect_chunked_into<O: Send>(
+    len: usize,
+    out: &mut Vec<O>,
+    fill: impl Fn(std::ops::Range<usize>, &SlotWriter<O>) + Sync,
+) {
+    out.clear();
+    out.reserve(len);
+    let writer = SlotWriter {
+        ptr: out.as_mut_ptr(),
+        len,
+    };
+    run_chunked(len, |range| fill(range, &writer));
+    // Safety: as in `collect_chunked` — every chunk filled its slots.
+    #[allow(unsafe_code)]
+    unsafe {
+        out.set_len(len);
+    }
+}
+
 /// Maps `0..len` index-wise through `item`, collecting into a `Vec` whose
 /// slot `i` holds `item(i)`.
 fn collect_indexed<O: Send>(len: usize, item: impl Fn(usize) -> O + Sync) -> Vec<O> {
@@ -86,6 +109,103 @@ fn collect_indexed<O: Send>(len: usize, item: impl Fn(usize) -> O + Sync) -> Vec
             w.write(i, item(i));
         }
     })
+}
+
+/// Items per leaf of a deterministic tree reduction. Fixed — a function of
+/// the input length only, never of the thread count — so the reduction
+/// tree has the same shape on every pool and the combined result is
+/// bit-identical even for non-associative operators (e.g. `f64` sums).
+const REDUCE_LEAF: usize = 64;
+
+/// Evaluates `leaf` over the fixed `REDUCE_LEAF`-sized partition of
+/// `0..len`, in parallel, returning leaf results in leaf order. The caller
+/// combines them sequentially left-to-right, completing the deterministic
+/// two-level reduction tree.
+fn reduce_leaves<O: Send>(len: usize, leaf: impl Fn(std::ops::Range<usize>) -> O + Sync) -> Vec<O> {
+    let n_leaves = len.div_ceil(REDUCE_LEAF);
+    collect_indexed(n_leaves, |li| {
+        let lo = li * REDUCE_LEAF;
+        let hi = (lo + REDUCE_LEAF).min(len);
+        leaf(lo..hi)
+    })
+}
+
+/// Argmin core shared by every `min_by` below: the index and mapped value
+/// of the minimal item under `cmp`, where ties resolve to the **lowest
+/// index** (each leaf keeps its first minimum; leaves are combined in
+/// index order with strict-less replacement). That explicit tie-break is
+/// what makes the reduction independent of both chunking and thread
+/// count.
+fn indexed_min_by_core<O: Send>(
+    len: usize,
+    item: impl Fn(usize) -> O + Sync,
+    cmp: impl Fn(&O, &O) -> std::cmp::Ordering + Sync,
+) -> Option<(usize, O)> {
+    let leaves = reduce_leaves(len, |range| {
+        let mut best: Option<(usize, O)> = None;
+        for i in range {
+            let v = item(i);
+            match &best {
+                Some((_, b)) if cmp(&v, b) != std::cmp::Ordering::Less => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best
+    });
+    let mut best: Option<(usize, O)> = None;
+    for leaf in leaves.into_iter().flatten() {
+        match &best {
+            Some((_, b)) if cmp(&leaf.1, b) != std::cmp::Ordering::Less => {}
+            _ => best = Some(leaf),
+        }
+    }
+    best
+}
+
+/// Per-leaf accumulators of a deterministic parallel fold (see
+/// [`ParIter::fold`] / [`Map::fold`]). Combine them with
+/// [`Folded::reduce`].
+pub struct Folded<A> {
+    leaves: Vec<A>,
+}
+
+impl<A> Folded<A> {
+    /// Combines the leaf accumulators left-to-right starting from
+    /// `identity`. The leaf partition is fixed by input length, so the
+    /// result is bit-identical at every thread count (though it may
+    /// differ from a strictly sequential fold for non-associative
+    /// operators — determinism, not sequential equivalence, is the
+    /// guarantee).
+    pub fn reduce(self, identity: A, combine: impl Fn(A, A) -> A) -> A {
+        self.leaves.into_iter().fold(identity, combine)
+    }
+
+    /// Number of leaf accumulators.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether there are no leaves (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+}
+
+fn fold_core<O, A: Send>(
+    len: usize,
+    item: impl Fn(usize) -> O + Sync,
+    identity: impl Fn() -> A + Sync,
+    fold_op: impl Fn(A, O) -> A + Sync,
+) -> Folded<A> {
+    Folded {
+        leaves: reduce_leaves(len, |range| {
+            let mut acc = identity();
+            for i in range {
+                acc = fold_op(acc, item(i));
+            }
+            acc
+        }),
+    }
 }
 
 /// Parallel iterator over `&[T]` (from
@@ -146,6 +266,34 @@ impl<'a, T: Sync> ParIter<'a, T> {
             }
         });
     }
+
+    /// The minimal item under `cmp`, computed by a deterministic tree
+    /// reduction; ties resolve to the lowest index (matching a sequential
+    /// first-strictly-smaller scan), so the result is bit-identical at
+    /// every thread count.
+    pub fn min_by(self, cmp: impl Fn(&T, &T) -> std::cmp::Ordering + Sync) -> Option<&'a T> {
+        self.map(|x| x).min_by(|a, b| cmp(a, b))
+    }
+
+    /// Like [`ParIter::min_by`], but also returns the winning index —
+    /// the parallel argmin used by the scheduling inner loops.
+    pub fn indexed_min_by(
+        self,
+        cmp: impl Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    ) -> Option<(usize, &'a T)> {
+        self.map(|x| x).indexed_min_by(|a, b| cmp(a, b))
+    }
+
+    /// Deterministic parallel fold: items are folded into per-leaf
+    /// accumulators over a partition fixed by input length (never by
+    /// thread count); combine the leaves with [`Folded::reduce`].
+    pub fn fold<A: Send>(
+        self,
+        identity: impl Fn() -> A + Sync,
+        fold_op: impl Fn(A, &'a T) -> A + Sync,
+    ) -> Folded<A> {
+        fold_core(self.items.len(), |i| &self.items[i], identity, fold_op)
+    }
 }
 
 /// Mapped parallel iterator (see [`ParIter::map`]).
@@ -160,6 +308,47 @@ impl<'a, T: Sync, O: Send, F: Fn(&'a T) -> O + Sync> Map<'a, T, F> {
         C::from(collect_indexed(self.items.len(), |i| {
             (self.f)(&self.items[i])
         }))
+    }
+
+    /// Like `collect`, but reuses `out`'s allocation (cleared first).
+    pub fn collect_into(self, out: &mut Vec<O>) {
+        collect_chunked_into(self.items.len(), out, |range, w| {
+            for i in range {
+                w.write(i, (self.f)(&self.items[i]));
+            }
+        });
+    }
+
+    /// The minimal mapped value under `cmp` (deterministic tree
+    /// reduction, lowest index wins ties).
+    pub fn min_by(self, cmp: impl Fn(&O, &O) -> std::cmp::Ordering + Sync) -> Option<O> {
+        self.indexed_min_by(cmp).map(|(_, v)| v)
+    }
+
+    /// The index and mapped value of the minimal item under `cmp` — the
+    /// parallel argmin. Ties resolve to the lowest index, making the
+    /// result identical to a sequential first-strictly-smaller scan at
+    /// every thread count.
+    pub fn indexed_min_by(
+        self,
+        cmp: impl Fn(&O, &O) -> std::cmp::Ordering + Sync,
+    ) -> Option<(usize, O)> {
+        indexed_min_by_core(self.items.len(), |i| (self.f)(&self.items[i]), cmp)
+    }
+
+    /// Deterministic parallel fold over the mapped values (see
+    /// [`ParIter::fold`]).
+    pub fn fold<A: Send>(
+        self,
+        identity: impl Fn() -> A + Sync,
+        fold_op: impl Fn(A, O) -> A + Sync,
+    ) -> Folded<A> {
+        fold_core(
+            self.items.len(),
+            |i| (self.f)(&self.items[i]),
+            identity,
+            fold_op,
+        )
     }
 }
 
@@ -185,6 +374,17 @@ where
                 w.write(i, (self.f)(&mut state, &self.items[i]));
             }
         }))
+    }
+
+    /// Like `collect`, but reuses `out`'s allocation (cleared first) —
+    /// the per-generation fitness buffer of the GA evolve loop.
+    pub fn collect_into(self, out: &mut Vec<O>) {
+        collect_chunked_into(self.items.len(), out, |range, w| {
+            let mut state = (self.init)();
+            for i in range {
+                w.write(i, (self.f)(&mut state, &self.items[i]));
+            }
+        });
     }
 }
 

@@ -1,9 +1,11 @@
 //! Vendored thread-backed stand-in for `rayon` (the build environment has
 //! no access to crates.io). Exposes the parallel-iterator surface this
-//! workspace uses — `par_iter` / `map` / `map_init`, `par_iter_mut`,
-//! `par_chunks` — plus `ThreadPoolBuilder` / `ThreadPool::install`, all
-//! executing on a real work pool: persistent worker threads claiming
-//! contiguous chunks off an atomic counter (see [`pool`]).
+//! workspace uses — `par_iter` / `map` / `map_init` / `collect_into`,
+//! `par_iter_mut`, `par_chunks`, and the deterministic reductions
+//! `min_by` / `indexed_min_by` / `fold` — plus `ThreadPoolBuilder` /
+//! `ThreadPool::install`, all executing on a real work pool: persistent
+//! worker threads claiming contiguous chunks off an atomic counter (see
+//! [`pool`]).
 //!
 //! Guarantees this workspace relies on:
 //!
@@ -20,6 +22,11 @@
 //! * **Panic propagation.** A panic inside a parallel region is caught,
 //!   the region runs to completion, and the payload is re-raised on the
 //!   caller.
+//! * **Deterministic reductions.** `min_by` / `indexed_min_by` break ties
+//!   toward the lowest index (equal to a sequential first-strictly-smaller
+//!   scan), and `fold` reduces over a leaf partition fixed by input length
+//!   alone — so reduction results are bit-identical at every thread count
+//!   even for non-associative operators like `f64` addition.
 //!
 //! Known divergence from real rayon: `map_init` runs `init` once per
 //! *chunk* (per worker per region, roughly), and nested regions spawned
@@ -33,8 +40,8 @@ mod pool;
 use std::sync::Arc;
 
 pub use iter::{
-    ChunksMap, IntoParallelRefIterator, IntoParallelRefMutIterator, Map, MapInit, ParChunks,
-    ParIter, ParIterMut, ParallelSlice,
+    ChunksMap, Folded, IntoParallelRefIterator, IntoParallelRefMutIterator, Map, MapInit,
+    ParChunks, ParIter, ParIterMut, ParallelSlice,
 };
 
 /// Number of compute threads a parallel region started on this thread
@@ -271,6 +278,151 @@ mod tests {
                 .collect()
         });
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_by_matches_sequential_scan_at_all_thread_counts() {
+        // > REDUCE_LEAF items so the reduction really has several leaves.
+        let xs: Vec<f64> = (0..1_000).map(|i| ((i * 37) % 997) as f64).collect();
+        let seq = xs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (i, v));
+        for n in [1, 2, 4] {
+            let par = pool(n).install(|| {
+                xs.par_iter()
+                    .map(|&x| x)
+                    .indexed_min_by(|a, b| a.total_cmp(b))
+            });
+            assert_eq!(par, seq, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn min_by_ties_resolve_to_lowest_index() {
+        // The minimum 1.0 occurs at indices 1, 70 and 200 (beyond one
+        // reduction leaf), so cross-leaf combination must also prefer the
+        // earlier leaf.
+        let mut xs = vec![5.0f64; 300];
+        xs[1] = 1.0;
+        xs[70] = 1.0;
+        xs[200] = 1.0;
+        for n in [1, 2, 4] {
+            let got = pool(n).install(|| {
+                xs.par_iter()
+                    .map(|&x| x)
+                    .indexed_min_by(|a, b| a.total_cmp(b))
+            });
+            assert_eq!(got, Some((1, 1.0)), "thread count {n}");
+            let borrowed = pool(n).install(|| xs.par_iter().indexed_min_by(|a, b| a.total_cmp(b)));
+            assert_eq!(borrowed, Some((1, &xs[1])), "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn min_by_handles_nan_via_total_cmp() {
+        // total_cmp orders NaN above +inf, so a NaN never wins a min and
+        // the result stays identical at every thread count.
+        let mut xs: Vec<f64> = (0..200).map(|i| 100.0 - i as f64).collect();
+        xs[13] = f64::NAN;
+        xs[150] = f64::NAN;
+        let expect = pool(1).install(|| xs.par_iter().map(|&x| x).min_by(|a, b| a.total_cmp(b)));
+        assert_eq!(expect, Some(100.0 - 199.0));
+        for n in [2, 4] {
+            let got = pool(n).install(|| xs.par_iter().map(|&x| x).min_by(|a, b| a.total_cmp(b)));
+            assert_eq!(
+                got.map(f64::to_bits),
+                expect.map(f64::to_bits),
+                "threads {n}"
+            );
+        }
+        // All-NaN input still yields the first element (lowest index).
+        let nans = vec![f64::NAN; 130];
+        for n in [1, 2, 4] {
+            let got = pool(n).install(|| nans.par_iter().indexed_min_by(|a, b| a.total_cmp(b)));
+            assert_eq!(
+                got.map(|(i, v)| (i, v.to_bits())),
+                Some((0, f64::NAN.to_bits()))
+            );
+        }
+    }
+
+    #[test]
+    fn min_by_empty_is_none() {
+        let xs: Vec<f64> = Vec::new();
+        assert_eq!(xs.par_iter().min_by(|a, b| a.total_cmp(b)), None);
+        assert_eq!(
+            xs.par_iter()
+                .map(|&x| x)
+                .indexed_min_by(|a, b| a.total_cmp(b)),
+            None
+        );
+    }
+
+    #[test]
+    fn fold_is_bit_identical_across_thread_counts() {
+        // Magnitudes chosen so f64 addition is visibly non-associative:
+        // any change in the reduction tree's shape would change the bits.
+        let xs: Vec<f64> = (0..1_000)
+            .map(|i| if i % 3 == 0 { 1e16 } else { 3.7 } * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let sum = |n: usize| {
+            pool(n).install(|| {
+                xs.par_iter()
+                    .fold(|| 0.0f64, |acc, &x| acc + x)
+                    .reduce(0.0, |a, b| a + b)
+                    .to_bits()
+            })
+        };
+        let one = sum(1);
+        for n in [2, 3, 4] {
+            assert_eq!(sum(n), one, "fold changed bits at {n} threads");
+        }
+    }
+
+    #[test]
+    fn fold_leaves_and_empty_input() {
+        let xs: Vec<u32> = (0..200).collect();
+        let folded = xs.par_iter().fold(|| 0u64, |acc, &x| acc + x as u64);
+        // 200 items / 64-item leaves → 4 leaves.
+        assert_eq!(folded.len(), 4);
+        assert!(!folded.is_empty());
+        assert_eq!(folded.reduce(0, |a, b| a + b), 199 * 200 / 2);
+        let empty: Vec<u32> = Vec::new();
+        let folded = empty.par_iter().fold(|| 7u64, |acc, _| acc);
+        assert!(folded.is_empty());
+        assert_eq!(folded.reduce(42, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn fold_over_mapped_values() {
+        let xs: Vec<u32> = (1..=100).collect();
+        let total = xs
+            .par_iter()
+            .map(|&x| x as u64 * 2)
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(0, |a, b| a + b);
+        assert_eq!(total, 100 * 101);
+    }
+
+    #[test]
+    fn collect_into_reuses_buffer_and_matches_collect() {
+        let xs: Vec<u64> = (0..777).collect();
+        let fresh: Vec<u64> = xs.par_iter().map(|&x| x * 3 + 1).collect();
+        let mut reused: Vec<u64> = Vec::new();
+        for n in [1, 2, 4] {
+            pool(n).install(|| xs.par_iter().map(|&x| x * 3 + 1).collect_into(&mut reused));
+            assert_eq!(reused, fresh, "thread count {n}");
+            let cap = reused.capacity();
+            pool(n).install(|| {
+                xs.par_iter()
+                    .map_init(|| 0u64, |_, &x| x * 3 + 1)
+                    .collect_into(&mut reused)
+            });
+            assert_eq!(reused, fresh, "map_init thread count {n}");
+            assert_eq!(reused.capacity(), cap, "buffer was re-allocated");
+        }
     }
 
     #[test]
