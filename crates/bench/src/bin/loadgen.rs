@@ -1,0 +1,731 @@
+//! `loadgen` — load generator and end-to-end harness for the
+//! `gridsec-serve` daemon.
+//!
+//! Three modes:
+//!
+//! * **Replay** (default): spawn a daemon in-process on an ephemeral port
+//!   (or target `--host <addr>`), replay a PSA/NAS/SWF workload through
+//!   the NDJSON wire protocol at `--rate <jobs/sec>` (default: as fast as
+//!   the daemon accepts), then report sustained jobs/sec, round-latency
+//!   and batch-size distributions, and validate the returned schedule.
+//! * **`--bench-suite`**: the PR 4 benchmark — {Min-Min, STGA} × {1, 4}
+//!   scheduler threads over the same replay, written to `BENCH_PR4.json`
+//!   (`--json` overrides the path).
+//! * **`--smoke`**: the CI end-to-end check — a 50-job SWF slice
+//!   (generated, written as SWF, parsed back) replayed against a daemon
+//!   on an ephemeral port; asserts the schedule validates, the metrics
+//!   frame round-trips through JSON, and the committed schedule is
+//!   bit-identical to the in-process engine for the same seed, workload
+//!   and batch policy.
+//!
+//! ```console
+//! loadgen --workload psa --jobs 400 --scheduler stga --policy hybrid:16 --threads 4
+//! loadgen --bench-suite --json BENCH_PR4.json
+//! loadgen --smoke
+//! loadgen --host 127.0.0.1:7070 --workload swf:trace.swf --rate 50
+//! ```
+
+use gridsec_core::{BatchSchedule, Grid, Job, RiskMode, Site, Time};
+use gridsec_heuristics::{MinMin, Sufferage};
+use gridsec_serve::{Client, Daemon, DaemonOptions, OnlineSession, QueryWhat, Request, Response};
+use gridsec_sim::scheduler::EarliestCompletion;
+use gridsec_sim::{simulate, BatchJob, BatchPolicy, BatchScheduler, GridView, SimConfig};
+use gridsec_stga::{GaParams, Stga, StgaParams};
+use gridsec_workloads::{swf, NasConfig, PsaConfig};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Scheduler thread counts measured by `--bench-suite`.
+const SUITE_THREADS: [usize; 2] = [1, 4];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    let code = if opts.smoke {
+        run_smoke(&opts)
+    } else if opts.bench_suite {
+        run_bench_suite(&opts)
+    } else {
+        run_replay(&opts)
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    eprintln!(
+        "usage: loadgen [--workload psa|nas|swf:<path>] [--jobs <n>] [--seed <u64>]\n\
+         \x20              [--scheduler mct|minmin|sufferage|stga] [--policy periodic:<secs>|count:<k>|hybrid:<k>]\n\
+         \x20              [--rate <jobs-per-sec>] [--threads <n>] [--host <addr>]\n\
+         \x20              [--bench-suite] [--smoke] [--json <path>] [--quick]"
+    );
+}
+
+/// Command-line options.
+struct Options {
+    workload: String,
+    jobs: usize,
+    seed: u64,
+    scheduler: String,
+    policy: String,
+    rate: Option<f64>,
+    threads: Option<usize>,
+    host: Option<String>,
+    bench_suite: bool,
+    smoke: bool,
+    json: Option<String>,
+    quick: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            workload: "psa".into(),
+            jobs: 400,
+            seed: 2005,
+            scheduler: "minmin".into(),
+            policy: "hybrid:16".into(),
+            rate: None,
+            threads: None,
+            host: None,
+            bench_suite: false,
+            smoke: false,
+            json: None,
+            quick: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match a.as_str() {
+                "--workload" => o.workload = value("--workload")?,
+                "--jobs" => {
+                    o.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs must be an integer".to_string())?
+                }
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed must be a u64".to_string())?
+                }
+                "--scheduler" => o.scheduler = value("--scheduler")?,
+                "--policy" => o.policy = value("--policy")?,
+                "--rate" => {
+                    let r: f64 = value("--rate")?
+                        .parse()
+                        .map_err(|_| "--rate must be a number".to_string())?;
+                    if !(r.is_finite() && r > 0.0) {
+                        return Err("--rate must be positive".into());
+                    }
+                    o.rate = Some(r);
+                }
+                "--threads" => {
+                    let n: usize = value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads must be a positive integer".to_string())?;
+                    if n == 0 {
+                        return Err("--threads must be a positive integer".into());
+                    }
+                    o.threads = Some(n);
+                }
+                "--host" => o.host = Some(value("--host")?),
+                "--bench-suite" => o.bench_suite = true,
+                "--smoke" => o.smoke = true,
+                "--json" => o.json = Some(value("--json")?),
+                "--quick" => o.quick = true,
+                "--help" | "-h" => {
+                    usage();
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+/// Parses `periodic:<secs>` / `count:<k>` / `hybrid:<k>` into the sim
+/// policy plus the scheduling interval.
+fn parse_policy(text: &str, default_interval: f64) -> Result<(BatchPolicy, Time), String> {
+    let mut parts = text.split(':');
+    let kind = parts.next().unwrap_or("");
+    let arg = parts.next();
+    match kind {
+        "periodic" => {
+            let secs: f64 = arg
+                .unwrap_or("1000")
+                .parse()
+                .map_err(|_| "periodic:<secs> needs a number".to_string())?;
+            Ok((BatchPolicy::Periodic, Time::new(secs)))
+        }
+        "count" => {
+            let k: usize = arg
+                .ok_or("count:<k> needs a count")?
+                .parse()
+                .map_err(|_| "count:<k> needs an integer".to_string())?;
+            Ok((BatchPolicy::CountTriggered(k), Time::new(default_interval)))
+        }
+        "hybrid" => {
+            let k: usize = arg
+                .ok_or("hybrid:<k> needs a count")?
+                .parse()
+                .map_err(|_| "hybrid:<k> needs an integer".to_string())?;
+            Ok((BatchPolicy::Hybrid(k), Time::new(default_interval)))
+        }
+        other => Err(format!("unknown policy `{other}`")),
+    }
+}
+
+/// Builds the named scheduler. `threads` wraps it in a dedicated rayon
+/// pool so the daemon's parallel sections use exactly that many workers.
+fn build_scheduler(
+    name: &str,
+    seed: u64,
+    quick: bool,
+    threads: Option<usize>,
+) -> Result<Box<dyn BatchScheduler + Send>, String> {
+    let base: Box<dyn BatchScheduler + Send> = match name {
+        "mct" => Box::new(EarliestCompletion),
+        "minmin" => Box::new(MinMin::new(RiskMode::Risky)),
+        "sufferage" => Box::new(Sufferage::new(RiskMode::Risky)),
+        "stga" => {
+            let (population, generations) = if quick { (40, 20) } else { (100, 50) };
+            Box::new(
+                Stga::new(StgaParams {
+                    ga: GaParams::default()
+                        .with_population(population)
+                        .with_generations(generations)
+                        .with_seed(seed),
+                    ..StgaParams::default()
+                })
+                .map_err(|e| e.to_string())?,
+            )
+        }
+        other => return Err(format!("unknown scheduler `{other}`")),
+    };
+    match threads {
+        None => Ok(base),
+        Some(n) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| e.to_string())?;
+            Ok(Box::new(Pooled { pool, inner: base }))
+        }
+    }
+}
+
+/// Runs the wrapped scheduler inside a dedicated thread pool, pinning the
+/// parallelism of its rayon sections regardless of the global pool.
+struct Pooled {
+    pool: rayon::ThreadPool,
+    inner: Box<dyn BatchScheduler + Send>,
+}
+
+impl BatchScheduler for Pooled {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule {
+        let Pooled { pool, inner } = self;
+        pool.install(|| inner.schedule(batch, view))
+    }
+}
+
+/// Materialises the workload: jobs (sorted by arrival) + grid.
+fn build_workload(spec: &str, n: usize, seed: u64) -> Result<(Vec<Job>, Grid), String> {
+    let (mut jobs, grid) = if let Some(path) = spec.strip_prefix("swf:") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let records = swf::parse(&text).map_err(|e| e.to_string())?;
+        let mut jobs =
+            swf::to_jobs(&records, &swf::ConvertOptions::default()).map_err(|e| e.to_string())?;
+        jobs.truncate(n);
+        let grid = NasConfig::default().grid().map_err(|e| e.to_string())?;
+        (jobs, grid)
+    } else {
+        match spec {
+            "psa" => {
+                let w = PsaConfig::default()
+                    .with_n_jobs(n)
+                    .with_seed(seed)
+                    .generate()
+                    .map_err(|e| e.to_string())?;
+                (w.jobs, w.grid)
+            }
+            "nas" => {
+                let w = NasConfig::default()
+                    .with_n_jobs(n)
+                    .with_seed(seed)
+                    .generate()
+                    .map_err(|e| e.to_string())?;
+                (w.jobs, w.grid)
+            }
+            other => return Err(format!("unknown workload `{other}`")),
+        }
+    };
+    // The daemon's virtual clock needs non-decreasing arrivals; ties keep
+    // id order so the replay is deterministic.
+    jobs.sort_by(|a, b| a.arrival.cmp(&b.arrival).then(a.id.cmp(&b.id)));
+    Ok((jobs, grid))
+}
+
+/// One replay's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ReplayReport {
+    scheduler: String,
+    threads: usize,
+    jobs: usize,
+    /// Wall-clock seconds from first submit to drained.
+    replay_secs: f64,
+    /// Jobs per wall-clock second sustained over the replay.
+    jobs_per_sec: f64,
+    rounds: usize,
+    /// Mean wall-clock microseconds per scheduling round.
+    round_micros_mean: f64,
+    /// Largest single round, microseconds.
+    round_micros_max: f64,
+    /// Seconds spent inside the scheduler over the whole replay.
+    scheduler_seconds: f64,
+    batch_size_mean: f64,
+    batch_size_max: usize,
+    /// Virtual makespan of the served schedule.
+    makespan: f64,
+    /// The served schedule covered every job exactly once on a fitting
+    /// site.
+    schedule_valid: bool,
+}
+
+/// Replays `jobs` through a daemon (spawned in-process unless `host`
+/// targets an external one) and measures throughput.
+#[allow(clippy::too_many_arguments)] // an experiment entry point, not a library API
+fn replay(
+    jobs: &[Job],
+    grid: &Grid,
+    scheduler_name: &str,
+    threads: Option<usize>,
+    policy: BatchPolicy,
+    interval: Time,
+    seed: u64,
+    quick: bool,
+    rate: Option<f64>,
+    host: Option<&str>,
+) -> Result<
+    (
+        ReplayReport,
+        Vec<gridsec_serve::Placed>,
+        gridsec_serve::ServeMetrics,
+    ),
+    String,
+> {
+    let config = SimConfig::default()
+        .with_interval(interval)
+        .with_batch_policy(policy)
+        .with_seed(seed);
+    let (daemon, addr) = match host {
+        Some(h) => (None, h.parse().map_err(|_| format!("bad --host `{h}`"))?),
+        None => {
+            let scheduler = build_scheduler(scheduler_name, seed, quick, threads)?;
+            let session =
+                OnlineSession::new(grid.clone(), scheduler, &config).map_err(|e| e.to_string())?;
+            let d = Daemon::spawn(session, "127.0.0.1:0", DaemonOptions::default())
+                .map_err(|e| e.to_string())?;
+            let addr = d.addr();
+            (Some(d), addr)
+        }
+    };
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+
+    let pace = rate.map(|r| Duration::from_secs_f64(1.0 / r));
+    let t0 = Instant::now();
+    let mut sent = 0usize;
+    for chunk in jobs.chunks(if pace.is_some() { 1 } else { 10 }) {
+        if let Some(gap) = pace {
+            let due = t0 + gap * sent as u32;
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        match client
+            .send(&Request::Submit {
+                jobs: chunk.to_vec(),
+            })
+            .map_err(|e| e.to_string())?
+        {
+            Response::Accepted { .. } => sent += chunk.len(),
+            other => return Err(format!("submit rejected: {other:?}")),
+        }
+    }
+    match client.send(&Request::Drain).map_err(|e| e.to_string())? {
+        Response::Drained { .. } => {}
+        other => return Err(format!("drain failed: {other:?}")),
+    }
+    let replay_secs = t0.elapsed().as_secs_f64();
+
+    let metrics = match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Metrics { metrics } => metrics,
+        other => return Err(format!("metrics failed: {other:?}")),
+    };
+    let assignments = match client
+        .send(&Request::Query {
+            what: QueryWhat::Schedule,
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Schedule { assignments } => assignments,
+        other => return Err(format!("query failed: {other:?}")),
+    };
+    if let Some(d) = daemon {
+        match client.send(&Request::Shutdown).map_err(|e| e.to_string())? {
+            Response::Bye => {}
+            other => return Err(format!("shutdown failed: {other:?}")),
+        }
+        d.join();
+    }
+
+    // Validate coverage: every job exactly once, on a fitting site.
+    let schedule = BatchSchedule::from_pairs(assignments.iter().map(|p| (p.job, p.site)));
+    let schedule_valid = schedule.validate(jobs, grid).is_ok();
+
+    let n_rounds = metrics.round_nanos.len().max(1) as f64;
+    let micros: Vec<f64> = metrics
+        .round_nanos
+        .iter()
+        .map(|&n| n as f64 / 1e3)
+        .collect();
+    let report = ReplayReport {
+        scheduler: scheduler_name.to_string(),
+        threads: threads.unwrap_or(0),
+        jobs: sent,
+        replay_secs,
+        jobs_per_sec: sent as f64 / replay_secs.max(1e-9),
+        rounds: metrics.rounds,
+        round_micros_mean: micros.iter().sum::<f64>() / n_rounds,
+        round_micros_max: micros.iter().copied().fold(0.0, f64::max),
+        scheduler_seconds: metrics.scheduler_seconds,
+        batch_size_mean: metrics.batch_sizes.iter().sum::<usize>() as f64
+            / metrics.batch_sizes.len().max(1) as f64,
+        batch_size_max: metrics.batch_sizes.iter().copied().max().unwrap_or(0),
+        makespan: metrics.max_completion.seconds(),
+        schedule_valid,
+    };
+    Ok((report, assignments, metrics))
+}
+
+fn print_report(r: &ReplayReport) {
+    println!(
+        "{:<10} threads={:<2} jobs={:<6} wall={:>7.3}s  {:>9.1} jobs/s  rounds={:<4} \
+         round µs mean={:>9.1} max={:>9.1}  batch mean={:>5.1} max={:<4} valid={}",
+        r.scheduler,
+        r.threads,
+        r.jobs,
+        r.replay_secs,
+        r.jobs_per_sec,
+        r.rounds,
+        r.round_micros_mean,
+        r.round_micros_max,
+        r.batch_size_mean,
+        r.batch_size_max,
+        r.schedule_valid,
+    );
+}
+
+fn run_replay(opts: &Options) -> i32 {
+    let n = if opts.quick {
+        opts.jobs.min(120)
+    } else {
+        opts.jobs
+    };
+    let (jobs, grid) = match build_workload(&opts.workload, n, opts.seed) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let (policy, interval) = match parse_policy(&opts.policy, 1_000.0) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match &opts.host {
+        Some(h) => println!(
+            "loadgen: {} jobs ({}) against {h} (the daemon's scheduler/policy apply)",
+            jobs.len(),
+            opts.workload,
+        ),
+        None => println!(
+            "loadgen: {} jobs ({}) on {} sites, policy {}, scheduler {}",
+            jobs.len(),
+            opts.workload,
+            grid.len(),
+            opts.policy,
+            opts.scheduler
+        ),
+    }
+    let scheduler_label = if opts.host.is_some() {
+        "remote"
+    } else {
+        opts.scheduler.as_str()
+    };
+    match replay(
+        &jobs,
+        &grid,
+        scheduler_label,
+        opts.threads,
+        policy,
+        interval,
+        opts.seed,
+        opts.quick,
+        opts.rate,
+        opts.host.as_deref(),
+    ) {
+        Ok((report, _, _)) => {
+            print_report(&report);
+            if !report.schedule_valid {
+                eprintln!("error: served schedule failed validation");
+                return 1;
+            }
+            if let Some(path) = &opts.json {
+                let json = serde_json::to_string_pretty(&report).expect("report serialises");
+                std::fs::write(path, json).expect("write report");
+                println!("[wrote {path}]");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// The whole `BENCH_PR4.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SuiteReport {
+    schema: String,
+    command: String,
+    host_available_parallelism: usize,
+    workload: String,
+    jobs: usize,
+    policy: String,
+    seed: u64,
+    note: String,
+    configs: Vec<ReplayReport>,
+}
+
+fn run_bench_suite(opts: &Options) -> i32 {
+    let n = if opts.quick { 120 } else { opts.jobs };
+    let (jobs, grid) = match build_workload(&opts.workload, n, opts.seed) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let (policy, interval) = match parse_policy(&opts.policy, 1_000.0) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "loadgen bench suite: {} jobs ({}) on {} sites, policy {}, schedulers \
+         [minmin, stga] × threads {:?} (host parallelism {host})",
+        jobs.len(),
+        opts.workload,
+        grid.len(),
+        opts.policy,
+        SUITE_THREADS,
+    );
+    let mut configs = Vec::new();
+    for scheduler in ["minmin", "stga"] {
+        for threads in SUITE_THREADS {
+            match replay(
+                &jobs,
+                &grid,
+                scheduler,
+                Some(threads),
+                policy,
+                interval,
+                opts.seed,
+                opts.quick,
+                None,
+                None,
+            ) {
+                Ok((report, _, _)) => {
+                    print_report(&report);
+                    if !report.schedule_valid {
+                        eprintln!("error: {scheduler} @ {threads} produced an invalid schedule");
+                        return 1;
+                    }
+                    configs.push(report);
+                }
+                Err(e) => {
+                    eprintln!("error: {scheduler} @ {threads}: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    let report = SuiteReport {
+        schema: "gridsec-loadgen/v1".to_string(),
+        command: format!(
+            "loadgen --bench-suite --workload {} --jobs {} --policy {} --seed {}{}",
+            opts.workload,
+            n,
+            opts.policy,
+            opts.seed,
+            if opts.quick { " --quick" } else { "" }
+        ),
+        host_available_parallelism: host,
+        workload: opts.workload.clone(),
+        jobs: n,
+        policy: opts.policy.clone(),
+        seed: opts.seed,
+        note: "Replay over loopback TCP against an in-process gridsec-serve daemon \
+               (virtual clock, as-fast-as-possible submission). jobs_per_sec is sustained \
+               end-to-end throughput (wire + batching + scheduling); round µs is \
+               scheduler wall-clock per round. Thread counts pin a dedicated rayon pool \
+               around the scheduler; on a single-core host the 4-thread rows measure \
+               pool overhead, not speedup."
+            .to_string(),
+        configs,
+    };
+    let path = opts.json.clone().unwrap_or_else(|| "BENCH_PR4.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&path, json).expect("write suite report");
+    println!("[wrote {path}]");
+    0
+}
+
+/// The CI end-to-end smoke: a 50-job SWF slice through the full wire
+/// path, cross-checked bit for bit against the in-process engine.
+fn run_smoke(opts: &Options) -> i32 {
+    // Generate a PSA slice, round-trip it through the SWF text format
+    // (write → parse → convert), and serve it on a fully trusted grid so
+    // the engine comparison is failure-free.
+    let w = match PsaConfig::default()
+        .with_n_jobs(50)
+        .with_seed(opts.seed)
+        .generate()
+    {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let swf_text = swf::write(&w.jobs);
+    let records = match swf::parse(&swf_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: SWF re-parse failed: {e}");
+            return 1;
+        }
+    };
+    let mut jobs = match swf::to_jobs(&records, &swf::ConvertOptions::default()) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: SWF conversion failed: {e}");
+            return 1;
+        }
+    };
+    jobs.sort_by(|a, b| a.arrival.cmp(&b.arrival).then(a.id.cmp(&b.id)));
+    let sites: Vec<Site> = w
+        .grid
+        .sites()
+        .map(|s| {
+            let mut s = s.clone();
+            s.security_level = 1.0;
+            s
+        })
+        .collect();
+    let grid = Grid::new(sites).expect("grid stays valid");
+    let (policy, interval) = (BatchPolicy::Hybrid(8), Time::new(1_000.0));
+
+    // Reference: the in-process engine on identical inputs.
+    let config = SimConfig::default()
+        .with_interval(interval)
+        .with_batch_policy(policy)
+        .with_seed(opts.seed)
+        .with_timeline();
+    let mut reference = MinMin::new(RiskMode::Risky);
+    let engine = match simulate(&jobs, &grid, &mut reference, &config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: engine reference run failed: {e}");
+            return 1;
+        }
+    };
+    let spans = engine.timeline.as_ref().expect("timeline recorded");
+
+    // The served run, over real TCP on an ephemeral port.
+    let (report, assignments, metrics) = match replay(
+        &jobs, &grid, "minmin", None, policy, interval, opts.seed, false, None, None,
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    print_report(&report);
+    if !report.schedule_valid {
+        eprintln!("error: served schedule failed validation");
+        return 1;
+    }
+    if assignments.len() != spans.len() {
+        eprintln!(
+            "error: daemon committed {} assignments, engine dispatched {}",
+            assignments.len(),
+            spans.len()
+        );
+        return 1;
+    }
+    for (i, (p, s)) in assignments.iter().zip(spans.spans().iter()).enumerate() {
+        if p.job != s.job || p.site != s.site || p.start != s.start || p.end != s.end {
+            eprintln!("error: dispatch {i} diverged: daemon {p:?} vs engine {s:?}");
+            return 1;
+        }
+    }
+    // The metrics frame must round-trip through the wire encoding
+    // losslessly (it already crossed TCP once to get here).
+    let frame = gridsec_serve::protocol::encode(&Response::Metrics {
+        metrics: metrics.clone(),
+    });
+    match serde_json::from_str::<Response>(frame.trim()) {
+        Ok(Response::Metrics { metrics: back }) if back == metrics => {}
+        other => {
+            eprintln!("error: metrics did not round-trip through JSON: {other:?}");
+            return 1;
+        }
+    }
+    println!(
+        "smoke OK: {} jobs, {} rounds, schedule bit-identical to the engine, metrics round-trip",
+        report.jobs, report.rounds
+    );
+    0
+}

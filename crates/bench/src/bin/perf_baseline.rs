@@ -44,7 +44,9 @@ use gridsec_stga::fitness::{evaluate_with_scratch, FitnessKind, DEFAULT_FLOW_WEI
 use gridsec_stga::history::{BatchSignature, HistoryTable};
 use gridsec_stga::ops::{crossover, mutate};
 use gridsec_stga::selection::{elite_indices, RouletteWheel};
-use gridsec_stga::{evolve, Chromosome, GaParams, StandardGa, Stga, StgaParams};
+use gridsec_stga::{
+    evolve, evolve_with_pool, Chromosome, GaParams, GaPool, StandardGa, Stga, StgaParams,
+};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -266,6 +268,7 @@ fn main() {
     println!("hot paths (optimized vs pre-PR3 reference):");
     let hot_paths = vec![
         ga_evolve_hot_path(&sizes, args.seed),
+        population_pool_hot_path(&sizes, args.seed),
         mapping_hot_path(
             "minmin_mapping",
             &sizes,
@@ -647,6 +650,98 @@ fn ga_evolve_hot_path(sizes: &Sizes, seed: u64) -> HotPathReport {
             r.trajectory.iter().fold(d, |a, &t| digest_f64(a, t))
         },
     )
+}
+
+/// Hot path 1b (PR 4): the cross-round population pool. `before` runs
+/// [`evolve`] with a cold pool per round — the daemon-before-PR4 shape,
+/// where every scheduling round pays the initial random population and
+/// buffer warm-up — and `after` reuses one [`GaPool`] across the same
+/// rounds. Outputs are asserted bit-identical, and the warm path must cut
+/// allocations by at least 4× (the ROADMAP's "amortise the remaining
+/// ~1.4k allocations per GA run" item).
+fn population_pool_hot_path(sizes: &Sizes, seed: u64) -> HotPathReport {
+    let (ctx, avail) = hot_path_ctx(sizes.ga_jobs, sizes.ga_sites);
+    let params = GaParams::default()
+        .with_population(sizes.ga_population)
+        .with_generations(sizes.ga_generations)
+        .with_seed(seed);
+    let rounds = 4;
+    // The pool is warmed by one throwaway round before measurement — the
+    // daemon's steady state, where every round reuses warm buffers.
+    let warm_pool = std::cell::RefCell::new(GaPool::new());
+    {
+        let mut rng = stream(seed, Stream::Genetic);
+        let _ = evolve_with_pool(
+            &ctx,
+            &avail,
+            vec![],
+            &params,
+            FitnessKind::Makespan,
+            None,
+            &mut rng,
+            &mut warm_pool.borrow_mut(),
+        );
+    }
+    let digest_of = |r: &gridsec_stga::GaResult| {
+        let mut d = digest_f64(0, r.best_fitness);
+        for &g in r.best.genes() {
+            d = digest_f64(d, g as f64);
+        }
+        r.trajectory.iter().fold(d, |a, &t| digest_f64(a, t))
+    };
+    let report = time_hot_path(
+        "population_pool",
+        format!(
+            "rounds={rounds} population={} generations={} jobs={} sites={}",
+            sizes.ga_population, sizes.ga_generations, sizes.ga_jobs, sizes.ga_sites
+        ),
+        "One GaPool reused across scheduling rounds (the long-lived daemon scheduler) vs \
+         a cold pool per round: the initial random population and generation buffers are \
+         recycled instead of reallocated.",
+        || {
+            let mut d = 0;
+            for round in 0..rounds {
+                let mut rng = stream(seed + round, Stream::Genetic);
+                let r = evolve(
+                    &ctx,
+                    &avail,
+                    vec![],
+                    &params,
+                    FitnessKind::Makespan,
+                    None,
+                    &mut rng,
+                );
+                d = digest_f64(d, digest_of(&r) as f64);
+            }
+            d
+        },
+        || {
+            let mut pool = warm_pool.borrow_mut();
+            let mut d = 0;
+            for round in 0..rounds {
+                let mut rng = stream(seed + round, Stream::Genetic);
+                let r = evolve_with_pool(
+                    &ctx,
+                    &avail,
+                    vec![],
+                    &params,
+                    FitnessKind::Makespan,
+                    None,
+                    &mut rng,
+                    &mut pool,
+                );
+                d = digest_f64(d, digest_of(&r) as f64);
+            }
+            d
+        },
+    );
+    assert!(
+        report.after_allocs * 4 <= report.before_allocs,
+        "population pool must cut allocations ≥ 4× (before {}, after {})",
+        report.before_allocs,
+        report.after_allocs
+    );
+    report
 }
 
 /// Hot paths 2–3: one heuristic mapping loop, cached/parallel vs the

@@ -13,14 +13,17 @@
 //! | `fig10`     | Fig. 10   | PSA scaling, N ∈ {1000, 2000, 5000, 10000}            |
 //! | `fig5`      | Fig. 5    | GA-vs-STGA convergence trajectories                   |
 //! | `ablations` | DESIGN §6 | λ sweep, failure-timing, history knobs                |
-//! | `perf_baseline` | BENCH_PR2.json | wall-clock at 1/2/N threads (speedup curve)  |
+//! | `perf_baseline` | BENCH_PR3.json | hot-path wall-clock + allocation baseline    |
+//! | `loadgen`   | BENCH_PR4.json | load generator for the `gridsec-serve` daemon    |
 //!
-//! Every binary accepts `--quick` (scaled-down workloads for smoke runs),
-//! `--seed <u64>`, `--json <path>` (machine-readable dump used to fill
-//! EXPERIMENTS.md), and `--threads <n>` (worker threads for the parallel
-//! sections); `fig8` and `fig10` additionally honour `--reps <n>`
+//! Every figure binary accepts `--quick` (scaled-down workloads for smoke
+//! runs), `--seed <u64>`, `--json <path>` (machine-readable dump used to
+//! fill EXPERIMENTS.md), and `--threads <n>` (worker threads for the
+//! parallel sections); `fig8` and `fig10` additionally honour `--reps <n>`
 //! (independent replications fanned out over the thread pool — see
-//! [`replicate`]; the other binaries warn and ignore it). Criterion
+//! [`replicate`]; the other binaries warn and ignore it). `loadgen` has
+//! its own flags (`--help`): workload/rate/policy/scheduler selection, a
+//! `--bench-suite` mode and the CI `--smoke` mode. Criterion
 //! micro-benches live under `benches/`.
 
 #![warn(missing_docs)]

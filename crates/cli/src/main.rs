@@ -7,10 +7,12 @@
 //! gridsec run exp.json --threads 4       # cap the scheduler worker pool
 //! gridsec generate psa 1000 > psa.swf    # emit a workload as SWF
 //! gridsec generate nas 16000 > nas.swf
+//! gridsec serve exp.json --bind 127.0.0.1:7070   # online daemon (NDJSON/TCP)
 //! ```
 
 mod spec;
 
+use gridsec_serve::{ClockMode, Daemon, DaemonOptions, OnlineSession};
 use gridsec_sim::simulate;
 use gridsec_workloads::{swf, NasConfig, PsaConfig};
 use spec::ExperimentSpec;
@@ -25,6 +27,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("example-spec") => cmd_example_spec(),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -41,11 +44,114 @@ fn main() {
 fn print_usage() {
     eprintln!(
         "usage:\n  gridsec run <spec.json> [--json <out.json>]\n  \
-         gridsec example-spec\n  gridsec generate <psa|nas> <n_jobs> [seed]\n\
+         gridsec example-spec\n  gridsec generate <psa|nas> <n_jobs> [seed]\n  \
+         gridsec serve <spec.json> [--bind <addr>] [--virtual-clock]\n\
+         \n\
+         serve: starts the online scheduling daemon (NDJSON frames over TCP) with\n\
+         the spec's grid and *first* scheduler; jobs arrive via `submit` frames.\n\
+         --bind defaults to 127.0.0.1:0 (ephemeral; the bound address is printed).\n\
+         --virtual-clock batches by submitted arrival times instead of wall time.\n\
          \n\
          global options:\n  --threads <n>   worker threads for parallel scheduler sections\n  \
          \x20               (default: RAYON_NUM_THREADS or all available cores)"
     );
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("error: `serve` needs a spec path");
+        return 2;
+    };
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut clock = ClockMode::WallClock;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bind" => match args.get(i + 1) {
+                Some(b) => {
+                    bind = b.clone();
+                    i += 2;
+                }
+                None => {
+                    eprintln!("error: --bind needs an address");
+                    return 2;
+                }
+            },
+            "--virtual-clock" => {
+                clock = ClockMode::Virtual;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown serve option `{other}`");
+                return 2;
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let spec = match ExperimentSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let (jobs, grid) = match spec.workload.build() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let Some(sspec) = spec.schedulers.first() else {
+        eprintln!("error: the spec lists no schedulers");
+        return 1;
+    };
+    // The spec's workload seeds STGA training; serving traffic comes in
+    // over the wire.
+    let scheduler = match sspec.build_send(&jobs, &grid) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let name = scheduler.name();
+    let session = match OnlineSession::new(grid, scheduler, &spec.sim) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let daemon = match Daemon::spawn(
+        session,
+        &bind,
+        DaemonOptions {
+            clock,
+            ..DaemonOptions::default()
+        },
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot bind {bind}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "gridsec-serve: {name} on {} ({:?} clock, policy {:?}); send NDJSON frames, \
+         {{\"type\":\"shutdown\"}} to stop",
+        daemon.addr(),
+        clock,
+        spec.sim.batch_policy,
+    );
+    daemon.join();
+    0
 }
 
 /// Extracts a global `--threads <n>` option (any position) and sizes the

@@ -159,6 +159,12 @@ impl SchedulerSpec {
     /// Instantiates the scheduler; `jobs`/`grid` are used for STGA
     /// training.
     pub fn build(&self, jobs: &[Job], grid: &Grid) -> Result<Box<dyn BatchScheduler>> {
+        Ok(self.build_send(jobs, grid)?)
+    }
+
+    /// Like [`SchedulerSpec::build`], but `Send` — movable into the
+    /// serving daemon's scheduling thread.
+    pub fn build_send(&self, jobs: &[Job], grid: &Grid) -> Result<Box<dyn BatchScheduler + Send>> {
         use gridsec_heuristics as h;
         Ok(match self {
             SchedulerSpec::MinMin { mode } => Box::new(h::MinMin::new(*mode)),

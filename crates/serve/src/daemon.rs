@@ -1,0 +1,448 @@
+//! The `gridsec-serve` TCP daemon.
+//!
+//! Thread model (one scheduler, many clients):
+//!
+//! ```text
+//!  client A ──► reader A ─┐                      ┌─► writer A ──► client A
+//!  client B ──► reader B ─┼─► MPSC ingest queue ─┤
+//!  client C ──► reader C ─┘    (one scheduler    └─► writer C ──► client C
+//!                               thread drains
+//!                               it in order)
+//! ```
+//!
+//! Each accepted connection gets a *reader* thread (parses NDJSON frames,
+//! tags them with the client's reply channel, pushes them onto the shared
+//! ingest queue) and a *writer* thread (serialises responses back). A
+//! single scheduling thread owns the [`OnlineSession`] — the GA
+//! population pool, the STGA history table and the availability model
+//! live there untouched across rounds — and processes frames strictly in
+//! ingest order, so a given frame arrival order always produces the same
+//! schedule. A client disconnecting mid-round just drops its reply
+//! channel; scheduling continues.
+
+use crate::protocol::{
+    encode, parse_request, read_line_bounded, Line, QueryWhat, Request, Response, MAX_LINE_BYTES,
+};
+use crate::session::OnlineSession;
+use gridsec_core::Time;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the daemon advances its clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Arrivals drive the clock: jobs carry their own arrival stamps
+    /// (non-decreasing), and timeout boundaries fire when a later
+    /// submission or an explicit `drain` moves time past them. Fully
+    /// deterministic — the mode behind the golden cross-check and the
+    /// loadgen throughput benchmark.
+    #[default]
+    Virtual,
+    /// The daemon stamps arrivals from its own monotonic clock and fires
+    /// timeout boundaries in real time (`1 s` of simulated interval =
+    /// `1 s` of wall clock). The live-serving mode.
+    WallClock,
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonOptions {
+    /// Cap on one frame line, bytes (default [`MAX_LINE_BYTES`]).
+    pub max_line_bytes: usize,
+    /// Clock mode (default [`ClockMode::Virtual`]).
+    pub clock: ClockMode,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            max_line_bytes: MAX_LINE_BYTES,
+            clock: ClockMode::Virtual,
+        }
+    }
+}
+
+/// One response line queued to a client's writer thread. `flushed`, when
+/// present, is signalled after the line hits the socket — the shutdown
+/// path waits on it so the final `bye` cannot be lost to process exit.
+struct Reply {
+    line: String,
+    flushed: Option<Sender<()>>,
+}
+
+impl Reply {
+    fn plain(line: String) -> Reply {
+        Reply {
+            line,
+            flushed: None,
+        }
+    }
+}
+
+/// One parsed (or rejected) frame, tagged with its reply channel.
+enum IngestEvent {
+    Frame(Request, Sender<Reply>),
+    BadFrame(String, Sender<Reply>),
+}
+
+/// A running daemon: the accept loop and scheduling thread handles.
+pub struct Daemon {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `session`. Returns once the listener is live; use
+    /// [`Daemon::addr`] to learn the bound address and
+    /// [`Daemon::join`] to wait for a `shutdown` frame.
+    pub fn spawn(session: OnlineSession, bind: &str, options: DaemonOptions) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ingest_tx, ingest_rx) = channel::<IngestEvent>();
+
+        let scheduler = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                scheduling_loop(session, ingest_rx, options.clock);
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the stop flag.
+                let _ = TcpStream::connect(addr);
+            })
+        };
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    spawn_client(stream, ingest_tx.clone(), options.max_line_bytes);
+                }
+            })
+        };
+
+        Ok(Daemon {
+            addr,
+            accept: Some(accept),
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The bound address (query it when binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client sends `shutdown` and the daemon winds down.
+    pub fn join(mut self) {
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns the per-connection reader and writer threads.
+fn spawn_client(stream: TcpStream, ingest: Sender<IngestEvent>, max_line: usize) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::<Reply>();
+
+    // Writer: serialised responses out, one line per frame. Exits when
+    // every holder of the reply sender (reader + queued events) is gone,
+    // or the client stops reading.
+    std::thread::spawn(move || writer_loop(write_half, reply_rx));
+
+    // Reader: frames in. EOF or a transport error ends the thread; the
+    // scheduler never notices beyond the dropped reply channel.
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        loop {
+            match read_line_bounded(&mut reader, max_line) {
+                Ok(Line::Eof) | Err(_) => break,
+                Ok(Line::TooLong(n)) => {
+                    let msg = format!("frame too long ({n} bytes > {max_line} limit)");
+                    if ingest
+                        .send(IngestEvent::BadFrame(msg, reply_tx.clone()))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(Line::Frame(line)) => match parse_request(&line) {
+                    Ok(None) => {} // blank keep-alive line
+                    Ok(Some(req)) => {
+                        if ingest
+                            .send(IngestEvent::Frame(req, reply_tx.clone()))
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(msg) => {
+                        if ingest
+                            .send(IngestEvent::BadFrame(msg, reply_tx.clone()))
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                },
+            }
+        }
+    });
+}
+
+fn writer_loop(mut stream: TcpStream, replies: Receiver<Reply>) {
+    for reply in replies {
+        if stream.write_all(reply.line.as_bytes()).is_err() {
+            break;
+        }
+        let _ = stream.flush();
+        if let Some(flushed) = reply.flushed {
+            let _ = flushed.send(());
+        }
+    }
+}
+
+/// The single scheduling thread: drains the ingest queue in order; in
+/// wall-clock mode it also wakes up for due batch boundaries.
+fn scheduling_loop(mut session: OnlineSession, ingest: Receiver<IngestEvent>, clock: ClockMode) {
+    let start = Instant::now();
+    loop {
+        let event = match clock {
+            ClockMode::Virtual => match ingest.recv() {
+                Ok(ev) => ev,
+                Err(_) => return, // listener gone without a shutdown frame
+            },
+            ClockMode::WallClock => {
+                let now = Time::new(start.elapsed().as_secs_f64());
+                let timeout = session
+                    .next_boundary()
+                    .map(|b| Duration::from_secs_f64((b.seconds() - now.seconds()).max(0.0)));
+                match timeout {
+                    None => match ingest.recv() {
+                        Ok(ev) => ev,
+                        Err(_) => return,
+                    },
+                    Some(wait) => match ingest.recv_timeout(wait) {
+                        Ok(ev) => ev,
+                        Err(RecvTimeoutError::Timeout) => {
+                            let t = Time::new(start.elapsed().as_secs_f64());
+                            if session.tick(t).is_err() {
+                                // A scheduler failure on a timer round is
+                                // fatal for the session.
+                                return;
+                            }
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    },
+                }
+            }
+        };
+        match event {
+            IngestEvent::BadFrame(message, reply) => {
+                let _ = reply.send(Reply::plain(encode(&Response::Error { message })));
+            }
+            IngestEvent::Frame(req, reply) => {
+                let (response, shutdown) = handle(&mut session, req, clock, start);
+                if shutdown {
+                    // The daemon exits right after this; wait (bounded)
+                    // for the writer to flush the final frame so the
+                    // client is guaranteed its `bye`.
+                    let (flushed_tx, flushed_rx) = channel();
+                    let sent = reply
+                        .send(Reply {
+                            line: encode(&response),
+                            flushed: Some(flushed_tx),
+                        })
+                        .is_ok();
+                    if sent {
+                        let _ = flushed_rx.recv_timeout(Duration::from_secs(5));
+                    }
+                    return;
+                }
+                let _ = reply.send(Reply::plain(encode(&response)));
+            }
+        }
+    }
+}
+
+/// Applies one request to the session; returns the response and whether
+/// the daemon should exit.
+fn handle(
+    session: &mut OnlineSession,
+    req: Request,
+    clock: ClockMode,
+    start: Instant,
+) -> (Response, bool) {
+    match req {
+        Request::Submit { jobs } => {
+            let mut accepted = 0usize;
+            for mut job in jobs {
+                if clock == ClockMode::WallClock {
+                    job.arrival = Time::new(start.elapsed().as_secs_f64());
+                }
+                match session.submit(job) {
+                    Ok(()) => accepted += 1,
+                    Err(e) => {
+                        // Jobs before the faulty one stay accepted; the
+                        // client learns exactly where the frame failed.
+                        return (
+                            Response::Error {
+                                message: format!("after {accepted} accepted jobs: {e}"),
+                            },
+                            false,
+                        );
+                    }
+                }
+            }
+            (
+                Response::Accepted {
+                    jobs: accepted,
+                    pending: session.pending(),
+                    rounds: session.rounds_run(),
+                },
+                false,
+            )
+        }
+        Request::Query {
+            what: QueryWhat::Schedule,
+        } => (
+            Response::Schedule {
+                assignments: session.assignments().to_vec(),
+            },
+            false,
+        ),
+        Request::Query {
+            what: QueryWhat::Metrics,
+        } => (
+            Response::Metrics {
+                metrics: session.metrics(),
+            },
+            false,
+        ),
+        Request::Reconfigure { security_levels } => {
+            match session.set_security_levels(&security_levels) {
+                Ok(()) => (
+                    Response::Reconfigured {
+                        sites: security_levels.len(),
+                    },
+                    false,
+                ),
+                Err(e) => (
+                    Response::Error {
+                        message: e.to_string(),
+                    },
+                    false,
+                ),
+            }
+        }
+        Request::Drain => match session.drain() {
+            Ok(rounds) => (
+                Response::Drained {
+                    rounds,
+                    jobs_scheduled: session.jobs_scheduled(),
+                },
+                false,
+            ),
+            Err(e) => (
+                Response::Error {
+                    message: e.to_string(),
+                },
+                false,
+            ),
+        },
+        Request::Shutdown => match session.drain() {
+            Ok(_) => (Response::Bye, true),
+            Err(e) => (
+                Response::Error {
+                    message: format!("drain before shutdown failed: {e}"),
+                },
+                true,
+            ),
+        },
+    }
+}
+
+/// A minimal blocking client for the NDJSON protocol: lock-step
+/// request/response over one TCP connection. Used by `loadgen`, the
+/// examples and the wire tests; any `netcat`-style tool works just as
+/// well.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Wraps an already-connected stream (tests that drive the socket by
+    /// hand before switching to lock-step frames).
+    pub fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and waits for its response frame.
+    pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        self.send_line(&encode(req))
+    }
+
+    /// Sends a raw line (malformed-frame testing) and waits for the
+    /// response.
+    pub fn send_line(&mut self, line: &str) -> io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Cap on one *response* line. Far above the request cap: a long
+    /// session's `schedule`/`metrics` frames carry the whole committed
+    /// history (~65 bytes per assignment), and the server is trusted.
+    pub const MAX_RESPONSE_BYTES: usize = 1 << 30;
+
+    /// Reads one response frame.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        match read_line_bounded(&mut self.reader, Self::MAX_RESPONSE_BYTES)? {
+            Line::Frame(line) => {
+                let text = std::str::from_utf8(&line).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response")
+                })?;
+                serde_json::from_str(text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+            Line::TooLong(n) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("oversized response ({n} bytes)"),
+            )),
+            Line::Eof => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )),
+        }
+    }
+}

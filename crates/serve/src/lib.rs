@@ -1,0 +1,58 @@
+//! # gridsec-serve
+//!
+//! The serving layer: the paper's STGA is an *online batch-mode*
+//! scheduler — jobs arrive continuously, accumulate into batches, and
+//! every scheduling round races a real-time deadline — and this crate
+//! turns the in-process simulation stack into an actual daemon.
+//!
+//! * [`protocol`] — the NDJSON wire protocol (line-delimited JSON frames:
+//!   `submit`, `query`, `reconfigure`, `drain`, `shutdown`) with a
+//!   bounded, partial-read-tolerant line reader.
+//! * [`OnlineSession`] — the single-threaded scheduling core: a
+//!   [`RoundDriver`](gridsec_sim::RoundDriver) (shared with the
+//!   discrete-event engine) plus the engine's exact batch-boundary
+//!   semantics on a virtual clock, keeping the scheduler — GA population
+//!   pool, STGA history table, scratch buffers — alive across rounds.
+//! * [`Daemon`] — the TCP front end: one reader thread per connection
+//!   feeding an MPSC ingest queue, one scheduling thread, per-client
+//!   writer threads. [`ClockMode::Virtual`] serves deterministic replays
+//!   (bit-identical to the simulator — see the golden cross-check test);
+//!   [`ClockMode::WallClock`] serves real time.
+//! * [`Client`] — a minimal lock-step client for tests, examples and the
+//!   `loadgen` harness.
+//!
+//! ```no_run
+//! use gridsec_core::{Grid, Job, Site, Time};
+//! use gridsec_serve::{Client, Daemon, DaemonOptions, OnlineSession, Request, Response};
+//! use gridsec_sim::scheduler::EarliestCompletion;
+//! use gridsec_sim::SimConfig;
+//!
+//! let grid = Grid::new(vec![Site::builder(0).nodes(4).build().unwrap()]).unwrap();
+//! let session = OnlineSession::new(
+//!     grid,
+//!     Box::new(EarliestCompletion),
+//!     &SimConfig::default(),
+//! ).unwrap();
+//! let daemon = Daemon::spawn(session, "127.0.0.1:0", DaemonOptions::default()).unwrap();
+//! let mut client = Client::connect(daemon.addr()).unwrap();
+//! let job = Job::builder(0).work(100.0).build().unwrap();
+//! client.send(&Request::Submit { jobs: vec![job] }).unwrap();
+//! client.send(&Request::Drain).unwrap();
+//! match client.send(&Request::Query { what: gridsec_serve::QueryWhat::Schedule }).unwrap() {
+//!     Response::Schedule { assignments } => assert_eq!(assignments.len(), 1),
+//!     other => panic!("unexpected response {other:?}"),
+//! }
+//! client.send(&Request::Shutdown).unwrap();
+//! daemon.join();
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod daemon;
+pub mod protocol;
+pub mod session;
+
+pub use daemon::{Client, ClockMode, Daemon, DaemonOptions};
+pub use protocol::{Placed, QueryWhat, Request, Response, ServeMetrics, MAX_LINE_BYTES};
+pub use session::OnlineSession;

@@ -1,0 +1,372 @@
+//! The NDJSON wire protocol: one JSON object per `\n`-terminated line,
+//! requests up / responses down the same TCP connection.
+//!
+//! Frames are internally tagged with a `"type"` field:
+//!
+//! ```json
+//! {"type":"submit","jobs":[{"id":0,"arrival":0.0,"width":1,"work":120.0,"security_demand":0.7}]}
+//! {"type":"query","what":"metrics"}
+//! {"type":"reconfigure","security_levels":[0.9,0.4,0.75]}
+//! {"type":"drain"}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! Every request gets exactly one response frame (`accepted`, `schedule`,
+//! `metrics`, `reconfigured`, `drained`, `bye`, or `error`), so a client
+//! can run the protocol in lock-step. Responses to different clients are
+//! written by per-client writer threads and never interleave mid-line.
+
+use gridsec_core::{Job, JobId, SiteId, Time};
+use gridsec_sim::CommittedAssignment;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead};
+
+/// Default cap on one frame line (bytes, newline included). Oversized
+/// lines are consumed and rejected with an [`Response::Error`] instead of
+/// buffering without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A client → daemon frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Request {
+    /// Submit jobs. In virtual-clock mode the job `arrival` times drive
+    /// batching and must be non-decreasing across the whole session; in
+    /// wall-clock mode arrivals are stamped by the daemon.
+    Submit {
+        /// The jobs to enqueue, in arrival order.
+        jobs: Vec<Job>,
+    },
+    /// Read server state without changing it.
+    Query {
+        /// Which view to return.
+        what: QueryWhat,
+    },
+    /// Update the per-site trust state (an IDS re-rating sites): one
+    /// security level per site, in site order.
+    Reconfigure {
+        /// New security levels, all in `[0, 1]`, one per site.
+        security_levels: Vec<f64>,
+    },
+    /// Run scheduling rounds until the pending queue is empty.
+    Drain,
+    /// Drain, reply `bye`, and stop the daemon.
+    Shutdown,
+}
+
+/// What a [`Request::Query`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum QueryWhat {
+    /// Every assignment committed so far (the served schedule).
+    Schedule,
+    /// Aggregate serving metrics.
+    Metrics,
+}
+
+/// One committed assignment on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placed {
+    /// The job placed.
+    pub job: JobId,
+    /// The site it runs on.
+    pub site: SiteId,
+    /// Nodes occupied.
+    pub width: u32,
+    /// Execution start (virtual seconds).
+    pub start: Time,
+    /// Execution end.
+    pub end: Time,
+}
+
+impl From<CommittedAssignment> for Placed {
+    fn from(c: CommittedAssignment) -> Placed {
+        Placed {
+            job: c.job,
+            site: c.site,
+            width: c.width,
+            start: c.start,
+            end: c.end,
+        }
+    }
+}
+
+/// Aggregate serving metrics (cheap to compute, safe to poll).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// Jobs accepted over the session.
+    pub jobs_submitted: usize,
+    /// Jobs with at least one committed assignment.
+    pub jobs_scheduled: usize,
+    /// Jobs waiting for the next round.
+    pub pending: usize,
+    /// Non-empty scheduling rounds run.
+    pub rounds: usize,
+    /// Batch size of every round, in round order (the batch-size
+    /// distribution).
+    pub batch_sizes: Vec<usize>,
+    /// Wall-clock nanoseconds spent inside the scheduler, per round (the
+    /// round-latency distribution).
+    pub round_nanos: Vec<u64>,
+    /// Total wall-clock seconds spent inside the scheduler.
+    pub scheduler_seconds: f64,
+    /// The session's virtual clock (last arrival / boundary instant).
+    pub virtual_now: Time,
+    /// Latest committed completion time (the running makespan).
+    pub max_completion: Time,
+}
+
+/// A daemon → client frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// Submit accepted.
+    Accepted {
+        /// Jobs enqueued by this frame.
+        jobs: usize,
+        /// Queue depth after the frame (rounds may have fired mid-frame).
+        pending: usize,
+        /// Total rounds run so far.
+        rounds: usize,
+    },
+    /// The served schedule (response to `query what=schedule`).
+    Schedule {
+        /// Every committed assignment, in commit order.
+        assignments: Vec<Placed>,
+    },
+    /// Serving metrics (response to `query what=metrics`).
+    Metrics {
+        /// The metrics snapshot.
+        metrics: ServeMetrics,
+    },
+    /// Trust state updated.
+    Reconfigured {
+        /// Number of sites updated.
+        sites: usize,
+    },
+    /// Pending queue flushed.
+    Drained {
+        /// Total rounds run so far.
+        rounds: usize,
+        /// Jobs with at least one committed assignment.
+        jobs_scheduled: usize,
+    },
+    /// Shutdown acknowledged; the daemon exits after this frame.
+    Bye,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Outcome of reading one frame line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Line {
+    /// A complete line (without the trailing newline).
+    Frame(Vec<u8>),
+    /// The line exceeded the cap; it was consumed up to its newline so
+    /// the stream stays framed, and its length so far is reported.
+    TooLong(usize),
+    /// End of stream (peer closed the connection).
+    Eof,
+}
+
+/// Reads one `\n`-terminated line with a length cap, tolerating partial
+/// reads (TCP segmentation): bytes are consumed from the reader's buffer
+/// as they arrive until a newline shows up, EOF is hit, or the cap is
+/// exceeded. A final unterminated line before EOF is returned as a frame
+/// (mirrors `read_until`).
+pub fn read_line_bounded<R: BufRead + ?Sized>(reader: &mut R, max: usize) -> io::Result<Line> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflow = 0usize;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF.
+            return Ok(if overflow > 0 {
+                Line::TooLong(overflow)
+            } else if line.is_empty() {
+                Line::Eof
+            } else {
+                Line::Frame(line)
+            });
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |p| p + 1);
+        if overflow == 0 {
+            let body_len = newline.map_or(take, |p| p);
+            if line.len() + body_len > max {
+                // Switch to discard mode: remember how much we saw.
+                overflow = line.len() + body_len;
+                line.clear();
+            } else {
+                line.extend_from_slice(&buf[..body_len]);
+            }
+        } else {
+            overflow += newline.map_or(take, |p| p);
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(if overflow > 0 {
+                Line::TooLong(overflow)
+            } else {
+                Line::Frame(line)
+            });
+        }
+    }
+}
+
+/// Parses a frame line into a request (empty/whitespace lines are
+/// `Ok(None)` — keep-alive newlines are tolerated). Parses straight from
+/// the byte line (`serde_json::from_slice`): no whole-frame UTF-8 pass,
+/// string contents are validated where they are decoded.
+pub fn parse_request(line: &[u8]) -> Result<Option<Request>, String> {
+    if line.iter().all(u8::is_ascii_whitespace) {
+        return Ok(None);
+    }
+    serde_json::from_slice(line)
+        .map(Some)
+        .map_err(|e| format!("invalid frame: {e}"))
+}
+
+/// Serialises any frame as one NDJSON line (newline included).
+pub fn encode<T: Serialize>(frame: &T) -> String {
+    let mut s = serde_json::to_string(frame).expect("frames serialise");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let frames = vec![
+            Request::Submit {
+                jobs: vec![Job::builder(3)
+                    .arrival(Time::new(2.0))
+                    .work(50.0)
+                    .security_demand(0.6)
+                    .build()
+                    .unwrap()],
+            },
+            Request::Query {
+                what: QueryWhat::Schedule,
+            },
+            Request::Query {
+                what: QueryWhat::Metrics,
+            },
+            Request::Reconfigure {
+                security_levels: vec![0.5, 0.9],
+            },
+            Request::Drain,
+            Request::Shutdown,
+        ];
+        for f in frames {
+            let line = encode(&f);
+            assert!(line.ends_with('\n'));
+            let back = parse_request(line.as_bytes()).unwrap().unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let frames = vec![
+            Response::Accepted {
+                jobs: 2,
+                pending: 5,
+                rounds: 1,
+            },
+            Response::Schedule {
+                assignments: vec![Placed {
+                    job: JobId(7),
+                    site: SiteId(1),
+                    width: 2,
+                    start: Time::new(10.0),
+                    end: Time::new(60.0),
+                }],
+            },
+            Response::Bye,
+            Response::Error {
+                message: "nope".into(),
+            },
+        ];
+        for f in frames {
+            let line = encode(&f);
+            let back: Response = serde_json::from_str(line.trim()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        assert_eq!(parse_request(b"").unwrap(), None);
+        assert_eq!(parse_request(b"   \t").unwrap(), None);
+        assert!(parse_request(b"{oops").is_err());
+        assert!(parse_request(&[0xFF, 0xFE]).is_err());
+    }
+
+    /// A reader that hands out one byte per `read` call — the harshest
+    /// possible TCP segmentation.
+    struct Trickle<'a>(&'a [u8], usize);
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.1 >= self.0.len() || out.is_empty() {
+                return Ok(0);
+            }
+            out[0] = self.0[self.1];
+            self.1 += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn bounded_reader_handles_partial_reads() {
+        let data = b"{\"type\":\"drain\"}\nrest";
+        let mut r = io::BufReader::with_capacity(1, Trickle(data, 0));
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap(),
+            Line::Frame(b"{\"type\":\"drain\"}".to_vec())
+        );
+        // The unterminated tail is still delivered at EOF.
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap(),
+            Line::Frame(b"rest".to_vec())
+        );
+        assert_eq!(read_line_bounded(&mut r, 64).unwrap(), Line::Eof);
+    }
+
+    #[test]
+    fn bounded_reader_rejects_oversized_lines_and_stays_framed() {
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let mut r = io::BufReader::with_capacity(7, &data[..]);
+        match read_line_bounded(&mut r, 10).unwrap() {
+            Line::TooLong(n) => assert_eq!(n, 100),
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+        // The next frame parses cleanly: the oversized line was consumed
+        // exactly up to its newline.
+        assert_eq!(
+            read_line_bounded(&mut r, 10).unwrap(),
+            Line::Frame(b"ok".to_vec())
+        );
+    }
+
+    #[test]
+    fn bounded_reader_eof_inside_oversized_line() {
+        let data = [b'y'; 50];
+        let mut r = io::BufReader::with_capacity(8, &data[..]);
+        match read_line_bounded(&mut r, 16).unwrap() {
+            Line::TooLong(n) => assert_eq!(n, 50),
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+        assert_eq!(read_line_bounded(&mut r, 16).unwrap(), Line::Eof);
+    }
+}

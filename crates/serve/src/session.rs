@@ -1,0 +1,435 @@
+//! The online scheduling session: the daemon's single-threaded core.
+//!
+//! An [`OnlineSession`] owns a long-lived scheduler and a
+//! [`RoundDriver`], and replays the *exact* batch-boundary semantics of
+//! the discrete-event engine on a virtual clock driven by submissions:
+//!
+//! * periodic boundaries arm at the next multiple of the scheduling
+//!   interval after the first sub-threshold enqueue (one armed at a
+//!   time, like the engine's `ensure_boundary`);
+//! * count/hybrid triggers fire a boundary at the enqueue instant — but
+//!   only once the clock moves past it, so same-instant arrivals batch
+//!   together exactly as the engine's event queue orders them
+//!   (arrivals before boundaries at equal timestamps);
+//! * every `on_boundary` clears the armed-boundary flag, even when the
+//!   boundary that fired was count-triggered — stale periodic
+//!   boundaries still fire as no-ops, as in the engine.
+//!
+//! Because the queue/trigger/validation logic *is* the engine's
+//! (`RoundDriver`), a session fed the same jobs under the same policy
+//! commits bit-for-bit the schedule the simulator realises when no
+//! failures occur — the golden cross-check test pins this.
+//!
+//! Wall-clock serving (the daemon's real-time mode) reuses the same
+//! machinery: the daemon stamps arrivals from its monotonic clock and
+//! calls [`OnlineSession::tick`] when boundary deadlines pass.
+
+use crate::protocol::{Placed, ServeMetrics};
+use gridsec_core::{Error, Grid, Job, JobId, Result, Site, Time};
+use gridsec_sim::{BatchJob, BatchScheduler, RoundDriver, SimConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A live scheduling session over one grid and one scheduler.
+pub struct OnlineSession {
+    rounds: RoundDriver,
+    scheduler: Box<dyn BatchScheduler + Send>,
+    interval: Time,
+    now: Time,
+    /// Queued batch boundaries (may hold stale duplicates, exactly like
+    /// the engine's event queue).
+    boundaries: BinaryHeap<Reverse<Time>>,
+    /// The engine's `boundary_scheduled` mirror: at most one *armed*
+    /// periodic boundary.
+    armed: Option<Time>,
+    committed: Vec<Placed>,
+    scheduled_jobs: HashSet<JobId>,
+    known_jobs: HashSet<JobId>,
+    jobs_submitted: usize,
+    round_nanos: Vec<u64>,
+    max_completion: Time,
+}
+
+impl OnlineSession {
+    /// Opens a session. Only the batching/security subset of `config` is
+    /// used (`schedule_interval`, `batch_policy`, `security`,
+    /// `max_replicas`) — there is no failure sampling in serving mode, so
+    /// the simulation-only knobs are ignored.
+    pub fn new(
+        grid: Grid,
+        scheduler: Box<dyn BatchScheduler + Send>,
+        config: &SimConfig,
+    ) -> Result<OnlineSession> {
+        config.validate()?;
+        Ok(OnlineSession {
+            rounds: RoundDriver::new(
+                grid,
+                config.batch_policy,
+                config.security,
+                config.max_replicas,
+            ),
+            scheduler,
+            interval: config.schedule_interval,
+            now: Time::ZERO,
+            boundaries: BinaryHeap::new(),
+            armed: None,
+            committed: Vec::new(),
+            scheduled_jobs: HashSet::new(),
+            known_jobs: HashSet::new(),
+            jobs_submitted: 0,
+            round_nanos: Vec::new(),
+            max_completion: Time::ZERO,
+        })
+    }
+
+    /// The scheduler's display name.
+    pub fn scheduler_name(&self) -> String {
+        self.scheduler.name()
+    }
+
+    /// The session's virtual clock.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The earliest queued boundary, if any (the daemon's wall-clock
+    /// deadline).
+    pub fn next_boundary(&self) -> Option<Time> {
+        self.boundaries.peek().map(|r| r.0)
+    }
+
+    /// Jobs waiting for the next round.
+    pub fn pending(&self) -> usize {
+        self.rounds.pending_len()
+    }
+
+    /// Non-empty scheduling rounds run so far (cheap counter — use
+    /// [`OnlineSession::metrics`] only when the full snapshot is needed;
+    /// it clones the per-round distributions).
+    pub fn rounds_run(&self) -> usize {
+        self.rounds.n_rounds()
+    }
+
+    /// Jobs with at least one committed assignment (cheap counter).
+    pub fn jobs_scheduled(&self) -> usize {
+        self.scheduled_jobs.len()
+    }
+
+    /// Every assignment committed so far, in commit order.
+    pub fn assignments(&self) -> &[Placed] {
+        &self.committed
+    }
+
+    /// Submits one job: advances the virtual clock to its arrival
+    /// (firing any boundary that falls strictly before it), enqueues,
+    /// and applies the batch policy. Arrivals must be non-decreasing —
+    /// the virtual clock cannot run backwards.
+    pub fn submit(&mut self, job: Job) -> Result<()> {
+        if job.arrival < self.now {
+            return Err(Error::invalid(
+                "submit",
+                format!(
+                    "job {} arrives at {} but the clock is already at {} \
+                     (submit jobs in arrival order)",
+                    job.id, job.arrival, self.now
+                ),
+            ));
+        }
+        if !self.known_jobs.insert(job.id) {
+            return Err(Error::invalid(
+                "submit",
+                format!("duplicate job id {}", job.id),
+            ));
+        }
+        if !self.rounds.grid().sites().any(|s| s.fits_width(job.width)) {
+            self.known_jobs.remove(&job.id);
+            return Err(Error::NoFeasibleSite(job.id.0));
+        }
+        self.advance_strictly_before(job.arrival)?;
+        self.now = job.arrival;
+        self.jobs_submitted += 1;
+        self.rounds.enqueue(BatchJob {
+            job,
+            secure_only: false,
+        });
+        self.after_enqueue();
+        Ok(())
+    }
+
+    /// Advances the clock to `t`, firing every boundary at or before it
+    /// (wall-clock mode's timer path).
+    pub fn tick(&mut self, t: Time) -> Result<()> {
+        while let Some(&Reverse(b)) = self.boundaries.peek() {
+            if b > t {
+                break;
+            }
+            self.boundaries.pop();
+            self.fire_boundary(b)?;
+        }
+        if t > self.now {
+            self.now = t;
+        }
+        Ok(())
+    }
+
+    /// Runs rounds until nothing is pending: fires every queued boundary
+    /// in time order (arming covers the tail by construction — every
+    /// enqueue arms a boundary when none is armed). Returns the number of
+    /// rounds run so far.
+    pub fn drain(&mut self) -> Result<usize> {
+        while let Some(Reverse(b)) = self.boundaries.pop() {
+            self.fire_boundary(b)?;
+        }
+        // Unreachable when fed through `submit` (an armed boundary always
+        // covers pending jobs), but a reconfigured policy could strand
+        // the queue — flush it at the next periodic instant.
+        if self.rounds.pending_len() > 0 {
+            let at = self.next_periodic_instant();
+            self.fire_boundary(at)?;
+        }
+        Ok(self.rounds.n_rounds())
+    }
+
+    /// Replaces the per-site security levels (the trust state) — the
+    /// serving-mode counterpart of the engine's SL random walk.
+    pub fn set_security_levels(&mut self, levels: &[f64]) -> Result<()> {
+        if levels.len() != self.rounds.grid().len() {
+            return Err(Error::invalid(
+                "reconfigure",
+                format!(
+                    "{} security levels for {} sites",
+                    levels.len(),
+                    self.rounds.grid().len()
+                ),
+            ));
+        }
+        let mut sites: Vec<Site> = Vec::with_capacity(levels.len());
+        for (site, &sl) in self.rounds.grid().sites().zip(levels) {
+            if !(0.0..=1.0).contains(&sl) {
+                return Err(Error::invalid(
+                    "reconfigure",
+                    format!("security level {sl} for site {} not in [0, 1]", site.id),
+                ));
+            }
+            let mut s = site.clone();
+            s.security_level = sl;
+            sites.push(s);
+        }
+        self.rounds.set_grid(Grid::new(sites)?)
+    }
+
+    /// A metrics snapshot.
+    pub fn metrics(&self) -> ServeMetrics {
+        ServeMetrics {
+            jobs_submitted: self.jobs_submitted,
+            jobs_scheduled: self.scheduled_jobs.len(),
+            pending: self.rounds.pending_len(),
+            rounds: self.rounds.n_rounds(),
+            batch_sizes: self.rounds.batch_sizes().to_vec(),
+            round_nanos: self.round_nanos.clone(),
+            scheduler_seconds: self.rounds.scheduler_nanos() as f64 / 1e9,
+            virtual_now: self.now,
+            max_completion: self.max_completion,
+        }
+    }
+
+    /// Fires every queued boundary strictly before `t` — the engine pops
+    /// them before the arrival event at `t` (boundaries *at* `t` sort
+    /// after arrivals at equal timestamps).
+    fn advance_strictly_before(&mut self, t: Time) -> Result<()> {
+        while let Some(&Reverse(b)) = self.boundaries.peek() {
+            if b >= t {
+                break;
+            }
+            self.boundaries.pop();
+            self.fire_boundary(b)?;
+        }
+        Ok(())
+    }
+
+    /// The engine's `on_boundary`: clear the armed flag, run a round over
+    /// whatever is pending, commit the schedule.
+    fn fire_boundary(&mut self, b: Time) -> Result<()> {
+        if b > self.now {
+            self.now = b;
+        }
+        self.armed = None;
+        let Some(outcome) = self.rounds.run_round(self.scheduler.as_mut(), b)? else {
+            return Ok(());
+        };
+        self.round_nanos.push(outcome.scheduler_nanos as u64);
+        // Commit in dispatch order — the served schedule *is* the
+        // engine's no-failure execution. One JobId→Job index per round
+        // keeps a k-assignment commit O(k), not O(k·batch).
+        let by_id: std::collections::HashMap<JobId, &Job> =
+            outcome.batch.iter().map(|x| (x.job.id, &x.job)).collect();
+        for a in &outcome.schedule.assignments {
+            let job = *by_id
+                .get(&a.job)
+                .expect("validated schedule covers only batch jobs");
+            let placed: Placed = self.rounds.commit_assignment(job, a.site, b).into();
+            self.max_completion = self.max_completion.max(placed.end);
+            self.scheduled_jobs.insert(placed.job);
+            self.committed.push(placed);
+        }
+        Ok(())
+    }
+
+    /// The engine's `after_enqueue`: count/hybrid triggers queue a
+    /// boundary *now* (once per enqueue at or above the threshold, like
+    /// the engine's event pushes); otherwise make sure a periodic one is
+    /// armed.
+    fn after_enqueue(&mut self) {
+        if self.rounds.count_trigger_reached() {
+            self.boundaries.push(Reverse(self.now));
+        } else {
+            self.ensure_boundary();
+        }
+    }
+
+    /// The engine's `ensure_boundary`: arm a boundary at the next
+    /// interval multiple strictly after `now`, unless one is armed.
+    fn ensure_boundary(&mut self) {
+        if self.armed.is_some() {
+            return;
+        }
+        let at = self.next_periodic_instant();
+        self.armed = Some(at);
+        self.boundaries.push(Reverse(at));
+    }
+
+    /// The next multiple of the scheduling interval strictly after `now`.
+    fn next_periodic_instant(&self) -> Time {
+        let period = self.interval.seconds();
+        let k = (self.now.seconds() / period).floor() + 1.0;
+        Time::new(k * period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_sim::scheduler::EarliestCompletion;
+    use gridsec_sim::BatchPolicy;
+
+    fn grid() -> Grid {
+        Grid::new(vec![
+            Site::builder(0)
+                .nodes(2)
+                .speed(1.0)
+                .security_level(1.0)
+                .build()
+                .unwrap(),
+            Site::builder(1)
+                .nodes(2)
+                .speed(2.0)
+                .security_level(1.0)
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn job(id: u64, arrival: f64, work: f64) -> Job {
+        Job::builder(id)
+            .arrival(Time::new(arrival))
+            .work(work)
+            .security_demand(0.5)
+            .build()
+            .unwrap()
+    }
+
+    fn session(policy: BatchPolicy) -> OnlineSession {
+        let config = SimConfig::default()
+            .with_interval(Time::new(10.0))
+            .with_batch_policy(policy);
+        OnlineSession::new(grid(), Box::new(EarliestCompletion), &config).unwrap()
+    }
+
+    #[test]
+    fn periodic_batching_matches_engine_semantics() {
+        let mut s = session(BatchPolicy::Periodic);
+        for i in 0..4 {
+            s.submit(job(i, 1.0 + i as f64, 10.0)).unwrap();
+        }
+        // Nothing fires until the clock passes the boundary at 10.
+        assert_eq!(s.metrics().rounds, 0);
+        s.submit(job(9, 11.0, 10.0)).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.batch_sizes, vec![4]);
+        assert_eq!(m.pending, 1);
+        s.drain().unwrap();
+        assert_eq!(s.metrics().jobs_scheduled, 5);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn count_trigger_fires_only_after_the_instant_passes() {
+        let mut s = session(BatchPolicy::CountTriggered(2));
+        // Three same-instant arrivals: the engine batches all three
+        // (arrival events sort before the count-fired boundary).
+        s.submit(job(0, 5.0, 10.0)).unwrap();
+        s.submit(job(1, 5.0, 10.0)).unwrap();
+        s.submit(job(2, 5.0, 10.0)).unwrap();
+        assert_eq!(s.metrics().rounds, 0);
+        s.submit(job(3, 6.0, 10.0)).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.batch_sizes, vec![3]);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_rejected() {
+        let mut s = session(BatchPolicy::Periodic);
+        s.submit(job(0, 5.0, 10.0)).unwrap();
+        assert!(s.submit(job(1, 4.0, 10.0)).is_err());
+        // Equal arrivals are fine.
+        s.submit(job(2, 5.0, 10.0)).unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_oversized_jobs_rejected() {
+        let mut s = session(BatchPolicy::Periodic);
+        s.submit(job(0, 0.0, 10.0)).unwrap();
+        assert!(s.submit(job(0, 1.0, 10.0)).is_err());
+        let wide = Job::builder(5).width(64).build().unwrap();
+        assert!(matches!(s.submit(wide), Err(Error::NoFeasibleSite(5))));
+        // The rejected id is reusable.
+        s.submit(Job::builder(5).arrival(Time::new(1.0)).build().unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn trust_reconfiguration_validates() {
+        let mut s = session(BatchPolicy::Periodic);
+        assert!(s.set_security_levels(&[0.3, 0.8]).is_ok());
+        assert!(s.set_security_levels(&[0.3]).is_err());
+        assert!(s.set_security_levels(&[0.3, 1.4]).is_err());
+    }
+
+    #[test]
+    fn tick_fires_due_boundaries_inclusively() {
+        let mut s = session(BatchPolicy::Periodic);
+        s.submit(job(0, 1.0, 10.0)).unwrap();
+        s.tick(Time::new(10.0)).unwrap();
+        assert_eq!(s.metrics().rounds, 1);
+        assert_eq!(s.now(), Time::new(10.0));
+    }
+
+    #[test]
+    fn metrics_track_commits() {
+        let mut s = session(BatchPolicy::Periodic);
+        s.submit(job(0, 3.0, 100.0)).unwrap();
+        s.drain().unwrap();
+        let m = s.metrics();
+        assert_eq!(m.jobs_submitted, 1);
+        assert_eq!(m.jobs_scheduled, 1);
+        assert_eq!(m.rounds, 1);
+        // Boundary at 10, fastest site speed 2 → completion 60 (the
+        // engine's `single_job_completes_with_correct_times`).
+        assert_eq!(m.max_completion, Time::new(60.0));
+        assert_eq!(s.assignments().len(), 1);
+        assert_eq!(s.assignments()[0].start, Time::new(10.0));
+    }
+}

@@ -1,0 +1,324 @@
+//! Wire-protocol robustness tests against a live daemon: malformed
+//! frames, oversized lines, partial (byte-trickled) writes, mid-round
+//! disconnects, and two concurrent clients with a deterministic
+//! interleaving. All deterministic at every thread count (CI re-runs the
+//! suite under `RAYON_NUM_THREADS=1`).
+
+use gridsec_core::{Grid, Job, JobId, Site, Time};
+use gridsec_serve::{
+    Client, ClockMode, Daemon, DaemonOptions, OnlineSession, QueryWhat, Request, Response,
+};
+use gridsec_sim::scheduler::EarliestCompletion;
+use gridsec_sim::{BatchPolicy, SimConfig};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn grid() -> Grid {
+    Grid::new(vec![
+        Site::builder(0)
+            .nodes(2)
+            .speed(1.0)
+            .security_level(1.0)
+            .build()
+            .unwrap(),
+        Site::builder(1)
+            .nodes(2)
+            .speed(2.0)
+            .security_level(0.6)
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+fn job(id: u64, arrival: f64, work: f64) -> Job {
+    Job::builder(id)
+        .arrival(Time::new(arrival))
+        .work(work)
+        .security_demand(0.5)
+        .build()
+        .unwrap()
+}
+
+fn spawn_daemon(policy: BatchPolicy, options: DaemonOptions) -> Daemon {
+    let config = SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(policy);
+    let session = OnlineSession::new(grid(), Box::new(EarliestCompletion), &config).unwrap();
+    Daemon::spawn(session, "127.0.0.1:0", options).unwrap()
+}
+
+fn shutdown(client: &mut Client, daemon: Daemon) {
+    assert_eq!(client.send(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join();
+}
+
+#[test]
+fn malformed_frames_get_errors_and_the_connection_survives() {
+    let daemon = spawn_daemon(BatchPolicy::Periodic, DaemonOptions::default());
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    // Broken JSON.
+    match client.send_line("{not json").unwrap() {
+        Response::Error { message } => assert!(message.contains("invalid frame")),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Valid JSON, unknown frame type.
+    match client.send_line("{\"type\":\"fandango\"}").unwrap() {
+        Response::Error { message } => assert!(message.contains("fandango")),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Valid JSON, not an object.
+    assert!(matches!(
+        client.send_line("42").unwrap(),
+        Response::Error { .. }
+    ));
+    // The connection still serves real frames.
+    let r = client
+        .send(&Request::Submit {
+            jobs: vec![job(0, 0.0, 5.0)],
+        })
+        .unwrap();
+    assert_eq!(
+        r,
+        Response::Accepted {
+            jobs: 1,
+            pending: 1,
+            rounds: 0
+        }
+    );
+    shutdown(&mut client, daemon);
+}
+
+#[test]
+fn semantic_errors_leave_the_session_usable() {
+    let daemon = spawn_daemon(BatchPolicy::Periodic, DaemonOptions::default());
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    client
+        .send(&Request::Submit {
+            jobs: vec![job(1, 5.0, 5.0)],
+        })
+        .unwrap();
+    // Time runs backwards → rejected with a pointer at the clock.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(2, 1.0, 5.0)],
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("arrival order")),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Duplicate id → rejected.
+    assert!(matches!(
+        client
+            .send(&Request::Submit {
+                jobs: vec![job(1, 6.0, 5.0)]
+            })
+            .unwrap(),
+        Response::Error { .. }
+    ));
+    // Too wide for every site → rejected.
+    let wide = Job::builder(9).width(64).build().unwrap();
+    assert!(matches!(
+        client.send(&Request::Submit { jobs: vec![wide] }).unwrap(),
+        Response::Error { .. }
+    ));
+    // Bad reconfigure → rejected; good one applies.
+    assert!(matches!(
+        client
+            .send(&Request::Reconfigure {
+                security_levels: vec![0.5]
+            })
+            .unwrap(),
+        Response::Error { .. }
+    ));
+    assert_eq!(
+        client
+            .send(&Request::Reconfigure {
+                security_levels: vec![0.9, 0.9]
+            })
+            .unwrap(),
+        Response::Reconfigured { sites: 2 }
+    );
+    // And the original job still schedules.
+    match client.send(&Request::Drain).unwrap() {
+        Response::Drained { jobs_scheduled, .. } => assert_eq!(jobs_scheduled, 1),
+        other => panic!("drain failed: {other:?}"),
+    }
+    shutdown(&mut client, daemon);
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_desyncing_the_stream() {
+    let daemon = spawn_daemon(
+        BatchPolicy::Periodic,
+        DaemonOptions {
+            max_line_bytes: 256,
+            ..DaemonOptions::default()
+        },
+    );
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let huge = format!("{{\"type\":\"submit\",\"pad\":\"{}\"}}", "x".repeat(1000));
+    match client.send_line(&huge).unwrap() {
+        Response::Error { message } => assert!(message.contains("too long")),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Framing is intact: the next real frame works.
+    assert!(matches!(
+        client
+            .send(&Request::Query {
+                what: QueryWhat::Metrics
+            })
+            .unwrap(),
+        Response::Metrics { .. }
+    ));
+    shutdown(&mut client, daemon);
+}
+
+#[test]
+fn partial_writes_reassemble_into_frames() {
+    let daemon = spawn_daemon(BatchPolicy::Periodic, DaemonOptions::default());
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    // Dribble a submit frame over the socket a few bytes at a time.
+    let frame = "{\"type\":\"submit\",\"jobs\":[{\"id\":5,\"arrival\":0.0,\"width\":1,\
+                 \"work\":20.0,\"security_demand\":0.4}]}\n";
+    let mut raw = TcpStream::connect(daemon.addr()).unwrap();
+    for chunk in frame.as_bytes().chunks(3) {
+        raw.write_all(chunk).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut dribbled = Client::from_stream(raw).unwrap();
+    assert_eq!(
+        dribbled.read_response().unwrap(),
+        Response::Accepted {
+            jobs: 1,
+            pending: 1,
+            rounds: 0
+        }
+    );
+    shutdown(&mut client, daemon);
+}
+
+#[test]
+fn mid_round_disconnect_does_not_lose_submitted_jobs() {
+    let daemon = spawn_daemon(BatchPolicy::Periodic, DaemonOptions::default());
+    {
+        let mut doomed = Client::connect(daemon.addr()).unwrap();
+        doomed
+            .send(&Request::Submit {
+                jobs: vec![job(0, 1.0, 5.0), job(1, 2.0, 5.0)],
+            })
+            .unwrap();
+        // Connection dropped here, jobs still pending in the daemon.
+    }
+    let mut survivor = Client::connect(daemon.addr()).unwrap();
+    match survivor.send(&Request::Drain).unwrap() {
+        Response::Drained {
+            jobs_scheduled,
+            rounds,
+        } => {
+            assert_eq!(jobs_scheduled, 2);
+            assert!(rounds >= 1);
+        }
+        other => panic!("drain failed: {other:?}"),
+    }
+    shutdown(&mut survivor, daemon);
+}
+
+#[test]
+fn two_clients_interleave_deterministically() {
+    // Lock-step acks make the ingest order (and thus the schedule)
+    // deterministic; the reference replay over one client must match.
+    let run_split = || {
+        let daemon = spawn_daemon(BatchPolicy::CountTriggered(2), DaemonOptions::default());
+        let mut a = Client::connect(daemon.addr()).unwrap();
+        let mut b = Client::connect(daemon.addr()).unwrap();
+        for i in 0..6u64 {
+            let j = job(i, i as f64, 10.0 + i as f64);
+            let c = if i % 2 == 0 { &mut a } else { &mut b };
+            match c.send(&Request::Submit { jobs: vec![j] }).unwrap() {
+                Response::Accepted { .. } => {}
+                other => panic!("submit failed: {other:?}"),
+            }
+        }
+        a.send(&Request::Drain).unwrap();
+        let out = match a
+            .send(&Request::Query {
+                what: QueryWhat::Schedule,
+            })
+            .unwrap()
+        {
+            Response::Schedule { assignments } => assignments,
+            other => panic!("query failed: {other:?}"),
+        };
+        shutdown(&mut a, daemon);
+        out
+    };
+    let split = run_split();
+    // Reference: the same six jobs through one connection.
+    let daemon = spawn_daemon(BatchPolicy::CountTriggered(2), DaemonOptions::default());
+    let mut solo = Client::connect(daemon.addr()).unwrap();
+    for i in 0..6u64 {
+        solo.send(&Request::Submit {
+            jobs: vec![job(i, i as f64, 10.0 + i as f64)],
+        })
+        .unwrap();
+    }
+    solo.send(&Request::Drain).unwrap();
+    let reference = match solo
+        .send(&Request::Query {
+            what: QueryWhat::Schedule,
+        })
+        .unwrap()
+    {
+        Response::Schedule { assignments } => assignments,
+        other => panic!("query failed: {other:?}"),
+    };
+    shutdown(&mut solo, daemon);
+    assert_eq!(split, reference);
+    assert_eq!(split.len(), 6);
+    assert_eq!(split[0].job, JobId(0));
+}
+
+#[test]
+fn wall_clock_mode_fires_timeout_boundaries() {
+    // A 50 ms interval: the daemon must schedule the job on its own
+    // timer without any further client traffic.
+    let config = SimConfig::default()
+        .with_interval(Time::new(0.05))
+        .with_batch_policy(BatchPolicy::Periodic);
+    let session = OnlineSession::new(grid(), Box::new(EarliestCompletion), &config).unwrap();
+    let daemon = Daemon::spawn(
+        session,
+        "127.0.0.1:0",
+        DaemonOptions {
+            clock: ClockMode::WallClock,
+            ..DaemonOptions::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    client
+        .send(&Request::Submit {
+            jobs: vec![job(0, 0.0, 1.0)],
+        })
+        .unwrap();
+    let mut scheduled = 0;
+    for _ in 0..100 {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        if let Response::Metrics { metrics } = client
+            .send(&Request::Query {
+                what: QueryWhat::Metrics,
+            })
+            .unwrap()
+        {
+            scheduled = metrics.jobs_scheduled;
+            if scheduled == 1 {
+                break;
+            }
+        }
+    }
+    assert_eq!(scheduled, 1, "timer boundary never fired");
+    shutdown(&mut client, daemon);
+}

@@ -17,14 +17,12 @@
 use crate::config::{BatchPolicy, EstimateModel, SimConfig};
 use crate::event::{EventKind, EventQueue};
 use crate::report::SimOutput;
-use crate::scheduler::{BatchJob, BatchScheduler, GridView};
+use crate::round::RoundDriver;
+use crate::scheduler::{BatchJob, BatchScheduler};
 use crate::timeline::{AttemptSpan, Timeline};
-use gridsec_core::etc::NodeAvailability;
 use gridsec_core::metrics::{JobOutcome, MetricsCollector};
 use gridsec_core::rng::{stream, Stream};
-use gridsec_core::{
-    BatchSchedule, Error, FailureDetection, Grid, Job, JobId, Result, SiteId, Time,
-};
+use gridsec_core::{Error, FailureDetection, Grid, Job, JobId, Result, SiteId, Time};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -48,21 +46,18 @@ struct JobState {
 /// Most callers use the [`simulate`] convenience function; the struct form
 /// exists for step-wise tests and custom instrumentation.
 pub struct Simulator<'a, S: BatchScheduler + ?Sized> {
-    grid: Grid,
+    /// The batch/round core (grid, availability, pending queue, batch
+    /// accounting) shared with the serving daemon.
+    rounds: RoundDriver,
     scheduler: &'a mut S,
     config: SimConfig,
     events: EventQueue,
-    avail: Vec<NodeAvailability>,
-    pending: Vec<BatchJob>,
     states: HashMap<JobId, JobState>,
     metrics: MetricsCollector,
     failure_rng: ChaCha8Rng,
     walk_rng: ChaCha8Rng,
     boundary_scheduled: Option<Time>,
     now: Time,
-    n_batches: usize,
-    batch_sizes: Vec<usize>,
-    scheduler_nanos: u128,
     total_jobs: usize,
     replica_dispatches: usize,
     timeline: Option<Timeline>,
@@ -112,30 +107,26 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
         if let Some(d) = &config.sl_dynamics {
             events.push(d.period, EventKind::SlWalk);
         }
-        let avail = grid
-            .sites()
-            .map(|s| NodeAvailability::new(s.nodes, Time::ZERO))
-            .collect();
         let metrics = MetricsCollector::new(
             grid.sites().map(|s| s.nodes).collect(),
             grid.sites().map(|s| s.speed).collect(),
         );
         Ok(Simulator {
-            grid: grid.clone(),
+            rounds: RoundDriver::new(
+                grid.clone(),
+                config.batch_policy,
+                config.security,
+                config.max_replicas,
+            ),
             scheduler,
             config: config.clone(),
             events,
-            avail,
-            pending: Vec::new(),
             states,
             metrics,
             failure_rng: stream(config.seed, Stream::Failure),
             walk_rng: stream(config.seed, Stream::Custom(0x51D9)),
             boundary_scheduled: None,
             now: Time::ZERO,
-            n_batches: 0,
-            batch_sizes: Vec::new(),
-            scheduler_nanos: 0,
             total_jobs: workload.len(),
             replica_dispatches: 0,
             timeline: if config.record_timeline {
@@ -172,17 +163,18 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
                 assigned: completed,
             });
         }
+        let batch_sizes = self.rounds.batch_sizes();
         Ok(SimOutput {
             scheduler_name: self.scheduler.name(),
             metrics: self.metrics.report(None),
-            n_batches: self.n_batches,
-            mean_batch_size: if self.batch_sizes.is_empty() {
+            n_batches: self.rounds.n_rounds(),
+            mean_batch_size: if batch_sizes.is_empty() {
                 0.0
             } else {
-                self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
+                batch_sizes.iter().sum::<usize>() as f64 / batch_sizes.len() as f64
             },
-            max_batch_size: self.batch_sizes.iter().copied().max().unwrap_or(0),
-            scheduler_seconds: self.scheduler_nanos as f64 / 1e9,
+            max_batch_size: batch_sizes.iter().copied().max().unwrap_or(0),
+            scheduler_seconds: self.rounds.scheduler_nanos() as f64 / 1e9,
             replica_dispatches: self.replica_dispatches,
             timeline: self.timeline,
             seed: self.config.seed,
@@ -199,7 +191,7 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
 
     fn on_arrival(&mut self, id: JobId) {
         let bj = self.scheduler_view_of(id, false);
-        self.pending.push(bj);
+        self.rounds.enqueue(bj);
         self.after_enqueue();
     }
 
@@ -215,7 +207,7 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
                 // (fail-stop rule).
                 state.failures += 1;
                 let bj = self.scheduler_view_of(id, true);
-                self.pending.push(bj);
+                self.rounds.enqueue(bj);
                 self.after_enqueue();
             }
         } else if !state.done {
@@ -236,76 +228,11 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
 
     fn on_boundary(&mut self) -> Result<()> {
         self.boundary_scheduled = None;
-        if self.pending.is_empty() {
+        let Some(outcome) = self.rounds.run_round(&mut *self.scheduler, self.now)? else {
             return Ok(());
-        }
-        let batch = std::mem::take(&mut self.pending);
-        self.n_batches += 1;
-        self.batch_sizes.push(batch.len());
-        let schedule = {
-            let view = GridView {
-                grid: &self.grid,
-                avail: &self.avail,
-                now: self.now,
-                model: self.config.security,
-            };
-            let t0 = std::time::Instant::now();
-            let s = self.scheduler.schedule(&batch, &view);
-            self.scheduler_nanos += t0.elapsed().as_nanos();
-            s
         };
-        self.validate_schedule(&schedule, &batch)?;
-        for a in &schedule.assignments {
+        for a in &outcome.schedule.assignments {
             self.dispatch(a.job, a.site);
-        }
-        Ok(())
-    }
-
-    /// Replication-aware validation: every batch job covered at least
-    /// once, at most `max_replicas` times, on distinct fitting sites.
-    fn validate_schedule(&self, schedule: &BatchSchedule, batch: &[BatchJob]) -> Result<()> {
-        // One job→sites index instead of per-assignment map churn; the
-        // replica checks below run off the indexed site lists.
-        let index = schedule.index();
-        let in_batch: HashMap<JobId, u32> = batch.iter().map(|b| (b.job.id, b.job.width)).collect();
-        for a in &schedule.assignments {
-            let width = *in_batch.get(&a.job).ok_or(Error::UnknownJob(a.job.0))?;
-            let site = self.grid.get(a.site).ok_or(Error::UnknownSite(a.site.0))?;
-            if !site.fits_width(width) {
-                return Err(Error::WidthExceedsSite {
-                    job: a.job.0,
-                    width,
-                    site_nodes: site.nodes,
-                });
-            }
-        }
-        for b in batch {
-            let sites = index.sites_of(b.job.id);
-            if sites.len() as u32 > self.config.max_replicas {
-                return Err(Error::invalid(
-                    "schedule",
-                    format!(
-                        "job {} assigned {} times (max_replicas = {})",
-                        b.job.id,
-                        sites.len(),
-                        self.config.max_replicas
-                    ),
-                ));
-            }
-            for (i, s) in sites.iter().enumerate() {
-                if sites[..i].contains(s) {
-                    return Err(Error::invalid(
-                        "schedule",
-                        format!("job {} replicated twice on site {}", b.job.id, s),
-                    ));
-                }
-            }
-        }
-        if index.n_jobs() != batch.len() {
-            return Err(Error::IncompleteSchedule {
-                expected: batch.len(),
-                assigned: index.n_jobs(),
-            });
         }
         Ok(())
     }
@@ -313,13 +240,13 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
     /// Starts one attempt of `job` on `site`, sampling failure per Eq. (1)
     /// against the site's *current* security level.
     fn dispatch(&mut self, id: JobId, site_id: SiteId) {
-        let site = self.grid.site(site_id).clone();
+        let site = self.rounds.grid().site(site_id).clone();
         let state = self.states.get_mut(&id).expect("known job");
         let job = state.job.clone();
         if state.outstanding > 0 {
             self.replica_dispatches += 1;
         }
-        let start = self.avail[site_id.0]
+        let start = self.rounds.avail()[site_id.0]
             .earliest_start(job.width, self.now.max(job.arrival))
             .expect("validated width");
         let exec = job.exec_time(site.speed);
@@ -342,7 +269,7 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
             exec
         };
         let end = start + occupied;
-        self.avail[site_id.0].commit(job.width, end);
+        self.rounds.avail_mut()[site_id.0].commit(job.width, end);
         self.metrics.record_busy(site_id, job.width, occupied);
         if state.first_start.is_none() {
             state.first_start = Some(start);
@@ -375,10 +302,10 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
             .config
             .sl_dynamics
             .expect("SlWalk only scheduled with dynamics");
-        let sites: Vec<SiteId> = self.grid.site_ids().collect();
+        let sites: Vec<SiteId> = self.rounds.grid().site_ids().collect();
         let mut walked = Vec::with_capacity(sites.len());
         for id in sites {
-            let site = self.grid.site(id);
+            let site = self.rounds.grid().site(id);
             let delta = if d.step > 0.0 {
                 self.walk_rng.gen_range(-d.step..=d.step)
             } else {
@@ -389,7 +316,9 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
             new_site.security_level = sl;
             walked.push(new_site);
         }
-        self.grid = Grid::new(walked).expect("walked grid stays valid");
+        self.rounds
+            .set_grid(Grid::new(walked).expect("walked grid stays valid"))
+            .expect("walked grid keeps its site count");
         // Keep walking while the run is still active.
         if self.metrics.completed() < self.total_jobs {
             self.events.push(self.now + d.period, EventKind::SlWalk);
@@ -400,15 +329,8 @@ impl<'a, S: BatchScheduler + ?Sized> Simulator<'a, S> {
     fn after_enqueue(&mut self) {
         match self.config.batch_policy {
             BatchPolicy::Periodic => self.ensure_boundary(),
-            BatchPolicy::CountTriggered(k) => {
-                if self.pending.len() >= k {
-                    self.events.push(self.now, EventKind::BatchBoundary);
-                } else {
-                    self.ensure_boundary();
-                }
-            }
-            BatchPolicy::Hybrid(k) => {
-                if self.pending.len() >= k {
+            BatchPolicy::CountTriggered(_) | BatchPolicy::Hybrid(_) => {
+                if self.rounds.count_trigger_reached() {
                     self.events.push(self.now, EventKind::BatchBoundary);
                 } else {
                     self.ensure_boundary();
@@ -457,8 +379,8 @@ pub fn simulate<S: BatchScheduler + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::EarliestCompletion;
-    use gridsec_core::Site;
+    use crate::scheduler::{EarliestCompletion, GridView};
+    use gridsec_core::{BatchSchedule, Site};
 
     fn safe_grid() -> Grid {
         Grid::new(vec![

@@ -35,6 +35,7 @@ pub mod engine;
 pub mod event;
 pub mod replicate;
 pub mod report;
+pub mod round;
 pub mod scheduler;
 pub mod timeline;
 
@@ -42,5 +43,6 @@ pub use config::{BatchPolicy, EstimateModel, SimConfig, SlDynamics};
 pub use engine::{simulate, Simulator};
 pub use replicate::Replicated;
 pub use report::SimOutput;
+pub use round::{CommittedAssignment, RoundDriver, RoundOutcome};
 pub use scheduler::{BatchJob, BatchScheduler, GridView};
 pub use timeline::{AttemptSpan, Timeline};

@@ -1,0 +1,389 @@
+//! The reusable batch/round core: pending-queue accumulation under a
+//! [`BatchPolicy`], scheduler invocation over a [`GridView`], and
+//! replication-aware schedule validation.
+//!
+//! Both front ends drive the same `RoundDriver`:
+//!
+//! * the discrete-event [`Simulator`](crate::Simulator), where rounds fire
+//!   at simulated batch boundaries and dispatch outcomes (including
+//!   failures) feed back into the availability model, and
+//! * the `gridsec-serve` daemon, where rounds fire on submitted traffic
+//!   and committed assignments are the served schedule.
+//!
+//! Keeping the queue, the trigger logic and the validation in one place
+//! guarantees the daemon schedules exactly like the simulator for the same
+//! job stream and policy — the golden cross-check test in `crates/serve`
+//! pins that equivalence bit for bit.
+
+use crate::config::BatchPolicy;
+use crate::scheduler::{BatchJob, BatchScheduler, GridView};
+use gridsec_core::etc::NodeAvailability;
+use gridsec_core::{BatchSchedule, Error, Grid, JobId, Result, SecurityModel, SiteId, Time};
+use std::collections::HashMap;
+
+/// Everything one scheduling round produced.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// The batch handed to the scheduler (taken from the pending queue).
+    pub batch: Vec<BatchJob>,
+    /// The validated schedule, in dispatch order.
+    pub schedule: BatchSchedule,
+    /// Wall-clock nanoseconds spent inside the scheduler for this round.
+    pub scheduler_nanos: u128,
+}
+
+/// One assignment as committed against the availability model — the
+/// daemon's unit of served schedule (mirrors the simulator's dispatch
+/// arithmetic exactly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommittedAssignment {
+    /// The job placed.
+    pub job: JobId,
+    /// The site it was placed on.
+    pub site: SiteId,
+    /// Nodes occupied.
+    pub width: u32,
+    /// Start of execution (earliest fit at or after the round instant).
+    pub start: Time,
+    /// End of execution (`start + work / speed`).
+    pub end: Time,
+}
+
+/// The batch/round state machine shared by the engine and the daemon.
+#[derive(Debug)]
+pub struct RoundDriver {
+    grid: Grid,
+    avail: Vec<NodeAvailability>,
+    pending: Vec<BatchJob>,
+    policy: BatchPolicy,
+    model: SecurityModel,
+    max_replicas: u32,
+    n_rounds: usize,
+    batch_sizes: Vec<usize>,
+    scheduler_nanos: u128,
+}
+
+impl RoundDriver {
+    /// A fresh driver over `grid`: empty queue, all nodes free at t = 0.
+    pub fn new(
+        grid: Grid,
+        policy: BatchPolicy,
+        model: SecurityModel,
+        max_replicas: u32,
+    ) -> RoundDriver {
+        let avail = grid
+            .sites()
+            .map(|s| NodeAvailability::new(s.nodes, Time::ZERO))
+            .collect();
+        RoundDriver {
+            grid,
+            avail,
+            pending: Vec::new(),
+            policy,
+            model,
+            max_replicas,
+            n_rounds: 0,
+            batch_sizes: Vec::new(),
+            scheduler_nanos: 0,
+        }
+    }
+
+    /// Adds a job to the pending queue.
+    pub fn enqueue(&mut self, job: BatchJob) {
+        self.pending.push(job);
+    }
+
+    /// Whether the policy's count trigger is reached (always false for the
+    /// purely periodic policy).
+    pub fn count_trigger_reached(&self) -> bool {
+        match self.policy {
+            BatchPolicy::Periodic => false,
+            BatchPolicy::CountTriggered(k) | BatchPolicy::Hybrid(k) => self.pending.len() >= k,
+        }
+    }
+
+    /// The batching policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Jobs currently queued.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The (current) grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Replaces the grid (security-level walks, trust reconfiguration).
+    /// Site count must not change — availability state is carried over.
+    pub fn set_grid(&mut self, grid: Grid) -> Result<()> {
+        if grid.len() != self.grid.len() {
+            return Err(Error::invalid(
+                "grid",
+                format!(
+                    "cannot reconfigure from {} to {} sites mid-run",
+                    self.grid.len(),
+                    grid.len()
+                ),
+            ));
+        }
+        self.grid = grid;
+        Ok(())
+    }
+
+    /// Per-site availability (the reservation model).
+    pub fn avail(&self) -> &[NodeAvailability] {
+        &self.avail
+    }
+
+    /// Mutable availability — the engine's dispatch commits attempts here.
+    pub fn avail_mut(&mut self) -> &mut [NodeAvailability] {
+        &mut self.avail
+    }
+
+    /// Number of non-empty rounds run so far.
+    pub fn n_rounds(&self) -> usize {
+        self.n_rounds
+    }
+
+    /// Sizes of every non-empty batch scheduled so far.
+    pub fn batch_sizes(&self) -> &[usize] {
+        &self.batch_sizes
+    }
+
+    /// Total wall-clock nanoseconds spent inside the scheduler.
+    pub fn scheduler_nanos(&self) -> u128 {
+        self.scheduler_nanos
+    }
+
+    /// Runs one scheduling round at instant `now`: takes the pending
+    /// queue as the batch, invokes the scheduler over the current grid
+    /// view, and validates the result (replication-aware). Returns
+    /// `Ok(None)` when nothing is pending.
+    ///
+    /// The returned schedule is **not** committed to the availability
+    /// model; the engine commits per dispatch (failures shorten
+    /// occupancy), the daemon commits via
+    /// [`RoundDriver::commit_assignment`].
+    pub fn run_round<S: BatchScheduler + ?Sized>(
+        &mut self,
+        scheduler: &mut S,
+        now: Time,
+    ) -> Result<Option<RoundOutcome>> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.n_rounds += 1;
+        self.batch_sizes.push(batch.len());
+        let view = GridView {
+            grid: &self.grid,
+            avail: &self.avail,
+            now,
+            model: self.model,
+        };
+        let t0 = std::time::Instant::now();
+        let schedule = scheduler.schedule(&batch, &view);
+        let scheduler_nanos = t0.elapsed().as_nanos();
+        self.scheduler_nanos += scheduler_nanos;
+        self.validate_schedule(&schedule, &batch)?;
+        Ok(Some(RoundOutcome {
+            batch,
+            schedule,
+            scheduler_nanos,
+        }))
+    }
+
+    /// Replication-aware validation: every batch job covered at least
+    /// once, at most `max_replicas` times, on distinct fitting sites.
+    fn validate_schedule(&self, schedule: &BatchSchedule, batch: &[BatchJob]) -> Result<()> {
+        // One job→sites index instead of per-assignment map churn; the
+        // replica checks below run off the indexed site lists.
+        let index = schedule.index();
+        let in_batch: HashMap<JobId, u32> = batch.iter().map(|b| (b.job.id, b.job.width)).collect();
+        for a in &schedule.assignments {
+            let width = *in_batch.get(&a.job).ok_or(Error::UnknownJob(a.job.0))?;
+            let site = self.grid.get(a.site).ok_or(Error::UnknownSite(a.site.0))?;
+            if !site.fits_width(width) {
+                return Err(Error::WidthExceedsSite {
+                    job: a.job.0,
+                    width,
+                    site_nodes: site.nodes,
+                });
+            }
+        }
+        for b in batch {
+            let sites = index.sites_of(b.job.id);
+            if sites.len() as u32 > self.max_replicas {
+                return Err(Error::invalid(
+                    "schedule",
+                    format!(
+                        "job {} assigned {} times (max_replicas = {})",
+                        b.job.id,
+                        sites.len(),
+                        self.max_replicas
+                    ),
+                ));
+            }
+            for (i, s) in sites.iter().enumerate() {
+                if sites[..i].contains(s) {
+                    return Err(Error::invalid(
+                        "schedule",
+                        format!("job {} replicated twice on site {}", b.job.id, s),
+                    ));
+                }
+            }
+        }
+        if index.n_jobs() != batch.len() {
+            return Err(Error::IncompleteSchedule {
+                expected: batch.len(),
+                assigned: index.n_jobs(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Commits one assignment as a *successful* execution: the job
+    /// occupies `width` nodes from its earliest fit (at or after `now`)
+    /// for its full execution time. This is exactly the simulator's
+    /// dispatch arithmetic in the no-failure case, so a daemon committing
+    /// every assignment of every round reproduces the engine's
+    /// availability trajectory bit for bit.
+    pub fn commit_assignment(
+        &mut self,
+        job: &gridsec_core::Job,
+        site_id: SiteId,
+        now: Time,
+    ) -> CommittedAssignment {
+        let site = self.grid.site(site_id).clone();
+        let start = self.avail[site_id.0]
+            .earliest_start(job.width, now.max(job.arrival))
+            .expect("validated width");
+        let end = start + job.exec_time(site.speed);
+        self.avail[site_id.0].commit(job.width, end);
+        CommittedAssignment {
+            job: job.id,
+            site: site_id,
+            width: job.width,
+            start,
+            end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::EarliestCompletion;
+    use gridsec_core::{Job, Site};
+
+    fn grid2() -> Grid {
+        Grid::new(vec![
+            Site::builder(0)
+                .nodes(2)
+                .speed(1.0)
+                .security_level(1.0)
+                .build()
+                .unwrap(),
+            Site::builder(1)
+                .nodes(2)
+                .speed(2.0)
+                .security_level(1.0)
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn bj(id: u64, work: f64) -> BatchJob {
+        BatchJob {
+            job: Job::builder(id)
+                .work(work)
+                .security_demand(0.5)
+                .build()
+                .unwrap(),
+            secure_only: false,
+        }
+    }
+
+    #[test]
+    fn empty_queue_round_is_a_noop() {
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        let out = d.run_round(&mut EarliestCompletion, Time::ZERO).unwrap();
+        assert!(out.is_none());
+        assert_eq!(d.n_rounds(), 0);
+    }
+
+    #[test]
+    fn round_drains_queue_and_counts() {
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        d.enqueue(bj(0, 10.0));
+        d.enqueue(bj(1, 20.0));
+        let out = d
+            .run_round(&mut EarliestCompletion, Time::new(5.0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.batch.len(), 2);
+        assert_eq!(out.schedule.len(), 2);
+        assert_eq!(d.pending_len(), 0);
+        assert_eq!(d.n_rounds(), 1);
+        assert_eq!(d.batch_sizes(), &[2]);
+    }
+
+    #[test]
+    fn count_trigger_matches_policy() {
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Hybrid(2), Default::default(), 1);
+        d.enqueue(bj(0, 10.0));
+        assert!(!d.count_trigger_reached());
+        d.enqueue(bj(1, 10.0));
+        assert!(d.count_trigger_reached());
+        let periodic = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        assert!(!periodic.count_trigger_reached());
+    }
+
+    #[test]
+    fn commit_follows_engine_arithmetic() {
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        let job = Job::builder(0)
+            .work(100.0)
+            .arrival(Time::new(3.0))
+            .build()
+            .unwrap();
+        // Site 1 has speed 2 → exec 50, start at max(now, arrival) = 10.
+        let c = d.commit_assignment(&job, SiteId(1), Time::new(10.0));
+        assert_eq!(c.start, Time::new(10.0));
+        assert_eq!(c.end, Time::new(60.0));
+        // The second commit on the same site queues behind the first
+        // (width 1 on a 2-node site runs in parallel; occupy both nodes).
+        let wide = Job::builder(1).width(2).work(10.0).build().unwrap();
+        let c2 = d.commit_assignment(&wide, SiteId(1), Time::new(10.0));
+        assert_eq!(c2.start, Time::new(60.0));
+    }
+
+    #[test]
+    fn validation_rejects_unknown_jobs() {
+        struct Rogue;
+        impl BatchScheduler for Rogue {
+            fn name(&self) -> String {
+                "Rogue".into()
+            }
+            fn schedule(&mut self, _batch: &[BatchJob], _view: &GridView<'_>) -> BatchSchedule {
+                BatchSchedule::from_pairs([(JobId(999), SiteId(0))])
+            }
+        }
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        d.enqueue(bj(0, 10.0));
+        assert!(d.run_round(&mut Rogue, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn set_grid_keeps_site_count() {
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        assert!(d.set_grid(grid2()).is_ok());
+        let one = Grid::new(vec![Site::builder(0).nodes(1).build().unwrap()]).unwrap();
+        assert!(d.set_grid(one).is_err());
+    }
+}

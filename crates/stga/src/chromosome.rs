@@ -43,14 +43,25 @@ impl Chromosome {
     /// Panics if any candidate list is empty (engine-validated batches
     /// always have candidates).
     pub fn random<R: Rng + ?Sized>(candidates: &[Vec<usize>], rng: &mut R) -> Self {
-        let genes = candidates
-            .iter()
-            .map(|c| {
-                assert!(!c.is_empty(), "every job needs at least one candidate");
-                c[rng.gen_range(0..c.len())] as u16
-            })
-            .collect();
-        Chromosome { genes }
+        let mut c = Chromosome { genes: Vec::new() };
+        c.randomize_from(candidates, rng);
+        c
+    }
+
+    /// Re-randomizes this chromosome in place, reusing its gene
+    /// allocation — the population pool's replacement for
+    /// [`Chromosome::random`] when refilling recycled slots. Consumes the
+    /// exact same RNG sequence (one `gen_range` per gene, in order), so a
+    /// pooled evolve run is bit-identical to a cold one.
+    ///
+    /// # Panics
+    /// Panics if any candidate list is empty.
+    pub fn randomize_from<R: Rng + ?Sized>(&mut self, candidates: &[Vec<usize>], rng: &mut R) {
+        self.genes.clear();
+        self.genes.extend(candidates.iter().map(|c| {
+            assert!(!c.is_empty(), "every job needs at least one candidate");
+            c[rng.gen_range(0..c.len())] as u16
+        }));
     }
 
     /// Number of genes (batch size).

@@ -5,7 +5,7 @@
 
 use crate::chromosome::Chromosome;
 use crate::fitness::FitnessKind;
-use crate::ga::{evolve, GaResult};
+use crate::ga::{evolve_with_pool, GaPool, GaResult};
 use crate::params::GaParams;
 use gridsec_core::rng::{stream, Stream};
 use gridsec_core::{BatchSchedule, Result, RiskMode, SiteId};
@@ -20,6 +20,8 @@ pub struct StandardGa {
     fallback: Fallback,
     fitness: FitnessKind,
     last_result: Option<GaResult>,
+    /// Buffers reused across rounds (see [`GaPool`]).
+    pool: GaPool,
 }
 
 impl StandardGa {
@@ -33,6 +35,7 @@ impl StandardGa {
             fallback: Fallback::default(),
             fitness: FitnessKind::Makespan,
             last_result: None,
+            pool: GaPool::new(),
         })
     }
 
@@ -60,7 +63,7 @@ impl BatchScheduler for StandardGa {
 
     fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule {
         let ctx = MapCtx::build(batch, view, RiskMode::Risky, self.fallback);
-        let result = evolve(
+        let result = evolve_with_pool(
             &ctx,
             view.avail,
             Vec::<Chromosome>::new(),
@@ -68,6 +71,7 @@ impl BatchScheduler for StandardGa {
             self.fitness,
             None,
             &mut self.rng,
+            &mut self.pool,
         );
         let schedule = BatchSchedule::from_pairs(
             batch

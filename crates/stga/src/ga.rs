@@ -8,6 +8,7 @@ use crate::params::GaParams;
 use crate::selection::{elite_indices_into, RouletteWheel};
 use gridsec_core::etc::NodeAvailability;
 use gridsec_heuristics::common::MapCtx;
+use parking_lot::Mutex;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -22,6 +23,79 @@ pub struct GaResult {
     /// for convergence plots (Fig. 5 / Fig. 7b). Shorter than
     /// `generations + 1` only when `stall_limit` stopped evolution early.
     pub trajectory: Vec<f64>,
+}
+
+/// Cross-round buffer pool for the evolve loop: both population buffers,
+/// the fitness vector, the roulette table, the elite-index scratch and
+/// the odd-tail spare slot.
+///
+/// [`evolve`] builds a throwaway pool per call. A long-lived scheduler
+/// (the STGA rescheduling every batch inside the serving daemon) owns one
+/// across rounds, which amortises even the *initial* random population
+/// and first-generation buffer warm-up — the remaining ~1.4k allocations
+/// per GA run — to (near) zero; `perf_baseline` asserts that bound.
+#[derive(Debug)]
+pub struct GaPool {
+    population: Vec<Chromosome>,
+    next: Vec<Chromosome>,
+    fitness: Vec<f64>,
+    wheel: RouletteWheel,
+    elites: Vec<usize>,
+    spare: Chromosome,
+    scratch: ScratchPool,
+}
+
+impl Default for GaPool {
+    fn default() -> Self {
+        GaPool {
+            population: Vec::new(),
+            next: Vec::new(),
+            fitness: Vec::new(),
+            wheel: RouletteWheel::new(),
+            elites: Vec::new(),
+            spare: Chromosome::from_genes(Vec::new()),
+            scratch: ScratchPool::default(),
+        }
+    }
+}
+
+/// Recycled per-chunk fitness-evaluation scratch (the availability
+/// vectors `evaluate_with_scratch` replays schedules into). Each parallel
+/// chunk checks a buffer out at `map_init` time and its drop guard checks
+/// it back in, so a warm pool serves every generation of every round
+/// without allocating. Scratch contents never influence results —
+/// `evaluate_with_scratch` fully resets the buffer per chromosome — so
+/// recycling is invisible to the digest.
+#[derive(Debug, Default)]
+struct ScratchPool(Mutex<Vec<Vec<NodeAvailability>>>);
+
+impl ScratchPool {
+    fn acquire(&self) -> ScratchGuard<'_> {
+        ScratchGuard {
+            pool: self,
+            buf: self.0.lock().pop().unwrap_or_default(),
+        }
+    }
+}
+
+/// A checked-out scratch buffer; returns itself to the pool on drop.
+struct ScratchGuard<'p> {
+    pool: &'p ScratchPool,
+    buf: Vec<NodeAvailability>,
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.0.lock().push(std::mem::take(&mut self.buf));
+    }
+}
+
+impl GaPool {
+    /// An empty pool; buffers warm up over the first run and are reused
+    /// verbatim afterwards.
+    pub fn new() -> GaPool {
+        GaPool::default()
+    }
 }
 
 /// Evolves `initial` over `params.generations` generations and returns the
@@ -42,7 +116,8 @@ pub fn evolve<R: Rng + ?Sized>(
     risk: Option<&RiskWeights>,
     rng: &mut R,
 ) -> GaResult {
-    evolve_population(ctx, base_avail, initial, params, kind, risk, rng).0
+    let mut pool = GaPool::new();
+    evolve_with_pool(ctx, base_avail, initial, params, kind, risk, rng, &mut pool)
 }
 
 /// Like [`evolve`], but also returns the final population and its fitness
@@ -58,66 +133,124 @@ pub fn evolve_population<R: Rng + ?Sized>(
     risk: Option<&RiskWeights>,
     rng: &mut R,
 ) -> (GaResult, Vec<Chromosome>, Vec<f64>) {
+    let mut pool = GaPool::new();
+    let r = evolve_with_pool(ctx, base_avail, initial, params, kind, risk, rng, &mut pool);
+    if ctx.n_jobs() == 1 {
+        // The exact single-job path never touches the pool.
+        let population = vec![r.best.clone()];
+        let fitness = vec![r.best_fitness];
+        return (r, population, fitness);
+    }
+    (r, pool.population, pool.fitness)
+}
+
+/// The pooled core of [`evolve`]: identical behaviour (bit for bit — the
+/// RNG consumption does not depend on the pool's warmth), but every
+/// buffer lives in `pool` and survives the call for reuse by the next
+/// scheduling round.
+#[allow(clippy::too_many_arguments)] // the pooled variant of evolve's already-wide signature
+pub fn evolve_with_pool<R: Rng + ?Sized>(
+    ctx: &MapCtx,
+    base_avail: &[NodeAvailability],
+    initial: Vec<Chromosome>,
+    params: &GaParams,
+    kind: FitnessKind,
+    risk: Option<&RiskWeights>,
+    rng: &mut R,
+    pool: &mut GaPool,
+) -> GaResult {
     params.validate().expect("GA parameters must be valid");
     let n = ctx.n_jobs();
     assert!(n > 0, "cannot evolve an empty batch");
 
     if n == 1 {
-        let r = solve_single_job(ctx, base_avail, params, kind, risk);
-        let fitness = vec![r.best_fitness];
-        let population = vec![r.best.clone()];
-        return (r, population, fitness);
+        return solve_single_job(ctx, base_avail, params, kind, risk);
     }
 
-    let mut population: Vec<Chromosome> = initial
-        .into_iter()
-        .filter(|c| c.len() == n)
-        .take(params.population)
-        .collect();
-    while population.len() < params.population {
-        population.push(Chromosome::random(&ctx.candidates, rng));
+    let GaPool {
+        population,
+        next,
+        fitness,
+        wheel,
+        elites,
+        spare,
+        scratch,
+    } = pool;
+    let scratch = &*scratch;
+    // A population-size change between rounds just resizes the buffers.
+    population.truncate(params.population);
+    next.truncate(params.population);
+
+    // Seed chromosomes overwrite recycled slots (clone_from reuses the
+    // slot's gene allocation); random fill re-randomizes in place. Both
+    // consume exactly the RNG draws the cold path did.
+    let mut seeded = 0;
+    for c in initial {
+        if seeded == params.population {
+            break;
+        }
+        if c.len() != n {
+            continue;
+        }
+        match population.get_mut(seeded) {
+            Some(slot) => slot.clone_from(&c),
+            None => population.push(c),
+        }
+        seeded += 1;
+    }
+    while seeded < params.population {
+        match population.get_mut(seeded) {
+            Some(slot) => slot.randomize_from(&ctx.candidates, rng),
+            None => population.push(Chromosome::random(&ctx.candidates, rng)),
+        }
+        seeded += 1;
     }
 
     let eval_all = |pop: &[Chromosome], out: &mut Vec<f64>| {
         pop.par_iter()
-            .map_init(Vec::new, |scratch, c| {
-                evaluate_with_scratch(ctx, base_avail, scratch, c, kind, risk, params.flow_weight)
-            })
+            .map_init(
+                || scratch.acquire(),
+                |guard, c| {
+                    evaluate_with_scratch(
+                        ctx,
+                        base_avail,
+                        &mut guard.buf,
+                        c,
+                        kind,
+                        risk,
+                        params.flow_weight,
+                    )
+                },
+            )
             .collect_into(out);
     };
 
-    let mut fitness: Vec<f64> = Vec::new();
-    eval_all(&population, &mut fitness);
-    let (mut best, mut best_fitness) = current_best(&population, &fitness);
+    eval_all(population, fitness);
+    let (mut best, mut best_fitness) = current_best(population, fitness);
     let mut trajectory = Vec::with_capacity(params.generations + 1);
     trajectory.push(best_fitness);
     let mut stall = 0usize;
 
-    // Double-buffered generation state, allocated once for the whole run:
-    // `next` is the other population buffer (swapped in each generation,
-    // so chromosome slots — and their gene vectors, via `clone_from` —
-    // are recycled), `wheel` owns the cumulative selection table,
-    // `elites` the elite-index scratch, and `spare` absorbs the unplaced
-    // second child when the non-elite count is odd. After the first
-    // generation warms the buffers, a generation allocates nothing.
-    let mut next: Vec<Chromosome> = Vec::with_capacity(params.population);
-    let mut wheel = RouletteWheel::new();
-    let mut elites: Vec<usize> = Vec::new();
-    let mut spare = Chromosome::from_genes(Vec::new());
-
+    // Double-buffered generation state: `next` is the other population
+    // buffer (swapped in each generation, so chromosome slots — and their
+    // gene vectors, via `clone_from` — are recycled), `wheel` owns the
+    // cumulative selection table, `elites` the elite-index scratch, and
+    // `spare` absorbs the unplaced second child when the non-elite count
+    // is odd. Once the pool's buffers are warm, a whole run allocates
+    // nothing beyond the returned result.
     for _ in 0..params.generations {
-        wheel.rebuild(&fitness);
-        elite_indices_into(&fitness, params.elitism, &mut elites);
+        wheel.rebuild(fitness);
+        elite_indices_into(fitness, params.elitism, elites);
         // All slots must exist up front so children can be built in
         // place; the placeholders are allocation-free and only ever
-        // constructed in the first generation.
+        // constructed while the pool warms up.
         while next.len() < params.population {
             next.push(Chromosome::from_genes(Vec::new()));
         }
         // Elite splice by index: clone the elites into the head of the
         // recycled buffer (clone_from reuses each slot's gene allocation).
         let mut filled = 0;
-        for &e in &elites {
+        for &e in elites.iter() {
             next[filled].clone_from(&population[e]);
             filled += 1;
         }
@@ -131,7 +264,11 @@ pub fn evolve_population<R: Rng + ?Sized>(
             let has_second = filled + 1 < params.population;
             let (head, tail) = next.split_at_mut(filled + 1);
             let ca = &mut head[filled];
-            let cb = if has_second { &mut tail[0] } else { &mut spare };
+            let cb = if has_second {
+                &mut tail[0]
+            } else {
+                &mut *spare
+            };
             ca.clone_from(&population[pa]);
             cb.clone_from(&population[pb]);
             if rng.gen::<f64>() < params.crossover_prob {
@@ -145,11 +282,13 @@ pub fn evolve_population<R: Rng + ?Sized>(
             }
             filled += if has_second { 2 } else { 1 };
         }
-        std::mem::swap(&mut population, &mut next);
-        eval_all(&population, &mut fitness);
-        let (gen_best, gen_fit) = current_best(&population, &fitness);
+        std::mem::swap(population, next);
+        eval_all(population, fitness);
+        let (gen_bi, gen_fit) = best_index(fitness);
         if gen_fit < best_fitness {
-            best = gen_best;
+            // clone_from reuses `best`'s gene allocation — improvements
+            // cost no heap traffic once the pool is warm.
+            best.clone_from(&population[gen_bi]);
             best_fitness = gen_fit;
             stall = 0;
         } else {
@@ -163,15 +302,11 @@ pub fn evolve_population<R: Rng + ?Sized>(
         }
     }
 
-    (
-        GaResult {
-            best,
-            best_fitness,
-            trajectory,
-        },
-        population,
-        fitness,
-    )
+    GaResult {
+        best,
+        best_fitness,
+        trajectory,
+    }
 }
 
 /// Exact solution for a single-job batch: try every candidate site.
@@ -212,12 +347,17 @@ fn solve_single_job(
 /// deterministic `indexed_min_by` tree reduction rather than left to scan
 /// order, so the result is bit-identical at every thread count.
 fn current_best(population: &[Chromosome], fitness: &[f64]) -> (Chromosome, f64) {
-    let (bi, bf) = fitness
+    let (bi, bf) = best_index(fitness);
+    (population[bi].clone(), bf)
+}
+
+/// Index and value of the minimal fitness (lowest index wins ties).
+fn best_index(fitness: &[f64]) -> (usize, f64) {
+    fitness
         .par_iter()
         .map(|&f| f)
         .indexed_min_by(|a, b| a.total_cmp(b))
-        .expect("population is non-empty");
-    (population[bi].clone(), bf)
+        .expect("population is non-empty")
 }
 
 #[cfg(test)]
@@ -425,6 +565,71 @@ mod tests {
         let (best, fit) = current_best(&population, &fitness);
         assert_eq!(fit, f64::INFINITY);
         assert_eq!(best, population[0]);
+    }
+
+    #[test]
+    fn pooled_evolve_is_bit_identical_to_cold_runs() {
+        // One pool reused over several rounds (different seeds, so
+        // different populations) must reproduce each cold run exactly —
+        // the pool only changes *where* buffers live, never RNG draws.
+        let (ctx, avail) = ctx();
+        let params = small_params().with_generations(20);
+        let mut pool = GaPool::new();
+        for seed in [5u64, 6, 7] {
+            let mut cold_rng = stream(seed, Stream::Genetic);
+            let cold = evolve(
+                &ctx,
+                &avail,
+                vec![],
+                &params,
+                FitnessKind::Makespan,
+                None,
+                &mut cold_rng,
+            );
+            let mut warm_rng = stream(seed, Stream::Genetic);
+            let warm = evolve_with_pool(
+                &ctx,
+                &avail,
+                vec![],
+                &params,
+                FitnessKind::Makespan,
+                None,
+                &mut warm_rng,
+                &mut pool,
+            );
+            assert_eq!(cold, warm, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_population_size_changes() {
+        let (ctx, avail) = ctx();
+        let mut pool = GaPool::new();
+        for pop in [40usize, 12, 30] {
+            let params = small_params().with_population(pop).with_generations(8);
+            let mut rng = stream(9, Stream::Genetic);
+            let warm = evolve_with_pool(
+                &ctx,
+                &avail,
+                vec![],
+                &params,
+                FitnessKind::Makespan,
+                None,
+                &mut rng,
+                &mut pool,
+            );
+            let mut cold_rng = stream(9, Stream::Genetic);
+            let cold = evolve(
+                &ctx,
+                &avail,
+                vec![],
+                &params,
+                FitnessKind::Makespan,
+                None,
+                &mut cold_rng,
+            );
+            assert_eq!(cold, warm, "population {pop}");
+        }
     }
 
     #[test]

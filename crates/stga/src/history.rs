@@ -129,6 +129,8 @@ fn dims_similarity_bound(a: SigDims, b: SigDims) -> f64 {
 const BOUND_MARGIN: f64 = 1e-9;
 
 /// One history entry: a past round's signature and its best schedule.
+/// This is the *wire* representation (used by [`HistoryTable::to_json`]);
+/// in memory the ETC block is interned (see [`StoredEntry`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Entry {
     /// The round's input signature.
@@ -136,6 +138,64 @@ pub struct Entry {
     /// The best chromosome the GA found for it.
     pub chromosome: Chromosome,
     last_used: u64,
+}
+
+/// An interned ETC block: entries whose batches share an execution-time
+/// matrix (every training batch inserts two entries with one signature,
+/// and recurring batches re-insert the same matrix) reference one shared
+/// allocation instead of each cloning the `jobs × sites` `f64` matrix —
+/// the matrix dominates an entry's footprint, so deduplication shrinks
+/// the table by up to the sharing factor.
+type EtcBlock = Arc<Vec<f64>>;
+
+/// FNV-1a over the exact f64 bits (plus the length), keying the intern
+/// pool. Collisions are harmless: the pool compares contents before
+/// sharing a block.
+fn etc_content_hash(etc: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h ^= etc.len() as u64;
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    for &x in etc {
+        h ^= x.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One stored round: the signature split into its parts, with the ETC
+/// matrix behind a content-hash-interned shared block.
+#[derive(Debug, Clone)]
+struct StoredEntry {
+    ready_times: Vec<f64>,
+    etc: EtcBlock,
+    demands: Vec<f64>,
+    chromosome: Chromosome,
+    last_used: u64,
+}
+
+impl StoredEntry {
+    fn dims(&self) -> SigDims {
+        (self.ready_times.len(), self.etc.len(), self.demands.len())
+    }
+
+    /// Eq. 2 similarity against a query signature (the average of the
+    /// three per-parameter similarities — identical to
+    /// [`BatchSignature::similarity`]).
+    fn similarity(&self, query: &BatchSignature) -> f64 {
+        let s1 = similarity(&self.ready_times, &query.ready_times);
+        let s2 = similarity(&self.etc, &query.etc);
+        let s3 = similarity(&self.demands, &query.demands);
+        (s1 + s2 + s3) / 3.0
+    }
+
+    /// Reassembles the full wire signature (serialisation only).
+    fn to_signature(&self) -> BatchSignature {
+        BatchSignature {
+            ready_times: self.ready_times.clone(),
+            etc: (*self.etc).clone(),
+            demands: self.demands.clone(),
+        }
+    }
 }
 
 /// Bounded LRU table of past scheduling solutions.
@@ -151,10 +211,13 @@ pub struct Entry {
 pub struct HistoryTable {
     capacity: usize,
     clock: u64,
-    entries: Vec<Entry>,
+    entries: Vec<StoredEntry>,
     /// Entry indices grouped by signature dimensions (unordered within a
     /// bucket; lookup sorts the surviving candidates).
     buckets: HashMap<SigDims, Vec<usize>>,
+    /// The ETC intern pool: content hash → blocks with that hash (more
+    /// than one only on hash collision). Pruned on eviction.
+    etc_pool: HashMap<u64, Vec<EtcBlock>>,
 }
 
 /// The serialised form: everything but the derived bucket index.
@@ -177,14 +240,46 @@ impl HistoryTable {
             clock: 0,
             entries: Vec::with_capacity(capacity),
             buckets: HashMap::new(),
+            etc_pool: HashMap::new(),
+        }
+    }
+
+    /// Interns an ETC matrix: returns the pooled block when an identical
+    /// one is already stored, otherwise adopts `etc` as a new block.
+    fn intern_etc(&mut self, etc: Vec<f64>) -> EtcBlock {
+        let hash = etc_content_hash(&etc);
+        let bucket = self.etc_pool.entry(hash).or_default();
+        if let Some(existing) = bucket.iter().find(|b| ***b == etc) {
+            return Arc::clone(existing);
+        }
+        let block = Arc::new(etc);
+        bucket.push(Arc::clone(&block));
+        block
+    }
+
+    /// Drops one entry's reference into the intern pool: when no other
+    /// entry shares the block (strong count = the entry's clone passed
+    /// here + the pool's copy), the pooled copy is removed too.
+    fn release_etc(&mut self, block: EtcBlock) {
+        if Arc::strong_count(&block) > 2 {
+            return; // other entries still share it
+        }
+        let hash = etc_content_hash(&block);
+        if let Some(bucket) = self.etc_pool.get_mut(&hash) {
+            if let Some(pos) = bucket.iter().position(|b| Arc::ptr_eq(b, &block)) {
+                bucket.swap_remove(pos);
+            }
+            if bucket.is_empty() {
+                self.etc_pool.remove(&hash);
+            }
         }
     }
 
     /// Removes entry `i` from the table, keeping the bucket index
     /// consistent with the `swap_remove` (the former last entry takes
-    /// index `i`).
+    /// index `i`) and pruning the ETC intern pool.
     fn remove_entry(&mut self, i: usize) {
-        let dims = self.entries[i].signature.dims();
+        let dims = self.entries[i].dims();
         let bucket = self.buckets.get_mut(&dims).expect("indexed entry");
         let pos = bucket.iter().position(|&x| x == i).expect("indexed entry");
         bucket.swap_remove(pos);
@@ -193,7 +288,7 @@ impl HistoryTable {
         }
         let last = self.entries.len() - 1;
         if i != last {
-            let moved_dims = self.entries[last].signature.dims();
+            let moved_dims = self.entries[last].dims();
             let moved = self
                 .buckets
                 .get_mut(&moved_dims)
@@ -203,7 +298,8 @@ impl HistoryTable {
                 .expect("indexed entry");
             *moved = i;
         }
-        self.entries.swap_remove(i);
+        let removed = self.entries.swap_remove(i);
+        self.release_etc(removed.etc);
     }
 
     /// Number of stored entries.
@@ -239,11 +335,26 @@ impl HistoryTable {
             .entry(signature.dims())
             .or_default()
             .push(self.entries.len());
-        self.entries.push(Entry {
-            signature,
+        let BatchSignature {
+            ready_times,
+            etc,
+            demands,
+        } = signature;
+        let etc = self.intern_etc(etc);
+        self.entries.push(StoredEntry {
+            ready_times,
+            etc,
+            demands,
             chromosome,
             last_used: self.clock,
         });
+    }
+
+    /// Number of distinct ETC blocks held by the intern pool — at most
+    /// [`HistoryTable::len`], and strictly fewer whenever entries share a
+    /// matrix (diagnostics for the ~10× table-shrink claim).
+    pub fn interned_etc_blocks(&self) -> usize {
+        self.etc_pool.values().map(|b| b.len()).sum()
     }
 
     /// Returns up to `limit` chromosomes whose signatures are at least
@@ -273,7 +384,7 @@ impl HistoryTable {
         candidates.sort_unstable();
         let mut scored: Vec<(usize, f64)> = candidates
             .into_iter()
-            .map(|i| (i, self.entries[i].signature.similarity(query)))
+            .map(|i| (i, self.entries[i].similarity(query)))
             .filter(|&(_, s)| s >= threshold)
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -302,7 +413,7 @@ impl HistoryTable {
             .entries
             .iter()
             .enumerate()
-            .map(|(i, e)| (i, e.signature.similarity(query)))
+            .map(|(i, e)| (i, e.similarity(query)))
             .filter(|&(_, s)| s >= threshold)
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -319,7 +430,7 @@ impl HistoryTable {
     pub fn best_similarity(&self, query: &BatchSignature) -> Option<f64> {
         self.entries
             .iter()
-            .map(|e| e.signature.similarity(query))
+            .map(|e| e.similarity(query))
             .max_by(f64::total_cmp)
     }
 
@@ -332,13 +443,21 @@ impl HistoryTable {
         let wire = HistoryTableWire {
             capacity: self.capacity,
             clock: self.clock,
-            entries: self.entries.clone(),
+            entries: self
+                .entries
+                .iter()
+                .map(|e| Entry {
+                    signature: e.to_signature(),
+                    chromosome: e.chromosome.clone(),
+                    last_used: e.last_used,
+                })
+                .collect(),
         };
         serde_json::to_string(&wire).expect("history serialises")
     }
 
     /// Restores a table saved with [`HistoryTable::to_json`], rebuilding
-    /// the bucket index.
+    /// the bucket index and re-interning the ETC blocks.
     pub fn from_json(text: &str) -> gridsec_core::Result<HistoryTable> {
         let wire: HistoryTableWire = serde_json::from_str(text).map_err(|e| {
             gridsec_core::Error::invalid("history", format!("invalid history JSON: {e}"))
@@ -349,16 +468,30 @@ impl HistoryTable {
                 "history table capacity must be ≥ 1",
             ));
         }
-        let mut buckets: HashMap<SigDims, Vec<usize>> = HashMap::new();
-        for (i, e) in wire.entries.iter().enumerate() {
-            buckets.entry(e.signature.dims()).or_default().push(i);
-        }
-        Ok(HistoryTable {
+        let mut table = HistoryTable {
             capacity: wire.capacity,
             clock: wire.clock,
-            entries: wire.entries,
-            buckets,
-        })
+            entries: Vec::with_capacity(wire.entries.len()),
+            buckets: HashMap::new(),
+            etc_pool: HashMap::new(),
+        };
+        for (i, e) in wire.entries.into_iter().enumerate() {
+            table.buckets.entry(e.signature.dims()).or_default().push(i);
+            let BatchSignature {
+                ready_times,
+                etc,
+                demands,
+            } = e.signature;
+            let etc = table.intern_etc(etc);
+            table.entries.push(StoredEntry {
+                ready_times,
+                etc,
+                demands,
+                chromosome: e.chromosome,
+                last_used: e.last_used,
+            });
+        }
+        Ok(table)
     }
 }
 
@@ -644,6 +777,83 @@ mod tests {
             );
         }
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn identical_etc_blocks_are_interned_once() {
+        let mut t = HistoryTable::new(10);
+        let etc = vec![10.0, 20.0, 30.0, 40.0];
+        // Same ETC under different ready times / demands (the training
+        // pattern: one signature, two heuristic entries — plus a later
+        // recurring batch).
+        for i in 0..4u16 {
+            t.insert(
+                sig(&[i as f64], &etc, &[0.5 + 0.1 * i as f64]),
+                Chromosome::from_genes(vec![i]),
+            );
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.interned_etc_blocks(), 1);
+        // A different matrix gets its own block.
+        t.insert(
+            sig(&[9.0], &[1.0, 2.0], &[0.7]),
+            Chromosome::from_genes(vec![9]),
+        );
+        assert_eq!(t.interned_etc_blocks(), 2);
+    }
+
+    #[test]
+    fn eviction_prunes_the_intern_pool() {
+        let mut t = HistoryTable::new(2);
+        t.insert(
+            sig(&[1.0], &[1.0, 1.0], &[0.5]),
+            Chromosome::from_genes(vec![0]),
+        );
+        t.insert(
+            sig(&[2.0], &[2.0, 2.0], &[0.5]),
+            Chromosome::from_genes(vec![1]),
+        );
+        assert_eq!(t.interned_etc_blocks(), 2);
+        // Evicts the LRU (first) entry; its block must leave the pool.
+        t.insert(
+            sig(&[3.0], &[3.0, 3.0], &[0.5]),
+            Chromosome::from_genes(vec![2]),
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.interned_etc_blocks(), 2);
+        // Shared block survives as long as one sharer remains.
+        let mut shared = HistoryTable::new(2);
+        shared.insert(
+            sig(&[1.0], &[7.0, 7.0], &[0.5]),
+            Chromosome::from_genes(vec![0]),
+        );
+        shared.insert(
+            sig(&[2.0], &[7.0, 7.0], &[0.5]),
+            Chromosome::from_genes(vec![1]),
+        );
+        assert_eq!(shared.interned_etc_blocks(), 1);
+        shared.insert(
+            sig(&[3.0], &[8.0, 8.0], &[0.5]),
+            Chromosome::from_genes(vec![2]),
+        );
+        // One of the sharers was evicted, the other still references the
+        // 7.0 block: pool holds both blocks.
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.interned_etc_blocks(), 2);
+    }
+
+    #[test]
+    fn interning_round_trips_through_json() {
+        let mut t = HistoryTable::new(8);
+        let etc = vec![5.0, 6.0, 7.0];
+        t.insert(sig(&[0.0], &etc, &[0.6]), Chromosome::from_genes(vec![1]));
+        t.insert(sig(&[1.0], &etc, &[0.7]), Chromosome::from_genes(vec![2]));
+        let json = t.to_json();
+        let back = HistoryTable::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.interned_etc_blocks(), 1);
+        // And the restored table serialises to the same wire text.
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::chromosome::Chromosome;
 use crate::fitness::FitnessKind;
-use crate::ga::{evolve, GaResult};
+use crate::ga::{evolve_with_pool, GaPool, GaResult};
 use crate::history::{BatchSignature, SharedHistory};
 use crate::params::StgaParams;
 use gridsec_core::etc::NodeAvailability;
@@ -36,6 +36,10 @@ pub struct Stga {
     fallback: Fallback,
     fitness: FitnessKind,
     last_result: Option<GaResult>,
+    /// Population/fitness buffers reused across scheduling rounds — a
+    /// long-lived STGA (one batch after another in the serving daemon)
+    /// allocates its GA state once and recycles it forever.
+    pool: GaPool,
 }
 
 impl Stga {
@@ -56,6 +60,7 @@ impl Stga {
             fallback: Fallback::default(),
             fitness: FitnessKind::Makespan,
             last_result: None,
+            pool: GaPool::new(),
         }
     }
 
@@ -195,7 +200,7 @@ impl BatchScheduler for Stga {
         }
 
         let risk_weights = None; // base STGA: pure makespan fitness
-        let result = evolve(
+        let result = evolve_with_pool(
             &ctx,
             view.avail,
             seeds,
@@ -203,6 +208,7 @@ impl BatchScheduler for Stga {
             self.fitness,
             risk_weights,
             &mut self.rng,
+            &mut self.pool,
         );
         self.history.insert(sig, result.best.clone());
 

@@ -1,0 +1,145 @@
+//! Online serving: spawn the `gridsec-serve` daemon in-process on an
+//! ephemeral port, drive one scheduling round over the NDJSON wire
+//! protocol, re-rate a site's trust mid-session, and read the metrics
+//! back.
+//!
+//! Run with: `cargo run --release --example online_service`
+
+use gridsec::prelude::*;
+use gridsec::serve::{Client, Daemon, DaemonOptions, OnlineSession, QueryWhat, Request, Response};
+
+fn main() {
+    // 1. A grid and a long-lived STGA scheduler: the daemon keeps its
+    //    history table and GA population pool alive across rounds.
+    let grid = Grid::new(vec![
+        Site::builder(0)
+            .nodes(4)
+            .speed(2.0)
+            .security_level(0.9)
+            .build()
+            .unwrap(),
+        Site::builder(1)
+            .nodes(4)
+            .speed(3.0)
+            .security_level(0.6)
+            .build()
+            .unwrap(),
+        Site::builder(2)
+            .nodes(2)
+            .speed(1.0)
+            .security_level(0.95)
+            .build()
+            .unwrap(),
+    ])
+    .unwrap();
+    let stga = Stga::new(StgaParams {
+        ga: GaParams::default()
+            .with_population(40)
+            .with_generations(25)
+            .with_seed(7),
+        ..StgaParams::default()
+    })
+    .unwrap();
+
+    // 2. The session batches under Hybrid(8): a round fires as soon as 8
+    //    jobs are pending, or at the periodic boundary, whichever is
+    //    first. The default Virtual clock batches by submitted arrival
+    //    times (deterministic); ClockMode::WallClock would serve real
+    //    time instead.
+    let config = SimConfig::default()
+        .with_interval(Time::new(1_000.0))
+        .with_batch_policy(BatchPolicy::Hybrid(8));
+    let session = OnlineSession::new(grid, Box::new(stga), &config).unwrap();
+    let daemon = Daemon::spawn(session, "127.0.0.1:0", DaemonOptions::default()).unwrap();
+    println!("daemon listening on {}", daemon.addr());
+
+    // 3. A client submits a burst of jobs, NDJSON frame by frame.
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let jobs: Vec<Job> = (0..12)
+        .map(|i| {
+            Job::builder(i)
+                .arrival(Time::new(5.0 * i as f64))
+                .work(60.0 + 15.0 * i as f64)
+                .security_demand(0.5 + 0.03 * (i % 10) as f64)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    for chunk in jobs.chunks(4) {
+        match client
+            .send(&Request::Submit {
+                jobs: chunk.to_vec(),
+            })
+            .unwrap()
+        {
+            Response::Accepted {
+                jobs,
+                pending,
+                rounds,
+            } => println!("accepted {jobs} jobs (pending {pending}, rounds so far {rounds})"),
+            other => panic!("submit failed: {other:?}"),
+        }
+    }
+
+    // 4. An IDS re-rates site 1 downward mid-session.
+    match client
+        .send(&Request::Reconfigure {
+            security_levels: vec![0.9, 0.3, 0.95],
+        })
+        .unwrap()
+    {
+        Response::Reconfigured { sites } => println!("trust state updated for {sites} sites"),
+        other => panic!("reconfigure failed: {other:?}"),
+    }
+
+    // 5. Flush the queue and read the served schedule + metrics back.
+    match client.send(&Request::Drain).unwrap() {
+        Response::Drained {
+            rounds,
+            jobs_scheduled,
+        } => println!("drained: {rounds} rounds, {jobs_scheduled} jobs scheduled"),
+        other => panic!("drain failed: {other:?}"),
+    }
+    let assignments = match client
+        .send(&Request::Query {
+            what: QueryWhat::Schedule,
+        })
+        .unwrap()
+    {
+        Response::Schedule { assignments } => assignments,
+        other => panic!("query failed: {other:?}"),
+    };
+    println!("\nserved schedule ({} assignments):", assignments.len());
+    for p in &assignments {
+        println!(
+            "  job {:>2} -> site {} [{:>7.1}s, {:>7.1}s)",
+            p.job.0,
+            p.site.0,
+            p.start.seconds(),
+            p.end.seconds()
+        );
+    }
+    match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+        })
+        .unwrap()
+    {
+        Response::Metrics { metrics } => println!(
+            "\nmetrics: {} rounds, batch sizes {:?}, makespan {:.1}s, scheduler {:.4}s",
+            metrics.rounds,
+            metrics.batch_sizes,
+            metrics.max_completion.seconds(),
+            metrics.scheduler_seconds
+        ),
+        other => panic!("metrics failed: {other:?}"),
+    }
+
+    // 6. Shut the daemon down cleanly.
+    assert!(matches!(
+        client.send(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    daemon.join();
+    println!("\ndaemon stopped");
+}

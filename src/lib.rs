@@ -18,6 +18,8 @@
 //!   classical baselines, all risk-mode aware.
 //! * [`stga`] ([`gridsec_stga`]) — the GA engine, the history table and
 //!   the STGA scheduler.
+//! * [`serve`] ([`gridsec_serve`]) — the online scheduling daemon (NDJSON
+//!   wire protocol over TCP) and its session core.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 
 pub use gridsec_core as core;
 pub use gridsec_heuristics as heuristics;
+pub use gridsec_serve as serve;
 pub use gridsec_sim as sim;
 pub use gridsec_stga as stga;
 pub use gridsec_workloads as workloads;

@@ -25,8 +25,8 @@ fn every_example_builds() {
         })
         .count();
     assert!(
-        n_examples >= 9,
-        "expected the 9 seed examples, found {n_examples}"
+        n_examples >= 10,
+        "expected the 9 seed examples + online_service, found {n_examples}"
     );
 
     let status = cargo()

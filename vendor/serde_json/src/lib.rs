@@ -376,10 +376,15 @@ impl<'a> Parser<'a> {
 
 /// Parses a `T` from JSON text.
 pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
-    let mut parser = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
+    from_slice(text.as_bytes())
+}
+
+/// Parses a `T` from JSON bytes — the streaming entry point used by
+/// NDJSON frame readers, which hand over raw byte lines without an
+/// intermediate UTF-8 pass (the parser validates UTF-8 only inside
+/// string literals, where it matters).
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let mut parser = Parser { bytes, pos: 0 };
     let value = parser.parse_value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
@@ -445,6 +450,18 @@ mod tests {
         assert_eq!(from_str::<Value>(&text).unwrap(), Value::F64(1e15));
         let text = to_string(&Value::F64(-4.5e18)).unwrap();
         assert_eq!(from_str::<Value>(&text).unwrap(), Value::F64(-4.5e18));
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let text = "{\"a\": [1, 2.5, \"s\\n\"]}";
+        let a: Value = from_str(text).unwrap();
+        let b: Value = from_slice(text.as_bytes()).unwrap();
+        assert_eq!(a, b);
+        // Invalid UTF-8 outside strings is caught at the string level,
+        // not up front.
+        assert!(from_slice::<Value>(&[b'"', 0xFF, b'"']).is_err());
+        assert!(from_slice::<Value>(b"[1, 2]").is_ok());
     }
 
     #[test]
