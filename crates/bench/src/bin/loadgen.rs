@@ -18,18 +18,31 @@
 //!   bit-identical to the in-process engine for the same seed, workload
 //!   and batch policy.
 //!
+//! * **`--shard-suite`**: the PR 5 benchmark — {Min-Min, STGA} ×
+//!   {1, 2, 4} grid shards over the same replay (multi-tenant: each job
+//!   is routed to a shard it is eligible on), written to
+//!   `BENCH_PR5.json`.
+//!
 //! ```console
 //! loadgen --workload psa --jobs 400 --scheduler stga --policy hybrid:16 --threads 4
+//! loadgen --shards 4 --scheduler minmin
+//! loadgen --wall-clock --rate 200 --max-pending 32
 //! loadgen --bench-suite --json BENCH_PR4.json
+//! loadgen --shard-suite --json BENCH_PR5.json
 //! loadgen --smoke
 //! loadgen --host 127.0.0.1:7070 --workload swf:trace.swf --rate 50
 //! ```
 
 use gridsec_core::{BatchSchedule, Grid, Job, RiskMode, Site, Time};
 use gridsec_heuristics::{MinMin, Sufferage};
-use gridsec_serve::{Client, Daemon, DaemonOptions, OnlineSession, QueryWhat, Request, Response};
+use gridsec_serve::{
+    Client, ClockMode, Daemon, DaemonOptions, OnlineSession, Placed, QueryWhat, Request, Response,
+    ServeMetrics, ShardSpec,
+};
 use gridsec_sim::scheduler::EarliestCompletion;
-use gridsec_sim::{simulate, BatchJob, BatchPolicy, BatchScheduler, GridView, SimConfig};
+use gridsec_sim::{
+    simulate, BatchJob, BatchPolicy, BatchScheduler, GridView, ShardPlan, SimConfig,
+};
 use gridsec_stga::{GaParams, Stga, StgaParams};
 use gridsec_workloads::{swf, NasConfig, PsaConfig};
 use serde::{Deserialize, Serialize};
@@ -37,6 +50,9 @@ use std::time::{Duration, Instant};
 
 /// Scheduler thread counts measured by `--bench-suite`.
 const SUITE_THREADS: [usize; 2] = [1, 4];
+
+/// Shard counts measured by `--shard-suite`.
+const SUITE_SHARDS: [usize; 3] = [1, 2, 4];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +68,8 @@ fn main() {
         run_smoke(&opts)
     } else if opts.bench_suite {
         run_bench_suite(&opts)
+    } else if opts.shard_suite {
+        run_shard_suite(&opts)
     } else {
         run_replay(&opts)
     };
@@ -63,7 +81,8 @@ fn usage() {
         "usage: loadgen [--workload psa|nas|swf:<path>] [--jobs <n>] [--seed <u64>]\n\
          \x20              [--scheduler mct|minmin|sufferage|stga] [--policy periodic:<secs>|count:<k>|hybrid:<k>]\n\
          \x20              [--rate <jobs-per-sec>] [--threads <n>] [--host <addr>]\n\
-         \x20              [--bench-suite] [--smoke] [--json <path>] [--quick]"
+         \x20              [--shards <n>] [--wall-clock] [--max-pending <n>]\n\
+         \x20              [--bench-suite] [--shard-suite] [--smoke] [--json <path>] [--quick]"
     );
 }
 
@@ -77,7 +96,11 @@ struct Options {
     rate: Option<f64>,
     threads: Option<usize>,
     host: Option<String>,
+    shards: usize,
+    wall_clock: bool,
+    max_pending: Option<usize>,
     bench_suite: bool,
+    shard_suite: bool,
     smoke: bool,
     json: Option<String>,
     quick: bool,
@@ -94,7 +117,11 @@ impl Options {
             rate: None,
             threads: None,
             host: None,
+            shards: 1,
+            wall_clock: false,
+            max_pending: None,
             bench_suite: false,
+            shard_suite: false,
             smoke: false,
             json: None,
             quick: false,
@@ -139,7 +166,27 @@ impl Options {
                     o.threads = Some(n);
                 }
                 "--host" => o.host = Some(value("--host")?),
+                "--shards" => {
+                    let n: usize = value("--shards")?
+                        .parse()
+                        .map_err(|_| "--shards must be a positive integer".to_string())?;
+                    if n == 0 {
+                        return Err("--shards must be a positive integer".into());
+                    }
+                    o.shards = n;
+                }
+                "--wall-clock" => o.wall_clock = true,
+                "--max-pending" => {
+                    let n: usize = value("--max-pending")?
+                        .parse()
+                        .map_err(|_| "--max-pending must be a positive integer".to_string())?;
+                    if n == 0 {
+                        return Err("--max-pending must be a positive integer".into());
+                    }
+                    o.max_pending = Some(n);
+                }
                 "--bench-suite" => o.bench_suite = true,
+                "--shard-suite" => o.shard_suite = true,
                 "--smoke" => o.smoke = true,
                 "--json" => o.json = Some(value("--json")?),
                 "--quick" => o.quick = true,
@@ -149,6 +196,13 @@ impl Options {
                 }
                 other => return Err(format!("unknown argument `{other}`")),
             }
+        }
+        if o.max_pending.is_some() && !o.wall_clock && o.host.is_none() {
+            return Err(
+                "--max-pending needs --wall-clock: a virtual-clock replay cannot make \
+                 progress on busy frames (only timer rounds drain a full queue)"
+                    .into(),
+            );
         }
         Ok(o)
     }
@@ -285,6 +339,10 @@ fn build_workload(spec: &str, n: usize, seed: u64) -> Result<(Vec<Job>, Grid), S
 struct ReplayReport {
     scheduler: String,
     threads: usize,
+    /// Site-disjoint grid shards the daemon served (1 = unsharded).
+    shards: usize,
+    /// Busy frames the submitter retried (bounded-queue backpressure).
+    busy_retries: usize,
     jobs: usize,
     /// Wall-clock seconds from first submit to drained.
     replay_secs: f64,
@@ -306,50 +364,120 @@ struct ReplayReport {
     schedule_valid: bool,
 }
 
-/// Replays `jobs` through a daemon (spawned in-process unless `host`
-/// targets an external one) and measures throughput.
-#[allow(clippy::too_many_arguments)] // an experiment entry point, not a library API
-fn replay(
-    jobs: &[Job],
-    grid: &Grid,
-    scheduler_name: &str,
+/// How a replay runs: the scheduler/daemon configuration around the job
+/// stream.
+struct ReplayConfig<'a> {
+    scheduler: &'a str,
     threads: Option<usize>,
     policy: BatchPolicy,
     interval: Time,
     seed: u64,
     quick: bool,
     rate: Option<f64>,
-    host: Option<&str>,
-) -> Result<
-    (
-        ReplayReport,
-        Vec<gridsec_serve::Placed>,
-        gridsec_serve::ServeMetrics,
-    ),
-    String,
-> {
+    host: Option<&'a str>,
+    shards: usize,
+    wall_clock: bool,
+    max_pending: Option<usize>,
+}
+
+/// Per-shard views queried after a replay (shard order).
+struct ShardViews {
+    schedules: Vec<Vec<Placed>>,
+    metrics: Vec<ServeMetrics>,
+}
+
+/// Deterministically assigns a job to one of the shards it is eligible
+/// on (round-robin by job id over the candidates) — the multi-tenant
+/// replay's tenancy function.
+fn assign_shard(plan: &ShardPlan, grid: &Grid, job: &Job) -> Result<usize, String> {
+    let eligible = plan.eligible_shards(grid, job);
+    if eligible.is_empty() {
+        return Err(format!("job {} fits no site on any shard", job.id));
+    }
+    Ok(eligible[job.id.0 as usize % eligible.len()])
+}
+
+/// Replays `jobs` through a daemon (spawned in-process unless `host`
+/// targets an external one) and measures throughput. With `shards > 1`
+/// the daemon is sharded and every job is routed explicitly to a shard
+/// it is eligible on; with a bounded queue the submitter retries typed
+/// `busy` frames until the daemon's timer rounds make room.
+fn replay(
+    jobs: &[Job],
+    grid: &Grid,
+    cfg: &ReplayConfig<'_>,
+) -> Result<(ReplayReport, Vec<Placed>, ServeMetrics, ShardViews), String> {
     let config = SimConfig::default()
-        .with_interval(interval)
-        .with_batch_policy(policy)
-        .with_seed(seed);
-    let (daemon, addr) = match host {
+        .with_interval(cfg.interval)
+        .with_batch_policy(cfg.policy)
+        .with_seed(cfg.seed);
+    let options = DaemonOptions {
+        clock: if cfg.wall_clock {
+            ClockMode::WallClock
+        } else {
+            ClockMode::Virtual
+        },
+        max_pending: cfg.max_pending,
+        ..DaemonOptions::default()
+    };
+    let plan = ShardPlan::contiguous(grid, cfg.shards).map_err(|e| e.to_string())?;
+    let (daemon, addr) = match cfg.host {
         Some(h) => (None, h.parse().map_err(|_| format!("bad --host `{h}`"))?),
         None => {
-            let scheduler = build_scheduler(scheduler_name, seed, quick, threads)?;
-            let session =
-                OnlineSession::new(grid.clone(), scheduler, &config).map_err(|e| e.to_string())?;
-            let d = Daemon::spawn(session, "127.0.0.1:0", DaemonOptions::default())
-                .map_err(|e| e.to_string())?;
+            let shard_specs: Result<Vec<ShardSpec>, String> = (0..cfg.shards)
+                .map(|k| {
+                    let sub = plan.subgrid(grid, k).map_err(|e| e.to_string())?;
+                    // Per-shard seeds decorrelate the GA streams without
+                    // breaking determinism.
+                    let scheduler = build_scheduler(
+                        cfg.scheduler,
+                        cfg.seed + k as u64,
+                        cfg.quick,
+                        cfg.threads,
+                    )?;
+                    let session =
+                        OnlineSession::new(sub, scheduler, &config).map_err(|e| e.to_string())?;
+                    Ok(ShardSpec::new(session))
+                })
+                .collect();
+            let d = Daemon::spawn_sharded(
+                grid.clone(),
+                plan.clone(),
+                shard_specs?,
+                "127.0.0.1:0",
+                options,
+            )
+            .map_err(|e| e.to_string())?;
             let addr = d.addr();
             (Some(d), addr)
         }
     };
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
 
-    let pace = rate.map(|r| Duration::from_secs_f64(1.0 / r));
+    // Tag each job with its target shard (None = the daemon derives it;
+    // always the case for a 1-shard replay, so the PR 4 path is measured
+    // unchanged).
+    let tagged: Vec<(Option<usize>, &Job)> = if cfg.shards > 1 {
+        jobs.iter()
+            .map(|j| Ok((Some(assign_shard(&plan, grid, j)?), j)))
+            .collect::<Result<_, String>>()?
+    } else {
+        jobs.iter().map(|j| (None, j)).collect()
+    };
+
+    let pace = cfg.rate.map(|r| Duration::from_secs_f64(1.0 / r));
+    let chunk_limit = if pace.is_some() { 1 } else { 10 };
     let t0 = Instant::now();
     let mut sent = 0usize;
-    for chunk in jobs.chunks(if pace.is_some() { 1 } else { 10 }) {
+    let mut busy_retries = 0usize;
+    let mut i = 0usize;
+    while i < tagged.len() {
+        // A chunk is a run of consecutive jobs bound for the same shard.
+        let shard = tagged[i].0;
+        let mut end = i + 1;
+        while end < tagged.len() && end - i < chunk_limit && tagged[end].0 == shard {
+            end += 1;
+        }
         if let Some(gap) = pace {
             let due = t0 + gap * sent as u32;
             let now = Instant::now();
@@ -357,15 +485,31 @@ fn replay(
                 std::thread::sleep(due - now);
             }
         }
-        match client
-            .send(&Request::Submit {
-                jobs: chunk.to_vec(),
-            })
-            .map_err(|e| e.to_string())?
-        {
-            Response::Accepted { .. } => sent += chunk.len(),
-            other => return Err(format!("submit rejected: {other:?}")),
+        let mut pending: Vec<Job> = tagged[i..end].iter().map(|(_, j)| (*j).clone()).collect();
+        loop {
+            match client
+                .send(&Request::Submit {
+                    jobs: pending.clone(),
+                    shard,
+                })
+                .map_err(|e| e.to_string())?
+            {
+                Response::Accepted { jobs: n, .. } => {
+                    sent += n;
+                    break;
+                }
+                Response::Busy { jobs: accepted, .. } => {
+                    // The accepted prefix is in; retry the rest after the
+                    // daemon's timer rounds free the queue.
+                    sent += accepted;
+                    pending.drain(..accepted);
+                    busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                other => return Err(format!("submit rejected: {other:?}")),
+            }
         }
+        i = end;
     }
     match client.send(&Request::Drain).map_err(|e| e.to_string())? {
         Response::Drained { .. } => {}
@@ -376,6 +520,7 @@ fn replay(
     let metrics = match client
         .send(&Request::Query {
             what: QueryWhat::Metrics,
+            shard: None,
         })
         .map_err(|e| e.to_string())?
     {
@@ -385,12 +530,51 @@ fn replay(
     let assignments = match client
         .send(&Request::Query {
             what: QueryWhat::Schedule,
+            shard: None,
         })
         .map_err(|e| e.to_string())?
     {
         Response::Schedule { assignments } => assignments,
         other => return Err(format!("query failed: {other:?}")),
     };
+    // Per-shard views (the daemon tells us how many shards it serves, so
+    // this works against --host daemons too).
+    let n_shards = match client
+        .send(&Request::Query {
+            what: QueryWhat::Shards,
+            shard: None,
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Shards { shards } => shards.len(),
+        other => return Err(format!("shards query failed: {other:?}")),
+    };
+    let mut views = ShardViews {
+        schedules: Vec::with_capacity(n_shards),
+        metrics: Vec::with_capacity(n_shards),
+    };
+    for k in 0..n_shards {
+        match client
+            .send(&Request::Query {
+                what: QueryWhat::Schedule,
+                shard: Some(k),
+            })
+            .map_err(|e| e.to_string())?
+        {
+            Response::Schedule { assignments } => views.schedules.push(assignments),
+            other => return Err(format!("shard {k} schedule failed: {other:?}")),
+        }
+        match client
+            .send(&Request::Query {
+                what: QueryWhat::Metrics,
+                shard: Some(k),
+            })
+            .map_err(|e| e.to_string())?
+        {
+            Response::Metrics { metrics } => views.metrics.push(metrics),
+            other => return Err(format!("shard {k} metrics failed: {other:?}")),
+        }
+    }
     if let Some(d) = daemon {
         match client.send(&Request::Shutdown).map_err(|e| e.to_string())? {
             Response::Bye => {}
@@ -410,8 +594,10 @@ fn replay(
         .map(|&n| n as f64 / 1e3)
         .collect();
     let report = ReplayReport {
-        scheduler: scheduler_name.to_string(),
-        threads: threads.unwrap_or(0),
+        scheduler: cfg.scheduler.to_string(),
+        threads: cfg.threads.unwrap_or(0),
+        shards: n_shards,
+        busy_retries,
         jobs: sent,
         replay_secs,
         jobs_per_sec: sent as f64 / replay_secs.max(1e-9),
@@ -425,15 +611,16 @@ fn replay(
         makespan: metrics.max_completion.seconds(),
         schedule_valid,
     };
-    Ok((report, assignments, metrics))
+    Ok((report, assignments, metrics, views))
 }
 
 fn print_report(r: &ReplayReport) {
     println!(
-        "{:<10} threads={:<2} jobs={:<6} wall={:>7.3}s  {:>9.1} jobs/s  rounds={:<4} \
+        "{:<10} threads={:<2} shards={:<2} jobs={:<6} wall={:>7.3}s  {:>9.1} jobs/s  rounds={:<4} \
          round µs mean={:>9.1} max={:>9.1}  batch mean={:>5.1} max={:<4} valid={}",
         r.scheduler,
         r.threads,
+        r.shards,
         r.jobs,
         r.replay_secs,
         r.jobs_per_sec,
@@ -489,20 +676,28 @@ fn run_replay(opts: &Options) -> i32 {
     match replay(
         &jobs,
         &grid,
-        scheduler_label,
-        opts.threads,
-        policy,
-        interval,
-        opts.seed,
-        opts.quick,
-        opts.rate,
-        opts.host.as_deref(),
+        &ReplayConfig {
+            scheduler: scheduler_label,
+            threads: opts.threads,
+            policy,
+            interval,
+            seed: opts.seed,
+            quick: opts.quick,
+            rate: opts.rate,
+            host: opts.host.as_deref(),
+            shards: opts.shards,
+            wall_clock: opts.wall_clock,
+            max_pending: opts.max_pending,
+        },
     ) {
-        Ok((report, _, _)) => {
+        Ok((report, _, _, _)) => {
             print_report(&report);
             if !report.schedule_valid {
                 eprintln!("error: served schedule failed validation");
                 return 1;
+            }
+            if report.busy_retries > 0 {
+                println!("backpressure: {} busy retries", report.busy_retries);
             }
             if let Some(path) = &opts.json {
                 let json = serde_json::to_string_pretty(&report).expect("report serialises");
@@ -566,16 +761,21 @@ fn run_bench_suite(opts: &Options) -> i32 {
             match replay(
                 &jobs,
                 &grid,
-                scheduler,
-                Some(threads),
-                policy,
-                interval,
-                opts.seed,
-                opts.quick,
-                None,
-                None,
+                &ReplayConfig {
+                    scheduler,
+                    threads: Some(threads),
+                    policy,
+                    interval,
+                    seed: opts.seed,
+                    quick: opts.quick,
+                    rate: None,
+                    host: None,
+                    shards: 1,
+                    wall_clock: false,
+                    max_pending: None,
+                },
             ) {
-                Ok((report, _, _)) => {
+                Ok((report, _, _, _)) => {
                     print_report(&report);
                     if !report.schedule_valid {
                         eprintln!("error: {scheduler} @ {threads} produced an invalid schedule");
@@ -615,6 +815,113 @@ fn run_bench_suite(opts: &Options) -> i32 {
         configs,
     };
     let path = opts.json.clone().unwrap_or_else(|| "BENCH_PR4.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&path, json).expect("write suite report");
+    println!("[wrote {path}]");
+    0
+}
+
+/// The PR 5 benchmark: {Min-Min, STGA} × {1, 2, 4} shards over the same
+/// multi-tenant replay, written to `BENCH_PR5.json`.
+fn run_shard_suite(opts: &Options) -> i32 {
+    let n = if opts.quick { 120 } else { opts.jobs };
+    let (jobs, grid) = match build_workload(&opts.workload, n, opts.seed) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let (policy, interval) = match parse_policy(&opts.policy, 1_000.0) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "loadgen shard suite: {} jobs ({}) on {} sites, policy {}, schedulers \
+         [minmin, stga] × shards {:?} (host parallelism {host})",
+        jobs.len(),
+        opts.workload,
+        grid.len(),
+        opts.policy,
+        SUITE_SHARDS,
+    );
+    let mut configs = Vec::new();
+    for scheduler in ["minmin", "stga"] {
+        for shards in SUITE_SHARDS {
+            match replay(
+                &jobs,
+                &grid,
+                &ReplayConfig {
+                    scheduler,
+                    threads: opts.threads,
+                    policy,
+                    interval,
+                    seed: opts.seed,
+                    quick: opts.quick,
+                    rate: None,
+                    host: None,
+                    shards,
+                    wall_clock: false,
+                    max_pending: None,
+                },
+            ) {
+                Ok((report, _, metrics, views)) => {
+                    print_report(&report);
+                    if !report.schedule_valid {
+                        eprintln!("error: {scheduler} @ {shards} produced an invalid schedule");
+                        return 1;
+                    }
+                    // The aggregated counters must be the per-shard sums.
+                    let merged = ServeMetrics::merge(&views.metrics);
+                    if merged != metrics {
+                        eprintln!(
+                            "error: {scheduler} @ {shards}: aggregated metrics diverge from \
+                             the per-shard sums"
+                        );
+                        return 1;
+                    }
+                    configs.push(report);
+                }
+                Err(e) => {
+                    eprintln!("error: {scheduler} @ {shards}: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    let report = SuiteReport {
+        schema: "gridsec-loadgen/v2".to_string(),
+        command: format!(
+            "loadgen --shard-suite --workload {} --jobs {} --policy {} --seed {}{}",
+            opts.workload,
+            n,
+            opts.policy,
+            opts.seed,
+            if opts.quick { " --quick" } else { "" }
+        ),
+        host_available_parallelism: host,
+        workload: opts.workload.clone(),
+        jobs: n,
+        policy: opts.policy.clone(),
+        seed: opts.seed,
+        note: "Multi-tenant replay over loopback TCP against an in-process sharded \
+               gridsec-serve daemon (virtual clock, as-fast-as-possible submission; each \
+               job explicitly routed to a shard it is eligible on, round-robin by id over \
+               the candidates). Shard counts partition the grid site-disjointly, one \
+               scheduling thread per shard; on a single-core host the multi-shard rows \
+               measure routing + thread overhead, on a multi-core host they measure \
+               concurrent-round speedup. jobs_per_sec is sustained end-to-end throughput \
+               (wire + routing + batching + scheduling)."
+            .to_string(),
+        configs,
+    };
+    let path = opts.json.clone().unwrap_or_else(|| "BENCH_PR5.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&path, json).expect("write suite report");
     println!("[wrote {path}]");
@@ -683,9 +990,20 @@ fn run_smoke(opts: &Options) -> i32 {
     let spans = engine.timeline.as_ref().expect("timeline recorded");
 
     // The served run, over real TCP on an ephemeral port.
-    let (report, assignments, metrics) = match replay(
-        &jobs, &grid, "minmin", None, policy, interval, opts.seed, false, None, None,
-    ) {
+    let smoke_config = |shards: usize| ReplayConfig {
+        scheduler: "minmin",
+        threads: None,
+        policy,
+        interval,
+        seed: opts.seed,
+        quick: false,
+        rate: None,
+        host: None,
+        shards,
+        wall_clock: false,
+        max_pending: None,
+    };
+    let (report, assignments, metrics, _) = match replay(&jobs, &grid, &smoke_config(1)) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
@@ -726,6 +1044,61 @@ fn run_smoke(opts: &Options) -> i32 {
     println!(
         "smoke OK: {} jobs, {} rounds, schedule bit-identical to the engine, metrics round-trip",
         report.jobs, report.rounds
+    );
+
+    // Phase 2: the same workload against a 2-shard daemon. Each shard's
+    // schedule must validate against its own subgrid, and the aggregated
+    // metrics must equal the per-shard sums.
+    let (report2, _, metrics2, views) = match replay(&jobs, &grid, &smoke_config(2)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: 2-shard replay: {e}");
+            return 1;
+        }
+    };
+    print_report(&report2);
+    if !report2.schedule_valid {
+        eprintln!("error: 2-shard served schedule failed validation");
+        return 1;
+    }
+    let plan = ShardPlan::contiguous(&grid, 2).expect("2-shard plan over the smoke grid");
+    for (k, shard_schedule) in views.schedules.iter().enumerate() {
+        let sub = plan.subgrid(&grid, k).expect("subgrid");
+        // The shard reports global site ids; validate on the subgrid
+        // with local ids and just this shard's jobs.
+        let local = BatchSchedule::from_pairs(shard_schedule.iter().map(|p| {
+            let (shard, local_site) = plan.to_local(p.site).expect("known site");
+            assert_eq!(shard, k, "shard {k} committed onto a foreign site");
+            (p.job, local_site)
+        }));
+        let shard_jobs: Vec<Job> = jobs
+            .iter()
+            .filter(|j| assign_shard(&plan, &grid, j).expect("smoke jobs fit somewhere") == k)
+            .cloned()
+            .collect();
+        if let Err(e) = local.validate(&shard_jobs, &sub) {
+            eprintln!("error: shard {k} schedule failed validation: {e}");
+            return 1;
+        }
+        if local.len() != shard_jobs.len() {
+            eprintln!(
+                "error: shard {k} committed {} assignments for {} jobs",
+                local.len(),
+                shard_jobs.len()
+            );
+            return 1;
+        }
+    }
+    let merged = ServeMetrics::merge(&views.metrics);
+    if merged != metrics2 {
+        eprintln!("error: 2-shard aggregated metrics diverge from the per-shard sums");
+        return 1;
+    }
+    println!(
+        "smoke OK (2 shards): {} jobs across {} shards, per-shard schedules validate, \
+         aggregated metrics equal the per-shard sums",
+        report2.jobs,
+        views.schedules.len()
     );
     0
 }

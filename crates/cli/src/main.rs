@@ -12,8 +12,9 @@
 
 mod spec;
 
-use gridsec_serve::{ClockMode, Daemon, DaemonOptions, OnlineSession};
-use gridsec_sim::simulate;
+use gridsec_serve::{ClockMode, Daemon, DaemonOptions, OnlineSession, ShardPersistence, ShardSpec};
+use gridsec_sim::{simulate, ShardPlan};
+use gridsec_stga::SharedHistory;
 use gridsec_workloads::{swf, NasConfig, PsaConfig};
 use spec::ExperimentSpec;
 
@@ -45,12 +46,18 @@ fn print_usage() {
     eprintln!(
         "usage:\n  gridsec run <spec.json> [--json <out.json>]\n  \
          gridsec example-spec\n  gridsec generate <psa|nas> <n_jobs> [seed]\n  \
-         gridsec serve <spec.json> [--bind <addr>] [--virtual-clock]\n\
+         gridsec serve <spec.json> [--bind <addr>] [--virtual-clock] [--shards <n>]\n\
+         \x20             [--state <prefix>] [--max-pending <n>]\n\
          \n\
          serve: starts the online scheduling daemon (NDJSON frames over TCP) with\n\
          the spec's grid and *first* scheduler; jobs arrive via `submit` frames.\n\
          --bind defaults to 127.0.0.1:0 (ephemeral; the bound address is printed).\n\
          --virtual-clock batches by submitted arrival times instead of wall time.\n\
+         --shards <n> partitions the grid into n site-disjoint shards, each with\n\
+         \x20            its own scheduler on its own thread (default 1).\n\
+         --state <prefix> persists each shard's STGA history table to\n\
+         \x20            <prefix>.shard<k>.json at drain/shutdown and reloads on boot.\n\
+         --max-pending <n> bounds each shard's pending queue (busy frames past it).\n\
          \n\
          global options:\n  --threads <n>   worker threads for parallel scheduler sections\n  \
          \x20               (default: RAYON_NUM_THREADS or all available cores)"
@@ -64,16 +71,24 @@ fn cmd_serve(args: &[String]) -> i32 {
     };
     let mut bind = "127.0.0.1:0".to_string();
     let mut clock = ClockMode::WallClock;
+    let mut n_shards = 1usize;
+    let mut state: Option<String> = None;
+    let mut max_pending: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
+        let value = |name: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
         match args[i].as_str() {
-            "--bind" => match args.get(i + 1) {
-                Some(b) => {
-                    bind = b.clone();
+            "--bind" => match value("--bind") {
+                Ok(b) => {
+                    bind = b;
                     i += 2;
                 }
-                None => {
-                    eprintln!("error: --bind needs an address");
+                Err(e) => {
+                    eprintln!("error: {e}");
                     return 2;
                 }
             },
@@ -81,6 +96,36 @@ fn cmd_serve(args: &[String]) -> i32 {
                 clock = ClockMode::Virtual;
                 i += 1;
             }
+            "--shards" => match value("--shards").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n >= 1 => {
+                    n_shards = n;
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("error: --shards needs a positive integer");
+                    return 2;
+                }
+            },
+            "--state" => match value("--state") {
+                Ok(p) => {
+                    state = Some(p);
+                    i += 2;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            },
+            "--max-pending" => match value("--max-pending").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n >= 1 => {
+                    max_pending = Some(n);
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("error: --max-pending needs a positive integer");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!("error: unknown serve option `{other}`");
                 return 2;
@@ -112,28 +157,95 @@ fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("error: the spec lists no schedulers");
         return 1;
     };
-    // The spec's workload seeds STGA training; serving traffic comes in
-    // over the wire.
-    let scheduler = match sspec.build_send(&jobs, &grid) {
-        Ok(s) => s,
+    if state.is_some() && !sspec.is_stga() {
+        eprintln!("note: --state only persists STGA history tables; ignored for this scheduler");
+    }
+    let plan = match ShardPlan::contiguous(&grid, n_shards) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
-    let name = scheduler.name();
-    let session = match OnlineSession::new(grid, scheduler, &spec.sim) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return 1;
-        }
-    };
-    let daemon = match Daemon::spawn(
-        session,
+    // One scheduler per shard, each over its subgrid. The spec's workload
+    // seeds STGA training (restricted to jobs that fit the shard);
+    // serving traffic comes in over the wire.
+    let mut shards = Vec::with_capacity(n_shards);
+    let mut name = String::new();
+    for k in 0..n_shards {
+        let sub = match plan.subgrid(&grid, k) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        let shard_jobs: Vec<gridsec_core::Job> = jobs
+            .iter()
+            .filter(|j| sub.sites().any(|s| s.fits_width(j.width)))
+            .cloned()
+            .collect();
+        // Restore the shard's history table when a state file exists.
+        let state_path = state
+            .as_ref()
+            .map(|p| std::path::PathBuf::from(format!("{p}.shard{k}.json")));
+        let history = if sspec.is_stga() {
+            match &state_path {
+                Some(p) if p.exists() => match std::fs::read_to_string(p)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| SharedHistory::from_json(&t).map_err(|e| e.to_string()))
+                {
+                    Ok(h) => {
+                        println!(
+                            "gridsec-serve: shard {k}: restored {} history entries from {}",
+                            h.len(),
+                            p.display()
+                        );
+                        Some(h)
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot restore state from {}: {e}", p.display());
+                        return 1;
+                    }
+                },
+                Some(_) => Some(SharedHistory::new(stga_capacity(sspec))),
+                None => None,
+            }
+        } else {
+            None
+        };
+        let scheduler = match sspec.build_send_with_history(&shard_jobs, &sub, history.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: shard {k}: {e}");
+                return 1;
+            }
+        };
+        name = scheduler.name();
+        let session = match OnlineSession::new(sub, scheduler, &spec.sim) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: shard {k}: {e}");
+                return 1;
+            }
+        };
+        let persist = match (state_path, history) {
+            (Some(path), Some(history)) => Some(ShardPersistence {
+                path,
+                snapshot: Box::new(move || history.to_json()),
+            }),
+            _ => None,
+        };
+        shards.push(ShardSpec { session, persist });
+    }
+    let daemon = match Daemon::spawn_sharded(
+        grid,
+        plan,
+        shards,
         &bind,
         DaemonOptions {
             clock,
+            max_pending,
             ..DaemonOptions::default()
         },
     ) {
@@ -144,14 +256,23 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     };
     println!(
-        "gridsec-serve: {name} on {} ({:?} clock, policy {:?}); send NDJSON frames, \
-         {{\"type\":\"shutdown\"}} to stop",
+        "gridsec-serve: {name} × {n_shards} shard(s) on {} ({:?} clock, policy {:?}); \
+         send NDJSON frames, {{\"type\":\"shutdown\"}} to stop",
         daemon.addr(),
         clock,
         spec.sim.batch_policy,
     );
     daemon.join();
     0
+}
+
+/// The history-table capacity an STGA spec would open, for pre-sizing a
+/// fresh shard table that the daemon then persists.
+fn stga_capacity(sspec: &spec::SchedulerSpec) -> usize {
+    match sspec {
+        spec::SchedulerSpec::Stga { params, .. } => params.table_capacity,
+        _ => unreachable!("only called for STGA specs"),
+    }
 }
 
 /// Extracts a global `--threads <n>` option (any position) and sizes the

@@ -7,7 +7,8 @@
 use gridsec_core::{Error, Grid, Job, Result, RiskMode};
 use gridsec_sim::{BatchScheduler, SimConfig};
 use gridsec_stga::{
-    GaParams, SaParams, SimulatedAnnealing, StandardGa, Stga, StgaParams, TabuParams, TabuSearch,
+    GaParams, SaParams, SharedHistory, SimulatedAnnealing, StandardGa, Stga, StgaParams,
+    TabuParams, TabuSearch,
 };
 use gridsec_workloads::{swf, NasConfig, PsaConfig};
 use serde::{Deserialize, Serialize};
@@ -160,6 +161,38 @@ impl SchedulerSpec {
     /// training.
     pub fn build(&self, jobs: &[Job], grid: &Grid) -> Result<Box<dyn BatchScheduler>> {
         Ok(self.build_send(jobs, grid)?)
+    }
+
+    /// Whether this spec builds an STGA (the only scheduler with
+    /// persistable state — its history table).
+    pub fn is_stga(&self) -> bool {
+        matches!(self, SchedulerSpec::Stga { .. })
+    }
+
+    /// Like [`SchedulerSpec::build_send`], but an STGA adopts `history`
+    /// (a restored or shared table) instead of opening a fresh one —
+    /// the serving daemon's restart path. Non-STGA schedulers ignore it.
+    pub fn build_send_with_history(
+        &self,
+        jobs: &[Job],
+        grid: &Grid,
+        history: Option<SharedHistory>,
+    ) -> Result<Box<dyn BatchScheduler + Send>> {
+        if let (
+            SchedulerSpec::Stga {
+                params,
+                train_batch,
+            },
+            Some(history),
+        ) = (self, history)
+        {
+            let mut stga = Stga::with_history(*params, history);
+            if *train_batch > 0 {
+                stga.train(jobs, grid, *train_batch)?;
+            }
+            return Ok(Box::new(stga));
+        }
+        self.build_send(jobs, grid)
     }
 
     /// Like [`SchedulerSpec::build`], but `Send` — movable into the

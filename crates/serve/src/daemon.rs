@@ -1,34 +1,45 @@
 //! The `gridsec-serve` TCP daemon.
 //!
-//! Thread model (one scheduler, many clients):
+//! Thread model (one router, one scheduling thread *per shard*, many
+//! clients):
 //!
 //! ```text
-//!  client A ──► reader A ─┐                      ┌─► writer A ──► client A
-//!  client B ──► reader B ─┼─► MPSC ingest queue ─┤
-//!  client C ──► reader C ─┘    (one scheduler    └─► writer C ──► client C
-//!                               thread drains
-//!                               it in order)
+//!  client A ──► reader A ─┐                      ┌─► shard 0 thread ─┐
+//!  client B ──► reader B ─┼─► ingest ─► router ──┼─► shard 1 thread ─┼─► per-client
+//!  client C ──► reader C ─┘   queue    (routes   └─► shard 2 thread ─┘   writers
+//!                                       frames)
 //! ```
 //!
 //! Each accepted connection gets a *reader* thread (parses NDJSON frames,
-//! tags them with the client's reply channel, pushes them onto the shared
-//! ingest queue) and a *writer* thread (serialises responses back). A
-//! single scheduling thread owns the [`OnlineSession`] — the GA
-//! population pool, the STGA history table and the availability model
-//! live there untouched across rounds — and processes frames strictly in
-//! ingest order, so a given frame arrival order always produces the same
-//! schedule. A client disconnecting mid-round just drops its reply
-//! channel; scheduling continues.
+//! tags them with the client's reply channel and a per-client sequence
+//! number, pushes them onto the shared ingest queue) and a *writer*
+//! thread (serialises responses back **in request order** — replies may
+//! arrive from different shard threads, so the writer reorders by
+//! sequence number before touching the socket). A single *router* thread
+//! drains the ingest queue in order and forwards each frame to the shard
+//! that owns it — by the frame's explicit `shard` field or derived from
+//! the jobs' eligible sites — so a given frame arrival order always
+//! produces the same per-shard ingest order. Aggregated queries, global
+//! reconfigures, `drain` and `shutdown` scatter to every shard and gather
+//! the results (a barrier across shards). Each shard thread owns an
+//! [`OnlineSession`] over its subgrid — the GA population pool, the STGA
+//! history table and the availability model live there untouched across
+//! rounds. A client disconnecting mid-round just drops its reply channel;
+//! scheduling continues.
 
 use crate::protocol::{
-    encode, parse_request, read_line_bounded, Line, QueryWhat, Request, Response, MAX_LINE_BYTES,
+    encode, parse_request, read_line_bounded, Line, QueryWhat, Request, Response, ServeMetrics,
+    MAX_LINE_BYTES,
 };
 use crate::session::OnlineSession;
-use gridsec_core::Time;
+use crate::shard::{ShardMsg, ShardRuntime, ShardSpec};
+use gridsec_core::{Grid, JobId};
+use gridsec_sim::{Routing, ShardPlan};
+use std::collections::BinaryHeap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,15 +48,16 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClockMode {
     /// Arrivals drive the clock: jobs carry their own arrival stamps
-    /// (non-decreasing), and timeout boundaries fire when a later
-    /// submission or an explicit `drain` moves time past them. Fully
-    /// deterministic — the mode behind the golden cross-check and the
-    /// loadgen throughput benchmark.
+    /// (non-decreasing per shard), and timeout boundaries fire when a
+    /// later submission or an explicit `drain` moves time past them.
+    /// Fully deterministic — the mode behind the golden cross-check, the
+    /// sharding-equivalence suite and the loadgen throughput benchmark.
     #[default]
     Virtual,
     /// The daemon stamps arrivals from its own monotonic clock and fires
     /// timeout boundaries in real time (`1 s` of simulated interval =
-    /// `1 s` of wall clock). The live-serving mode.
+    /// `1 s` of wall clock). The live-serving mode. All shards share one
+    /// clock origin.
     WallClock,
 }
 
@@ -56,6 +68,11 @@ pub struct DaemonOptions {
     pub max_line_bytes: usize,
     /// Clock mode (default [`ClockMode::Virtual`]).
     pub clock: ClockMode,
+    /// Bound on each shard's pending queue (default `None` = unbounded).
+    /// When a shard's queue sits at the bound even after every due round
+    /// has run, further submits get a typed `busy` frame instead of
+    /// being enqueued — nothing is dropped silently.
+    pub max_pending: Option<usize>,
 }
 
 impl Default for DaemonOptions {
@@ -63,55 +80,138 @@ impl Default for DaemonOptions {
         DaemonOptions {
             max_line_bytes: MAX_LINE_BYTES,
             clock: ClockMode::Virtual,
+            max_pending: None,
         }
     }
 }
 
-/// One response line queued to a client's writer thread. `flushed`, when
-/// present, is signalled after the line hits the socket — the shutdown
-/// path waits on it so the final `bye` cannot be lost to process exit.
-struct Reply {
-    line: String,
-    flushed: Option<Sender<()>>,
+/// One response line queued to a client's writer thread. `seq` is the
+/// per-client request sequence number — the writer releases lines in
+/// `seq` order, so pipelined requests answered by different shard
+/// threads still come back in request order. `flushed`, when present, is
+/// signalled after the line hits the socket — the shutdown path waits on
+/// it so the final `bye` cannot be lost to process exit.
+pub(crate) struct Reply {
+    pub(crate) seq: u64,
+    pub(crate) line: String,
+    pub(crate) flushed: Option<Sender<()>>,
 }
 
-impl Reply {
-    fn plain(line: String) -> Reply {
-        Reply {
-            line,
-            flushed: None,
-        }
+/// Heap entry ordering replies by sequence number (min-heap via
+/// `Reverse`).
+struct HeldReply(Reply);
+
+impl PartialEq for HeldReply {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq
+    }
+}
+impl Eq for HeldReply {}
+impl PartialOrd for HeldReply {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldReply {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the smallest seq.
+        other.0.seq.cmp(&self.0.seq)
     }
 }
 
-/// One parsed (or rejected) frame, tagged with its reply channel.
+/// One parsed (or rejected) frame, tagged with its reply channel and
+/// per-client sequence number.
 enum IngestEvent {
-    Frame(Request, Sender<Reply>),
-    BadFrame(String, Sender<Reply>),
+    Frame(Request, Sender<Reply>, u64),
+    BadFrame(String, Sender<Reply>, u64),
 }
 
-/// A running daemon: the accept loop and scheduling thread handles.
+/// A running daemon: the accept loop, the router and the per-shard
+/// scheduling threads.
 pub struct Daemon {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    scheduler: Option<JoinHandle<()>>,
+    router: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
 }
 
 impl Daemon {
     /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts serving `session`. Returns once the listener is live; use
-    /// [`Daemon::addr`] to learn the bound address and
-    /// [`Daemon::join`] to wait for a `shutdown` frame.
+    /// starts serving `session` as a single shard covering the whole
+    /// grid — the PR 4 daemon, unchanged observable behaviour. Returns
+    /// once the listener is live; use [`Daemon::addr`] to learn the
+    /// bound address and [`Daemon::join`] to wait for a `shutdown`
+    /// frame.
     pub fn spawn(session: OnlineSession, bind: &str, options: DaemonOptions) -> io::Result<Daemon> {
+        let grid = session.grid().clone();
+        let plan = ShardPlan::contiguous(&grid, 1)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        Daemon::spawn_sharded(grid, plan, vec![ShardSpec::new(session)], bind, options)
+    }
+
+    /// Binds `bind` and starts serving `grid` split across the plan's
+    /// shards — one scheduling thread per shard, each owning the matching
+    /// [`ShardSpec`]'s session. Shard `k`'s session must run over exactly
+    /// [`ShardPlan::subgrid`]`(grid, k)`; anything else is rejected
+    /// before any thread spawns.
+    pub fn spawn_sharded(
+        grid: Grid,
+        plan: ShardPlan,
+        shards: Vec<ShardSpec>,
+        bind: &str,
+        options: DaemonOptions,
+    ) -> io::Result<Daemon> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+        if plan.n_sites() != grid.len() {
+            return Err(invalid(format!(
+                "plan covers {} sites but the grid has {}",
+                plan.n_sites(),
+                grid.len()
+            )));
+        }
+        if shards.len() != plan.n_shards() {
+            return Err(invalid(format!(
+                "{} shard sessions for a {}-shard plan",
+                shards.len(),
+                plan.n_shards()
+            )));
+        }
+        for (k, spec) in shards.iter().enumerate() {
+            let expect = plan.subgrid(&grid, k).map_err(|e| invalid(e.to_string()))?;
+            if *spec.session.grid() != expect {
+                return Err(invalid(format!(
+                    "shard {k}'s session grid does not match the plan's subgrid"
+                )));
+            }
+        }
+
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let (ingest_tx, ingest_rx) = channel::<IngestEvent>();
+        let start = Instant::now();
 
-        let scheduler = {
+        let mut shard_txs = Vec::with_capacity(shards.len());
+        let mut shard_handles = Vec::with_capacity(shards.len());
+        for (k, spec) in shards.into_iter().enumerate() {
+            let (tx, rx) = channel::<ShardMsg>();
+            let runtime = ShardRuntime {
+                shard: k,
+                session: spec.session,
+                global_sites: plan.sites_of(k).to_vec(),
+                clock: options.clock,
+                start,
+                max_pending: options.max_pending,
+                persist: spec.persist,
+            };
+            shard_handles.push(std::thread::spawn(move || runtime.run(rx)));
+            shard_txs.push(tx);
+        }
+
+        let router = {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                scheduling_loop(session, ingest_rx, options.clock);
+                router_loop(&grid, &plan, &shard_txs, ingest_rx);
                 stop.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the stop flag.
                 let _ = TcpStream::connect(addr);
@@ -134,7 +234,8 @@ impl Daemon {
         Ok(Daemon {
             addr,
             accept: Some(accept),
-            scheduler: Some(scheduler),
+            router: Some(router),
+            shards: shard_handles,
         })
     }
 
@@ -145,7 +246,10 @@ impl Daemon {
 
     /// Blocks until a client sends `shutdown` and the daemon winds down.
     pub fn join(mut self) {
-        if let Some(h) = self.scheduler.take() {
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+        for h in self.shards.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.accept.take() {
@@ -161,44 +265,50 @@ fn spawn_client(stream: TcpStream, ingest: Sender<IngestEvent>, max_line: usize)
     };
     let (reply_tx, reply_rx) = channel::<Reply>();
 
-    // Writer: serialised responses out, one line per frame. Exits when
-    // every holder of the reply sender (reader + queued events) is gone,
-    // or the client stops reading.
+    // Writer: serialised responses out, one line per frame, released in
+    // request (sequence) order. Exits when every holder of the reply
+    // sender (reader + queued events) is gone, or the client stops
+    // reading.
     std::thread::spawn(move || writer_loop(write_half, reply_rx));
 
-    // Reader: frames in. EOF or a transport error ends the thread; the
-    // scheduler never notices beyond the dropped reply channel.
+    // Reader: frames in, stamped with the per-client sequence number.
+    // EOF or a transport error ends the thread; the router never notices
+    // beyond the dropped reply channel.
     std::thread::spawn(move || {
         let mut reader = BufReader::new(stream);
+        let mut seq = 0u64;
         loop {
             match read_line_bounded(&mut reader, max_line) {
                 Ok(Line::Eof) | Err(_) => break,
                 Ok(Line::TooLong(n)) => {
                     let msg = format!("frame too long ({n} bytes > {max_line} limit)");
                     if ingest
-                        .send(IngestEvent::BadFrame(msg, reply_tx.clone()))
+                        .send(IngestEvent::BadFrame(msg, reply_tx.clone(), seq))
                         .is_err()
                     {
                         break;
                     }
+                    seq += 1;
                 }
                 Ok(Line::Frame(line)) => match parse_request(&line) {
-                    Ok(None) => {} // blank keep-alive line
+                    Ok(None) => {} // blank keep-alive line, no response due
                     Ok(Some(req)) => {
                         if ingest
-                            .send(IngestEvent::Frame(req, reply_tx.clone()))
+                            .send(IngestEvent::Frame(req, reply_tx.clone(), seq))
                             .is_err()
                         {
                             break;
                         }
+                        seq += 1;
                     }
                     Err(msg) => {
                         if ingest
-                            .send(IngestEvent::BadFrame(msg, reply_tx.clone()))
+                            .send(IngestEvent::BadFrame(msg, reply_tx.clone(), seq))
                             .is_err()
                         {
                             break;
                         }
+                        seq += 1;
                     }
                 },
             }
@@ -207,175 +317,366 @@ fn spawn_client(stream: TcpStream, ingest: Sender<IngestEvent>, max_line: usize)
 }
 
 fn writer_loop(mut stream: TcpStream, replies: Receiver<Reply>) {
-    for reply in replies {
-        if stream.write_all(reply.line.as_bytes()).is_err() {
-            break;
-        }
-        let _ = stream.flush();
-        if let Some(flushed) = reply.flushed {
-            let _ = flushed.send(());
+    let mut next = 0u64;
+    let mut held: BinaryHeap<HeldReply> = BinaryHeap::new();
+    'recv: for reply in replies {
+        held.push(HeldReply(reply));
+        while held.peek().is_some_and(|r| r.0.seq == next) {
+            let reply = held.pop().expect("peeked").0;
+            if stream.write_all(reply.line.as_bytes()).is_err() {
+                break 'recv;
+            }
+            let _ = stream.flush();
+            if let Some(flushed) = reply.flushed {
+                let _ = flushed.send(());
+            }
+            next += 1;
         }
     }
 }
 
-/// The single scheduling thread: drains the ingest queue in order; in
-/// wall-clock mode it also wakes up for due batch boundaries.
-fn scheduling_loop(mut session: OnlineSession, ingest: Receiver<IngestEvent>, clock: ClockMode) {
-    let start = Instant::now();
+/// Sends one message to every shard with a private return channel each,
+/// then collects the answers in shard order. The scatter happens before
+/// any wait, so the total wait is the *slowest* shard, not the sum. A
+/// `None` entry means the shard thread is gone.
+fn gather<T>(
+    shard_txs: &[Sender<ShardMsg>],
+    mut make: impl FnMut(Sender<T>) -> ShardMsg,
+) -> Vec<Option<T>> {
+    let pending: Vec<Option<Receiver<T>>> = shard_txs
+        .iter()
+        .map(|tx| {
+            let (reply_tx, reply_rx) = channel();
+            tx.send(make(reply_tx)).ok().map(|()| reply_rx)
+        })
+        .collect();
+    pending
+        .into_iter()
+        .map(|rx| rx.and_then(|rx| rx.recv().ok()))
+        .collect()
+}
+
+/// The router thread: drains the ingest queue in order, forwards each
+/// frame to the shard that owns it, and scatter-gathers the cross-shard
+/// operations. Exits after a `shutdown` frame (stopping every shard) or
+/// when the listener goes away.
+fn router_loop(
+    grid: &Grid,
+    plan: &ShardPlan,
+    shard_txs: &[Sender<ShardMsg>],
+    ingest: Receiver<IngestEvent>,
+) {
+    let n_shards = plan.n_shards();
     loop {
-        let event = match clock {
-            ClockMode::Virtual => match ingest.recv() {
-                Ok(ev) => ev,
-                Err(_) => return, // listener gone without a shutdown frame
-            },
-            ClockMode::WallClock => {
-                let now = Time::new(start.elapsed().as_secs_f64());
-                let timeout = session
-                    .next_boundary()
-                    .map(|b| Duration::from_secs_f64((b.seconds() - now.seconds()).max(0.0)));
-                match timeout {
-                    None => match ingest.recv() {
-                        Ok(ev) => ev,
-                        Err(_) => return,
-                    },
-                    Some(wait) => match ingest.recv_timeout(wait) {
-                        Ok(ev) => ev,
-                        Err(RecvTimeoutError::Timeout) => {
-                            let t = Time::new(start.elapsed().as_secs_f64());
-                            if session.tick(t).is_err() {
-                                // A scheduler failure on a timer round is
-                                // fatal for the session.
-                                return;
-                            }
+        let event = match ingest.recv() {
+            Ok(ev) => ev,
+            Err(_) => return, // listener gone; dropping shard_txs stops the shards
+        };
+        let (req, reply, seq) = match event {
+            IngestEvent::BadFrame(message, reply, seq) => {
+                let _ = reply.send(Reply::frame(seq, &Response::Error { message }));
+                continue;
+            }
+            IngestEvent::Frame(req, reply, seq) => (req, reply, seq),
+        };
+        match req {
+            Request::Submit { jobs, shard } => {
+                let target = match shard {
+                    Some(k) if k >= n_shards => {
+                        let _ = reply.send(Reply::frame(
+                            seq,
+                            &Response::UnknownShard { shard: k, n_shards },
+                        ));
+                        continue;
+                    }
+                    Some(k) => k,
+                    None => match derive_route(grid, plan, &jobs) {
+                        Ok(k) => k,
+                        Err(response) => {
+                            let _ = reply.send(Reply::frame(seq, &response));
                             continue;
                         }
-                        Err(RecvTimeoutError::Disconnected) => return,
                     },
-                }
+                };
+                forward(
+                    &shard_txs[target],
+                    ShardMsg::Submit {
+                        jobs,
+                        reply: reply.clone(),
+                        seq,
+                    },
+                    &reply,
+                    seq,
+                );
             }
-        };
-        match event {
-            IngestEvent::BadFrame(message, reply) => {
-                let _ = reply.send(Reply::plain(encode(&Response::Error { message })));
-            }
-            IngestEvent::Frame(req, reply) => {
-                let (response, shutdown) = handle(&mut session, req, clock, start);
-                if shutdown {
-                    // The daemon exits right after this; wait (bounded)
-                    // for the writer to flush the final frame so the
-                    // client is guaranteed its `bye`.
-                    let (flushed_tx, flushed_rx) = channel();
-                    let sent = reply
-                        .send(Reply {
-                            line: encode(&response),
-                            flushed: Some(flushed_tx),
-                        })
-                        .is_ok();
-                    if sent {
-                        let _ = flushed_rx.recv_timeout(Duration::from_secs(5));
-                    }
-                    return;
+            Request::Query {
+                what,
+                shard: Some(k),
+            } => {
+                if k >= n_shards {
+                    let _ = reply.send(Reply::frame(
+                        seq,
+                        &Response::UnknownShard { shard: k, n_shards },
+                    ));
+                    continue;
                 }
-                let _ = reply.send(Reply::plain(encode(&response)));
+                forward(
+                    &shard_txs[k],
+                    ShardMsg::Query {
+                        what,
+                        reply: reply.clone(),
+                        seq,
+                    },
+                    &reply,
+                    seq,
+                );
+            }
+            Request::Query { what, shard: None } => {
+                let response = aggregate_query(what, shard_txs);
+                let _ = reply.send(Reply::frame(seq, &response));
+            }
+            Request::Reconfigure {
+                security_levels,
+                shard: Some(k),
+            } => {
+                if k >= n_shards {
+                    let _ = reply.send(Reply::frame(
+                        seq,
+                        &Response::UnknownShard { shard: k, n_shards },
+                    ));
+                    continue;
+                }
+                forward(
+                    &shard_txs[k],
+                    ShardMsg::Reconfigure {
+                        levels: security_levels,
+                        reply: reply.clone(),
+                        seq,
+                    },
+                    &reply,
+                    seq,
+                );
+            }
+            Request::Reconfigure {
+                security_levels,
+                shard: None,
+            } => {
+                let response = global_reconfigure(grid, plan, shard_txs, &security_levels);
+                let _ = reply.send(Reply::frame(seq, &response));
+            }
+            Request::Drain => {
+                let response = drain_all(shard_txs);
+                let _ = reply.send(Reply::frame(seq, &response));
+            }
+            Request::Shutdown => {
+                let drained = drain_all(shard_txs);
+                let response = match drained {
+                    Response::Drained { .. } => Response::Bye,
+                    Response::Error { message } => Response::Error {
+                        message: format!("drain before shutdown failed: {message}"),
+                    },
+                    other => other,
+                };
+                // Barrier: every shard persists its state and exits
+                // before the client hears `bye`.
+                for done in gather(shard_txs, |tx| ShardMsg::Stop { done: tx }) {
+                    let _ = done;
+                }
+                // The daemon exits right after this; wait (bounded) for
+                // the writer to flush the final frame so the client is
+                // guaranteed its `bye`.
+                let (flushed_tx, flushed_rx) = channel();
+                let sent = reply
+                    .send(Reply {
+                        seq,
+                        line: encode(&response),
+                        flushed: Some(flushed_tx),
+                    })
+                    .is_ok();
+                if sent {
+                    let _ = flushed_rx.recv_timeout(Duration::from_secs(5));
+                }
+                return;
             }
         }
     }
 }
 
-/// Applies one request to the session; returns the response and whether
-/// the daemon should exit.
-fn handle(
-    session: &mut OnlineSession,
-    req: Request,
-    clock: ClockMode,
-    start: Instant,
-) -> (Response, bool) {
-    match req {
-        Request::Submit { jobs } => {
-            let mut accepted = 0usize;
-            for mut job in jobs {
-                if clock == ClockMode::WallClock {
-                    job.arrival = Time::new(start.elapsed().as_secs_f64());
+/// Frame-level derived routing: every job's eligible sites must sit in
+/// one and the same shard. The first job that breaks that yields a typed
+/// rejection for the whole frame (nothing was enqueued).
+fn derive_route(
+    grid: &Grid,
+    plan: &ShardPlan,
+    jobs: &[gridsec_core::Job],
+) -> Result<usize, Response> {
+    let mut target: Option<(usize, JobId)> = None;
+    for job in jobs {
+        match plan.route(grid, job) {
+            Routing::Unique(k) => match target {
+                None => target = Some((k, job.id)),
+                Some((t, first)) if t != k => {
+                    let mut shards = vec![t, k];
+                    shards.sort_unstable();
+                    return Err(Response::RouteRejected {
+                        job: job.id,
+                        shards,
+                        message: format!(
+                            "jobs in one frame must route to one shard: job {first} routes to \
+                             shard {t}, job {} to shard {k} (split the frame or pass an \
+                             explicit shard)",
+                            job.id
+                        ),
+                    });
                 }
-                match session.submit(job) {
-                    Ok(()) => accepted += 1,
-                    Err(e) => {
-                        // Jobs before the faulty one stay accepted; the
-                        // client learns exactly where the frame failed.
-                        return (
-                            Response::Error {
-                                message: format!("after {accepted} accepted jobs: {e}"),
-                            },
-                            false,
-                        );
-                    }
-                }
-            }
-            (
-                Response::Accepted {
-                    jobs: accepted,
-                    pending: session.pending(),
-                    rounds: session.rounds_run(),
-                },
-                false,
-            )
-        }
-        Request::Query {
-            what: QueryWhat::Schedule,
-        } => (
-            Response::Schedule {
-                assignments: session.assignments().to_vec(),
+                Some(_) => {}
             },
-            false,
-        ),
-        Request::Query {
-            what: QueryWhat::Metrics,
-        } => (
+            Routing::Spanning(shards) => {
+                return Err(Response::RouteRejected {
+                    job: job.id,
+                    message: format!(
+                        "job {} is eligible on sites spanning shards {shards:?}; pass an \
+                         explicit shard to place it",
+                        job.id
+                    ),
+                    shards,
+                });
+            }
+            Routing::NoFit => {
+                return Err(Response::RouteRejected {
+                    job: job.id,
+                    shards: Vec::new(),
+                    message: format!("job {} fits no site on any shard", job.id),
+                });
+            }
+        }
+    }
+    // An empty (or zero-job) frame routes to shard 0: it enqueues
+    // nothing, so any shard gives the same `accepted` answer.
+    Ok(target.map_or(0, |(k, _)| k))
+}
+
+/// An aggregated (all-shard) query: scatter, gather, merge.
+fn aggregate_query(what: QueryWhat, shard_txs: &[Sender<ShardMsg>]) -> Response {
+    match what {
+        QueryWhat::Metrics => {
+            let per_shard: Vec<_> = gather(shard_txs, |tx| ShardMsg::GatherMetrics { reply: tx })
+                .into_iter()
+                .flatten()
+                .collect();
+            if per_shard.len() != shard_txs.len() {
+                return shard_down();
+            }
             Response::Metrics {
-                metrics: session.metrics(),
-            },
-            false,
-        ),
-        Request::Reconfigure { security_levels } => {
-            match session.set_security_levels(&security_levels) {
-                Ok(()) => (
-                    Response::Reconfigured {
-                        sites: security_levels.len(),
-                    },
-                    false,
-                ),
-                Err(e) => (
-                    Response::Error {
-                        message: e.to_string(),
-                    },
-                    false,
-                ),
+                metrics: ServeMetrics::merge(&per_shard),
             }
         }
-        Request::Drain => match session.drain() {
-            Ok(rounds) => (
-                Response::Drained {
-                    rounds,
-                    jobs_scheduled: session.jobs_scheduled(),
-                },
-                false,
+        QueryWhat::Schedule => {
+            let per_shard = gather(shard_txs, |tx| ShardMsg::GatherSchedule { reply: tx });
+            if per_shard.iter().any(Option::is_none) {
+                return shard_down();
+            }
+            // Concatenated in shard order (commit order within each
+            // shard) — deterministic, and the identity for one shard.
+            Response::Schedule {
+                assignments: per_shard.into_iter().flatten().flatten().collect(),
+            }
+        }
+        QueryWhat::Shards => {
+            let per_shard: Vec<_> = gather(shard_txs, |tx| ShardMsg::GatherInfo { reply: tx })
+                .into_iter()
+                .flatten()
+                .collect();
+            if per_shard.len() != shard_txs.len() {
+                return shard_down();
+            }
+            Response::Shards { shards: per_shard }
+        }
+    }
+}
+
+/// A global trust update: validate once, split per shard, scatter,
+/// gather the acks.
+fn global_reconfigure(
+    grid: &Grid,
+    plan: &ShardPlan,
+    shard_txs: &[Sender<ShardMsg>],
+    levels: &[f64],
+) -> Response {
+    if levels.len() != grid.len() {
+        return Response::Error {
+            message: format!(
+                "reconfigure: {} security levels for {} sites",
+                levels.len(),
+                grid.len()
             ),
-            Err(e) => (
-                Response::Error {
-                    message: e.to_string(),
-                },
-                false,
-            ),
-        },
-        Request::Shutdown => match session.drain() {
-            Ok(_) => (Response::Bye, true),
-            Err(e) => (
-                Response::Error {
-                    message: format!("drain before shutdown failed: {e}"),
-                },
-                true,
-            ),
-        },
+        };
+    }
+    if let Some(bad) = levels.iter().find(|l| !(0.0..=1.0).contains(*l)) {
+        return Response::Error {
+            message: format!("reconfigure: security level {bad} not in [0, 1]"),
+        };
+    }
+    // Scatter by hand (not via `gather`): each shard gets its own slice
+    // of the levels, in shard-local site order.
+    let pending: Vec<Option<Receiver<Result<(), String>>>> = shard_txs
+        .iter()
+        .enumerate()
+        .map(|(k, tx)| {
+            let shard_levels: Vec<f64> = plan.sites_of(k).iter().map(|s| levels[s.0]).collect();
+            let (reply_tx, reply_rx) = channel();
+            tx.send(ShardMsg::GatherReconfigure {
+                levels: shard_levels,
+                reply: reply_tx,
+            })
+            .ok()
+            .map(|()| reply_rx)
+        })
+        .collect();
+    for rx in pending {
+        match rx.and_then(|rx| rx.recv().ok()) {
+            Some(Ok(())) => {}
+            Some(Err(message)) => return Response::Error { message },
+            None => return shard_down(),
+        }
+    }
+    Response::Reconfigured {
+        sites: levels.len(),
+    }
+}
+
+/// Drains every shard (a barrier) and merges the counters.
+fn drain_all(shard_txs: &[Sender<ShardMsg>]) -> Response {
+    let mut rounds = 0usize;
+    let mut jobs_scheduled = 0usize;
+    for result in gather(shard_txs, |tx| ShardMsg::GatherDrain { reply: tx }) {
+        match result {
+            Some(Ok((r, j))) => {
+                rounds += r;
+                jobs_scheduled += j;
+            }
+            Some(Err(message)) => return Response::Error { message },
+            None => return shard_down(),
+        }
+    }
+    Response::Drained {
+        rounds,
+        jobs_scheduled,
+    }
+}
+
+fn shard_down() -> Response {
+    Response::Error {
+        message: "a shard thread is no longer running".into(),
+    }
+}
+
+/// Forwards a message to a shard thread, answering the client with an
+/// error if the shard is gone — every request must produce exactly one
+/// response or the writer's in-order release would stall the connection.
+fn forward(shard: &Sender<ShardMsg>, msg: ShardMsg, reply: &Sender<Reply>, seq: u64) {
+    if shard.send(msg).is_err() {
+        let _ = reply.send(Reply::frame(seq, &shard_down()));
     }
 }
 

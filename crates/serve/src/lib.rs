@@ -6,16 +6,24 @@
 //! turns the in-process simulation stack into an actual daemon.
 //!
 //! * [`protocol`] — the NDJSON wire protocol (line-delimited JSON frames:
-//!   `submit`, `query`, `reconfigure`, `drain`, `shutdown`) with a
-//!   bounded, partial-read-tolerant line reader.
+//!   `submit`, `query`, `reconfigure`, `drain`, `shutdown`, all
+//!   shard-aware) with a bounded, partial-read-tolerant line reader.
 //! * [`OnlineSession`] — the single-threaded scheduling core: a
 //!   [`RoundDriver`](gridsec_sim::RoundDriver) (shared with the
 //!   discrete-event engine) plus the engine's exact batch-boundary
 //!   semantics on a virtual clock, keeping the scheduler — GA population
 //!   pool, STGA history table, scratch buffers — alive across rounds.
+//! * [`shard`] — multi-tenant sharding: one session + scheduling thread
+//!   per site-disjoint grid shard
+//!   ([`ShardPlan`](gridsec_sim::ShardPlan)), with optional per-shard
+//!   state persistence ([`ShardPersistence`]) and bounded-queue
+//!   backpressure. The `sharding_equivalence` suite proves a 1-shard
+//!   daemon bit-identical to the engine and an N-shard daemon
+//!   bit-identical to N independent single-shard daemons.
 //! * [`Daemon`] — the TCP front end: one reader thread per connection
-//!   feeding an MPSC ingest queue, one scheduling thread, per-client
-//!   writer threads. [`ClockMode::Virtual`] serves deterministic replays
+//!   feeding an MPSC ingest queue, a router thread forwarding frames to
+//!   the owning shard, per-client writer threads releasing responses in
+//!   request order. [`ClockMode::Virtual`] serves deterministic replays
 //!   (bit-identical to the simulator — see the golden cross-check test);
 //!   [`ClockMode::WallClock`] serves real time.
 //! * [`Client`] — a minimal lock-step client for tests, examples and the
@@ -36,9 +44,9 @@
 //! let daemon = Daemon::spawn(session, "127.0.0.1:0", DaemonOptions::default()).unwrap();
 //! let mut client = Client::connect(daemon.addr()).unwrap();
 //! let job = Job::builder(0).work(100.0).build().unwrap();
-//! client.send(&Request::Submit { jobs: vec![job] }).unwrap();
+//! client.send(&Request::Submit { jobs: vec![job], shard: None }).unwrap();
 //! client.send(&Request::Drain).unwrap();
-//! match client.send(&Request::Query { what: gridsec_serve::QueryWhat::Schedule }).unwrap() {
+//! match client.send(&Request::Query { what: gridsec_serve::QueryWhat::Schedule, shard: None }).unwrap() {
 //!     Response::Schedule { assignments } => assert_eq!(assignments.len(), 1),
 //!     other => panic!("unexpected response {other:?}"),
 //! }
@@ -52,7 +60,9 @@
 pub mod daemon;
 pub mod protocol;
 pub mod session;
+pub mod shard;
 
 pub use daemon::{Client, ClockMode, Daemon, DaemonOptions};
-pub use protocol::{Placed, QueryWhat, Request, Response, ServeMetrics, MAX_LINE_BYTES};
-pub use session::OnlineSession;
+pub use protocol::{Placed, QueryWhat, Request, Response, ServeMetrics, ShardInfo, MAX_LINE_BYTES};
+pub use session::{Admission, OnlineSession};
+pub use shard::{ShardPersistence, ShardSpec};

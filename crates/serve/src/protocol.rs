@@ -5,16 +5,32 @@
 //!
 //! ```json
 //! {"type":"submit","jobs":[{"id":0,"arrival":0.0,"width":1,"work":120.0,"security_demand":0.7}]}
+//! {"type":"submit","shard":1,"jobs":[{"id":1,"arrival":2.0,"width":1,"work":80.0,"security_demand":0.5}]}
 //! {"type":"query","what":"metrics"}
+//! {"type":"query","what":"schedule","shard":0}
+//! {"type":"query","what":"shards"}
 //! {"type":"reconfigure","security_levels":[0.9,0.4,0.75]}
+//! {"type":"reconfigure","shard":1,"security_levels":[0.8]}
 //! {"type":"drain"}
 //! {"type":"shutdown"}
 //! ```
 //!
-//! Every request gets exactly one response frame (`accepted`, `schedule`,
-//! `metrics`, `reconfigured`, `drained`, `bye`, or `error`), so a client
-//! can run the protocol in lock-step. Responses to different clients are
-//! written by per-client writer threads and never interleave mid-line.
+//! A daemon serving several shards routes `submit` frames by the `shard`
+//! field, or — when it is absent — derives the shard from the job's
+//! eligible sites (unambiguous only when all of them sit in one shard;
+//! spanning jobs are rejected with a typed `route_rejected` frame).
+//! Queries and `reconfigure` address one shard via `shard`, or all shards
+//! when it is absent (aggregated views / a global trust update). `drain`
+//! always barriers every shard.
+//!
+//! Every request gets exactly one response frame (`accepted`, `busy`,
+//! `schedule`, `metrics`, `shards`, `reconfigured`, `drained`, `bye`,
+//! `route_rejected`, `unknown_shard`, or `error`). Requests may be
+//! pipelined: responses always come back in request order (per-client
+//! sequence numbers reorder replies arriving from different shard
+//! threads), so lock-step clients and pipelining clients both stay in
+//! sync. Responses to different clients are written by per-client writer
+//! threads and never interleave mid-line.
 
 use gridsec_core::{Job, JobId, SiteId, Time};
 use gridsec_sim::CommittedAssignment;
@@ -31,26 +47,35 @@ pub const MAX_LINE_BYTES: usize = 1 << 20;
 #[serde(tag = "type", rename_all = "snake_case")]
 pub enum Request {
     /// Submit jobs. In virtual-clock mode the job `arrival` times drive
-    /// batching and must be non-decreasing across the whole session; in
-    /// wall-clock mode arrivals are stamped by the daemon.
+    /// batching and must be non-decreasing per shard; in wall-clock mode
+    /// arrivals are stamped by the daemon.
     Submit {
         /// The jobs to enqueue, in arrival order.
         jobs: Vec<Job>,
+        /// Target shard; absent → derived from the jobs' eligible sites.
+        shard: Option<usize>,
     },
     /// Read server state without changing it.
     Query {
         /// Which view to return.
         what: QueryWhat,
+        /// One shard's view; absent → aggregated over all shards.
+        shard: Option<usize>,
     },
     /// Update the per-site trust state (an IDS re-rating sites): one
     /// security level per site, in site order.
     Reconfigure {
-        /// New security levels, all in `[0, 1]`, one per site.
+        /// New security levels, all in `[0, 1]` — one per site of the
+        /// addressed shard (in shard-local site order), or one per site
+        /// of the whole grid (global site order) when `shard` is absent.
         security_levels: Vec<f64>,
+        /// Scope the update to one shard; absent → whole grid.
+        shard: Option<usize>,
     },
-    /// Run scheduling rounds until the pending queue is empty.
+    /// Run scheduling rounds until every shard's pending queue is empty
+    /// (a barrier across all shards).
     Drain,
-    /// Drain, reply `bye`, and stop the daemon.
+    /// Drain all shards, reply `bye`, and stop the daemon.
     Shutdown,
 }
 
@@ -62,6 +87,9 @@ pub enum QueryWhat {
     Schedule,
     /// Aggregate serving metrics.
     Metrics,
+    /// The shard topology: which sites each shard owns, its scheduler and
+    /// cheap per-shard counters.
+    Shards,
 }
 
 /// One committed assignment on the wire.
@@ -116,6 +144,58 @@ pub struct ServeMetrics {
     pub max_completion: Time,
 }
 
+impl ServeMetrics {
+    /// Aggregates per-shard metrics into one grid-wide view: counters and
+    /// scheduler seconds are summed, the per-round distributions are
+    /// concatenated in shard order, and the clock/makespan fields take
+    /// the maximum over shards.
+    pub fn merge(per_shard: &[ServeMetrics]) -> ServeMetrics {
+        let mut out = ServeMetrics {
+            jobs_submitted: 0,
+            jobs_scheduled: 0,
+            pending: 0,
+            rounds: 0,
+            batch_sizes: Vec::new(),
+            round_nanos: Vec::new(),
+            scheduler_seconds: 0.0,
+            virtual_now: Time::ZERO,
+            max_completion: Time::ZERO,
+        };
+        for m in per_shard {
+            out.jobs_submitted += m.jobs_submitted;
+            out.jobs_scheduled += m.jobs_scheduled;
+            out.pending += m.pending;
+            out.rounds += m.rounds;
+            out.batch_sizes.extend_from_slice(&m.batch_sizes);
+            out.round_nanos.extend_from_slice(&m.round_nanos);
+            out.scheduler_seconds += m.scheduler_seconds;
+            out.virtual_now = out.virtual_now.max(m.virtual_now);
+            out.max_completion = out.max_completion.max(m.max_completion);
+        }
+        out
+    }
+}
+
+/// One shard's topology and cheap counters (the `query what=shards`
+/// view).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// The shard id.
+    pub shard: usize,
+    /// Global site ids this shard owns.
+    pub sites: Vec<SiteId>,
+    /// The shard scheduler's display name.
+    pub scheduler: String,
+    /// Jobs accepted by this shard.
+    pub jobs_submitted: usize,
+    /// Jobs with at least one committed assignment.
+    pub jobs_scheduled: usize,
+    /// Jobs waiting for the shard's next round.
+    pub pending: usize,
+    /// Non-empty scheduling rounds this shard has run.
+    pub rounds: usize,
+}
+
 /// A daemon → client frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
@@ -124,10 +204,26 @@ pub enum Response {
     Accepted {
         /// Jobs enqueued by this frame.
         jobs: usize,
-        /// Queue depth after the frame (rounds may have fired mid-frame).
+        /// The shard that accepted them.
+        shard: usize,
+        /// The shard's queue depth after the frame (rounds may have fired
+        /// mid-frame).
         pending: usize,
-        /// Total rounds run so far.
+        /// Rounds the shard has run so far.
         rounds: usize,
+    },
+    /// The shard's bounded pending queue is full: jobs beyond `jobs`
+    /// were **not** enqueued — resubmit them once the shard runs a round
+    /// (nothing is dropped silently, the accepted prefix stays accepted).
+    Busy {
+        /// Jobs from this frame that were enqueued before the limit hit.
+        jobs: usize,
+        /// The shard that refused.
+        shard: usize,
+        /// The shard's current queue depth (= the limit).
+        pending: usize,
+        /// The configured per-shard queue bound.
+        limit: usize,
     },
     /// The served schedule (response to `query what=schedule`).
     Schedule {
@@ -150,6 +246,34 @@ pub enum Response {
         rounds: usize,
         /// Jobs with at least one committed assignment.
         jobs_scheduled: usize,
+    },
+    /// The shard topology (response to `query what=shards`).
+    Shards {
+        /// One entry per addressed shard, ascending by shard id.
+        shards: Vec<ShardInfo>,
+    },
+    /// Derived routing failed: the named job is eligible on sites
+    /// spanning several shards (or none, or a different shard than the
+    /// frame's other jobs), and no explicit `shard` was given. Routing
+    /// is frame-atomic — **nothing** from the frame was enqueued, so the
+    /// client resubmits the whole frame (split, or with an explicit
+    /// shard).
+    RouteRejected {
+        /// The job that could not be routed.
+        job: JobId,
+        /// The shards holding sites the job is eligible on (empty when
+        /// it fits nowhere).
+        shards: Vec<usize>,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// The request named a shard the daemon does not serve.
+    UnknownShard {
+        /// The shard id the request named.
+        shard: usize,
+        /// How many shards the daemon serves (valid ids are
+        /// `0..n_shards`).
+        n_shards: usize,
     },
     /// Shutdown acknowledged; the daemon exits after this frame.
     Bye,
@@ -252,15 +376,31 @@ mod tests {
                     .security_demand(0.6)
                     .build()
                     .unwrap()],
+                shard: None,
+            },
+            Request::Submit {
+                jobs: vec![],
+                shard: Some(2),
             },
             Request::Query {
                 what: QueryWhat::Schedule,
+                shard: None,
             },
             Request::Query {
                 what: QueryWhat::Metrics,
+                shard: Some(0),
+            },
+            Request::Query {
+                what: QueryWhat::Shards,
+                shard: None,
             },
             Request::Reconfigure {
                 security_levels: vec![0.5, 0.9],
+                shard: None,
+            },
+            Request::Reconfigure {
+                security_levels: vec![0.7],
+                shard: Some(1),
             },
             Request::Drain,
             Request::Shutdown,
@@ -274,12 +414,96 @@ mod tests {
     }
 
     #[test]
+    fn pre_sharding_frames_still_parse() {
+        // PR 4 clients never send a `shard` field; those frames must keep
+        // parsing (shard = None → derived routing / aggregated views).
+        let submit = parse_request(
+            b"{\"type\":\"submit\",\"jobs\":[{\"id\":0,\"arrival\":0.0,\"width\":1,\
+              \"work\":10.0,\"security_demand\":0.5}]}",
+        )
+        .unwrap()
+        .unwrap();
+        match submit {
+            Request::Submit { jobs, shard } => {
+                assert_eq!(jobs.len(), 1);
+                assert_eq!(shard, None);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let query = parse_request(b"{\"type\":\"query\",\"what\":\"metrics\"}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            query,
+            Request::Query {
+                what: QueryWhat::Metrics,
+                shard: None
+            }
+        );
+        let reconf = parse_request(b"{\"type\":\"reconfigure\",\"security_levels\":[0.4]}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            reconf,
+            Request::Reconfigure {
+                security_levels: vec![0.4],
+                shard: None
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_merge_sums_counters_and_concatenates_distributions() {
+        let a = ServeMetrics {
+            jobs_submitted: 3,
+            jobs_scheduled: 2,
+            pending: 1,
+            rounds: 2,
+            batch_sizes: vec![1, 1],
+            round_nanos: vec![10, 20],
+            scheduler_seconds: 0.5,
+            virtual_now: Time::new(30.0),
+            max_completion: Time::new(90.0),
+        };
+        let b = ServeMetrics {
+            jobs_submitted: 5,
+            jobs_scheduled: 5,
+            pending: 0,
+            rounds: 1,
+            batch_sizes: vec![5],
+            round_nanos: vec![7],
+            scheduler_seconds: 0.25,
+            virtual_now: Time::new(50.0),
+            max_completion: Time::new(60.0),
+        };
+        let m = ServeMetrics::merge(&[a.clone(), b]);
+        assert_eq!(m.jobs_submitted, 8);
+        assert_eq!(m.jobs_scheduled, 7);
+        assert_eq!(m.pending, 1);
+        assert_eq!(m.rounds, 3);
+        assert_eq!(m.batch_sizes, vec![1, 1, 5]);
+        assert_eq!(m.round_nanos, vec![10, 20, 7]);
+        assert_eq!(m.scheduler_seconds, 0.75);
+        assert_eq!(m.virtual_now, Time::new(50.0));
+        assert_eq!(m.max_completion, Time::new(90.0));
+        // Merging one shard is the identity.
+        assert_eq!(ServeMetrics::merge(std::slice::from_ref(&a)), a);
+    }
+
+    #[test]
     fn response_frames_round_trip() {
         let frames = vec![
             Response::Accepted {
                 jobs: 2,
+                shard: 0,
                 pending: 5,
                 rounds: 1,
+            },
+            Response::Busy {
+                jobs: 1,
+                shard: 2,
+                pending: 8,
+                limit: 8,
             },
             Response::Schedule {
                 assignments: vec![Placed {
@@ -289,6 +513,26 @@ mod tests {
                     start: Time::new(10.0),
                     end: Time::new(60.0),
                 }],
+            },
+            Response::Shards {
+                shards: vec![ShardInfo {
+                    shard: 1,
+                    sites: vec![SiteId(2), SiteId(3)],
+                    scheduler: "MinMin".into(),
+                    jobs_submitted: 4,
+                    jobs_scheduled: 3,
+                    pending: 1,
+                    rounds: 2,
+                }],
+            },
+            Response::RouteRejected {
+                job: JobId(9),
+                shards: vec![0, 1],
+                message: "spanning".into(),
+            },
+            Response::UnknownShard {
+                shard: 7,
+                n_shards: 2,
             },
             Response::Bye,
             Response::Error {

@@ -30,6 +30,22 @@ use gridsec_sim::{BatchJob, BatchScheduler, RoundDriver, SimConfig};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
+/// Outcome of a bounded submit: either the job joined the pending queue
+/// or the queue was full even after every due round ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The job was enqueued.
+    Enqueued,
+    /// The pending queue sat at the bound even after firing every
+    /// boundary strictly before the job's arrival — the job was **not**
+    /// enqueued (its id stays reusable) and the caller should resubmit
+    /// after a round runs.
+    Busy {
+        /// The queue depth at rejection (= the bound).
+        pending: usize,
+    },
+}
+
 /// A live scheduling session over one grid and one scheduler.
 pub struct OnlineSession {
     rounds: RoundDriver,
@@ -87,6 +103,12 @@ impl OnlineSession {
         self.scheduler.name()
     }
 
+    /// The grid this session schedules onto (a shard's subgrid when the
+    /// session serves one shard of a larger grid).
+    pub fn grid(&self) -> &Grid {
+        self.rounds.grid()
+    }
+
     /// The session's virtual clock.
     pub fn now(&self) -> Time {
         self.now
@@ -115,6 +137,11 @@ impl OnlineSession {
         self.scheduled_jobs.len()
     }
 
+    /// Jobs accepted over the session (cheap counter).
+    pub fn jobs_submitted(&self) -> usize {
+        self.jobs_submitted
+    }
+
     /// Every assignment committed so far, in commit order.
     pub fn assignments(&self) -> &[Placed] {
         &self.committed
@@ -125,6 +152,18 @@ impl OnlineSession {
     /// and applies the batch policy. Arrivals must be non-decreasing —
     /// the virtual clock cannot run backwards.
     pub fn submit(&mut self, job: Job) -> Result<()> {
+        match self.submit_bounded(job, None)? {
+            Admission::Enqueued => Ok(()),
+            Admission::Busy { .. } => unreachable!("no bound was given"),
+        }
+    }
+
+    /// Like [`OnlineSession::submit`], but with an optional bound on the
+    /// pending queue (serving-mode backpressure). The bound is checked
+    /// *after* the clock advance fires every due boundary, so a rejection
+    /// means the queue is genuinely full at the job's arrival instant —
+    /// not merely full before rounds the arrival itself would trigger.
+    pub fn submit_bounded(&mut self, job: Job, max_pending: Option<usize>) -> Result<Admission> {
         if job.arrival < self.now {
             return Err(Error::invalid(
                 "submit",
@@ -147,13 +186,22 @@ impl OnlineSession {
         }
         self.advance_strictly_before(job.arrival)?;
         self.now = job.arrival;
+        if let Some(limit) = max_pending {
+            let pending = self.rounds.pending_len();
+            if pending >= limit {
+                // The job was never enqueued; the id is reusable so the
+                // client can resubmit the same job later.
+                self.known_jobs.remove(&job.id);
+                return Ok(Admission::Busy { pending });
+            }
+        }
         self.jobs_submitted += 1;
         self.rounds.enqueue(BatchJob {
             job,
             secure_only: false,
         });
         self.after_enqueue();
-        Ok(())
+        Ok(Admission::Enqueued)
     }
 
     /// Advances the clock to `t`, firing every boundary at or before it
@@ -415,6 +463,37 @@ mod tests {
         s.tick(Time::new(10.0)).unwrap();
         assert_eq!(s.metrics().rounds, 1);
         assert_eq!(s.now(), Time::new(10.0));
+    }
+
+    #[test]
+    fn bounded_submit_goes_busy_only_when_rounds_cannot_help() {
+        let mut s = session(BatchPolicy::CountTriggered(2));
+        let limit = Some(2);
+        assert_eq!(
+            s.submit_bounded(job(0, 1.0, 5.0), limit).unwrap(),
+            Admission::Enqueued
+        );
+        assert_eq!(
+            s.submit_bounded(job(1, 1.0, 5.0), limit).unwrap(),
+            Admission::Enqueued
+        );
+        // Same instant: the count-triggered boundary at t = 1 has not
+        // passed yet, so the queue is genuinely full.
+        assert_eq!(
+            s.submit_bounded(job(2, 1.0, 5.0), limit).unwrap(),
+            Admission::Busy { pending: 2 }
+        );
+        // A later arrival fires the due boundary first — room again.
+        assert_eq!(
+            s.submit_bounded(job(3, 2.0, 5.0), limit).unwrap(),
+            Admission::Enqueued
+        );
+        // The busied id was never consumed; the client resubmits it.
+        assert_eq!(
+            s.submit_bounded(job(2, 2.0, 5.0), limit).unwrap(),
+            Admission::Enqueued
+        );
+        assert_eq!(s.metrics().jobs_submitted, 4);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Per-shard scheduling threads: each shard of the grid gets its own
+//! [`OnlineSession`] (own `RoundDriver`, availability model, scheduler
+//! state — GA population pool and STGA history table included) running on
+//! a dedicated thread, so rounds on different shards proceed
+//! concurrently. Site-disjointness makes this exact, not approximate: a
+//! shard's schedule is bit-identical to the schedule of an independent
+//! daemon serving just that shard's subgrid (pinned by the
+//! `sharding_equivalence` suite).
+//!
+//! The shard thread speaks shard-local site ids internally (its session
+//! runs over the re-indexed subgrid) and translates to global site ids on
+//! every outbound schedule, so clients only ever see the real grid.
+
+use crate::daemon::{ClockMode, Reply};
+use crate::protocol::{encode, Placed, QueryWhat, Response, ServeMetrics, ShardInfo};
+use crate::session::{Admission, OnlineSession};
+use gridsec_core::{Job, SiteId, Time};
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Where and how a shard persists its scheduler state across restarts.
+///
+/// The daemon calls `snapshot` at every shutdown barrier (after the final
+/// drain) and writes the returned JSON to `path`; loading is the
+/// builder's job (construct the scheduler from the file before spawning).
+pub struct ShardPersistence {
+    /// File the snapshot is written to (one file per shard).
+    pub path: PathBuf,
+    /// Produces the state snapshot (e.g. `SharedHistory::to_json`).
+    pub snapshot: Box<dyn Fn() -> String + Send>,
+}
+
+impl std::fmt::Debug for ShardPersistence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPersistence")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One shard of a sharded daemon: the session over the shard's subgrid
+/// plus optional state persistence.
+pub struct ShardSpec {
+    /// The shard's scheduling session (grid = the shard's subgrid).
+    pub session: OnlineSession,
+    /// Optional scheduler-state persistence.
+    pub persist: Option<ShardPersistence>,
+}
+
+impl ShardSpec {
+    /// A shard without persistence.
+    pub fn new(session: OnlineSession) -> ShardSpec {
+        ShardSpec {
+            session,
+            persist: None,
+        }
+    }
+}
+
+/// A request from the router to one shard thread.
+///
+/// `Submit`/`Query`/`Reconfigure` carry the client's reply channel and
+/// sequence number — the shard answers the client directly. The `Gather*`
+/// variants return raw data to the router, which merges across shards.
+pub(crate) enum ShardMsg {
+    /// Enqueue jobs (already routed); replies `accepted`/`busy`/`error`.
+    Submit {
+        jobs: Vec<Job>,
+        reply: Sender<Reply>,
+        seq: u64,
+    },
+    /// One shard's view; replies `schedule`/`metrics`/`shards`.
+    Query {
+        what: QueryWhat,
+        reply: Sender<Reply>,
+        seq: u64,
+    },
+    /// Scoped trust update (shard-local site order); replies
+    /// `reconfigured`/`error`.
+    Reconfigure {
+        levels: Vec<f64>,
+        reply: Sender<Reply>,
+        seq: u64,
+    },
+    /// Metrics snapshot for an aggregated view.
+    GatherMetrics { reply: Sender<ServeMetrics> },
+    /// Committed schedule (global site ids) for an aggregated view.
+    GatherSchedule { reply: Sender<Vec<Placed>> },
+    /// Topology + cheap counters.
+    GatherInfo { reply: Sender<ShardInfo> },
+    /// Trust update as part of a global reconfigure (levels already
+    /// validated by the router).
+    GatherReconfigure {
+        levels: Vec<f64>,
+        reply: Sender<Result<(), String>>,
+    },
+    /// Drain this shard; returns `(rounds, jobs_scheduled)`.
+    GatherDrain {
+        reply: Sender<Result<(usize, usize), String>>,
+    },
+    /// Persist state and exit the shard thread.
+    Stop { done: Sender<()> },
+}
+
+/// Everything one shard thread owns.
+pub(crate) struct ShardRuntime {
+    pub shard: usize,
+    pub session: OnlineSession,
+    /// Local site index → global [`SiteId`].
+    pub global_sites: Vec<SiteId>,
+    pub clock: ClockMode,
+    pub start: Instant,
+    pub max_pending: Option<usize>,
+    pub persist: Option<ShardPersistence>,
+}
+
+impl ShardRuntime {
+    /// The shard scheduling loop: drains the shard's queue in order; in
+    /// wall-clock mode it also wakes up for due batch boundaries. Exits
+    /// on `Stop` or when the router goes away, persisting state either
+    /// way.
+    pub(crate) fn run(mut self, rx: Receiver<ShardMsg>) {
+        loop {
+            let msg = match self.clock {
+                ClockMode::Virtual => match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break, // router gone without a shutdown frame
+                },
+                ClockMode::WallClock => {
+                    let now = Time::new(self.start.elapsed().as_secs_f64());
+                    let timeout = self
+                        .session
+                        .next_boundary()
+                        .map(|b| Duration::from_secs_f64((b.seconds() - now.seconds()).max(0.0)));
+                    match timeout {
+                        None => match rx.recv() {
+                            Ok(m) => m,
+                            Err(_) => break,
+                        },
+                        Some(wait) => match rx.recv_timeout(wait) {
+                            Ok(m) => m,
+                            Err(RecvTimeoutError::Timeout) => {
+                                let t = Time::new(self.start.elapsed().as_secs_f64());
+                                if self.session.tick(t).is_err() {
+                                    // A scheduler failure on a timer round
+                                    // is fatal for the shard.
+                                    break;
+                                }
+                                continue;
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        },
+                    }
+                }
+            };
+            match msg {
+                ShardMsg::Submit { jobs, reply, seq } => {
+                    let response = self.handle_submit(jobs);
+                    let _ = reply.send(Reply::frame(seq, &response));
+                }
+                ShardMsg::Query { what, reply, seq } => {
+                    let response = self.handle_query(what);
+                    let _ = reply.send(Reply::frame(seq, &response));
+                }
+                ShardMsg::Reconfigure { levels, reply, seq } => {
+                    let response = match self.session.set_security_levels(&levels) {
+                        Ok(()) => Response::Reconfigured {
+                            sites: levels.len(),
+                        },
+                        Err(e) => Response::Error {
+                            message: format!("shard {}: {e}", self.shard),
+                        },
+                    };
+                    let _ = reply.send(Reply::frame(seq, &response));
+                }
+                ShardMsg::GatherMetrics { reply } => {
+                    let _ = reply.send(self.session.metrics());
+                }
+                ShardMsg::GatherSchedule { reply } => {
+                    let _ = reply.send(self.global_schedule());
+                }
+                ShardMsg::GatherInfo { reply } => {
+                    let _ = reply.send(self.info());
+                }
+                ShardMsg::GatherReconfigure { levels, reply } => {
+                    let result = self
+                        .session
+                        .set_security_levels(&levels)
+                        .map_err(|e| format!("shard {}: {e}", self.shard));
+                    let _ = reply.send(result);
+                }
+                ShardMsg::GatherDrain { reply } => {
+                    let result = self
+                        .session
+                        .drain()
+                        .map(|rounds| (rounds, self.session.jobs_scheduled()))
+                        .map_err(|e| format!("shard {}: {e}", self.shard));
+                    let _ = reply.send(result);
+                }
+                ShardMsg::Stop { done } => {
+                    self.save_state();
+                    let _ = done.send(());
+                    return;
+                }
+            }
+        }
+        // Router gone or fatal timer round: persist best-effort.
+        self.save_state();
+    }
+
+    /// Enqueues a routed submit frame: wall-clock stamping, bounded-queue
+    /// backpressure, partial-accept semantics on semantic errors.
+    fn handle_submit(&mut self, jobs: Vec<Job>) -> Response {
+        let mut accepted = 0usize;
+        for mut job in jobs {
+            if self.clock == ClockMode::WallClock {
+                job.arrival = Time::new(self.start.elapsed().as_secs_f64());
+            }
+            match self.session.submit_bounded(job, self.max_pending) {
+                Ok(Admission::Enqueued) => accepted += 1,
+                Ok(Admission::Busy { pending }) => {
+                    // Jobs before this one stay accepted; the rest of the
+                    // frame was not enqueued and must be resubmitted.
+                    return Response::Busy {
+                        jobs: accepted,
+                        shard: self.shard,
+                        pending,
+                        limit: self.max_pending.expect("busy implies a bound"),
+                    };
+                }
+                Err(e) => {
+                    return Response::Error {
+                        message: format!(
+                            "shard {}: after {accepted} accepted jobs: {e}",
+                            self.shard
+                        ),
+                    };
+                }
+            }
+        }
+        Response::Accepted {
+            jobs: accepted,
+            shard: self.shard,
+            pending: self.session.pending(),
+            rounds: self.session.rounds_run(),
+        }
+    }
+
+    /// One shard's view of a query.
+    fn handle_query(&self, what: QueryWhat) -> Response {
+        match what {
+            QueryWhat::Schedule => Response::Schedule {
+                assignments: self.global_schedule(),
+            },
+            QueryWhat::Metrics => Response::Metrics {
+                metrics: self.session.metrics(),
+            },
+            QueryWhat::Shards => Response::Shards {
+                shards: vec![self.info()],
+            },
+        }
+    }
+
+    /// The committed schedule with local site ids translated to global.
+    fn global_schedule(&self) -> Vec<Placed> {
+        self.session
+            .assignments()
+            .iter()
+            .map(|p| Placed {
+                site: self.global_sites[p.site.0],
+                ..*p
+            })
+            .collect()
+    }
+
+    fn info(&self) -> ShardInfo {
+        ShardInfo {
+            shard: self.shard,
+            sites: self.global_sites.clone(),
+            scheduler: self.session.scheduler_name(),
+            jobs_submitted: self.session.jobs_submitted(),
+            jobs_scheduled: self.session.jobs_scheduled(),
+            pending: self.session.pending(),
+            rounds: self.session.rounds_run(),
+        }
+    }
+
+    /// Writes the persistence snapshot, if configured. Failures are
+    /// reported on stderr — state files are an operational convenience,
+    /// never worth killing the serving path over.
+    fn save_state(&self) {
+        let Some(p) = &self.persist else { return };
+        let json = (p.snapshot)();
+        if let Err(e) = std::fs::write(&p.path, json) {
+            eprintln!(
+                "gridsec-serve: shard {}: cannot write state file {}: {e}",
+                self.shard,
+                p.path.display()
+            );
+        }
+    }
+}
+
+/// Builds one reply frame (shared by shard threads and the router).
+impl Reply {
+    pub(crate) fn frame(seq: u64, response: &Response) -> Reply {
+        Reply {
+            seq,
+            line: encode(response),
+            flushed: None,
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Bounded-queue backpressure against a live daemon: a shard whose
+//! pending queue sits at the bound replies with a typed `busy` frame,
+//! nothing is dropped silently, and the NDJSON stream never desyncs.
+//!
+//! Two regimes:
+//!
+//! * deterministic (virtual clock): busy fires exactly when the queue is
+//!   full *and* no due boundary can make room;
+//! * paced (wall clock): a rate-driven submitter — the same loop
+//!   `loadgen --rate --max-pending` runs — retries busy frames until the
+//!   shard's timer rounds drain the queue, and every job lands exactly
+//!   once.
+
+use gridsec_core::{Grid, Job, Site, Time};
+use gridsec_serve::{
+    Client, ClockMode, Daemon, DaemonOptions, OnlineSession, QueryWhat, Request, Response,
+};
+use gridsec_sim::scheduler::EarliestCompletion;
+use gridsec_sim::{BatchPolicy, SimConfig};
+use std::collections::HashSet;
+
+fn grid() -> Grid {
+    Grid::new(vec![
+        Site::builder(0)
+            .nodes(2)
+            .speed(1.0)
+            .security_level(1.0)
+            .build()
+            .unwrap(),
+        Site::builder(1)
+            .nodes(2)
+            .speed(2.0)
+            .security_level(1.0)
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+fn job(id: u64, arrival: f64, work: f64) -> Job {
+    Job::builder(id)
+        .arrival(Time::new(arrival))
+        .work(work)
+        .security_demand(0.5)
+        .build()
+        .unwrap()
+}
+
+fn shutdown(client: &mut Client, daemon: Daemon) {
+    assert_eq!(client.send(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join();
+}
+
+#[test]
+fn virtual_clock_busy_is_deterministic_and_loses_nothing() {
+    let config = SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(BatchPolicy::CountTriggered(2));
+    let session = OnlineSession::new(grid(), Box::new(EarliestCompletion), &config).unwrap();
+    let daemon = Daemon::spawn(
+        session,
+        "127.0.0.1:0",
+        DaemonOptions {
+            max_pending: Some(2),
+            ..DaemonOptions::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    // Two same-instant jobs fill the queue (the count boundary at t = 1
+    // has not passed yet).
+    for id in 0..2 {
+        match client
+            .send(&Request::Submit {
+                jobs: vec![job(id, 1.0, 5.0)],
+                shard: None,
+            })
+            .unwrap()
+        {
+            Response::Accepted { jobs: 1, .. } => {}
+            other => panic!("submit failed: {other:?}"),
+        }
+    }
+    // The third same-instant job hits the bound: typed busy, nothing
+    // enqueued, nothing dropped silently.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(2, 1.0, 5.0)],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Busy {
+            jobs,
+            shard,
+            pending,
+            limit,
+        } => {
+            assert_eq!(jobs, 0, "the busy frame enqueued nothing");
+            assert_eq!(shard, 0);
+            assert_eq!(pending, 2);
+            assert_eq!(limit, 2);
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    // A multi-job frame that hits the bound midway reports the accepted
+    // prefix: the later arrival first fires the due boundary (making
+    // room for two), then the bound hits again at the third job.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(3, 2.0, 5.0), job(4, 2.0, 5.0), job(5, 2.0, 5.0)],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Busy { jobs, pending, .. } => {
+            assert_eq!(jobs, 2, "the first two jobs of the frame fit");
+            assert_eq!(pending, 2);
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    // The stream is still framed: the rejected jobs resubmit cleanly at
+    // a later arrival (the ids were never consumed).
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(2, 3.0, 5.0), job(5, 3.0, 5.0)],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Busy { jobs, .. } => {
+            // The boundary the t=3 arrival fires frees the queue; both
+            // fit unless the count trigger queued one for t=2 — accept
+            // either a clean accept or a prefix + retry.
+            assert!(jobs <= 2);
+        }
+        Response::Accepted { jobs: 2, .. } => {}
+        other => panic!("resubmit failed: {other:?}"),
+    }
+    // Drain and check nothing was lost or duplicated: every accepted job
+    // appears exactly once in the served schedule.
+    client.send(&Request::Drain).unwrap();
+    let (scheduled, submitted) = match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Metrics { metrics } => (metrics.jobs_scheduled, metrics.jobs_submitted),
+        other => panic!("metrics failed: {other:?}"),
+    };
+    assert_eq!(scheduled, submitted, "accepted jobs must all schedule");
+    let assignments = match client
+        .send(&Request::Query {
+            what: QueryWhat::Schedule,
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Schedule { assignments } => assignments,
+        other => panic!("query failed: {other:?}"),
+    };
+    let unique: HashSet<_> = assignments.iter().map(|p| p.job).collect();
+    assert_eq!(unique.len(), assignments.len(), "no duplicate commitments");
+    shutdown(&mut client, daemon);
+}
+
+#[test]
+fn rate_paced_submitter_retries_busy_until_everything_lands() {
+    // A wall-clock daemon with a 30 ms round interval and a queue bound
+    // of 4, driven flat-out: the submitter must observe busy frames and
+    // retry each one until the timer rounds make room. This is the
+    // loadgen `--rate --max-pending` loop in miniature.
+    let config = SimConfig::default()
+        .with_interval(Time::new(0.03))
+        .with_batch_policy(BatchPolicy::Periodic);
+    let session = OnlineSession::new(grid(), Box::new(EarliestCompletion), &config).unwrap();
+    let daemon = Daemon::spawn(
+        session,
+        "127.0.0.1:0",
+        DaemonOptions {
+            clock: ClockMode::WallClock,
+            max_pending: Some(4),
+            ..DaemonOptions::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    let n_jobs = 40u64;
+    let mut busy_seen = 0usize;
+    for id in 0..n_jobs {
+        // Arrival stamps are ignored in wall-clock mode.
+        let j = job(id, 0.0, 0.5);
+        loop {
+            match client
+                .send(&Request::Submit {
+                    jobs: vec![j.clone()],
+                    shard: None,
+                })
+                .unwrap()
+            {
+                Response::Accepted { jobs: 1, .. } => break,
+                Response::Busy { jobs: 0, .. } => {
+                    busy_seen += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                other => panic!("submit failed: {other:?}"),
+            }
+        }
+    }
+    assert!(
+        busy_seen > 0,
+        "a 4-deep bound against flat-out submission must push back"
+    );
+    client.send(&Request::Drain).unwrap();
+    let metrics = match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Metrics { metrics } => metrics,
+        other => panic!("metrics failed: {other:?}"),
+    };
+    // No job silently dropped: everything submitted was scheduled.
+    assert_eq!(metrics.jobs_submitted, n_jobs as usize);
+    assert_eq!(metrics.jobs_scheduled, n_jobs as usize);
+    assert_eq!(metrics.pending, 0);
+    // And the stream never desynced: every job exactly once.
+    let assignments = match client
+        .send(&Request::Query {
+            what: QueryWhat::Schedule,
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Schedule { assignments } => assignments,
+        other => panic!("query failed: {other:?}"),
+    };
+    assert_eq!(assignments.len(), n_jobs as usize);
+    let unique: HashSet<_> = assignments.iter().map(|p| p.job).collect();
+    assert_eq!(unique.len(), n_jobs as usize);
+    shutdown(&mut client, daemon);
+}

@@ -76,6 +76,7 @@ fn cross_check(
         match client
             .send(&Request::Submit {
                 jobs: chunk.to_vec(),
+                shard: None,
             })
             .expect("submit frame")
         {
@@ -90,6 +91,7 @@ fn cross_check(
     let assignments = match client
         .send(&Request::Query {
             what: QueryWhat::Schedule,
+            shard: None,
         })
         .expect("query frame")
     {
@@ -99,6 +101,7 @@ fn cross_check(
     let metrics = match client
         .send(&Request::Query {
             what: QueryWhat::Metrics,
+            shard: None,
         })
         .expect("metrics frame")
     {

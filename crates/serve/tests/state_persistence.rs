@@ -1,0 +1,180 @@
+//! STGA history-table persistence across daemon restarts: a sharded
+//! daemon snapshots each shard's history table to its own state file at
+//! the shutdown barrier; a restarted daemon boots from those files and
+//! resumes with every learned entry intact (the kill–restart–resume
+//! round trip).
+
+use gridsec_core::{Grid, Job, Site, Time};
+use gridsec_serve::{
+    Client, Daemon, DaemonOptions, OnlineSession, QueryWhat, Request, Response, ShardPersistence,
+    ShardSpec,
+};
+use gridsec_sim::{BatchPolicy, ShardPlan, SimConfig};
+use gridsec_stga::{BatchSignature, GaParams, SharedHistory, Stga, StgaParams};
+use std::path::PathBuf;
+
+fn grid() -> Grid {
+    Grid::new(
+        (0..4)
+            .map(|i| {
+                Site::builder(i)
+                    .nodes(2)
+                    .speed(1.0 + i as f64)
+                    .security_level(1.0)
+                    .build()
+                    .unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn jobs(n: u64, offset: u64) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            Job::builder(offset + i)
+                .arrival(Time::new(i as f64))
+                .work(30.0 + 7.0 * (i % 5) as f64)
+                .security_demand(0.5)
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn stga_with(history: SharedHistory, seed: u64) -> Stga {
+    Stga::with_history(
+        StgaParams {
+            ga: GaParams::default()
+                .with_population(16)
+                .with_generations(8)
+                .with_seed(seed),
+            ..StgaParams::default()
+        },
+        history,
+    )
+}
+
+/// Spawns a 2-shard STGA daemon whose shards persist to
+/// `state_prefix.shard{k}.json`, returning the daemon and the live
+/// history handles.
+fn spawn(state_prefix: &std::path::Path, histories: [SharedHistory; 2]) -> Daemon {
+    let grid = grid();
+    let config = SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(BatchPolicy::CountTriggered(3));
+    let plan = ShardPlan::contiguous(&grid, 2).unwrap();
+    let shards: Vec<ShardSpec> = histories
+        .into_iter()
+        .enumerate()
+        .map(|(k, history)| {
+            let sub = plan.subgrid(&grid, k).unwrap();
+            let session =
+                OnlineSession::new(sub, Box::new(stga_with(history.clone(), 5)), &config).unwrap();
+            ShardSpec {
+                session,
+                persist: Some(ShardPersistence {
+                    path: state_path(state_prefix, k),
+                    snapshot: Box::new(move || history.to_json()),
+                }),
+            }
+        })
+        .collect();
+    Daemon::spawn_sharded(grid, plan, shards, "127.0.0.1:0", DaemonOptions::default()).unwrap()
+}
+
+fn state_path(prefix: &std::path::Path, shard: usize) -> PathBuf {
+    let mut p = prefix.to_path_buf();
+    p.set_extension(format!("shard{shard}.json"));
+    p
+}
+
+fn serve_batch(daemon: &Daemon, batch: &[Job]) {
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    for (i, j) in batch.iter().enumerate() {
+        match client
+            .send(&Request::Submit {
+                jobs: vec![j.clone()],
+                shard: Some(i % 2),
+            })
+            .unwrap()
+        {
+            Response::Accepted { jobs: 1, .. } => {}
+            other => panic!("submit failed: {other:?}"),
+        }
+    }
+    match client.send(&Request::Drain).unwrap() {
+        Response::Drained { jobs_scheduled, .. } => assert!(jobs_scheduled > 0),
+        other => panic!("drain failed: {other:?}"),
+    }
+    match client
+        .send(&Request::Query {
+            what: QueryWhat::Shards,
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Shards { shards } => assert_eq!(shards.len(), 2),
+        other => panic!("shards query failed: {other:?}"),
+    }
+    assert_eq!(client.send(&Request::Shutdown).unwrap(), Response::Bye);
+}
+
+#[test]
+fn history_tables_survive_a_kill_restart_resume_cycle() {
+    let prefix =
+        std::env::temp_dir().join(format!("gridsec_state_persistence_{}", std::process::id()));
+
+    // ---- First life: learn, then die (shutdown saves at the barrier).
+    let histories = [SharedHistory::new(64), SharedHistory::new(64)];
+    let handles = histories.clone();
+    let daemon = spawn(&prefix, histories);
+    serve_batch(&daemon, &jobs(12, 0));
+    daemon.join();
+    let first_len = [handles[0].len(), handles[1].len()];
+    assert!(
+        first_len[0] > 0 && first_len[1] > 0,
+        "every shard's STGA must have recorded rounds: {first_len:?}"
+    );
+
+    // ---- The state files exist and are exact snapshots.
+    let mut restored = Vec::new();
+    for (k, &expected_len) in first_len.iter().enumerate() {
+        let path = state_path(&prefix, k);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("state file {} missing: {e}", path.display()));
+        let table = SharedHistory::from_json(&text).expect("state file parses");
+        assert_eq!(table.len(), expected_len, "shard {k} snapshot length");
+        // Lookups survive: a permissive query returns the learned seeds.
+        let probe = BatchSignature {
+            ready_times: Vec::new(),
+            etc: Vec::new(),
+            demands: Vec::new(),
+        };
+        assert!(
+            !table.lookup(&probe, 0.0, 8).is_empty(),
+            "shard {k}: restored table must serve lookups"
+        );
+        restored.push(table);
+    }
+
+    // ---- Second life: boot from the files, serve more traffic.
+    let histories = [restored[0].clone(), restored[1].clone()];
+    let handles2 = histories.clone();
+    let daemon = spawn(&prefix, histories);
+    serve_batch(&daemon, &jobs(12, 1_000));
+    daemon.join();
+    for k in 0..2 {
+        assert!(
+            handles2[k].len() > first_len[k],
+            "shard {k}: the restored table must keep growing (was {}, now {})",
+            first_len[k],
+            handles2[k].len()
+        );
+        // The re-saved state file reflects the second life.
+        let text = std::fs::read_to_string(state_path(&prefix, k)).unwrap();
+        let table = SharedHistory::from_json(&text).unwrap();
+        assert_eq!(table.len(), handles2[k].len());
+        let _ = std::fs::remove_file(state_path(&prefix, k));
+    }
+}

@@ -76,12 +76,14 @@ fn malformed_frames_get_errors_and_the_connection_survives() {
     let r = client
         .send(&Request::Submit {
             jobs: vec![job(0, 0.0, 5.0)],
+            shard: None,
         })
         .unwrap();
     assert_eq!(
         r,
         Response::Accepted {
             jobs: 1,
+            shard: 0,
             pending: 1,
             rounds: 0
         }
@@ -96,12 +98,14 @@ fn semantic_errors_leave_the_session_usable() {
     client
         .send(&Request::Submit {
             jobs: vec![job(1, 5.0, 5.0)],
+            shard: None,
         })
         .unwrap();
     // Time runs backwards → rejected with a pointer at the clock.
     match client
         .send(&Request::Submit {
             jobs: vec![job(2, 1.0, 5.0)],
+            shard: None,
         })
         .unwrap()
     {
@@ -112,22 +116,34 @@ fn semantic_errors_leave_the_session_usable() {
     assert!(matches!(
         client
             .send(&Request::Submit {
-                jobs: vec![job(1, 6.0, 5.0)]
+                jobs: vec![job(1, 6.0, 5.0)],
+                shard: None,
             })
             .unwrap(),
         Response::Error { .. }
     ));
-    // Too wide for every site → rejected.
+    // Too wide for every site → typed routing rejection (it fits no
+    // shard, so derived routing refuses before the session sees it).
     let wide = Job::builder(9).width(64).build().unwrap();
-    assert!(matches!(
-        client.send(&Request::Submit { jobs: vec![wide] }).unwrap(),
-        Response::Error { .. }
-    ));
+    match client
+        .send(&Request::Submit {
+            jobs: vec![wide],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::RouteRejected { job, shards, .. } => {
+            assert_eq!(job, JobId(9));
+            assert!(shards.is_empty());
+        }
+        other => panic!("expected route_rejected, got {other:?}"),
+    }
     // Bad reconfigure → rejected; good one applies.
     assert!(matches!(
         client
             .send(&Request::Reconfigure {
-                security_levels: vec![0.5]
+                security_levels: vec![0.5],
+                shard: None,
             })
             .unwrap(),
         Response::Error { .. }
@@ -135,7 +151,8 @@ fn semantic_errors_leave_the_session_usable() {
     assert_eq!(
         client
             .send(&Request::Reconfigure {
-                security_levels: vec![0.9, 0.9]
+                security_levels: vec![0.9, 0.9],
+                shard: None,
             })
             .unwrap(),
         Response::Reconfigured { sites: 2 }
@@ -167,7 +184,8 @@ fn oversized_lines_are_rejected_without_desyncing_the_stream() {
     assert!(matches!(
         client
             .send(&Request::Query {
-                what: QueryWhat::Metrics
+                what: QueryWhat::Metrics,
+                shard: None,
             })
             .unwrap(),
         Response::Metrics { .. }
@@ -193,6 +211,7 @@ fn partial_writes_reassemble_into_frames() {
         dribbled.read_response().unwrap(),
         Response::Accepted {
             jobs: 1,
+            shard: 0,
             pending: 1,
             rounds: 0
         }
@@ -208,6 +227,7 @@ fn mid_round_disconnect_does_not_lose_submitted_jobs() {
         doomed
             .send(&Request::Submit {
                 jobs: vec![job(0, 1.0, 5.0), job(1, 2.0, 5.0)],
+                shard: None,
             })
             .unwrap();
         // Connection dropped here, jobs still pending in the daemon.
@@ -237,7 +257,13 @@ fn two_clients_interleave_deterministically() {
         for i in 0..6u64 {
             let j = job(i, i as f64, 10.0 + i as f64);
             let c = if i % 2 == 0 { &mut a } else { &mut b };
-            match c.send(&Request::Submit { jobs: vec![j] }).unwrap() {
+            match c
+                .send(&Request::Submit {
+                    jobs: vec![j],
+                    shard: None,
+                })
+                .unwrap()
+            {
                 Response::Accepted { .. } => {}
                 other => panic!("submit failed: {other:?}"),
             }
@@ -246,6 +272,7 @@ fn two_clients_interleave_deterministically() {
         let out = match a
             .send(&Request::Query {
                 what: QueryWhat::Schedule,
+                shard: None,
             })
             .unwrap()
         {
@@ -262,6 +289,7 @@ fn two_clients_interleave_deterministically() {
     for i in 0..6u64 {
         solo.send(&Request::Submit {
             jobs: vec![job(i, i as f64, 10.0 + i as f64)],
+            shard: None,
         })
         .unwrap();
     }
@@ -269,6 +297,7 @@ fn two_clients_interleave_deterministically() {
     let reference = match solo
         .send(&Request::Query {
             what: QueryWhat::Schedule,
+            shard: None,
         })
         .unwrap()
     {
@@ -302,6 +331,7 @@ fn wall_clock_mode_fires_timeout_boundaries() {
     client
         .send(&Request::Submit {
             jobs: vec![job(0, 0.0, 1.0)],
+            shard: None,
         })
         .unwrap();
     let mut scheduled = 0;
@@ -310,6 +340,7 @@ fn wall_clock_mode_fires_timeout_boundaries() {
         if let Response::Metrics { metrics } = client
             .send(&Request::Query {
                 what: QueryWhat::Metrics,
+                shard: None,
             })
             .unwrap()
         {

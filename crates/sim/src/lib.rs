@@ -37,6 +37,7 @@ pub mod replicate;
 pub mod report;
 pub mod round;
 pub mod scheduler;
+pub mod shard;
 pub mod timeline;
 
 pub use config::{BatchPolicy, EstimateModel, SimConfig, SlDynamics};
@@ -45,4 +46,5 @@ pub use replicate::Replicated;
 pub use report::SimOutput;
 pub use round::{CommittedAssignment, RoundDriver, RoundOutcome};
 pub use scheduler::{BatchJob, BatchScheduler, GridView};
+pub use shard::{Routing, ShardPlan};
 pub use timeline::{AttemptSpan, Timeline};

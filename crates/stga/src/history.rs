@@ -526,6 +526,27 @@ impl SharedHistory {
     pub fn is_empty(&self) -> bool {
         self.0.lock().is_empty()
     }
+
+    /// Serialises the table under the lock (see
+    /// [`HistoryTable::to_json`]) — the serving daemon's per-shard state
+    /// snapshot, taken at drain/shutdown barriers.
+    pub fn to_json(&self) -> String {
+        self.0.lock().to_json()
+    }
+
+    /// Restores a shared table from a [`HistoryTable::to_json`] snapshot
+    /// — a daemon restart resumes with the learned history intact.
+    pub fn from_json(text: &str) -> gridsec_core::Result<SharedHistory> {
+        Ok(SharedHistory(Arc::new(Mutex::new(
+            HistoryTable::from_json(text)?,
+        ))))
+    }
+
+    /// Best similarity of any stored entry to `query` (None when empty) —
+    /// lets restart tests assert that lookups survive persistence.
+    pub fn best_similarity(&self, query: &BatchSignature) -> Option<f64> {
+        self.0.lock().best_similarity(query)
+    }
 }
 
 #[cfg(test)]
@@ -654,6 +675,28 @@ mod tests {
         h.insert(s1.clone(), Chromosome::from_genes(vec![0]));
         assert_eq!(h2.len(), 1);
         assert_eq!(h2.lookup(&s1, 0.9, 3).len(), 1);
+    }
+
+    #[test]
+    fn shared_history_json_roundtrip_preserves_lookups() {
+        let h = SharedHistory::new(4);
+        let s1 = sig(&[1.0], &[1.0], &[0.6]);
+        let s2 = sig(&[9.0], &[5.0], &[0.8]);
+        h.insert(s1.clone(), Chromosome::from_genes(vec![0]));
+        h.insert(s2.clone(), Chromosome::from_genes(vec![1]));
+        let json = h.to_json();
+        let back = SharedHistory::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.lookup(&s1, 0.99, 1),
+            vec![Chromosome::from_genes(vec![0])]
+        );
+        assert_eq!(back.best_similarity(&s2), Some(1.0));
+        // The snapshot is a copy: later inserts into the original do not
+        // leak into the restored table.
+        h.insert(sig(&[2.0], &[2.0], &[0.5]), Chromosome::from_genes(vec![2]));
+        assert_eq!(back.len(), 2);
+        assert!(SharedHistory::from_json("{").is_err());
     }
 
     #[test]

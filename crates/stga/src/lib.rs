@@ -46,7 +46,7 @@ pub mod tabu;
 pub use chromosome::Chromosome;
 pub use conventional::StandardGa;
 pub use ga::{evolve, evolve_population, evolve_with_pool, GaPool, GaResult};
-pub use history::{HistoryTable, SharedHistory};
+pub use history::{BatchSignature, HistoryTable, SharedHistory};
 pub use islands::{evolve_islands, IslandParams};
 pub use params::{GaParams, StgaParams};
 pub use sa::{SaParams, SimulatedAnnealing};

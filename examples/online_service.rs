@@ -69,6 +69,7 @@ fn main() {
         match client
             .send(&Request::Submit {
                 jobs: chunk.to_vec(),
+                shard: None,
             })
             .unwrap()
         {
@@ -76,6 +77,7 @@ fn main() {
                 jobs,
                 pending,
                 rounds,
+                ..
             } => println!("accepted {jobs} jobs (pending {pending}, rounds so far {rounds})"),
             other => panic!("submit failed: {other:?}"),
         }
@@ -85,6 +87,7 @@ fn main() {
     match client
         .send(&Request::Reconfigure {
             security_levels: vec![0.9, 0.3, 0.95],
+            shard: None,
         })
         .unwrap()
     {
@@ -103,6 +106,7 @@ fn main() {
     let assignments = match client
         .send(&Request::Query {
             what: QueryWhat::Schedule,
+            shard: None,
         })
         .unwrap()
     {
@@ -122,6 +126,7 @@ fn main() {
     match client
         .send(&Request::Query {
             what: QueryWhat::Metrics,
+            shard: None,
         })
         .unwrap()
     {
