@@ -1,8 +1,7 @@
-//! Reproducible perf baseline: times the workspace's three dominant
-//! parallel workloads at 1, 2 and N threads, times the PR 3 hot-path
-//! rewrites against their pre-refactor reference implementations, and
-//! writes the whole report to `BENCH_PR3.json` (override with
-//! `--json <path>`).
+//! Reproducible perf baseline: times the workspace's dominant parallel
+//! workloads at 1, 2 and N threads, times the optimized hot paths
+//! against their pre-refactor reference implementations, and writes the
+//! whole report to `BENCH_PR6.json` (override with `--json <path>`).
 //!
 //! The three speedup workloads mirror where the paper's experiments spend
 //! their time:
@@ -18,7 +17,10 @@
 //! The before/after section covers the optimized hot paths:
 //!
 //! * the GA evolve loop (double-buffered populations + reusable roulette
-//!   table vs the old allocate-per-generation loop),
+//!   table, and — since PR 6 — compiled-kernel fitness with parent-patch
+//!   children, vs the old allocate-per-generation loop),
+//! * the compiled fitness kernel (flat SoA replay vs the object-graph
+//!   walk) and its delta (parent-patch) evaluation vs a full replay,
 //! * Min-Min and Sufferage mapping (invalidation caching + deterministic
 //!   parallel argmin vs the textbook O(n²·m) rescan),
 //! * history-table lookup (bucketed by batch-size signature vs the
@@ -45,7 +47,8 @@ use gridsec_stga::history::{BatchSignature, HistoryTable};
 use gridsec_stga::ops::{crossover, mutate};
 use gridsec_stga::selection::{elite_indices, RouletteWheel};
 use gridsec_stga::{
-    evolve, evolve_with_pool, Chromosome, GaParams, GaPool, StandardGa, Stga, StgaParams,
+    evolve, evolve_with_pool, Chromosome, FitnessKernel, GaParams, GaPool, KernelScratch,
+    StandardGa, Stga, StgaParams,
 };
 use rand::Rng;
 use rayon::prelude::*;
@@ -112,7 +115,7 @@ struct WorkloadReport {
 struct HotPathReport {
     name: String,
     params: String,
-    /// Best-of-two wall-clock seconds of the pre-PR3 reference path.
+    /// Best-of-two wall-clock seconds of the pre-refactor reference path.
     before_secs: f64,
     /// Best-of-two wall-clock seconds of the optimized path.
     after_secs: f64,
@@ -129,7 +132,7 @@ struct HotPathReport {
     note: String,
 }
 
-/// The whole `BENCH_PR3.json` document.
+/// The whole `BENCH_PR6.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct PerfReport {
     schema: String,
@@ -263,12 +266,23 @@ fn main() {
             &thread_counts,
             || replication_workload(&sizes, args.seed),
         ),
+        time_workload(
+            "stga_kernel_eval",
+            format!(
+                "population={} jobs={} sites={} iters={}",
+                sizes.population, sizes.eval_jobs, sizes.eval_sites, sizes.eval_iters
+            ),
+            &thread_counts,
+            || kernel_eval_workload(&sizes, args.seed),
+        ),
     ];
 
-    println!("hot paths (optimized vs pre-PR3 reference):");
+    println!("hot paths (optimized vs pre-refactor reference):");
     let hot_paths = vec![
         ga_evolve_hot_path(&sizes, args.seed),
         population_pool_hot_path(&sizes, args.seed),
+        fitness_kernel_hot_path(&sizes, args.seed),
+        delta_eval_hot_path(&sizes, args.seed),
         mapping_hot_path(
             "minmin_mapping",
             &sizes,
@@ -288,7 +302,7 @@ fn main() {
     ];
 
     let report = PerfReport {
-        schema: "gridsec-perf-baseline/v2".to_string(),
+        schema: "gridsec-perf-baseline/v3".to_string(),
         command: format!(
             "perf_baseline{} --seed {} --threads {max_threads}",
             if args.quick { " --quick" } else { "" },
@@ -301,12 +315,12 @@ fn main() {
         note: "Wall-clock is best-of-two per thread count; speedups are relative to the \
                1-thread run, which executes the strictly sequential code path. Absolute \
                speedup is bounded by the host's available parallelism. Hot-path rows \
-               time each PR 3 rewrite against its retained pre-refactor reference on the \
+               time each rewrite against its retained pre-refactor reference on the \
                current pool, asserting bit-identical output first."
             .to_string(),
     };
 
-    let path = args.json.clone().unwrap_or_else(|| "BENCH_PR3.json".into());
+    let path = args.json.clone().unwrap_or_else(|| "BENCH_PR6.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&path, json).expect("write perf report");
     println!("[wrote {path}]");
@@ -399,6 +413,49 @@ fn fitness_eval_workload(sizes: &Sizes, seed: u64) -> u64 {
                     DEFAULT_FLOW_WEIGHT,
                 )
             })
+            .collect();
+        digest = fitness.iter().fold(digest, |a, &f| digest_f64(a, f));
+    }
+    digest
+}
+
+/// Workload 4 (PR 6): the same population evaluation as workload 1, but
+/// through the compiled SoA kernel — the GA engine's current eval path.
+/// [`time_workload`] asserts the digest is bit-identical at every thread
+/// count, so this row doubles as the kernel's determinism smoke in CI.
+fn kernel_eval_workload(sizes: &Sizes, seed: u64) -> u64 {
+    let n = sizes.eval_jobs;
+    let m = sizes.eval_sites;
+    let etc: Vec<f64> = (0..n * m).map(|i| 10.0 + ((i * 31) % 97) as f64).collect();
+    let ctx = MapCtx {
+        etc: EtcMatrix::from_raw(n, m, etc),
+        widths: vec![1; n],
+        arrivals: vec![Time::ZERO; n],
+        candidates: vec![(0..m).collect(); n],
+        now: Time::ZERO,
+        commit_order: vec![],
+    };
+    let avail = vec![NodeAvailability::new(2, Time::ZERO); m];
+    let mut rng = stream(seed, Stream::Genetic);
+    let population: Vec<Chromosome> = (0..sizes.population)
+        .map(|_| Chromosome::random(&ctx.candidates, &mut rng))
+        .collect();
+    let kernel = FitnessKernel::compile(
+        &ctx,
+        &avail,
+        FitnessKind::Makespan,
+        None,
+        DEFAULT_FLOW_WEIGHT,
+    );
+
+    let mut digest = 0;
+    for _ in 0..sizes.eval_iters {
+        let fitness: Vec<f64> = population
+            .par_iter()
+            .map_init(
+                <(KernelScratch, Vec<Time>)>::default,
+                |(scratch, cts), c| kernel.evaluate_full(c.genes(), cts, scratch),
+            )
             .collect();
         digest = fitness.iter().fold(digest, |a, &f| digest_f64(a, f));
     }
@@ -529,6 +586,38 @@ fn hot_path_ctx(n: usize, m: usize) -> (MapCtx, Vec<NodeAvailability>) {
     (ctx, avail)
 }
 
+/// A mapping instance in the paper's *multi-node* grid shape: 16-node
+/// sites and job widths cycling 1..=8, so each commit reorders a
+/// meaningful slice of a site's free-time vector. This is the regime the
+/// compiled kernel's merge-rotate commit and delta evaluation target (the
+/// PSA grids of the experiments have tens of nodes per site); the
+/// GA/kernel hot-path rows use it, while the heuristic rows keep the
+/// width-1 [`hot_path_ctx`] shape they have always measured.
+fn wide_ctx(n: usize, m: usize) -> (MapCtx, Vec<NodeAvailability>) {
+    let etc: Vec<f64> = (0..n * m)
+        .map(|i| 5.0 + ((i * 131 + 17) % 251) as f64)
+        .collect();
+    let candidates: Vec<Vec<usize>> = (0..n)
+        .map(|j| {
+            let mut c: Vec<usize> = (0..m).filter(|&s| (j * 7 + s * 13) % 2 == 0).collect();
+            if c.is_empty() {
+                c.push(j % m);
+            }
+            c
+        })
+        .collect();
+    let ctx = MapCtx {
+        etc: EtcMatrix::from_raw(n, m, etc),
+        widths: (0..n).map(|j| 1 + (j % 8) as u32).collect(),
+        arrivals: vec![Time::ZERO; n],
+        candidates,
+        now: Time::ZERO,
+        commit_order: vec![],
+    };
+    let avail = vec![NodeAvailability::new(16, Time::ZERO); m];
+    (ctx, avail)
+}
+
 /// The pre-PR3 GA generation loop, reconstructed from the same public
 /// building blocks: a fresh next-population `Vec`, a fresh roulette
 /// table and a fresh elite-index `Vec` every generation, fitness
@@ -618,7 +707,7 @@ fn old_evolve_digest(
 /// Hot path 1: the full GA evolve loop, double-buffered vs
 /// allocate-per-generation.
 fn ga_evolve_hot_path(sizes: &Sizes, seed: u64) -> HotPathReport {
-    let (ctx, avail) = hot_path_ctx(sizes.ga_jobs, sizes.ga_sites);
+    let (ctx, avail) = wide_ctx(sizes.ga_jobs, sizes.ga_sites);
     let params = GaParams::default()
         .with_population(sizes.ga_population)
         .with_generations(sizes.ga_generations)
@@ -626,11 +715,12 @@ fn ga_evolve_hot_path(sizes: &Sizes, seed: u64) -> HotPathReport {
     time_hot_path(
         "ga_evolve_loop",
         format!(
-            "population={} generations={} jobs={} sites={}",
+            "population={} generations={} jobs={} sites={} nodes=16 widths=1..8",
             sizes.ga_population, sizes.ga_generations, sizes.ga_jobs, sizes.ga_sites
         ),
-        "Double-buffered populations, elite splice by index into recycled slots, reusable \
-         roulette/elite/fitness buffers vs the old fresh-allocation generation loop.",
+        "Double-buffered populations, recycled buffers, and (PR 6) compiled-kernel fitness \
+         with inherit/delta plans for untouched and lightly-touched children vs the old \
+         fresh-allocation generation loop over the object-graph evaluator.",
         || old_evolve_digest(&ctx, &avail, &params, seed),
         || {
             let mut rng = stream(seed, Stream::Genetic);
@@ -742,6 +832,139 @@ fn population_pool_hot_path(sizes: &Sizes, seed: u64) -> HotPathReport {
         report.after_allocs
     );
     report
+}
+
+/// Hot path 1c (PR 6): raw population fitness evaluation — the compiled
+/// SoA kernel's flat replay vs the object-graph walk over
+/// `NodeAvailability` structs. One compile amortised over the whole
+/// population, exactly the per-round shape inside the GA engine.
+fn fitness_kernel_hot_path(sizes: &Sizes, seed: u64) -> HotPathReport {
+    let (ctx, avail) = wide_ctx(sizes.eval_jobs, sizes.eval_sites);
+    let mut rng = stream(seed, Stream::Genetic);
+    let population: Vec<Chromosome> = (0..sizes.population)
+        .map(|_| Chromosome::random(&ctx.candidates, &mut rng))
+        .collect();
+    let iters = sizes.eval_iters;
+    time_hot_path(
+        "fitness_kernel",
+        format!(
+            "population={} jobs={} sites={} nodes=16 widths=1..8 iters={}",
+            sizes.population, sizes.eval_jobs, sizes.eval_sites, iters
+        ),
+        "Grid + trust + security snapshot lowered once into flat SoA planes (effective-time \
+         table, floors, widths, base free-times); evaluation is index arithmetic over \
+         slices vs rebuilding per-site availability objects per chromosome.",
+        || {
+            let mut scratch = Vec::new();
+            let mut d = 0;
+            for _ in 0..iters {
+                for c in &population {
+                    let f = evaluate_with_scratch(
+                        &ctx,
+                        &avail,
+                        &mut scratch,
+                        c,
+                        FitnessKind::Makespan,
+                        None,
+                        DEFAULT_FLOW_WEIGHT,
+                    );
+                    d = digest_f64(d, f);
+                }
+            }
+            d
+        },
+        || {
+            let kernel = FitnessKernel::compile(
+                &ctx,
+                &avail,
+                FitnessKind::Makespan,
+                None,
+                DEFAULT_FLOW_WEIGHT,
+            );
+            let mut scratch = KernelScratch::default();
+            let mut cts = Vec::new();
+            let mut d = 0;
+            for _ in 0..iters {
+                for c in &population {
+                    let f = kernel.evaluate_full(c.genes(), &mut cts, &mut scratch);
+                    d = digest_f64(d, f);
+                }
+            }
+            d
+        },
+    )
+}
+
+/// Hot path 1d (PR 6): delta (parent-patch) evaluation of GA children vs
+/// a full replay. Children are single-gene mutants of one finite parent —
+/// the dominant child shape the tracked crossover/mutation operators
+/// report — so the delta path only replays the jobs landing on the one or
+/// two affected sites.
+fn delta_eval_hot_path(sizes: &Sizes, seed: u64) -> HotPathReport {
+    let (ctx, avail) = wide_ctx(sizes.eval_jobs, sizes.eval_sites);
+    let kernel = FitnessKernel::compile(
+        &ctx,
+        &avail,
+        FitnessKind::Makespan,
+        None,
+        DEFAULT_FLOW_WEIGHT,
+    );
+    let mut rng = stream(seed, Stream::Genetic);
+    let parent = Chromosome::random(&ctx.candidates, &mut rng);
+    let mut scratch = KernelScratch::default();
+    let mut parent_cts = Vec::new();
+    let pf = kernel.evaluate_full(parent.genes(), &mut parent_cts, &mut scratch);
+    assert!(pf.is_finite(), "random parent must be feasible");
+    let children: Vec<(usize, Vec<u16>)> = (0..sizes.population)
+        .map(|_| {
+            let j = rng.gen_range(0..ctx.n_jobs());
+            let cands = &ctx.candidates[j];
+            let mut genes = parent.genes().to_vec();
+            genes[j] = cands[rng.gen_range(0..cands.len())] as u16;
+            (j, genes)
+        })
+        .collect();
+    let iters = sizes.eval_iters;
+    time_hot_path(
+        "delta_eval",
+        format!(
+            "children={} jobs={} sites={} nodes=16 widths=1..8 iters={}",
+            sizes.population, sizes.eval_jobs, sizes.eval_sites, iters
+        ),
+        "Children differing from their parent at one tracked gene are patched from the \
+         parent's retained completion times (only the affected sites' ready chains \
+         replayed) vs replaying every job from the base availability plane.",
+        || {
+            let mut scratch = KernelScratch::default();
+            let mut cts = Vec::new();
+            let mut d = 0;
+            for _ in 0..iters {
+                for (_, genes) in &children {
+                    d = digest_f64(d, kernel.evaluate_full(genes, &mut cts, &mut scratch));
+                }
+            }
+            d
+        },
+        || {
+            let mut scratch = KernelScratch::default();
+            let mut cts = Vec::new();
+            let mut d = 0;
+            for _ in 0..iters {
+                for &(j, ref genes) in &children {
+                    let f = kernel.evaluate_delta(
+                        genes,
+                        parent.genes(),
+                        &parent_cts,
+                        j,
+                        &mut cts,
+                        &mut scratch,
+                    );
+                    d = digest_f64(d, f);
+                }
+            }
+            d
+        },
+    )
 }
 
 /// Hot paths 2–3: one heuristic mapping loop, cached/parallel vs the

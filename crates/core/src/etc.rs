@@ -218,6 +218,18 @@ impl NodeAvailability {
     pub fn free_at(&self, t: Time) -> usize {
         self.free.iter().filter(|&&ft| ft <= t).count()
     }
+
+    /// The sorted free-time multiset as a flat slice (ascending).
+    ///
+    /// This is the snapshot accessor used to lower availability into flat
+    /// structure-of-arrays planes (`gridsec-stga`'s fitness kernel): a
+    /// kernel copies these times into one contiguous buffer per evaluation
+    /// and performs the identical `earliest_start`/`commit` arithmetic on
+    /// the raw slice.
+    #[inline]
+    pub fn free_times(&self) -> &[Time] {
+        &self.free
+    }
 }
 
 /// Estimated completion time of a job on a site: earliest start (given
@@ -322,6 +334,16 @@ mod tests {
         // a non-fitting entry returns None.
         let a0 = NodeAvailability::new(2, Time::ZERO);
         assert!(completion_time(&etc, &a0, 0, 0, 2, Time::ZERO).is_some());
+    }
+
+    #[test]
+    fn free_times_exposes_sorted_snapshot() {
+        let mut a = NodeAvailability::new(3, Time::ZERO);
+        a.commit(2, Time::new(7.0));
+        assert_eq!(
+            a.free_times(),
+            &[Time::ZERO, Time::new(7.0), Time::new(7.0)]
+        );
     }
 
     #[test]

@@ -118,6 +118,29 @@ impl Grid {
             .collect()
     }
 
+    /// Security levels of all sites, in id order.
+    pub fn security_levels(&self) -> impl Iterator<Item = f64> + '_ {
+        self.sites.iter().map(|s| s.security_level)
+    }
+
+    /// Order-sensitive fingerprint of the grid's security snapshot (node
+    /// counts, speeds, security levels). Two grids with equal fingerprints
+    /// produce identical security-overhead/risk lowerings, so schedulers can
+    /// key compiled kernels and cached risk-weight tables on this value and
+    /// rebuild only when trust re-rating or reconfiguration changes it.
+    pub fn security_fingerprint(&self) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64 ^ self.sites.len() as u64;
+        let mut mix = |bits: u64| {
+            acc = (acc.rotate_left(13) ^ bits).wrapping_mul(0x1000_0000_01b3);
+        };
+        for s in &self.sites {
+            mix(s.nodes as u64);
+            mix(s.speed.to_bits());
+            mix(s.security_level.to_bits());
+        }
+        acc
+    }
+
     /// Sites on which the job fits by width alone (risk ignored).
     pub fn fitting_sites(&self, job: &Job) -> Vec<SiteId> {
         self.sites
@@ -180,6 +203,24 @@ mod tests {
         assert_eq!(g.fitting_sites(&wide), vec![SiteId(0)]);
         let narrow = Job::builder(1).width(2).build().unwrap();
         assert_eq!(g.fitting_sites(&narrow).len(), 3);
+    }
+
+    #[test]
+    fn security_fingerprint_tracks_snapshot_changes() {
+        let g = grid3();
+        assert_eq!(g.security_fingerprint(), grid3().security_fingerprint());
+        let levels: Vec<f64> = g.security_levels().collect();
+        assert_eq!(levels, vec![0.9, 0.5, 0.7]);
+        // Changing any site's security level changes the fingerprint.
+        let mut sites: Vec<Site> = g.sites().cloned().collect();
+        sites[1].security_level = 0.51;
+        let g2 = Grid::new(sites).unwrap();
+        assert_ne!(g.security_fingerprint(), g2.security_fingerprint());
+        // So does changing a node count.
+        let mut sites: Vec<Site> = g.sites().cloned().collect();
+        sites[0].nodes = 17;
+        let g3 = Grid::new(sites).unwrap();
+        assert_ne!(g.security_fingerprint(), g3.security_fingerprint());
     }
 
     #[test]

@@ -263,7 +263,11 @@ impl OnlineSession {
             s.security_level = sl;
             sites.push(s);
         }
-        self.rounds.set_grid(Grid::new(sites)?)
+        self.rounds.set_grid(Grid::new(sites)?)?;
+        // The scheduler may hold state compiled from the old snapshot
+        // (cached risk tables, fitness-kernel inputs) — invalidate it.
+        self.scheduler.on_reconfigure();
+        Ok(())
     }
 
     /// A metrics snapshot.
@@ -454,6 +458,51 @@ mod tests {
         assert!(s.set_security_levels(&[0.3, 0.8]).is_ok());
         assert!(s.set_security_levels(&[0.3]).is_err());
         assert!(s.set_security_levels(&[0.3, 1.4]).is_err());
+    }
+
+    #[test]
+    fn trust_reconfiguration_invalidates_scheduler_state() {
+        use gridsec_core::BatchSchedule;
+        use gridsec_sim::GridView;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        /// Probe scheduler: counts `on_reconfigure` notifications.
+        struct Probe {
+            inner: EarliestCompletion,
+            reconfigures: Arc<AtomicUsize>,
+        }
+        impl BatchScheduler for Probe {
+            fn name(&self) -> String {
+                "probe".into()
+            }
+            fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule {
+                self.inner.schedule(batch, view)
+            }
+            fn on_reconfigure(&mut self) {
+                self.reconfigures.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let count = Arc::new(AtomicUsize::new(0));
+        let config = SimConfig::default()
+            .with_interval(Time::new(10.0))
+            .with_batch_policy(BatchPolicy::Periodic);
+        let mut s = OnlineSession::new(
+            grid(),
+            Box::new(Probe {
+                inner: EarliestCompletion,
+                reconfigures: Arc::clone(&count),
+            }),
+            &config,
+        )
+        .unwrap();
+        // A successful trust reconfiguration notifies the scheduler…
+        s.set_security_levels(&[0.3, 0.8]).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        // …but a rejected one must not (no state actually changed).
+        assert!(s.set_security_levels(&[0.3, 1.4]).is_err());
+        assert_eq!(count.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -119,6 +119,14 @@ impl RoundDriver {
 
     /// Replaces the grid (security-level walks, trust reconfiguration).
     /// Site count must not change — availability state is carried over.
+    ///
+    /// The driver does not own the scheduler (rounds borrow one per
+    /// call), so callers that *do* own one must follow this with
+    /// [`BatchScheduler::on_reconfigure`](crate::BatchScheduler::on_reconfigure)
+    /// to invalidate snapshot-compiled scheduler state; the next
+    /// [`RoundDriver::run_round`] then hands the scheduler a `GridView`
+    /// of the new snapshot, from which kernel-based schedulers re-lower
+    /// their fitness program.
     pub fn set_grid(&mut self, grid: Grid) -> Result<()> {
         if grid.len() != self.grid.len() {
             return Err(Error::invalid(

@@ -91,6 +91,16 @@ pub trait BatchScheduler {
     /// The returned schedule must cover each batch job exactly once; the
     /// engine validates it. Dispatch happens in the returned order.
     fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule;
+
+    /// Notifies the scheduler that the grid was reconfigured out of band
+    /// (trust re-rating, security-level changes, node count changes) —
+    /// the serving layer calls this after swapping the round driver's
+    /// grid, so schedulers can drop any state compiled from the old
+    /// snapshot (cached risk-weight tables, compiled fitness kernels).
+    ///
+    /// The default is a no-op: stateless heuristics re-derive everything
+    /// from the `GridView` each round.
+    fn on_reconfigure(&mut self) {}
 }
 
 /// A trivially simple scheduler: each job (in batch order) goes to the site

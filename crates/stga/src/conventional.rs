@@ -4,7 +4,7 @@
 //! (Fig. 5).
 
 use crate::chromosome::Chromosome;
-use crate::fitness::FitnessKind;
+use crate::fitness::{FitnessKind, RiskCache};
 use crate::ga::{evolve_with_pool, GaPool, GaResult};
 use crate::params::GaParams;
 use gridsec_core::rng::{stream, Stream};
@@ -22,6 +22,10 @@ pub struct StandardGa {
     last_result: Option<GaResult>,
     /// Buffers reused across rounds (see [`GaPool`]).
     pool: GaPool,
+    /// Fingerprint-keyed risk-weight cache (see
+    /// [`Stga`](crate::Stga)'s counterpart); only consulted for
+    /// [`FitnessKind::ExpectedMakespan`].
+    risk_cache: RiskCache,
 }
 
 impl StandardGa {
@@ -36,6 +40,7 @@ impl StandardGa {
             fitness: FitnessKind::Makespan,
             last_result: None,
             pool: GaPool::new(),
+            risk_cache: RiskCache::new(),
         })
     }
 
@@ -61,15 +66,32 @@ impl BatchScheduler for StandardGa {
         "GA".to_string()
     }
 
+    fn on_reconfigure(&mut self) {
+        self.risk_cache.invalidate();
+    }
+
     fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule {
         let ctx = MapCtx::build(batch, view, RiskMode::Risky, self.fallback);
+        let risk_weights = match self.fitness {
+            FitnessKind::Makespan => None,
+            FitnessKind::ExpectedMakespan => {
+                let sds: Vec<f64> = batch.iter().map(|b| b.job.security_demand).collect();
+                let sls: Vec<f64> = view.grid.security_levels().collect();
+                Some(self.risk_cache.get_or_build(
+                    &view.model,
+                    view.grid.security_fingerprint(),
+                    &sds,
+                    &sls,
+                ))
+            }
+        };
         let result = evolve_with_pool(
             &ctx,
             view.avail,
             Vec::<Chromosome>::new(),
             &self.params,
             self.fitness,
-            None,
+            risk_weights,
             &mut self.rng,
             &mut self.pool,
         );

@@ -65,9 +65,89 @@ impl RiskWeights {
     }
 }
 
+/// Memoised [`RiskWeights`] keyed by a fingerprint of the security
+/// snapshot (model λ, per-site security levels via
+/// [`Grid::security_fingerprint`](gridsec_core::Grid::security_fingerprint),
+/// per-job demands).
+///
+/// Risk-aware schedulers previously rebuilt the full `[job × site]`
+/// multiplier table on every invocation even when trust and security
+/// state had not changed between rounds; this cache rebuilds only when
+/// the fingerprint moves — i.e. on trust re-rating or grid
+/// reconfiguration — and is explicitly invalidated by the scheduler's
+/// `on_reconfigure` hook.
+#[derive(Debug, Default)]
+pub struct RiskCache {
+    fingerprint: Option<u64>,
+    weights: Option<RiskWeights>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RiskCache {
+    /// An empty cache.
+    pub fn new() -> RiskCache {
+        RiskCache::default()
+    }
+
+    /// Returns the cached table when the `(model, grid security snapshot,
+    /// demands)` fingerprint is unchanged, rebuilding it otherwise.
+    pub fn get_or_build(
+        &mut self,
+        model: &gridsec_core::SecurityModel,
+        grid_fingerprint: u64,
+        sds: &[f64],
+        sls: &[f64],
+    ) -> &RiskWeights {
+        let mut fp = grid_fingerprint ^ model.lambda().to_bits().rotate_left(17);
+        for &sd in sds {
+            fp = (fp.rotate_left(13) ^ sd.to_bits()).wrapping_mul(0x1000_0000_01b3);
+        }
+        if self.fingerprint == Some(fp) && self.weights.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.weights = Some(RiskWeights::build(model, sds, sls));
+            self.fingerprint = Some(fp);
+        }
+        self.weights.as_ref().expect("cache was just filled")
+    }
+
+    /// Drops the cached table; the next lookup rebuilds unconditionally.
+    /// Called when the scheduler is told the grid was reconfigured.
+    pub fn invalidate(&mut self) {
+        self.fingerprint = None;
+        self.weights = None;
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Above this ratio of retained capacity to live size, `reset_scratch`
+/// releases the tail — hysteresis so ordinary batch-size jitter never
+/// triggers a shrink, while a reconfiguration to a much smaller grid
+/// stops pinning the old grid's buffers forever.
+const SCRATCH_SHRINK_FACTOR: usize = 4;
+/// Scratch capacity worth keeping regardless of ratio (tiny buffers are
+/// not worth churning).
+const SCRATCH_SHRINK_FLOOR: usize = 16;
+
 /// Resets `scratch` to mirror `base` without reallocating inner buffers.
+///
+/// When a previous round left far more capacity than `base` now needs
+/// (e.g. the grid was reconfigured down), the excess is released — see
+/// [`SCRATCH_SHRINK_FACTOR`]; steady-state rounds never shrink, keeping
+/// the hot path allocation-free.
 pub fn reset_scratch(scratch: &mut Vec<NodeAvailability>, base: &[NodeAvailability]) {
     scratch.truncate(base.len());
+    if scratch.capacity() > SCRATCH_SHRINK_FLOOR
+        && scratch.capacity() / SCRATCH_SHRINK_FACTOR >= base.len()
+    {
+        scratch.shrink_to(base.len().max(SCRATCH_SHRINK_FLOOR));
+    }
     for (i, b) in base.iter().enumerate() {
         if i < scratch.len() {
             scratch[i].clone_from(b);
@@ -284,6 +364,54 @@ mod tests {
         // SD 0.5 > SL 0.4: risky, multiplier above 1 (but small gap).
         assert!(risk.get(1, 0) > 1.0 && risk.get(1, 0) < risk.get(0, 0));
         assert_eq!(risk.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn reset_scratch_reclaims_capacity_after_reconfigure() {
+        // A big grid warms the scratch; reconfiguring to a small one must
+        // eventually release the retained capacity (hysteresis shrink)…
+        let big = vec![NodeAvailability::new(1, Time::ZERO); 256];
+        let small = vec![NodeAvailability::new(1, Time::ZERO); 4];
+        let mut scratch = Vec::new();
+        reset_scratch(&mut scratch, &big);
+        assert!(scratch.capacity() >= 256);
+        reset_scratch(&mut scratch, &small);
+        assert!(
+            scratch.capacity() <= 64,
+            "stale capacity kept: {}",
+            scratch.capacity()
+        );
+        assert_eq!(scratch, small);
+        // …while modest jitter around the working size never shrinks.
+        let mid = vec![NodeAvailability::new(1, Time::ZERO); 100];
+        reset_scratch(&mut scratch, &mid);
+        let cap = scratch.capacity();
+        let jitter = vec![NodeAvailability::new(1, Time::ZERO); 80];
+        reset_scratch(&mut scratch, &jitter);
+        assert_eq!(scratch.capacity(), cap, "hysteresis must tolerate jitter");
+    }
+
+    #[test]
+    fn risk_cache_rebuilds_only_on_snapshot_change() {
+        let model = SecurityModel::new(3.0).unwrap();
+        let mut cache = RiskCache::new();
+        let sds = [0.9, 0.5];
+        let sls = [0.4, 1.0];
+        let w1 = cache.get_or_build(&model, 7, &sds, &sls).get(0, 0);
+        assert_eq!(cache.stats(), (0, 1));
+        let w2 = cache.get_or_build(&model, 7, &sds, &sls).get(0, 0);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(w1.to_bits(), w2.to_bits());
+        // A different grid fingerprint (trust re-rate / reconfigure)
+        // forces a rebuild; so do different demands.
+        cache.get_or_build(&model, 8, &sds, &sls);
+        assert_eq!(cache.stats(), (1, 2));
+        cache.get_or_build(&model, 8, &[0.9, 0.6], &sls);
+        assert_eq!(cache.stats(), (1, 3));
+        // Explicit invalidation drops the entry even for an identical key.
+        cache.invalidate();
+        cache.get_or_build(&model, 8, &[0.9, 0.6], &sls);
+        assert_eq!(cache.stats(), (1, 4));
     }
 
     #[test]

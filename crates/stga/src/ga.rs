@@ -3,10 +3,12 @@
 
 use crate::chromosome::Chromosome;
 use crate::fitness::{evaluate_with_scratch, FitnessKind, RiskWeights};
-use crate::ops::{crossover_in_place, mutate};
+use crate::kernel::{FitnessKernel, KernelScratch};
+use crate::ops::{crossover_in_place_tracked, mutate_tracked};
 use crate::params::GaParams;
 use crate::selection::{elite_indices_into, RouletteWheel};
 use gridsec_core::etc::NodeAvailability;
+use gridsec_core::Time;
 use gridsec_heuristics::common::MapCtx;
 use parking_lot::Mutex;
 use rand::Rng;
@@ -39,6 +41,15 @@ pub struct GaPool {
     population: Vec<Chromosome>,
     next: Vec<Chromosome>,
     fitness: Vec<f64>,
+    /// Per-individual evaluation state for `population` (fitness +
+    /// completion times), double-buffered with `next_evals` in lockstep
+    /// with the population buffers so children can be delta-evaluated
+    /// against their parents' retained completion times.
+    evals: Vec<EvalSlot>,
+    next_evals: Vec<EvalSlot>,
+    /// The compiled fitness program, re-lowered from the live snapshot at
+    /// the start of every round (buffers reused across rounds).
+    kernel: FitnessKernel,
     wheel: RouletteWheel,
     elites: Vec<usize>,
     spare: Chromosome,
@@ -51,6 +62,9 @@ impl Default for GaPool {
             population: Vec::new(),
             next: Vec::new(),
             fitness: Vec::new(),
+            evals: Vec::new(),
+            next_evals: Vec::new(),
+            kernel: FitnessKernel::default(),
             wheel: RouletteWheel::new(),
             elites: Vec::new(),
             spare: Chromosome::from_genes(Vec::new()),
@@ -59,15 +73,114 @@ impl Default for GaPool {
     }
 }
 
-/// Recycled per-chunk fitness-evaluation scratch (the availability
-/// vectors `evaluate_with_scratch` replays schedules into). Each parallel
-/// chunk checks a buffer out at `map_init` time and its drop guard checks
-/// it back in, so a warm pool serves every generation of every round
-/// without allocating. Scratch contents never influence results —
-/// `evaluate_with_scratch` fully resets the buffer per chromosome — so
-/// recycling is invisible to the digest.
+/// How one individual of the incoming generation gets its fitness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plan {
+    /// Replay the whole chromosome from the base availability plane.
+    Full,
+    /// Byte-identical copy of `population[parent]` (elites, and children
+    /// that drew neither crossover nor mutation): inherit its fitness and
+    /// completion times outright.
+    Inherit { parent: usize },
+    /// Differs from `population[parent]` only at genes `from..n` (the
+    /// crossover cut / mutation index tracked by the operators): patch
+    /// the parent's evaluation instead of replaying from scratch.
+    Delta { parent: usize, from: usize },
+}
+
+/// Evaluation state of one individual: its fitness, the per-job
+/// completion times backing delta evaluation of its children, and the
+/// plan/index wiring for the next parallel evaluation sweep.
+#[derive(Debug)]
+struct EvalSlot {
+    /// Position of this slot's genome in its population buffer (slots are
+    /// evaluated out of order across worker chunks).
+    idx: usize,
+    plan: Plan,
+    fitness: f64,
+    /// Completion time of every job (batch-position indexed); only valid
+    /// when `fitness` is finite.
+    cts: Vec<Time>,
+}
+
+impl Default for EvalSlot {
+    fn default() -> Self {
+        EvalSlot {
+            idx: 0,
+            plan: Plan::Full,
+            fitness: f64::INFINITY,
+            cts: Vec::new(),
+        }
+    }
+}
+
+/// Truncates or pads `slots` to exactly `len` recycled entries.
+fn resize_slots(slots: &mut Vec<EvalSlot>, len: usize) {
+    slots.truncate(len);
+    while slots.len() < len {
+        slots.push(EvalSlot::default());
+    }
+}
+
+/// Mirrors the slots' fitness values into the flat vector consumed by
+/// the roulette wheel, elitism and the best-index reduction (and returned
+/// by [`evolve_population`]).
+fn sync_fitness(fitness: &mut Vec<f64>, slots: &[EvalSlot]) {
+    fitness.clear();
+    fitness.extend(slots.iter().map(|s| s.fitness));
+}
+
+/// Runs one parallel evaluation sweep: every slot's genome (found via
+/// `slot.idx` in `genomes`) is evaluated per its plan against the
+/// compiled kernel. `parents` carries the previous generation's genomes
+/// and slots for the inherit/delta paths; plans referencing a
+/// non-finite parent (whose completion times are invalid) fall back to a
+/// full replay. Results are thread-count-invariant: each slot is written
+/// by exactly one worker and the pooled scratch never influences values.
+fn eval_generation(
+    kernel: &FitnessKernel,
+    genomes: &[Chromosome],
+    slots: &mut [EvalSlot],
+    parents: Option<(&[Chromosome], &[EvalSlot])>,
+    scratch: &ScratchPool,
+) {
+    slots.par_iter_mut().for_each_init(
+        || scratch.acquire(),
+        |guard, slot| {
+            let genes = genomes[slot.idx].genes();
+            slot.fitness = match (slot.plan, parents) {
+                (Plan::Inherit { parent }, Some((_, pe))) if pe[parent].fitness.is_finite() => {
+                    slot.cts.clear();
+                    slot.cts.extend_from_slice(&pe[parent].cts);
+                    pe[parent].fitness
+                }
+                (Plan::Delta { parent, from }, Some((pg, pe)))
+                    if pe[parent].fitness.is_finite() =>
+                {
+                    kernel.evaluate_delta(
+                        genes,
+                        pg[parent].genes(),
+                        &pe[parent].cts,
+                        from,
+                        &mut slot.cts,
+                        &mut guard.buf,
+                    )
+                }
+                _ => kernel.evaluate_full(genes, &mut slot.cts, &mut guard.buf),
+            };
+        },
+    );
+}
+
+/// Recycled per-chunk kernel scratch (the flat free-time planes the
+/// compiled kernel replays schedules into). Each parallel chunk checks a
+/// buffer out at `for_each_init` time and its drop guard checks it back
+/// in, so a warm pool serves every generation of every round without
+/// allocating. Scratch contents never influence results — every
+/// evaluation fully initialises the slices it reads — so recycling is
+/// invisible to the digest.
 #[derive(Debug, Default)]
-struct ScratchPool(Mutex<Vec<Vec<NodeAvailability>>>);
+struct ScratchPool(Mutex<Vec<KernelScratch>>);
 
 impl ScratchPool {
     fn acquire(&self) -> ScratchGuard<'_> {
@@ -81,7 +194,7 @@ impl ScratchPool {
 /// A checked-out scratch buffer; returns itself to the pool on drop.
 struct ScratchGuard<'p> {
     pool: &'p ScratchPool,
-    buf: Vec<NodeAvailability>,
+    buf: KernelScratch,
 }
 
 impl Drop for ScratchGuard<'_> {
@@ -171,6 +284,9 @@ pub fn evolve_with_pool<R: Rng + ?Sized>(
         population,
         next,
         fitness,
+        evals,
+        next_evals,
+        kernel,
         wheel,
         elites,
         spare,
@@ -206,26 +322,21 @@ pub fn evolve_with_pool<R: Rng + ?Sized>(
         seeded += 1;
     }
 
-    let eval_all = |pop: &[Chromosome], out: &mut Vec<f64>| {
-        pop.par_iter()
-            .map_init(
-                || scratch.acquire(),
-                |guard, c| {
-                    evaluate_with_scratch(
-                        ctx,
-                        base_avail,
-                        &mut guard.buf,
-                        c,
-                        kind,
-                        risk,
-                        params.flow_weight,
-                    )
-                },
-            )
-            .collect_into(out);
-    };
+    // Lower this round's snapshot into the flat kernel (buffers reused
+    // across rounds; any grid/trust/availability change since the last
+    // round is picked up here).
+    kernel.recompile(ctx, base_avail, kind, risk, params.flow_weight);
+    resize_slots(evals, params.population);
+    resize_slots(next_evals, params.population);
 
-    eval_all(population, fitness);
+    // Generation 0 (seeded + random individuals) has no parents: full
+    // replays only.
+    for (i, slot) in evals.iter_mut().enumerate() {
+        slot.idx = i;
+        slot.plan = Plan::Full;
+    }
+    eval_generation(kernel, population, evals, None, scratch);
+    sync_fitness(fitness, evals);
     let (mut best, mut best_fitness) = current_best(population, fitness);
     let mut trajectory = Vec::with_capacity(params.generations + 1);
     trajectory.push(best_fitness);
@@ -248,10 +359,14 @@ pub fn evolve_with_pool<R: Rng + ?Sized>(
             next.push(Chromosome::from_genes(Vec::new()));
         }
         // Elite splice by index: clone the elites into the head of the
-        // recycled buffer (clone_from reuses each slot's gene allocation).
+        // recycled buffer (clone_from reuses each slot's gene allocation);
+        // their evaluations are inherited outright, never recomputed.
         let mut filled = 0;
         for &e in elites.iter() {
             next[filled].clone_from(&population[e]);
+            let slot = &mut next_evals[filled];
+            slot.idx = filled;
+            slot.plan = Plan::Inherit { parent: e };
             filled += 1;
         }
         while filled < params.population {
@@ -260,7 +375,8 @@ pub fn evolve_with_pool<R: Rng + ?Sized>(
             // Copy both parents into their destination slots (the odd
             // tail child lands in `spare` — it still consumes its RNG
             // draws, exactly like the discarded child did before), then
-            // cross and mutate in place.
+            // cross and mutate in place, tracking the lowest touched
+            // gene so evaluation can patch instead of replay.
             let has_second = filled + 1 < params.population;
             let (head, tail) = next.split_at_mut(filled + 1);
             let ca = &mut head[filled];
@@ -271,19 +387,48 @@ pub fn evolve_with_pool<R: Rng + ?Sized>(
             };
             ca.clone_from(&population[pa]);
             cb.clone_from(&population[pb]);
+            let mut from_a = n;
+            let mut from_b = n;
             if rng.gen::<f64>() < params.crossover_prob {
-                crossover_in_place(ca, cb, rng);
+                if let Some(cut) = crossover_in_place_tracked(ca, cb, rng) {
+                    from_a = cut;
+                    from_b = cut;
+                }
             }
             if rng.gen::<f64>() < params.mutation_prob {
-                mutate(ca, &ctx.candidates, rng);
+                if let Some(j) = mutate_tracked(ca, &ctx.candidates, rng) {
+                    from_a = from_a.min(j);
+                }
             }
             if rng.gen::<f64>() < params.mutation_prob {
-                mutate(cb, &ctx.candidates, rng);
+                if let Some(j) = mutate_tracked(cb, &ctx.candidates, rng) {
+                    from_b = from_b.min(j);
+                }
+            }
+            let plan_for = |parent: usize, from: usize| {
+                if from < n {
+                    Plan::Delta { parent, from }
+                } else {
+                    Plan::Inherit { parent }
+                }
+            };
+            let slot = &mut next_evals[filled];
+            slot.idx = filled;
+            slot.plan = plan_for(pa, from_a);
+            if has_second {
+                let slot = &mut next_evals[filled + 1];
+                slot.idx = filled + 1;
+                slot.plan = plan_for(pb, from_b);
             }
             filled += if has_second { 2 } else { 1 };
         }
+        // Evaluate the incoming generation against the outgoing one
+        // (parents' genomes + completion times back the delta path),
+        // then promote it.
+        eval_generation(kernel, next, next_evals, Some((population, evals)), scratch);
         std::mem::swap(population, next);
-        eval_all(population, fitness);
+        std::mem::swap(evals, next_evals);
+        sync_fitness(fitness, evals);
         let (gen_bi, gen_fit) = best_index(fitness);
         if gen_fit < best_fitness {
             // clone_from reuses `best`'s gene allocation — improvements

@@ -1,0 +1,607 @@
+//! The compiled fitness kernel: a structure-of-arrays lowering of the
+//! grid + trust + security snapshot that turns chromosome evaluation into
+//! index arithmetic over flat slices.
+//!
+//! [`evaluate_with_scratch`](crate::fitness::evaluate_with_scratch) — the
+//! retained reference implementation — re-walks the ETC matrix, the
+//! per-job candidate metadata and the per-site availability objects for
+//! every chromosome. The GA evaluates tens of thousands of chromosomes
+//! per round against the *same* snapshot, so this module compiles that
+//! snapshot once per round (the shape of `simlin`'s compiler → bytecode →
+//! VM pipeline) into:
+//!
+//! - `eff`: a dense `[job × site]` plane of *effective* execution times,
+//!   folding the ETC lookup, the security-overhead/risk multiplier
+//!   ([`FitnessKind::ExpectedMakespan`]) and every feasibility test
+//!   (non-fitting ETC entries, zero widths, widths exceeding a site's
+//!   node count) into one `f64` per cell — `+∞` marks infeasible, so the
+//!   per-gene test is a single `is_finite()`;
+//! - `floors`: the per-job release floor `now.max(arrival)`;
+//! - `base_free`: every site's sorted node free-times concatenated into
+//!   one flat plane, indexed by `site_off` prefix offsets.
+//!
+//! [`FitnessKernel::evaluate_full`] then replays a chromosome with no
+//! hashing, trust branching or graph chasing, and is bit-identical to the
+//! reference path because it performs the *same* [`Time`] operations in
+//! the *same* commit order on the *same* values.
+//!
+//! On top of the full replay sits **delta evaluation**
+//! ([`FitnessKernel::evaluate_delta`]): a GA child differs from its
+//! parent only at crossover/mutation-touched genes, so only the sites
+//! those genes moved work onto or off of can change their ready chains.
+//! The delta path resets just the affected sites' free-time segments,
+//! recomputes completion times for jobs landing on them, copies every
+//! other job's completion time from the parent, and re-aggregates — and
+//! falls back to a full replay when the touched set is wide. Both paths
+//! produce bit-identical fitness (the golden-equivalence digests and the
+//! proptests in `tests/kernel_equivalence.rs` pin this).
+
+use crate::fitness::{FitnessKind, RiskWeights};
+use gridsec_core::etc::NodeAvailability;
+use gridsec_core::Time;
+use gridsec_heuristics::common::MapCtx;
+
+/// A fitness program compiled from one scheduling round's snapshot.
+///
+/// Compile once per round with [`FitnessKernel::recompile`] (reusing the
+/// previous round's buffers), then evaluate every chromosome of every
+/// generation against it.
+#[derive(Debug, Clone, Default)]
+pub struct FitnessKernel {
+    n_jobs: usize,
+    n_sites: usize,
+    flow_weight: f64,
+    /// `[job × site]` effective execution times; `+∞` ⇔ infeasible gene.
+    eff: Vec<f64>,
+    /// Per-job start floor: `now.max(arrival)`.
+    floors: Vec<Time>,
+    /// Per-job node width.
+    widths: Vec<u32>,
+    /// Resolved commit order (the reference path's `order_iter`).
+    order: Vec<u32>,
+    /// All sites' sorted free-times, concatenated in site order.
+    base_free: Vec<Time>,
+    /// Prefix offsets into `base_free`; site `s` owns `site_off[s]..site_off[s+1]`.
+    site_off: Vec<u32>,
+}
+
+/// Reusable per-evaluation working memory for a [`FitnessKernel`].
+///
+/// Contents never influence results — every evaluation fully initialises
+/// the slices it reads — so buffers can be pooled and shared across
+/// chromosomes, generations and rounds exactly like the reference path's
+/// availability scratch.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Working copy of the `base_free` plane.
+    free: Vec<Time>,
+    /// Per-site "ready chain affected" marker for delta evaluation.
+    site_mask: Vec<bool>,
+}
+
+impl FitnessKernel {
+    /// Compiles a fresh kernel from a round snapshot (convenience wrapper
+    /// over [`FitnessKernel::recompile`]).
+    pub fn compile(
+        ctx: &MapCtx,
+        base_avail: &[NodeAvailability],
+        kind: FitnessKind,
+        risk: Option<&RiskWeights>,
+        flow_weight: f64,
+    ) -> FitnessKernel {
+        let mut kernel = FitnessKernel::default();
+        kernel.recompile(ctx, base_avail, kind, risk, flow_weight);
+        kernel
+    }
+
+    /// Re-lowers the snapshot into this kernel's buffers, reusing their
+    /// allocations. Called once per scheduling round; any change to the
+    /// grid, trust ratings, security levels, availability or batch is
+    /// picked up here because the kernel is rebuilt from the live
+    /// snapshot, never cached across rounds.
+    pub fn recompile(
+        &mut self,
+        ctx: &MapCtx,
+        base_avail: &[NodeAvailability],
+        kind: FitnessKind,
+        risk: Option<&RiskWeights>,
+        flow_weight: f64,
+    ) {
+        let n = ctx.n_jobs();
+        let m = ctx.etc.n_sites();
+        assert_eq!(
+            base_avail.len(),
+            m,
+            "availability must cover every ETC site"
+        );
+        self.n_jobs = n;
+        self.n_sites = m;
+        self.flow_weight = flow_weight;
+
+        self.eff.clear();
+        self.eff.reserve(n * m);
+        for j in 0..n {
+            let w = ctx.widths[j];
+            for (s, site) in base_avail.iter().enumerate() {
+                let exec = ctx.etc.get(j, s);
+                // The exact expression of the reference path, including the
+                // risk multiplier applied *after* the raw-ETC lookup, so
+                // finite products carry identical bits.
+                let exec = match kind {
+                    FitnessKind::Makespan => exec,
+                    FitnessKind::ExpectedMakespan => exec * risk.map_or(1.0, |r| r.get(j, s)),
+                };
+                // Fold both of the reference path's infeasibility exits
+                // (non-finite execution time; width 0 or wider than the
+                // site) into the +∞ sentinel.
+                let feasible = exec.is_finite() && w >= 1 && (w as usize) <= site.nodes();
+                self.eff.push(if feasible { exec } else { f64::INFINITY });
+            }
+        }
+
+        self.floors.clear();
+        self.floors
+            .extend((0..n).map(|j| ctx.now.max(ctx.arrivals[j])));
+        self.widths.clear();
+        self.widths.extend_from_slice(&ctx.widths);
+        self.order.clear();
+        self.order.extend(ctx.order_iter().map(|j| j as u32));
+
+        self.base_free.clear();
+        self.site_off.clear();
+        self.site_off.reserve(m + 1);
+        self.site_off.push(0);
+        for a in base_avail {
+            self.base_free.extend_from_slice(a.free_times());
+            self.site_off.push(self.base_free.len() as u32);
+        }
+    }
+
+    /// Number of jobs the kernel was compiled for.
+    #[inline]
+    pub fn n_jobs(&self) -> usize {
+        self.n_jobs
+    }
+
+    /// Number of sites the kernel was compiled for.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Full replay: evaluates `genes` from the base availability plane,
+    /// writing each job's completion time into `cts` (indexed by batch
+    /// position). Returns the fitness; `+∞` means an infeasible gene was
+    /// hit and `cts` is only partially written (callers must not use it
+    /// as a delta parent — the GA gates on finite parent fitness).
+    ///
+    /// Bit-identical to
+    /// [`evaluate_with_scratch`](crate::fitness::evaluate_with_scratch):
+    /// same commit order, same [`Time`] arithmetic (`at_least`, `max`,
+    /// `+`), same aggregation, and a merge-rotate commit that reproduces
+    /// the reference's re-sorted segment bit for bit.
+    pub fn evaluate_full(
+        &self,
+        genes: &[u16],
+        cts: &mut Vec<Time>,
+        scratch: &mut KernelScratch,
+    ) -> f64 {
+        debug_assert_eq!(genes.len(), self.n_jobs);
+        scratch.free.clear();
+        scratch.free.extend_from_slice(&self.base_free);
+        cts.clear();
+        cts.resize(self.n_jobs, Time::ZERO);
+        let mut makespan = Time::ZERO;
+        let mut sum_ct = 0.0;
+        for &j in &self.order {
+            let j = j as usize;
+            let s = genes[j] as usize;
+            let exec = self.eff[j * self.n_sites + s];
+            if !exec.is_finite() {
+                return f64::INFINITY;
+            }
+            let ct = self.replay_one(j, s, exec, &mut scratch.free);
+            cts[j] = ct;
+            makespan = makespan.max(ct);
+            sum_ct += ct.seconds();
+        }
+        makespan.seconds() + self.flow_weight * (sum_ct / self.n_jobs as f64)
+    }
+
+    /// Delta replay: evaluates a child that differs from an
+    /// already-evaluated parent only at genes in `from..n` (the
+    /// crossover-cut / mutation-touched suffix tracked by the GA's
+    /// operators).
+    ///
+    /// Only sites that genes moved onto or off of can see a different
+    /// commit subsequence, so only jobs landing on those sites are
+    /// replayed; everything else inherits the parent's completion time
+    /// verbatim, and the aggregate is recomputed over all completion
+    /// times in commit order — making the result bit-identical to
+    /// [`FitnessKernel::evaluate_full`] on the child. Falls back to a
+    /// full replay when at least half the batch needs recomputation.
+    ///
+    /// `parent_cts` must be the complete completion-time vector of a
+    /// *finite-fitness* parent evaluation.
+    #[allow(clippy::too_many_arguments)] // flat-slice kernel entry point
+    pub fn evaluate_delta(
+        &self,
+        genes: &[u16],
+        parent_genes: &[u16],
+        parent_cts: &[Time],
+        from: usize,
+        cts: &mut Vec<Time>,
+        scratch: &mut KernelScratch,
+    ) -> f64 {
+        let n = self.n_jobs;
+        debug_assert_eq!(genes.len(), n);
+        debug_assert_eq!(parent_genes.len(), n);
+        debug_assert_eq!(parent_cts.len(), n);
+
+        // Mark every site whose ready chain the gene diff can perturb.
+        scratch.site_mask.clear();
+        scratch.site_mask.resize(self.n_sites, false);
+        let mut any = false;
+        for j in from..n {
+            if genes[j] != parent_genes[j] {
+                scratch.site_mask[genes[j] as usize] = true;
+                scratch.site_mask[parent_genes[j] as usize] = true;
+                any = true;
+            }
+        }
+        if !any {
+            // Identical genome: the parent's outcome, re-aggregated (the
+            // aggregation of a finite evaluation is a pure function of
+            // its completion times, so this reproduces the parent
+            // fitness bit for bit).
+            cts.clear();
+            cts.extend_from_slice(parent_cts);
+            return self.aggregate(cts);
+        }
+
+        // Wide diffs replay everything — the crossover of two unrelated
+        // parents routinely touches most sites, and patching then costs
+        // more than the straight-line full pass.
+        let moved = genes
+            .iter()
+            .filter(|&&g| scratch.site_mask[g as usize])
+            .count();
+        if moved * 2 >= n {
+            return self.evaluate_full(genes, cts, scratch);
+        }
+
+        // Reset only the affected sites' segments from the base plane;
+        // unaffected segments are never read on this path, so whatever a
+        // previous evaluation left there is harmless.
+        if scratch.free.len() == self.base_free.len() {
+            for s in 0..self.n_sites {
+                if scratch.site_mask[s] {
+                    let (lo, hi) = self.site_span(s);
+                    scratch.free[lo..hi].copy_from_slice(&self.base_free[lo..hi]);
+                }
+            }
+        } else {
+            scratch.free.clear();
+            scratch.free.extend_from_slice(&self.base_free);
+        }
+
+        cts.clear();
+        cts.extend_from_slice(parent_cts);
+        for &j in &self.order {
+            let j = j as usize;
+            let s = genes[j] as usize;
+            if !scratch.site_mask[s] {
+                continue;
+            }
+            let exec = self.eff[j * self.n_sites + s];
+            if !exec.is_finite() {
+                return f64::INFINITY;
+            }
+            cts[j] = self.replay_one(j, s, exec, &mut scratch.free);
+        }
+        self.aggregate(cts)
+    }
+
+    /// Commits job `j` (feasible, effective time `exec`) onto site `s`'s
+    /// segment of the free-time plane and returns its completion time —
+    /// the flat-slice form of `NodeAvailability::earliest_start` +
+    /// `commit`, with the re-sort replaced by a merge-rotate.
+    ///
+    /// The reference path overwrites the segment's first `w` entries with
+    /// `ct` and re-sorts the whole segment. Here the segment is known
+    /// sorted and `ct ≥ start ≥ seg[w-1] ≥ seg[..w]`, so the same sorted
+    /// result is produced by dropping the `w` smallest entries and
+    /// splicing `w` copies of `ct` at their ordered position — O(nodes)
+    /// moves instead of a sort. Bit-identical: `Time`'s order is
+    /// `total_cmp`, under which equal keys have equal bits, so a sorted
+    /// segment is a unique byte sequence however it was produced.
+    #[inline]
+    fn replay_one(&self, j: usize, s: usize, exec: f64, free: &mut [Time]) -> Time {
+        let (lo, hi) = self.site_span(s);
+        let seg = &mut free[lo..hi];
+        let w = self.widths[j] as usize;
+        let start = seg[w - 1].at_least(self.floors[j]);
+        let ct = start + Time::new(exec);
+        let p = seg[w..].partition_point(|t| *t < ct);
+        seg.copy_within(w..w + p, 0);
+        seg[p..p + w].fill(ct);
+        ct
+    }
+
+    /// `base_free` span owned by site `s`.
+    #[inline]
+    fn site_span(&self, s: usize) -> (usize, usize) {
+        (self.site_off[s] as usize, self.site_off[s + 1] as usize)
+    }
+
+    /// Fitness from a complete completion-time vector: the same
+    /// commit-order accumulation the full replay performs inline.
+    fn aggregate(&self, cts: &[Time]) -> f64 {
+        let mut makespan = Time::ZERO;
+        let mut sum_ct = 0.0;
+        for &j in &self.order {
+            let ct = cts[j as usize];
+            makespan = makespan.max(ct);
+            sum_ct += ct.seconds();
+        }
+        makespan.seconds() + self.flow_weight * (sum_ct / self.n_jobs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chromosome::Chromosome;
+    use crate::fitness::{evaluate_with_scratch, DEFAULT_FLOW_WEIGHT};
+    use gridsec_core::etc::EtcMatrix;
+    use gridsec_core::rng::{stream, Stream};
+    use gridsec_core::SecurityModel;
+    use rand::Rng;
+
+    /// A deliberately lumpy snapshot: multi-node sites, mixed widths, a
+    /// preloaded site, non-zero arrivals and an explicit commit order.
+    fn snapshot() -> (MapCtx, Vec<NodeAvailability>) {
+        let n = 7;
+        let m = 3;
+        let mut etc = Vec::new();
+        for j in 0..n {
+            for s in 0..m {
+                etc.push(5.0 + ((j * 31 + s * 17) % 23) as f64);
+            }
+        }
+        // Job 5 fits nowhere but site 0 by ETC; job 6 is wider than site 2.
+        etc[5 * m + 1] = f64::INFINITY;
+        etc[5 * m + 2] = f64::INFINITY;
+        let mut ctx = MapCtx {
+            etc: EtcMatrix::from_raw(n, m, etc),
+            widths: vec![1, 2, 1, 3, 1, 1, 4],
+            arrivals: (0..n).map(|j| Time::new(j as f64 * 0.5)).collect(),
+            candidates: vec![vec![0, 1, 2]; n],
+            now: Time::new(1.0),
+            commit_order: vec![6, 3, 1, 0, 2, 4, 5],
+        };
+        ctx.candidates[5] = vec![0];
+        let mut avail = vec![
+            NodeAvailability::new(4, Time::ZERO),
+            NodeAvailability::new(4, Time::new(2.0)),
+            NodeAvailability::new(2, Time::ZERO),
+        ];
+        avail[0].commit(2, Time::new(9.0));
+        (ctx, avail)
+    }
+
+    fn reference(ctx: &MapCtx, avail: &[NodeAvailability], c: &Chromosome) -> f64 {
+        let mut scratch = Vec::new();
+        evaluate_with_scratch(
+            ctx,
+            avail,
+            &mut scratch,
+            c,
+            FitnessKind::Makespan,
+            None,
+            DEFAULT_FLOW_WEIGHT,
+        )
+    }
+
+    #[test]
+    fn full_replay_matches_reference_bit_for_bit() {
+        let (ctx, avail) = snapshot();
+        let kernel = FitnessKernel::compile(
+            &ctx,
+            &avail,
+            FitnessKind::Makespan,
+            None,
+            DEFAULT_FLOW_WEIGHT,
+        );
+        let mut scratch = KernelScratch::default();
+        let mut cts = Vec::new();
+        let mut rng = stream(42, Stream::Genetic);
+        for _ in 0..200 {
+            let c = Chromosome::random(&ctx.candidates, &mut rng);
+            let want = reference(&ctx, &avail, &c);
+            let got = kernel.evaluate_full(c.genes(), &mut cts, &mut scratch);
+            assert_eq!(want.to_bits(), got.to_bits(), "genes {:?}", c.genes());
+        }
+    }
+
+    #[test]
+    fn infeasible_genes_are_infinite_in_both_paths() {
+        let (ctx, avail) = snapshot();
+        let kernel = FitnessKernel::compile(
+            &ctx,
+            &avail,
+            FitnessKind::Makespan,
+            None,
+            DEFAULT_FLOW_WEIGHT,
+        );
+        let mut scratch = KernelScratch::default();
+        let mut cts = Vec::new();
+        // Job 5 on site 1: non-finite ETC. Job 6 on site 2: width 4 > 2.
+        for genes in [vec![0, 0, 0, 0, 0, 1, 0], vec![0, 0, 0, 0, 0, 0, 2]] {
+            let c = Chromosome::from_genes(genes);
+            assert!(reference(&ctx, &avail, &c).is_infinite());
+            assert!(kernel
+                .evaluate_full(c.genes(), &mut cts, &mut scratch)
+                .is_infinite());
+        }
+    }
+
+    #[test]
+    fn risk_lowering_matches_reference() {
+        let (ctx, avail) = snapshot();
+        let model = SecurityModel::new(3.0).unwrap();
+        let sds: Vec<f64> = (0..ctx.n_jobs()).map(|j| 0.3 + 0.1 * j as f64).collect();
+        let sls = vec![0.9, 0.4, 0.6];
+        let risk = RiskWeights::build(&model, &sds, &sls);
+        let kernel = FitnessKernel::compile(
+            &ctx,
+            &avail,
+            FitnessKind::ExpectedMakespan,
+            Some(&risk),
+            DEFAULT_FLOW_WEIGHT,
+        );
+        let mut scratch = KernelScratch::default();
+        let mut cts = Vec::new();
+        let mut ref_scratch = Vec::new();
+        let mut rng = stream(7, Stream::Genetic);
+        for _ in 0..100 {
+            let c = Chromosome::random(&ctx.candidates, &mut rng);
+            let want = evaluate_with_scratch(
+                &ctx,
+                &avail,
+                &mut ref_scratch,
+                &c,
+                FitnessKind::ExpectedMakespan,
+                Some(&risk),
+                DEFAULT_FLOW_WEIGHT,
+            );
+            let got = kernel.evaluate_full(c.genes(), &mut cts, &mut scratch);
+            assert_eq!(want.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn delta_matches_full_for_random_patches() {
+        let (ctx, avail) = snapshot();
+        let kernel = FitnessKernel::compile(
+            &ctx,
+            &avail,
+            FitnessKind::Makespan,
+            None,
+            DEFAULT_FLOW_WEIGHT,
+        );
+        let n = ctx.n_jobs();
+        let mut scratch = KernelScratch::default();
+        let mut parent_cts = Vec::new();
+        let mut full_cts = Vec::new();
+        let mut delta_cts = Vec::new();
+        let mut rng = stream(99, Stream::Genetic);
+        let mut tried = 0;
+        while tried < 200 {
+            let parent = Chromosome::random(&ctx.candidates, &mut rng);
+            let pf = kernel.evaluate_full(parent.genes(), &mut parent_cts, &mut scratch);
+            if !pf.is_finite() {
+                continue;
+            }
+            // Random patch: between 0 and n random gene rewrites.
+            let mut child = parent.clone();
+            let k = rng.gen_range(0..=n);
+            let mut from = n;
+            for _ in 0..k {
+                let j = rng.gen_range(0..n);
+                let cand = &ctx.candidates[j];
+                child.genes_mut()[j] = cand[rng.gen_range(0..cand.len())] as u16;
+                from = from.min(j);
+            }
+            let want = kernel.evaluate_full(child.genes(), &mut full_cts, &mut scratch);
+            let got = kernel.evaluate_delta(
+                child.genes(),
+                parent.genes(),
+                &parent_cts,
+                from,
+                &mut delta_cts,
+                &mut scratch,
+            );
+            assert_eq!(want.to_bits(), got.to_bits(), "patch width {k}");
+            if want.is_finite() {
+                assert_eq!(full_cts, delta_cts, "completion times must agree");
+            }
+            tried += 1;
+        }
+    }
+
+    #[test]
+    fn delta_with_empty_patch_reproduces_parent_fitness() {
+        let (ctx, avail) = snapshot();
+        let kernel = FitnessKernel::compile(
+            &ctx,
+            &avail,
+            FitnessKind::Makespan,
+            None,
+            DEFAULT_FLOW_WEIGHT,
+        );
+        let mut scratch = KernelScratch::default();
+        let mut parent_cts = Vec::new();
+        let mut cts = Vec::new();
+        let c = Chromosome::from_genes(vec![0, 1, 2, 0, 1, 0, 0]);
+        let pf = kernel.evaluate_full(c.genes(), &mut parent_cts, &mut scratch);
+        assert!(pf.is_finite());
+        let df =
+            kernel.evaluate_delta(c.genes(), c.genes(), &parent_cts, 0, &mut cts, &mut scratch);
+        assert_eq!(pf.to_bits(), df.to_bits());
+        assert_eq!(parent_cts, cts);
+    }
+
+    #[test]
+    fn recompile_reuses_buffers_across_snapshots() {
+        let (ctx, avail) = snapshot();
+        let mut kernel = FitnessKernel::compile(
+            &ctx,
+            &avail,
+            FitnessKind::Makespan,
+            None,
+            DEFAULT_FLOW_WEIGHT,
+        );
+        // Recompile on a smaller snapshot, then back; results must track
+        // the live snapshot exactly.
+        let etc = EtcMatrix::from_raw(2, 2, vec![10.0, 20.0, 30.0, 15.0]);
+        let small_ctx = MapCtx {
+            etc,
+            widths: vec![1, 1],
+            arrivals: vec![Time::ZERO; 2],
+            candidates: vec![vec![0, 1]; 2],
+            now: Time::ZERO,
+            commit_order: vec![],
+        };
+        let small_avail = vec![
+            NodeAvailability::new(1, Time::ZERO),
+            NodeAvailability::new(1, Time::ZERO),
+        ];
+        kernel.recompile(
+            &small_ctx,
+            &small_avail,
+            FitnessKind::Makespan,
+            None,
+            DEFAULT_FLOW_WEIGHT,
+        );
+        let mut scratch = KernelScratch::default();
+        let mut cts = Vec::new();
+        let c = Chromosome::from_genes(vec![0, 1]);
+        let got = kernel.evaluate_full(c.genes(), &mut cts, &mut scratch);
+        assert_eq!(
+            got.to_bits(),
+            reference(&small_ctx, &small_avail, &c).to_bits()
+        );
+        kernel.recompile(
+            &ctx,
+            &avail,
+            FitnessKind::Makespan,
+            None,
+            DEFAULT_FLOW_WEIGHT,
+        );
+        let mut rng = stream(3, Stream::Genetic);
+        let c = Chromosome::random(&ctx.candidates, &mut rng);
+        let got = kernel.evaluate_full(c.genes(), &mut cts, &mut scratch);
+        assert_eq!(got.to_bits(), reference(&ctx, &avail, &c).to_bits());
+    }
+}

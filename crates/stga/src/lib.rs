@@ -18,6 +18,9 @@
 //! * [`ga`] — the generic engine: value-based roulette-wheel selection
 //!   with elitism, single-point crossover, point mutation, and
 //!   rayon-parallel fitness evaluation.
+//! * [`kernel`] — the compiled fitness kernel: the round's grid + trust +
+//!   security snapshot lowered into flat structure-of-arrays planes, with
+//!   parent-patch (delta) evaluation for GA children.
 //! * [`history`] — the LRU lookup table and Eq. 2 similarity.
 //! * [`Stga`] — the full scheduler (implements
 //!   [`BatchScheduler`](gridsec_sim::BatchScheduler)).
@@ -36,6 +39,7 @@ pub mod fitness;
 pub mod ga;
 pub mod history;
 pub mod islands;
+pub mod kernel;
 pub mod ops;
 pub mod params;
 pub mod sa;
@@ -48,6 +52,7 @@ pub use conventional::StandardGa;
 pub use ga::{evolve, evolve_population, evolve_with_pool, GaPool, GaResult};
 pub use history::{BatchSignature, HistoryTable, SharedHistory};
 pub use islands::{evolve_islands, IslandParams};
+pub use kernel::{FitnessKernel, KernelScratch};
 pub use params::{GaParams, StgaParams};
 pub use sa::{SaParams, SimulatedAnnealing};
 pub use stga::Stga;

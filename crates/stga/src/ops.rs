@@ -27,15 +27,29 @@ pub fn crossover<R: Rng + ?Sized>(
 /// evolve loop can copy parents into recycled population slots and cross
 /// them there without changing any result.
 pub fn crossover_in_place<R: Rng + ?Sized>(a: &mut Chromosome, b: &mut Chromosome, rng: &mut R) {
+    let _ = crossover_in_place_tracked(a, b, rng);
+}
+
+/// [`crossover_in_place`] that also reports the cut point, or `None` when
+/// the chromosomes are too short to cross. Both children differ from
+/// their respective parents only at genes `cut..len` — the touched-gene
+/// bound the GA hands to the kernel's delta evaluation. RNG consumption
+/// is identical to the untracked form (which delegates here).
+pub fn crossover_in_place_tracked<R: Rng + ?Sized>(
+    a: &mut Chromosome,
+    b: &mut Chromosome,
+    rng: &mut R,
+) -> Option<usize> {
     assert_eq!(a.len(), b.len(), "crossover needs equal-length parents");
     let n = a.len();
     if n < 2 {
-        return;
+        return None;
     }
     let cut = rng.gen_range(1..n);
     for i in cut..n {
         std::mem::swap(&mut a.genes_mut()[i], &mut b.genes_mut()[i]);
     }
+    Some(cut)
 }
 
 /// Point mutation: re-draws the site of one random job from its candidate
@@ -45,13 +59,25 @@ pub fn crossover_in_place<R: Rng + ?Sized>(a: &mut Chromosome, b: &mut Chromosom
 /// When the job has more than one candidate the new gene is guaranteed to
 /// differ from the old one.
 pub fn mutate<R: Rng + ?Sized>(c: &mut Chromosome, candidates: &[Vec<usize>], rng: &mut R) {
+    let _ = mutate_tracked(c, candidates, rng);
+}
+
+/// [`mutate`] that also reports which gene changed (`None` when the
+/// drawn job had at most one candidate and the chromosome was left
+/// untouched) — the second half of the GA's touched-gene tracking. RNG
+/// consumption is identical to the untracked form (which delegates here).
+pub fn mutate_tracked<R: Rng + ?Sized>(
+    c: &mut Chromosome,
+    candidates: &[Vec<usize>],
+    rng: &mut R,
+) -> Option<usize> {
     if c.is_empty() {
-        return;
+        return None;
     }
     let j = rng.gen_range(0..c.len());
     let cand = &candidates[j];
     if cand.len() <= 1 {
-        return;
+        return None;
     }
     let old = c.site_of(j);
     let mut pick = cand[rng.gen_range(0..cand.len())];
@@ -59,6 +85,7 @@ pub fn mutate<R: Rng + ?Sized>(c: &mut Chromosome, candidates: &[Vec<usize>], rn
         pick = cand[rng.gen_range(0..cand.len())];
     }
     c.genes_mut()[j] = pick as u16;
+    Some(j)
 }
 
 #[cfg(test)]
@@ -139,6 +166,27 @@ mod tests {
                 .count();
             assert_eq!(diff, 1);
             assert!(c.is_feasible(&cands));
+        }
+    }
+
+    #[test]
+    fn tracked_ops_report_exact_touched_genes() {
+        for seed in 0..30 {
+            let mut rng = stream(100 + seed, Stream::Genetic);
+            let a0 = Chromosome::from_genes(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+            let b0 = Chromosome::from_genes(vec![7, 6, 5, 4, 3, 2, 1, 0]);
+            let mut a = a0.clone();
+            let mut b = b0.clone();
+            let cut = crossover_in_place_tracked(&mut a, &mut b, &mut rng).unwrap();
+            // Genes before the cut are untouched in both children.
+            assert_eq!(a.genes()[..cut], a0.genes()[..cut]);
+            assert_eq!(b.genes()[..cut], b0.genes()[..cut]);
+            let cands = vec![vec![0usize, 1, 2, 3, 4, 5, 6, 7]; 8];
+            let before = a.clone();
+            let j = mutate_tracked(&mut a, &cands, &mut rng).unwrap();
+            for (i, (x, y)) in a.genes().iter().zip(before.genes()).enumerate() {
+                assert_eq!(i == j, x != y, "only the reported gene may change");
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! The Space-Time Genetic Algorithm scheduler (§3, Fig. 6).
 
 use crate::chromosome::Chromosome;
-use crate::fitness::FitnessKind;
+use crate::fitness::{FitnessKind, RiskCache};
 use crate::ga::{evolve_with_pool, GaPool, GaResult};
 use crate::history::{BatchSignature, SharedHistory};
 use crate::params::StgaParams;
@@ -40,6 +40,10 @@ pub struct Stga {
     /// long-lived STGA (one batch after another in the serving daemon)
     /// allocates its GA state once and recycles it forever.
     pool: GaPool,
+    /// Memoised risk-weight table for [`FitnessKind::ExpectedMakespan`]:
+    /// rebuilt only when the security snapshot fingerprint moves (trust
+    /// re-rate / reconfigure), not on every round.
+    risk_cache: RiskCache,
 }
 
 impl Stga {
@@ -61,6 +65,7 @@ impl Stga {
             fitness: FitnessKind::Makespan,
             last_result: None,
             pool: GaPool::new(),
+            risk_cache: RiskCache::new(),
         }
     }
 
@@ -90,6 +95,12 @@ impl Stga {
     /// plots), if any round has run.
     pub fn last_trajectory(&self) -> Option<&[f64]> {
         self.last_result.as_ref().map(|r| r.trajectory.as_slice())
+    }
+
+    /// `(hits, misses)` of the risk-weight cache (only populated when the
+    /// fitness variant is [`FitnessKind::ExpectedMakespan`]).
+    pub fn risk_cache_stats(&self) -> (u64, u64) {
+        self.risk_cache.stats()
     }
 
     /// Pre-populates the history table by running Min-Min and Sufferage
@@ -169,6 +180,14 @@ impl BatchScheduler for Stga {
         "STGA".to_string()
     }
 
+    fn on_reconfigure(&mut self) {
+        // Drop everything compiled from the old security snapshot. The
+        // fitness kernel itself is re-lowered from the live snapshot at
+        // the start of every round, so the risk table is the only state
+        // that could go stale.
+        self.risk_cache.invalidate();
+    }
+
     fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule {
         // First-fit-decreasing commit order: the GA's schedule replay (and
         // the engine's dispatch, which follows the emitted order) packs
@@ -199,7 +218,23 @@ impl BatchScheduler for Stga {
             ));
         }
 
-        let risk_weights = None; // base STGA: pure makespan fitness
+        // Base STGA minimises pure makespan (no risk table); the
+        // risk-aware ablation inflates execution times by expected
+        // attempts, with the `[job × site]` table served from the
+        // fingerprint-keyed cache instead of rebuilt every round.
+        let risk_weights = match self.fitness {
+            FitnessKind::Makespan => None,
+            FitnessKind::ExpectedMakespan => {
+                let sds: Vec<f64> = batch.iter().map(|b| b.job.security_demand).collect();
+                let sls: Vec<f64> = view.grid.security_levels().collect();
+                Some(self.risk_cache.get_or_build(
+                    &view.model,
+                    view.grid.security_fingerprint(),
+                    &sds,
+                    &sls,
+                ))
+            }
+        };
         let result = evolve_with_pool(
             &ctx,
             view.avail,
@@ -373,6 +408,42 @@ mod tests {
         stga.train(&jobs, &g, 5).unwrap();
         // Only 10 jobs used → 2 batches × 2 entries.
         assert_eq!(stga.history().len(), 4);
+    }
+
+    #[test]
+    fn risk_cache_serves_repeated_rounds_and_reconfigures_invalidate() {
+        let g = grid();
+        let avail = vec![
+            NodeAvailability::new(2, Time::ZERO),
+            NodeAvailability::new(2, Time::ZERO),
+        ];
+        let view = GridView {
+            grid: &g,
+            avail: &avail,
+            now: Time::ZERO,
+            model: SecurityModel::default(),
+        };
+        let b = batch(6);
+        let mut stga = Stga::new(params_small())
+            .unwrap()
+            .with_fitness(FitnessKind::ExpectedMakespan);
+        let _ = stga.schedule(&b, &view);
+        assert_eq!(stga.risk_cache_stats(), (0, 1), "first round builds");
+        let _ = stga.schedule(&b, &view);
+        let _ = stga.schedule(&b, &view);
+        assert_eq!(
+            stga.risk_cache_stats(),
+            (2, 1),
+            "unchanged snapshot must hit the cache"
+        );
+        // A trust reconfiguration notification invalidates the table.
+        stga.on_reconfigure();
+        let _ = stga.schedule(&b, &view);
+        assert_eq!(stga.risk_cache_stats(), (2, 2));
+        // Base (Makespan) STGA never touches the cache.
+        let mut base = Stga::new(params_small()).unwrap();
+        let _ = base.schedule(&b, &view);
+        assert_eq!(base.risk_cache_stats(), (0, 0));
     }
 
     #[test]

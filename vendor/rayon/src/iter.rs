@@ -412,6 +412,31 @@ impl<T: Send> ParIterMut<'_, T> {
             }
         });
     }
+
+    /// `rayon`'s `for_each_init` on a mutable slice: `init` builds one
+    /// fresh state per worker chunk (with one thread: exactly once), and
+    /// `f` threads that state through the chunk's items. As with
+    /// [`ParIter::map_init`], the state must not influence results across
+    /// items if thread-count-independent output is required — use it for
+    /// scratch buffers (the GA evolve loop's kernel scratch).
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &mut T) + Sync,
+    {
+        let len = self.items.len();
+        let base = SendPtr(self.items.as_mut_ptr());
+        run_chunked(len, |range| {
+            let mut state = init();
+            for i in range {
+                // Safety: chunk ranges partition `0..len`, so each element
+                // is borrowed mutably by exactly one closure invocation.
+                #[allow(unsafe_code)]
+                let item = unsafe { &mut *base.get().add(i) };
+                f(&mut state, item);
+            }
+        });
+    }
 }
 
 /// Parallel iterator over contiguous sub-slices (from
