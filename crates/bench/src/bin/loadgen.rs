@@ -43,7 +43,8 @@ use gridsec_serve::{
 };
 use gridsec_sim::scheduler::EarliestCompletion;
 use gridsec_sim::{
-    simulate, BatchJob, BatchPolicy, BatchScheduler, GridView, ShardPlan, SimConfig,
+    simulate, BatchJob, BatchPolicy, BatchScheduler, GridView, InjectionKind, InjectionStream,
+    Scenario, ScenarioRunner, ShardPlan, SimConfig,
 };
 use gridsec_stga::{GaParams, Stga, StgaParams};
 use gridsec_workloads::{swf, NasConfig, PsaConfig};
@@ -72,6 +73,8 @@ fn main() {
         run_bench_suite(&opts)
     } else if opts.shard_suite {
         run_shard_suite(&opts)
+    } else if opts.scenario.is_some() {
+        run_scenario(&opts)
     } else {
         run_replay(&opts)
     };
@@ -84,11 +87,19 @@ fn usage() {
          \x20              [--scheduler mct|minmin|sufferage|stga] [--policy periodic:<secs>|count:<k>|hybrid:<k>]\n\
          \x20              [--rate <jobs-per-sec>] [--threads <n>] [--host <addr>]\n\
          \x20              [--shards <n>] [--wall-clock] [--max-pending <n>]\n\
-         \x20              [--bench-suite] [--shard-suite] [--smoke] [--json <path>] [--quick]"
+         \x20              [--scenario <spec.json>]\n\
+         \x20              [--bench-suite] [--shard-suite] [--smoke] [--json <path>] [--quick]\n\
+         \n\
+         --scenario replays a chaos scenario spec (`gridsec example-scenario`)\n\
+         through the daemon: virtual clock cross-checks the committed timeline\n\
+         bit for bit against the in-process engine; --wall-clock is the soak\n\
+         mode, asserting the zero-lost-jobs ledger under real-time churn.\n\
+         With --bench-suite, --scenario adds churn-vs-quiet rows to the report."
     );
 }
 
 /// Command-line options.
+#[derive(Clone)]
 struct Options {
     workload: String,
     jobs: usize,
@@ -106,6 +117,11 @@ struct Options {
     smoke: bool,
     json: Option<String>,
     quick: bool,
+    scenario: Option<String>,
+    /// `--policy` was given explicitly (scenario mode then overrides the
+    /// spec's batching with it — e.g. a fast count trigger for bounded
+    /// wall-clock soaks).
+    policy_explicit: bool,
 }
 
 impl Options {
@@ -127,6 +143,8 @@ impl Options {
             smoke: false,
             json: None,
             quick: false,
+            scenario: None,
+            policy_explicit: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -148,7 +166,10 @@ impl Options {
                         .map_err(|_| "--seed must be a u64".to_string())?
                 }
                 "--scheduler" => o.scheduler = value("--scheduler")?,
-                "--policy" => o.policy = value("--policy")?,
+                "--policy" => {
+                    o.policy = value("--policy")?;
+                    o.policy_explicit = true;
+                }
                 "--rate" => {
                     let r: f64 = value("--rate")?
                         .parse()
@@ -192,6 +213,7 @@ impl Options {
                 "--smoke" => o.smoke = true,
                 "--json" => o.json = Some(value("--json")?),
                 "--quick" => o.quick = true,
+                "--scenario" => o.scenario = Some(value("--scenario")?),
                 "--help" | "-h" => {
                     usage();
                     std::process::exit(0);
@@ -356,6 +378,9 @@ struct ReplayReport {
     rounds: usize,
     /// Mean wall-clock microseconds per scheduling round.
     round_micros_mean: f64,
+    /// 99th-percentile round, microseconds (nearest-rank over the replay).
+    #[serde(default)]
+    round_micros_p99: f64,
     /// Largest single round, microseconds.
     round_micros_max: f64,
     /// Seconds spent inside the scheduler over the whole replay.
@@ -608,6 +633,7 @@ fn replay(
         jobs_per_sec: sent as f64 / replay_secs.max(1e-9),
         rounds: metrics.rounds,
         round_micros_mean: micros.iter().sum::<f64>() / n_rounds,
+        round_micros_p99: percentile(&micros, 0.99),
         round_micros_max: micros.iter().copied().fold(0.0, f64::max),
         scheduler_seconds: metrics.scheduler_seconds,
         batch_size_mean: metrics.batch_sizes.iter().sum::<usize>() as f64
@@ -619,10 +645,21 @@ fn replay(
     Ok((report, assignments, metrics, views))
 }
 
+/// Nearest-rank percentile (`q` in [0, 1]) of an unsorted sample.
+fn percentile(sample: &[f64], q: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 fn print_report(r: &ReplayReport) {
     println!(
         "{:<10} threads={:<2} shards={:<2} jobs={:<6} wall={:>7.3}s  {:>9.1} jobs/s  rounds={:<4} \
-         round µs mean={:>9.1} max={:>9.1}  batch mean={:>5.1} max={:<4} valid={}",
+         round µs mean={:>9.1} p99={:>9.1} max={:>9.1}  batch mean={:>5.1} max={:<4} valid={}",
         r.scheduler,
         r.threads,
         r.shards,
@@ -631,6 +668,7 @@ fn print_report(r: &ReplayReport) {
         r.jobs_per_sec,
         r.rounds,
         r.round_micros_mean,
+        r.round_micros_p99,
         r.round_micros_max,
         r.batch_size_mean,
         r.batch_size_max,
@@ -718,6 +756,420 @@ fn run_replay(opts: &Options) -> i32 {
     }
 }
 
+/// The subset of a `gridsec` scenario spec loadgen needs: the grid, the
+/// batching config, and the scenario program. The spec's `scheduler`
+/// field is ignored — loadgen's own `--scheduler` flag picks the
+/// scheduler, so one spec file drives every suite row.
+#[derive(Debug, Clone, Deserialize)]
+struct ScenarioFile {
+    grid: ScenarioGrid,
+    #[serde(default)]
+    sim: SimConfig,
+    scenario: Scenario,
+}
+
+/// Grid selection inside a scenario spec (mirrors the CLI's grammar).
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum ScenarioGrid {
+    Sites {
+        sites: Vec<Site>,
+    },
+    Psa {
+        #[serde(default)]
+        config: PsaConfig,
+    },
+    Nas {
+        #[serde(default)]
+        config: NasConfig,
+    },
+}
+
+fn load_scenario(path: &str) -> Result<(Grid, SimConfig, Scenario), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let file: ScenarioFile =
+        serde_json::from_str(&text).map_err(|e| format!("invalid scenario spec {path}: {e}"))?;
+    let grid = match file.grid {
+        ScenarioGrid::Sites { sites } => Grid::new(sites).map_err(|e| e.to_string())?,
+        ScenarioGrid::Psa { config } => config.generate().map_err(|e| e.to_string())?.grid,
+        ScenarioGrid::Nas { config } => config.grid().map_err(|e| e.to_string())?,
+    };
+    Ok((grid, file.sim, file.scenario))
+}
+
+/// What a scenario replay produced alongside the throughput report.
+struct ScenarioViews {
+    per_shard: Vec<Vec<Placed>>,
+    metrics: ServeMetrics,
+    busy_retries: usize,
+}
+
+/// Replays a compiled injection stream through a daemon frame by frame:
+/// arrivals are routed to the shard the stream slicer assigns them
+/// (round-robin by id over the eligible shards), site events and trust
+/// re-ratings become `fail_site` / `rejoin_site` / `reconfigure` frames.
+/// Virtual-clock daemons honour the injection instants; wall-clock
+/// daemons stamp their own (the soak mode). Typed `busy` frames are
+/// retried until the queue drains.
+fn replay_scenario(
+    stream: &InjectionStream,
+    grid: &Grid,
+    plan: &ShardPlan,
+    config: &SimConfig,
+    scheduler: &str,
+    opts: &Options,
+) -> Result<(ReplayReport, ScenarioViews), String> {
+    let n_shards = plan.n_shards();
+    let options = DaemonOptions {
+        clock: if opts.wall_clock {
+            ClockMode::WallClock
+        } else {
+            ClockMode::Virtual
+        },
+        max_pending: opts.max_pending,
+        ..DaemonOptions::default()
+    };
+    let shard_specs: Result<Vec<ShardSpec>, String> = (0..n_shards)
+        .map(|k| {
+            let sub = plan.subgrid(grid, k).map_err(|e| e.to_string())?;
+            let sched = build_scheduler(scheduler, opts.seed + k as u64, opts.quick, opts.threads)?;
+            let session = OnlineSession::new(sub, sched, config).map_err(|e| e.to_string())?;
+            Ok(ShardSpec::new(session))
+        })
+        .collect();
+    let daemon = Daemon::spawn_sharded(
+        grid.clone(),
+        plan.clone(),
+        shard_specs?,
+        "127.0.0.1:0",
+        options,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut client = Client::connect(daemon.addr()).map_err(|e| e.to_string())?;
+
+    // Wall-clock frames carry no instants (the daemon stamps its own
+    // monotonic clock); virtual frames replay the compiled timestamps.
+    let instant = |at| if opts.wall_clock { None } else { Some(at) };
+    let t0 = Instant::now();
+    let mut sent = 0usize;
+    let mut busy_retries = 0usize;
+    for inj in &stream.events {
+        match &inj.kind {
+            InjectionKind::Arrive(job) => {
+                let eligible = plan.eligible_shards(grid, job);
+                if eligible.is_empty() {
+                    continue; // typed-rejected by the engine as well
+                }
+                let shard = Some(eligible[job.id.0 as usize % eligible.len()]);
+                loop {
+                    match client
+                        .send(&Request::Submit {
+                            jobs: vec![job.clone()],
+                            shard,
+                        })
+                        .map_err(|e| e.to_string())?
+                    {
+                        Response::Accepted { jobs: n, .. } => {
+                            sent += n;
+                            break;
+                        }
+                        Response::Busy { .. } => {
+                            busy_retries += 1;
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        other => return Err(format!("submit rejected: {other:?}")),
+                    }
+                }
+            }
+            InjectionKind::SiteFail(site) => {
+                match client
+                    .send(&Request::FailSite {
+                        site: site.0,
+                        at: instant(inj.at),
+                    })
+                    .map_err(|e| e.to_string())?
+                {
+                    Response::SiteFailed { .. } => {}
+                    other => return Err(format!("fail_site rejected: {other:?}")),
+                }
+            }
+            InjectionKind::SiteRejoin(site) => {
+                match client
+                    .send(&Request::RejoinSite {
+                        site: site.0,
+                        at: instant(inj.at),
+                    })
+                    .map_err(|e| e.to_string())?
+                {
+                    Response::SiteRejoined { .. } => {}
+                    other => return Err(format!("rejoin_site rejected: {other:?}")),
+                }
+            }
+            InjectionKind::SetTrust(levels) => {
+                match client
+                    .send(&Request::Reconfigure {
+                        security_levels: levels.clone(),
+                        shard: None,
+                        at: instant(inj.at),
+                    })
+                    .map_err(|e| e.to_string())?
+                {
+                    Response::Reconfigured { .. } => {}
+                    other => return Err(format!("reconfigure rejected: {other:?}")),
+                }
+            }
+        }
+    }
+    match client.send(&Request::Drain).map_err(|e| e.to_string())? {
+        Response::Drained { .. } => {}
+        other => return Err(format!("drain failed: {other:?}")),
+    }
+    let replay_secs = t0.elapsed().as_secs_f64();
+    let metrics = match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Metrics { metrics } => metrics,
+        other => return Err(format!("metrics failed: {other:?}")),
+    };
+    let mut per_shard = Vec::with_capacity(n_shards);
+    for k in 0..n_shards {
+        match client
+            .send(&Request::Query {
+                what: QueryWhat::Schedule,
+                shard: Some(k),
+            })
+            .map_err(|e| e.to_string())?
+        {
+            Response::Schedule { assignments } => per_shard.push(assignments),
+            other => return Err(format!("shard {k} schedule failed: {other:?}")),
+        }
+    }
+    match client.send(&Request::Shutdown).map_err(|e| e.to_string())? {
+        Response::Bye => {}
+        other => return Err(format!("shutdown failed: {other:?}")),
+    }
+    daemon.join();
+
+    let n_rounds = metrics.round_nanos.len().max(1) as f64;
+    let micros: Vec<f64> = metrics
+        .round_nanos
+        .iter()
+        .map(|&n| n as f64 / 1e3)
+        .collect();
+    let report = ReplayReport {
+        scheduler: scheduler.to_string(),
+        threads: opts.threads.unwrap_or(0),
+        shards: n_shards,
+        busy_retries,
+        jobs: sent,
+        replay_secs,
+        jobs_per_sec: sent as f64 / replay_secs.max(1e-9),
+        rounds: metrics.rounds,
+        round_micros_mean: micros.iter().sum::<f64>() / n_rounds,
+        round_micros_p99: percentile(&micros, 0.99),
+        round_micros_max: micros.iter().copied().fold(0.0, f64::max),
+        scheduler_seconds: metrics.scheduler_seconds,
+        batch_size_mean: metrics.batch_sizes.iter().sum::<usize>() as f64
+            / metrics.batch_sizes.len().max(1) as f64,
+        batch_size_max: metrics.batch_sizes.iter().copied().max().unwrap_or(0),
+        makespan: metrics.max_completion.seconds(),
+        // Coverage is asserted by the caller (ledger + engine
+        // cross-check); the flat job-coverage validator does not apply
+        // under churn, where requeued jobs legitimately commit twice.
+        schedule_valid: true,
+    };
+    Ok((
+        report,
+        ScenarioViews {
+            per_shard,
+            metrics,
+            busy_retries,
+        },
+    ))
+}
+
+/// The zero-lost-jobs ledger over a daemon's aggregated metrics: every
+/// submitted job is scheduled or still pending, and the churn counters
+/// match the injection stream.
+fn assert_scenario_ledger(
+    metrics: &ServeMetrics,
+    stream: &InjectionStream,
+    submitted: usize,
+) -> Result<(), String> {
+    if metrics.jobs_submitted != submitted {
+        return Err(format!(
+            "daemon accepted {} jobs, loadgen sent {submitted}",
+            metrics.jobs_submitted
+        ));
+    }
+    if metrics.jobs_submitted != metrics.jobs_scheduled + metrics.pending {
+        return Err(format!(
+            "ledger does not balance: {} submitted != {} scheduled + {} pending",
+            metrics.jobs_submitted, metrics.jobs_scheduled, metrics.pending
+        ));
+    }
+    let fails = stream
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, InjectionKind::SiteFail(_)))
+        .count();
+    let rejoins = stream
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, InjectionKind::SiteRejoin(_)))
+        .count();
+    if metrics.sites_failed != fails || metrics.sites_rejoined != rejoins {
+        return Err(format!(
+            "churn counters diverge: daemon saw {}/{} fail/rejoin, stream has {fails}/{rejoins}",
+            metrics.sites_failed, metrics.sites_rejoined
+        ));
+    }
+    Ok(())
+}
+
+/// `--scenario`: replay a chaos spec through the daemon. Virtual clock
+/// additionally proves the committed timeline bit-identical to the
+/// in-process engine, shard by shard; wall clock is the soak mode and
+/// asserts the accounting only (real-time churn is timing-dependent).
+fn run_scenario(opts: &Options) -> i32 {
+    let path = opts.scenario.as_deref().expect("checked by the dispatcher");
+    let (grid, mut config, scenario) = match load_scenario(path) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if opts.policy_explicit {
+        // An explicit --policy overrides the spec's batching — e.g.
+        // `--policy count:4` keeps a wall-clock soak bounded where the
+        // spec's periodic interval would mean 30 real seconds per round.
+        match parse_policy(&opts.policy, config.schedule_interval.seconds()) {
+            Ok((policy, interval)) => {
+                config = config.with_batch_policy(policy).with_interval(interval);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    }
+    let stream = match scenario.compile(&grid) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let plan = match ShardPlan::contiguous(&grid, opts.shards) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "loadgen scenario: {} injections ({} arrivals) on {} sites × {} shard(s), \
+         scheduler {}, {} clock",
+        stream.events.len(),
+        stream.n_jobs(),
+        grid.len(),
+        opts.shards,
+        opts.scheduler,
+        if opts.wall_clock { "wall" } else { "virtual" },
+    );
+    let (report, views) =
+        match replay_scenario(&stream, &grid, &plan, &config, &opts.scheduler, opts) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+    print_report(&report);
+    if views.busy_retries > 0 {
+        println!("backpressure: {} busy retries", views.busy_retries);
+    }
+    if let Err(e) = assert_scenario_ledger(&views.metrics, &stream, report.jobs) {
+        eprintln!("error: {e}");
+        return 1;
+    }
+    println!(
+        "ledger OK: {} submitted = {} scheduled + {} pending; churn {} fail / {} rejoin, \
+         {} requeued, {} busy rejections",
+        views.metrics.jobs_submitted,
+        views.metrics.jobs_scheduled,
+        views.metrics.pending,
+        views.metrics.sites_failed,
+        views.metrics.sites_rejoined,
+        views.metrics.jobs_requeued,
+        views.metrics.busy_rejections,
+    );
+    if !opts.wall_clock {
+        // Engine cross-check: each shard's committed timeline must be
+        // bit-identical to a scenario runner replaying that shard's
+        // slice on the shard's subgrid.
+        for (k, daemon_schedule) in views.per_shard.iter().enumerate() {
+            let slice = stream.slice_for_shard(&plan, &grid, k);
+            let sub = plan.subgrid(&grid, k).expect("plan matches grid");
+            let scheduler =
+                match build_scheduler(&opts.scheduler, opts.seed + k as u64, opts.quick, None) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                };
+            let outcome =
+                match ScenarioRunner::new(sub, scheduler, &config).and_then(|r| r.run(&slice)) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("error: engine replay of shard {k}: {e}");
+                        return 1;
+                    }
+                };
+            if !outcome.fully_accounted() {
+                eprintln!("error: engine ledger for shard {k} does not balance");
+                return 1;
+            }
+            let translated: Vec<Placed> = outcome
+                .timeline
+                .iter()
+                .map(|&c| {
+                    let mut p = Placed::from(c);
+                    p.site = plan.to_global(k, p.site);
+                    p
+                })
+                .collect();
+            if *daemon_schedule != translated {
+                eprintln!(
+                    "error: shard {k} daemon timeline diverged from the engine \
+                     ({} vs {} commits)",
+                    daemon_schedule.len(),
+                    translated.len()
+                );
+                return 1;
+            }
+        }
+        println!(
+            "equivalence OK: daemon timeline bit-identical to the engine on all {} shard(s)",
+            views.per_shard.len()
+        );
+    } else {
+        println!("soak OK: no lost jobs under wall-clock churn");
+    }
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(path, json).expect("write report");
+        println!("[wrote {path}]");
+    }
+    0
+}
+
 /// The whole `BENCH_PR4.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SuiteReport {
@@ -795,15 +1247,76 @@ fn run_bench_suite(opts: &Options) -> i32 {
             }
         }
     }
+    // Scenario rows: the same daemon under the spec's churn program and
+    // under a quieted copy (faults and trust storms stripped), so the
+    // report quantifies what churn costs in jobs/s and p99 round latency.
+    if let Some(path) = &opts.scenario {
+        let (grid, config, scenario) = match load_scenario(path) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        let quiet = Scenario {
+            faults: Vec::new(),
+            trust: Vec::new(),
+            ..scenario.clone()
+        };
+        let plan = match ShardPlan::contiguous(&grid, 1) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        let row_opts = Options {
+            shards: 1,
+            wall_clock: false,
+            max_pending: None,
+            ..opts.clone()
+        };
+        for scheduler in ["minmin", "stga-kernel"] {
+            for (label, scn) in [("churn", &scenario), ("quiet", &quiet)] {
+                let stream = match scn.compile(&grid) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                };
+                match replay_scenario(&stream, &grid, &plan, &config, scheduler, &row_opts) {
+                    Ok((mut report, views)) => {
+                        if let Err(e) = assert_scenario_ledger(&views.metrics, &stream, report.jobs)
+                        {
+                            eprintln!("error: {scheduler} ({label}): {e}");
+                            return 1;
+                        }
+                        report.scheduler = format!("{scheduler} ({label})");
+                        print_report(&report);
+                        configs.push(report);
+                    }
+                    Err(e) => {
+                        eprintln!("error: {scheduler} ({label}): {e}");
+                        return 1;
+                    }
+                }
+            }
+        }
+    }
     let report = SuiteReport {
         schema: "gridsec-loadgen/v1".to_string(),
         command: format!(
-            "loadgen --bench-suite --workload {} --jobs {} --policy {} --seed {}{}",
+            "loadgen --bench-suite --workload {} --jobs {} --policy {} --seed {}{}{}",
             opts.workload,
             n,
             opts.policy,
             opts.seed,
-            if opts.quick { " --quick" } else { "" }
+            if opts.quick { " --quick" } else { "" },
+            match &opts.scenario {
+                Some(p) => format!(" --scenario {p}"),
+                None => String::new(),
+            }
         ),
         host_available_parallelism: host,
         workload: opts.workload.clone(),

@@ -13,10 +13,10 @@
 mod spec;
 
 use gridsec_serve::{ClockMode, Daemon, DaemonOptions, OnlineSession, ShardPersistence, ShardSpec};
-use gridsec_sim::{simulate, ShardPlan};
+use gridsec_sim::{simulate, ScenarioRunner, ShardPlan};
 use gridsec_stga::SharedHistory;
 use gridsec_workloads::{swf, NasConfig, PsaConfig};
-use spec::ExperimentSpec;
+use spec::{ExperimentSpec, ScenarioSpec};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,8 +27,10 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("example-spec") => cmd_example_spec(),
+        Some("example-scenario") => cmd_example_scenario(),
         Some("generate") => cmd_generate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -45,9 +47,16 @@ fn main() {
 fn print_usage() {
     eprintln!(
         "usage:\n  gridsec run <spec.json> [--json <out.json>]\n  \
-         gridsec example-spec\n  gridsec generate <psa|nas> <n_jobs> [seed]\n  \
+         gridsec example-spec\n  gridsec example-scenario\n  \
+         gridsec generate <psa|nas> <n_jobs> [seed]\n  \
          gridsec serve <spec.json> [--bind <addr>] [--virtual-clock] [--shards <n>]\n\
-         \x20             [--state <prefix>] [--max-pending <n>]\n\
+         \x20             [--state <prefix>] [--max-pending <n>]\n  \
+         gridsec chaos <scenario.json> [--json <out.json>]\n\
+         \n\
+         chaos: compiles the scenario's injection program (arrivals, site\n\
+         failures/rejoins, trust re-ratings) and replays it through the engine,\n\
+         printing the zero-lost-jobs ledger. `example-scenario` writes a starter\n\
+         churn spec; the same file drives `loadgen --scenario` against the daemon.\n\
          \n\
          serve: starts the online scheduling daemon (NDJSON frames over TCP) with\n\
          the spec's grid and *first* scheduler; jobs arrive via `submit` frames.\n\
@@ -374,6 +383,124 @@ fn cmd_run(args: &[String]) -> i32 {
             }
         }
     }
+    0
+}
+
+fn cmd_chaos(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("error: `chaos` needs a scenario spec path");
+        return 2;
+    };
+    let json_out = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Some(p.clone()),
+            None => {
+                eprintln!("error: --json needs a path");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let spec = match ScenarioSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let grid = match spec.grid.build() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let stream = match spec.scenario.compile(&grid) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let scheduler = match spec.scheduler.build_send(&[], &grid) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let name = scheduler.name();
+    println!(
+        "chaos: {} injections ({} arrivals) on {} sites, scheduler {name}, seed {}",
+        stream.events.len(),
+        stream.n_jobs(),
+        grid.len(),
+        spec.scenario.seed,
+    );
+    let runner = match ScenarioRunner::new(grid, scheduler, &spec.sim) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let outcome = match runner.run(&stream) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: replay failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "  jobs: {} generated, {} submitted, {} scheduled, {} requeued, {} pending, {} rejected",
+        outcome.jobs_generated,
+        outcome.jobs_submitted,
+        outcome.jobs_scheduled,
+        outcome.jobs_requeued,
+        outcome.pending,
+        outcome.rejected.len(),
+    );
+    println!(
+        "  churn: {} site failures, {} rejoins; {} rounds, makespan {}",
+        outcome.sites_failed, outcome.sites_rejoined, outcome.rounds, outcome.max_completion,
+    );
+    if let Some(p) = json_out {
+        match serde_json::to_string_pretty(&outcome) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&p, s) {
+                    eprintln!("error: cannot write {p}: {e}");
+                    return 1;
+                }
+                println!("[wrote {p}]");
+            }
+            Err(e) => {
+                eprintln!("error: serialisation failed: {e}");
+                return 1;
+            }
+        }
+    }
+    if outcome.fully_accounted() {
+        println!("  ledger: balanced (every job scheduled, pending, or typed-rejected)");
+        0
+    } else {
+        eprintln!("error: ledger does NOT balance — jobs were lost");
+        1
+    }
+}
+
+fn cmd_example_scenario() -> i32 {
+    let spec = ScenarioSpec::example();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&spec).expect("example scenario serialises")
+    );
     0
 }
 

@@ -4,8 +4,10 @@
 //! NAS, or an SWF trace file), the scheduler roster, and the simulator
 //! configuration. See `gridsec example-spec` for a starting point.
 
-use gridsec_core::{Error, Grid, Job, Result, RiskMode};
-use gridsec_sim::{BatchScheduler, SimConfig};
+use gridsec_core::{Error, Grid, Job, Result, RiskMode, Site};
+use gridsec_sim::{
+    ArrivalPhase, ArrivalProcess, BatchScheduler, FaultSpec, Scenario, SimConfig, TrustSpec,
+};
 use gridsec_stga::{
     GaParams, SaParams, SharedHistory, SimulatedAnnealing, StandardGa, Stga, StgaParams,
     TabuParams, TabuSearch,
@@ -274,6 +276,150 @@ impl ExperimentSpec {
     }
 }
 
+/// Grid selection for a chaos scenario (which generates its own jobs, so
+/// only the resource side of a workload is needed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum GridSpec {
+    /// An explicit site list.
+    Sites {
+        /// The sites, ids 0..n in order.
+        sites: Vec<Site>,
+    },
+    /// The PSA sweep grid (20 sites by default).
+    Psa {
+        /// PSA generator configuration; only its grid is used.
+        #[serde(default)]
+        config: PsaConfig,
+    },
+    /// The NAS iPSC/860 grid (12 sites).
+    Nas {
+        /// NAS generator configuration; only its grid is used.
+        #[serde(default)]
+        config: NasConfig,
+    },
+}
+
+impl GridSpec {
+    /// Materialises the grid.
+    pub fn build(&self) -> Result<Grid> {
+        match self {
+            GridSpec::Sites { sites } => Grid::new(sites.clone()),
+            GridSpec::Psa { config } => Ok(config.generate()?.grid),
+            GridSpec::Nas { config } => config.grid(),
+        }
+    }
+}
+
+/// A complete chaos-scenario specification: the grid under test, one
+/// scheduler, the batching configuration, and the injection program
+/// itself. Replayable through the engine (`gridsec chaos`) and the
+/// daemon (`loadgen --scenario`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The grid the scenario runs on.
+    pub grid: GridSpec,
+    /// The scheduler under test.
+    pub scheduler: SchedulerSpec,
+    /// Simulator configuration (batch policy, interval, security model).
+    #[serde(default)]
+    pub sim: SimConfig,
+    /// The scenario program: arrivals, faults, trust dynamics.
+    pub scenario: Scenario,
+}
+
+impl ScenarioSpec {
+    /// Parses a scenario spec from JSON text.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec> {
+        serde_json::from_str(text)
+            .map_err(|e| Error::invalid("scenario spec", format!("invalid JSON spec: {e}")))
+    }
+
+    /// A ready-to-edit churn example: two tenants (one heavy-tailed, one
+    /// steady), an explicit outage with rejoin, a fault storm, a trust
+    /// re-rate and a trust storm — every injection kind the engine knows.
+    pub fn example() -> ScenarioSpec {
+        let sites = [(2u32, 1.0), (4, 2.0), (2, 1.5), (4, 1.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(nodes, speed))| {
+                Site::builder(i)
+                    .nodes(nodes)
+                    .speed(speed)
+                    .security_level(0.95)
+                    .build()
+                    .expect("example sites are valid")
+            })
+            .collect();
+        ScenarioSpec {
+            grid: GridSpec::Sites { sites },
+            scheduler: SchedulerSpec::MinMin {
+                mode: RiskMode::Risky,
+            },
+            sim: SimConfig::default().with_interval(gridsec_core::Time::new(30.0)),
+            scenario: Scenario {
+                seed: 4242,
+                arrivals: vec![
+                    ArrivalPhase {
+                        tenant: "batch".into(),
+                        start: 0.0,
+                        end: 400.0,
+                        process: ArrivalProcess::Poisson { rate: 0.08 },
+                        width_min: 1,
+                        width_max: 2,
+                        work_min: 50.0,
+                        work_max: 400.0,
+                        sd_min: 0.3,
+                        sd_max: 0.6,
+                    },
+                    ArrivalPhase {
+                        tenant: "bursty".into(),
+                        start: 100.0,
+                        end: 300.0,
+                        process: ArrivalProcess::Pareto {
+                            rate: 0.05,
+                            alpha: 1.5,
+                        },
+                        width_min: 1,
+                        width_max: 4,
+                        work_min: 20.0,
+                        work_max: 150.0,
+                        sd_min: 0.3,
+                        sd_max: 0.5,
+                    },
+                ],
+                faults: vec![
+                    FaultSpec::SiteDown {
+                        site: 1,
+                        at: 120.0,
+                        until: Some(260.0),
+                    },
+                    FaultSpec::FaultStorm {
+                        start: 150.0,
+                        end: 350.0,
+                        rate: 0.01,
+                        mttr: 60.0,
+                        sites: None,
+                    },
+                ],
+                trust: vec![
+                    TrustSpec::ReRate {
+                        at: 180.0,
+                        levels: vec![0.9; 4],
+                    },
+                    TrustSpec::TrustStorm {
+                        start: 50.0,
+                        end: 380.0,
+                        rate: 0.02,
+                        jitter: 0.1,
+                    },
+                ],
+                max_jobs: Some(48),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +449,35 @@ mod tests {
     fn bad_json_is_an_error() {
         assert!(ExperimentSpec::from_json("{").is_err());
         assert!(ExperimentSpec::from_json("{\"workload\": 5}").is_err());
+    }
+
+    #[test]
+    fn scenario_spec_roundtrips_and_compiles() {
+        let spec = ScenarioSpec::example();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        let grid = back.grid.build().unwrap();
+        assert_eq!(grid.len(), 4);
+        let stream = back.scenario.compile(&grid).unwrap();
+        assert!(stream.n_jobs() > 0);
+        // The compiled stream is a pure function of (spec, grid).
+        let again = spec.scenario.compile(&grid).unwrap();
+        assert_eq!(stream.events.len(), again.events.len());
+    }
+
+    #[test]
+    fn scenario_grid_kinds_build() {
+        for grid in [
+            GridSpec::Psa {
+                config: PsaConfig::default(),
+            },
+            GridSpec::Nas {
+                config: NasConfig::default(),
+            },
+        ] {
+            assert!(grid.build().unwrap().len() >= 12);
+        }
+        assert!(ScenarioSpec::from_json("{\"grid\": 5}").is_err());
     }
 
     #[test]

@@ -33,8 +33,8 @@ use crate::protocol::{
 };
 use crate::session::OnlineSession;
 use crate::shard::{ShardMsg, ShardRuntime, ShardSpec};
-use gridsec_core::{Grid, JobId};
-use gridsec_sim::{Routing, ShardPlan};
+use gridsec_core::{Grid, JobId, SiteId, Time};
+use gridsec_sim::ShardPlan;
 use std::collections::BinaryHeap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -367,6 +367,11 @@ fn router_loop(
     ingest: Receiver<IngestEvent>,
 ) {
     let n_shards = plan.n_shards();
+    // The routing-level view of site churn. The router is the single
+    // gatekeeper: double-fails and spurious rejoins are rejected here,
+    // and the set only changes once the owning shard has applied the
+    // injection — so routing and shard state can never disagree.
+    let mut offline = vec![false; grid.len()];
     loop {
         let event = match ingest.recv() {
             Ok(ev) => ev,
@@ -390,7 +395,7 @@ fn router_loop(
                         continue;
                     }
                     Some(k) => k,
-                    None => match derive_route(grid, plan, &jobs) {
+                    None => match derive_route(grid, plan, &offline, &jobs) {
                         Ok(k) => k,
                         Err(response) => {
                             let _ = reply.send(Reply::frame(seq, &response));
@@ -438,6 +443,7 @@ fn router_loop(
             Request::Reconfigure {
                 security_levels,
                 shard: Some(k),
+                at,
             } => {
                 if k >= n_shards {
                     let _ = reply.send(Reply::frame(
@@ -450,6 +456,7 @@ fn router_loop(
                     &shard_txs[k],
                     ShardMsg::Reconfigure {
                         levels: security_levels,
+                        at,
                         reply: reply.clone(),
                         seq,
                     },
@@ -460,8 +467,17 @@ fn router_loop(
             Request::Reconfigure {
                 security_levels,
                 shard: None,
+                at,
             } => {
-                let response = global_reconfigure(grid, plan, shard_txs, &security_levels);
+                let response = global_reconfigure(grid, plan, shard_txs, &security_levels, at);
+                let _ = reply.send(Reply::frame(seq, &response));
+            }
+            Request::FailSite { site, at } => {
+                let response = fail_site(plan, shard_txs, &mut offline, site, at);
+                let _ = reply.send(Reply::frame(seq, &response));
+            }
+            Request::RejoinSite { site, at } => {
+                let response = rejoin_site(plan, shard_txs, &mut offline, site, at);
                 let _ = reply.send(Reply::frame(seq, &response));
             }
             Request::Drain => {
@@ -505,20 +521,57 @@ fn router_loop(
 /// Frame-level derived routing: every job's eligible sites must sit in
 /// one and the same shard. The first job that breaks that yields a typed
 /// rejection for the whole frame (nothing was enqueued).
+///
+/// Offline sites are excluded: a job whose eligible-site set shrinks to
+/// one shard under churn routes there cleanly, and a job whose *every*
+/// eligible site is offline gets a typed `site_offline` rejection instead
+/// of queueing on a dead shard. Explicit-`shard` submits bypass this
+/// (they enqueue and defer until a site rejoins — the scenario engine's
+/// replay path).
 fn derive_route(
     grid: &Grid,
     plan: &ShardPlan,
+    offline: &[bool],
     jobs: &[gridsec_core::Job],
-) -> Result<usize, Response> {
+) -> Result<usize, Box<Response>> {
     let mut target: Option<(usize, JobId)> = None;
     for job in jobs {
-        match plan.route(grid, job) {
-            Routing::Unique(k) => match target {
-                None => target = Some((k, job.id)),
-                Some((t, first)) if t != k => {
-                    let mut shards = vec![t, k];
+        let eligible: Vec<SiteId> = grid
+            .sites()
+            .filter(|s| s.fits_width(job.width))
+            .map(|s| s.id)
+            .collect();
+        if eligible.is_empty() {
+            return Err(Box::new(Response::RouteRejected {
+                job: job.id,
+                shards: Vec::new(),
+                message: format!("job {} fits no site on any shard", job.id),
+            }));
+        }
+        let online: Vec<SiteId> = eligible.iter().copied().filter(|s| !offline[s.0]).collect();
+        if online.is_empty() {
+            return Err(Box::new(Response::SiteOffline {
+                job: job.id,
+                message: format!(
+                    "job {} is eligible only on offline sites {:?}; resubmit after a rejoin \
+                     (or pass an explicit shard to queue it)",
+                    job.id,
+                    eligible.iter().map(|s| s.0).collect::<Vec<_>>()
+                ),
+                sites: eligible,
+            }));
+        }
+        // Online eligible sites ascend, shards are contiguous runs — the
+        // mapped shard list ascends too; dedup leaves each shard once.
+        let mut shards: Vec<usize> = online.iter().filter_map(|&s| plan.shard_of(s)).collect();
+        shards.dedup();
+        match shards.as_slice() {
+            [k] => match target {
+                None => target = Some((*k, job.id)),
+                Some((t, first)) if t != *k => {
+                    let mut shards = vec![t, *k];
                     shards.sort_unstable();
-                    return Err(Response::RouteRejected {
+                    return Err(Box::new(Response::RouteRejected {
                         job: job.id,
                         shards,
                         message: format!(
@@ -527,33 +580,111 @@ fn derive_route(
                              explicit shard)",
                             job.id
                         ),
-                    });
+                    }));
                 }
                 Some(_) => {}
             },
-            Routing::Spanning(shards) => {
-                return Err(Response::RouteRejected {
+            spanning => {
+                return Err(Box::new(Response::RouteRejected {
                     job: job.id,
                     message: format!(
-                        "job {} is eligible on sites spanning shards {shards:?}; pass an \
+                        "job {} is eligible on sites spanning shards {spanning:?}; pass an \
                          explicit shard to place it",
                         job.id
                     ),
-                    shards,
-                });
-            }
-            Routing::NoFit => {
-                return Err(Response::RouteRejected {
-                    job: job.id,
-                    shards: Vec::new(),
-                    message: format!("job {} fits no site on any shard", job.id),
-                });
+                    shards: spanning.to_vec(),
+                }));
             }
         }
     }
     // An empty (or zero-job) frame routes to shard 0: it enqueues
     // nothing, so any shard gives the same `accepted` answer.
     Ok(target.map_or(0, |(k, _)| k))
+}
+
+/// Takes a site offline: the router validates against its offline set,
+/// the owning shard requeues stranded jobs, and only then does the set
+/// flip — a failed injection leaves routing untouched.
+fn fail_site(
+    plan: &ShardPlan,
+    shard_txs: &[Sender<ShardMsg>],
+    offline: &mut [bool],
+    site: usize,
+    at: Option<Time>,
+) -> Response {
+    let Some((k, local)) = plan.to_local(SiteId(site)) else {
+        return Response::Error {
+            message: format!("fail_site: unknown site {site}"),
+        };
+    };
+    if offline[site] {
+        return Response::Error {
+            message: format!("fail_site: site {site} is already offline"),
+        };
+    }
+    let (tx, rx) = channel();
+    if shard_txs[k]
+        .send(ShardMsg::GatherFail {
+            site: local,
+            at,
+            reply: tx,
+        })
+        .is_err()
+    {
+        return shard_down();
+    }
+    match rx.recv() {
+        Ok(Ok(requeued)) => {
+            offline[site] = true;
+            Response::SiteFailed {
+                site,
+                shard: k,
+                requeued,
+            }
+        }
+        Ok(Err(message)) => Response::Error { message },
+        Err(_) => shard_down(),
+    }
+}
+
+/// Brings a failed site back online (the inverse gatekeeping of
+/// [`fail_site`]).
+fn rejoin_site(
+    plan: &ShardPlan,
+    shard_txs: &[Sender<ShardMsg>],
+    offline: &mut [bool],
+    site: usize,
+    at: Option<Time>,
+) -> Response {
+    let Some((k, local)) = plan.to_local(SiteId(site)) else {
+        return Response::Error {
+            message: format!("rejoin_site: unknown site {site}"),
+        };
+    };
+    if !offline[site] {
+        return Response::Error {
+            message: format!("rejoin_site: site {site} is not offline"),
+        };
+    }
+    let (tx, rx) = channel();
+    if shard_txs[k]
+        .send(ShardMsg::GatherRejoin {
+            site: local,
+            at,
+            reply: tx,
+        })
+        .is_err()
+    {
+        return shard_down();
+    }
+    match rx.recv() {
+        Ok(Ok(())) => {
+            offline[site] = false;
+            Response::SiteRejoined { site, shard: k }
+        }
+        Ok(Err(message)) => Response::Error { message },
+        Err(_) => shard_down(),
+    }
 }
 
 /// An aggregated (all-shard) query: scatter, gather, merge.
@@ -602,6 +733,7 @@ fn global_reconfigure(
     plan: &ShardPlan,
     shard_txs: &[Sender<ShardMsg>],
     levels: &[f64],
+    at: Option<Time>,
 ) -> Response {
     if levels.len() != grid.len() {
         return Response::Error {
@@ -627,6 +759,7 @@ fn global_reconfigure(
             let (reply_tx, reply_rx) = channel();
             tx.send(ShardMsg::GatherReconfigure {
                 levels: shard_levels,
+                at,
                 reply: reply_tx,
             })
             .ok()

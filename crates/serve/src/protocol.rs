@@ -11,9 +11,21 @@
 //! {"type":"query","what":"shards"}
 //! {"type":"reconfigure","security_levels":[0.9,0.4,0.75]}
 //! {"type":"reconfigure","shard":1,"security_levels":[0.8]}
+//! {"type":"fail_site","site":2}
+//! {"type":"fail_site","site":2,"at":120.0}
+//! {"type":"rejoin_site","site":2,"at":300.0}
 //! {"type":"drain"}
 //! {"type":"shutdown"}
 //! ```
+//!
+//! `fail_site` / `rejoin_site` inject site churn (the chaos scenario
+//! engine's wire form): site ids are always global, the router owns the
+//! offline set, and the owning shard requeues any job stranded mid-
+//! execution on a failed site — nothing is silently lost. The optional
+//! `at` stamps the virtual instant (virtual-clock mode; wall-clock
+//! daemons stamp their monotonic clock, as with arrivals). A downed site
+//! is excluded from derived routing: a job whose every eligible site is
+//! offline gets a typed `site_offline` response instead of a placement.
 //!
 //! A daemon serving several shards routes `submit` frames by the `shard`
 //! field, or — when it is absent — derives the shard from the job's
@@ -71,6 +83,27 @@ pub enum Request {
         security_levels: Vec<f64>,
         /// Scope the update to one shard; absent → whole grid.
         shard: Option<usize>,
+        /// Virtual instant the re-rating applies at (fires due boundaries
+        /// first, like an arrival). Absent → applies at the session's
+        /// current clock; ignored in wall-clock mode.
+        at: Option<Time>,
+    },
+    /// Take a site offline (chaos injection). Jobs stranded mid-
+    /// execution on it are requeued into the owning shard's next batch.
+    FailSite {
+        /// Global site id.
+        site: usize,
+        /// Virtual failure instant; absent → the session's current
+        /// clock. Ignored in wall-clock mode (stamped from the monotonic
+        /// clock).
+        at: Option<Time>,
+    },
+    /// Bring a failed site back online with all nodes free.
+    RejoinSite {
+        /// Global site id.
+        site: usize,
+        /// Virtual rejoin instant; see [`Request::FailSite::at`].
+        at: Option<Time>,
     },
     /// Run scheduling rounds until every shard's pending queue is empty
     /// (a barrier across all shards).
@@ -142,6 +175,18 @@ pub struct ServeMetrics {
     pub virtual_now: Time,
     /// Latest committed completion time (the running makespan).
     pub max_completion: Time,
+    /// Site failures injected (`fail_site` frames applied).
+    #[serde(default)]
+    pub sites_failed: usize,
+    /// Site rejoins injected (`rejoin_site` frames applied).
+    #[serde(default)]
+    pub sites_rejoined: usize,
+    /// Jobs requeued after the site running them failed mid-execution.
+    #[serde(default)]
+    pub jobs_requeued: usize,
+    /// Jobs refused with a `busy` frame by the bounded pending queue.
+    #[serde(default)]
+    pub busy_rejections: usize,
 }
 
 impl ServeMetrics {
@@ -160,6 +205,10 @@ impl ServeMetrics {
             scheduler_seconds: 0.0,
             virtual_now: Time::ZERO,
             max_completion: Time::ZERO,
+            sites_failed: 0,
+            sites_rejoined: 0,
+            jobs_requeued: 0,
+            busy_rejections: 0,
         };
         for m in per_shard {
             out.jobs_submitted += m.jobs_submitted;
@@ -171,6 +220,10 @@ impl ServeMetrics {
             out.scheduler_seconds += m.scheduler_seconds;
             out.virtual_now = out.virtual_now.max(m.virtual_now);
             out.max_completion = out.max_completion.max(m.max_completion);
+            out.sites_failed += m.sites_failed;
+            out.sites_rejoined += m.sites_rejoined;
+            out.jobs_requeued += m.jobs_requeued;
+            out.busy_rejections += m.busy_rejections;
         }
         out
     }
@@ -239,6 +292,34 @@ pub enum Response {
     Reconfigured {
         /// Number of sites updated.
         sites: usize,
+    },
+    /// Site taken offline (response to `fail_site`).
+    SiteFailed {
+        /// The global site id now offline.
+        site: usize,
+        /// The shard that owns the site.
+        shard: usize,
+        /// Jobs stranded mid-execution on it, requeued for the shard's
+        /// next round (never silently lost).
+        requeued: usize,
+    },
+    /// Site back online (response to `rejoin_site`).
+    SiteRejoined {
+        /// The global site id back online.
+        site: usize,
+        /// The shard that owns the site.
+        shard: usize,
+    },
+    /// Derived routing refused a job because every site it is eligible
+    /// on is currently offline. Frame-atomic like `route_rejected`:
+    /// nothing from the frame was enqueued — resubmit after a rejoin.
+    SiteOffline {
+        /// The job that could not be routed.
+        job: JobId,
+        /// The offline sites the job would have been eligible on.
+        sites: Vec<SiteId>,
+        /// Human-readable explanation.
+        message: String,
     },
     /// Pending queue flushed.
     Drained {
@@ -397,10 +478,21 @@ mod tests {
             Request::Reconfigure {
                 security_levels: vec![0.5, 0.9],
                 shard: None,
+                at: None,
             },
             Request::Reconfigure {
                 security_levels: vec![0.7],
                 shard: Some(1),
+                at: Some(Time::new(45.0)),
+            },
+            Request::FailSite { site: 2, at: None },
+            Request::FailSite {
+                site: 0,
+                at: Some(Time::new(120.0)),
+            },
+            Request::RejoinSite {
+                site: 2,
+                at: Some(Time::new(300.0)),
             },
             Request::Drain,
             Request::Shutdown,
@@ -447,9 +539,26 @@ mod tests {
             reconf,
             Request::Reconfigure {
                 security_levels: vec![0.4],
-                shard: None
+                shard: None,
+                at: None
             }
         );
+        // A chaos frame without `at` applies at the session clock.
+        let fail = parse_request(b"{\"type\":\"fail_site\",\"site\":1}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(fail, Request::FailSite { site: 1, at: None });
+        // Metrics frames emitted before the failure counters existed
+        // still parse (counters default to zero).
+        let m: ServeMetrics = serde_json::from_str(
+            "{\"jobs_submitted\":1,\"jobs_scheduled\":1,\"pending\":0,\"rounds\":1,\
+             \"batch_sizes\":[1],\"round_nanos\":[5],\"scheduler_seconds\":0.1,\
+             \"virtual_now\":10.0,\"max_completion\":20.0}",
+        )
+        .unwrap();
+        assert_eq!(m.sites_failed, 0);
+        assert_eq!(m.jobs_requeued, 0);
+        assert_eq!(m.busy_rejections, 0);
     }
 
     #[test]
@@ -464,6 +573,10 @@ mod tests {
             scheduler_seconds: 0.5,
             virtual_now: Time::new(30.0),
             max_completion: Time::new(90.0),
+            sites_failed: 1,
+            sites_rejoined: 1,
+            jobs_requeued: 2,
+            busy_rejections: 4,
         };
         let b = ServeMetrics {
             jobs_submitted: 5,
@@ -475,6 +588,10 @@ mod tests {
             scheduler_seconds: 0.25,
             virtual_now: Time::new(50.0),
             max_completion: Time::new(60.0),
+            sites_failed: 2,
+            sites_rejoined: 0,
+            jobs_requeued: 3,
+            busy_rejections: 0,
         };
         let m = ServeMetrics::merge(&[a.clone(), b]);
         assert_eq!(m.jobs_submitted, 8);
@@ -486,6 +603,10 @@ mod tests {
         assert_eq!(m.scheduler_seconds, 0.75);
         assert_eq!(m.virtual_now, Time::new(50.0));
         assert_eq!(m.max_completion, Time::new(90.0));
+        assert_eq!(m.sites_failed, 3);
+        assert_eq!(m.sites_rejoined, 1);
+        assert_eq!(m.jobs_requeued, 5);
+        assert_eq!(m.busy_rejections, 4);
         // Merging one shard is the identity.
         assert_eq!(ServeMetrics::merge(std::slice::from_ref(&a)), a);
     }
@@ -529,6 +650,17 @@ mod tests {
                 job: JobId(9),
                 shards: vec![0, 1],
                 message: "spanning".into(),
+            },
+            Response::SiteFailed {
+                site: 2,
+                shard: 1,
+                requeued: 3,
+            },
+            Response::SiteRejoined { site: 2, shard: 1 },
+            Response::SiteOffline {
+                job: JobId(11),
+                sites: vec![SiteId(0), SiteId(2)],
+                message: "all eligible sites offline".into(),
             },
             Response::UnknownShard {
                 shard: 7,

@@ -25,10 +25,9 @@
 //! calls [`OnlineSession::tick`] when boundary deadlines pass.
 
 use crate::protocol::{Placed, ServeMetrics};
-use gridsec_core::{Error, Grid, Job, JobId, Result, Site, Time};
-use gridsec_sim::{BatchJob, BatchScheduler, RoundDriver, SimConfig};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use gridsec_core::{Error, Grid, Job, JobId, Result, Site, SiteId, Time};
+use gridsec_sim::{BatchJob, BatchScheduler, BoundaryClock, RoundDriver, SimConfig};
+use std::collections::{HashMap, HashSet};
 
 /// Outcome of a bounded submit: either the job joined the pending queue
 /// or the queue was full even after every due round ran.
@@ -50,18 +49,21 @@ pub enum Admission {
 pub struct OnlineSession {
     rounds: RoundDriver,
     scheduler: Box<dyn BatchScheduler + Send>,
-    interval: Time,
-    now: Time,
-    /// Queued batch boundaries (may hold stale duplicates, exactly like
-    /// the engine's event queue).
-    boundaries: BinaryHeap<Reverse<Time>>,
-    /// The engine's `boundary_scheduled` mirror: at most one *armed*
-    /// periodic boundary.
-    armed: Option<Time>,
+    /// The batch-boundary state machine, shared verbatim with the chaos
+    /// scenario engine (`gridsec_sim::ScenarioRunner`) so both replay
+    /// identical semantics.
+    clock: BoundaryClock,
     committed: Vec<Placed>,
-    scheduled_jobs: HashSet<JobId>,
+    /// Commits currently standing per job: a job counts as scheduled
+    /// while it has at least one commit that was not voided by a site
+    /// failure (mirrors the scenario runner's live map).
+    live: HashMap<JobId, u32>,
     known_jobs: HashSet<JobId>,
     jobs_submitted: usize,
+    jobs_requeued: usize,
+    sites_failed: usize,
+    sites_rejoined: usize,
+    busy_rejections: usize,
     round_nanos: Vec<u64>,
     max_completion: Time,
 }
@@ -85,14 +87,15 @@ impl OnlineSession {
                 config.max_replicas,
             ),
             scheduler,
-            interval: config.schedule_interval,
-            now: Time::ZERO,
-            boundaries: BinaryHeap::new(),
-            armed: None,
+            clock: BoundaryClock::new(config.schedule_interval),
             committed: Vec::new(),
-            scheduled_jobs: HashSet::new(),
+            live: HashMap::new(),
             known_jobs: HashSet::new(),
             jobs_submitted: 0,
+            jobs_requeued: 0,
+            sites_failed: 0,
+            sites_rejoined: 0,
+            busy_rejections: 0,
             round_nanos: Vec::new(),
             max_completion: Time::ZERO,
         })
@@ -111,13 +114,13 @@ impl OnlineSession {
 
     /// The session's virtual clock.
     pub fn now(&self) -> Time {
-        self.now
+        self.clock.now()
     }
 
     /// The earliest queued boundary, if any (the daemon's wall-clock
     /// deadline).
     pub fn next_boundary(&self) -> Option<Time> {
-        self.boundaries.peek().map(|r| r.0)
+        self.clock.next_boundary()
     }
 
     /// Jobs waiting for the next round.
@@ -132,9 +135,11 @@ impl OnlineSession {
         self.rounds.n_rounds()
     }
 
-    /// Jobs with at least one committed assignment (cheap counter).
+    /// Jobs with at least one standing committed assignment (cheap
+    /// counter). A job whose only commit was voided by a site failure
+    /// drops out until it is rescheduled.
     pub fn jobs_scheduled(&self) -> usize {
-        self.scheduled_jobs.len()
+        self.live.len()
     }
 
     /// Jobs accepted over the session (cheap counter).
@@ -164,13 +169,15 @@ impl OnlineSession {
     /// means the queue is genuinely full at the job's arrival instant —
     /// not merely full before rounds the arrival itself would trigger.
     pub fn submit_bounded(&mut self, job: Job, max_pending: Option<usize>) -> Result<Admission> {
-        if job.arrival < self.now {
+        if job.arrival < self.clock.now() {
             return Err(Error::invalid(
                 "submit",
                 format!(
                     "job {} arrives at {} but the clock is already at {} \
                      (submit jobs in arrival order)",
-                    job.id, job.arrival, self.now
+                    job.id,
+                    job.arrival,
+                    self.clock.now()
                 ),
             ));
         }
@@ -185,13 +192,14 @@ impl OnlineSession {
             return Err(Error::NoFeasibleSite(job.id.0));
         }
         self.advance_strictly_before(job.arrival)?;
-        self.now = job.arrival;
+        self.clock.advance_to(job.arrival);
         if let Some(limit) = max_pending {
             let pending = self.rounds.pending_len();
             if pending >= limit {
                 // The job was never enqueued; the id is reusable so the
                 // client can resubmit the same job later.
                 self.known_jobs.remove(&job.id);
+                self.busy_rejections += 1;
                 return Ok(Admission::Busy { pending });
             }
         }
@@ -207,16 +215,10 @@ impl OnlineSession {
     /// Advances the clock to `t`, firing every boundary at or before it
     /// (wall-clock mode's timer path).
     pub fn tick(&mut self, t: Time) -> Result<()> {
-        while let Some(&Reverse(b)) = self.boundaries.peek() {
-            if b > t {
-                break;
-            }
-            self.boundaries.pop();
+        while let Some(b) = self.clock.pop_at_or_before(t) {
             self.fire_boundary(b)?;
         }
-        if t > self.now {
-            self.now = t;
-        }
+        self.clock.advance_to(t);
         Ok(())
     }
 
@@ -225,14 +227,16 @@ impl OnlineSession {
     /// enqueue arms a boundary when none is armed). Returns the number of
     /// rounds run so far.
     pub fn drain(&mut self) -> Result<usize> {
-        while let Some(Reverse(b)) = self.boundaries.pop() {
+        while let Some(b) = self.clock.pop_any() {
             self.fire_boundary(b)?;
         }
-        // Unreachable when fed through `submit` (an armed boundary always
-        // covers pending jobs), but a reconfigured policy could strand
-        // the queue — flush it at the next periodic instant.
+        // Rare when fed through `submit` (an armed boundary always covers
+        // pending jobs), but a reconfigured policy or a fully-offline
+        // grid could strand the queue — flush it at the next periodic
+        // instant. Jobs that still fit no online site stay pending
+        // (accounted, not lost).
         if self.rounds.pending_len() > 0 {
-            let at = self.next_periodic_instant();
+            let at = self.clock.next_periodic_instant();
             self.fire_boundary(at)?;
         }
         Ok(self.rounds.n_rounds())
@@ -241,6 +245,16 @@ impl OnlineSession {
     /// Replaces the per-site security levels (the trust state) — the
     /// serving-mode counterpart of the engine's SL random walk.
     pub fn set_security_levels(&mut self, levels: &[f64]) -> Result<()> {
+        self.set_security_levels_at(levels, None)
+    }
+
+    /// Like [`OnlineSession::set_security_levels`], but applied at a
+    /// virtual instant: boundaries strictly before `at` fire first, then
+    /// the clock advances — exactly the scenario runner's `SetTrust`
+    /// ordering, so a timestamped reconfigure replays bit-identically
+    /// through daemon and engine.
+    pub fn set_security_levels_at(&mut self, levels: &[f64], at: Option<Time>) -> Result<()> {
+        self.advance_for_injection("reconfigure", at)?;
         if levels.len() != self.rounds.grid().len() {
             return Err(Error::invalid(
                 "reconfigure",
@@ -270,18 +284,62 @@ impl OnlineSession {
         Ok(())
     }
 
+    /// Takes a site offline (chaos injection). Jobs stranded
+    /// mid-execution on it are requeued for the next round and returned
+    /// (their committed assignments stay in the served-schedule history,
+    /// but the jobs no longer count as scheduled until replaced). `at`
+    /// is the virtual failure instant; `None` applies at the session's
+    /// current clock (wall-clock mode).
+    pub fn fail_site(&mut self, site: SiteId, at: Option<Time>) -> Result<Vec<JobId>> {
+        self.advance_for_injection("fail_site", at)?;
+        let stranded = self.rounds.fail_site(site, self.clock.now())?;
+        for id in &stranded {
+            if let Some(n) = self.live.get_mut(id) {
+                *n -= 1;
+                if *n == 0 {
+                    self.live.remove(id);
+                }
+            }
+        }
+        self.jobs_requeued += stranded.len();
+        self.sites_failed += 1;
+        self.scheduler.on_reconfigure();
+        self.after_churn();
+        Ok(stranded)
+    }
+
+    /// Brings a failed site back online with every node free at the
+    /// rejoin instant (see [`OnlineSession::fail_site`] for `at`).
+    pub fn rejoin_site(&mut self, site: SiteId, at: Option<Time>) -> Result<()> {
+        self.advance_for_injection("rejoin_site", at)?;
+        self.rounds.rejoin_site(site, self.clock.now())?;
+        self.sites_rejoined += 1;
+        self.scheduler.on_reconfigure();
+        self.after_churn();
+        Ok(())
+    }
+
+    /// Whether the named site is currently online (serving traffic).
+    pub fn is_online(&self, site: SiteId) -> bool {
+        self.rounds.is_online(site)
+    }
+
     /// A metrics snapshot.
     pub fn metrics(&self) -> ServeMetrics {
         ServeMetrics {
             jobs_submitted: self.jobs_submitted,
-            jobs_scheduled: self.scheduled_jobs.len(),
+            jobs_scheduled: self.live.len(),
             pending: self.rounds.pending_len(),
             rounds: self.rounds.n_rounds(),
             batch_sizes: self.rounds.batch_sizes().to_vec(),
             round_nanos: self.round_nanos.clone(),
             scheduler_seconds: self.rounds.scheduler_nanos() as f64 / 1e9,
-            virtual_now: self.now,
+            virtual_now: self.clock.now(),
             max_completion: self.max_completion,
+            sites_failed: self.sites_failed,
+            sites_rejoined: self.sites_rejoined,
+            jobs_requeued: self.jobs_requeued,
+            busy_rejections: self.busy_rejections,
         }
     }
 
@@ -289,23 +347,37 @@ impl OnlineSession {
     /// them before the arrival event at `t` (boundaries *at* `t` sort
     /// after arrivals at equal timestamps).
     fn advance_strictly_before(&mut self, t: Time) -> Result<()> {
-        while let Some(&Reverse(b)) = self.boundaries.peek() {
-            if b >= t {
-                break;
-            }
-            self.boundaries.pop();
+        while let Some(b) = self.clock.pop_strictly_before(t) {
             self.fire_boundary(b)?;
         }
+        Ok(())
+    }
+
+    /// Shared prologue of every timestamped chaos injection: validate
+    /// the instant against the (monotone) clock, fire boundaries
+    /// strictly before it, advance — the scenario runner's `apply`
+    /// ordering, verbatim. `None` applies at the current instant.
+    fn advance_for_injection(&mut self, what: &'static str, at: Option<Time>) -> Result<()> {
+        let t = at.unwrap_or_else(|| self.clock.now());
+        if t < self.clock.now() {
+            return Err(Error::invalid(
+                what,
+                format!(
+                    "injection at {} but the clock is already at {}",
+                    t,
+                    self.clock.now()
+                ),
+            ));
+        }
+        self.advance_strictly_before(t)?;
+        self.clock.advance_to(t);
         Ok(())
     }
 
     /// The engine's `on_boundary`: clear the armed flag, run a round over
     /// whatever is pending, commit the schedule.
     fn fire_boundary(&mut self, b: Time) -> Result<()> {
-        if b > self.now {
-            self.now = b;
-        }
-        self.armed = None;
+        self.clock.fired(b);
         let Some(outcome) = self.rounds.run_round(self.scheduler.as_mut(), b)? else {
             return Ok(());
         };
@@ -313,7 +385,7 @@ impl OnlineSession {
         // Commit in dispatch order — the served schedule *is* the
         // engine's no-failure execution. One JobId→Job index per round
         // keeps a k-assignment commit O(k), not O(k·batch).
-        let by_id: std::collections::HashMap<JobId, &Job> =
+        let by_id: HashMap<JobId, &Job> =
             outcome.batch.iter().map(|x| (x.job.id, &x.job)).collect();
         for a in &outcome.schedule.assignments {
             let job = *by_id
@@ -321,7 +393,7 @@ impl OnlineSession {
                 .expect("validated schedule covers only batch jobs");
             let placed: Placed = self.rounds.commit_assignment(job, a.site, b).into();
             self.max_completion = self.max_completion.max(placed.end);
-            self.scheduled_jobs.insert(placed.job);
+            *self.live.entry(placed.job).or_insert(0) += 1;
             self.committed.push(placed);
         }
         Ok(())
@@ -333,28 +405,21 @@ impl OnlineSession {
     /// armed.
     fn after_enqueue(&mut self) {
         if self.rounds.count_trigger_reached() {
-            self.boundaries.push(Reverse(self.now));
+            self.clock.note_trigger();
         } else {
-            self.ensure_boundary();
+            self.clock.ensure_armed();
         }
     }
 
-    /// The engine's `ensure_boundary`: arm a boundary at the next
-    /// interval multiple strictly after `now`, unless one is armed.
-    fn ensure_boundary(&mut self) {
-        if self.armed.is_some() {
-            return;
+    /// After churn mutated the queue or the usable-site set: mirror the
+    /// enqueue policy so requeued/deferred work is guaranteed a boundary
+    /// (the scenario runner's `after_churn`, verbatim).
+    fn after_churn(&mut self) {
+        if self.rounds.count_trigger_reached() {
+            self.clock.note_trigger();
+        } else if self.rounds.pending_len() > 0 {
+            self.clock.ensure_armed();
         }
-        let at = self.next_periodic_instant();
-        self.armed = Some(at);
-        self.boundaries.push(Reverse(at));
-    }
-
-    /// The next multiple of the scheduling interval strictly after `now`.
-    fn next_periodic_instant(&self) -> Time {
-        let period = self.interval.seconds();
-        let k = (self.now.seconds() / period).floor() + 1.0;
-        Time::new(k * period)
     }
 }
 
@@ -542,7 +607,67 @@ mod tests {
             s.submit_bounded(job(2, 2.0, 5.0), limit).unwrap(),
             Admission::Enqueued
         );
-        assert_eq!(s.metrics().jobs_submitted, 4);
+        let m = s.metrics();
+        assert_eq!(m.jobs_submitted, 4);
+        assert_eq!(m.busy_rejections, 1);
+    }
+
+    #[test]
+    fn site_failure_requeues_stranded_jobs_and_rejoin_restores() {
+        let mut s = session(BatchPolicy::Periodic);
+        // Job 0 schedules at the t = 10 boundary onto the fastest site
+        // (site 1, speed 2): runs 10 → 60.
+        s.submit(job(0, 1.0, 100.0)).unwrap();
+        s.submit(job(1, 11.0, 10.0)).unwrap();
+        assert_eq!(s.jobs_scheduled(), 1);
+        assert_eq!(s.assignments()[0].site, SiteId(1));
+
+        // Site 1 dies at t = 20, mid-execution: job 0 is stranded and
+        // requeued, its commit stays in the served history but it no
+        // longer counts as scheduled.
+        let stranded = s.fail_site(SiteId(1), Some(Time::new(20.0))).unwrap();
+        assert_eq!(stranded, vec![JobId(0)]);
+        assert!(!s.is_online(SiteId(1)));
+        let m = s.metrics();
+        assert_eq!(m.sites_failed, 1);
+        assert_eq!(m.jobs_requeued, 1);
+        assert_eq!(m.jobs_scheduled, 0);
+        assert_eq!(s.assignments().len(), 1);
+
+        // Draining reschedules both pending jobs onto the surviving site.
+        s.drain().unwrap();
+        assert_eq!(s.jobs_scheduled(), 2);
+        assert!(s.assignments().iter().skip(1).all(|p| p.site == SiteId(0)));
+
+        // Double-fail and unknown sites are typed errors; rejoin clears
+        // the offline state.
+        assert!(s.fail_site(SiteId(1), None).is_err());
+        assert!(s.fail_site(SiteId(9), None).is_err());
+        s.rejoin_site(SiteId(1), None).unwrap();
+        assert!(s.is_online(SiteId(1)));
+        assert!(s.rejoin_site(SiteId(1), None).is_err());
+        assert_eq!(s.metrics().sites_rejoined, 1);
+    }
+
+    #[test]
+    fn injection_instants_cannot_run_backwards() {
+        let mut s = session(BatchPolicy::Periodic);
+        s.submit(job(0, 15.0, 10.0)).unwrap();
+        assert!(s.fail_site(SiteId(0), Some(Time::new(5.0))).is_err());
+        // A failure at the clock's current instant is fine.
+        s.fail_site(SiteId(0), Some(Time::new(15.0))).unwrap();
+    }
+
+    #[test]
+    fn timestamped_reconfigure_fires_due_boundaries_first() {
+        let mut s = session(BatchPolicy::Periodic);
+        s.submit(job(0, 1.0, 10.0)).unwrap();
+        // The reconfigure at t = 12 must fire the t = 10 boundary before
+        // the trust change lands — the job schedules under the old state.
+        s.set_security_levels_at(&[0.2, 0.2], Some(Time::new(12.0)))
+            .unwrap();
+        assert_eq!(s.metrics().rounds, 1);
+        assert_eq!(s.now(), Time::new(12.0));
     }
 
     #[test]

@@ -77,11 +77,27 @@ pub(crate) enum ShardMsg {
         seq: u64,
     },
     /// Scoped trust update (shard-local site order); replies
-    /// `reconfigured`/`error`.
+    /// `reconfigured`/`error`. `at` is the virtual apply instant
+    /// (virtual-clock mode only).
     Reconfigure {
         levels: Vec<f64>,
+        at: Option<Time>,
         reply: Sender<Reply>,
         seq: u64,
+    },
+    /// Take a shard-local site offline at `at`; returns how many
+    /// stranded jobs were requeued. The router owns the global offline
+    /// set and only updates it on success, so it blocks on the reply.
+    GatherFail {
+        site: SiteId,
+        at: Option<Time>,
+        reply: Sender<Result<usize, String>>,
+    },
+    /// Bring a shard-local site back online at `at`.
+    GatherRejoin {
+        site: SiteId,
+        at: Option<Time>,
+        reply: Sender<Result<(), String>>,
     },
     /// Metrics snapshot for an aggregated view.
     GatherMetrics { reply: Sender<ServeMetrics> },
@@ -93,6 +109,7 @@ pub(crate) enum ShardMsg {
     /// validated by the router).
     GatherReconfigure {
         levels: Vec<f64>,
+        at: Option<Time>,
         reply: Sender<Result<(), String>>,
     },
     /// Drain this shard; returns `(rounds, jobs_scheduled)`.
@@ -163,8 +180,14 @@ impl ShardRuntime {
                     let response = self.handle_query(what);
                     let _ = reply.send(Reply::frame(seq, &response));
                 }
-                ShardMsg::Reconfigure { levels, reply, seq } => {
-                    let response = match self.session.set_security_levels(&levels) {
+                ShardMsg::Reconfigure {
+                    levels,
+                    at,
+                    reply,
+                    seq,
+                } => {
+                    let at = self.injection_instant(at);
+                    let response = match self.session.set_security_levels_at(&levels, at) {
                         Ok(()) => Response::Reconfigured {
                             sites: levels.len(),
                         },
@@ -173,6 +196,23 @@ impl ShardRuntime {
                         },
                     };
                     let _ = reply.send(Reply::frame(seq, &response));
+                }
+                ShardMsg::GatherFail { site, at, reply } => {
+                    let at = self.injection_instant(at);
+                    let result = self
+                        .session
+                        .fail_site(site, at)
+                        .map(|stranded| stranded.len())
+                        .map_err(|e| format!("shard {}: {e}", self.shard));
+                    let _ = reply.send(result);
+                }
+                ShardMsg::GatherRejoin { site, at, reply } => {
+                    let at = self.injection_instant(at);
+                    let result = self
+                        .session
+                        .rejoin_site(site, at)
+                        .map_err(|e| format!("shard {}: {e}", self.shard));
+                    let _ = reply.send(result);
                 }
                 ShardMsg::GatherMetrics { reply } => {
                     let _ = reply.send(self.session.metrics());
@@ -183,10 +223,11 @@ impl ShardRuntime {
                 ShardMsg::GatherInfo { reply } => {
                     let _ = reply.send(self.info());
                 }
-                ShardMsg::GatherReconfigure { levels, reply } => {
+                ShardMsg::GatherReconfigure { levels, at, reply } => {
+                    let at = self.injection_instant(at);
                     let result = self
                         .session
-                        .set_security_levels(&levels)
+                        .set_security_levels_at(&levels, at)
                         .map_err(|e| format!("shard {}: {e}", self.shard));
                     let _ = reply.send(result);
                 }
@@ -207,6 +248,17 @@ impl ShardRuntime {
         }
         // Router gone or fatal timer round: persist best-effort.
         self.save_state();
+    }
+
+    /// The instant a chaos injection (fail/rejoin/reconfigure) applies
+    /// at: wall-clock daemons stamp the monotonic clock exactly like
+    /// arrivals (the frame's `at` is ignored); virtual-clock daemons
+    /// honour the frame's `at`, defaulting to the session clock.
+    fn injection_instant(&self, at: Option<Time>) -> Option<Time> {
+        match self.clock {
+            ClockMode::Virtual => at,
+            ClockMode::WallClock => Some(Time::new(self.start.elapsed().as_secs_f64())),
+        }
     }
 
     /// Enqueues a routed submit frame: wall-clock stamping, bounded-queue

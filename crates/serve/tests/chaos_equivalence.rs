@@ -1,0 +1,531 @@
+//! The chaos-equivalence suite: a compiled chaos scenario replays
+//! bit-identically through the discrete-event engine
+//! ([`ScenarioRunner`]) and the sharded daemon, over real TCP.
+//!
+//! Three claims:
+//!
+//! 1. **Engine ≡ 1-shard daemon under churn.** Replaying one injection
+//!    stream — arrivals, mid-round site failures, rejoins, trust
+//!    re-ratings — through a virtual-clock daemon commits exactly the
+//!    scenario runner's timeline, dispatch for dispatch.
+//! 2. **N-shard daemon under churn ≡ N per-shard engine runs.** The
+//!    daemon fed the global stream matches, per shard, a runner replaying
+//!    that shard's slice ([`InjectionStream::slice_for_shard`]) on the
+//!    shard's subgrid, after site-id translation.
+//! 3. **Nothing is lost.** Every submitted job ends the run scheduled or
+//!    pending; stranded jobs are requeued and the failure counters add up
+//!    across shards.
+//!
+//! A plain wire test also pins the mid-round site-loss path frame by
+//! frame: `site_failed` with the requeue count, `site_offline` on
+//! derived routing to a dead site, `site_rejoined` restoring service.
+
+use gridsec_core::RiskMode;
+use gridsec_core::{Grid, Job, Site, Time};
+use gridsec_heuristics::MinMin;
+use gridsec_serve::{
+    Client, Daemon, DaemonOptions, OnlineSession, Placed, QueryWhat, Request, Response,
+    ServeMetrics, ShardSpec,
+};
+use gridsec_sim::scheduler::EarliestCompletion;
+use gridsec_sim::{
+    ArrivalPhase, ArrivalProcess, BatchPolicy, BatchScheduler, FaultSpec, InjectionKind,
+    InjectionStream, Scenario, ScenarioRunner, ShardPlan, SimConfig, TrustSpec,
+};
+use gridsec_stga::{GaParams, Stga, StgaParams};
+
+fn grid() -> Grid {
+    let nodes = [2u32, 4, 2, 4];
+    let speeds = [1.0, 2.0, 1.5, 1.0];
+    Grid::new(
+        nodes
+            .iter()
+            .zip(speeds)
+            .enumerate()
+            .map(|(i, (&n, v))| {
+                Site::builder(i)
+                    .nodes(n)
+                    .speed(v)
+                    .security_level(0.95)
+                    .build()
+                    .unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// A churn scenario exercising every injection kind: two tenants (one
+/// heavy-tailed), an explicit outage with rejoin, a seeded fault storm,
+/// an explicit re-rate and a trust storm.
+fn churn_scenario(n_sites: usize) -> Scenario {
+    Scenario {
+        seed: 4242,
+        arrivals: vec![
+            ArrivalPhase {
+                tenant: "batch".into(),
+                start: 0.0,
+                end: 400.0,
+                process: ArrivalProcess::Poisson { rate: 0.08 },
+                width_min: 1,
+                width_max: 2,
+                work_min: 50.0,
+                work_max: 400.0,
+                sd_min: 0.3,
+                sd_max: 0.6,
+            },
+            ArrivalPhase {
+                tenant: "bursty".into(),
+                start: 100.0,
+                end: 300.0,
+                process: ArrivalProcess::Pareto {
+                    rate: 0.05,
+                    alpha: 1.5,
+                },
+                width_min: 1,
+                width_max: 4,
+                work_min: 20.0,
+                work_max: 150.0,
+                sd_min: 0.3,
+                sd_max: 0.5,
+            },
+        ],
+        faults: vec![
+            FaultSpec::SiteDown {
+                site: 1,
+                at: 120.0,
+                until: Some(260.0),
+            },
+            FaultSpec::FaultStorm {
+                start: 150.0,
+                end: 350.0,
+                rate: 0.01,
+                mttr: 60.0,
+                sites: None,
+            },
+        ],
+        trust: vec![
+            TrustSpec::ReRate {
+                at: 180.0,
+                levels: vec![0.9; n_sites],
+            },
+            TrustSpec::TrustStorm {
+                start: 50.0,
+                end: 380.0,
+                rate: 0.02,
+                jitter: 0.1,
+            },
+        ],
+        max_jobs: Some(48),
+    }
+}
+
+fn sim_config() -> SimConfig {
+    SimConfig::default()
+        .with_interval(Time::new(30.0))
+        .with_batch_policy(BatchPolicy::Periodic)
+        .with_seed(7)
+}
+
+fn build_scheduler(name: &str) -> Box<dyn BatchScheduler + Send> {
+    match name {
+        "mct" => Box::new(EarliestCompletion),
+        "minmin" => Box::new(MinMin::new(RiskMode::Risky)),
+        "stga" => Box::new(
+            Stga::new(StgaParams {
+                ga: GaParams::default()
+                    .with_population(16)
+                    .with_generations(8)
+                    .with_seed(11),
+                ..StgaParams::default()
+            })
+            .expect("valid STGA params"),
+        ),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+/// Replays the global stream through a daemon frame by frame: arrivals
+/// go to the shard `slice_for_shard` assigns them to, site events carry
+/// global site ids, trust vectors go through a global reconfigure.
+/// Returns (per-shard schedules, aggregated metrics, jobs submitted).
+fn replay_stream(
+    daemon: &Daemon,
+    stream: &InjectionStream,
+    plan: &ShardPlan,
+    grid: &Grid,
+    n_shards: usize,
+) -> (Vec<Vec<Placed>>, ServeMetrics, usize) {
+    let mut client = Client::connect(daemon.addr()).expect("client connects");
+    let mut submitted = 0usize;
+    for inj in &stream.events {
+        match &inj.kind {
+            InjectionKind::Arrive(job) => {
+                let eligible = plan.eligible_shards(grid, job);
+                if eligible.is_empty() {
+                    continue; // the stream slicer drops these too
+                }
+                let shard = eligible[job.id.0 as usize % eligible.len()];
+                match client
+                    .send(&Request::Submit {
+                        jobs: vec![job.clone()],
+                        shard: Some(shard),
+                    })
+                    .expect("submit frame")
+                {
+                    Response::Accepted { jobs: 1, .. } => submitted += 1,
+                    other => panic!("submit rejected: {other:?}"),
+                }
+            }
+            InjectionKind::SiteFail(site) => {
+                match client
+                    .send(&Request::FailSite {
+                        site: site.0,
+                        at: Some(inj.at),
+                    })
+                    .expect("fail frame")
+                {
+                    Response::SiteFailed { site: s, .. } => assert_eq!(s, site.0),
+                    other => panic!("fail_site rejected: {other:?}"),
+                }
+            }
+            InjectionKind::SiteRejoin(site) => {
+                match client
+                    .send(&Request::RejoinSite {
+                        site: site.0,
+                        at: Some(inj.at),
+                    })
+                    .expect("rejoin frame")
+                {
+                    Response::SiteRejoined { site: s, .. } => assert_eq!(s, site.0),
+                    other => panic!("rejoin_site rejected: {other:?}"),
+                }
+            }
+            InjectionKind::SetTrust(levels) => {
+                match client
+                    .send(&Request::Reconfigure {
+                        security_levels: levels.clone(),
+                        shard: None,
+                        at: Some(inj.at),
+                    })
+                    .expect("reconfigure frame")
+                {
+                    Response::Reconfigured { .. } => {}
+                    other => panic!("reconfigure rejected: {other:?}"),
+                }
+            }
+        }
+    }
+    match client.send(&Request::Drain).expect("drain frame") {
+        Response::Drained { .. } => {}
+        other => panic!("drain failed: {other:?}"),
+    }
+    let mut per_shard = Vec::new();
+    for k in 0..n_shards {
+        match client
+            .send(&Request::Query {
+                what: QueryWhat::Schedule,
+                shard: Some(k),
+            })
+            .expect("per-shard query")
+        {
+            Response::Schedule { assignments } => per_shard.push(assignments),
+            other => panic!("per-shard query failed: {other:?}"),
+        }
+    }
+    let metrics = match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .expect("metrics query")
+    {
+        Response::Metrics { metrics } => metrics,
+        other => panic!("metrics query failed: {other:?}"),
+    };
+    match client.send(&Request::Shutdown).expect("shutdown frame") {
+        Response::Bye => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    (per_shard, metrics, submitted)
+}
+
+fn check_chaos_daemon_equals_engine(scheduler: &str, n_shards: usize) {
+    let grid = grid();
+    let scenario = churn_scenario(grid.len());
+    let stream = scenario.compile(&grid).expect("scenario compiles");
+    assert!(stream.n_jobs() > 0, "scenario generated no jobs");
+    assert!(
+        stream
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, InjectionKind::SiteFail(_))),
+        "scenario generated no site failures"
+    );
+    let config = sim_config();
+    let plan = ShardPlan::contiguous(&grid, n_shards).unwrap();
+
+    // The daemon side: one virtual-clock daemon, the global stream.
+    let shards: Vec<ShardSpec> = (0..n_shards)
+        .map(|k| {
+            let sub = plan.subgrid(&grid, k).unwrap();
+            ShardSpec::new(OnlineSession::new(sub, build_scheduler(scheduler), &config).unwrap())
+        })
+        .collect();
+    let daemon = Daemon::spawn_sharded(
+        grid.clone(),
+        plan.clone(),
+        shards,
+        "127.0.0.1:0",
+        DaemonOptions::default(),
+    )
+    .expect("daemon binds");
+    let (per_shard, metrics, submitted) = replay_stream(&daemon, &stream, &plan, &grid, n_shards);
+    daemon.join();
+
+    // The engine side: one scenario runner per shard, fed that shard's
+    // slice on the shard's subgrid.
+    let mut engine_submitted = 0usize;
+    let mut engine_scheduled = 0usize;
+    let mut engine_pending = 0usize;
+    for (k, daemon_schedule) in per_shard.iter().enumerate() {
+        let slice = stream.slice_for_shard(&plan, &grid, k);
+        let sub = plan.subgrid(&grid, k).unwrap();
+        let runner = ScenarioRunner::new(sub, build_scheduler(scheduler), &config).unwrap();
+        let outcome = runner.run(&slice).expect("engine replay");
+        assert!(
+            outcome.fully_accounted(),
+            "{scheduler}/{n_shards} shards: shard {k} lost jobs: {outcome:?}"
+        );
+        engine_submitted += outcome.jobs_submitted;
+        engine_scheduled += outcome.jobs_scheduled;
+        engine_pending += outcome.pending;
+
+        // Site-id translation: the runner speaks shard-local ids.
+        let translated: Vec<Placed> = outcome
+            .timeline
+            .iter()
+            .map(|&c| {
+                let mut p = Placed::from(c);
+                p.site = plan.to_global(k, p.site);
+                p
+            })
+            .collect();
+        assert_eq!(
+            *daemon_schedule, translated,
+            "{scheduler}/{n_shards} shards: shard {k} daemon timeline diverged from the engine"
+        );
+    }
+
+    // The books balance across both replay paths: every submitted job is
+    // scheduled or still pending, nowhere silently lost.
+    assert_eq!(submitted, engine_submitted);
+    assert_eq!(metrics.jobs_submitted, submitted);
+    assert_eq!(metrics.jobs_scheduled, engine_scheduled);
+    assert_eq!(metrics.pending, engine_pending);
+    assert_eq!(
+        metrics.jobs_submitted,
+        metrics.jobs_scheduled + metrics.pending,
+        "{scheduler}/{n_shards} shards: daemon lost jobs"
+    );
+    let fails = stream
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, InjectionKind::SiteFail(_)))
+        .count();
+    let rejoins = stream
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, InjectionKind::SiteRejoin(_)))
+        .count();
+    assert_eq!(metrics.sites_failed, fails);
+    assert_eq!(metrics.sites_rejoined, rejoins);
+}
+
+#[test]
+fn chaos_one_shard_mct_daemon_equals_engine() {
+    check_chaos_daemon_equals_engine("mct", 1);
+}
+
+#[test]
+fn chaos_one_shard_minmin_daemon_equals_engine() {
+    check_chaos_daemon_equals_engine("minmin", 1);
+}
+
+#[test]
+fn chaos_one_shard_stga_daemon_equals_engine() {
+    check_chaos_daemon_equals_engine("stga", 1);
+}
+
+#[test]
+fn chaos_two_shard_mct_daemon_equals_engine() {
+    check_chaos_daemon_equals_engine("mct", 2);
+}
+
+#[test]
+fn chaos_two_shard_minmin_daemon_equals_engine() {
+    check_chaos_daemon_equals_engine("minmin", 2);
+}
+
+#[test]
+fn chaos_two_shard_stga_daemon_equals_engine() {
+    check_chaos_daemon_equals_engine("stga", 2);
+}
+
+/// The mid-round site-loss wire conversation, frame by frame.
+#[test]
+fn site_loss_mid_round_over_the_wire() {
+    // Site 0 is narrow (1 node), site 1 wide (4 nodes): width-4 jobs are
+    // eligible only on site 1.
+    let grid = Grid::new(vec![
+        Site::builder(0)
+            .nodes(1)
+            .speed(1.0)
+            .security_level(0.9)
+            .build()
+            .unwrap(),
+        Site::builder(1)
+            .nodes(4)
+            .speed(2.0)
+            .security_level(0.9)
+            .build()
+            .unwrap(),
+    ])
+    .unwrap();
+    let config = SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(BatchPolicy::Periodic);
+    let session = OnlineSession::new(grid, Box::new(EarliestCompletion), &config).unwrap();
+    let daemon =
+        Daemon::spawn(session, "127.0.0.1:0", DaemonOptions::default()).expect("daemon binds");
+    let mut client = Client::connect(daemon.addr()).expect("client connects");
+
+    let job = |id: u64, arrival: f64, width: u32| {
+        Job::builder(id)
+            .arrival(Time::new(arrival))
+            .width(width)
+            .work(100.0)
+            .security_demand(0.5)
+            .build()
+            .unwrap()
+    };
+
+    // Job 0 schedules at the t = 10 boundary onto site 1 (faster), runs
+    // well past t = 20.
+    for j in [job(0, 1.0, 1), job(1, 11.0, 1)] {
+        match client
+            .send(&Request::Submit {
+                jobs: vec![j],
+                shard: None,
+            })
+            .unwrap()
+        {
+            Response::Accepted { .. } => {}
+            other => panic!("submit rejected: {other:?}"),
+        }
+    }
+
+    // Site 1 dies mid-execution: the running job is requeued, typed
+    // response says so.
+    assert_eq!(
+        client
+            .send(&Request::FailSite {
+                site: 1,
+                at: Some(Time::new(20.0)),
+            })
+            .unwrap(),
+        Response::SiteFailed {
+            site: 1,
+            shard: 0,
+            requeued: 1,
+        }
+    );
+    // Double-fail is a typed error, connection stays usable.
+    assert!(matches!(
+        client
+            .send(&Request::FailSite { site: 1, at: None })
+            .unwrap(),
+        Response::Error { .. }
+    ));
+
+    // Derived routing refuses a job eligible only on the dead site.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(2, 21.0, 4)],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::SiteOffline { job: j, sites, .. } => {
+            assert_eq!(j.0, 2);
+            assert_eq!(sites.len(), 1);
+            assert_eq!(sites[0].0, 1);
+        }
+        other => panic!("expected site_offline, got {other:?}"),
+    }
+    // A narrow job still routes to the surviving site.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(3, 22.0, 1)],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Accepted { .. } => {}
+        other => panic!("submit rejected: {other:?}"),
+    }
+
+    // Rejoin restores routing; the wide job now goes through.
+    assert_eq!(
+        client
+            .send(&Request::RejoinSite {
+                site: 1,
+                at: Some(Time::new(30.0)),
+            })
+            .unwrap(),
+        Response::SiteRejoined { site: 1, shard: 0 }
+    );
+    assert!(matches!(
+        client
+            .send(&Request::RejoinSite { site: 1, at: None })
+            .unwrap(),
+        Response::Error { .. }
+    ));
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(2, 31.0, 4)],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Accepted { .. } => {}
+        other => panic!("submit rejected: {other:?}"),
+    }
+
+    match client.send(&Request::Drain).unwrap() {
+        Response::Drained { .. } => {}
+        other => panic!("drain failed: {other:?}"),
+    }
+    let metrics = match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Metrics { metrics } => metrics,
+        other => panic!("metrics failed: {other:?}"),
+    };
+    assert_eq!(metrics.jobs_submitted, 4);
+    assert_eq!(metrics.jobs_scheduled, 4);
+    assert_eq!(metrics.pending, 0);
+    assert_eq!(metrics.sites_failed, 1);
+    assert_eq!(metrics.sites_rejoined, 1);
+    assert_eq!(metrics.jobs_requeued, 1);
+
+    match client.send(&Request::Shutdown).unwrap() {
+        Response::Bye => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    daemon.join();
+}

@@ -211,6 +211,7 @@ fn unknown_shard_ids_get_typed_errors_everywhere() {
             .send(&Request::Reconfigure {
                 security_levels: vec![0.5, 0.5],
                 shard: Some(7),
+                at: None,
             })
             .unwrap(),
     );
@@ -249,6 +250,7 @@ fn reconfigure_scoped_to_a_drained_shard_applies() {
             .send(&Request::Reconfigure {
                 security_levels: vec![0.25, 0.3],
                 shard: Some(1),
+                at: None,
             })
             .unwrap(),
         Response::Reconfigured { sites: 2 }
@@ -259,6 +261,7 @@ fn reconfigure_scoped_to_a_drained_shard_applies() {
             .send(&Request::Reconfigure {
                 security_levels: vec![0.25, 0.3, 0.4, 0.5],
                 shard: Some(1),
+                at: None,
             })
             .unwrap(),
         Response::Error { .. }
@@ -269,6 +272,7 @@ fn reconfigure_scoped_to_a_drained_shard_applies() {
             .send(&Request::Reconfigure {
                 security_levels: vec![0.9, 0.9, 0.8, 0.8],
                 shard: None,
+                at: None,
             })
             .unwrap(),
         Response::Reconfigured { sites: 4 }

@@ -144,6 +144,7 @@ fn semantic_errors_leave_the_session_usable() {
             .send(&Request::Reconfigure {
                 security_levels: vec![0.5],
                 shard: None,
+                at: None,
             })
             .unwrap(),
         Response::Error { .. }
@@ -153,6 +154,7 @@ fn semantic_errors_leave_the_session_usable() {
             .send(&Request::Reconfigure {
                 security_levels: vec![0.9, 0.9],
                 shard: None,
+                at: None,
             })
             .unwrap(),
         Response::Reconfigured { sites: 2 }

@@ -36,6 +36,7 @@ pub mod event;
 pub mod replicate;
 pub mod report;
 pub mod round;
+pub mod scenario;
 pub mod scheduler;
 pub mod shard;
 pub mod timeline;
@@ -44,7 +45,11 @@ pub use config::{BatchPolicy, EstimateModel, SimConfig, SlDynamics};
 pub use engine::{simulate, Simulator};
 pub use replicate::Replicated;
 pub use report::SimOutput;
-pub use round::{CommittedAssignment, RoundDriver, RoundOutcome};
+pub use round::{BoundaryClock, CommittedAssignment, RoundDriver, RoundOutcome};
+pub use scenario::{
+    ArrivalPhase, ArrivalProcess, FaultSpec, Injection, InjectionKind, InjectionStream, Scenario,
+    ScenarioOutcome, ScenarioRunner, TrustSpec,
+};
 pub use scheduler::{BatchJob, BatchScheduler, GridView};
 pub use shard::{Routing, ShardPlan};
 pub use timeline::{AttemptSpan, Timeline};

@@ -18,8 +18,132 @@
 use crate::config::BatchPolicy;
 use crate::scheduler::{BatchJob, BatchScheduler, GridView};
 use gridsec_core::etc::NodeAvailability;
-use gridsec_core::{BatchSchedule, Error, Grid, JobId, Result, SecurityModel, SiteId, Time};
-use std::collections::HashMap;
+use gridsec_core::{BatchSchedule, Error, Grid, Job, JobId, Result, SecurityModel, SiteId, Time};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// The batch-boundary clock shared by the serving session and the
+/// scenario runner: a virtual `now`, a queue of pending boundaries (which
+/// may hold stale duplicates, exactly like the engine's event queue), and
+/// the engine's `boundary_scheduled` mirror — at most one *armed*
+/// periodic boundary at a time.
+///
+/// Both front ends drive the same sequence for every input event:
+/// pop-and-fire every due boundary strictly before the event instant,
+/// advance `now`, apply the event, then re-arm (or count-trigger). Keeping
+/// that state machine in one place is what makes the daemon and the
+/// scenario engine replay a chaos injection stream bit-identically — the
+/// chaos equivalence suite in `crates/serve` pins it.
+#[derive(Debug, Clone)]
+pub struct BoundaryClock {
+    interval: Time,
+    now: Time,
+    boundaries: BinaryHeap<Reverse<Time>>,
+    armed: Option<Time>,
+}
+
+impl BoundaryClock {
+    /// A clock at t = 0 with the given scheduling interval.
+    pub fn new(interval: Time) -> BoundaryClock {
+        BoundaryClock {
+            interval,
+            now: Time::ZERO,
+            boundaries: BinaryHeap::new(),
+            armed: None,
+        }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Moves the clock forward to `t` (never backwards).
+    pub fn advance_to(&mut self, t: Time) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// The earliest queued boundary, if any (the daemon's wall-clock
+    /// deadline).
+    pub fn next_boundary(&self) -> Option<Time> {
+        self.boundaries.peek().map(|r| r.0)
+    }
+
+    /// Pops the earliest boundary strictly before `t` — the engine fires
+    /// these before the arrival event at `t` (boundaries *at* `t` sort
+    /// after arrivals at equal timestamps). Callers loop until `None`,
+    /// firing each popped boundary.
+    pub fn pop_strictly_before(&mut self, t: Time) -> Option<Time> {
+        match self.boundaries.peek() {
+            Some(&Reverse(b)) if b < t => {
+                self.boundaries.pop();
+                Some(b)
+            }
+            _ => None,
+        }
+    }
+
+    /// Pops the earliest boundary at or before `t` (wall-clock mode's
+    /// inclusive timer path).
+    pub fn pop_at_or_before(&mut self, t: Time) -> Option<Time> {
+        match self.boundaries.peek() {
+            Some(&Reverse(b)) if b <= t => {
+                self.boundaries.pop();
+                Some(b)
+            }
+            _ => None,
+        }
+    }
+
+    /// Pops the earliest queued boundary unconditionally (drain path).
+    pub fn pop_any(&mut self) -> Option<Time> {
+        self.boundaries.pop().map(|Reverse(b)| b)
+    }
+
+    /// Records that the boundary at `b` fired: the clock advances to `b`
+    /// and the armed flag clears — even when the boundary that fired was
+    /// count-triggered, so stale periodic boundaries still fire as no-ops,
+    /// as in the engine.
+    pub fn fired(&mut self, b: Time) {
+        self.advance_to(b);
+        self.armed = None;
+    }
+
+    /// Queues a count-triggered boundary at the current instant (once per
+    /// triggering enqueue, like the engine's event pushes).
+    pub fn note_trigger(&mut self) {
+        self.boundaries.push(Reverse(self.now));
+    }
+
+    /// The engine's `ensure_boundary`: arm a boundary at the next interval
+    /// multiple strictly after `now`, unless one is already armed.
+    pub fn ensure_armed(&mut self) {
+        if self.armed.is_some() {
+            return;
+        }
+        let at = self.next_periodic_instant();
+        self.armed = Some(at);
+        self.boundaries.push(Reverse(at));
+    }
+
+    /// The next multiple of the scheduling interval strictly after `now`.
+    pub fn next_periodic_instant(&self) -> Time {
+        let period = self.interval.seconds();
+        let k = (self.now.seconds() / period).floor() + 1.0;
+        Time::new(k * period)
+    }
+}
+
+/// A commit still (possibly) executing — tracked so that a site failure
+/// can identify the jobs stranded on it and requeue them.
+#[derive(Debug, Clone)]
+struct Inflight {
+    job: Job,
+    site: SiteId,
+    end: Time,
+}
 
 /// Everything one scheduling round produced.
 #[derive(Debug, Clone)]
@@ -35,7 +159,7 @@ pub struct RoundOutcome {
 /// One assignment as committed against the availability model — the
 /// daemon's unit of served schedule (mirrors the simulator's dispatch
 /// arithmetic exactly).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CommittedAssignment {
     /// The job placed.
     pub job: JobId,
@@ -61,6 +185,15 @@ pub struct RoundDriver {
     n_rounds: usize,
     batch_sizes: Vec<usize>,
     scheduler_nanos: u128,
+    /// Per-site offline mask (site churn). Offline sites are excluded
+    /// from the scheduler's view; jobs fitting no online site stay
+    /// pending rather than being lost.
+    offline: Vec<bool>,
+    /// Commits whose execution window may still be open, in commit order
+    /// (pruned lazily). Only front ends that commit through
+    /// [`RoundDriver::commit_assignment`] populate this — the
+    /// discrete-event engine tracks execution in its own event queue.
+    inflight: Vec<Inflight>,
 }
 
 impl RoundDriver {
@@ -75,6 +208,7 @@ impl RoundDriver {
             .sites()
             .map(|s| NodeAvailability::new(s.nodes, Time::ZERO))
             .collect();
+        let n_sites = grid.len();
         RoundDriver {
             grid,
             avail,
@@ -85,6 +219,8 @@ impl RoundDriver {
             n_rounds: 0,
             batch_sizes: Vec::new(),
             scheduler_nanos: 0,
+            offline: vec![false; n_sites],
+            inflight: Vec::new(),
         }
     }
 
@@ -152,6 +288,82 @@ impl RoundDriver {
         &mut self.avail
     }
 
+    /// Per-site offline mask (true = failed / out of rotation).
+    pub fn offline_mask(&self) -> &[bool] {
+        &self.offline
+    }
+
+    /// Whether the given site is currently online.
+    pub fn is_online(&self, site: SiteId) -> bool {
+        site.0 < self.offline.len() && !self.offline[site.0]
+    }
+
+    /// Whether any site is currently offline (the masked scheduling path
+    /// is active).
+    pub fn any_offline(&self) -> bool {
+        self.offline.iter().any(|&o| o)
+    }
+
+    /// Takes the site offline at instant `at` and requeues every job
+    /// whose tracked commit was still executing on it (`end > at`) —
+    /// stranded work is never silently lost. Returns the requeued job
+    /// ids in original commit order.
+    ///
+    /// Requeued jobs re-enter the pending queue as ordinary
+    /// (non-`secure_only`) batch jobs; the commit-tracking front ends
+    /// (daemon, scenario runner) only submit such jobs. Callers that own
+    /// a scheduler should follow with
+    /// [`BatchScheduler::on_reconfigure`](crate::BatchScheduler::on_reconfigure)
+    /// — the usable-site set changed under any compiled snapshot.
+    pub fn fail_site(&mut self, site: SiteId, at: Time) -> Result<Vec<JobId>> {
+        if site.0 >= self.grid.len() {
+            return Err(Error::UnknownSite(site.0));
+        }
+        if self.offline[site.0] {
+            return Err(Error::invalid(
+                "fail_site",
+                format!("site {} is already offline", site.0),
+            ));
+        }
+        self.offline[site.0] = true;
+        let mut stranded = Vec::new();
+        let mut kept = Vec::with_capacity(self.inflight.len());
+        for f in self.inflight.drain(..) {
+            if f.end <= at {
+                continue; // completed before the failure — prune
+            }
+            if f.site == site {
+                stranded.push(f.job.id);
+                self.pending.push(BatchJob {
+                    job: f.job,
+                    secure_only: false,
+                });
+            } else {
+                kept.push(f);
+            }
+        }
+        self.inflight = kept;
+        Ok(stranded)
+    }
+
+    /// Brings a failed site back at instant `at`: the site rejoins the
+    /// rotation with all nodes free at `at` (its pre-failure reservations
+    /// died with it).
+    pub fn rejoin_site(&mut self, site: SiteId, at: Time) -> Result<()> {
+        if site.0 >= self.grid.len() {
+            return Err(Error::UnknownSite(site.0));
+        }
+        if !self.offline[site.0] {
+            return Err(Error::invalid(
+                "rejoin_site",
+                format!("site {} is not offline", site.0),
+            ));
+        }
+        self.offline[site.0] = false;
+        self.avail[site.0] = NodeAvailability::new(self.grid.site(site).nodes, at);
+        Ok(())
+    }
+
     /// Number of non-empty rounds run so far.
     pub fn n_rounds(&self) -> usize {
         self.n_rounds
@@ -184,19 +396,93 @@ impl RoundDriver {
         if self.pending.is_empty() {
             return Ok(None);
         }
-        let batch = std::mem::take(&mut self.pending);
+        self.inflight.retain(|f| f.end > now);
+        if !self.any_offline() {
+            let batch = std::mem::take(&mut self.pending);
+            self.n_rounds += 1;
+            self.batch_sizes.push(batch.len());
+            let view = GridView {
+                grid: &self.grid,
+                avail: &self.avail,
+                now,
+                model: self.model,
+            };
+            let t0 = std::time::Instant::now();
+            let schedule = scheduler.schedule(&batch, &view);
+            let scheduler_nanos = t0.elapsed().as_nanos();
+            self.scheduler_nanos += scheduler_nanos;
+            self.validate_schedule(&schedule, &batch)?;
+            return Ok(Some(RoundOutcome {
+                batch,
+                schedule,
+                scheduler_nanos,
+            }));
+        }
+        self.run_round_masked(scheduler, now)
+    }
+
+    /// The churn path: schedules over a dense sub-view of the online
+    /// sites only. Jobs fitting no online site are deferred — they stay
+    /// pending (accounted, never lost) until a wide-enough site rejoins.
+    fn run_round_masked<S: BatchScheduler + ?Sized>(
+        &mut self,
+        scheduler: &mut S,
+        now: Time,
+    ) -> Result<Option<RoundOutcome>> {
+        let taken = std::mem::take(&mut self.pending);
+        let mut batch = Vec::with_capacity(taken.len());
+        let mut deferred = Vec::new();
+        for bj in taken {
+            let fits_online = self
+                .grid
+                .sites()
+                .any(|s| !self.offline[s.id.0] && s.fits_width(bj.job.width));
+            if fits_online {
+                batch.push(bj);
+            } else {
+                deferred.push(bj);
+            }
+        }
+        self.pending = deferred;
+        if batch.is_empty() {
+            return Ok(None);
+        }
         self.n_rounds += 1;
         self.batch_sizes.push(batch.len());
+        // Dense re-indexed view of the online sites: schedulers (and the
+        // STGA fitness kernel, which re-lowers from the view every round)
+        // see an ordinary smaller grid.
+        let mut to_global = Vec::new();
+        let mut sites = Vec::new();
+        let mut avail = Vec::new();
+        for s in self.grid.sites() {
+            if self.offline[s.id.0] {
+                continue;
+            }
+            let mut local = s.clone();
+            local.id = SiteId(sites.len());
+            to_global.push(s.id);
+            sites.push(local);
+            avail.push(self.avail[s.id.0].clone());
+        }
+        let masked_grid = Grid::new(sites)?;
         let view = GridView {
-            grid: &self.grid,
-            avail: &self.avail,
+            grid: &masked_grid,
+            avail: &avail,
             now,
             model: self.model,
         };
         let t0 = std::time::Instant::now();
-        let schedule = scheduler.schedule(&batch, &view);
+        let mut schedule = scheduler.schedule(&batch, &view);
         let scheduler_nanos = t0.elapsed().as_nanos();
         self.scheduler_nanos += scheduler_nanos;
+        // Translate the masked view's site ids back to grid ids before
+        // validating against the full grid.
+        for a in &mut schedule.assignments {
+            a.site = *to_global
+                .get(a.site.0)
+                .ok_or(Error::UnknownSite(a.site.0))?;
+        }
         self.validate_schedule(&schedule, &batch)?;
         Ok(Some(RoundOutcome {
             batch,
@@ -272,6 +558,11 @@ impl RoundDriver {
             .expect("validated width");
         let end = start + job.exec_time(site.speed);
         self.avail[site_id.0].commit(job.width, end);
+        self.inflight.push(Inflight {
+            job: job.clone(),
+            site: site_id,
+            end,
+        });
         CommittedAssignment {
             job: job.id,
             site: site_id,
@@ -393,5 +684,125 @@ mod tests {
         assert!(d.set_grid(grid2()).is_ok());
         let one = Grid::new(vec![Site::builder(0).nodes(1).build().unwrap()]).unwrap();
         assert!(d.set_grid(one).is_err());
+    }
+
+    #[test]
+    fn failing_a_site_requeues_inflight_work() {
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        let job = Job::builder(0).work(100.0).build().unwrap();
+        // Speed 1 on site 0 → runs [0, 100).
+        let c = d.commit_assignment(&job, SiteId(0), Time::ZERO);
+        assert_eq!(c.end, Time::new(100.0));
+        let stranded = d.fail_site(SiteId(0), Time::new(50.0)).unwrap();
+        assert_eq!(stranded, vec![JobId(0)]);
+        assert_eq!(d.pending_len(), 1);
+        assert!(!d.is_online(SiteId(0)));
+        // Double-fail and out-of-range sites are rejected.
+        assert!(d.fail_site(SiteId(0), Time::new(51.0)).is_err());
+        assert!(d.fail_site(SiteId(9), Time::new(51.0)).is_err());
+    }
+
+    #[test]
+    fn completed_work_is_not_requeued_on_failure() {
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        let job = Job::builder(0).work(10.0).build().unwrap();
+        d.commit_assignment(&job, SiteId(0), Time::ZERO); // ends at 10
+        let stranded = d.fail_site(SiteId(0), Time::new(20.0)).unwrap();
+        assert!(stranded.is_empty());
+        assert_eq!(d.pending_len(), 0);
+    }
+
+    #[test]
+    fn rejoin_resets_availability_at_the_rejoin_instant() {
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        let job = Job::builder(0).work(1000.0).build().unwrap();
+        d.commit_assignment(&job, SiteId(0), Time::ZERO);
+        d.fail_site(SiteId(0), Time::new(5.0)).unwrap();
+        assert!(d.rejoin_site(SiteId(1), Time::new(6.0)).is_err()); // not offline
+        d.rejoin_site(SiteId(0), Time::new(30.0)).unwrap();
+        assert!(d.is_online(SiteId(0)));
+        // The dead reservation is gone: both nodes free at the rejoin.
+        assert_eq!(
+            d.avail()[0].earliest_start(2, Time::new(30.0)),
+            Some(Time::new(30.0))
+        );
+    }
+
+    #[test]
+    fn masked_round_schedules_only_online_sites_and_defers_misfits() {
+        // Site 0 has 2 nodes, site 1 (faster) has 2 nodes.
+        let mut d = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        d.fail_site(SiteId(1), Time::ZERO).unwrap();
+        d.enqueue(bj(0, 10.0));
+        let out = d
+            .run_round(&mut EarliestCompletion, Time::ZERO)
+            .unwrap()
+            .unwrap();
+        // The only assignment lands on the surviving site, in grid ids.
+        assert_eq!(out.schedule.assignments[0].site, SiteId(0));
+        assert_eq!(d.batch_sizes(), &[1]);
+        // With every site down, nothing is schedulable: the round is a
+        // no-op and the queue is preserved.
+        let mut d2 = RoundDriver::new(grid2(), BatchPolicy::Periodic, Default::default(), 1);
+        d2.fail_site(SiteId(0), Time::ZERO).unwrap();
+        d2.fail_site(SiteId(1), Time::ZERO).unwrap();
+        d2.enqueue(bj(7, 10.0));
+        let out2 = d2.run_round(&mut EarliestCompletion, Time::ZERO).unwrap();
+        assert!(out2.is_none());
+        assert_eq!(d2.pending_len(), 1);
+        assert_eq!(d2.n_rounds(), 0);
+    }
+
+    #[test]
+    fn jobs_fitting_no_online_site_stay_pending() {
+        // Grid: site 0 with 1 node, site 1 with 2 nodes.
+        let g = Grid::new(vec![
+            Site::builder(0).nodes(1).build().unwrap(),
+            Site::builder(1).nodes(2).build().unwrap(),
+        ])
+        .unwrap();
+        let mut d = RoundDriver::new(g, BatchPolicy::Periodic, Default::default(), 1);
+        d.fail_site(SiteId(1), Time::ZERO).unwrap();
+        let mut wide = bj(0, 10.0);
+        wide.job.width = 2; // only fits the downed site
+        d.enqueue(wide);
+        d.enqueue(bj(1, 5.0)); // fits the online site
+        let out = d
+            .run_round(&mut EarliestCompletion, Time::ZERO)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.batch.len(), 1);
+        assert_eq!(out.batch[0].job.id, JobId(1));
+        assert_eq!(d.pending_len(), 1); // the wide job is deferred, not lost
+        d.rejoin_site(SiteId(1), Time::new(1.0)).unwrap();
+        let out2 = d
+            .run_round(&mut EarliestCompletion, Time::new(1.0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(out2.batch[0].job.id, JobId(0));
+        assert_eq!(d.pending_len(), 0);
+    }
+
+    #[test]
+    fn boundary_clock_mirrors_session_semantics() {
+        let mut c = BoundaryClock::new(Time::new(10.0));
+        assert_eq!(c.now(), Time::ZERO);
+        assert_eq!(c.next_periodic_instant(), Time::new(10.0));
+        c.ensure_armed();
+        c.ensure_armed(); // idempotent while armed
+        assert_eq!(c.next_boundary(), Some(Time::new(10.0)));
+        // Strictly-before pop leaves a boundary at the probe instant.
+        assert!(c.pop_strictly_before(Time::new(10.0)).is_none());
+        assert_eq!(c.pop_at_or_before(Time::new(10.0)), Some(Time::new(10.0)));
+        c.fired(Time::new(10.0));
+        assert_eq!(c.now(), Time::new(10.0));
+        // After firing, re-arming queues the next multiple.
+        c.ensure_armed();
+        assert_eq!(c.next_boundary(), Some(Time::new(20.0)));
+        assert_eq!(c.pop_any(), Some(Time::new(20.0)));
+        assert_eq!(c.pop_any(), None);
+        // Count triggers queue at `now` even when armed.
+        c.note_trigger();
+        assert_eq!(c.next_boundary(), Some(Time::new(10.0)));
     }
 }

@@ -88,6 +88,7 @@ fn main() {
         .send(&Request::Reconfigure {
             security_levels: vec![0.9, 0.3, 0.95],
             shard: None,
+            at: None,
         })
         .unwrap()
     {

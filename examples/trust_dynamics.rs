@@ -1,12 +1,13 @@
 //! Trust in motion: derive site security levels from the fuzzy trust
-//! index (defense capability × observed reputation) and let an IDS-style
-//! random walk move them during the run.
+//! index (defense capability × observed reputation), then let an
+//! IDS-style re-rating program — a declarative chaos scenario of trust
+//! storms and an explicit re-rate — move them during the run.
 //!
 //! Run with: `cargo run --release --example trust_dynamics`
 
 use gridsec::core::trust::{trust_index, ReputationTracker};
 use gridsec::prelude::*;
-use gridsec::sim::SlDynamics;
+use gridsec::sim::{ArrivalPhase, ArrivalProcess, Scenario, ScenarioRunner, TrustSpec};
 
 fn main() {
     // 1. Derive each site's SL from operational evidence instead of
@@ -41,41 +42,73 @@ fn main() {
     }
     let grid = Grid::new(sites).unwrap();
 
-    // 2. Jobs with the paper's demand range.
-    let jobs: Vec<Job> = (0..300)
-        .map(|i| {
-            Job::builder(i)
-                .arrival(Time::new(i as f64 * 30.0))
-                .work(400.0 + (i % 7) as f64 * 120.0)
-                .security_demand(0.6 + 0.03 * (i % 10) as f64)
-                .build()
-                .unwrap()
-        })
-        .collect();
+    // 2. One tenant with the paper's demand range, as a declarative
+    //    arrival phase — the same spec grammar `gridsec chaos` replays.
+    let arrivals = vec![ArrivalPhase {
+        tenant: "campus".into(),
+        start: 0.0,
+        end: 9_000.0,
+        process: ArrivalProcess::Poisson { rate: 1.0 / 30.0 },
+        width_min: 1,
+        width_max: 4,
+        work_min: 400.0,
+        work_max: 1_120.0,
+        sd_min: 0.6,
+        sd_max: 0.9,
+    }];
 
-    // 3. Compare a static-SL run with one where the IDS keeps re-rating
-    //    sites (random walk, +-0.05 every 10 minutes).
-    let static_cfg = SimConfig::default().with_interval(Time::new(600.0));
-    let dynamic_cfg = static_cfg.clone().with_sl_dynamics(SlDynamics {
-        period: Time::new(600.0),
-        step: 0.05,
-        min: 0.2,
-        max: 0.98,
-    });
-
-    println!("\nstatic security levels:");
-    for mode in [RiskMode::Secure, RiskMode::FRisky(0.5), RiskMode::Risky] {
-        let out = simulate(&jobs, &grid, &mut MinMin::new(mode), &static_cfg).unwrap();
-        println!("{}", out.summary());
-    }
-    println!("\nwandering security levels (IDS re-rating):");
-    for mode in [RiskMode::Secure, RiskMode::FRisky(0.5), RiskMode::Risky] {
-        let out = simulate(&jobs, &grid, &mut MinMin::new(mode), &dynamic_cfg).unwrap();
-        println!("{}", out.summary());
+    // 3. Compare a quiet trust state with an IDS that keeps re-rating
+    //    sites: a seeded random-walk storm (steps of up to ±0.05 at
+    //    Poisson instants) plus one explicit re-rate mid-run.
+    let quiet = Scenario {
+        seed: 42,
+        arrivals: arrivals.clone(),
+        faults: vec![],
+        trust: vec![],
+        max_jobs: Some(300),
+    };
+    let storm = Scenario {
+        trust: vec![
+            TrustSpec::TrustStorm {
+                start: 0.0,
+                end: 9_000.0,
+                rate: 1.0 / 600.0,
+                jitter: 0.05,
+            },
+            TrustSpec::ReRate {
+                at: 4_500.0,
+                levels: vec![0.9, 0.4, 0.7, 0.5],
+            },
+        ],
+        ..quiet.clone()
+    };
+    // Secure mode only admits sites whose SL covers the job's demand, so
+    // every re-rating reshapes the admissible set (Risky mode would
+    // shrug the storm off entirely).
+    let config = SimConfig::default().with_interval(Time::new(600.0));
+    for (label, scenario) in [
+        ("static security levels", &quiet),
+        ("re-rating storm", &storm),
+    ] {
+        let stream = scenario.compile(&grid).unwrap();
+        let runner = ScenarioRunner::new(
+            grid.clone(),
+            Box::new(MinMin::new(RiskMode::Secure)),
+            &config,
+        )
+        .unwrap();
+        let outcome = runner.run(&stream).unwrap();
+        assert!(outcome.fully_accounted());
+        println!(
+            "\n{label}: {} jobs scheduled, {} waiting for a trusted-enough site; \
+             {} rounds, makespan {}",
+            outcome.jobs_scheduled, outcome.pending, outcome.rounds, outcome.max_completion
+        );
     }
     println!(
-        "\nUnder wandering SLs even the 'secure' mode takes risk: a site \
-         that was safe\nat scheduling time may be re-rated below the job's \
-         demand before dispatch."
+        "\nThe storm run replays the exact same seeded arrivals — only the \
+         trust state\nmoves — so any makespan shift is the price of scheduling \
+         against re-rated\nsites. The same spec drives the serving daemon via \
+         `loadgen --scenario`."
     );
 }

@@ -185,3 +185,99 @@ fn workload_generators_are_seed_stable() {
     assert_eq!(c.jobs, d.jobs);
     assert_eq!(c.grid, d.grid);
 }
+
+// --- Chaos scenarios -------------------------------------------------------
+
+/// The subset of the checked-in scenario spec these tests need, parsed
+/// with the same grammar the CLI and loadgen use. `scenarios/churn.json`
+/// pins an explicit site list, so only that grid kind is supported here.
+#[derive(serde::Deserialize)]
+struct ChurnSpec {
+    grid: ChurnGrid,
+    #[serde(default)]
+    sim: SimConfig,
+    scenario: gridsec::sim::Scenario,
+}
+
+#[derive(serde::Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum ChurnGrid {
+    Sites { sites: Vec<Site> },
+}
+
+fn churn_spec() -> (Grid, SimConfig, gridsec::sim::Scenario) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/churn.json");
+    let text = std::fs::read_to_string(&path).expect("scenarios/churn.json is checked in");
+    let spec: ChurnSpec = serde_json::from_str(&text).expect("churn spec parses");
+    let ChurnGrid::Sites { sites } = spec.grid;
+    (Grid::new(sites).unwrap(), spec.sim, spec.scenario)
+}
+
+#[test]
+fn churn_spec_compiles_to_the_same_stream_every_time() {
+    // The compiled injection stream is a pure function of (spec, grid):
+    // every sampled arrival, fault and trust step comes from named
+    // seeded streams.
+    let (grid, _, scenario) = churn_spec();
+    let a = scenario.compile(&grid).unwrap();
+    let b = scenario.compile(&grid).unwrap();
+    assert!(!a.events.is_empty());
+    assert_eq!(a.events, b.events);
+    // A different master seed must actually move the program.
+    let mut reseeded = scenario.clone();
+    reseeded.seed ^= 0xdead_beef;
+    let c = reseeded.compile(&grid).unwrap();
+    assert_ne!(a.events, c.events, "the master seed should matter");
+}
+
+#[test]
+fn churn_replay_is_bit_identical_across_thread_counts() {
+    use gridsec::sim::{ScenarioOutcome, ScenarioRunner};
+    // The STGA's fitness evaluation is rayon-parallel, so this replays
+    // the checked-in churn spec under dedicated 1-, 2- and 4-thread
+    // pools. Everything but the wall-clock round latencies must be
+    // bit-identical.
+    let (grid, config, scenario) = churn_spec();
+    let stream = scenario.compile(&grid).unwrap();
+    let run = || {
+        let stga = Stga::new(StgaParams {
+            ga: GaParams::default()
+                .with_population(40)
+                .with_generations(15)
+                .with_seed(77),
+            ..StgaParams::default()
+        })
+        .unwrap();
+        ScenarioRunner::new(grid.clone(), Box::new(stga), &config)
+            .unwrap()
+            .run(&stream)
+            .unwrap()
+    };
+    // round_nanos is wall-clock and legitimately differs run to run.
+    let fingerprint = |o: &ScenarioOutcome| {
+        (
+            o.timeline.clone(),
+            o.jobs_generated,
+            o.jobs_submitted,
+            o.jobs_scheduled,
+            o.jobs_requeued,
+            o.pending,
+            o.rounds,
+            o.sites_failed,
+            o.sites_rejoined,
+            o.rejected.clone(),
+            o.max_completion,
+        )
+    };
+    let sequential = pool(1).install(run);
+    assert!(sequential.fully_accounted(), "{sequential:?}");
+    assert!(sequential.sites_failed > 0, "the spec must inject churn");
+    for threads in [2, 4] {
+        let parallel = pool(threads).install(run);
+        assert_eq!(
+            fingerprint(&sequential),
+            fingerprint(&parallel),
+            "{threads}-thread churn replay diverged from the sequential run"
+        );
+    }
+}

@@ -217,3 +217,146 @@ proptest! {
         }
     }
 }
+
+/// Random chaos-scenario programs on a fixed 4-site grid: an arrival
+/// phase, an explicit outage (with or without rejoin), a fault storm and
+/// a trust storm, all driven by an arbitrary master seed.
+fn arb_scenario() -> impl Strategy<Value = gridsec::sim::Scenario> {
+    use gridsec::sim::{ArrivalPhase, ArrivalProcess, FaultSpec, Scenario, TrustSpec};
+    (
+        any::<u64>(),
+        0.01f64..0.2,
+        (50.0f64..200.0, any::<bool>(), 250.0f64..400.0),
+        0.002f64..0.02,
+        0.005f64..0.05,
+    )
+        .prop_map(
+            |(seed, rate, (fail_at, rejoins, until), storm_rate, trust_rate)| Scenario {
+                seed,
+                arrivals: vec![ArrivalPhase {
+                    tenant: "prop".into(),
+                    start: 0.0,
+                    end: 400.0,
+                    process: ArrivalProcess::Poisson { rate },
+                    width_min: 1,
+                    width_max: 4,
+                    work_min: 20.0,
+                    work_max: 300.0,
+                    sd_min: 0.3,
+                    sd_max: 0.7,
+                }],
+                faults: vec![
+                    FaultSpec::SiteDown {
+                        site: 1,
+                        at: fail_at,
+                        until: rejoins.then_some(until),
+                    },
+                    FaultSpec::FaultStorm {
+                        start: 100.0,
+                        end: 350.0,
+                        rate: storm_rate,
+                        mttr: 50.0,
+                        sites: None,
+                    },
+                ],
+                trust: vec![TrustSpec::TrustStorm {
+                    start: 0.0,
+                    end: 400.0,
+                    rate: trust_rate,
+                    jitter: 0.1,
+                }],
+                max_jobs: Some(40),
+            },
+        )
+}
+
+fn scenario_grid() -> Grid {
+    Grid::new(
+        (0..4)
+            .map(|i| {
+                Site::builder(i)
+                    .nodes([2, 4, 2, 4][i])
+                    .speed(1.0 + i as f64 * 0.5)
+                    .security_level(0.9)
+                    .build()
+                    .unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_scenarios_replay_deterministically_and_lose_nothing(
+        scenario in arb_scenario()
+    ) {
+        use gridsec::sim::ScenarioRunner;
+        let grid = scenario_grid();
+        // Compilation is a pure function of (spec, grid).
+        let stream = scenario.compile(&grid).unwrap();
+        prop_assert_eq!(&stream.events, &scenario.compile(&grid).unwrap().events);
+        // Replay is deterministic and the ledger always balances: every
+        // generated job ends scheduled, pending, or typed-rejected, no
+        // matter what the churn program did.
+        let config = SimConfig::default().with_interval(Time::new(30.0));
+        let run = || {
+            ScenarioRunner::new(grid.clone(), Box::new(MinMin::new(RiskMode::Risky)), &config)
+                .unwrap()
+                .run(&stream)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert!(a.fully_accounted(), "ledger must balance: {:?}", a);
+        prop_assert_eq!(&a.timeline, &b.timeline);
+        prop_assert_eq!(a.jobs_scheduled, b.jobs_scheduled);
+        prop_assert_eq!(a.pending, b.pending);
+        prop_assert_eq!(&a.rejected, &b.rejected);
+    }
+
+    #[test]
+    fn shard_slices_partition_every_scenario_stream(
+        scenario in arb_scenario()
+    ) {
+        use gridsec::sim::{InjectionKind, ShardPlan};
+        let grid = scenario_grid();
+        let stream = scenario.compile(&grid).unwrap();
+        let plan = ShardPlan::contiguous(&grid, 2).unwrap();
+        let slices: Vec<_> = (0..2)
+            .map(|k| stream.slice_for_shard(&plan, &grid, k))
+            .collect();
+        // Every global arrival that fits somewhere lands on exactly one
+        // shard; site events go to the owning shard only.
+        let global_arrivals = stream
+            .events
+            .iter()
+            .filter(|e| match &e.kind {
+                InjectionKind::Arrive(job) => !plan.eligible_shards(&grid, job).is_empty(),
+                _ => false,
+            })
+            .count();
+        let sliced_arrivals: usize = slices
+            .iter()
+            .map(|s| {
+                s.events
+                    .iter()
+                    .filter(|e| matches!(e.kind, InjectionKind::Arrive(_)))
+                    .count()
+            })
+            .sum();
+        prop_assert_eq!(global_arrivals, sliced_arrivals);
+        for (k, slice) in slices.iter().enumerate() {
+            for e in &slice.events {
+                if let InjectionKind::SiteFail(s) | InjectionKind::SiteRejoin(s) = &e.kind {
+                    // Slice site ids are shard-local; they must map back
+                    // into this shard's global site set.
+                    let global = plan.to_global(k, *s);
+                    prop_assert_eq!(plan.shard_of(global), Some(k));
+                }
+            }
+        }
+    }
+}
