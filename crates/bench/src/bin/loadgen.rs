@@ -25,6 +25,14 @@
 //!   is routed to a shard it is eligible on), written to
 //!   `BENCH_PR5.json`.
 //!
+//! * **`--reshard-suite`**: the PR 8 benchmark — {Min-Min, STGA} ×
+//!   {1→2, 2→1, 2→4} live reshards halfway through the replay (drain
+//!   barrier, state transfer, session respawn, atomic plan swap),
+//!   reporting barrier cost and migration volume, written to
+//!   `BENCH_PR8.json`. `--reshard-smoke` is the CI slice: a 2-shard
+//!   daemon split to 4 under load, schedules validated on the final
+//!   topology.
+//!
 //! ```console
 //! loadgen --workload psa --jobs 400 --scheduler stga --policy hybrid:16 --threads 4
 //! loadgen --shards 4 --scheduler minmin
@@ -39,7 +47,7 @@ use gridsec_core::{BatchSchedule, Grid, Job, RiskMode, Site, Time};
 use gridsec_heuristics::{MinMin, Sufferage};
 use gridsec_serve::{
     Client, ClockMode, Daemon, DaemonOptions, OnlineSession, Placed, QueryWhat, Request, Response,
-    ServeMetrics, ShardSpec,
+    ServeMetrics, SessionFactory, ShardSpec,
 };
 use gridsec_sim::scheduler::EarliestCompletion;
 use gridsec_sim::{
@@ -69,10 +77,14 @@ fn main() {
     };
     let code = if opts.smoke {
         run_smoke(&opts)
+    } else if opts.reshard_smoke {
+        run_reshard_smoke(&opts)
     } else if opts.bench_suite {
         run_bench_suite(&opts)
     } else if opts.shard_suite {
         run_shard_suite(&opts)
+    } else if opts.reshard_suite {
+        run_reshard_suite(&opts)
     } else if opts.scenario.is_some() {
         run_scenario(&opts)
     } else {
@@ -88,7 +100,8 @@ fn usage() {
          \x20              [--rate <jobs-per-sec>] [--threads <n>] [--host <addr>]\n\
          \x20              [--shards <n>] [--wall-clock] [--max-pending <n>]\n\
          \x20              [--scenario <spec.json>]\n\
-         \x20              [--bench-suite] [--shard-suite] [--smoke] [--json <path>] [--quick]\n\
+         \x20              [--bench-suite] [--shard-suite] [--reshard-suite]\n\
+         \x20              [--smoke] [--reshard-smoke] [--json <path>] [--quick]\n\
          \n\
          --scenario replays a chaos scenario spec (`gridsec example-scenario`)\n\
          through the daemon: virtual clock cross-checks the committed timeline\n\
@@ -114,7 +127,9 @@ struct Options {
     max_pending: Option<usize>,
     bench_suite: bool,
     shard_suite: bool,
+    reshard_suite: bool,
     smoke: bool,
+    reshard_smoke: bool,
     json: Option<String>,
     quick: bool,
     scenario: Option<String>,
@@ -140,7 +155,9 @@ impl Options {
             max_pending: None,
             bench_suite: false,
             shard_suite: false,
+            reshard_suite: false,
             smoke: false,
+            reshard_smoke: false,
             json: None,
             quick: false,
             scenario: None,
@@ -210,7 +227,9 @@ impl Options {
                 }
                 "--bench-suite" => o.bench_suite = true,
                 "--shard-suite" => o.shard_suite = true,
+                "--reshard-suite" => o.reshard_suite = true,
                 "--smoke" => o.smoke = true,
+                "--reshard-smoke" => o.reshard_smoke = true,
                 "--json" => o.json = Some(value("--json")?),
                 "--quick" => o.quick = true,
                 "--scenario" => o.scenario = Some(value("--scenario")?),
@@ -1618,5 +1637,376 @@ fn run_smoke(opts: &Options) -> i32 {
         report2.jobs,
         views.schedules.len()
     );
+    0
+}
+
+/// What one elastic replay produced: the stream as actually submitted
+/// (suffix re-stamped past the reshard barrier), the final-plan views,
+/// and the wall-clock cost of the `reshard` frame round trip.
+struct ReshardRun {
+    jobs: Vec<Job>,
+    metrics: ServeMetrics,
+    global: Vec<Placed>,
+    per_shard: Vec<Vec<Placed>>,
+    jobs_migrated: usize,
+    reshard_millis: f64,
+}
+
+/// Replays `jobs` through an elastic daemon with a live `from`→`to`
+/// reshard halfway through the stream. The suffix is shifted past the
+/// next periodic boundary after the last prefix arrival (the barrier
+/// drain advances the shard clocks there), so the whole stream stays
+/// admissible under the virtual clock.
+#[allow(clippy::too_many_arguments)]
+fn replay_resharded(
+    jobs: &[Job],
+    grid: &Grid,
+    scheduler: &str,
+    from: usize,
+    to: usize,
+    interval: Time,
+    seed: u64,
+    quick: bool,
+) -> Result<ReshardRun, String> {
+    let config = SimConfig::default()
+        .with_interval(interval)
+        .with_batch_policy(BatchPolicy::Periodic)
+        .with_seed(seed);
+    let plan1 = ShardPlan::contiguous(grid, from).map_err(|e| e.to_string())?;
+    let plan2 = ShardPlan::contiguous(grid, to).map_err(|e| e.to_string())?;
+    let shard_specs: Result<Vec<ShardSpec>, String> = (0..from)
+        .map(|k| {
+            let sub = plan1.subgrid(grid, k).map_err(|e| e.to_string())?;
+            let sched = build_scheduler(scheduler, seed + k as u64, quick, None)?;
+            let session = OnlineSession::new(sub, sched, &config).map_err(|e| e.to_string())?;
+            Ok(ShardSpec::new(session))
+        })
+        .collect();
+    let factory: SessionFactory = {
+        let scheduler = scheduler.to_string();
+        let config = config.clone();
+        Box::new(move |ctx| {
+            // Offset the seed so respawned GA streams stay decorrelated
+            // from the originals while remaining deterministic.
+            let sched = build_scheduler(&scheduler, seed + 7_000 + ctx.shard as u64, quick, None)?;
+            OnlineSession::restore(ctx.subgrid, sched, &config, ctx.seed)
+                .map(ShardSpec::new)
+                .map_err(|e| e.to_string())
+        })
+    };
+    let daemon = Daemon::spawn_elastic(
+        grid.clone(),
+        plan1.clone(),
+        shard_specs?,
+        factory,
+        None,
+        "127.0.0.1:0",
+        DaemonOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut client = Client::connect(daemon.addr()).map_err(|e| e.to_string())?;
+
+    // Re-stamp the suffix past the barrier, preserving its spacing.
+    let mid = jobs.len() / 2;
+    let max_prefix = jobs[..mid]
+        .iter()
+        .map(|j| j.arrival.seconds())
+        .fold(0.0f64, f64::max);
+    let base = ((max_prefix / interval.seconds()).floor() + 2.0) * interval.seconds();
+    let mut stream: Vec<Job> = jobs.to_vec();
+    if mid < stream.len() {
+        let shift = (base - stream[mid].arrival.seconds()).max(0.0);
+        for j in &mut stream[mid..] {
+            j.arrival = Time::new(j.arrival.seconds() + shift);
+        }
+    }
+
+    let submit = |client: &mut Client, plan: &ShardPlan, slice: &[Job]| -> Result<(), String> {
+        for j in slice {
+            let shard = assign_shard(plan, grid, j)?;
+            match client
+                .send(&Request::Submit {
+                    jobs: vec![j.clone()],
+                    shard: Some(shard),
+                })
+                .map_err(|e| e.to_string())?
+            {
+                Response::Accepted { .. } => {}
+                other => return Err(format!("submit rejected: {other:?}")),
+            }
+        }
+        Ok(())
+    };
+    submit(&mut client, &plan1, &stream[..mid])?;
+    let new_shards: Vec<Vec<usize>> = (0..to)
+        .map(|k| plan2.sites_of(k).iter().map(|s| s.0).collect())
+        .collect();
+    let t0 = Instant::now();
+    let jobs_migrated = match client
+        .send(&Request::Reshard { shards: new_shards })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Resharded {
+            shards,
+            jobs_migrated,
+            ..
+        } => {
+            if shards != to {
+                return Err(format!("resharded to {shards} shards, wanted {to}"));
+            }
+            jobs_migrated
+        }
+        other => return Err(format!("reshard failed: {other:?}")),
+    };
+    let reshard_millis = t0.elapsed().as_secs_f64() * 1_000.0;
+    submit(&mut client, &plan2, &stream[mid..])?;
+    match client.send(&Request::Drain).map_err(|e| e.to_string())? {
+        Response::Drained { .. } => {}
+        other => return Err(format!("drain failed: {other:?}")),
+    }
+    let mut per_shard = Vec::with_capacity(to);
+    for k in 0..to {
+        match client
+            .send(&Request::Query {
+                what: QueryWhat::Schedule,
+                shard: Some(k),
+            })
+            .map_err(|e| e.to_string())?
+        {
+            Response::Schedule { assignments } => per_shard.push(assignments),
+            other => return Err(format!("per-shard query failed: {other:?}")),
+        }
+    }
+    let global = match client
+        .send(&Request::Query {
+            what: QueryWhat::Schedule,
+            shard: None,
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Schedule { assignments } => assignments,
+        other => return Err(format!("schedule query failed: {other:?}")),
+    };
+    let metrics = match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Metrics { metrics } => metrics,
+        other => return Err(format!("metrics query failed: {other:?}")),
+    };
+    match client.send(&Request::Shutdown).map_err(|e| e.to_string())? {
+        Response::Bye => {}
+        other => return Err(format!("shutdown failed: {other:?}")),
+    }
+    daemon.join();
+    Ok(ReshardRun {
+        jobs: stream,
+        metrics,
+        global,
+        per_shard,
+        jobs_migrated,
+        reshard_millis,
+    })
+}
+
+/// Asserts a finished elastic replay lost nothing: the books balance,
+/// the aggregated schedule covers every job exactly once on a fitting
+/// site, and every post-swap shard commit respects the final plan.
+fn check_reshard_run(run: &ReshardRun, grid: &Grid, to: usize) -> Result<(), String> {
+    let m = &run.metrics;
+    if m.jobs_submitted != run.jobs.len() || m.jobs_scheduled != run.jobs.len() || m.pending != 0 {
+        return Err(format!(
+            "ledger broken: {} submitted, {} scheduled, {} pending of {} jobs",
+            m.jobs_submitted,
+            m.jobs_scheduled,
+            m.pending,
+            run.jobs.len()
+        ));
+    }
+    if m.reshards_completed != 1 {
+        return Err(format!(
+            "{} reshards recorded, wanted 1",
+            m.reshards_completed
+        ));
+    }
+    let schedule = BatchSchedule::from_pairs(run.global.iter().map(|p| (p.job, p.site)));
+    schedule
+        .validate(&run.jobs, grid)
+        .map_err(|e| format!("aggregated schedule invalid: {e}"))?;
+    let plan = ShardPlan::contiguous(grid, to).map_err(|e| e.to_string())?;
+    for (k, shard) in run.per_shard.iter().enumerate() {
+        for p in shard {
+            if plan.shard_of(p.site) != Some(k) {
+                return Err(format!(
+                    "job {} committed to site {} outside shard {k}",
+                    p.job, p.site
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The CI reshard smoke: a 2-shard daemon split to 4 with half the
+/// stream already in, under a periodic policy so pending state actually
+/// migrates across the barrier. Schedules must validate on the final
+/// topology and the ledger must balance.
+fn run_reshard_smoke(opts: &Options) -> i32 {
+    let (jobs, grid) = match build_workload("psa", 120, opts.seed) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let run = match replay_resharded(
+        &jobs,
+        &grid,
+        "minmin",
+        2,
+        4,
+        Time::new(1_000.0),
+        opts.seed,
+        true,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: reshard smoke: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = check_reshard_run(&run, &grid, 4) {
+        eprintln!("error: reshard smoke: {e}");
+        return 1;
+    }
+    println!(
+        "reshard smoke OK: {} jobs across a 2→4 split ({} migrated, barrier {:.1} ms), \
+         schedules validate on the final topology, ledger balanced",
+        run.jobs.len(),
+        run.jobs_migrated,
+        run.reshard_millis,
+    );
+    0
+}
+
+/// One row of the `--reshard-suite` report.
+#[derive(Serialize)]
+struct ReshardRow {
+    scheduler: String,
+    from_shards: usize,
+    to_shards: usize,
+    jobs: usize,
+    /// Pending/in-flight jobs whose owning shard changed at the barrier.
+    jobs_migrated: usize,
+    /// Wall-clock milliseconds for the `reshard` frame round trip
+    /// (drain barrier + state transfer + session respawn + plan swap).
+    reshard_millis: f64,
+    rounds: usize,
+    makespan: f64,
+    schedule_valid: bool,
+}
+
+/// The `--reshard-suite` report written to `BENCH_PR8.json`.
+#[derive(Serialize)]
+struct ReshardSuiteReport {
+    schema: String,
+    command: String,
+    workload: String,
+    jobs: usize,
+    seed: u64,
+    note: String,
+    rows: Vec<ReshardRow>,
+}
+
+/// The elastic-topology benchmark: {Min-Min, STGA} × {1→2, 2→1, 2→4}
+/// live reshards halfway through the replay, reporting the barrier cost
+/// and the migration volume, written to `BENCH_PR8.json`.
+fn run_reshard_suite(opts: &Options) -> i32 {
+    let n = if opts.quick { 120 } else { opts.jobs };
+    let (jobs, grid) = match build_workload(&opts.workload, n, opts.seed) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "loadgen reshard suite: {} jobs ({}) on {} sites, schedulers [minmin, stga] × \
+         transitions [1→2, 2→1, 2→4]",
+        jobs.len(),
+        opts.workload,
+        grid.len(),
+    );
+    let mut rows = Vec::new();
+    for scheduler in ["minmin", "stga"] {
+        for (from, to) in [(1usize, 2usize), (2, 1), (2, 4)] {
+            let run = match replay_resharded(
+                &jobs,
+                &grid,
+                scheduler,
+                from,
+                to,
+                Time::new(1_000.0),
+                opts.seed,
+                opts.quick,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {scheduler} {from}→{to}: {e}");
+                    return 1;
+                }
+            };
+            let valid = match check_reshard_run(&run, &grid, to) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("error: {scheduler} {from}→{to}: {e}");
+                    return 1;
+                }
+            };
+            println!(
+                "  {scheduler:<7} {from}→{to}: {} migrated, barrier {:>7.1} ms, {} rounds",
+                run.jobs_migrated, run.reshard_millis, run.metrics.rounds,
+            );
+            rows.push(ReshardRow {
+                scheduler: scheduler.to_string(),
+                from_shards: from,
+                to_shards: to,
+                jobs: run.jobs.len(),
+                jobs_migrated: run.jobs_migrated,
+                reshard_millis: run.reshard_millis,
+                rounds: run.metrics.rounds,
+                makespan: run.metrics.max_completion.seconds(),
+                schedule_valid: valid,
+            });
+        }
+    }
+    let report = ReshardSuiteReport {
+        schema: "gridsec-loadgen-reshard/v1".to_string(),
+        command: format!(
+            "loadgen --reshard-suite --workload {} --jobs {} --seed {}{}",
+            opts.workload,
+            n,
+            opts.seed,
+            if opts.quick { " --quick" } else { "" }
+        ),
+        workload: opts.workload.clone(),
+        jobs: n,
+        seed: opts.seed,
+        note: "Elastic-topology replay over loopback TCP: half the stream is submitted, \
+               the daemon reshards live at a drain barrier (state transfer + session \
+               respawn + atomic plan swap), and the rest replays on the new topology. \
+               reshard_millis is the wall-clock frame round trip; jobs_migrated counts \
+               pending/in-flight jobs whose owning shard changed. Every row asserts the \
+               zero-lost-jobs ledger and validates the final schedule."
+            .to_string(),
+        rows,
+    };
+    let path = opts.json.clone().unwrap_or_else(|| "BENCH_PR8.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&path, json).expect("write suite report");
+    println!("[wrote {path}]");
     0
 }

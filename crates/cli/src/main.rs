@@ -12,7 +12,10 @@
 
 mod spec;
 
-use gridsec_serve::{ClockMode, Daemon, DaemonOptions, OnlineSession, ShardPersistence, ShardSpec};
+use gridsec_serve::{
+    AutoscaleConfig, ClockMode, Daemon, DaemonOptions, OnlineSession, SessionFactory,
+    ShardPersistence, ShardSpec,
+};
 use gridsec_sim::{simulate, ScenarioRunner, ShardPlan};
 use gridsec_stga::SharedHistory;
 use gridsec_workloads::{swf, NasConfig, PsaConfig};
@@ -50,7 +53,8 @@ fn print_usage() {
          gridsec example-spec\n  gridsec example-scenario\n  \
          gridsec generate <psa|nas> <n_jobs> [seed]\n  \
          gridsec serve <spec.json> [--bind <addr>] [--virtual-clock] [--shards <n>]\n\
-         \x20             [--state <prefix>] [--max-pending <n>]\n  \
+         \x20             [--state <prefix>] [--max-pending <n>] [--autoscale]\n\
+         \x20             [--autoscale-<knob> <n>]\n  \
          gridsec chaos <scenario.json> [--json <out.json>]\n\
          \n\
          chaos: compiles the scenario's injection program (arrivals, site\n\
@@ -67,6 +71,10 @@ fn print_usage() {
          --state <prefix> persists each shard's STGA history table to\n\
          \x20            <prefix>.shard<k>.json at drain/shutdown and reloads on boot.\n\
          --max-pending <n> bounds each shard's pending queue (busy frames past it).\n\
+         The daemon is elastic: `reshard` frames repartition the grid live, and\n\
+         --autoscale splits hot shards / merges cold ones automatically. Knobs\n\
+         (each `--autoscale-<knob> <n>` implies --autoscale): min, max,\n\
+         split-pending, split-round-micros, merge-pending, patience, interval-ms.\n\
          \n\
          global options:\n  --threads <n>   worker threads for parallel scheduler sections\n  \
          \x20               (default: RAYON_NUM_THREADS or all available cores)"
@@ -83,6 +91,8 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut n_shards = 1usize;
     let mut state: Option<String> = None;
     let mut max_pending: Option<usize> = None;
+    let mut autoscale = false;
+    let mut autoscale_cfg = AutoscaleConfig::default();
     let mut i = 1;
     while i < args.len() {
         let value = |name: &str| -> Result<String, String> {
@@ -90,7 +100,36 @@ fn cmd_serve(args: &[String]) -> i32 {
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value"))
         };
+        // `--autoscale-<knob> <n>`: tune one autoscaler threshold (and
+        // turn the autoscaler on, like bare `--autoscale`).
+        if let Some(knob) = args[i].strip_prefix("--autoscale-") {
+            let parsed = value(&args[i]).ok().and_then(|v| v.parse::<u64>().ok());
+            let Some(n) = parsed else {
+                eprintln!("error: {} needs a non-negative integer", args[i]);
+                return 2;
+            };
+            match knob {
+                "min" => autoscale_cfg.min_shards = n as usize,
+                "max" => autoscale_cfg.max_shards = n as usize,
+                "split-pending" => autoscale_cfg.split_pending = n as usize,
+                "split-round-micros" => autoscale_cfg.split_round_micros = n,
+                "merge-pending" => autoscale_cfg.merge_pending = n as usize,
+                "patience" => autoscale_cfg.patience = n as usize,
+                "interval-ms" => autoscale_cfg.interval = std::time::Duration::from_millis(n),
+                other => {
+                    eprintln!("error: unknown autoscale knob `--autoscale-{other}`");
+                    return 2;
+                }
+            }
+            autoscale = true;
+            i += 2;
+            continue;
+        }
         match args[i].as_str() {
+            "--autoscale" => {
+                autoscale = true;
+                i += 1;
+            }
             "--bind" => match value("--bind") {
                 Ok(b) => {
                     bind = b;
@@ -238,6 +277,9 @@ fn cmd_serve(args: &[String]) -> i32 {
                 return 1;
             }
         };
+        let snapshot = history
+            .clone()
+            .map(|h| Box::new(move || h.to_json()) as Box<dyn Fn() -> String + Send>);
         let persist = match (state_path, history) {
             (Some(path), Some(history)) => Some(ShardPersistence {
                 path,
@@ -245,12 +287,65 @@ fn cmd_serve(args: &[String]) -> i32 {
             }),
             _ => None,
         };
-        shards.push(ShardSpec { session, persist });
+        shards.push(ShardSpec {
+            session,
+            persist,
+            history: snapshot,
+        });
     }
-    let daemon = match Daemon::spawn_sharded(
+    // The session factory rebuilds shards after a `reshard` frame (or an
+    // autoscaler action): same scheduler spec over the new subgrid, STGA
+    // history tables merged from the contributing old shards, per-shard
+    // persistence re-pointed at `<prefix>.shard<k>.json`.
+    let factory: SessionFactory = {
+        let sspec = sspec.clone();
+        let sim = spec.sim.clone();
+        let jobs = jobs.clone();
+        let state = state.clone();
+        Box::new(move |ctx| {
+            let shard = ctx.shard;
+            let shard_jobs: Vec<gridsec_core::Job> = jobs
+                .iter()
+                .filter(|j| ctx.subgrid.sites().any(|s| s.fits_width(j.width)))
+                .cloned()
+                .collect();
+            let history = if sspec.is_stga() {
+                Some(if ctx.history_sources.is_empty() {
+                    SharedHistory::new(stga_capacity(&sspec))
+                } else {
+                    SharedHistory::merge_json(&ctx.history_sources).map_err(|e| e.to_string())?
+                })
+            } else {
+                None
+            };
+            let scheduler = sspec
+                .build_send_with_history(&shard_jobs, &ctx.subgrid, history.clone())
+                .map_err(|e| e.to_string())?;
+            let session = OnlineSession::restore(ctx.subgrid, scheduler, &sim, ctx.seed)
+                .map_err(|e| e.to_string())?;
+            let snapshot = history
+                .clone()
+                .map(|h| Box::new(move || h.to_json()) as Box<dyn Fn() -> String + Send>);
+            let persist = match (&state, history) {
+                (Some(prefix), Some(h)) => Some(ShardPersistence {
+                    path: std::path::PathBuf::from(format!("{prefix}.shard{shard}.json")),
+                    snapshot: Box::new(move || h.to_json()),
+                }),
+                _ => None,
+            };
+            Ok(ShardSpec {
+                session,
+                persist,
+                history: snapshot,
+            })
+        })
+    };
+    let daemon = match Daemon::spawn_elastic(
         grid,
         plan,
         shards,
+        factory,
+        autoscale.then_some(autoscale_cfg),
         &bind,
         DaemonOptions {
             clock,
@@ -264,8 +359,16 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 1;
         }
     };
+    let elastic = if autoscale {
+        format!(
+            ", autoscaling {}–{} shards",
+            autoscale_cfg.min_shards, autoscale_cfg.max_shards
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "gridsec-serve: {name} × {n_shards} shard(s) on {} ({:?} clock, policy {:?}); \
+        "gridsec-serve: {name} × {n_shards} shard(s) on {} ({:?} clock, policy {:?}{elastic}); \
          send NDJSON frames, {{\"type\":\"shutdown\"}} to stop",
         daemon.addr(),
         clock,
@@ -472,7 +575,37 @@ fn cmd_chaos(args: &[String]) -> i32 {
         outcome.sites_failed, outcome.sites_rejoined, outcome.rounds, outcome.max_completion,
     );
     if let Some(p) = json_out {
-        match serde_json::to_string_pretty(&outcome) {
+        // Alongside the raw outcome, emit a `metrics` block in the same
+        // schema the daemon's `query metrics` frame uses — including the
+        // reshard counters (always zero for an offline engine replay) —
+        // so one consumer parses both.
+        let metrics = gridsec_serve::ServeMetrics {
+            jobs_submitted: outcome.jobs_submitted,
+            jobs_scheduled: outcome.jobs_scheduled,
+            pending: outcome.pending,
+            rounds: outcome.rounds,
+            batch_sizes: Vec::new(),
+            round_nanos: outcome.round_nanos.clone(),
+            scheduler_seconds: outcome.round_nanos.iter().sum::<u64>() as f64 / 1e9,
+            virtual_now: outcome.max_completion,
+            max_completion: outcome.max_completion,
+            sites_failed: outcome.sites_failed,
+            sites_rejoined: outcome.sites_rejoined,
+            jobs_requeued: outcome.jobs_requeued,
+            busy_rejections: 0,
+            reshards_completed: 0,
+            jobs_migrated: 0,
+        };
+        #[derive(serde::Serialize)]
+        struct ChaosReport {
+            outcome: gridsec_sim::ScenarioOutcome,
+            metrics: gridsec_serve::ServeMetrics,
+        }
+        let doc = ChaosReport {
+            outcome: outcome.clone(),
+            metrics,
+        };
+        match serde_json::to_string_pretty(&doc) {
             Ok(s) => {
                 if let Err(e) = std::fs::write(&p, s) {
                     eprintln!("error: cannot write {p}: {e}");

@@ -165,6 +165,14 @@ impl NodeAvailability {
         }
     }
 
+    /// Restores a site from a saved free-time multiset (one entry per
+    /// node). Sorts defensively so callers can pass times in any order —
+    /// the invariant is ascending order, not insertion order.
+    pub fn from_times(mut times: Vec<Time>) -> NodeAvailability {
+        times.sort_unstable();
+        NodeAvailability { free: times }
+    }
+
     /// Number of nodes tracked.
     #[inline]
     pub fn nodes(&self) -> usize {

@@ -26,10 +26,24 @@
 //! history table and the availability model live there untouched across
 //! rounds. A client disconnecting mid-round just drops its reply channel;
 //! scheduling continues.
+//!
+//! **Elastic topology.** A daemon started through
+//! [`Daemon::spawn_elastic`] can change its shard plan while serving: a
+//! `reshard` frame (or the autoscaler) drains every shard to a barrier,
+//! exports their state, redistributes it with
+//! [`transfer`](crate::reshard::transfer), rebuilds the shard sessions
+//! through the session factory and atomically swaps the router's plan.
+//! Because the router serialises every frame, clients pipelined across
+//! the swap observe nothing but in-order responses; counters and
+//! committed schedules of retired shards are archived on the router so
+//! aggregated queries stay cumulative.
 
 use crate::protocol::{
-    encode, parse_request, read_line_bounded, Line, QueryWhat, Request, Response, ServeMetrics,
-    MAX_LINE_BYTES,
+    encode, parse_request, read_line_bounded, Line, Placed, QueryWhat, Request, Response,
+    ServeMetrics, MAX_LINE_BYTES,
+};
+use crate::reshard::{
+    transfer, AutoscaleConfig, AutoscalePolicy, SessionFactory, ShardBuildContext, ShardObservation,
 };
 use crate::session::OnlineSession;
 use crate::shard::{ShardMsg, ShardRuntime, ShardSpec};
@@ -120,19 +134,22 @@ impl Ord for HeldReply {
 }
 
 /// One parsed (or rejected) frame, tagged with its reply channel and
-/// per-client sequence number.
+/// per-client sequence number — or a tick from the autoscaler thread,
+/// which goes through the same queue so topology decisions are serialised
+/// with client frames.
 enum IngestEvent {
     Frame(Request, Sender<Reply>, u64),
     BadFrame(String, Sender<Reply>, u64),
+    Autoscale,
 }
 
-/// A running daemon: the accept loop, the router and the per-shard
-/// scheduling threads.
+/// A running daemon: the accept loop and the router (which in turn owns
+/// the per-shard scheduling threads — they must be respawnable on a
+/// reshard, so their handles live with the plan).
 pub struct Daemon {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
-    shards: Vec<JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -158,6 +175,36 @@ impl Daemon {
         grid: Grid,
         plan: ShardPlan,
         shards: Vec<ShardSpec>,
+        bind: &str,
+        options: DaemonOptions,
+    ) -> io::Result<Daemon> {
+        Daemon::spawn_inner(grid, plan, shards, None, None, bind, options)
+    }
+
+    /// Like [`Daemon::spawn_sharded`], but *elastic*: `factory` rebuilds
+    /// the shard sessions whenever a `reshard` frame (or the autoscaler)
+    /// moves the daemon to a new plan, and `autoscale`, when set, starts
+    /// a sampling thread that splits hot shards and merges cold ones
+    /// automatically. Without a factory, `reshard` frames get a typed
+    /// `reshard_rejected`.
+    pub fn spawn_elastic(
+        grid: Grid,
+        plan: ShardPlan,
+        shards: Vec<ShardSpec>,
+        factory: SessionFactory,
+        autoscale: Option<AutoscaleConfig>,
+        bind: &str,
+        options: DaemonOptions,
+    ) -> io::Result<Daemon> {
+        Daemon::spawn_inner(grid, plan, shards, Some(factory), autoscale, bind, options)
+    }
+
+    fn spawn_inner(
+        grid: Grid,
+        plan: ShardPlan,
+        shards: Vec<ShardSpec>,
+        factory: Option<SessionFactory>,
+        autoscale: Option<AutoscaleConfig>,
         bind: &str,
         options: DaemonOptions,
     ) -> io::Result<Daemon> {
@@ -191,27 +238,38 @@ impl Daemon {
         let (ingest_tx, ingest_rx) = channel::<IngestEvent>();
         let start = Instant::now();
 
-        let mut shard_txs = Vec::with_capacity(shards.len());
-        let mut shard_handles = Vec::with_capacity(shards.len());
-        for (k, spec) in shards.into_iter().enumerate() {
-            let (tx, rx) = channel::<ShardMsg>();
-            let runtime = ShardRuntime {
-                shard: k,
-                session: spec.session,
-                global_sites: plan.sites_of(k).to_vec(),
-                clock: options.clock,
-                start,
-                max_pending: options.max_pending,
-                persist: spec.persist,
-            };
-            shard_handles.push(std::thread::spawn(move || runtime.run(rx)));
-            shard_txs.push(tx);
+        let (shard_txs, shard_handles) = spawn_shard_threads(&plan, shards, options, start);
+
+        if let Some(cfg) = &autoscale {
+            let tick = ingest_tx.clone();
+            let interval = cfg.interval;
+            // Dies when the router (and with it the ingest receiver) is
+            // gone — the first tick after that fails to send.
+            std::thread::spawn(move || loop {
+                std::thread::sleep(interval);
+                if tick.send(IngestEvent::Autoscale).is_err() {
+                    return;
+                }
+            });
         }
 
+        let router_state = Router {
+            grid,
+            plan,
+            shard_txs,
+            shard_handles,
+            offline: Vec::new(), // sized in run()
+            options,
+            start,
+            factory,
+            autoscale: autoscale.map(AutoscalePolicy::new),
+            archive_metrics: ServeMetrics::merge(&[]),
+            archive_schedule: Vec::new(),
+        };
         let router = {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                router_loop(&grid, &plan, &shard_txs, ingest_rx);
+                router_state.run(ingest_rx);
                 stop.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the stop flag.
                 let _ = TcpStream::connect(addr);
@@ -235,7 +293,6 @@ impl Daemon {
             addr,
             accept: Some(accept),
             router: Some(router),
-            shards: shard_handles,
         })
     }
 
@@ -245,17 +302,43 @@ impl Daemon {
     }
 
     /// Blocks until a client sends `shutdown` and the daemon winds down.
+    /// (The router joins the shard threads before it exits.)
     pub fn join(mut self) {
         if let Some(h) = self.router.take() {
-            let _ = h.join();
-        }
-        for h in self.shards.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
     }
+}
+
+/// Spawns one scheduling thread per shard spec; shard `k` serves
+/// `plan.sites_of(k)`. Shared by daemon startup and the reshard swap.
+fn spawn_shard_threads(
+    plan: &ShardPlan,
+    shards: Vec<ShardSpec>,
+    options: DaemonOptions,
+    start: Instant,
+) -> (Vec<Sender<ShardMsg>>, Vec<JoinHandle<()>>) {
+    let mut shard_txs = Vec::with_capacity(shards.len());
+    let mut shard_handles = Vec::with_capacity(shards.len());
+    for (k, spec) in shards.into_iter().enumerate() {
+        let (tx, rx) = channel::<ShardMsg>();
+        let runtime = ShardRuntime {
+            shard: k,
+            session: spec.session,
+            global_sites: plan.sites_of(k).to_vec(),
+            clock: options.clock,
+            start,
+            max_pending: options.max_pending,
+            persist: spec.persist,
+            history: spec.history,
+        };
+        shard_handles.push(std::thread::spawn(move || runtime.run(rx)));
+        shard_txs.push(tx);
+    }
+    (shard_txs, shard_handles)
 }
 
 /// Spawns the per-connection reader and writer threads.
@@ -356,163 +439,473 @@ fn gather<T>(
         .collect()
 }
 
-/// The router thread: drains the ingest queue in order, forwards each
-/// frame to the shard that owns it, and scatter-gathers the cross-shard
-/// operations. Exits after a `shutdown` frame (stopping every shard) or
-/// when the listener goes away.
-fn router_loop(
-    grid: &Grid,
-    plan: &ShardPlan,
-    shard_txs: &[Sender<ShardMsg>],
-    ingest: Receiver<IngestEvent>,
-) {
-    let n_shards = plan.n_shards();
-    // The routing-level view of site churn. The router is the single
-    // gatekeeper: double-fails and spurious rejoins are rejected here,
-    // and the set only changes once the owning shard has applied the
-    // injection — so routing and shard state can never disagree.
-    let mut offline = vec![false; grid.len()];
-    loop {
-        let event = match ingest.recv() {
-            Ok(ev) => ev,
-            Err(_) => return, // listener gone; dropping shard_txs stops the shards
-        };
-        let (req, reply, seq) = match event {
-            IngestEvent::BadFrame(message, reply, seq) => {
-                let _ = reply.send(Reply::frame(seq, &Response::Error { message }));
-                continue;
-            }
-            IngestEvent::Frame(req, reply, seq) => (req, reply, seq),
-        };
-        match req {
-            Request::Submit { jobs, shard } => {
-                let target = match shard {
-                    Some(k) if k >= n_shards => {
+/// The router thread's state: the live plan, the shard channels and
+/// threads (respawned on every reshard), the global offline set (site
+/// churn survives a reshard untouched) and the archives of retired
+/// shards.
+struct Router {
+    grid: Grid,
+    plan: ShardPlan,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    offline: Vec<bool>,
+    options: DaemonOptions,
+    start: Instant,
+    factory: Option<SessionFactory>,
+    autoscale: Option<AutoscalePolicy>,
+    /// Counters of shards retired by reshards, with the gauges
+    /// (`jobs_scheduled`, `pending`) zeroed — their live state moved to
+    /// the new shards and would double-count. The reshard counters
+    /// themselves live here too.
+    archive_metrics: ServeMetrics,
+    /// Committed schedules of retired shards, appended in reshard order.
+    archive_schedule: Vec<Placed>,
+}
+
+impl Router {
+    /// The router loop: drains the ingest queue in order, forwards each
+    /// frame to the shard that owns it, and scatter-gathers the
+    /// cross-shard operations. Exits after a `shutdown` frame (stopping
+    /// every shard) or when the listener goes away.
+    fn run(mut self, ingest: Receiver<IngestEvent>) {
+        // The routing-level view of site churn. The router is the single
+        // gatekeeper: double-fails and spurious rejoins are rejected
+        // here, and the set only changes once the owning shard has
+        // applied the injection — so routing and shard state can never
+        // disagree.
+        self.offline = vec![false; self.grid.len()];
+        loop {
+            let event = match ingest.recv() {
+                Ok(ev) => ev,
+                Err(_) => {
+                    // Listener gone: disconnect the shard channels so the
+                    // shard threads exit, then reap them.
+                    self.shard_txs.clear();
+                    for h in self.shard_handles.drain(..) {
+                        let _ = h.join();
+                    }
+                    return;
+                }
+            };
+            let (req, reply, seq) = match event {
+                IngestEvent::BadFrame(message, reply, seq) => {
+                    let _ = reply.send(Reply::frame(seq, &Response::Error { message }));
+                    continue;
+                }
+                IngestEvent::Autoscale => {
+                    self.autoscale_tick();
+                    continue;
+                }
+                IngestEvent::Frame(req, reply, seq) => (req, reply, seq),
+            };
+            let n_shards = self.plan.n_shards();
+            match req {
+                Request::Submit { jobs, shard } => {
+                    let target = match shard {
+                        Some(k) if k >= n_shards => {
+                            let _ = reply.send(Reply::frame(
+                                seq,
+                                &Response::UnknownShard { shard: k, n_shards },
+                            ));
+                            continue;
+                        }
+                        Some(k) => k,
+                        None => match derive_route(&self.grid, &self.plan, &self.offline, &jobs) {
+                            Ok(k) => k,
+                            Err(response) => {
+                                let _ = reply.send(Reply::frame(seq, &response));
+                                continue;
+                            }
+                        },
+                    };
+                    forward(
+                        &self.shard_txs[target],
+                        ShardMsg::Submit {
+                            jobs,
+                            reply: reply.clone(),
+                            seq,
+                        },
+                        &reply,
+                        seq,
+                    );
+                }
+                Request::Query {
+                    what,
+                    shard: Some(k),
+                } => {
+                    if k >= n_shards {
                         let _ = reply.send(Reply::frame(
                             seq,
                             &Response::UnknownShard { shard: k, n_shards },
                         ));
                         continue;
                     }
-                    Some(k) => k,
-                    None => match derive_route(grid, plan, &offline, &jobs) {
-                        Ok(k) => k,
-                        Err(response) => {
-                            let _ = reply.send(Reply::frame(seq, &response));
-                            continue;
-                        }
-                    },
-                };
-                forward(
-                    &shard_txs[target],
-                    ShardMsg::Submit {
-                        jobs,
-                        reply: reply.clone(),
+                    forward(
+                        &self.shard_txs[k],
+                        ShardMsg::Query {
+                            what,
+                            reply: reply.clone(),
+                            seq,
+                        },
+                        &reply,
                         seq,
-                    },
-                    &reply,
-                    seq,
-                );
-            }
-            Request::Query {
-                what,
-                shard: Some(k),
-            } => {
-                if k >= n_shards {
-                    let _ = reply.send(Reply::frame(
-                        seq,
-                        &Response::UnknownShard { shard: k, n_shards },
-                    ));
-                    continue;
+                    );
                 }
-                forward(
-                    &shard_txs[k],
-                    ShardMsg::Query {
-                        what,
-                        reply: reply.clone(),
-                        seq,
-                    },
-                    &reply,
-                    seq,
-                );
-            }
-            Request::Query { what, shard: None } => {
-                let response = aggregate_query(what, shard_txs);
-                let _ = reply.send(Reply::frame(seq, &response));
-            }
-            Request::Reconfigure {
-                security_levels,
-                shard: Some(k),
-                at,
-            } => {
-                if k >= n_shards {
-                    let _ = reply.send(Reply::frame(
-                        seq,
-                        &Response::UnknownShard { shard: k, n_shards },
-                    ));
-                    continue;
+                Request::Query { what, shard: None } => {
+                    let response = self.aggregate_query(what);
+                    let _ = reply.send(Reply::frame(seq, &response));
                 }
-                forward(
-                    &shard_txs[k],
-                    ShardMsg::Reconfigure {
-                        levels: security_levels,
+                Request::Reconfigure {
+                    security_levels,
+                    shard: Some(k),
+                    at,
+                } => {
+                    if k >= n_shards {
+                        let _ = reply.send(Reply::frame(
+                            seq,
+                            &Response::UnknownShard { shard: k, n_shards },
+                        ));
+                        continue;
+                    }
+                    forward(
+                        &self.shard_txs[k],
+                        ShardMsg::Reconfigure {
+                            levels: security_levels,
+                            at,
+                            reply: reply.clone(),
+                            seq,
+                        },
+                        &reply,
+                        seq,
+                    );
+                }
+                Request::Reconfigure {
+                    security_levels,
+                    shard: None,
+                    at,
+                } => {
+                    let response = global_reconfigure(
+                        &self.grid,
+                        &self.plan,
+                        &self.shard_txs,
+                        &security_levels,
                         at,
-                        reply: reply.clone(),
-                        seq,
-                    },
-                    &reply,
-                    seq,
-                );
-            }
-            Request::Reconfigure {
-                security_levels,
-                shard: None,
-                at,
-            } => {
-                let response = global_reconfigure(grid, plan, shard_txs, &security_levels, at);
-                let _ = reply.send(Reply::frame(seq, &response));
-            }
-            Request::FailSite { site, at } => {
-                let response = fail_site(plan, shard_txs, &mut offline, site, at);
-                let _ = reply.send(Reply::frame(seq, &response));
-            }
-            Request::RejoinSite { site, at } => {
-                let response = rejoin_site(plan, shard_txs, &mut offline, site, at);
-                let _ = reply.send(Reply::frame(seq, &response));
-            }
-            Request::Drain => {
-                let response = drain_all(shard_txs);
-                let _ = reply.send(Reply::frame(seq, &response));
-            }
-            Request::Shutdown => {
-                let drained = drain_all(shard_txs);
-                let response = match drained {
-                    Response::Drained { .. } => Response::Bye,
-                    Response::Error { message } => Response::Error {
-                        message: format!("drain before shutdown failed: {message}"),
-                    },
-                    other => other,
-                };
-                // Barrier: every shard persists its state and exits
-                // before the client hears `bye`.
-                for done in gather(shard_txs, |tx| ShardMsg::Stop { done: tx }) {
-                    let _ = done;
+                    );
+                    let _ = reply.send(Reply::frame(seq, &response));
                 }
-                // The daemon exits right after this; wait (bounded) for
-                // the writer to flush the final frame so the client is
-                // guaranteed its `bye`.
-                let (flushed_tx, flushed_rx) = channel();
-                let sent = reply
-                    .send(Reply {
-                        seq,
-                        line: encode(&response),
-                        flushed: Some(flushed_tx),
-                    })
-                    .is_ok();
-                if sent {
-                    let _ = flushed_rx.recv_timeout(Duration::from_secs(5));
+                Request::FailSite { site, at } => {
+                    let response =
+                        fail_site(&self.plan, &self.shard_txs, &mut self.offline, site, at);
+                    let _ = reply.send(Reply::frame(seq, &response));
                 }
-                return;
+                Request::RejoinSite { site, at } => {
+                    let response =
+                        rejoin_site(&self.plan, &self.shard_txs, &mut self.offline, site, at);
+                    let _ = reply.send(Reply::frame(seq, &response));
+                }
+                Request::Reshard { shards } => {
+                    let shards: Vec<Vec<SiteId>> = shards
+                        .into_iter()
+                        .map(|ss| ss.into_iter().map(SiteId).collect())
+                        .collect();
+                    let response = match self.reshard(shards) {
+                        Ok(jobs_migrated) => Response::Resharded {
+                            shards: self.plan.n_shards(),
+                            jobs_migrated,
+                            reshards_completed: self.archive_metrics.reshards_completed,
+                        },
+                        Err(message) => Response::ReshardRejected { message },
+                    };
+                    let _ = reply.send(Reply::frame(seq, &response));
+                }
+                Request::Drain => {
+                    let response = self.drain();
+                    let _ = reply.send(Reply::frame(seq, &response));
+                }
+                Request::Shutdown => {
+                    let drained = self.drain();
+                    let response = match drained {
+                        Response::Drained { .. } => Response::Bye,
+                        Response::Error { message } => Response::Error {
+                            message: format!("drain before shutdown failed: {message}"),
+                        },
+                        other => other,
+                    };
+                    // Barrier: every shard persists its state and exits
+                    // before the client hears `bye`.
+                    for done in gather(&self.shard_txs, |tx| ShardMsg::Stop { done: tx }) {
+                        let _ = done;
+                    }
+                    for h in self.shard_handles.drain(..) {
+                        let _ = h.join();
+                    }
+                    // The daemon exits right after this; wait (bounded)
+                    // for the writer to flush the final frame so the
+                    // client is guaranteed its `bye`.
+                    let (flushed_tx, flushed_rx) = channel();
+                    let sent = reply
+                        .send(Reply {
+                            seq,
+                            line: encode(&response),
+                            flushed: Some(flushed_tx),
+                        })
+                        .is_ok();
+                    if sent {
+                        let _ = flushed_rx.recv_timeout(Duration::from_secs(5));
+                    }
+                    self.reject_late_frames(&ingest);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Performs one reshard to `shards` at a drain barrier; returns the
+    /// number of jobs that changed shard. On any failure the old shards
+    /// resume untouched (beyond having been drained) and the error
+    /// becomes a `reshard_rejected`.
+    fn reshard(&mut self, shards: Vec<Vec<SiteId>>) -> Result<usize, String> {
+        if self.factory.is_none() {
+            return Err(
+                "daemon started without a session factory; reshard needs Daemon::spawn_elastic \
+                 (or `gridsec serve`)"
+                    .into(),
+            );
+        }
+        let new_plan = ShardPlan::from_shards(&self.grid, shards)
+            .map_err(|e| format!("invalid reshard plan: {e}"))?;
+        // Barrier: run every due round so no armed boundary is lost.
+        match drain_all(&self.shard_txs) {
+            Response::Drained { .. } => {}
+            Response::Error { message } => {
+                return Err(format!("drain at the reshard barrier failed: {message}"))
+            }
+            other => {
+                return Err(format!(
+                    "unexpected drain response: {}",
+                    encode(&other).trim()
+                ))
+            }
+        }
+        // Export-and-hold: each shard freezes after answering.
+        let mut exports = Vec::with_capacity(self.shard_txs.len());
+        for e in gather(&self.shard_txs, |tx| ShardMsg::GatherState { reply: tx }) {
+            match e {
+                Some(e) => exports.push(e),
+                None => {
+                    self.resume_shards();
+                    return Err("a shard thread is no longer running".into());
+                }
+            }
+        }
+        let moved = match transfer(&self.grid, &self.plan, &exports, &new_plan) {
+            Ok(t) => t,
+            Err(message) => {
+                self.resume_shards();
+                return Err(message);
+            }
+        };
+        // Rebuild every session before touching the old shards, so a
+        // factory failure aborts with the daemon fully intact.
+        let mut factory = self.factory.take().expect("checked above");
+        let mut specs = Vec::with_capacity(moved.seeds.len());
+        let mut build_err = None;
+        for seed in moved.seeds {
+            let k = seed.shard;
+            let subgrid = match new_plan.subgrid(&self.grid, k) {
+                Ok(g) => g,
+                Err(e) => {
+                    build_err = Some(e.to_string());
+                    break;
+                }
+            };
+            match factory(ShardBuildContext {
+                shard: k,
+                subgrid: subgrid.clone(),
+                seed: seed.state,
+                history_sources: seed.history_sources,
+            }) {
+                Ok(spec) if *spec.session.grid() != subgrid => {
+                    build_err = Some(format!(
+                        "session factory built shard {k} over the wrong subgrid"
+                    ));
+                    break;
+                }
+                Ok(spec) => specs.push(spec),
+                Err(message) => {
+                    build_err = Some(format!("session factory failed for shard {k}: {message}"));
+                    break;
+                }
+            }
+        }
+        self.factory = Some(factory);
+        if let Some(message) = build_err {
+            self.resume_shards();
+            return Err(message);
+        }
+        // Point of no return: retire the old shards (they persist their
+        // state files on Stop), archive their history, swap in the new.
+        for done in gather(&self.shard_txs, |tx| ShardMsg::Stop { done: tx }) {
+            let _ = done;
+        }
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+        for e in &exports {
+            let mut m = e.metrics.clone();
+            m.jobs_scheduled = 0;
+            m.pending = 0;
+            self.archive_metrics = ServeMetrics::merge(&[self.archive_metrics.clone(), m]);
+            self.archive_schedule.extend_from_slice(&e.schedule);
+        }
+        let (txs, handles) = spawn_shard_threads(&new_plan, specs, self.options, self.start);
+        self.shard_txs = txs;
+        self.shard_handles = handles;
+        self.plan = new_plan;
+        self.archive_metrics.reshards_completed += 1;
+        self.archive_metrics.jobs_migrated += moved.jobs_migrated;
+        Ok(moved.jobs_migrated)
+    }
+
+    /// Releases shards parked in the post-`GatherState` hold after an
+    /// aborted reshard.
+    fn resume_shards(&self) {
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardMsg::Resume);
+        }
+    }
+
+    /// One autoscaler sample: observe every shard's queue depth and mean
+    /// round latency, reshard if the policy has seen enough.
+    fn autoscale_tick(&mut self) {
+        let Some(policy) = self.autoscale.as_mut() else {
+            return;
+        };
+        let infos = gather(&self.shard_txs, |tx| ShardMsg::GatherInfo { reply: tx });
+        let metrics = gather(&self.shard_txs, |tx| ShardMsg::GatherMetrics { reply: tx });
+        let mut observations = Vec::with_capacity(infos.len());
+        for (info, m) in infos.into_iter().zip(metrics) {
+            let (Some(info), Some(m)) = (info, m) else {
+                return; // a shard is down; routing will surface it
+            };
+            let round_micros = if m.round_nanos.is_empty() {
+                0
+            } else {
+                m.round_nanos.iter().sum::<u64>() / m.round_nanos.len() as u64 / 1_000
+            };
+            observations.push(ShardObservation {
+                sites: info.sites,
+                pending: info.pending,
+                round_micros,
+            });
+        }
+        let Some(proposal) = policy.observe(&observations) else {
+            return;
+        };
+        match self.reshard(proposal) {
+            Ok(moved) => eprintln!(
+                "gridsec-serve: autoscaler resharded to {} shards ({moved} jobs migrated)",
+                self.plan.n_shards()
+            ),
+            Err(message) => eprintln!("gridsec-serve: autoscaler reshard failed: {message}"),
+        }
+    }
+
+    /// An aggregated (all-shard) query: scatter, gather, merge — folding
+    /// in the archives of shards retired by reshards so the global view
+    /// stays cumulative across topology changes.
+    fn aggregate_query(&self, what: QueryWhat) -> Response {
+        match what {
+            QueryWhat::Metrics => {
+                let per_shard: Vec<_> =
+                    gather(&self.shard_txs, |tx| ShardMsg::GatherMetrics { reply: tx })
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                if per_shard.len() != self.shard_txs.len() {
+                    return shard_down();
+                }
+                let mut all = Vec::with_capacity(per_shard.len() + 1);
+                all.push(self.archive_metrics.clone());
+                all.extend(per_shard);
+                Response::Metrics {
+                    metrics: ServeMetrics::merge(&all),
+                }
+            }
+            QueryWhat::Schedule => {
+                let per_shard =
+                    gather(&self.shard_txs, |tx| ShardMsg::GatherSchedule { reply: tx });
+                if per_shard.iter().any(Option::is_none) {
+                    return shard_down();
+                }
+                // Archived commits first (reshard order), then the live
+                // shards concatenated in shard order (commit order within
+                // each) — deterministic, and the identity for one shard
+                // with no reshard history.
+                let mut assignments = self.archive_schedule.clone();
+                assignments.extend(per_shard.into_iter().flatten().flatten());
+                Response::Schedule { assignments }
+            }
+            QueryWhat::Shards => {
+                let per_shard: Vec<_> =
+                    gather(&self.shard_txs, |tx| ShardMsg::GatherInfo { reply: tx })
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                if per_shard.len() != self.shard_txs.len() {
+                    return shard_down();
+                }
+                Response::Shards { shards: per_shard }
+            }
+        }
+    }
+
+    /// Drains every shard; `rounds` stays cumulative across reshards by
+    /// folding in the archived count.
+    fn drain(&self) -> Response {
+        match drain_all(&self.shard_txs) {
+            Response::Drained {
+                rounds,
+                jobs_scheduled,
+            } => Response::Drained {
+                rounds: rounds + self.archive_metrics.rounds,
+                jobs_scheduled,
+            },
+            other => other,
+        }
+    }
+
+    /// After `bye` is flushed the daemon is gone, but a pipelined client
+    /// may already have follow-up frames in the ingest queue (or still in
+    /// a reader thread). Answer them with typed rejections — notably
+    /// `reshard` → `reshard_rejected` — for a short grace window, so the
+    /// writers' in-order release never leaves a connection waiting on a
+    /// response that will never come.
+    fn reject_late_frames(&self, ingest: &Receiver<IngestEvent>) {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            match ingest.recv_timeout(Duration::from_millis(50)) {
+                Ok(IngestEvent::Frame(Request::Reshard { .. }, reply, seq)) => {
+                    let _ = reply.send(Reply::frame(
+                        seq,
+                        &Response::ReshardRejected {
+                            message: "daemon is draining for shutdown".into(),
+                        },
+                    ));
+                }
+                Ok(IngestEvent::Frame(_, reply, seq)) => {
+                    let _ = reply.send(Reply::frame(
+                        seq,
+                        &Response::Error {
+                            message: "daemon is shutting down".into(),
+                        },
+                    ));
+                }
+                Ok(IngestEvent::BadFrame(message, reply, seq)) => {
+                    let _ = reply.send(Reply::frame(seq, &Response::Error { message }));
+                }
+                Ok(IngestEvent::Autoscale) => {}
+                Err(_) => break, // quiet (or disconnected): done
             }
         }
     }
@@ -561,9 +954,10 @@ fn derive_route(
                 sites: eligible,
             }));
         }
-        // Online eligible sites ascend, shards are contiguous runs — the
-        // mapped shard list ascends too; dedup leaves each shard once.
+        // Reshard plans need not be contiguous, so the mapped shard list
+        // need not ascend — sort before dedup to leave each shard once.
         let mut shards: Vec<usize> = online.iter().filter_map(|&s| plan.shard_of(s)).collect();
+        shards.sort_unstable();
         shards.dedup();
         match shards.as_slice() {
             [k] => match target {
@@ -684,45 +1078,6 @@ fn rejoin_site(
         }
         Ok(Err(message)) => Response::Error { message },
         Err(_) => shard_down(),
-    }
-}
-
-/// An aggregated (all-shard) query: scatter, gather, merge.
-fn aggregate_query(what: QueryWhat, shard_txs: &[Sender<ShardMsg>]) -> Response {
-    match what {
-        QueryWhat::Metrics => {
-            let per_shard: Vec<_> = gather(shard_txs, |tx| ShardMsg::GatherMetrics { reply: tx })
-                .into_iter()
-                .flatten()
-                .collect();
-            if per_shard.len() != shard_txs.len() {
-                return shard_down();
-            }
-            Response::Metrics {
-                metrics: ServeMetrics::merge(&per_shard),
-            }
-        }
-        QueryWhat::Schedule => {
-            let per_shard = gather(shard_txs, |tx| ShardMsg::GatherSchedule { reply: tx });
-            if per_shard.iter().any(Option::is_none) {
-                return shard_down();
-            }
-            // Concatenated in shard order (commit order within each
-            // shard) — deterministic, and the identity for one shard.
-            Response::Schedule {
-                assignments: per_shard.into_iter().flatten().flatten().collect(),
-            }
-        }
-        QueryWhat::Shards => {
-            let per_shard: Vec<_> = gather(shard_txs, |tx| ShardMsg::GatherInfo { reply: tx })
-                .into_iter()
-                .flatten()
-                .collect();
-            if per_shard.len() != shard_txs.len() {
-                return shard_down();
-            }
-            Response::Shards { shards: per_shard }
-        }
     }
 }
 

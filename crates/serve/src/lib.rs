@@ -26,6 +26,15 @@
 //!   request order. [`ClockMode::Virtual`] serves deterministic replays
 //!   (bit-identical to the simulator — see the golden cross-check test);
 //!   [`ClockMode::WallClock`] serves real time.
+//! * [`reshard`] — elastic topology: a `reshard` frame (or the
+//!   autoscaler, [`AutoscalePolicy`]) moves a live daemon to a new
+//!   [`ShardPlan`](gridsec_sim::ShardPlan) at a drain barrier. Per-shard
+//!   state — availability, pending queues, in-flight commits,
+//!   duplicate-id sets, STGA history snapshots — is exported, split or
+//!   merged by the pure [`transfer`](reshard::transfer) function, and
+//!   restored into factory-built sessions; the `reshard_equivalence`
+//!   suite proves the post-barrier schedule bit-identical to a cluster
+//!   booted directly on the new topology from the same state.
 //! * [`Client`] — a minimal lock-step client for tests, examples and the
 //!   `loadgen` harness.
 //!
@@ -59,10 +68,15 @@
 
 pub mod daemon;
 pub mod protocol;
+pub mod reshard;
 pub mod session;
 pub mod shard;
 
 pub use daemon::{Client, ClockMode, Daemon, DaemonOptions};
 pub use protocol::{Placed, QueryWhat, Request, Response, ServeMetrics, ShardInfo, MAX_LINE_BYTES};
-pub use session::{Admission, OnlineSession};
+pub use reshard::{
+    transfer, AutoscaleConfig, AutoscalePolicy, ReshardTransfer, SessionFactory, ShardBuildContext,
+    ShardObservation, ShardSeed, ShardStateExport,
+};
+pub use session::{Admission, OnlineSession, SessionState};
 pub use shard::{ShardPersistence, ShardSpec};

@@ -15,6 +15,7 @@
 //! {"type":"fail_site","site":2,"at":120.0}
 //! {"type":"rejoin_site","site":2,"at":300.0}
 //! {"type":"drain"}
+//! {"type":"reshard","shards":[[0,1],[2],[3]]}
 //! {"type":"shutdown"}
 //! ```
 //!
@@ -35,9 +36,14 @@
 //! when it is absent (aggregated views / a global trust update). `drain`
 //! always barriers every shard.
 //!
+//! `reshard` reshapes the topology live (elastic daemons only): the
+//! router drains every shard, transfers per-shard state to the sessions
+//! of the new plan, and swaps plans atomically — see `Request::Reshard`.
+//!
 //! Every request gets exactly one response frame (`accepted`, `busy`,
-//! `schedule`, `metrics`, `shards`, `reconfigured`, `drained`, `bye`,
-//! `route_rejected`, `unknown_shard`, or `error`). Requests may be
+//! `schedule`, `metrics`, `shards`, `reconfigured`, `drained`,
+//! `resharded`, `reshard_rejected`, `bye`, `route_rejected`,
+//! `unknown_shard`, or `error`). Requests may be
 //! pipelined: responses always come back in request order (per-client
 //! sequence numbers reorder replies arriving from different shard
 //! threads), so lock-step clients and pipelining clients both stay in
@@ -108,6 +114,18 @@ pub enum Request {
     /// Run scheduling rounds until every shard's pending queue is empty
     /// (a barrier across all shards).
     Drain,
+    /// Reshape the shard topology to an explicit target plan: at a drain
+    /// barrier, per-shard state (availability, pending queues, in-flight
+    /// commits, STGA history snapshots) transfers to the new shards and
+    /// the router swaps plans atomically. `shards` lists the global site
+    /// ids of every new shard — a full site-disjoint partition of the
+    /// grid. Only daemons started with a session factory (the elastic
+    /// mode) accept this; a malformed partition gets a typed
+    /// `reshard_rejected`.
+    Reshard {
+        /// Global site ids per new shard (every grid site exactly once).
+        shards: Vec<Vec<usize>>,
+    },
     /// Drain all shards, reply `bye`, and stop the daemon.
     Shutdown,
 }
@@ -187,6 +205,14 @@ pub struct ServeMetrics {
     /// Jobs refused with a `busy` frame by the bounded pending queue.
     #[serde(default)]
     pub busy_rejections: usize,
+    /// Topology changes completed (`reshard` frames plus autoscaler
+    /// actions applied at a drain barrier).
+    #[serde(default)]
+    pub reshards_completed: usize,
+    /// Pending or in-flight jobs whose owning shard changed across a
+    /// reshard (state moved to a shard with a different site set).
+    #[serde(default)]
+    pub jobs_migrated: usize,
 }
 
 impl ServeMetrics {
@@ -209,6 +235,8 @@ impl ServeMetrics {
             sites_rejoined: 0,
             jobs_requeued: 0,
             busy_rejections: 0,
+            reshards_completed: 0,
+            jobs_migrated: 0,
         };
         for m in per_shard {
             out.jobs_submitted += m.jobs_submitted;
@@ -224,6 +252,8 @@ impl ServeMetrics {
             out.sites_rejoined += m.sites_rejoined;
             out.jobs_requeued += m.jobs_requeued;
             out.busy_rejections += m.busy_rejections;
+            out.reshards_completed += m.reshards_completed;
+            out.jobs_migrated += m.jobs_migrated;
         }
         out
     }
@@ -345,6 +375,25 @@ pub enum Response {
         /// The shards holding sites the job is eligible on (empty when
         /// it fits nowhere).
         shards: Vec<usize>,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// Topology change applied: state transferred, sessions respawned,
+    /// the router now serves the new plan (response to `reshard` or
+    /// reported for autoscaler actions via metrics counters).
+    Resharded {
+        /// Shards in the new plan.
+        shards: usize,
+        /// Pending/in-flight jobs whose owning shard changed.
+        jobs_migrated: usize,
+        /// Total topology changes this daemon has completed.
+        reshards_completed: usize,
+    },
+    /// The `reshard` request was refused — malformed partition, no
+    /// session factory, a session failed to rebuild, or the daemon is
+    /// draining for shutdown. The previous topology keeps serving
+    /// untouched.
+    ReshardRejected {
         /// Human-readable explanation.
         message: String,
     },
@@ -495,6 +544,9 @@ mod tests {
                 at: Some(Time::new(300.0)),
             },
             Request::Drain,
+            Request::Reshard {
+                shards: vec![vec![0, 1], vec![2], vec![3]],
+            },
             Request::Shutdown,
         ];
         for f in frames {
@@ -559,6 +611,8 @@ mod tests {
         assert_eq!(m.sites_failed, 0);
         assert_eq!(m.jobs_requeued, 0);
         assert_eq!(m.busy_rejections, 0);
+        assert_eq!(m.reshards_completed, 0);
+        assert_eq!(m.jobs_migrated, 0);
     }
 
     #[test]
@@ -577,6 +631,8 @@ mod tests {
             sites_rejoined: 1,
             jobs_requeued: 2,
             busy_rejections: 4,
+            reshards_completed: 1,
+            jobs_migrated: 2,
         };
         let b = ServeMetrics {
             jobs_submitted: 5,
@@ -592,6 +648,8 @@ mod tests {
             sites_rejoined: 0,
             jobs_requeued: 3,
             busy_rejections: 0,
+            reshards_completed: 0,
+            jobs_migrated: 3,
         };
         let m = ServeMetrics::merge(&[a.clone(), b]);
         assert_eq!(m.jobs_submitted, 8);
@@ -607,6 +665,8 @@ mod tests {
         assert_eq!(m.sites_rejoined, 1);
         assert_eq!(m.jobs_requeued, 5);
         assert_eq!(m.busy_rejections, 4);
+        assert_eq!(m.reshards_completed, 1);
+        assert_eq!(m.jobs_migrated, 5);
         // Merging one shard is the identity.
         assert_eq!(ServeMetrics::merge(std::slice::from_ref(&a)), a);
     }
@@ -661,6 +721,14 @@ mod tests {
                 job: JobId(11),
                 sites: vec![SiteId(0), SiteId(2)],
                 message: "all eligible sites offline".into(),
+            },
+            Response::Resharded {
+                shards: 4,
+                jobs_migrated: 3,
+                reshards_completed: 2,
+            },
+            Response::ReshardRejected {
+                message: "site 1 appears in more than one shard".into(),
             },
             Response::UnknownShard {
                 shard: 7,

@@ -45,6 +45,33 @@ pub enum Admission {
     },
 }
 
+/// A session's transferable state, in the session's *local* site ids: the
+/// snapshot [`OnlineSession::export_state`] takes at a reshard drain
+/// barrier and [`OnlineSession::restore`] rebuilds a successor session
+/// from. The reshard transfer layer translates between local and global
+/// site ids and redistributes the pieces across the new shard plan.
+///
+/// Cumulative counters and the committed-schedule history are *not* part
+/// of session state — the daemon archives them at the barrier, so
+/// aggregated metrics and schedules stay continuous across topologies.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The virtual clock at export.
+    pub clock: Time,
+    /// Per local site: the node free-time multiset and the offline flag.
+    pub sites: Vec<(Vec<Time>, bool)>,
+    /// The pending queue, in submission order.
+    pub pending: Vec<BatchJob>,
+    /// Tracked in-flight commits `(job, local site, end)`, in commit
+    /// order — the reservations a later `fail_site` could requeue.
+    pub inflight: Vec<(Job, SiteId, Time)>,
+    /// Standing commit counts per job, sorted by job id.
+    pub live: Vec<(JobId, u32)>,
+    /// Every job id the session has accepted, sorted (duplicate-id
+    /// protection must survive the transfer).
+    pub known: Vec<JobId>,
+}
+
 /// A live scheduling session over one grid and one scheduler.
 pub struct OnlineSession {
     rounds: RoundDriver,
@@ -340,7 +367,83 @@ impl OnlineSession {
             sites_rejoined: self.sites_rejoined,
             jobs_requeued: self.jobs_requeued,
             busy_rejections: self.busy_rejections,
+            // Resharding is a router-level operation; sessions never see
+            // it. The daemon's archive carries these.
+            reshards_completed: 0,
+            jobs_migrated: 0,
         }
+    }
+
+    /// Snapshots the transferable session state (local site ids). Taken
+    /// at a drain barrier: every queued boundary has fired, so the clock
+    /// and availability fully describe the session and no armed-boundary
+    /// state needs to travel.
+    pub fn export_state(&self) -> SessionState {
+        let mut live: Vec<(JobId, u32)> = self.live.iter().map(|(&id, &n)| (id, n)).collect();
+        live.sort_unstable_by_key(|&(id, _)| id.0);
+        let mut known: Vec<JobId> = self.known_jobs.iter().copied().collect();
+        known.sort_unstable_by_key(|id| id.0);
+        SessionState {
+            clock: self.clock.now(),
+            sites: self
+                .rounds
+                .avail()
+                .iter()
+                .zip(self.rounds.offline_mask())
+                .map(|(a, &offline)| (a.free_times().to_vec(), offline))
+                .collect(),
+            pending: self.rounds.pending_jobs().to_vec(),
+            inflight: self.rounds.inflight_commits(),
+            live,
+            known,
+        }
+    }
+
+    /// Opens a session pre-loaded with transferred state: the successor
+    /// of a resharded session. The clock resumes at the exported instant,
+    /// per-site availability (and offline flags) is restored, pending
+    /// jobs re-enter the queue in order, and in-flight commits are
+    /// re-adopted for the zero-lost-jobs guarantee. Counters and the
+    /// committed history start at zero — the daemon archives the
+    /// pre-reshard totals.
+    ///
+    /// `state.sites` must cover the grid exactly. No boundary is armed:
+    /// this mirrors the exporting session's post-drain state, and the
+    /// next submission or churn event re-arms exactly as it would have
+    /// there.
+    pub fn restore(
+        grid: Grid,
+        scheduler: Box<dyn BatchScheduler + Send>,
+        config: &SimConfig,
+        state: SessionState,
+    ) -> Result<OnlineSession> {
+        let mut s = OnlineSession::new(grid, scheduler, config)?;
+        if state.sites.len() != s.rounds.grid().len() {
+            return Err(Error::invalid(
+                "restore",
+                format!(
+                    "state carries {} sites but the grid has {}",
+                    state.sites.len(),
+                    s.rounds.grid().len()
+                ),
+            ));
+        }
+        s.clock.advance_to(state.clock);
+        for (i, (free, offline)) in state.sites.into_iter().enumerate() {
+            s.rounds.restore_site_state(SiteId(i), free, offline)?;
+        }
+        for bj in state.pending {
+            s.rounds.enqueue(bj);
+        }
+        for (job, site, end) in state.inflight {
+            if site.0 >= s.rounds.grid().len() {
+                return Err(Error::UnknownSite(site.0));
+            }
+            s.rounds.adopt_inflight(job, site, end);
+        }
+        s.live = state.live.into_iter().collect();
+        s.known_jobs = state.known.into_iter().collect();
+        Ok(s)
     }
 
     /// Fires every queued boundary strictly before `t` — the engine pops
@@ -668,6 +771,58 @@ mod tests {
             .unwrap();
         assert_eq!(s.metrics().rounds, 1);
         assert_eq!(s.now(), Time::new(12.0));
+    }
+
+    #[test]
+    fn export_restore_resumes_bit_identically() {
+        // Two sessions: one keeps running, the other is exported at a
+        // drain barrier and restored into a fresh session. Fed the same
+        // suffix, the restored session must commit the identical
+        // schedule — the single-shard kernel of the reshard-equivalence
+        // proof.
+        let mut a = session(BatchPolicy::Periodic);
+        let mut b = session(BatchPolicy::Periodic);
+        for s in [&mut a, &mut b] {
+            s.submit(job(0, 1.0, 100.0)).unwrap();
+            s.submit(job(1, 2.0, 40.0)).unwrap();
+            s.drain().unwrap();
+        }
+        let state = b.export_state();
+        assert_eq!(state.pending.len(), 0);
+        assert_eq!(state.live.len(), 2);
+        assert_eq!(state.inflight.len(), 2);
+        let config = SimConfig::default()
+            .with_interval(Time::new(10.0))
+            .with_batch_policy(BatchPolicy::Periodic);
+        let mut b2 =
+            OnlineSession::restore(grid(), Box::new(EarliestCompletion), &config, state).unwrap();
+        assert_eq!(b2.now(), a.now());
+        // Duplicate-id protection survives the transfer.
+        assert!(b2.submit(job(0, b2.now().seconds(), 1.0)).is_err());
+        let before_a = a.assignments().len();
+        for s in [&mut a, &mut b2] {
+            s.submit(job(7, 30.0, 25.0)).unwrap();
+            s.submit(job(8, 31.0, 5.0)).unwrap();
+            s.drain().unwrap();
+        }
+        let suffix_a = &a.assignments()[before_a..];
+        assert_eq!(suffix_a, b2.assignments());
+        // A site failure after restore still requeues the transferred
+        // in-flight work (zero lost jobs across the barrier).
+        let mut c = session(BatchPolicy::Periodic);
+        c.submit(job(0, 1.0, 100.0)).unwrap();
+        c.drain().unwrap();
+        let placed_site = c.assignments()[0].site;
+        let mut c2 = OnlineSession::restore(
+            grid(),
+            Box::new(EarliestCompletion),
+            &config,
+            c.export_state(),
+        )
+        .unwrap();
+        let stranded = c2.fail_site(placed_site, None).unwrap();
+        assert_eq!(stranded, vec![JobId(0)]);
+        assert_eq!(c2.pending(), 1);
     }
 
     #[test]

@@ -46,14 +46,20 @@ pub struct ShardSpec {
     pub session: OnlineSession,
     /// Optional scheduler-state persistence.
     pub persist: Option<ShardPersistence>,
+    /// Optional scheduler-history snapshot (e.g. `SharedHistory::to_json`)
+    /// taken at the reshard barrier so history-backed schedulers carry
+    /// their learned tables onto the new topology. Independent of
+    /// `persist`: a daemon can reshard without any state files.
+    pub history: Option<Box<dyn Fn() -> String + Send>>,
 }
 
 impl ShardSpec {
-    /// A shard without persistence.
+    /// A shard without persistence or a history snapshot.
     pub fn new(session: OnlineSession) -> ShardSpec {
         ShardSpec {
             session,
             persist: None,
+            history: None,
         }
     }
 }
@@ -116,6 +122,17 @@ pub(crate) enum ShardMsg {
     GatherDrain {
         reply: Sender<Result<(usize, usize), String>>,
     },
+    /// Export the shard's full state (global site ids) for a reshard and
+    /// **hold**: after replying, the shard accepts only `Stop` or
+    /// `Resume`, so nothing (in particular no wall-clock timer round)
+    /// mutates the session between the export and its fate.
+    GatherState {
+        reply: Sender<crate::reshard::ShardStateExport>,
+    },
+    /// Leave the post-`GatherState` hold and return to normal serving —
+    /// sent when a reshard aborts (bad plan, factory failure) and the old
+    /// shards live on.
+    Resume,
     /// Persist state and exit the shard thread.
     Stop { done: Sender<()> },
 }
@@ -130,6 +147,7 @@ pub(crate) struct ShardRuntime {
     pub start: Instant,
     pub max_pending: Option<usize>,
     pub persist: Option<ShardPersistence>,
+    pub history: Option<Box<dyn Fn() -> String + Send>>,
 }
 
 impl ShardRuntime {
@@ -239,6 +257,33 @@ impl ShardRuntime {
                         .map_err(|e| format!("shard {}: {e}", self.shard));
                     let _ = reply.send(result);
                 }
+                ShardMsg::GatherState { reply } => {
+                    let _ = reply.send(self.export());
+                    // Hold: the state just exported must stay the truth
+                    // until the router decides (swap → Stop, abort →
+                    // Resume). The plain recv() also parks the wall-clock
+                    // timer. The router is single-threaded, so nothing
+                    // else can arrive here.
+                    loop {
+                        match rx.recv() {
+                            Ok(ShardMsg::Resume) => break,
+                            Ok(ShardMsg::Stop { done }) => {
+                                self.save_state();
+                                let _ = done.send(());
+                                return;
+                            }
+                            // Dropping any other message drops its reply
+                            // sender, surfacing as a shard-down error at
+                            // the router rather than a deadlock.
+                            Ok(_) => {}
+                            Err(_) => {
+                                self.save_state();
+                                return;
+                            }
+                        }
+                    }
+                }
+                ShardMsg::Resume => {}
                 ShardMsg::Stop { done } => {
                     self.save_state();
                     let _ = done.send(());
@@ -311,6 +356,33 @@ impl ShardRuntime {
             QueryWhat::Shards => Response::Shards {
                 shards: vec![self.info()],
             },
+        }
+    }
+
+    /// The shard's full state for a reshard transfer, translated to
+    /// global site ids.
+    fn export(&self) -> crate::reshard::ShardStateExport {
+        let st = self.session.export_state();
+        crate::reshard::ShardStateExport {
+            shard: self.shard,
+            clock: st.clock,
+            sites: st
+                .sites
+                .iter()
+                .enumerate()
+                .map(|(i, (free, offline))| (self.global_sites[i], free.clone(), *offline))
+                .collect(),
+            pending: st.pending,
+            inflight: st
+                .inflight
+                .into_iter()
+                .map(|(job, site, end)| (job, self.global_sites[site.0], end))
+                .collect(),
+            live: st.live,
+            known: st.known,
+            history_json: self.history.as_ref().map(|f| f()),
+            metrics: self.session.metrics(),
+            schedule: self.global_schedule(),
         }
     }
 

@@ -25,7 +25,7 @@ use gridsec_core::{Grid, Job, Site, Time};
 use gridsec_heuristics::MinMin;
 use gridsec_serve::{
     Client, Daemon, DaemonOptions, OnlineSession, Placed, QueryWhat, Request, Response,
-    ServeMetrics, ShardSpec,
+    ServeMetrics, SessionFactory, ShardSpec,
 };
 use gridsec_sim::scheduler::EarliestCompletion;
 use gridsec_sim::{
@@ -524,6 +524,412 @@ fn site_loss_mid_round_over_the_wire() {
     assert_eq!(metrics.jobs_requeued, 1);
 
     match client.send(&Request::Shutdown).unwrap() {
+        Response::Bye => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    daemon.join();
+}
+
+/// A session factory for the elastic tests below: rebuilds an MCT
+/// session over each new subgrid from the transferred seed.
+fn mct_factory(config: SimConfig) -> SessionFactory {
+    Box::new(move |ctx| {
+        OnlineSession::restore(ctx.subgrid, Box::new(EarliestCompletion), &config, ctx.seed)
+            .map(ShardSpec::new)
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// A `site_down` that lands on a reshard barrier: the dead site's shard
+/// is merged away while its stranded job sits pending. The job must
+/// migrate with the shard state, the router-global offline set must
+/// survive the plan swap (routing still refuses the site, double-fail
+/// is still caught), and a rejoin addressed at the *new* owning shard
+/// must restore service. Books balance at every stage.
+#[test]
+fn site_down_lands_on_a_reshard_barrier_without_losing_jobs() {
+    let grid = Grid::new(vec![
+        Site::builder(0)
+            .nodes(1)
+            .speed(1.0)
+            .security_level(0.95)
+            .build()
+            .unwrap(),
+        Site::builder(1)
+            .nodes(4)
+            .speed(1.0)
+            .security_level(0.95)
+            .build()
+            .unwrap(),
+    ])
+    .unwrap();
+    let config = SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(BatchPolicy::Periodic)
+        .with_seed(7);
+    let plan = ShardPlan::contiguous(&grid, 2).unwrap();
+    let shards = (0..2)
+        .map(|k| {
+            let sub = plan.subgrid(&grid, k).unwrap();
+            ShardSpec::new(OnlineSession::new(sub, Box::new(EarliestCompletion), &config).unwrap())
+        })
+        .collect();
+    let daemon = Daemon::spawn_elastic(
+        grid.clone(),
+        plan,
+        shards,
+        mct_factory(config),
+        None,
+        "127.0.0.1:0",
+        DaemonOptions::default(),
+    )
+    .expect("daemon spawns");
+    let mut client = Client::connect(daemon.addr()).expect("client connects");
+
+    let job = |id: u64, arrival: f64, width: u32| {
+        Job::builder(id)
+            .arrival(Time::new(arrival))
+            .width(width)
+            .work(20.0)
+            .security_demand(0.3)
+            .build()
+            .unwrap()
+    };
+    // The wide job only fits site 1 (shard 1); the narrow one goes to
+    // shard 0 and schedules normally at the first boundary.
+    for (shard, j) in [(1usize, job(0, 1.0, 4)), (0, job(1, 2.0, 1))] {
+        match client
+            .send(&Request::Submit {
+                jobs: vec![j],
+                shard: Some(shard),
+            })
+            .expect("submit frame")
+        {
+            Response::Accepted { jobs: 1, .. } => {}
+            other => panic!("submit rejected: {other:?}"),
+        }
+    }
+    // Site 1 dies before the first boundary: the wide job is stranded
+    // pending (nothing was in flight, so nothing to requeue).
+    match client
+        .send(&Request::FailSite {
+            site: 1,
+            at: Some(Time::new(5.0)),
+        })
+        .expect("fail frame")
+    {
+        Response::SiteFailed {
+            site: 1,
+            requeued: 0,
+            ..
+        } => {}
+        other => panic!("fail_site failed: {other:?}"),
+    }
+    // Merge both shards while the site is down. Both jobs change owner
+    // (the merged shard has a new site set), so both count as migrated:
+    // the stranded pending job and the already-committed narrow one.
+    match client
+        .send(&Request::Reshard {
+            shards: vec![vec![0, 1]],
+        })
+        .expect("reshard frame")
+    {
+        Response::Resharded {
+            shards: 1,
+            jobs_migrated,
+            reshards_completed: 1,
+        } => assert_eq!(jobs_migrated, 2, "pending + in-flight jobs migrate"),
+        other => panic!("reshard failed: {other:?}"),
+    }
+    // Mid-flight ledger: one job scheduled at the barrier drain, one
+    // still pending behind the dead site — nothing lost in the move.
+    match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .expect("metrics query")
+    {
+        Response::Metrics { metrics } => {
+            assert_eq!(metrics.jobs_submitted, 2);
+            assert_eq!(metrics.jobs_scheduled, 1);
+            assert_eq!(metrics.pending, 1);
+            assert_eq!(metrics.sites_failed, 1, "failure counter survives the swap");
+        }
+        other => panic!("metrics query failed: {other:?}"),
+    }
+    // The offline set survived the swap: derived routing to the dead
+    // site is refused, and so is a second failure of the same site.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(2, 20.0, 4)],
+            shard: None,
+        })
+        .expect("submit frame")
+    {
+        Response::SiteOffline { .. } => {}
+        other => panic!("expected site_offline on derived routing: {other:?}"),
+    }
+    match client
+        .send(&Request::FailSite { site: 1, at: None })
+        .expect("fail frame")
+    {
+        Response::Error { message } => assert!(
+            message.contains("already offline"),
+            "unexpected error: {message}"
+        ),
+        other => panic!("double-fail not caught: {other:?}"),
+    }
+    // Rejoin lands on the merged shard that now owns the site.
+    match client
+        .send(&Request::RejoinSite {
+            site: 1,
+            at: Some(Time::new(40.0)),
+        })
+        .expect("rejoin frame")
+    {
+        Response::SiteRejoined { site: 1, .. } => {}
+        other => panic!("rejoin failed: {other:?}"),
+    }
+    // Service restored: the wide job (and a fresh one) now schedule.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(2, 41.0, 4)],
+            shard: None,
+        })
+        .expect("submit frame")
+    {
+        Response::Accepted { jobs: 1, .. } => {}
+        other => panic!("post-rejoin submit rejected: {other:?}"),
+    }
+    match client.send(&Request::Drain).expect("drain frame") {
+        Response::Drained { .. } => {}
+        other => panic!("drain failed: {other:?}"),
+    }
+    match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .expect("metrics query")
+    {
+        Response::Metrics { metrics } => {
+            assert_eq!(metrics.jobs_submitted, 3);
+            assert_eq!(
+                metrics.jobs_scheduled, 3,
+                "the migrated job ran after rejoin"
+            );
+            assert_eq!(metrics.pending, 0);
+            assert_eq!(metrics.sites_failed, 1);
+            assert_eq!(metrics.sites_rejoined, 1);
+            assert_eq!(metrics.reshards_completed, 1);
+            assert_eq!(metrics.jobs_migrated, 2);
+        }
+        other => panic!("metrics query failed: {other:?}"),
+    }
+    match client.send(&Request::Shutdown).expect("shutdown frame") {
+        Response::Bye => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    daemon.join();
+}
+
+/// A full churn scenario replayed across a reshard boundary: the first
+/// half of the compiled stream runs on 2 shards, the daemon reshards to
+/// 4 mid-stream (with faults and trust churn on both sides of the
+/// barrier), and the remainder replays on the new topology. The suffix
+/// is re-stamped past the barrier so it stays admissible after the
+/// drain advances the shard clocks. Every submitted job must end the
+/// run scheduled or pending, the churn counters must add up across the
+/// swap, and every post-swap commit must respect the new plan.
+#[test]
+fn scenario_replay_spanning_a_reshard_boundary_stays_accounted() {
+    let grid = grid();
+    let stream = churn_scenario(grid.len()).compile(&grid).expect("compiles");
+    let config = sim_config();
+    let plan1 = ShardPlan::contiguous(&grid, 2).unwrap();
+    let plan2 = ShardPlan::contiguous(&grid, 4).unwrap();
+
+    let shards = (0..plan1.n_shards())
+        .map(|k| {
+            let sub = plan1.subgrid(&grid, k).unwrap();
+            ShardSpec::new(OnlineSession::new(sub, Box::new(EarliestCompletion), &config).unwrap())
+        })
+        .collect();
+    let daemon = Daemon::spawn_elastic(
+        grid.clone(),
+        plan1.clone(),
+        shards,
+        mct_factory(config.clone()),
+        None,
+        "127.0.0.1:0",
+        DaemonOptions::default(),
+    )
+    .expect("daemon spawns");
+    let mut client = Client::connect(daemon.addr()).expect("client connects");
+
+    // Reshard once half the stream (by time) has been replayed. The
+    // barrier drain advances shard clocks to the next periodic boundary,
+    // so suffix stamps are clamped past the boundary after the last
+    // prefix instant (one extra interval of slack).
+    let split_at = 200.0;
+    let interval = 30.0;
+    let max_prefix = stream
+        .events
+        .iter()
+        .map(|inj| inj.at.seconds())
+        .filter(|at| *at < split_at)
+        .fold(0.0f64, f64::max);
+    let barrier = ((max_prefix / interval).floor() + 2.0) * interval;
+
+    let mut submitted = 0usize;
+    let mut fails = 0usize;
+    let mut rejoins = 0usize;
+    let mut resharded = false;
+    for inj in &stream.events {
+        let past = inj.at.seconds() >= split_at;
+        if past && !resharded {
+            let new_shards: Vec<Vec<usize>> = (0..plan2.n_shards())
+                .map(|k| plan2.sites_of(k).iter().map(|s| s.0).collect())
+                .collect();
+            match client
+                .send(&Request::Reshard { shards: new_shards })
+                .expect("reshard frame")
+            {
+                Response::Resharded {
+                    shards: 4,
+                    reshards_completed: 1,
+                    ..
+                } => {}
+                other => panic!("reshard failed: {other:?}"),
+            }
+            resharded = true;
+        }
+        let plan = if past { &plan2 } else { &plan1 };
+        let at = if past {
+            Time::new(inj.at.seconds().max(barrier))
+        } else {
+            inj.at
+        };
+        match &inj.kind {
+            InjectionKind::Arrive(job) => {
+                let eligible = plan.eligible_shards(&grid, job);
+                if eligible.is_empty() {
+                    continue;
+                }
+                let shard = eligible[job.id.0 as usize % eligible.len()];
+                let mut job = job.clone();
+                job.arrival = Time::new(job.arrival.seconds().max(at.seconds()));
+                match client
+                    .send(&Request::Submit {
+                        jobs: vec![job],
+                        shard: Some(shard),
+                    })
+                    .expect("submit frame")
+                {
+                    Response::Accepted { jobs: 1, .. } => submitted += 1,
+                    other => panic!("submit rejected: {other:?}"),
+                }
+            }
+            InjectionKind::SiteFail(site) => {
+                match client
+                    .send(&Request::FailSite {
+                        site: site.0,
+                        at: Some(at),
+                    })
+                    .expect("fail frame")
+                {
+                    Response::SiteFailed { site: s, .. } => {
+                        assert_eq!(s, site.0);
+                        fails += 1;
+                    }
+                    other => panic!("fail_site rejected: {other:?}"),
+                }
+            }
+            InjectionKind::SiteRejoin(site) => {
+                match client
+                    .send(&Request::RejoinSite {
+                        site: site.0,
+                        at: Some(at),
+                    })
+                    .expect("rejoin frame")
+                {
+                    Response::SiteRejoined { site: s, .. } => {
+                        assert_eq!(s, site.0);
+                        rejoins += 1;
+                    }
+                    other => panic!("rejoin_site rejected: {other:?}"),
+                }
+            }
+            InjectionKind::SetTrust(levels) => {
+                match client
+                    .send(&Request::Reconfigure {
+                        security_levels: levels.clone(),
+                        shard: None,
+                        at: Some(at),
+                    })
+                    .expect("reconfigure frame")
+                {
+                    Response::Reconfigured { .. } => {}
+                    other => panic!("reconfigure rejected: {other:?}"),
+                }
+            }
+        }
+    }
+    assert!(resharded, "the scenario must span the reshard boundary");
+    match client.send(&Request::Drain).expect("drain frame") {
+        Response::Drained { .. } => {}
+        other => panic!("drain failed: {other:?}"),
+    }
+    // Post-swap commits must respect the new topology: every site a new
+    // shard reports is one the shard owns under plan2.
+    for k in 0..plan2.n_shards() {
+        match client
+            .send(&Request::Query {
+                what: QueryWhat::Schedule,
+                shard: Some(k),
+            })
+            .expect("per-shard query")
+        {
+            Response::Schedule { assignments } => {
+                for p in &assignments {
+                    assert_eq!(
+                        plan2.shard_of(p.site),
+                        Some(k),
+                        "job {} committed to site {} outside shard {k}",
+                        p.job,
+                        p.site
+                    );
+                }
+            }
+            other => panic!("per-shard query failed: {other:?}"),
+        }
+    }
+    match client
+        .send(&Request::Query {
+            what: QueryWhat::Metrics,
+            shard: None,
+        })
+        .expect("metrics query")
+    {
+        Response::Metrics { metrics } => {
+            assert_eq!(metrics.jobs_submitted, submitted);
+            assert_eq!(
+                metrics.jobs_scheduled + metrics.pending,
+                submitted,
+                "every job submitted across the boundary is scheduled or pending"
+            );
+            assert_eq!(metrics.sites_failed, fails);
+            assert_eq!(metrics.sites_rejoined, rejoins);
+            assert_eq!(metrics.reshards_completed, 1);
+            assert!(
+                submitted > 0 && fails > 0,
+                "the scenario must exercise churn"
+            );
+        }
+        other => panic!("metrics query failed: {other:?}"),
+    }
+    match client.send(&Request::Shutdown).expect("shutdown frame") {
         Response::Bye => {}
         other => panic!("shutdown failed: {other:?}"),
     }

@@ -3,7 +3,7 @@
 //! drained shard, and two tenants on different shards interleaving
 //! deterministically.
 
-use gridsec_core::{Grid, Job, JobId, Site, Time};
+use gridsec_core::{Grid, Job, JobId, Site, SiteId, Time};
 use gridsec_serve::{
     Client, Daemon, DaemonOptions, OnlineSession, Placed, QueryWhat, Request, Response, ShardSpec,
 };
@@ -396,4 +396,175 @@ fn two_tenants_on_different_shards_interleave_deterministically() {
         );
         assert_eq!(per_shard[k].len(), 5);
     }
+}
+
+/// Reshard plans need not be contiguous. With shard 0 = {S1} and
+/// shard 1 = {S0, S2, S3}, the site→shard map is not ascending: derived
+/// routing must still find a single owner when one exists, and a
+/// spanning rejection must list each candidate shard exactly once,
+/// ascending — not once per eligible site.
+#[test]
+fn non_contiguous_plans_route_and_list_each_shard_once() {
+    let grid = grid();
+    let config = SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(BatchPolicy::Periodic);
+    let plan = ShardPlan::from_shards(
+        &grid,
+        vec![vec![SiteId(1)], vec![SiteId(0), SiteId(2), SiteId(3)]],
+    )
+    .unwrap();
+    let shards: Vec<ShardSpec> = (0..2)
+        .map(|k| {
+            let sub = plan.subgrid(&grid, k).unwrap();
+            ShardSpec::new(OnlineSession::new(sub, Box::new(EarliestCompletion), &config).unwrap())
+        })
+        .collect();
+    let daemon =
+        Daemon::spawn_sharded(grid, plan, shards, "127.0.0.1:0", DaemonOptions::default()).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    // Width 5 fits only S2 and S3 — both shard 1 despite the gap in the
+    // site list — so derived routing lands there unambiguously.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(0, 1.0, 30.0, 5)],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::Accepted {
+            jobs: 1, shard: 1, ..
+        } => {}
+        other => panic!("derived routing on the gapped shard failed: {other:?}"),
+    }
+    // Width 1 fits every site; the eligible shard walk visits shard 1
+    // three times and shard 0 once, out of order. The rejection must
+    // still name each shard exactly once, ascending.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(1, 2.0, 30.0, 1)],
+            shard: None,
+        })
+        .unwrap()
+    {
+        Response::RouteRejected { job, shards, .. } => {
+            assert_eq!(job, JobId(1));
+            assert_eq!(shards, vec![0, 1], "each shard once, ascending");
+        }
+        other => panic!("expected route_rejected, got {other:?}"),
+    }
+    // The rejected frame enqueued nothing; an explicit shard works.
+    match client
+        .send(&Request::Submit {
+            jobs: vec![job(1, 2.0, 30.0, 1)],
+            shard: Some(0),
+        })
+        .unwrap()
+    {
+        Response::Accepted {
+            jobs: 1, shard: 0, ..
+        } => {}
+        other => panic!("explicit submit failed: {other:?}"),
+    }
+    assert!(matches!(
+        client.send(&Request::Drain).unwrap(),
+        Response::Drained {
+            jobs_scheduled: 2,
+            ..
+        }
+    ));
+    shutdown(&mut client, daemon);
+}
+
+/// After a reshard the introspection surface must describe the *new*
+/// topology: `shards` lists the new partition, per-shard queries accept
+/// the new ids, and `unknown_shard` reports the new shard count.
+#[test]
+fn shards_query_reflects_the_new_topology_after_reshard() {
+    let grid = grid();
+    let config = SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(BatchPolicy::Periodic);
+    let plan = ShardPlan::contiguous(&grid, 2).unwrap();
+    let shards = (0..2)
+        .map(|k| {
+            let sub = plan.subgrid(&grid, k).unwrap();
+            ShardSpec::new(OnlineSession::new(sub, Box::new(EarliestCompletion), &config).unwrap())
+        })
+        .collect();
+    let factory: gridsec_serve::SessionFactory = Box::new({
+        let config = config.clone();
+        move |ctx| {
+            OnlineSession::restore(ctx.subgrid, Box::new(EarliestCompletion), &config, ctx.seed)
+                .map(ShardSpec::new)
+                .map_err(|e| e.to_string())
+        }
+    });
+    let daemon = Daemon::spawn_elastic(
+        grid,
+        plan,
+        shards,
+        factory,
+        None,
+        "127.0.0.1:0",
+        DaemonOptions::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let topology = |client: &mut Client| -> Vec<(usize, Vec<usize>)> {
+        match client
+            .send(&Request::Query {
+                what: QueryWhat::Shards,
+                shard: None,
+            })
+            .unwrap()
+        {
+            Response::Shards { shards } => shards
+                .into_iter()
+                .map(|s| (s.shard, s.sites.iter().map(|x| x.0).collect()))
+                .collect(),
+            other => panic!("shards query failed: {other:?}"),
+        }
+    };
+    assert_eq!(
+        topology(&mut client),
+        vec![(0, vec![0, 1]), (1, vec![2, 3])]
+    );
+    match client
+        .send(&Request::Reshard {
+            shards: vec![vec![0], vec![1], vec![2], vec![3]],
+        })
+        .unwrap()
+    {
+        Response::Resharded { shards: 4, .. } => {}
+        other => panic!("reshard failed: {other:?}"),
+    }
+    assert_eq!(
+        topology(&mut client),
+        vec![(0, vec![0]), (1, vec![1]), (2, vec![2]), (3, vec![3]),]
+    );
+    // Per-shard addressing accepts the new ids and refuses stale ones
+    // with the new shard count.
+    assert!(matches!(
+        client
+            .send(&Request::Query {
+                what: QueryWhat::Metrics,
+                shard: Some(3),
+            })
+            .unwrap(),
+        Response::Metrics { .. }
+    ));
+    assert_eq!(
+        client
+            .send(&Request::Query {
+                what: QueryWhat::Metrics,
+                shard: Some(7),
+            })
+            .unwrap(),
+        Response::UnknownShard {
+            shard: 7,
+            n_shards: 4,
+        }
+    );
+    shutdown(&mut client, daemon);
 }

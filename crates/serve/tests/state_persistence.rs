@@ -77,6 +77,7 @@ fn spawn(state_prefix: &std::path::Path, histories: [SharedHistory; 2]) -> Daemo
                     path: state_path(state_prefix, k),
                     snapshot: Box::new(move || history.to_json()),
                 }),
+                history: None,
             }
         })
         .collect();

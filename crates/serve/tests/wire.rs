@@ -7,9 +7,10 @@
 use gridsec_core::{Grid, Job, JobId, Site, Time};
 use gridsec_serve::{
     Client, ClockMode, Daemon, DaemonOptions, OnlineSession, QueryWhat, Request, Response,
+    SessionFactory, ShardSpec,
 };
 use gridsec_sim::scheduler::EarliestCompletion;
-use gridsec_sim::{BatchPolicy, SimConfig};
+use gridsec_sim::{BatchPolicy, ShardPlan, SimConfig};
 use std::io::Write;
 use std::net::TcpStream;
 
@@ -353,5 +354,174 @@ fn wall_clock_mode_fires_timeout_boundaries() {
         }
     }
     assert_eq!(scheduled, 1, "timer boundary never fired");
+    shutdown(&mut client, daemon);
+}
+
+/// An elastic daemon over the two-site grid: `n_shards` MCT shards plus
+/// a session factory, so `reshard` frames are accepted.
+fn spawn_elastic(n_shards: usize) -> Daemon {
+    let grid = grid();
+    let config = SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(BatchPolicy::Periodic);
+    let plan = ShardPlan::contiguous(&grid, n_shards).unwrap();
+    let shards = (0..n_shards)
+        .map(|k| {
+            let sub = plan.subgrid(&grid, k).unwrap();
+            ShardSpec::new(OnlineSession::new(sub, Box::new(EarliestCompletion), &config).unwrap())
+        })
+        .collect();
+    let factory: SessionFactory = Box::new({
+        let config = config.clone();
+        move |ctx| {
+            OnlineSession::restore(ctx.subgrid, Box::new(EarliestCompletion), &config, ctx.seed)
+                .map(ShardSpec::new)
+                .map_err(|e| e.to_string())
+        }
+    });
+    Daemon::spawn_elastic(
+        grid,
+        plan,
+        shards,
+        factory,
+        None,
+        "127.0.0.1:0",
+        DaemonOptions::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn reshard_on_a_static_daemon_is_refused_cleanly() {
+    let daemon = spawn_daemon(BatchPolicy::Periodic, DaemonOptions::default());
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    match client
+        .send(&Request::Reshard {
+            shards: vec![vec![0], vec![1]],
+        })
+        .unwrap()
+    {
+        Response::ReshardRejected { message } => assert!(
+            message.contains("session factory"),
+            "unexpected rejection: {message}"
+        ),
+        other => panic!("expected reshard_rejected, got {other:?}"),
+    }
+    // The refusal is clean: the connection and the topology still serve.
+    assert!(matches!(
+        client
+            .send(&Request::Query {
+                what: QueryWhat::Metrics,
+                shard: None,
+            })
+            .unwrap(),
+        Response::Metrics { .. }
+    ));
+    shutdown(&mut client, daemon);
+}
+
+#[test]
+fn malformed_reshard_specs_get_typed_rejections() {
+    let daemon = spawn_elastic(1);
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    // Empty partition, duplicated site, out-of-range site, missing site:
+    // each is a typed rejection that leaves the old topology serving.
+    let malformed: &[&[&[usize]]] = &[&[], &[&[0, 0], &[1]], &[&[0], &[1, 2]], &[&[0]]];
+    for spec in malformed {
+        let shards: Vec<Vec<usize>> = spec.iter().map(|s| s.to_vec()).collect();
+        match client.send(&Request::Reshard { shards }).unwrap() {
+            Response::ReshardRejected { message } => assert!(
+                message.contains("invalid reshard plan") || message.contains("shard"),
+                "unexpected rejection for {spec:?}: {message}"
+            ),
+            other => panic!("expected reshard_rejected for {spec:?}, got {other:?}"),
+        }
+    }
+    // A well-formed partition still goes through afterwards.
+    match client
+        .send(&Request::Reshard {
+            shards: vec![vec![0], vec![1]],
+        })
+        .unwrap()
+    {
+        Response::Resharded {
+            shards: 2,
+            reshards_completed: 1,
+            ..
+        } => {}
+        other => panic!("valid reshard failed after rejections: {other:?}"),
+    }
+    shutdown(&mut client, daemon);
+}
+
+#[test]
+fn shutdown_then_reshard_pipelined_replies_in_order() {
+    let daemon = spawn_daemon(BatchPolicy::Periodic, DaemonOptions::default());
+    // Pipeline both frames in one write: the daemon must answer `bye`
+    // first, then refuse the late reshard instead of hanging or dying.
+    let mut raw = TcpStream::connect(daemon.addr()).unwrap();
+    raw.write_all(b"{\"type\":\"shutdown\"}\n{\"type\":\"reshard\",\"shards\":[[0],[1]]}\n")
+        .unwrap();
+    raw.flush().unwrap();
+    let mut client = Client::from_stream(raw).unwrap();
+    assert_eq!(client.read_response().unwrap(), Response::Bye);
+    match client.read_response().unwrap() {
+        Response::ReshardRejected { message } => assert!(
+            message.contains("draining for shutdown"),
+            "unexpected rejection: {message}"
+        ),
+        other => panic!("expected reshard_rejected after bye, got {other:?}"),
+    }
+    daemon.join();
+}
+
+#[test]
+fn pipelined_submits_across_a_plan_swap_answer_in_order() {
+    let daemon = spawn_elastic(2);
+    // One write carries a submit, the plan swap, a second submit and a
+    // query; the four responses must come back in frame order.
+    let frames = "{\"type\":\"submit\",\"jobs\":[{\"id\":10,\"arrival\":1.0,\"width\":1,\
+                  \"work\":20.0,\"security_demand\":0.4}],\"shard\":0}\n\
+                  {\"type\":\"reshard\",\"shards\":[[0,1]]}\n\
+                  {\"type\":\"submit\",\"jobs\":[{\"id\":11,\"arrival\":20.0,\"width\":1,\
+                  \"work\":20.0,\"security_demand\":0.4}],\"shard\":0}\n\
+                  {\"type\":\"query\",\"what\":\"metrics\"}\n";
+    let mut raw = TcpStream::connect(daemon.addr()).unwrap();
+    raw.write_all(frames.as_bytes()).unwrap();
+    raw.flush().unwrap();
+    let mut client = Client::from_stream(raw).unwrap();
+    assert!(matches!(
+        client.read_response().unwrap(),
+        Response::Accepted {
+            jobs: 1,
+            shard: 0,
+            ..
+        }
+    ));
+    // The barrier drain schedules the pending job; its commit then moves
+    // to the merged shard, whose site set differs — one migration.
+    assert_eq!(
+        client.read_response().unwrap(),
+        Response::Resharded {
+            shards: 1,
+            jobs_migrated: 1,
+            reshards_completed: 1,
+        }
+    );
+    assert!(matches!(
+        client.read_response().unwrap(),
+        Response::Accepted {
+            jobs: 1,
+            shard: 0,
+            ..
+        }
+    ));
+    match client.read_response().unwrap() {
+        Response::Metrics { metrics } => {
+            assert_eq!(metrics.jobs_submitted, 2);
+            assert_eq!(metrics.reshards_completed, 1);
+        }
+        other => panic!("expected metrics last, got {other:?}"),
+    }
     shutdown(&mut client, daemon);
 }

@@ -248,6 +248,60 @@ impl RoundDriver {
         self.pending.len()
     }
 
+    /// The pending queue in submission order (state export for
+    /// resharding — pending jobs transfer to the shard that now owns
+    /// a site they fit).
+    pub fn pending_jobs(&self) -> &[BatchJob] {
+        &self.pending
+    }
+
+    /// Tracked in-flight commits as `(job, site, end)` clones, in commit
+    /// order. These are the reservations [`RoundDriver::fail_site`] can
+    /// requeue; a resharding barrier exports them so the shard that
+    /// inherits the site keeps the same zero-lost-jobs guarantee.
+    pub fn inflight_commits(&self) -> Vec<(Job, SiteId, Time)> {
+        self.inflight
+            .iter()
+            .map(|f| (f.job.clone(), f.site, f.end))
+            .collect()
+    }
+
+    /// Re-adopts an in-flight commit exported from another driver. Only
+    /// the tracking entry is restored — the reservation itself lives in
+    /// the site's transferred availability state, so this must not touch
+    /// `avail`.
+    pub fn adopt_inflight(&mut self, job: Job, site: SiteId, end: Time) {
+        self.inflight.push(Inflight { job, site, end });
+    }
+
+    /// Restores one site's state from an exported snapshot: the node
+    /// free-time multiset plus its offline flag. `free` must have one
+    /// entry per node of the site.
+    pub fn restore_site_state(
+        &mut self,
+        site: SiteId,
+        free: Vec<Time>,
+        offline: bool,
+    ) -> Result<()> {
+        if site.0 >= self.grid.len() {
+            return Err(Error::UnknownSite(site.0));
+        }
+        let nodes = self.grid.site(site).nodes as usize;
+        if free.len() != nodes {
+            return Err(Error::invalid(
+                "restore",
+                format!(
+                    "site {} has {nodes} nodes but the snapshot carries {} free times",
+                    site.0,
+                    free.len()
+                ),
+            ));
+        }
+        self.avail[site.0] = NodeAvailability::from_times(free);
+        self.offline[site.0] = offline;
+        Ok(())
+    }
+
     /// The (current) grid.
     pub fn grid(&self) -> &Grid {
         &self.grid

@@ -4,7 +4,7 @@
 //! The paper's online batch loop is inherently per-grid: jobs target
 //! sites, and site-disjoint partitions never interact through node
 //! availability or the STGA history table. A [`ShardPlan`] splits a grid
-//! into contiguous, site-disjoint shards; each shard can then run its own
+//! into site-disjoint shards; each shard can then run its own
 //! [`RoundDriver`](crate::RoundDriver) (own availability model, own
 //! scheduler state) on its own thread, and scheduling a job on shard `k`
 //! is *provably* independent of every other shard — the
@@ -33,11 +33,13 @@ pub enum Routing {
     NoFit,
 }
 
-/// A site-disjoint partition of a grid into `n_shards` contiguous runs of
-/// sites, each shard holding at least one site.
+/// A site-disjoint partition of a grid into `n_shards` shards, each shard
+/// holding at least one site. [`ShardPlan::contiguous`] produces
+/// contiguous runs; [`ShardPlan::from_shards`] accepts any partition
+/// (non-contiguous shards arise when sites migrate between shards).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
-    /// Global site ids per shard, ascending within and across shards.
+    /// Global site ids per shard, ascending within each shard.
     shards: Vec<Vec<SiteId>>,
     /// Global site index → (shard, local site index).
     site_map: Vec<(usize, usize)>,
@@ -72,6 +74,54 @@ impl ShardPlan {
             }
             shards.push(sites);
         }
+        Ok(ShardPlan { shards, site_map })
+    }
+
+    /// Builds a plan from an explicit partition: every site of `grid`
+    /// must appear in exactly one shard, every shard must be non-empty.
+    /// Shards need not be contiguous runs — this is the constructor
+    /// resharding uses for split / merge / migrate-site plans. Each
+    /// shard's site list is sorted ascending, so local ids stay ordered
+    /// by global id within a shard.
+    pub fn from_shards(grid: &Grid, mut shards: Vec<Vec<SiteId>>) -> Result<ShardPlan> {
+        let n_sites = grid.len();
+        if shards.is_empty() {
+            return Err(Error::invalid("shards", "need at least one shard"));
+        }
+        let mut site_map = vec![None; n_sites];
+        for (shard, sites) in shards.iter_mut().enumerate() {
+            if sites.is_empty() {
+                return Err(Error::invalid(
+                    "shards",
+                    format!("shard {shard} is empty — every shard needs at least one site"),
+                ));
+            }
+            sites.sort_unstable_by_key(|s| s.0);
+            for (local, &site) in sites.iter().enumerate() {
+                if site.0 >= n_sites {
+                    return Err(Error::invalid(
+                        "shards",
+                        format!("site {} out of range (grid has {n_sites} sites)", site.0),
+                    ));
+                }
+                if site_map[site.0].is_some() {
+                    return Err(Error::invalid(
+                        "shards",
+                        format!("site {} appears in more than one shard", site.0),
+                    ));
+                }
+                site_map[site.0] = Some((shard, local));
+            }
+        }
+        let site_map = site_map
+            .into_iter()
+            .enumerate()
+            .map(|(site, entry)| {
+                entry.ok_or_else(|| {
+                    Error::invalid("shards", format!("site {site} missing from every shard"))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(ShardPlan { shards, site_map })
     }
 
@@ -244,6 +294,44 @@ mod tests {
         assert!(plan.subgrid(&g, 2).is_err());
         let smaller = grid(&[1, 1]);
         assert!(plan.subgrid(&smaller, 0).is_err());
+    }
+
+    #[test]
+    fn from_shards_accepts_non_contiguous_partitions() {
+        let g = grid(&[2, 2, 2, 2]);
+        // Migrate-site shape: interleaved shards.
+        let plan = ShardPlan::from_shards(
+            &g,
+            vec![vec![SiteId(2), SiteId(0)], vec![SiteId(3), SiteId(1)]],
+        )
+        .unwrap();
+        assert_eq!(plan.n_shards(), 2);
+        // Site lists sort ascending within each shard.
+        assert_eq!(plan.sites_of(0), &[SiteId(0), SiteId(2)]);
+        assert_eq!(plan.sites_of(1), &[SiteId(1), SiteId(3)]);
+        assert_eq!(plan.to_local(SiteId(2)), Some((0, SiteId(1))));
+        assert_eq!(plan.to_global(1, SiteId(0)), SiteId(1));
+        let sub = plan.subgrid(&g, 0).unwrap();
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn from_shards_rejects_bad_partitions() {
+        let g = grid(&[2, 2, 2]);
+        // Empty plan, empty shard, duplicate site, out-of-range site,
+        // missing site: all typed errors.
+        assert!(ShardPlan::from_shards(&g, vec![]).is_err());
+        assert!(
+            ShardPlan::from_shards(&g, vec![vec![SiteId(0), SiteId(1), SiteId(2)], vec![]])
+                .is_err()
+        );
+        assert!(ShardPlan::from_shards(
+            &g,
+            vec![vec![SiteId(0), SiteId(1)], vec![SiteId(1), SiteId(2)]]
+        )
+        .is_err());
+        assert!(ShardPlan::from_shards(&g, vec![vec![SiteId(0), SiteId(1), SiteId(3)]]).is_err());
+        assert!(ShardPlan::from_shards(&g, vec![vec![SiteId(0), SiteId(2)]]).is_err());
     }
 
     #[test]

@@ -456,6 +456,71 @@ impl HistoryTable {
         serde_json::to_string(&wire).expect("history serialises")
     }
 
+    /// Merges several tables into one of the given capacity — the
+    /// resharding state-transfer primitive (shard merges hand each new
+    /// shard the histories of every source shard it absorbs).
+    ///
+    /// Entries from all sources are ordered by their LRU stamp (ties
+    /// break by source position, then entry position — deterministic for
+    /// any input), exact duplicates (same signature *and* chromosome)
+    /// collapse to their most-recent copy, and when the union exceeds
+    /// `capacity` only the most-recently-used entries survive — exactly
+    /// the eviction the LRU table itself would have applied. Stamps are
+    /// renumbered densely, so splitting one table into N copies and
+    /// merging them back reconstructs the original recency order and
+    /// therefore identical lookups.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn merge(sources: &[HistoryTable], capacity: usize) -> HistoryTable {
+        let mut tagged: Vec<(u64, usize, usize)> = sources
+            .iter()
+            .enumerate()
+            .flat_map(|(si, t)| {
+                t.entries
+                    .iter()
+                    .enumerate()
+                    .map(move |(ei, e)| (e.last_used, si, ei))
+            })
+            .collect();
+        tagged.sort_unstable();
+        // Ascending recency order: a later exact duplicate supersedes an
+        // earlier one (split copies re-merging must not double-count).
+        let mut last_pos: HashMap<(Vec<u64>, Vec<u16>), usize> = HashMap::new();
+        for (pos, &(_, si, ei)) in tagged.iter().enumerate() {
+            let e = &sources[si].entries[ei];
+            let mut bits: Vec<u64> =
+                Vec::with_capacity(e.ready_times.len() + e.etc.len() + e.demands.len() + 3);
+            for part in [&e.ready_times[..], &e.etc[..], &e.demands[..]] {
+                bits.push(part.len() as u64);
+                bits.extend(part.iter().map(|x| x.to_bits()));
+            }
+            last_pos.insert((bits, e.chromosome.genes().to_vec()), pos);
+        }
+        let mut survivors = vec![false; tagged.len()];
+        for &pos in last_pos.values() {
+            survivors[pos] = true;
+        }
+        let mut kept: Vec<(usize, usize)> = tagged
+            .iter()
+            .enumerate()
+            .filter(|&(pos, _)| survivors[pos])
+            .map(|(_, &(_, si, ei))| (si, ei))
+            .collect();
+        if kept.len() > capacity {
+            // Most-recent entries win, order preserved.
+            kept.drain(..kept.len() - capacity);
+        }
+        let mut table = HistoryTable::new(capacity);
+        for (si, ei) in kept {
+            let e = &sources[si].entries[ei];
+            // `insert` stamps clock+1 per entry: dense 1..=n stamps in
+            // recency order, clock = n.
+            table.insert(e.to_signature(), e.chromosome.clone());
+        }
+        table
+    }
+
     /// Restores a table saved with [`HistoryTable::to_json`], rebuilding
     /// the bucket index and re-interning the ETC blocks.
     pub fn from_json(text: &str) -> gridsec_core::Result<HistoryTable> {
@@ -546,6 +611,28 @@ impl SharedHistory {
     /// lets restart tests assert that lookups survive persistence.
     pub fn best_similarity(&self, query: &BatchSignature) -> Option<f64> {
         self.0.lock().best_similarity(query)
+    }
+
+    /// Merges several [`HistoryTable::to_json`] snapshots into one shared
+    /// table (see [`HistoryTable::merge`]). The merged capacity is the
+    /// largest source capacity, so a table split into full copies and
+    /// re-merged keeps its original bound. Errors on empty input or any
+    /// undecodable snapshot.
+    pub fn merge_json(sources: &[String]) -> gridsec_core::Result<SharedHistory> {
+        if sources.is_empty() {
+            return Err(gridsec_core::Error::invalid(
+                "history",
+                "merge needs at least one snapshot",
+            ));
+        }
+        let tables = sources
+            .iter()
+            .map(|s| HistoryTable::from_json(s))
+            .collect::<gridsec_core::Result<Vec<_>>>()?;
+        let capacity = tables.iter().map(|t| t.capacity).max().expect("non-empty");
+        Ok(SharedHistory(Arc::new(Mutex::new(HistoryTable::merge(
+            &tables, capacity,
+        )))))
     }
 }
 
@@ -719,6 +806,62 @@ mod tests {
             vec![Chromosome::from_genes(vec![1])]
         );
         assert!(HistoryTable::from_json("{").is_err());
+    }
+
+    #[test]
+    fn merge_of_split_copies_restores_recency_order() {
+        // Shard-split copies the whole table to each half; merging the
+        // halves back must reconstruct the original (dedup by exact
+        // signature+chromosome, recency order preserved).
+        let mut t = HistoryTable::new(2);
+        let s1 = sig(&[1.0], &[1.0], &[0.6]);
+        let s2 = sig(&[9.0], &[5.0], &[0.8]);
+        t.insert(s1.clone(), Chromosome::from_genes(vec![0]));
+        t.insert(s2.clone(), Chromosome::from_genes(vec![1]));
+        let _ = t.lookup(&s1, 0.99, 1); // s2 is now LRU
+        let a = HistoryTable::from_json(&t.to_json()).unwrap();
+        let b = HistoryTable::from_json(&t.to_json()).unwrap();
+        let mut merged = HistoryTable::merge(&[a, b], 2);
+        assert_eq!(merged.len(), 2);
+        // A third insert evicts the LRU — which must still be s2.
+        let s3 = sig(&[4.0], &[4.0], &[0.7]);
+        merged.insert(s3.clone(), Chromosome::from_genes(vec![2]));
+        assert_eq!(merged.lookup(&s1, 0.99, 1).len(), 1);
+        assert!(merged.lookup(&s2, 0.999, 1).is_empty());
+    }
+
+    #[test]
+    fn merge_unions_disjoint_tables_and_caps_by_recency() {
+        let mut a = HistoryTable::new(4);
+        let mut b = HistoryTable::new(4);
+        let s1 = sig(&[1.0], &[1.0], &[0.6]);
+        let s2 = sig(&[9.0], &[5.0], &[0.8]);
+        let s3 = sig(&[4.0], &[4.0], &[0.7]);
+        a.insert(s1.clone(), Chromosome::from_genes(vec![0])); // stamp 1
+        b.insert(s2.clone(), Chromosome::from_genes(vec![1])); // stamp 1 (tie: source order)
+        b.insert(s3.clone(), Chromosome::from_genes(vec![2])); // stamp 2
+        let full = HistoryTable::merge(&[a.clone(), b.clone()], 4);
+        assert_eq!(full.len(), 3);
+        // Capacity 2 keeps the most recent two: s2 outranks s1 on the
+        // stamp tie only via source order — s1 (source 0) is older.
+        let mut capped = HistoryTable::merge(&[a, b], 2);
+        assert_eq!(capped.len(), 2);
+        assert!(capped.lookup(&s1, 0.999, 1).is_empty());
+        assert_eq!(capped.lookup(&s2, 0.99, 1).len(), 1);
+        assert_eq!(capped.lookup(&s3, 0.99, 1).len(), 1);
+    }
+
+    #[test]
+    fn merge_json_takes_max_capacity_and_rejects_garbage() {
+        let a = SharedHistory::new(3);
+        let b = SharedHistory::new(8);
+        let s1 = sig(&[1.0], &[1.0], &[0.6]);
+        a.insert(s1.clone(), Chromosome::from_genes(vec![0]));
+        let merged = SharedHistory::merge_json(&[a.to_json(), b.to_json()]).unwrap();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.lookup(&s1, 0.99, 1).len(), 1);
+        assert!(SharedHistory::merge_json(&[]).is_err());
+        assert!(SharedHistory::merge_json(&["{".to_string()]).is_err());
     }
 
     #[test]

@@ -360,3 +360,175 @@ proptest! {
         }
     }
 }
+
+/// A random full partition of `n_sites` sites: a shuffled site list cut
+/// at random points, so shards need not be contiguous runs of site ids.
+fn arb_partition(n_sites: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (
+        prop::collection::vec(any::<u64>(), n_sites),
+        prop::collection::vec(any::<bool>(), n_sites),
+    )
+        .prop_map(move |(keys, cuts)| {
+            // Shuffle by sorting site ids under random keys.
+            let mut order: Vec<usize> = (0..n_sites).collect();
+            order.sort_by_key(|&i| keys[i]);
+            let mut shards = vec![Vec::new()];
+            for (i, site) in order.into_iter().enumerate() {
+                if i > 0 && cuts[i] {
+                    shards.push(Vec::new());
+                }
+                shards.last_mut().unwrap().push(site);
+            }
+            shards
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random reshard plans: both partitions cover every site exactly
+    /// once, and `transfer` conserves everything it moves — per-site
+    /// availability and offline flags travel with their site, pending
+    /// jobs are neither lost nor duplicated, and each new shard's clock
+    /// is the max over the old shards it inherits sites from.
+    #[test]
+    fn reshard_transfer_keeps_every_site_in_exactly_one_shard(
+        (grid, old_spec, new_spec, n_pending) in arb_grid().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), arb_partition(n), arb_partition(n), 0usize..8)
+        })
+    ) {
+        use gridsec::serve::{transfer, ServeMetrics, ShardStateExport};
+        use gridsec::sim::ShardPlan;
+
+        let to_plan = |spec: &Vec<Vec<usize>>| {
+            ShardPlan::from_shards(
+                &grid,
+                spec.iter()
+                    .map(|s| s.iter().map(|&x| SiteId(x)).collect())
+                    .collect(),
+            )
+            .expect("a full partition is a valid plan")
+        };
+        let old_plan = to_plan(&old_spec);
+        let new_plan = to_plan(&new_spec);
+        for plan in [&old_plan, &new_plan] {
+            let mut seen = vec![0usize; grid.len()];
+            for k in 0..plan.n_shards() {
+                for s in plan.sites_of(k) {
+                    seen[s.0] += 1;
+                    prop_assert_eq!(plan.shard_of(*s), Some(k));
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1), "every site in exactly one shard");
+        }
+
+        // Synthetic exports: recognisable per-site availability, offline
+        // every third site, clocks distinct per shard, pending jobs
+        // round-robined over the old shards.
+        let avail = |s: usize| vec![Time::new(s as f64 + 1.0); grid.site(SiteId(s)).nodes as usize];
+        let exports: Vec<ShardStateExport> = (0..old_plan.n_shards())
+            .map(|k| ShardStateExport {
+                shard: k,
+                clock: Time::new(10.0 * (k as f64 + 1.0)),
+                sites: old_plan
+                    .sites_of(k)
+                    .iter()
+                    .map(|s| (*s, avail(s.0), s.0 % 3 == 0))
+                    .collect(),
+                pending: (0..n_pending)
+                    .filter(|i| i % old_plan.n_shards() == k)
+                    .map(|i| BatchJob {
+                        job: Job::builder(i as u64)
+                            .arrival(Time::new(0.0))
+                            .work(10.0)
+                            .width(1)
+                            .security_demand(0.1)
+                            .build()
+                            .unwrap(),
+                        secure_only: false,
+                    })
+                    .collect(),
+                inflight: Vec::new(),
+                live: Vec::new(),
+                known: Vec::new(),
+                history_json: None,
+                metrics: ServeMetrics::merge(&[]),
+                schedule: Vec::new(),
+            })
+            .collect();
+        let moved = transfer(&grid, &old_plan, &exports, &new_plan)
+            .expect("a full partition transfers");
+        prop_assert_eq!(moved.seeds.len(), new_plan.n_shards());
+
+        let mut pending_seen = Vec::new();
+        for (k, seed) in moved.seeds.iter().enumerate() {
+            let sites = new_plan.sites_of(k);
+            prop_assert_eq!(seed.state.sites.len(), sites.len());
+            for (i, s) in sites.iter().enumerate() {
+                let (free, offline) = &seed.state.sites[i];
+                prop_assert_eq!(free, &avail(s.0));
+                prop_assert_eq!(*offline, s.0 % 3 == 0);
+            }
+            let expected_clock = (0..old_plan.n_shards())
+                .filter(|&j| old_plan.sites_of(j).iter().any(|s| sites.contains(s)))
+                .map(|j| exports[j].clock)
+                .fold(Time::new(0.0), Time::max);
+            prop_assert_eq!(seed.state.clock, expected_clock);
+            pending_seen.extend(seed.state.pending.iter().map(|b| b.job.id.0));
+        }
+        pending_seen.sort_unstable();
+        let expected: Vec<u64> = (0..n_pending as u64).collect();
+        prop_assert_eq!(pending_seen, expected);
+    }
+
+    /// STGA history tables survive a topology change: splitting entries
+    /// across shard-local tables and merging the JSON snapshots back
+    /// loses nothing — every entry stays retrievable by its own
+    /// signature, and the merged snapshot round-trips byte-identically.
+    #[test]
+    fn history_split_then_merge_through_json_is_lossless(
+        entries in prop::collection::vec(
+            (
+                prop::collection::vec(0.0f64..100.0, 1..6),
+                prop::collection::vec(0.0f64..50.0, 1..10),
+                prop::collection::vec(0u16..4, 1..6),
+            ),
+            1..12,
+        )
+    ) {
+        use gridsec::stga::{BatchSignature, Chromosome, SharedHistory};
+
+        let sig = |i: usize, rt: &[f64], etc: &[f64]| BatchSignature {
+            // Salt the first component so every signature is distinct.
+            ready_times: rt
+                .iter()
+                .enumerate()
+                .map(|(j, v)| if j == 0 { v + 1_000.0 * i as f64 } else { *v })
+                .collect(),
+            etc: etc.to_vec(),
+            demands: vec![0.5; rt.len()],
+        };
+        // Split: entries alternate between two shard-local tables.
+        let halves = [SharedHistory::new(64), SharedHistory::new(64)];
+        for (i, (rt, etc, genes)) in entries.iter().enumerate() {
+            halves[i % 2].insert(sig(i, rt, etc), Chromosome::from_genes(genes.clone()));
+        }
+        let merged =
+            SharedHistory::merge_json(&[halves[0].to_json(), halves[1].to_json()])
+                .expect("snapshots merge");
+        prop_assert_eq!(merged.len(), halves[0].len() + halves[1].len());
+        for (i, (rt, etc, genes)) in entries.iter().enumerate() {
+            let probe = sig(i, rt, etc);
+            let hits = merged.lookup(&probe, 0.999, entries.len());
+            let chrom = Chromosome::from_genes(genes.clone());
+            prop_assert!(
+                hits.contains(&chrom),
+                "entry {} lost in the split-then-merge", i
+            );
+        }
+        // The merged snapshot is stable under a JSON round trip.
+        let rejoined = SharedHistory::from_json(&merged.to_json()).expect("round trip");
+        prop_assert_eq!(rejoined.to_json(), merged.to_json());
+    }
+}
