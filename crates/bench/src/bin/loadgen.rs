@@ -99,7 +99,7 @@ fn usage() {
          \x20              [--scheduler mct|minmin|sufferage|stga] [--policy periodic:<secs>|count:<k>|hybrid:<k>]\n\
          \x20              [--rate <jobs-per-sec>] [--threads <n>] [--host <addr>]\n\
          \x20              [--shards <n>] [--wall-clock] [--max-pending <n>]\n\
-         \x20              [--scenario <spec.json>]\n\
+         \x20              [--scenario <spec.json>] [--scrape-metrics]\n\
          \x20              [--bench-suite] [--shard-suite] [--reshard-suite]\n\
          \x20              [--smoke] [--reshard-smoke] [--json <path>] [--quick]\n\
          \n\
@@ -107,6 +107,9 @@ fn usage() {
          through the daemon: virtual clock cross-checks the committed timeline\n\
          bit for bit against the in-process engine; --wall-clock is the soak\n\
          mode, asserting the zero-lost-jobs ledger under real-time churn.\n\
+         --scrape-metrics additionally binds an ephemeral metrics listener and\n\
+         scrapes the Prometheus-style exposition page mid-soak, asserting the\n\
+         required metric families are present and parseable.\n\
          With --bench-suite, --scenario adds churn-vs-quiet rows to the report."
     );
 }
@@ -133,6 +136,10 @@ struct Options {
     json: Option<String>,
     quick: bool,
     scenario: Option<String>,
+    /// Scrape the daemon's Prometheus-style exposition page mid-soak and
+    /// assert the required metric families are present and parseable
+    /// (scenario mode only).
+    scrape_metrics: bool,
     /// `--policy` was given explicitly (scenario mode then overrides the
     /// spec's batching with it — e.g. a fast count trigger for bounded
     /// wall-clock soaks).
@@ -161,6 +168,7 @@ impl Options {
             json: None,
             quick: false,
             scenario: None,
+            scrape_metrics: false,
             policy_explicit: false,
         };
         let mut it = args.iter();
@@ -233,6 +241,7 @@ impl Options {
                 "--json" => o.json = Some(value("--json")?),
                 "--quick" => o.quick = true,
                 "--scenario" => o.scenario = Some(value("--scenario")?),
+                "--scrape-metrics" => o.scrape_metrics = true,
                 "--help" | "-h" => {
                     usage();
                     std::process::exit(0);
@@ -402,6 +411,15 @@ struct ReplayReport {
     round_micros_p99: f64,
     /// Largest single round, microseconds.
     round_micros_max: f64,
+    /// Daemon-side median round, microseconds: the daemon's own log2
+    /// histogram (`round_nanos_hist`), which survives the bounded recent
+    /// window — serving-side truth next to the client-side percentiles.
+    #[serde(default)]
+    daemon_round_micros_p50: f64,
+    /// Daemon-side 99th-percentile round, microseconds (same histogram;
+    /// the estimate is the bucket upper bound, within 2× of true).
+    #[serde(default)]
+    daemon_round_micros_p99: f64,
     /// Seconds spent inside the scheduler over the whole replay.
     scheduler_seconds: f64,
     batch_size_mean: f64,
@@ -540,6 +558,7 @@ fn replay(
                 .send(&Request::Submit {
                     jobs: pending.clone(),
                     shard,
+                    tenant: None,
                 })
                 .map_err(|e| e.to_string())?
             {
@@ -654,6 +673,8 @@ fn replay(
         round_micros_mean: micros.iter().sum::<f64>() / n_rounds,
         round_micros_p99: percentile(&micros, 0.99),
         round_micros_max: micros.iter().copied().fold(0.0, f64::max),
+        daemon_round_micros_p50: metrics.round_nanos_hist.p50() as f64 / 1e3,
+        daemon_round_micros_p99: metrics.round_nanos_hist.p99() as f64 / 1e3,
         scheduler_seconds: metrics.scheduler_seconds,
         batch_size_mean: metrics.batch_sizes.iter().sum::<usize>() as f64
             / metrics.batch_sizes.len().max(1) as f64,
@@ -678,7 +699,8 @@ fn percentile(sample: &[f64], q: f64) -> f64 {
 fn print_report(r: &ReplayReport) {
     println!(
         "{:<10} threads={:<2} shards={:<2} jobs={:<6} wall={:>7.3}s  {:>9.1} jobs/s  rounds={:<4} \
-         round µs mean={:>9.1} p99={:>9.1} max={:>9.1}  batch mean={:>5.1} max={:<4} valid={}",
+         round µs mean={:>9.1} p99={:>9.1} max={:>9.1}  daemon µs p50={:>9.1} p99={:>9.1}  \
+         batch mean={:>5.1} max={:<4} valid={}",
         r.scheduler,
         r.threads,
         r.shards,
@@ -689,6 +711,8 @@ fn print_report(r: &ReplayReport) {
         r.round_micros_mean,
         r.round_micros_p99,
         r.round_micros_max,
+        r.daemon_round_micros_p50,
+        r.daemon_round_micros_p99,
         r.batch_size_mean,
         r.batch_size_max,
         r.schedule_valid,
@@ -846,6 +870,7 @@ fn replay_scenario(
             ClockMode::Virtual
         },
         max_pending: opts.max_pending,
+        metrics_addr: opts.scrape_metrics.then(|| "127.0.0.1:0".to_string()),
         ..DaemonOptions::default()
     };
     let shard_specs: Result<Vec<ShardSpec>, String> = (0..n_shards)
@@ -885,6 +910,7 @@ fn replay_scenario(
                         .send(&Request::Submit {
                             jobs: vec![job.clone()],
                             shard,
+                            tenant: None,
                         })
                         .map_err(|e| e.to_string())?
                     {
@@ -939,6 +965,16 @@ fn replay_scenario(
             }
         }
     }
+    // Mid-soak scrape: the injection stream is fully fed but the daemon
+    // is still live and scheduling — exactly what a Prometheus collector
+    // would see.
+    if opts.scrape_metrics {
+        let addr = daemon
+            .metrics_addr()
+            .ok_or("scrape requested but the daemon bound no metrics listener")?;
+        scrape_and_check(addr)?;
+        println!("metrics scrape OK: all required families present and parseable");
+    }
     match client.send(&Request::Drain).map_err(|e| e.to_string())? {
         Response::Drained { .. } => {}
         other => return Err(format!("drain failed: {other:?}")),
@@ -991,6 +1027,8 @@ fn replay_scenario(
         round_micros_mean: micros.iter().sum::<f64>() / n_rounds,
         round_micros_p99: percentile(&micros, 0.99),
         round_micros_max: micros.iter().copied().fold(0.0, f64::max),
+        daemon_round_micros_p50: metrics.round_nanos_hist.p50() as f64 / 1e3,
+        daemon_round_micros_p99: metrics.round_nanos_hist.p99() as f64 / 1e3,
         scheduler_seconds: metrics.scheduler_seconds,
         batch_size_mean: metrics.batch_sizes.iter().sum::<usize>() as f64
             / metrics.batch_sizes.len().max(1) as f64,
@@ -1009,6 +1047,48 @@ fn replay_scenario(
             busy_retries,
         },
     ))
+}
+
+/// Scrapes the daemon's exposition page and asserts it parses (every
+/// sample line is `name[{labels}] value` with a finite value) and that
+/// the required metric families are present.
+fn scrape_and_check(addr: std::net::SocketAddr) -> Result<(), String> {
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed exposition line: {line:?}"))?;
+        let v: f64 = value
+            .parse()
+            .map_err(|_| format!("non-numeric sample value in line: {line:?}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite sample value in line: {line:?}"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("exposition page carried no samples".into());
+    }
+    for family in [
+        "gridsec_jobs_submitted_total",
+        "gridsec_rounds_total",
+        "gridsec_round_nanos_bucket",
+        "gridsec_pending",
+    ] {
+        if !text.lines().any(|l| l.starts_with(family)) {
+            return Err(format!("metric family `{family}` missing from exposition"));
+        }
+    }
+    Ok(())
 }
 
 /// The zero-lost-jobs ledger over a daemon's aggregated metrics: every
@@ -1324,7 +1404,7 @@ fn run_bench_suite(opts: &Options) -> i32 {
         }
     }
     let report = SuiteReport {
-        schema: "gridsec-loadgen/v1".to_string(),
+        schema: "gridsec-loadgen/v3".to_string(),
         command: format!(
             "loadgen --bench-suite --workload {} --jobs {} --policy {} --seed {}{}{}",
             opts.workload,
@@ -1728,6 +1808,7 @@ fn replay_resharded(
                 .send(&Request::Submit {
                     jobs: vec![j.clone()],
                     shard: Some(shard),
+                    tenant: None,
                 })
                 .map_err(|e| e.to_string())?
             {

@@ -33,6 +33,7 @@ fn main() {
         Some("example-scenario") => cmd_example_scenario(),
         Some("generate") => cmd_generate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace-dump") => cmd_trace_dump(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -55,6 +56,7 @@ fn print_usage() {
          gridsec serve <spec.json> [--bind <addr>] [--virtual-clock] [--shards <n>]\n\
          \x20             [--state <prefix>] [--max-pending <n>] [--autoscale]\n\
          \x20             [--autoscale-<knob> <n>]\n  \
+         gridsec trace-dump <addr>\n  \
          gridsec chaos <scenario.json> [--json <out.json>]\n\
          \n\
          chaos: compiles the scenario's injection program (arrivals, site\n\
@@ -71,10 +73,18 @@ fn print_usage() {
          --state <prefix> persists each shard's STGA history table to\n\
          \x20            <prefix>.shard<k>.json at drain/shutdown and reloads on boot.\n\
          --max-pending <n> bounds each shard's pending queue (busy frames past it).\n\
+         --metrics-addr <addr> serves a plaintext Prometheus-style exposition page\n\
+         \x20            over TCP (write-on-connect; scrape with curl or nc).\n\
+         --flight-dump <path> writes an NDJSON flight-recorder dump on rejected\n\
+         \x20            reshards (post-barrier build failures).\n\
          The daemon is elastic: `reshard` frames repartition the grid live, and\n\
          --autoscale splits hot shards / merges cold ones automatically. Knobs\n\
          (each `--autoscale-<knob> <n>` implies --autoscale): min, max,\n\
          split-pending, split-round-micros, merge-pending, patience, interval-ms.\n\
+         \n\
+         trace-dump: pulls a flight-recorder snapshot from a live daemon over the\n\
+         wire (a `trace_dump` frame) and prints it as NDJSON, one span/event per\n\
+         line, oldest first.\n\
          \n\
          global options:\n  --threads <n>   worker threads for parallel scheduler sections\n  \
          \x20               (default: RAYON_NUM_THREADS or all available cores)"
@@ -91,6 +101,8 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut n_shards = 1usize;
     let mut state: Option<String> = None;
     let mut max_pending: Option<usize> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut flight_dump: Option<String> = None;
     let mut autoscale = false;
     let mut autoscale_cfg = AutoscaleConfig::default();
     let mut i = 1;
@@ -157,6 +169,26 @@ fn cmd_serve(args: &[String]) -> i32 {
             "--state" => match value("--state") {
                 Ok(p) => {
                     state = Some(p);
+                    i += 2;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            },
+            "--metrics-addr" => match value("--metrics-addr") {
+                Ok(a) => {
+                    metrics_addr = Some(a);
+                    i += 2;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            },
+            "--flight-dump" => match value("--flight-dump") {
+                Ok(p) => {
+                    flight_dump = Some(p);
                     i += 2;
                 }
                 Err(e) => {
@@ -236,7 +268,7 @@ fn cmd_serve(args: &[String]) -> i32 {
         // Restore the shard's history table when a state file exists.
         let state_path = state
             .as_ref()
-            .map(|p| std::path::PathBuf::from(format!("{p}.shard{k}.json")));
+            .map(|p| gridsec_serve::shard_state_path(std::path::Path::new(p), k));
         let history = if sspec.is_stga() {
             match &state_path {
                 Some(p) if p.exists() => match std::fs::read_to_string(p)
@@ -328,7 +360,7 @@ fn cmd_serve(args: &[String]) -> i32 {
                 .map(|h| Box::new(move || h.to_json()) as Box<dyn Fn() -> String + Send>);
             let persist = match (&state, history) {
                 (Some(prefix), Some(h)) => Some(ShardPersistence {
-                    path: std::path::PathBuf::from(format!("{prefix}.shard{shard}.json")),
+                    path: gridsec_serve::shard_state_path(std::path::Path::new(prefix), shard),
                     snapshot: Box::new(move || h.to_json()),
                 }),
                 _ => None,
@@ -350,6 +382,9 @@ fn cmd_serve(args: &[String]) -> i32 {
         DaemonOptions {
             clock,
             max_pending,
+            metrics_addr: metrics_addr.clone(),
+            state_prefix: state.as_ref().map(std::path::PathBuf::from),
+            flight_dump: flight_dump.as_ref().map(std::path::PathBuf::from),
             ..DaemonOptions::default()
         },
     ) {
@@ -374,8 +409,57 @@ fn cmd_serve(args: &[String]) -> i32 {
         clock,
         spec.sim.batch_policy,
     );
+    if let Some(m) = daemon.metrics_addr() {
+        println!("gridsec-serve: metrics exposition on {m} (plaintext, scrape with curl/nc)");
+    }
     daemon.join();
     0
+}
+
+/// `gridsec trace-dump <addr>`: pull the daemon's flight-recorder ring
+/// over the wire and print it as NDJSON (one span/event per line).
+fn cmd_trace_dump(args: &[String]) -> i32 {
+    let Some(addr) = args.first() else {
+        eprintln!("error: `trace-dump` needs a daemon address (host:port)");
+        return 2;
+    };
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: invalid address {addr}: {e}");
+            return 2;
+        }
+    };
+    let mut client = match gridsec_serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.send(&gridsec_serve::Request::TraceDump) {
+        Ok(gridsec_serve::Response::TraceDump { events }) => {
+            eprintln!("gridsec trace-dump: {} events from {addr}", events.len());
+            for ev in &events {
+                match serde_json::to_string(ev) {
+                    Ok(line) => println!("{line}"),
+                    Err(e) => {
+                        eprintln!("error: cannot serialise event: {e}");
+                        return 1;
+                    }
+                }
+            }
+            0
+        }
+        Ok(other) => {
+            eprintln!("error: unexpected response: {other:?}");
+            1
+        }
+        Err(e) => {
+            eprintln!("error: trace-dump failed: {e}");
+            1
+        }
+    }
 }
 
 /// The history-table capacity an STGA spec would open, for pre-sizing a
@@ -579,6 +663,13 @@ fn cmd_chaos(args: &[String]) -> i32 {
         // schema the daemon's `query metrics` frame uses — including the
         // reshard counters (always zero for an offline engine replay) —
         // so one consumer parses both.
+        let round_nanos_hist = {
+            let h = gridsec_obs::Histogram::new();
+            for &n in &outcome.round_nanos {
+                h.record(n);
+            }
+            h.snapshot()
+        };
         let metrics = gridsec_serve::ServeMetrics {
             jobs_submitted: outcome.jobs_submitted,
             jobs_scheduled: outcome.jobs_scheduled,
@@ -586,6 +677,8 @@ fn cmd_chaos(args: &[String]) -> i32 {
             rounds: outcome.rounds,
             batch_sizes: Vec::new(),
             round_nanos: outcome.round_nanos.clone(),
+            round_nanos_hist,
+            batch_size_hist: gridsec_obs::HistogramSnapshot::default(),
             scheduler_seconds: outcome.round_nanos.iter().sum::<u64>() as f64 / 1e9,
             virtual_now: outcome.max_completion,
             max_completion: outcome.max_completion,

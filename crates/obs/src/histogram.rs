@@ -1,0 +1,294 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! A [`Histogram`] has 65 buckets: bucket 0 holds the value `0`, and
+//! bucket `b ≥ 1` holds values with exactly `b` significant bits, i.e.
+//! the range `[2^(b-1), 2^b - 1]`. Recording is a single relaxed atomic
+//! increment per bucket plus the count/sum counters — lock-free, safe
+//! from any thread, and cheap enough for per-round hot paths.
+//!
+//! A [`HistogramSnapshot`] is the serializable view: per-bucket counts
+//! plus total count and sum. Snapshots merge by per-bucket addition
+//! (associative and commutative — pinned by root proptests) and support
+//! saturating deltas, which is how the autoscaler reads a *trend* (the
+//! rounds since its last tick) instead of instantaneous samples.
+//!
+//! Quantile estimates return the inclusive upper bound of the bucket
+//! holding the nearest-rank sample, so the estimate always bounds the
+//! true quantile from above and is within one log2 bucket of it.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: one for zero plus one per significant-bit
+/// count of a `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// Index of the bucket holding `value`.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (`0` for bucket 0, else
+/// `2^b - 1`).
+#[inline]
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A lock-free fixed-bucket log2 histogram over `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample. Relaxed atomics: concurrent snapshots may
+    /// observe the count and a bucket out of step by a sample — fine
+    /// for telemetry, never for control flow.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A serializable snapshot of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; N_BUCKETS];
+        for (b, slot) in buckets.iter_mut().zip(&self.buckets) {
+            *b = slot.load(Ordering::Relaxed);
+        }
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// The serializable, mergeable view of a [`Histogram`]: total count and
+/// sum plus per-bucket counts (trailing empty buckets trimmed).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow, like the recorder).
+    pub sum: u64,
+    /// Per-bucket counts; index `b` covers `[2^(b-1), 2^b - 1]`
+    /// (bucket 0 holds the value 0). Trailing zeros are trimmed.
+    #[serde(default)]
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Merges `other` into `self` by per-bucket addition. Associative
+    /// and commutative — merging shard snapshots in any order yields
+    /// the same aggregate.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// The saturating per-bucket difference `self - earlier`: the
+    /// samples recorded since `earlier` was taken, assuming `earlier`
+    /// is a prior snapshot of the same histogram. This is the
+    /// autoscaler's trend window.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = self.buckets.clone();
+        for (a, b) in buckets.iter_mut().zip(&earlier.buckets) {
+            *a = a.saturating_sub(*b);
+        }
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            buckets,
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate for `q ∈ [0, 1]`: the inclusive
+    /// upper bound of the bucket containing the nearest-rank sample.
+    /// The estimate is ≥ the true quantile and within one log2 bucket
+    /// of it (i.e. less than 2× for values ≥ 1). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(self.buckets.len().saturating_sub(1))
+    }
+
+    /// The p50 estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The p95 estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The p99 estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs for Prometheus-style
+    /// text exposition, ending with the implicit `+Inf` bucket. Only
+    /// the buckets up to the last non-empty one are materialised.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            out.push((bucket_upper(b), cum));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_snapshot_quantile_round_trip() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 9, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1116);
+        // p50: rank 4 of [0,1,1,5,9,100,1000] is 5 → bucket [4,7] → 7.
+        assert_eq!(s.p50(), 7);
+        // p99: rank 7 is 1000 → bucket [512,1023] → 1023.
+        assert_eq!(s.p99(), 1023);
+        assert!(s.mean() > 0.0);
+        // Snapshot serialises and round-trips.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_bucket_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(70);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 76);
+        assert_eq!(m.buckets[bucket_of(3)], 2);
+        assert_eq!(m.buckets[bucket_of(70)], 1);
+    }
+
+    #[test]
+    fn delta_since_recovers_the_recent_window() {
+        let h = Histogram::new();
+        h.record(10);
+        let early = h.snapshot();
+        h.record(500);
+        h.record(600);
+        let d = h.snapshot().delta_since(&early);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 1100);
+        // The old sample is subtracted out; p99 of the delta reflects
+        // only the recent window.
+        assert_eq!(d.p99(), 1023);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 900] {
+            h.record(v);
+        }
+        let cum = h.snapshot().cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 3);
+        // Cumulative counts are monotone.
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

@@ -1,0 +1,23 @@
+//! Telemetry primitives shared by the engine and the serving daemon:
+//!
+//! * [`histogram`] — fixed-bucket log2 [`Histogram`]s with lock-free
+//!   atomic recording, mergeable serializable snapshots and bounded
+//!   quantile estimates (p50/p95/p99 within one power-of-two bucket).
+//! * [`recorder`] — a process-wide flight recorder: bounded per-thread
+//!   ring buffers of structured spans/events with monotonic timestamps
+//!   and a zero-allocation hot path, dumped as NDJSON on demand.
+//!
+//! Instrumentation is *inert by construction*: nothing in this crate
+//! feeds back into scheduling decisions, touches RNG streams, or
+//! reorders work. The repo's golden/kernel/sharding/reshard equivalence
+//! suites run bit-identical with the recorder enabled or disabled — the
+//! root determinism test pins that.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod histogram;
+pub mod recorder;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use recorder::{RecorderStatus, TraceEvent, TraceField};

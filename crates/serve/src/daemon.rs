@@ -40,7 +40,7 @@
 
 use crate::protocol::{
     encode, parse_request, read_line_bounded, Line, Placed, QueryWhat, Request, Response,
-    ServeMetrics, MAX_LINE_BYTES,
+    ServeMetrics, TelemetryReport, MAX_LINE_BYTES,
 };
 use crate::reshard::{
     transfer, AutoscaleConfig, AutoscalePolicy, SessionFactory, ShardBuildContext, ShardObservation,
@@ -48,10 +48,12 @@ use crate::reshard::{
 use crate::session::OnlineSession;
 use crate::shard::{ShardMsg, ShardRuntime, ShardSpec};
 use gridsec_core::{Grid, JobId, SiteId, Time};
+use gridsec_obs::{Histogram, HistogramSnapshot};
 use gridsec_sim::ShardPlan;
 use std::collections::BinaryHeap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -76,7 +78,7 @@ pub enum ClockMode {
 }
 
 /// Daemon tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DaemonOptions {
     /// Cap on one frame line, bytes (default [`MAX_LINE_BYTES`]).
     pub max_line_bytes: usize,
@@ -87,6 +89,21 @@ pub struct DaemonOptions {
     /// has run, further submits get a typed `busy` frame instead of
     /// being enqueued — nothing is dropped silently.
     pub max_pending: Option<usize>,
+    /// Bind address for a plaintext TCP metrics listener (default
+    /// `None` = no listener). Every accepted connection receives one
+    /// Prometheus-style text exposition of the aggregated metrics and
+    /// is closed — `nc host port` or any Prometheus scraper works.
+    /// Use port 0 for an ephemeral port ([`Daemon::metrics_addr`]).
+    pub metrics_addr: Option<String>,
+    /// Path prefix of the per-shard state files
+    /// (`<prefix>.shard<k>.json`, see [`shard_state_path`]). When set,
+    /// a reshard that shrinks the shard count garbage-collects the
+    /// retired shards' files after the swap — their state lives on in
+    /// the surviving shards, so a later restart must not resurrect it.
+    pub state_prefix: Option<PathBuf>,
+    /// Where to dump the flight recorder (NDJSON, one event per line)
+    /// when a reshard is rejected (default `None` = no dump).
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for DaemonOptions {
@@ -95,8 +112,21 @@ impl Default for DaemonOptions {
             max_line_bytes: MAX_LINE_BYTES,
             clock: ClockMode::Virtual,
             max_pending: None,
+            metrics_addr: None,
+            state_prefix: None,
+            flight_dump: None,
         }
     }
+}
+
+/// The state file for shard `k` under `prefix`:
+/// `<prefix>.shard<k>.json`. Shared by the CLI (which writes the files
+/// through [`crate::ShardPersistence`]) and the reshard
+/// garbage-collector (which removes retired shards' files).
+pub fn shard_state_path(prefix: &Path, shard: usize) -> PathBuf {
+    let mut s = prefix.as_os_str().to_os_string();
+    s.push(format!(".shard{shard}.json"));
+    PathBuf::from(s)
 }
 
 /// One response line queued to a client's writer thread. `seq` is the
@@ -141,6 +171,10 @@ enum IngestEvent {
     Frame(Request, Sender<Reply>, u64),
     BadFrame(String, Sender<Reply>, u64),
     Autoscale,
+    /// A metrics-listener connection wants one text exposition. Routed
+    /// through the ingest queue so the scrape sees a consistent
+    /// (router-serialised) view of the plan and archives.
+    Scrape(Sender<String>),
 }
 
 /// A running daemon: the accept loop and the router (which in turn owns
@@ -148,6 +182,7 @@ enum IngestEvent {
 /// reshard, so their handles live with the plan).
 pub struct Daemon {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     accept: Option<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
 }
@@ -232,13 +267,27 @@ impl Daemon {
             }
         }
 
+        // The flight recorder is on for every daemon: instrumentation
+        // is inert by construction (the equivalence suites run with it
+        // enabled), and a `trace-dump` against a live daemon must see
+        // history, not start recording on request.
+        gridsec_obs::recorder::enable();
+
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match &options.metrics_addr {
+            Some(bind) => Some(TcpListener::bind(bind.as_str())?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let stop = Arc::new(AtomicBool::new(false));
         let (ingest_tx, ingest_rx) = channel::<IngestEvent>();
         let start = Instant::now();
 
-        let (shard_txs, shard_handles) = spawn_shard_threads(&plan, shards, options, start);
+        let (shard_txs, shard_handles) = spawn_shard_threads(&plan, shards, &options, start);
 
         if let Some(cfg) = &autoscale {
             let tick = ingest_tx.clone();
@@ -253,6 +302,29 @@ impl Daemon {
             });
         }
 
+        // Scrape listener: each accepted connection becomes one Scrape
+        // event; the router renders the exposition and the connection
+        // closes after the write (write-on-connect, `nc`-friendly).
+        if let Some(mlistener) = metrics_listener {
+            let ingest = ingest_tx.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in mlistener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    let (tx, rx) = channel();
+                    if ingest.send(IngestEvent::Scrape(tx)).is_err() {
+                        break;
+                    }
+                    let Ok(text) = rx.recv() else { break };
+                    let _ = stream.write_all(text.as_bytes());
+                }
+            });
+        }
+
+        let max_line_bytes = options.max_line_bytes;
         let router_state = Router {
             grid,
             plan,
@@ -265,14 +337,21 @@ impl Daemon {
             autoscale: autoscale.map(AutoscalePolicy::new),
             archive_metrics: ServeMetrics::merge(&[]),
             archive_schedule: Vec::new(),
+            prev_round_hist: Vec::new(),
+            reshard_barrier_nanos: Histogram::new(),
+            reshard_migrated_jobs: Histogram::new(),
         };
         let router = {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 router_state.run(ingest_rx);
                 stop.store(true, Ordering::SeqCst);
-                // Wake the accept loop so it observes the stop flag.
+                // Wake the accept and scrape loops so they observe the
+                // stop flag.
                 let _ = TcpStream::connect(addr);
+                if let Some(maddr) = metrics_addr {
+                    let _ = TcpStream::connect(maddr);
+                }
             })
         };
 
@@ -284,13 +363,14 @@ impl Daemon {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    spawn_client(stream, ingest_tx.clone(), options.max_line_bytes);
+                    spawn_client(stream, ingest_tx.clone(), max_line_bytes);
                 }
             })
         };
 
         Ok(Daemon {
             addr,
+            metrics_addr,
             accept: Some(accept),
             router: Some(router),
         })
@@ -299,6 +379,12 @@ impl Daemon {
     /// The bound address (query it when binding port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics listener's bound address, when
+    /// [`DaemonOptions::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Blocks until a client sends `shutdown` and the daemon winds down.
@@ -318,7 +404,7 @@ impl Daemon {
 fn spawn_shard_threads(
     plan: &ShardPlan,
     shards: Vec<ShardSpec>,
-    options: DaemonOptions,
+    options: &DaemonOptions,
     start: Instant,
 ) -> (Vec<Sender<ShardMsg>>, Vec<JoinHandle<()>>) {
     let mut shard_txs = Vec::with_capacity(shards.len());
@@ -460,6 +546,15 @@ struct Router {
     archive_metrics: ServeMetrics,
     /// Committed schedules of retired shards, appended in reshard order.
     archive_schedule: Vec<Placed>,
+    /// Per-shard round-latency snapshot at the previous autoscaler
+    /// tick: the baseline `delta_since` turns into a trend window.
+    /// Cleared on every reshard (shard indices change meaning).
+    prev_round_hist: Vec<HistogramSnapshot>,
+    /// Wall-clock nanoseconds each completed reshard barrier held
+    /// (drain → swap).
+    reshard_barrier_nanos: Histogram,
+    /// Jobs migrated per completed reshard.
+    reshard_migrated_jobs: Histogram,
 }
 
 impl Router {
@@ -496,11 +591,19 @@ impl Router {
                     self.autoscale_tick();
                     continue;
                 }
+                IngestEvent::Scrape(reply) => {
+                    let _ = reply.send(self.render_exposition());
+                    continue;
+                }
                 IngestEvent::Frame(req, reply, seq) => (req, reply, seq),
             };
             let n_shards = self.plan.n_shards();
             match req {
-                Request::Submit { jobs, shard } => {
+                Request::Submit {
+                    jobs,
+                    shard,
+                    tenant,
+                } => {
                     let target = match shard {
                         Some(k) if k >= n_shards => {
                             let _ = reply.send(Reply::frame(
@@ -518,10 +621,12 @@ impl Router {
                             }
                         },
                     };
+                    gridsec_obs::event!("dispatch", shard = target, jobs = jobs.len());
                     forward(
                         &self.shard_txs[target],
                         ShardMsg::Submit {
                             jobs,
+                            tenant,
                             reply: reply.clone(),
                             seq,
                         },
@@ -622,6 +727,14 @@ impl Router {
                     let response = self.drain();
                     let _ = reply.send(Reply::frame(seq, &response));
                 }
+                Request::TraceDump => {
+                    let _ = reply.send(Reply::frame(
+                        seq,
+                        &Response::TraceDump {
+                            events: gridsec_obs::recorder::snapshot(),
+                        },
+                    ));
+                }
                 Request::Shutdown => {
                     let drained = self.drain();
                     let response = match drained {
@@ -664,7 +777,74 @@ impl Router {
     /// number of jobs that changed shard. On any failure the old shards
     /// resume untouched (beyond having been drained) and the error
     /// becomes a `reshard_rejected`.
+    ///
+    /// The whole barrier runs under a `reshard_barrier` flight-recorder
+    /// span; its wall-clock time and the migration count feed the
+    /// router's reshard histograms on success, and a failure dumps the
+    /// flight recorder to [`DaemonOptions::flight_dump`].
     fn reshard(&mut self, shards: Vec<Vec<SiteId>>) -> Result<usize, String> {
+        let from = self.plan.n_shards();
+        let to = shards.len();
+        let barrier = gridsec_obs::span!("reshard_barrier", from = from, to = to);
+        let t0 = Instant::now();
+        let result = self.reshard_inner(shards);
+        drop(barrier);
+        match &result {
+            Ok(moved) => {
+                self.reshard_barrier_nanos
+                    .record(t0.elapsed().as_nanos() as u64);
+                self.reshard_migrated_jobs.record(*moved as u64);
+                // Shard indices changed meaning: restart the trend.
+                self.prev_round_hist.clear();
+                self.gc_state_files(from, to);
+            }
+            Err(message) => self.flight_dump("reshard_rejected", message),
+        }
+        result
+    }
+
+    /// Removes the state files of shards retired by a shrinking reshard
+    /// (`new_n <= k < old_n`). The old shards already persisted on
+    /// `Stop`, so without the GC a restart from the prefix would
+    /// resurrect state that migrated into the surviving shards.
+    fn gc_state_files(&self, old_n: usize, new_n: usize) {
+        let Some(prefix) = &self.options.state_prefix else {
+            return;
+        };
+        for k in new_n..old_n {
+            let path = shard_state_path(prefix, k);
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => eprintln!(
+                    "gridsec-serve: cannot remove retired state file {}: {e}",
+                    path.display()
+                ),
+            }
+        }
+    }
+
+    /// Dumps the flight recorder to [`DaemonOptions::flight_dump`] (a
+    /// no-op without one). Called on `reshard_rejected` so the spans
+    /// leading into the failure are preserved for post-mortems.
+    fn flight_dump(&self, why: &str, detail: &str) {
+        let Some(path) = &self.options.flight_dump else {
+            return;
+        };
+        if let Err(e) = std::fs::write(path, gridsec_obs::recorder::dump_ndjson()) {
+            eprintln!(
+                "gridsec-serve: cannot write flight dump {}: {e}",
+                path.display()
+            );
+        } else {
+            eprintln!(
+                "gridsec-serve: {why} ({detail}): flight recorder dumped to {}",
+                path.display()
+            );
+        }
+    }
+
+    fn reshard_inner(&mut self, shards: Vec<Vec<SiteId>>) -> Result<usize, String> {
         if self.factory.is_none() {
             return Err(
                 "daemon started without a session factory; reshard needs Daemon::spawn_elastic \
@@ -688,6 +868,7 @@ impl Router {
             }
         }
         // Export-and-hold: each shard freezes after answering.
+        let export_span = gridsec_obs::span!("reshard_export");
         let mut exports = Vec::with_capacity(self.shard_txs.len());
         for e in gather(&self.shard_txs, |tx| ShardMsg::GatherState { reply: tx }) {
             match e {
@@ -698,7 +879,12 @@ impl Router {
                 }
             }
         }
-        let moved = match transfer(&self.grid, &self.plan, &exports, &new_plan) {
+        drop(export_span);
+        let transferred = {
+            let _transfer_span = gridsec_obs::span!("reshard_transfer");
+            transfer(&self.grid, &self.plan, &exports, &new_plan)
+        };
+        let moved = match transferred {
             Ok(t) => t,
             Err(message) => {
                 self.resume_shards();
@@ -707,6 +893,7 @@ impl Router {
         };
         // Rebuild every session before touching the old shards, so a
         // factory failure aborts with the daemon fully intact.
+        let respawn_span = gridsec_obs::span!("reshard_respawn");
         let mut factory = self.factory.take().expect("checked above");
         let mut specs = Vec::with_capacity(moved.seeds.len());
         let mut build_err = None;
@@ -739,12 +926,14 @@ impl Router {
             }
         }
         self.factory = Some(factory);
+        drop(respawn_span);
         if let Some(message) = build_err {
             self.resume_shards();
             return Err(message);
         }
         // Point of no return: retire the old shards (they persist their
         // state files on Stop), archive their history, swap in the new.
+        let _swap_span = gridsec_obs::span!("reshard_swap");
         for done in gather(&self.shard_txs, |tx| ShardMsg::Stop { done: tx }) {
             let _ = done;
         }
@@ -758,7 +947,7 @@ impl Router {
             self.archive_metrics = ServeMetrics::merge(&[self.archive_metrics.clone(), m]);
             self.archive_schedule.extend_from_slice(&e.schedule);
         }
-        let (txs, handles) = spawn_shard_threads(&new_plan, specs, self.options, self.start);
+        let (txs, handles) = spawn_shard_threads(&new_plan, specs, &self.options, self.start);
         self.shard_txs = txs;
         self.shard_handles = handles;
         self.plan = new_plan;
@@ -775,30 +964,37 @@ impl Router {
         }
     }
 
-    /// One autoscaler sample: observe every shard's queue depth and mean
-    /// round latency, reshard if the policy has seen enough.
+    /// One autoscaler sample: observe every shard's queue depth and
+    /// round-latency *trend* — the p95 of the round-latency histogram
+    /// delta since the previous tick, so one historic slow round can
+    /// neither keep a shard looking hot forever (the old mean did) nor
+    /// can a single fast recent round mask a sustained backlog.
     fn autoscale_tick(&mut self) {
         let Some(policy) = self.autoscale.as_mut() else {
             return;
         };
         let infos = gather(&self.shard_txs, |tx| ShardMsg::GatherInfo { reply: tx });
-        let metrics = gather(&self.shard_txs, |tx| ShardMsg::GatherMetrics { reply: tx });
+        let telemetry = gather(&self.shard_txs, |tx| ShardMsg::GatherTelemetry {
+            reply: tx,
+        });
         let mut observations = Vec::with_capacity(infos.len());
-        for (info, m) in infos.into_iter().zip(metrics) {
-            let (Some(info), Some(m)) = (info, m) else {
+        let mut next_prev = Vec::with_capacity(infos.len());
+        for (i, (info, t)) in infos.into_iter().zip(telemetry).enumerate() {
+            let (Some(info), Some(t)) = (info, t) else {
                 return; // a shard is down; routing will surface it
             };
-            let round_micros = if m.round_nanos.is_empty() {
-                0
-            } else {
-                m.round_nanos.iter().sum::<u64>() / m.round_nanos.len() as u64 / 1_000
-            };
+            let baseline = self.prev_round_hist.get(i).cloned().unwrap_or_default();
+            let window = t.round_nanos.delta_since(&baseline);
+            // p95 nanos → micros; 0 when no round ran since last tick.
+            let round_micros = window.p95() / 1_000;
+            next_prev.push(t.round_nanos);
             observations.push(ShardObservation {
                 sites: info.sites,
                 pending: info.pending,
                 round_micros,
             });
         }
+        self.prev_round_hist = next_prev;
         let Some(proposal) = policy.observe(&observations) else {
             return;
         };
@@ -857,7 +1053,111 @@ impl Router {
                 }
                 Response::Shards { shards: per_shard }
             }
+            QueryWhat::Telemetry => {
+                let per_shard: Vec<_> = gather(&self.shard_txs, |tx| ShardMsg::GatherTelemetry {
+                    reply: tx,
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                if per_shard.len() != self.shard_txs.len() {
+                    return shard_down();
+                }
+                Response::Telemetry {
+                    telemetry: TelemetryReport {
+                        shards: per_shard,
+                        reshard_barrier_nanos: self.reshard_barrier_nanos.snapshot(),
+                        reshard_migrated_jobs: self.reshard_migrated_jobs.snapshot(),
+                        recorder: gridsec_obs::recorder::status(),
+                    },
+                }
+            }
         }
+    }
+
+    /// Renders the Prometheus-style plaintext exposition served by the
+    /// metrics listener: counter/gauge families from the merged metrics
+    /// (archives folded in, so reshards never reset a `_total`), plus
+    /// the round-latency, batch-size and reshard-barrier histograms in
+    /// cumulative-`le` form.
+    fn render_exposition(&self) -> String {
+        let per_shard: Vec<_> = gather(&self.shard_txs, |tx| ShardMsg::GatherMetrics { reply: tx })
+            .into_iter()
+            .flatten()
+            .collect();
+        if per_shard.len() != self.shard_txs.len() {
+            return "# gridsec-serve: a shard thread is no longer running\n".into();
+        }
+        let mut all = Vec::with_capacity(per_shard.len() + 1);
+        all.push(self.archive_metrics.clone());
+        all.extend(per_shard.iter().cloned());
+        let m = ServeMetrics::merge(&all);
+
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "gridsec_jobs_submitted_total",
+            "Jobs accepted over the daemon's lifetime.",
+            m.jobs_submitted as u64,
+        );
+        counter(
+            "gridsec_rounds_total",
+            "Non-empty scheduling rounds run.",
+            m.rounds as u64,
+        );
+        counter(
+            "gridsec_busy_rejections_total",
+            "Submits rejected by queue backpressure.",
+            m.busy_rejections as u64,
+        );
+        counter(
+            "gridsec_jobs_requeued_total",
+            "Jobs requeued after a site failure.",
+            m.jobs_requeued as u64,
+        );
+        counter(
+            "gridsec_reshards_completed_total",
+            "Completed live reshards.",
+            m.reshards_completed as u64,
+        );
+        counter(
+            "gridsec_jobs_migrated_total",
+            "Jobs that changed shard across reshards.",
+            m.jobs_migrated as u64,
+        );
+        out.push_str("# HELP gridsec_pending Jobs waiting for the next round, per shard.\n");
+        out.push_str("# TYPE gridsec_pending gauge\n");
+        for (k, s) in per_shard.iter().enumerate() {
+            out.push_str(&format!("gridsec_pending{{shard=\"{k}\"}} {}\n", s.pending));
+        }
+        out.push_str(&format!(
+            "# HELP gridsec_jobs_scheduled Jobs with a standing commitment.\n\
+             # TYPE gridsec_jobs_scheduled gauge\ngridsec_jobs_scheduled {}\n",
+            m.jobs_scheduled
+        ));
+        render_histogram(
+            &mut out,
+            "gridsec_round_nanos",
+            "Scheduler wall-clock nanoseconds per round.",
+            &m.round_nanos_hist,
+        );
+        render_histogram(
+            &mut out,
+            "gridsec_batch_size",
+            "Jobs per non-empty scheduling round.",
+            &m.batch_size_hist,
+        );
+        render_histogram(
+            &mut out,
+            "gridsec_reshard_barrier_nanos",
+            "Wall-clock nanoseconds a reshard barrier held.",
+            &self.reshard_barrier_nanos.snapshot(),
+        );
+        out
     }
 
     /// Drains every shard; `rounds` stays cumulative across reshards by
@@ -905,6 +1205,9 @@ impl Router {
                     let _ = reply.send(Reply::frame(seq, &Response::Error { message }));
                 }
                 Ok(IngestEvent::Autoscale) => {}
+                Ok(IngestEvent::Scrape(reply)) => {
+                    let _ = reply.send("# gridsec-serve: daemon is shutting down\n".into());
+                }
                 Err(_) => break, // quiet (or disconnected): done
             }
         }
@@ -1133,8 +1436,25 @@ fn global_reconfigure(
     }
 }
 
+/// One histogram family in Prometheus text form: cumulative `_bucket`
+/// lines with log2 `le` bounds, then `_sum` and `_count`.
+fn render_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (upper, c) in h.cumulative_buckets() {
+        cum = c;
+        out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {c}\n"));
+    }
+    // The implicit +Inf bucket (equal to the last cumulative count by
+    // construction — the top log2 bucket covers all of u64).
+    let _ = cum;
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+}
+
 /// Drains every shard (a barrier) and merges the counters.
 fn drain_all(shard_txs: &[Sender<ShardMsg>]) -> Response {
+    let _drain_span = gridsec_obs::span!("drain_barrier");
     let mut rounds = 0usize;
     let mut jobs_scheduled = 0usize;
     for result in gather(shard_txs, |tx| ShardMsg::GatherDrain { reply: tx }) {

@@ -53,7 +53,7 @@
 //! let daemon = Daemon::spawn(session, "127.0.0.1:0", DaemonOptions::default()).unwrap();
 //! let mut client = Client::connect(daemon.addr()).unwrap();
 //! let job = Job::builder(0).work(100.0).build().unwrap();
-//! client.send(&Request::Submit { jobs: vec![job], shard: None }).unwrap();
+//! client.send(&Request::Submit { jobs: vec![job], shard: None, tenant: None }).unwrap();
 //! client.send(&Request::Drain).unwrap();
 //! match client.send(&Request::Query { what: gridsec_serve::QueryWhat::Schedule, shard: None }).unwrap() {
 //!     Response::Schedule { assignments } => assert_eq!(assignments.len(), 1),
@@ -72,8 +72,11 @@ pub mod reshard;
 pub mod session;
 pub mod shard;
 
-pub use daemon::{Client, ClockMode, Daemon, DaemonOptions};
-pub use protocol::{Placed, QueryWhat, Request, Response, ServeMetrics, ShardInfo, MAX_LINE_BYTES};
+pub use daemon::{shard_state_path, Client, ClockMode, Daemon, DaemonOptions};
+pub use protocol::{
+    Placed, QueryWhat, Request, Response, ServeMetrics, ShardInfo, ShardTelemetry, TelemetryReport,
+    TenantWait, MAX_LINE_BYTES, METRICS_WINDOW,
+};
 pub use reshard::{
     transfer, AutoscaleConfig, AutoscalePolicy, ReshardTransfer, SessionFactory, ShardBuildContext,
     ShardObservation, ShardSeed, ShardStateExport,

@@ -6,9 +6,12 @@
 //! ```json
 //! {"type":"submit","jobs":[{"id":0,"arrival":0.0,"width":1,"work":120.0,"security_demand":0.7}]}
 //! {"type":"submit","shard":1,"jobs":[{"id":1,"arrival":2.0,"width":1,"work":80.0,"security_demand":0.5}]}
+//! {"type":"submit","tenant":"batch","jobs":[{"id":2,"arrival":3.0,"width":1,"work":40.0,"security_demand":0.6}]}
 //! {"type":"query","what":"metrics"}
 //! {"type":"query","what":"schedule","shard":0}
 //! {"type":"query","what":"shards"}
+//! {"type":"query","what":"telemetry"}
+//! {"type":"trace_dump"}
 //! {"type":"reconfigure","security_levels":[0.9,0.4,0.75]}
 //! {"type":"reconfigure","shard":1,"security_levels":[0.8]}
 //! {"type":"fail_site","site":2}
@@ -41,9 +44,9 @@
 //! of the new plan, and swaps plans atomically — see `Request::Reshard`.
 //!
 //! Every request gets exactly one response frame (`accepted`, `busy`,
-//! `schedule`, `metrics`, `shards`, `reconfigured`, `drained`,
-//! `resharded`, `reshard_rejected`, `bye`, `route_rejected`,
-//! `unknown_shard`, or `error`). Requests may be
+//! `schedule`, `metrics`, `telemetry`, `trace_dump`, `shards`,
+//! `reconfigured`, `drained`, `resharded`, `reshard_rejected`, `bye`,
+//! `route_rejected`, `unknown_shard`, or `error`). Requests may be
 //! pipelined: responses always come back in request order (per-client
 //! sequence numbers reorder replies arriving from different shard
 //! threads), so lock-step clients and pipelining clients both stay in
@@ -51,6 +54,7 @@
 //! threads and never interleave mid-line.
 
 use gridsec_core::{Job, JobId, SiteId, Time};
+use gridsec_obs::{HistogramSnapshot, RecorderStatus, TraceEvent};
 use gridsec_sim::CommittedAssignment;
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead};
@@ -72,6 +76,11 @@ pub enum Request {
         jobs: Vec<Job>,
         /// Target shard; absent → derived from the jobs' eligible sites.
         shard: Option<usize>,
+        /// Tenant label for per-tenant queue-wait telemetry; absent →
+        /// the `"default"` tenant. Purely observational: routing and
+        /// scheduling never read it.
+        #[serde(default)]
+        tenant: Option<String>,
     },
     /// Read server state without changing it.
     Query {
@@ -126,6 +135,9 @@ pub enum Request {
         /// Global site ids per new shard (every grid site exactly once).
         shards: Vec<Vec<usize>>,
     },
+    /// Pull a flight-recorder snapshot: every thread's ring buffer,
+    /// merged and timestamp-ordered (`gridsec trace-dump`).
+    TraceDump,
     /// Drain all shards, reply `bye`, and stop the daemon.
     Shutdown,
 }
@@ -141,6 +153,10 @@ pub enum QueryWhat {
     /// The shard topology: which sites each shard owns, its scheduler and
     /// cheap per-shard counters.
     Shards,
+    /// Histogram summaries per shard (round latency, batch size,
+    /// per-tenant queue wait), reshard barrier timings, and the flight
+    /// recorder's status.
+    Telemetry,
 }
 
 /// One committed assignment on the wire.
@@ -181,11 +197,14 @@ pub struct ServeMetrics {
     pub pending: usize,
     /// Non-empty scheduling rounds run.
     pub rounds: usize,
-    /// Batch size of every round, in round order (the batch-size
-    /// distribution).
+    /// Batch sizes of the most recent rounds, in round order (bounded
+    /// to [`METRICS_WINDOW`] entries per shard so long soaks cannot
+    /// grow the frame without bound; the full distribution lives in
+    /// [`ServeMetrics::batch_size_hist`]).
     pub batch_sizes: Vec<usize>,
-    /// Wall-clock nanoseconds spent inside the scheduler, per round (the
-    /// round-latency distribution).
+    /// Scheduler wall-clock nanoseconds of the most recent rounds, in
+    /// round order (bounded like [`ServeMetrics::batch_sizes`]; the
+    /// full distribution lives in [`ServeMetrics::round_nanos_hist`]).
     pub round_nanos: Vec<u64>,
     /// Total wall-clock seconds spent inside the scheduler.
     pub scheduler_seconds: f64,
@@ -213,7 +232,18 @@ pub struct ServeMetrics {
     /// reshard (state moved to a shard with a different site set).
     #[serde(default)]
     pub jobs_migrated: usize,
+    /// Log2 histogram of scheduler nanoseconds per round, over the whole
+    /// session (unlike the windowed [`ServeMetrics::round_nanos`]).
+    #[serde(default)]
+    pub round_nanos_hist: HistogramSnapshot,
+    /// Log2 histogram of batch sizes per round, over the whole session.
+    #[serde(default)]
+    pub batch_size_hist: HistogramSnapshot,
 }
+
+/// Entries retained in the windowed `batch_sizes` / `round_nanos`
+/// distributions of a [`ServeMetrics`] frame (per shard).
+pub const METRICS_WINDOW: usize = 512;
 
 impl ServeMetrics {
     /// Aggregates per-shard metrics into one grid-wide view: counters and
@@ -237,6 +267,8 @@ impl ServeMetrics {
             busy_rejections: 0,
             reshards_completed: 0,
             jobs_migrated: 0,
+            round_nanos_hist: HistogramSnapshot::default(),
+            batch_size_hist: HistogramSnapshot::default(),
         };
         for m in per_shard {
             out.jobs_submitted += m.jobs_submitted;
@@ -254,9 +286,53 @@ impl ServeMetrics {
             out.busy_rejections += m.busy_rejections;
             out.reshards_completed += m.reshards_completed;
             out.jobs_migrated += m.jobs_migrated;
+            out.round_nanos_hist.merge(&m.round_nanos_hist);
+            out.batch_size_hist.merge(&m.batch_size_hist);
         }
         out
     }
+}
+
+/// One tenant's queue-wait distribution within a shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantWait {
+    /// Tenant label (`"default"` for untagged submits).
+    pub tenant: String,
+    /// Log2 histogram of virtual microseconds between a job's arrival
+    /// and the start of its committed execution.
+    pub wait_micros: HistogramSnapshot,
+}
+
+/// One shard's histogram summaries (the `query what=telemetry` view).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTelemetry {
+    /// The shard id.
+    pub shard: usize,
+    /// Scheduler nanoseconds per round.
+    pub round_nanos: HistogramSnapshot,
+    /// Batch size per round.
+    pub batch_size: HistogramSnapshot,
+    /// Queue-wait distributions per tenant, in first-seen order.
+    pub queue_wait: Vec<TenantWait>,
+}
+
+/// The aggregated `query what=telemetry` response: per-shard histogram
+/// summaries, router-level reshard timings, and the flight recorder's
+/// status.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// One entry per addressed shard, ascending by shard id.
+    pub shards: Vec<ShardTelemetry>,
+    /// Wall-clock nanoseconds of each completed reshard barrier (drain
+    /// → transfer → respawn → swap).
+    #[serde(default)]
+    pub reshard_barrier_nanos: HistogramSnapshot,
+    /// Jobs migrated per completed reshard.
+    #[serde(default)]
+    pub reshard_migrated_jobs: HistogramSnapshot,
+    /// Flight-recorder health.
+    #[serde(default)]
+    pub recorder: RecorderStatus,
 }
 
 /// One shard's topology and cheap counters (the `query what=shards`
@@ -317,6 +393,19 @@ pub enum Response {
     Metrics {
         /// The metrics snapshot.
         metrics: ServeMetrics,
+    },
+    /// Histogram summaries and recorder status (response to
+    /// `query what=telemetry`).
+    Telemetry {
+        /// The telemetry snapshot.
+        telemetry: TelemetryReport,
+    },
+    /// A flight-recorder snapshot (response to `trace_dump`): every
+    /// thread's ring, merged oldest-first. Render as NDJSON with one
+    /// event per line.
+    TraceDump {
+        /// Timestamp-ordered events.
+        events: Vec<TraceEvent>,
     },
     /// Trust state updated.
     Reconfigured {
@@ -507,10 +596,12 @@ mod tests {
                     .build()
                     .unwrap()],
                 shard: None,
+                tenant: None,
             },
             Request::Submit {
                 jobs: vec![],
                 shard: Some(2),
+                tenant: Some("batch".into()),
             },
             Request::Query {
                 what: QueryWhat::Schedule,
@@ -524,6 +615,11 @@ mod tests {
                 what: QueryWhat::Shards,
                 shard: None,
             },
+            Request::Query {
+                what: QueryWhat::Telemetry,
+                shard: None,
+            },
+            Request::TraceDump,
             Request::Reconfigure {
                 security_levels: vec![0.5, 0.9],
                 shard: None,
@@ -568,9 +664,14 @@ mod tests {
         .unwrap()
         .unwrap();
         match submit {
-            Request::Submit { jobs, shard } => {
+            Request::Submit {
+                jobs,
+                shard,
+                tenant,
+            } => {
                 assert_eq!(jobs.len(), 1);
                 assert_eq!(shard, None);
+                assert_eq!(tenant, None);
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -613,6 +714,17 @@ mod tests {
         assert_eq!(m.busy_rejections, 0);
         assert_eq!(m.reshards_completed, 0);
         assert_eq!(m.jobs_migrated, 0);
+        // Histograms introduced in PR 9 default to empty.
+        assert_eq!(m.round_nanos_hist, HistogramSnapshot::default());
+        assert_eq!(m.batch_size_hist, HistogramSnapshot::default());
+    }
+
+    fn hist_of(samples: &[u64]) -> HistogramSnapshot {
+        let h = gridsec_obs::Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h.snapshot()
     }
 
     #[test]
@@ -633,6 +745,8 @@ mod tests {
             busy_rejections: 4,
             reshards_completed: 1,
             jobs_migrated: 2,
+            round_nanos_hist: hist_of(&[10, 20]),
+            batch_size_hist: hist_of(&[1, 1]),
         };
         let b = ServeMetrics {
             jobs_submitted: 5,
@@ -650,6 +764,8 @@ mod tests {
             busy_rejections: 0,
             reshards_completed: 0,
             jobs_migrated: 3,
+            round_nanos_hist: hist_of(&[7]),
+            batch_size_hist: hist_of(&[5]),
         };
         let m = ServeMetrics::merge(&[a.clone(), b]);
         assert_eq!(m.jobs_submitted, 8);
@@ -667,6 +783,10 @@ mod tests {
         assert_eq!(m.busy_rejections, 4);
         assert_eq!(m.reshards_completed, 1);
         assert_eq!(m.jobs_migrated, 5);
+        // Histograms merge by per-bucket addition: the merged histogram
+        // equals one built from the concatenated samples.
+        assert_eq!(m.round_nanos_hist, hist_of(&[10, 20, 7]));
+        assert_eq!(m.batch_size_hist, hist_of(&[1, 1, 5]));
         // Merging one shard is the identity.
         assert_eq!(ServeMetrics::merge(std::slice::from_ref(&a)), a);
     }
@@ -726,6 +846,34 @@ mod tests {
                 shards: 4,
                 jobs_migrated: 3,
                 reshards_completed: 2,
+            },
+            Response::Telemetry {
+                telemetry: TelemetryReport {
+                    shards: vec![ShardTelemetry {
+                        shard: 0,
+                        round_nanos: hist_of(&[1_000, 2_000]),
+                        batch_size: hist_of(&[2, 3]),
+                        queue_wait: vec![TenantWait {
+                            tenant: "default".into(),
+                            wait_micros: hist_of(&[15, 90]),
+                        }],
+                    }],
+                    reshard_barrier_nanos: hist_of(&[500_000]),
+                    reshard_migrated_jobs: hist_of(&[4]),
+                    recorder: gridsec_obs::recorder::status(),
+                },
+            },
+            Response::TraceDump {
+                events: vec![gridsec_obs::TraceEvent {
+                    t_nanos: 42,
+                    thread: 0,
+                    kind: "event".into(),
+                    name: "dispatch".into(),
+                    fields: vec![gridsec_obs::TraceField {
+                        key: "shard".into(),
+                        value: 1,
+                    }],
+                }],
             },
             Response::ReshardRejected {
                 message: "site 1 appears in more than one shard".into(),

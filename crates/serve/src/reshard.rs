@@ -50,6 +50,10 @@ pub struct ShardStateExport {
     pub live: Vec<(JobId, u32)>,
     /// Every accepted job id, sorted.
     pub known: Vec<JobId>,
+    /// Tenant attribution for jobs whose queue wait is still
+    /// unrecorded, as `(job, tenant)` sorted by id — follows the job so
+    /// per-tenant wait histograms stay correct across the transfer.
+    pub tenants: Vec<(JobId, String)>,
     /// Scheduler history snapshot (e.g. STGA `SharedHistory::to_json`),
     /// when the shard was built with one.
     pub history_json: Option<String>,
@@ -141,6 +145,7 @@ pub fn transfer(
     let mut inflight: Vec<Vec<(Job, SiteId, Time)>> = vec![Vec::new(); n_new];
     let mut live: Vec<HashMap<JobId, u32>> = vec![HashMap::new(); n_new];
     let mut known: Vec<Vec<JobId>> = vec![Vec::new(); n_new];
+    let mut tenants: Vec<Vec<(JobId, String)>> = vec![Vec::new(); n_new];
     let mut histories: Vec<Vec<String>> = vec![Vec::new(); n_new];
     let mut jobs_migrated = 0usize;
 
@@ -211,6 +216,12 @@ pub fn transfer(
                 None => known[first_commit.get(id).copied().unwrap_or(anchor)].push(*id),
             }
         }
+        // Tenant attribution follows the job's first placed entry (its
+        // pending slot; unplaced ids anchor like unanchored live ids).
+        for (id, name) in &e.tenants {
+            let k = placed_in.get(id).map_or(anchor, |ks| ks[0]);
+            tenants[k].push((*id, name.clone()));
+        }
     }
 
     let mut seeds = Vec::with_capacity(n_new);
@@ -227,6 +238,8 @@ pub fn transfer(
         let mut kn = std::mem::take(&mut known[k]);
         kn.sort_unstable_by_key(|id| id.0);
         kn.dedup();
+        let mut tn = std::mem::take(&mut tenants[k]);
+        tn.sort_unstable_by_key(|(id, _)| id.0);
         seeds.push(ShardSeed {
             shard: k,
             state: SessionState {
@@ -239,6 +252,7 @@ pub fn transfer(
                     .collect(),
                 live: lv,
                 known: kn,
+                tenants: tn,
             },
             history_sources: std::mem::take(&mut histories[k]),
         });
@@ -311,8 +325,9 @@ pub struct ShardObservation {
     pub sites: Vec<SiteId>,
     /// Current queue depth.
     pub pending: usize,
-    /// Mean scheduling-round latency in microseconds (0 when no rounds
-    /// ran yet).
+    /// Scheduling-round latency in microseconds over the sampling
+    /// window (the router feeds the p95 of the round-latency histogram
+    /// delta since its previous tick; 0 when no rounds ran).
     pub round_micros: u64,
 }
 
@@ -443,6 +458,7 @@ mod tests {
             inflight: Vec::new(),
             live: Vec::new(),
             known: Vec::new(),
+            tenants: Vec::new(),
             history_json: None,
             metrics: ServeMetrics::merge(&[]),
             schedule: Vec::new(),

@@ -24,10 +24,11 @@
 //! machinery: the daemon stamps arrivals from its monotonic clock and
 //! calls [`OnlineSession::tick`] when boundary deadlines pass.
 
-use crate::protocol::{Placed, ServeMetrics};
+use crate::protocol::{Placed, ServeMetrics, ShardTelemetry, TenantWait, METRICS_WINDOW};
 use gridsec_core::{Error, Grid, Job, JobId, Result, Site, SiteId, Time};
+use gridsec_obs::Histogram;
 use gridsec_sim::{BatchJob, BatchScheduler, BoundaryClock, RoundDriver, SimConfig};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Outcome of a bounded submit: either the job joined the pending queue
 /// or the queue was full even after every due round ran.
@@ -70,6 +71,12 @@ pub struct SessionState {
     /// Every job id the session has accepted, sorted (duplicate-id
     /// protection must survive the transfer).
     pub known: Vec<JobId>,
+    /// Tenant attribution for jobs whose queue wait has not been
+    /// recorded yet (still pending or awaiting their first commit),
+    /// as `(job, tenant)` sorted by job id — per-tenant wait
+    /// histograms must keep attributing correctly after a reshard
+    /// moves the job to another shard.
+    pub tenants: Vec<(JobId, String)>,
 }
 
 /// A live scheduling session over one grid and one scheduler.
@@ -91,7 +98,22 @@ pub struct OnlineSession {
     sites_failed: usize,
     sites_rejoined: usize,
     busy_rejections: usize,
-    round_nanos: Vec<u64>,
+    /// Recent scheduler latencies, bounded to [`METRICS_WINDOW`]
+    /// entries — the raw window [`OnlineSession::metrics`] exposes.
+    round_nanos: VecDeque<u64>,
+    /// Full-history scheduler-latency distribution (fixed 65 buckets,
+    /// so unbounded sessions stay O(1) memory).
+    round_hist: Histogram,
+    /// Full-history non-empty batch-size distribution.
+    batch_hist: Histogram,
+    /// Tenant intern table, in first-seen order.
+    tenant_names: Vec<String>,
+    /// Job → interned tenant, kept until the job's first commit
+    /// records its queue wait (failure requeues do not re-record).
+    tenant_of: HashMap<JobId, usize>,
+    /// Per-tenant queue-wait histograms (virtual microseconds from
+    /// arrival to first placement), parallel to `tenant_names`.
+    tenant_wait: Vec<Histogram>,
     max_completion: Time,
 }
 
@@ -106,13 +128,18 @@ impl OnlineSession {
         config: &SimConfig,
     ) -> Result<OnlineSession> {
         config.validate()?;
+        let mut rounds = RoundDriver::new(
+            grid,
+            config.batch_policy,
+            config.security,
+            config.max_replicas,
+        );
+        // Serving sessions are long-lived: cap the driver's per-round
+        // stats so week-long soaks cannot grow memory (the engine's
+        // finite replays keep the unbounded default).
+        rounds.set_stats_window(Some(METRICS_WINDOW));
         Ok(OnlineSession {
-            rounds: RoundDriver::new(
-                grid,
-                config.batch_policy,
-                config.security,
-                config.max_replicas,
-            ),
+            rounds,
             scheduler,
             clock: BoundaryClock::new(config.schedule_interval),
             committed: Vec::new(),
@@ -123,7 +150,12 @@ impl OnlineSession {
             sites_failed: 0,
             sites_rejoined: 0,
             busy_rejections: 0,
-            round_nanos: Vec::new(),
+            round_nanos: VecDeque::new(),
+            round_hist: Histogram::new(),
+            batch_hist: Histogram::new(),
+            tenant_names: Vec::new(),
+            tenant_of: HashMap::new(),
+            tenant_wait: Vec::new(),
             max_completion: Time::ZERO,
         })
     }
@@ -196,6 +228,21 @@ impl OnlineSession {
     /// means the queue is genuinely full at the job's arrival instant —
     /// not merely full before rounds the arrival itself would trigger.
     pub fn submit_bounded(&mut self, job: Job, max_pending: Option<usize>) -> Result<Admission> {
+        self.submit_bounded_as(job, max_pending, None)
+    }
+
+    /// Like [`OnlineSession::submit_bounded`], with an optional tenant
+    /// label for queue-wait attribution: the virtual time from the
+    /// job's arrival to its first committed placement is recorded in
+    /// that tenant's wait histogram (see
+    /// [`OnlineSession::telemetry`]). Unlabelled jobs are not
+    /// attributed; scheduling itself never looks at the label.
+    pub fn submit_bounded_as(
+        &mut self,
+        job: Job,
+        max_pending: Option<usize>,
+        tenant: Option<&str>,
+    ) -> Result<Admission> {
         if job.arrival < self.clock.now() {
             return Err(Error::invalid(
                 "submit",
@@ -231,12 +278,28 @@ impl OnlineSession {
             }
         }
         self.jobs_submitted += 1;
+        if let Some(name) = tenant {
+            let t = self.intern_tenant(name);
+            self.tenant_of.insert(job.id, t);
+        }
         self.rounds.enqueue(BatchJob {
             job,
             secure_only: false,
         });
         self.after_enqueue();
         Ok(Admission::Enqueued)
+    }
+
+    /// Index of `name` in the tenant intern table, adding it (with a
+    /// fresh wait histogram) on first sight. Linear scan: tenant
+    /// cardinality is small and interning is off the per-round path.
+    fn intern_tenant(&mut self, name: &str) -> usize {
+        if let Some(i) = self.tenant_names.iter().position(|t| t == name) {
+            return i;
+        }
+        self.tenant_names.push(name.to_string());
+        self.tenant_wait.push(Histogram::new());
+        self.tenant_names.len() - 1
     }
 
     /// Advances the clock to `t`, firing every boundary at or before it
@@ -359,7 +422,9 @@ impl OnlineSession {
             pending: self.rounds.pending_len(),
             rounds: self.rounds.n_rounds(),
             batch_sizes: self.rounds.batch_sizes().to_vec(),
-            round_nanos: self.round_nanos.clone(),
+            round_nanos: self.round_nanos.iter().copied().collect(),
+            round_nanos_hist: self.round_hist.snapshot(),
+            batch_size_hist: self.batch_hist.snapshot(),
             scheduler_seconds: self.rounds.scheduler_nanos() as f64 / 1e9,
             virtual_now: self.clock.now(),
             max_completion: self.max_completion,
@@ -374,6 +439,29 @@ impl OnlineSession {
         }
     }
 
+    /// The session's telemetry slice for `query what=telemetry`:
+    /// full-history latency/batch-size histograms plus per-tenant
+    /// queue-wait distributions. `shard` is the caller's shard index
+    /// (sessions do not know where they are mounted). Histograms
+    /// restart empty after a reshard restore — the daemon archives the
+    /// pre-reshard aggregate, as with counters.
+    pub fn telemetry(&self, shard: usize) -> ShardTelemetry {
+        ShardTelemetry {
+            shard,
+            round_nanos: self.round_hist.snapshot(),
+            batch_size: self.batch_hist.snapshot(),
+            queue_wait: self
+                .tenant_names
+                .iter()
+                .zip(&self.tenant_wait)
+                .map(|(name, h)| TenantWait {
+                    tenant: name.clone(),
+                    wait_micros: h.snapshot(),
+                })
+                .collect(),
+        }
+    }
+
     /// Snapshots the transferable session state (local site ids). Taken
     /// at a drain barrier: every queued boundary has fired, so the clock
     /// and availability fully describe the session and no armed-boundary
@@ -383,6 +471,12 @@ impl OnlineSession {
         live.sort_unstable_by_key(|&(id, _)| id.0);
         let mut known: Vec<JobId> = self.known_jobs.iter().copied().collect();
         known.sort_unstable_by_key(|id| id.0);
+        let mut tenants: Vec<(JobId, String)> = self
+            .tenant_of
+            .iter()
+            .map(|(&id, &t)| (id, self.tenant_names[t].clone()))
+            .collect();
+        tenants.sort_unstable_by_key(|&(id, _)| id.0);
         SessionState {
             clock: self.clock.now(),
             sites: self
@@ -396,6 +490,7 @@ impl OnlineSession {
             inflight: self.rounds.inflight_commits(),
             live,
             known,
+            tenants,
         }
     }
 
@@ -443,6 +538,10 @@ impl OnlineSession {
         }
         s.live = state.live.into_iter().collect();
         s.known_jobs = state.known.into_iter().collect();
+        for (id, name) in state.tenants {
+            let t = s.intern_tenant(&name);
+            s.tenant_of.insert(id, t);
+        }
         Ok(s)
     }
 
@@ -484,7 +583,12 @@ impl OnlineSession {
         let Some(outcome) = self.rounds.run_round(self.scheduler.as_mut(), b)? else {
             return Ok(());
         };
-        self.round_nanos.push(outcome.scheduler_nanos as u64);
+        self.round_nanos.push_back(outcome.scheduler_nanos as u64);
+        if self.round_nanos.len() > METRICS_WINDOW {
+            self.round_nanos.pop_front();
+        }
+        self.round_hist.record(outcome.scheduler_nanos as u64);
+        self.batch_hist.record(outcome.batch.len() as u64);
         // Commit in dispatch order — the served schedule *is* the
         // engine's no-failure execution. One JobId→Job index per round
         // keeps a k-assignment commit O(k), not O(k·batch).
@@ -495,6 +599,14 @@ impl OnlineSession {
                 .get(&a.job)
                 .expect("validated schedule covers only batch jobs");
             let placed: Placed = self.rounds.commit_assignment(job, a.site, b).into();
+            if let Some(t) = self.tenant_of.remove(&placed.job) {
+                // Queue wait = arrival → first placement, in virtual
+                // microseconds. Requeues after a site failure keep the
+                // original attribution consumed here, so each job
+                // records exactly once.
+                let wait = (placed.start.seconds() - job.arrival.seconds()).max(0.0);
+                self.tenant_wait[t].record((wait * 1e6) as u64);
+            }
             self.max_completion = self.max_completion.max(placed.end);
             *self.live.entry(placed.job).or_insert(0) += 1;
             self.committed.push(placed);

@@ -12,7 +12,9 @@
 //! every outbound schedule, so clients only ever see the real grid.
 
 use crate::daemon::{ClockMode, Reply};
-use crate::protocol::{encode, Placed, QueryWhat, Response, ServeMetrics, ShardInfo};
+use crate::protocol::{
+    encode, Placed, QueryWhat, Response, ServeMetrics, ShardInfo, ShardTelemetry, TelemetryReport,
+};
 use crate::session::{Admission, OnlineSession};
 use gridsec_core::{Job, SiteId, Time};
 use std::path::PathBuf;
@@ -71,8 +73,10 @@ impl ShardSpec {
 /// variants return raw data to the router, which merges across shards.
 pub(crate) enum ShardMsg {
     /// Enqueue jobs (already routed); replies `accepted`/`busy`/`error`.
+    /// `tenant` labels the whole frame for queue-wait attribution.
     Submit {
         jobs: Vec<Job>,
+        tenant: Option<String>,
         reply: Sender<Reply>,
         seq: u64,
     },
@@ -107,6 +111,9 @@ pub(crate) enum ShardMsg {
     },
     /// Metrics snapshot for an aggregated view.
     GatherMetrics { reply: Sender<ServeMetrics> },
+    /// Telemetry histograms for an aggregated view (and the
+    /// autoscaler's trend window).
+    GatherTelemetry { reply: Sender<ShardTelemetry> },
     /// Committed schedule (global site ids) for an aggregated view.
     GatherSchedule { reply: Sender<Vec<Placed>> },
     /// Topology + cheap counters.
@@ -190,8 +197,13 @@ impl ShardRuntime {
                 }
             };
             match msg {
-                ShardMsg::Submit { jobs, reply, seq } => {
-                    let response = self.handle_submit(jobs);
+                ShardMsg::Submit {
+                    jobs,
+                    tenant,
+                    reply,
+                    seq,
+                } => {
+                    let response = self.handle_submit(jobs, tenant.as_deref());
                     let _ = reply.send(Reply::frame(seq, &response));
                 }
                 ShardMsg::Query { what, reply, seq } => {
@@ -234,6 +246,9 @@ impl ShardRuntime {
                 }
                 ShardMsg::GatherMetrics { reply } => {
                     let _ = reply.send(self.session.metrics());
+                }
+                ShardMsg::GatherTelemetry { reply } => {
+                    let _ = reply.send(self.session.telemetry(self.shard));
                 }
                 ShardMsg::GatherSchedule { reply } => {
                     let _ = reply.send(self.global_schedule());
@@ -308,13 +323,16 @@ impl ShardRuntime {
 
     /// Enqueues a routed submit frame: wall-clock stamping, bounded-queue
     /// backpressure, partial-accept semantics on semantic errors.
-    fn handle_submit(&mut self, jobs: Vec<Job>) -> Response {
+    fn handle_submit(&mut self, jobs: Vec<Job>, tenant: Option<&str>) -> Response {
         let mut accepted = 0usize;
         for mut job in jobs {
             if self.clock == ClockMode::WallClock {
                 job.arrival = Time::new(self.start.elapsed().as_secs_f64());
             }
-            match self.session.submit_bounded(job, self.max_pending) {
+            match self
+                .session
+                .submit_bounded_as(job, self.max_pending, tenant)
+            {
                 Ok(Admission::Enqueued) => accepted += 1,
                 Ok(Admission::Busy { pending }) => {
                     // Jobs before this one stay accepted; the rest of the
@@ -356,6 +374,16 @@ impl ShardRuntime {
             QueryWhat::Shards => Response::Shards {
                 shards: vec![self.info()],
             },
+            // A shard-scoped telemetry query reports just this shard;
+            // the reshard histograms are router-level and stay at their
+            // defaults here (the aggregated query carries them).
+            QueryWhat::Telemetry => Response::Telemetry {
+                telemetry: TelemetryReport {
+                    shards: vec![self.session.telemetry(self.shard)],
+                    recorder: gridsec_obs::recorder::status(),
+                    ..TelemetryReport::default()
+                },
+            },
         }
     }
 
@@ -380,6 +408,7 @@ impl ShardRuntime {
                 .collect(),
             live: st.live,
             known: st.known,
+            tenants: st.tenants,
             history_json: self.history.as_ref().map(|f| f()),
             metrics: self.session.metrics(),
             schedule: self.global_schedule(),

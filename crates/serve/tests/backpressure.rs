@@ -75,6 +75,7 @@ fn virtual_clock_busy_is_deterministic_and_loses_nothing() {
             .send(&Request::Submit {
                 jobs: vec![job(id, 1.0, 5.0)],
                 shard: None,
+                tenant: None,
             })
             .unwrap()
         {
@@ -88,6 +89,7 @@ fn virtual_clock_busy_is_deterministic_and_loses_nothing() {
         .send(&Request::Submit {
             jobs: vec![job(2, 1.0, 5.0)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -111,6 +113,7 @@ fn virtual_clock_busy_is_deterministic_and_loses_nothing() {
         .send(&Request::Submit {
             jobs: vec![job(3, 2.0, 5.0), job(4, 2.0, 5.0), job(5, 2.0, 5.0)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -126,6 +129,7 @@ fn virtual_clock_busy_is_deterministic_and_loses_nothing() {
         .send(&Request::Submit {
             jobs: vec![job(2, 3.0, 5.0), job(5, 3.0, 5.0)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -199,6 +203,7 @@ fn rate_paced_submitter_retries_busy_until_everything_lands() {
                 .send(&Request::Submit {
                     jobs: vec![j.clone()],
                     shard: None,
+                    tenant: None,
                 })
                 .unwrap()
             {

@@ -170,6 +170,7 @@ fn replay_stream(
                     .send(&Request::Submit {
                         jobs: vec![job.clone()],
                         shard: Some(shard),
+                        tenant: None,
                     })
                     .expect("submit frame")
                 {
@@ -417,6 +418,7 @@ fn site_loss_mid_round_over_the_wire() {
             .send(&Request::Submit {
                 jobs: vec![j],
                 shard: None,
+                tenant: None,
             })
             .unwrap()
         {
@@ -453,6 +455,7 @@ fn site_loss_mid_round_over_the_wire() {
         .send(&Request::Submit {
             jobs: vec![job(2, 21.0, 4)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -468,6 +471,7 @@ fn site_loss_mid_round_over_the_wire() {
         .send(&Request::Submit {
             jobs: vec![job(3, 22.0, 1)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -495,6 +499,7 @@ fn site_loss_mid_round_over_the_wire() {
         .send(&Request::Submit {
             jobs: vec![job(2, 31.0, 4)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -602,6 +607,7 @@ fn site_down_lands_on_a_reshard_barrier_without_losing_jobs() {
             .send(&Request::Submit {
                 jobs: vec![j],
                 shard: Some(shard),
+                tenant: None,
             })
             .expect("submit frame")
         {
@@ -664,6 +670,7 @@ fn site_down_lands_on_a_reshard_barrier_without_losing_jobs() {
         .send(&Request::Submit {
             jobs: vec![job(2, 20.0, 4)],
             shard: None,
+            tenant: None,
         })
         .expect("submit frame")
     {
@@ -696,6 +703,7 @@ fn site_down_lands_on_a_reshard_barrier_without_losing_jobs() {
         .send(&Request::Submit {
             jobs: vec![job(2, 41.0, 4)],
             shard: None,
+            tenant: None,
         })
         .expect("submit frame")
     {
@@ -824,6 +832,7 @@ fn scenario_replay_spanning_a_reshard_boundary_stays_accounted() {
                     .send(&Request::Submit {
                         jobs: vec![job],
                         shard: Some(shard),
+                        tenant: None,
                     })
                     .expect("submit frame")
                 {

@@ -77,6 +77,7 @@ fn cross_check(
             .send(&Request::Submit {
                 jobs: chunk.to_vec(),
                 shard: None,
+                tenant: None,
             })
             .expect("submit frame")
         {

@@ -169,6 +169,7 @@ fn submit_all(client: &mut Client, tagged: &[(usize, Job)]) {
             .send(&Request::Submit {
                 jobs: vec![job.clone()],
                 shard: Some(*shard),
+                tenant: None,
             })
             .expect("submit frame")
         {
@@ -312,6 +313,7 @@ fn run_replica(
                 .collect(),
             live: st.live,
             known: st.known,
+            tenants: st.tenants,
             history_json: history.as_ref().map(|h| h.to_json()),
             metrics: ServeMetrics::merge(&[]),
             schedule: Vec::new(),

@@ -90,6 +90,7 @@ fn spanning_job_gets_a_typed_rejection() {
         .send(&Request::Submit {
             jobs: vec![job(0, 0.0, 5.0, 1)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -124,6 +125,7 @@ fn spanning_job_gets_a_typed_rejection() {
         .send(&Request::Submit {
             jobs: vec![job(0, 0.0, 5.0, 1)],
             shard: Some(0),
+            tenant: None,
         })
         .unwrap()
     {
@@ -142,6 +144,7 @@ fn unambiguous_jobs_route_without_an_explicit_shard() {
         .send(&Request::Submit {
             jobs: vec![job(0, 0.0, 20.0, 4)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -156,6 +159,7 @@ fn unambiguous_jobs_route_without_an_explicit_shard() {
         .send(&Request::Submit {
             jobs: vec![job(1, 1.0, 20.0, 4), job(2, 1.0, 5.0, 1)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -170,6 +174,7 @@ fn unambiguous_jobs_route_without_an_explicit_shard() {
         .send(&Request::Submit {
             jobs: vec![job(1, 1.0, 20.0, 4)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -195,6 +200,7 @@ fn unknown_shard_ids_get_typed_errors_everywhere() {
             .send(&Request::Submit {
                 jobs: vec![job(0, 0.0, 5.0, 1)],
                 shard: Some(7),
+                tenant: None,
             })
             .unwrap(),
     );
@@ -220,6 +226,7 @@ fn unknown_shard_ids_get_typed_errors_everywhere() {
         .send(&Request::Submit {
             jobs: vec![job(0, 0.0, 5.0, 1)],
             shard: Some(0),
+            tenant: None,
         })
         .unwrap()
     {
@@ -237,6 +244,7 @@ fn reconfigure_scoped_to_a_drained_shard_applies() {
         .send(&Request::Submit {
             jobs: vec![job(0, 1.0, 5.0, 4)],
             shard: Some(1),
+            tenant: None,
         })
         .unwrap();
     match client.send(&Request::Drain).unwrap() {
@@ -283,6 +291,7 @@ fn reconfigure_scoped_to_a_drained_shard_applies() {
         .send(&Request::Submit {
             jobs: vec![job(1, 20.0, 5.0, 4)],
             shard: Some(1),
+            tenant: None,
         })
         .unwrap()
     {
@@ -316,6 +325,7 @@ fn two_tenants_on_different_shards_interleave_deterministically() {
             .send(&Request::Submit {
                 jobs: vec![tenant_a[i].clone()],
                 shard: Some(0),
+                tenant: None,
             })
             .unwrap()
         {
@@ -326,6 +336,7 @@ fn two_tenants_on_different_shards_interleave_deterministically() {
             .send(&Request::Submit {
                 jobs: vec![tenant_b[i].clone()],
                 shard: Some(1),
+                tenant: None,
             })
             .unwrap()
         {
@@ -364,6 +375,7 @@ fn two_tenants_on_different_shards_interleave_deterministically() {
                 .send(&Request::Submit {
                     jobs: vec![j.clone()],
                     shard: None,
+                    tenant: None,
                 })
                 .unwrap()
             {
@@ -429,6 +441,7 @@ fn non_contiguous_plans_route_and_list_each_shard_once() {
         .send(&Request::Submit {
             jobs: vec![job(0, 1.0, 30.0, 5)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -444,6 +457,7 @@ fn non_contiguous_plans_route_and_list_each_shard_once() {
         .send(&Request::Submit {
             jobs: vec![job(1, 2.0, 30.0, 1)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -458,6 +472,7 @@ fn non_contiguous_plans_route_and_list_each_shard_once() {
         .send(&Request::Submit {
             jobs: vec![job(1, 2.0, 30.0, 1)],
             shard: Some(0),
+            tenant: None,
         })
         .unwrap()
     {

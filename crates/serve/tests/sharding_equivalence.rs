@@ -100,6 +100,7 @@ fn replay(
             .send(&Request::Submit {
                 jobs: vec![job.clone()],
                 shard: *shard,
+                tenant: None,
             })
             .expect("submit frame")
         {

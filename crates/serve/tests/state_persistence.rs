@@ -97,6 +97,7 @@ fn serve_batch(daemon: &Daemon, batch: &[Job]) {
             .send(&Request::Submit {
                 jobs: vec![j.clone()],
                 shard: Some(i % 2),
+                tenant: None,
             })
             .unwrap()
         {

@@ -78,6 +78,7 @@ fn malformed_frames_get_errors_and_the_connection_survives() {
         .send(&Request::Submit {
             jobs: vec![job(0, 0.0, 5.0)],
             shard: None,
+            tenant: None,
         })
         .unwrap();
     assert_eq!(
@@ -100,6 +101,7 @@ fn semantic_errors_leave_the_session_usable() {
         .send(&Request::Submit {
             jobs: vec![job(1, 5.0, 5.0)],
             shard: None,
+            tenant: None,
         })
         .unwrap();
     // Time runs backwards → rejected with a pointer at the clock.
@@ -107,6 +109,7 @@ fn semantic_errors_leave_the_session_usable() {
         .send(&Request::Submit {
             jobs: vec![job(2, 1.0, 5.0)],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -119,6 +122,7 @@ fn semantic_errors_leave_the_session_usable() {
             .send(&Request::Submit {
                 jobs: vec![job(1, 6.0, 5.0)],
                 shard: None,
+                tenant: None,
             })
             .unwrap(),
         Response::Error { .. }
@@ -130,6 +134,7 @@ fn semantic_errors_leave_the_session_usable() {
         .send(&Request::Submit {
             jobs: vec![wide],
             shard: None,
+            tenant: None,
         })
         .unwrap()
     {
@@ -231,6 +236,7 @@ fn mid_round_disconnect_does_not_lose_submitted_jobs() {
             .send(&Request::Submit {
                 jobs: vec![job(0, 1.0, 5.0), job(1, 2.0, 5.0)],
                 shard: None,
+                tenant: None,
             })
             .unwrap();
         // Connection dropped here, jobs still pending in the daemon.
@@ -264,6 +270,7 @@ fn two_clients_interleave_deterministically() {
                 .send(&Request::Submit {
                     jobs: vec![j],
                     shard: None,
+                    tenant: None,
                 })
                 .unwrap()
             {
@@ -293,6 +300,7 @@ fn two_clients_interleave_deterministically() {
         solo.send(&Request::Submit {
             jobs: vec![job(i, i as f64, 10.0 + i as f64)],
             shard: None,
+            tenant: None,
         })
         .unwrap();
     }
@@ -335,6 +343,7 @@ fn wall_clock_mode_fires_timeout_boundaries() {
         .send(&Request::Submit {
             jobs: vec![job(0, 0.0, 1.0)],
             shard: None,
+            tenant: None,
         })
         .unwrap();
     let mut scheduled = 0;

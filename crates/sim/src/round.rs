@@ -184,6 +184,10 @@ pub struct RoundDriver {
     max_replicas: u32,
     n_rounds: usize,
     batch_sizes: Vec<usize>,
+    /// When set, [`RoundDriver::batch_sizes`] keeps only the most
+    /// recent this-many rounds (long-lived serving sessions cap it;
+    /// the engine's finite replays keep the unbounded default).
+    stats_window: Option<usize>,
     scheduler_nanos: u128,
     /// Per-site offline mask (site churn). Offline sites are excluded
     /// from the scheduler's view; jobs fitting no online site stay
@@ -218,6 +222,7 @@ impl RoundDriver {
             max_replicas,
             n_rounds: 0,
             batch_sizes: Vec::new(),
+            stats_window: None,
             scheduler_nanos: 0,
             offline: vec![false; n_sites],
             inflight: Vec::new(),
@@ -423,9 +428,34 @@ impl RoundDriver {
         self.n_rounds
     }
 
-    /// Sizes of every non-empty batch scheduled so far.
+    /// Sizes of non-empty batches scheduled so far — every one by
+    /// default, the most recent window when
+    /// [`RoundDriver::set_stats_window`] capped it.
     pub fn batch_sizes(&self) -> &[usize] {
         &self.batch_sizes
+    }
+
+    /// Caps (or uncaps, with `None`) the retained batch-size history.
+    /// `n_rounds` and cumulative counters are unaffected.
+    pub fn set_stats_window(&mut self, window: Option<usize>) {
+        self.stats_window = window;
+        self.trim_stats();
+    }
+
+    /// Records a round's batch size, enforcing the window.
+    fn note_round(&mut self, batch_len: usize) {
+        self.n_rounds += 1;
+        self.batch_sizes.push(batch_len);
+        self.trim_stats();
+    }
+
+    fn trim_stats(&mut self) {
+        if let Some(w) = self.stats_window {
+            let len = self.batch_sizes.len();
+            if len > w {
+                self.batch_sizes.drain(..len - w);
+            }
+        }
     }
 
     /// Total wall-clock nanoseconds spent inside the scheduler.
@@ -453,14 +483,14 @@ impl RoundDriver {
         self.inflight.retain(|f| f.end > now);
         if !self.any_offline() {
             let batch = std::mem::take(&mut self.pending);
-            self.n_rounds += 1;
-            self.batch_sizes.push(batch.len());
+            self.note_round(batch.len());
             let view = GridView {
                 grid: &self.grid,
                 avail: &self.avail,
                 now,
                 model: self.model,
             };
+            let _round = gridsec_obs::span!("round", batch = batch.len());
             let t0 = std::time::Instant::now();
             let schedule = scheduler.schedule(&batch, &view);
             let scheduler_nanos = t0.elapsed().as_nanos();
@@ -501,8 +531,7 @@ impl RoundDriver {
         if batch.is_empty() {
             return Ok(None);
         }
-        self.n_rounds += 1;
-        self.batch_sizes.push(batch.len());
+        self.note_round(batch.len());
         // Dense re-indexed view of the online sites: schedulers (and the
         // STGA fitness kernel, which re-lowers from the view every round)
         // see an ordinary smaller grid.
@@ -526,6 +555,7 @@ impl RoundDriver {
             now,
             model: self.model,
         };
+        let _round = gridsec_obs::span!("round", batch = batch.len());
         let t0 = std::time::Instant::now();
         let mut schedule = scheduler.schedule(&batch, &view);
         let scheduler_nanos = t0.elapsed().as_nanos();

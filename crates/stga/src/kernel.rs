@@ -109,6 +109,7 @@ impl FitnessKernel {
     ) {
         let n = ctx.n_jobs();
         let m = ctx.etc.n_sites();
+        let _compile_span = gridsec_obs::span!("kernel_compile", jobs = n, sites = m);
         assert_eq!(
             base_avail.len(),
             m,

@@ -189,6 +189,7 @@ impl BatchScheduler for Stga {
     }
 
     fn schedule(&mut self, batch: &[BatchJob], view: &GridView<'_>) -> BatchSchedule {
+        let _eval_span = gridsec_obs::span!("stga_eval", batch = batch.len());
         // First-fit-decreasing commit order: the GA's schedule replay (and
         // the engine's dispatch, which follows the emitted order) packs
         // wide jobs first — strictly better bin-packing on multi-node

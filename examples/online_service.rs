@@ -70,6 +70,7 @@ fn main() {
             .send(&Request::Submit {
                 jobs: chunk.to_vec(),
                 shard: None,
+                tenant: None,
             })
             .unwrap()
         {

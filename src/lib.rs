@@ -43,6 +43,7 @@
 
 pub use gridsec_core as core;
 pub use gridsec_heuristics as heuristics;
+pub use gridsec_obs as obs;
 pub use gridsec_serve as serve;
 pub use gridsec_sim as sim;
 pub use gridsec_stga as stga;

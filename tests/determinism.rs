@@ -281,3 +281,39 @@ fn churn_replay_is_bit_identical_across_thread_counts() {
         );
     }
 }
+
+// --- Observability inertness ----------------------------------------------
+
+#[test]
+fn recorder_on_vs_off_is_bit_identical() {
+    // The flight recorder and latency histograms must be provably inert:
+    // the same STGA run with recording enabled vs. disabled is
+    // bit-identical, sequentially and under the rayon pool.
+    let w = PsaConfig::default().with_n_jobs(100).generate().unwrap();
+    let config = SimConfig::default().with_interval(Time::new(1_000.0));
+    let run = || {
+        let mut stga = Stga::new(StgaParams {
+            ga: GaParams::default()
+                .with_population(40)
+                .with_generations(15)
+                .with_seed(77),
+            ..StgaParams::default()
+        })
+        .unwrap();
+        stga.train(&w.jobs[..50], &w.grid, 8).unwrap();
+        simulate(&w.jobs, &w.grid, &mut stga, &config).unwrap()
+    };
+    for threads in [1, 4] {
+        gridsec::obs::recorder::disable();
+        let off = pool(threads).install(run);
+        gridsec::obs::recorder::enable();
+        let on = pool(threads).install(run);
+        gridsec::obs::recorder::disable();
+        assert_eq!(
+            off.metrics, on.metrics,
+            "{threads}-thread run diverged with the recorder on"
+        );
+        assert_eq!(off.n_batches, on.n_batches);
+        assert_eq!(off.mean_batch_size, on.mean_batch_size);
+    }
+}

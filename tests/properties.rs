@@ -452,6 +452,7 @@ proptest! {
                 inflight: Vec::new(),
                 live: Vec::new(),
                 known: Vec::new(),
+                tenants: Vec::new(),
                 history_json: None,
                 metrics: ServeMetrics::merge(&[]),
                 schedule: Vec::new(),
@@ -530,5 +531,85 @@ proptest! {
         // The merged snapshot is stable under a JSON round trip.
         let rejoined = SharedHistory::from_json(&merged.to_json()).expect("round trip");
         prop_assert_eq!(rejoined.to_json(), merged.to_json());
+    }
+}
+
+// --- Telemetry histograms --------------------------------------------------
+
+/// Samples spanning the full bucket range the daemon actually records
+/// (zeros, small counts, nanosecond latencies).
+fn arb_hist_samples() -> impl Strategy<Value = Vec<u64>> {
+    // Skew toward small values but cover the full recorded range
+    // (zeros, batch counts, nanosecond latencies).
+    prop::collection::vec((0u64..=(1 << 40), 0u32..=40), 0..=120)
+        .prop_map(|vs| vs.into_iter().map(|(v, shift)| v >> shift).collect())
+}
+
+fn snapshot_of(samples: &[u64]) -> gridsec::obs::HistogramSnapshot {
+    let h = gridsec::obs::Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging snapshots is commutative and associative — per-shard
+    /// histograms can be aggregated in any order (the router's
+    /// scatter-gather makes no ordering promise).
+    #[test]
+    fn histogram_merge_is_commutative_and_associative(
+        a in arb_hist_samples(),
+        b in arb_hist_samples(),
+        c in arb_hist_samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // And equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &snapshot_of(&all));
+    }
+
+    /// The quantile estimate never under-reports and stays within the
+    /// true quantile's log2 bucket: `truth <= estimate <= 2*truth - 1`
+    /// (and exactly 0 for a true quantile of 0).
+    #[test]
+    fn histogram_quantile_bounds_true_quantile_within_one_bucket(
+        samples in prop::collection::vec(0u64..=(1u64 << 40), 1..=200),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = snapshot_of(&samples);
+        let estimate = snap.quantile(q);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        prop_assert!(
+            estimate >= truth,
+            "estimate {} under-reports true quantile {}", estimate, truth
+        );
+        if truth == 0 {
+            prop_assert_eq!(estimate, 0);
+        } else {
+            prop_assert!(
+                estimate < truth.saturating_mul(2),
+                "estimate {} beyond true quantile {}'s bucket", estimate, truth
+            );
+        }
     }
 }
