@@ -75,7 +75,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let code = if opts.smoke {
+    let code = if opts.serve_connections_daemon {
+        run_connections_daemon()
+    } else if opts.connections.is_some() || opts.connections_suite {
+        run_connections(&opts)
+    } else if opts.smoke {
         run_smoke(&opts)
     } else if opts.reshard_smoke {
         run_reshard_smoke(&opts)
@@ -100,6 +104,7 @@ fn usage() {
          \x20              [--rate <jobs-per-sec>] [--threads <n>] [--host <addr>]\n\
          \x20              [--shards <n>] [--wall-clock] [--max-pending <n>]\n\
          \x20              [--scenario <spec.json>] [--scrape-metrics]\n\
+         \x20              [--connections <n>] [--connections-suite]\n\
          \x20              [--bench-suite] [--shard-suite] [--reshard-suite]\n\
          \x20              [--smoke] [--reshard-smoke] [--json <path>] [--quick]\n\
          \n\
@@ -136,6 +141,17 @@ struct Options {
     json: Option<String>,
     quick: bool,
     scenario: Option<String>,
+    /// C10k mode: drive this many concurrent connections (an epoll
+    /// client engine mirroring the daemon's own event loop) against an
+    /// in-process daemon and report jobs/s + per-request RTT p99.
+    connections: Option<usize>,
+    /// The PR 10 benchmark: `--connections` rows at 1, 100 and 10000,
+    /// written to `BENCH_PR10.json`.
+    connections_suite: bool,
+    /// Hidden child mode: serve the `--connections` benchmark daemon in
+    /// this process (spawned by the parent so 10k connections' two fd
+    /// ends split across two `RLIMIT_NOFILE` budgets).
+    serve_connections_daemon: bool,
     /// Scrape the daemon's Prometheus-style exposition page mid-soak and
     /// assert the required metric families are present and parseable
     /// (scenario mode only).
@@ -168,6 +184,9 @@ impl Options {
             json: None,
             quick: false,
             scenario: None,
+            connections: None,
+            connections_suite: false,
+            serve_connections_daemon: false,
             scrape_metrics: false,
             policy_explicit: false,
         };
@@ -240,6 +259,17 @@ impl Options {
                 "--reshard-smoke" => o.reshard_smoke = true,
                 "--json" => o.json = Some(value("--json")?),
                 "--quick" => o.quick = true,
+                "--connections" => {
+                    let n: usize = value("--connections")?
+                        .parse()
+                        .map_err(|_| "--connections must be a positive integer".to_string())?;
+                    if n == 0 {
+                        return Err("--connections must be a positive integer".into());
+                    }
+                    o.connections = Some(n);
+                }
+                "--connections-suite" => o.connections_suite = true,
+                "--serve-connections-daemon" => o.serve_connections_daemon = true,
                 "--scenario" => o.scenario = Some(value("--scenario")?),
                 "--scrape-metrics" => o.scrape_metrics = true,
                 "--help" | "-h" => {
@@ -2089,5 +2119,487 @@ fn run_reshard_suite(opts: &Options) -> i32 {
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&path, json).expect("write suite report");
     println!("[wrote {path}]");
+    0
+}
+
+// ---------------------------------------------------------------------
+// `--connections` / `--connections-suite`: the C10k benchmark.
+// ---------------------------------------------------------------------
+
+/// One `--connections` row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ConnectionsReport {
+    connections: usize,
+    /// Lock-step requests completed per connection.
+    requests_per_connection: usize,
+    /// Jobs accepted end-to-end (wire + routing + shard enqueue).
+    jobs: usize,
+    /// Wall-clock seconds from the first request to the last reply.
+    drive_secs: f64,
+    jobs_per_sec: f64,
+    /// Per-request round trip, microseconds.
+    rtt_micros_p50: f64,
+    rtt_micros_p99: f64,
+    rtt_micros_max: f64,
+    /// OS threads in the daemon process while all connections were live.
+    /// Flat across rows — the event loop holds every connection on a
+    /// fixed pool (the acceptance bound is ≤ 2 threads per 1000 idle
+    /// connections; the pool is ~7 threads total at any scale).
+    daemon_threads: usize,
+    /// OS threads in the client-engine process (itself one epoll loop).
+    client_threads: usize,
+    /// Connections the daemon counted at peak (sanity: equals the row).
+    daemon_connections: usize,
+}
+
+/// One lock-step client inside the engine's event loop.
+struct DriveConn {
+    stream: std::net::TcpStream,
+    /// Bytes of the current request not yet written.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Reply bytes accumulated up to (not yet including) a newline.
+    line: Vec<u8>,
+    /// Requests still to send after the in-flight one completes.
+    remaining: usize,
+    /// When the in-flight request's first byte was queued.
+    sent_at: Instant,
+    /// Completed round-trip times.
+    rtts: Vec<Duration>,
+    next_job: u64,
+    shard: usize,
+    want_write: bool,
+    done: bool,
+}
+
+impl DriveConn {
+    /// Queues the next submit frame (one job, explicit shard).
+    fn arm(&mut self) {
+        let job = Job::builder(self.next_job)
+            .arrival(Time::new(0.0))
+            .work(10.0)
+            .security_demand(0.5)
+            .build()
+            .expect("static job validates");
+        self.next_job += 1;
+        let req = Request::Submit {
+            jobs: vec![job],
+            shard: Some(self.shard),
+            tenant: None,
+        };
+        let mut frame = serde_json::to_string(&req).expect("request serialises");
+        frame.push('\n');
+        self.out = frame.into_bytes();
+        self.out_pos = 0;
+        self.sent_at = Instant::now();
+    }
+}
+
+/// Drives `n` concurrent lock-step connections against `addr` with one
+/// epoll loop (the client-side mirror of the daemon's event layer) and
+/// returns the per-request RTTs. Each connection submits
+/// `requests_per_connection` one-job frames with globally unique ids.
+fn drive_connections(
+    addr: std::net::SocketAddr,
+    n: usize,
+    requests_per_connection: usize,
+    n_shards: usize,
+) -> Result<Vec<DriveConn>, String> {
+    use std::os::unix::io::AsRawFd as _;
+    let poller = epoll::Poller::new().map_err(|e| format!("epoll: {e}"))?;
+    let mut conns: Vec<DriveConn> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Loopback connects are immediate; retry absorbs transient
+        // accept-backlog overflow while the daemon catches up.
+        let stream = loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        };
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let mut conn = DriveConn {
+            stream,
+            out: Vec::new(),
+            out_pos: 0,
+            line: Vec::new(),
+            remaining: requests_per_connection - 1,
+            sent_at: Instant::now(),
+            rtts: Vec::with_capacity(requests_per_connection),
+            next_job: (i * requests_per_connection) as u64,
+            shard: i % n_shards,
+            want_write: false,
+            done: false,
+        };
+        conn.arm();
+        poller
+            .add(
+                conn.stream.as_raw_fd(),
+                i as u64,
+                epoll::Interest::READ_WRITE,
+            )
+            .map_err(|e| format!("epoll add: {e}"))?;
+        conn.want_write = true;
+        conns.push(conn);
+    }
+
+    use std::io::{Read as _, Write as _};
+    let mut events = epoll::Events::with_capacity(1024);
+    let mut live = n;
+    let mut scratch = [0u8; 16 * 1024];
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while live > 0 {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "drive timed out with {live} connections unfinished"
+            ));
+        }
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .map_err(|e| format!("epoll wait: {e}"))?;
+        for ev in events.iter() {
+            let i = ev.key as usize;
+            let conn = &mut conns[i];
+            if conn.done {
+                continue;
+            }
+            if ev.writable {
+                while conn.out_pos < conn.out.len() {
+                    match conn.stream.write(&conn.out[conn.out_pos..]) {
+                        Ok(0) => return Err(format!("connection {i}: write returned 0")),
+                        Ok(k) => conn.out_pos += k,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(format!("connection {i}: write: {e}")),
+                    }
+                }
+            }
+            if ev.readable {
+                loop {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) => return Err(format!("connection {i}: daemon closed early")),
+                        Ok(k) => {
+                            for &b in &scratch[..k] {
+                                if b != b'\n' {
+                                    conn.line.push(b);
+                                    continue;
+                                }
+                                let resp: Response = serde_json::from_slice(&conn.line)
+                                    .map_err(|e| format!("connection {i}: bad reply: {e}"))?;
+                                if !matches!(resp, Response::Accepted { .. }) {
+                                    return Err(format!("connection {i}: rejected: {resp:?}"));
+                                }
+                                conn.rtts.push(conn.sent_at.elapsed());
+                                conn.line.clear();
+                                if conn.remaining > 0 {
+                                    conn.remaining -= 1;
+                                    conn.arm();
+                                } else {
+                                    conn.done = true;
+                                    live -= 1;
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(format!("connection {i}: read: {e}")),
+                    }
+                    if conn.done {
+                        break;
+                    }
+                }
+            }
+            // Re-arm write interest only while a request is unflushed —
+            // level-triggered EPOLLOUT on an idle socket would spin.
+            let want_write = !conn.done && conn.out_pos < conn.out.len();
+            if want_write != conn.want_write {
+                conn.want_write = want_write;
+                let interest = if want_write {
+                    epoll::Interest::READ_WRITE
+                } else {
+                    epoll::Interest::READ
+                };
+                poller
+                    .modify(conn.stream.as_raw_fd(), i as u64, interest)
+                    .map_err(|e| format!("epoll modify: {e}"))?;
+            }
+        }
+    }
+    Ok(conns)
+}
+
+/// OS threads of a live process (`/proc/<pid>/status`); 0 off-Linux.
+fn process_threads_of(pid: u32) -> usize {
+    std::fs::read_to_string(format!("/proc/{pid}/status"))
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Shard count of the `--connections` benchmark daemon.
+const CONNECTIONS_SHARDS: usize = 2;
+
+/// The hidden child mode behind `--connections`: serve the benchmark
+/// daemon in a process of its own. Both sides of 10 000 connections
+/// cannot share one process under a 20 000-fd `RLIMIT_NOFILE` ceiling,
+/// and a separate process also keeps the daemon's thread count honestly
+/// measurable from the outside (`/proc/<pid>/status`). Prints the wire
+/// and metrics addresses, then serves until the shutdown frame.
+fn run_connections_daemon() -> i32 {
+    let grid = Grid::new(vec![
+        Site::builder(0).nodes(8).speed(1.0).build().unwrap(),
+        Site::builder(1).nodes(8).speed(1.0).build().unwrap(),
+    ])
+    .expect("static grid validates");
+    let config = SimConfig::default()
+        .with_interval(Time::new(1_000.0))
+        .with_batch_policy(BatchPolicy::Periodic);
+    let plan = ShardPlan::contiguous(&grid, CONNECTIONS_SHARDS).expect("plan fits grid");
+    let shards: Vec<ShardSpec> = (0..CONNECTIONS_SHARDS)
+        .map(|k| {
+            let sub = plan.subgrid(&grid, k).expect("plan fits grid");
+            ShardSpec::new(
+                OnlineSession::new(sub, Box::new(EarliestCompletion), &config)
+                    .expect("session builds"),
+            )
+        })
+        .collect();
+    let daemon = match Daemon::spawn_sharded(
+        grid,
+        plan,
+        shards,
+        "127.0.0.1:0",
+        DaemonOptions {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..DaemonOptions::default()
+        },
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: benchmark daemon failed to start: {e}");
+            return 1;
+        }
+    };
+    println!("ADDR {}", daemon.addr());
+    println!(
+        "METRICS {}",
+        daemon.metrics_addr().expect("metrics listener bound")
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    daemon.join(); // exits when the parent sends `shutdown`
+    0
+}
+
+/// The benchmark daemon running in a child process. Killed on drop so
+/// an errored row cannot leak a process.
+struct DaemonChild {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+    metrics: std::net::SocketAddr,
+}
+
+impl Drop for DaemonChild {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_connections_daemon() -> Result<DaemonChild, String> {
+    use std::io::BufRead as _;
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut child = std::process::Command::new(exe)
+        .arg("--serve-connections-daemon")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn benchmark daemon: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut read_addr = |tag: &str| -> Result<std::net::SocketAddr, String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("daemon exited before printing {tag}"))?
+            .map_err(|e| e.to_string())?;
+        line.strip_prefix(tag)
+            .and_then(|r| r.trim().parse().ok())
+            .ok_or_else(|| format!("unexpected daemon banner line: {line:?}"))
+    };
+    let addr = read_addr("ADDR ")?;
+    let metrics = read_addr("METRICS ")?;
+    Ok(DaemonChild {
+        child,
+        addr,
+        metrics,
+    })
+}
+
+/// Reads the daemon's `gridsec_connections` gauge off its exposition
+/// page — the cross-process stand-in for `Daemon::connections()`.
+fn scrape_connections_gauge(addr: std::net::SocketAddr) -> Result<usize, String> {
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("gridsec_connections "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map(|v| v as usize)
+        .ok_or_else(|| "exposition page lacks gridsec_connections".into())
+}
+
+/// One row: spawn a fresh benchmark daemon (own process), drive `n`
+/// connections, collect RTTs.
+fn connections_row(n: usize, requests_per_connection: usize) -> Result<ConnectionsReport, String> {
+    let daemon = spawn_connections_daemon()?;
+
+    let t0 = Instant::now();
+    let conns = drive_connections(daemon.addr, n, requests_per_connection, CONNECTIONS_SHARDS)?;
+    let drive_secs = t0.elapsed().as_secs_f64();
+    // Everything is still connected: sample thread counts and the
+    // daemon's own connection gauge at peak. The scrape itself rides a
+    // separate listener, so it does not perturb the count.
+    let daemon_threads = process_threads_of(daemon.child.id());
+    let client_threads = process_threads_of(std::process::id());
+    let daemon_connections = scrape_connections_gauge(daemon.metrics)?;
+
+    let micros: Vec<f64> = conns
+        .iter()
+        .flat_map(|c| c.rtts.iter().map(|d| d.as_secs_f64() * 1e6))
+        .collect();
+    let jobs = micros.len();
+    drop(conns); // close the engine's sockets before the shutdown client
+    let mut client = Client::connect(daemon.addr).map_err(|e| e.to_string())?;
+    match client.send(&Request::Shutdown).map_err(|e| e.to_string())? {
+        Response::Bye => {}
+        other => return Err(format!("shutdown failed: {other:?}")),
+    }
+    drop(daemon); // reaps the (already exiting) child
+
+    Ok(ConnectionsReport {
+        connections: n,
+        requests_per_connection,
+        jobs,
+        drive_secs,
+        jobs_per_sec: jobs as f64 / drive_secs.max(1e-9),
+        rtt_micros_p50: percentile(&micros, 0.50),
+        rtt_micros_p99: percentile(&micros, 0.99),
+        rtt_micros_max: micros.iter().copied().fold(0.0, f64::max),
+        daemon_threads,
+        client_threads,
+        daemon_connections,
+    })
+}
+
+/// The whole `BENCH_PR10.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ConnectionsSuiteReport {
+    schema: String,
+    command: String,
+    host_available_parallelism: usize,
+    note: String,
+    rows: Vec<ConnectionsReport>,
+}
+
+fn print_connections_row(r: &ConnectionsReport) {
+    println!(
+        "connections={:<6} requests/conn={:<3} jobs={:<7} wall={:>7.3}s  {:>9.1} jobs/s  \
+         rtt µs p50={:>8.1} p99={:>8.1} max={:>9.1}  daemon_threads={} client_threads={} \
+         daemon_conns={}",
+        r.connections,
+        r.requests_per_connection,
+        r.jobs,
+        r.drive_secs,
+        r.jobs_per_sec,
+        r.rtt_micros_p50,
+        r.rtt_micros_p99,
+        r.rtt_micros_max,
+        r.daemon_threads,
+        r.client_threads,
+        r.daemon_connections,
+    );
+}
+
+fn run_connections(opts: &Options) -> i32 {
+    // One client fd per connection in this process (the daemon's side
+    // lives in the child, under its own limit): lift the nofile limit
+    // up front so 10k rows don't hit EMFILE.
+    let wanted = opts.connections.unwrap_or(10_000) as u64 + 512;
+    match epoll::raise_nofile_limit(wanted) {
+        Ok(limit) if limit < wanted => {
+            eprintln!("warning: nofile limit {limit} < {wanted}; large rows may fail");
+        }
+        Ok(_) => {}
+        Err(e) => eprintln!("warning: cannot raise nofile limit: {e}"),
+    }
+    let rows_spec: Vec<(usize, usize)> = if opts.connections_suite {
+        // requests/conn scaled down as rows fan out, keeping each row's
+        // total work (and runtime) comparable.
+        vec![(1, 2000), (100, 40), (10_000, 4)]
+    } else {
+        let n = opts.connections.expect("checked by the dispatcher");
+        vec![(n, if n >= 1000 { 4 } else { 40 })]
+    };
+    let mut rows = Vec::with_capacity(rows_spec.len());
+    for (n, reqs) in rows_spec {
+        match connections_row(n, reqs) {
+            Ok(row) => {
+                print_connections_row(&row);
+                if row.daemon_connections != n {
+                    eprintln!(
+                        "error: daemon counted {} connections, expected {n}",
+                        row.daemon_connections
+                    );
+                    return 1;
+                }
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("error: connections={n}: {e}");
+                return 1;
+            }
+        }
+    }
+    if opts.connections_suite || opts.json.is_some() {
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let report = ConnectionsSuiteReport {
+            schema: "gridsec-loadgen-connections/v1".to_string(),
+            command: if opts.connections_suite {
+                "loadgen --connections-suite".into()
+            } else {
+                format!("loadgen --connections {}", rows[0].connections)
+            },
+            host_available_parallelism: host,
+            note: "Concurrent lock-step clients over loopback TCP against a 2-shard \
+                   virtual-clock daemon (MCT, periodic batching — submits enqueue \
+                   without scheduling rounds, so rows measure the connection layer, not \
+                   the scheduler). The daemon runs in a child process so each side's \
+                   socket fds count against its own RLIMIT_NOFILE budget at 10k \
+                   connections; daemon_threads is scraped from /proc/<child>/status and \
+                   stays a small constant across rows. The client engine is itself one \
+                   epoll loop (client_threads), so client-side threads cannot mask \
+                   daemon-side scaling."
+                .to_string(),
+            rows,
+        };
+        let path = opts
+            .json
+            .clone()
+            .unwrap_or_else(|| "BENCH_PR10.json".into());
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(&path, json).expect("write suite report");
+        println!("[wrote {path}]");
+    }
     0
 }

@@ -75,6 +75,11 @@ fn print_usage() {
          --max-pending <n> bounds each shard's pending queue (busy frames past it).\n\
          --metrics-addr <addr> serves a plaintext Prometheus-style exposition page\n\
          \x20            over TCP (write-on-connect; scrape with curl or nc).\n\
+         --io-threads <n> event-loop threads multiplexing all client sockets\n\
+         \x20            (default: a small pool sized from available parallelism;\n\
+         \x20            connections never get threads of their own).\n\
+         --idle-timeout-ms <n> reap connections silent this long (half-open\n\
+         \x20            peers; default off).\n\
          --flight-dump <path> writes an NDJSON flight-recorder dump on rejected\n\
          \x20            reshards (post-barrier build failures).\n\
          The daemon is elastic: `reshard` frames repartition the grid live, and\n\
@@ -103,6 +108,8 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut max_pending: Option<usize> = None;
     let mut metrics_addr: Option<String> = None;
     let mut flight_dump: Option<String> = None;
+    let mut io_threads: Option<usize> = None;
+    let mut idle_timeout: Option<std::time::Duration> = None;
     let mut autoscale = false;
     let mut autoscale_cfg = AutoscaleConfig::default();
     let mut i = 1;
@@ -203,6 +210,26 @@ fn cmd_serve(args: &[String]) -> i32 {
                 }
                 _ => {
                     eprintln!("error: --max-pending needs a positive integer");
+                    return 2;
+                }
+            },
+            "--io-threads" => match value("--io-threads").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n >= 1 => {
+                    io_threads = Some(n);
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("error: --io-threads needs a positive integer");
+                    return 2;
+                }
+            },
+            "--idle-timeout-ms" => match value("--idle-timeout-ms").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) if n >= 1 => {
+                    idle_timeout = Some(std::time::Duration::from_millis(n));
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("error: --idle-timeout-ms needs a positive integer");
                     return 2;
                 }
             },
@@ -385,6 +412,8 @@ fn cmd_serve(args: &[String]) -> i32 {
             metrics_addr: metrics_addr.clone(),
             state_prefix: state.as_ref().map(std::path::PathBuf::from),
             flight_dump: flight_dump.as_ref().map(std::path::PathBuf::from),
+            io_threads: io_threads.unwrap_or(0), // 0 = auto-size the pool
+            idle_timeout,
             ..DaemonOptions::default()
         },
     ) {

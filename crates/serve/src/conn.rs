@@ -1,0 +1,912 @@
+//! The event-driven connection layer: a few I/O threads multiplex every
+//! client socket through epoll instead of spawning a reader + writer
+//! thread per connection.
+//!
+//! Each accepted connection lives on exactly one I/O thread (round-robin
+//! at accept time), which owns its socket, its NDJSON frame decoder (the
+//! same overflow discipline as [`read_line_bounded`]'s blocking reader),
+//! its bounded outbound buffer, and the per-client sequence counter. The
+//! connection's [`ReplySink`] is the cross-thread half: shard threads and
+//! the router push [`Reply`] frames into it from anywhere, the owning
+//! I/O thread releases them **in request (sequence) order** into the
+//! socket — the reorder heap that used to live in `writer_loop`.
+//!
+//! Routing happens where the frame is decoded: `submit` frames that can
+//! be routed from the shared [`RoutingTable`] snapshot are pushed
+//! straight onto the owning shard's lock-free bounded queue (with a
+//! `Poke` on the shard's control channel), skipping the router hop
+//! entirely. Everything serialised — cross-shard queries, reshard,
+//! drain, shutdown, chaos injections — still flows through the single
+//! router thread, and a per-connection fence (`last_router_seq`) keeps
+//! the two paths from ever reordering one client's frames: a frame may
+//! only take the direct path once every earlier router-path frame from
+//! the same connection has been answered.
+//!
+//! The router *seals* the table (publishing a snapshot with no direct
+//! queues) and syncs with every I/O thread before a reshard or shutdown
+//! barrier, so no direct submit can race into a shard that is about to
+//! be retired — anything pushed before the seal is drained by the shard
+//! at the barrier, anything after goes through the router and lands on
+//! the new topology.
+
+use crate::daemon::{derive_route, DaemonOptions, IngestEvent, Reply};
+use crate::protocol::{parse_request, Request, Response};
+use crate::shard::ShardMsg;
+use crossbeam_queue::ArrayQueue;
+use epoll::{Events, Interest, Poller, WakeReader, Waker};
+use gridsec_core::{Grid, Job};
+use gridsec_sim::ShardPlan;
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Registration key of the I/O thread's waker.
+const WAKER_KEY: u64 = u64::MAX;
+/// Registration key of the TCP listener (I/O thread 0 only).
+const LISTENER_KEY: u64 = u64::MAX - 1;
+/// Read scratch size; also the per-wake read cap before yielding to
+/// other connections (level-triggered epoll re-arms the rest).
+const READ_CHUNK: usize = 64 * 1024;
+/// Capacity of each shard's direct-submit queue. Overflow falls back to
+/// the router path, so this bounds memory, not throughput.
+pub(crate) const DIRECT_QUEUE_CAP: usize = 1024;
+
+/// A routed `submit` frame on the direct (router-bypassing) path.
+pub(crate) struct DirectSubmit {
+    pub(crate) jobs: Vec<Job>,
+    pub(crate) tenant: Option<String>,
+    pub(crate) reply: ReplyHandle,
+    pub(crate) seq: u64,
+}
+
+/// One shard's direct-path endpoints.
+pub(crate) struct DirectShard {
+    /// Lock-free bounded submit queue, drained by the shard thread
+    /// before every control message it handles.
+    pub(crate) queue: Arc<ArrayQueue<DirectSubmit>>,
+    /// The shard's control channel, used only to `Poke` it awake.
+    pub(crate) control: Sender<ShardMsg>,
+}
+
+/// An immutable snapshot of everything an I/O thread needs to route a
+/// frame. The router publishes a fresh snapshot whenever the plan or the
+/// offline set changes; `direct: None` means *sealed* — every submit
+/// must take the router path (reshard/shutdown barrier in progress).
+pub(crate) struct RoutingTable {
+    pub(crate) grid: Arc<Grid>,
+    pub(crate) plan: Arc<ShardPlan>,
+    pub(crate) offline: Arc<Vec<bool>>,
+    pub(crate) direct: Option<Vec<DirectShard>>,
+}
+
+/// A control message for one I/O thread (delivered via its inbox +
+/// waker).
+pub(crate) enum IoCtl {
+    /// Adopt a freshly accepted connection.
+    NewConn(TcpStream),
+    /// Acknowledge that this thread has observed the current routing
+    /// table (the router's seal barrier).
+    Sync(Sender<()>),
+}
+
+/// The handle other threads use to reach one I/O thread.
+pub(crate) struct IoLoopHandle {
+    pub(crate) waker: Waker,
+    pub(crate) inbox: Mutex<Vec<IoCtl>>,
+    /// Sinks with newly deliverable replies, drained by the I/O thread.
+    ready: Mutex<Vec<Arc<ReplySink>>>,
+}
+
+/// State shared between the router, the daemon handle and every I/O
+/// thread.
+pub(crate) struct IoShared {
+    pub(crate) table: RwLock<Arc<RoutingTable>>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) connections: AtomicUsize,
+    /// Connections force-closed for exceeding the write-buffer bound.
+    pub(crate) slow_disconnects: AtomicUsize,
+    /// Connections reaped by the idle sweep (half-open peers).
+    pub(crate) idle_reaped: AtomicUsize,
+    pub(crate) loops: Vec<Arc<IoLoopHandle>>,
+}
+
+impl IoShared {
+    /// Wakes every I/O thread (used after flipping `stop`).
+    pub(crate) fn wake_all(&self) {
+        for l in &self.loops {
+            l.waker.wake();
+        }
+    }
+}
+
+/// Min-heap entry ordering replies by sequence number.
+struct HeldReply(Reply);
+
+impl PartialEq for HeldReply {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq
+    }
+}
+impl Eq for HeldReply {}
+impl PartialOrd for HeldReply {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldReply {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the smallest seq.
+        other.0.seq.cmp(&self.0.seq)
+    }
+}
+
+struct SinkQueue {
+    held: BinaryHeap<HeldReply>,
+    /// Total bytes of held (not yet released) reply lines — counted
+    /// against the connection's write-buffer bound.
+    held_bytes: usize,
+}
+
+/// The cross-thread half of a connection: any thread may push replies;
+/// the owning I/O thread drains them in sequence order.
+pub(crate) struct ReplySink {
+    io: Arc<IoLoopHandle>,
+    /// Slab token of the owning connection (validated by pointer
+    /// identity before use — tokens are reused across connections).
+    token: usize,
+    closed: AtomicBool,
+    /// True while this sink is already on its I/O thread's ready list.
+    queued: AtomicBool,
+    q: Mutex<SinkQueue>,
+}
+
+impl ReplySink {
+    fn push(&self, reply: Reply) {
+        if self.closed.load(Ordering::Acquire) {
+            return; // connection gone; the response has no reader
+        }
+        let mut q = self.q.lock().expect("sink lock");
+        q.held_bytes += reply.line.len();
+        q.held.push(HeldReply(reply));
+    }
+}
+
+/// Cloneable sender of [`Reply`] frames to one connection — the
+/// replacement for the per-client `Sender<Reply>`.
+#[derive(Clone)]
+pub(crate) struct ReplyHandle(Arc<ReplySink>);
+
+impl ReplyHandle {
+    /// Queues a reply and wakes the owning I/O thread.
+    pub(crate) fn send(&self, reply: Reply) {
+        self.0.push(reply);
+        if !self.0.queued.swap(true, Ordering::AcqRel) {
+            self.0
+                .io
+                .ready
+                .lock()
+                .expect("ready lock")
+                .push(Arc::clone(&self.0));
+            self.0.io.waker.wake();
+        }
+    }
+}
+
+/// Everything one connection owns on its I/O thread.
+struct Conn {
+    stream: TcpStream,
+    sink: Arc<ReplySink>,
+    /// Sequence number the next decoded frame will take.
+    seq: u64,
+    /// Sequence number of the next reply to release into the socket.
+    next_release: u64,
+    /// The highest seq sent down the router path; the direct path is
+    /// fenced until its reply has been released (`next_release` past it).
+    last_router_seq: Option<u64>,
+    /// Frame decoder state (mirrors `read_line_bounded`).
+    line: Vec<u8>,
+    overflow: usize,
+    /// Outbound bytes: `out[out_pos..]` is unwritten.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Absolute stream offset of `out[0]` (for flush marks).
+    out_base: u64,
+    /// `(absolute_offset, signal)`: signalled once the socket has
+    /// consumed every byte before `absolute_offset`.
+    flush_marks: VecDeque<(u64, Sender<()>)>,
+    read_closed: bool,
+    /// Current epoll interest (to avoid redundant `modify` calls).
+    want_read: bool,
+    want_write: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn unwritten(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+/// A minimal slab: stable `usize` tokens, O(1) insert/remove.
+struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+    fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(value);
+                i
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() - 1
+            }
+        }
+    }
+    fn remove(&mut self, token: usize) -> Option<T> {
+        let v = self.slots.get_mut(token)?.take();
+        if v.is_some() {
+            self.len -= 1;
+            self.free.push(token);
+        }
+        v
+    }
+    fn get(&self, token: usize) -> Option<&T> {
+        self.slots.get(token)?.as_ref()
+    }
+    fn get_mut(&mut self, token: usize) -> Option<&mut T> {
+        self.slots.get_mut(token)?.as_mut()
+    }
+    fn tokens(&self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| self.slots[i].is_some())
+            .collect()
+    }
+}
+
+/// One I/O thread: the poller, its connections, and (on thread 0) the
+/// TCP listener.
+pub(crate) struct IoLoop {
+    shared: Arc<IoShared>,
+    handle: Arc<IoLoopHandle>,
+    poller: Poller,
+    wake_rx: WakeReader,
+    listener: Option<TcpListener>,
+    ingest: Sender<IngestEvent>,
+    conns: Slab<Conn>,
+    index: usize,
+    /// Round-robin cursor for distributing accepted connections
+    /// (thread 0 only).
+    next_assign: usize,
+    max_line: usize,
+    max_write_buffer: usize,
+    idle_timeout: Option<Duration>,
+    last_sweep: Instant,
+}
+
+impl IoLoop {
+    /// Builds one I/O thread's state; `listener` is registered (and must
+    /// already be nonblocking) when present.
+    pub(crate) fn new(
+        shared: Arc<IoShared>,
+        handle: Arc<IoLoopHandle>,
+        wake_rx: WakeReader,
+        listener: Option<TcpListener>,
+        ingest: Sender<IngestEvent>,
+        index: usize,
+        options: &DaemonOptions,
+    ) -> io::Result<IoLoop> {
+        let poller = Poller::new()?;
+        poller.add(wake_rx.as_raw_fd(), WAKER_KEY, Interest::READ)?;
+        if let Some(l) = &listener {
+            poller.add(l.as_raw_fd(), LISTENER_KEY, Interest::READ)?;
+        }
+        Ok(IoLoop {
+            shared,
+            handle,
+            poller,
+            wake_rx,
+            listener,
+            ingest,
+            conns: Slab::new(),
+            index,
+            next_assign: 0,
+            max_line: options.max_line_bytes,
+            max_write_buffer: options.max_write_buffer,
+            idle_timeout: options.idle_timeout,
+            last_sweep: Instant::now(),
+        })
+    }
+
+    /// The event loop. Exits when [`IoShared::stop`] is set (the router
+    /// wakes every loop after flipping it), closing every connection.
+    pub(crate) fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        let mut scratch = vec![0u8; READ_CHUNK];
+        loop {
+            // Half the idle timeout bounds reap latency at ~1.5x the
+            // configured timeout without a busy sweep.
+            let timeout = self.idle_timeout.map(|t| t / 2);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                return; // unrecoverable poller failure
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return; // drops every connection (sockets close)
+            }
+            for ev in events.iter() {
+                match ev.key {
+                    WAKER_KEY => self.wake_rx.drain(),
+                    LISTENER_KEY => self.accept_ready(),
+                    key => self.conn_ready(key as usize, ev, &mut scratch),
+                }
+            }
+            self.process_inbox();
+            self.process_ready();
+            self.sweep_idle();
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+
+    /// Accepts every pending connection (thread 0), distributing them
+    /// round-robin across the I/O threads.
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    let target = self.next_assign % self.shared.loops.len();
+                    self.next_assign = self.next_assign.wrapping_add(1);
+                    if target == self.index {
+                        self.register(stream);
+                    } else {
+                        let l = &self.shared.loops[target];
+                        l.inbox
+                            .lock()
+                            .expect("inbox lock")
+                            .push(IoCtl::NewConn(stream));
+                        l.waker.wake();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (e.g. the
+                // peer reset before we got to it); the listener lives on.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Adopts a connection onto this thread.
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            return;
+        }
+        let fd = stream.as_raw_fd();
+        // Two-phase: insert to learn the token, then bind the sink to it
+        // (the placeholder sink is never handed out before that).
+        let placeholder = Arc::new(ReplySink {
+            io: Arc::clone(&self.handle),
+            token: usize::MAX,
+            closed: AtomicBool::new(false),
+            queued: AtomicBool::new(false),
+            q: Mutex::new(SinkQueue {
+                held: BinaryHeap::new(),
+                held_bytes: 0,
+            }),
+        });
+        let token = self.conns.insert(Conn {
+            stream,
+            sink: placeholder,
+            seq: 0,
+            next_release: 0,
+            last_router_seq: None,
+            line: Vec::new(),
+            overflow: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            out_base: 0,
+            flush_marks: VecDeque::new(),
+            read_closed: false,
+            want_read: true,
+            want_write: false,
+            last_activity: Instant::now(),
+        });
+        let conn = self.conns.get_mut(token).expect("just inserted");
+        conn.sink = Arc::new(ReplySink {
+            io: Arc::clone(&self.handle),
+            token,
+            closed: AtomicBool::new(false),
+            queued: AtomicBool::new(false),
+            q: Mutex::new(SinkQueue {
+                held: BinaryHeap::new(),
+                held_bytes: 0,
+            }),
+        });
+        if self.poller.add(fd, token as u64, Interest::READ).is_err() {
+            self.conns.remove(token);
+            return;
+        }
+        self.shared.connections.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Tears a connection down (fd closes on drop; epoll deregisters the
+    /// fd implicitly at close, `delete` just keeps the table tidy).
+    fn kill(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(token) {
+            conn.sink.closed.store(true, Ordering::Release);
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn conn_ready(&mut self, token: usize, ev: epoll::Event, scratch: &mut [u8]) {
+        if self.conns.get(token).is_none() {
+            return; // already killed this iteration
+        }
+        if ev.hangup && self.conns.get(token).is_some_and(|c| c.read_closed) {
+            // Peer is gone in both directions: no response can ever be
+            // delivered, and the hang-up is level-triggered — reap now.
+            self.kill(token);
+            return;
+        }
+        if ev.writable {
+            self.try_write(token);
+        }
+        if ev.readable && self.conns.get(token).is_some() {
+            self.do_read(token, scratch);
+        }
+        self.finish(token);
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the fairness cap, feeding every
+    /// byte through the frame decoder.
+    fn do_read(&mut self, token: usize, scratch: &mut [u8]) {
+        let mut total = 0usize;
+        loop {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.read_closed {
+                return;
+            }
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    conn.want_read = false;
+                    self.finish_input(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    self.feed(token, &scratch[..n]);
+                    total += n;
+                    if total >= 4 * READ_CHUNK {
+                        return; // fairness: level-triggering re-arms
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.kill(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Streams `bytes` through the connection's line decoder —
+    /// bit-compatible with [`read_line_bounded`]: overflow counts body
+    /// bytes (newline excluded) and discards until the frame ends.
+    fn feed(&mut self, token: usize, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            let nl = bytes.iter().position(|&b| b == b'\n');
+            let body = nl.map_or(bytes.len(), |p| p);
+            if conn.overflow == 0 {
+                if conn.line.len() + body > self.max_line {
+                    conn.overflow = conn.line.len() + body;
+                    conn.line.clear();
+                } else {
+                    conn.line.extend_from_slice(&bytes[..body]);
+                }
+            } else {
+                conn.overflow += body;
+            }
+            match nl {
+                None => return,
+                Some(p) => {
+                    bytes = &bytes[p + 1..];
+                    self.complete_line(token);
+                }
+            }
+        }
+    }
+
+    /// EOF: deliver the unterminated tail (or its overflow rejection)
+    /// exactly like the blocking reader does.
+    fn finish_input(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        if conn.overflow > 0 || !conn.line.is_empty() {
+            self.complete_line(token);
+        }
+    }
+
+    /// One complete decoded line: too-long rejection, parse, route.
+    fn complete_line(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        let overflow = std::mem::replace(&mut conn.overflow, 0);
+        let line = std::mem::take(&mut conn.line);
+        if overflow > 0 {
+            let seq = conn.seq;
+            conn.seq += 1;
+            let message = format!(
+                "frame too long ({overflow} bytes > {} limit)",
+                self.max_line
+            );
+            self.local_reply(token, seq, &Response::Error { message });
+            return;
+        }
+        match parse_request(&line) {
+            Ok(None) => {} // blank keep-alive line, no sequence consumed
+            Ok(Some(req)) => {
+                let seq = conn.seq;
+                conn.seq += 1;
+                self.route(token, req, seq);
+            }
+            Err(message) => {
+                let seq = conn.seq;
+                conn.seq += 1;
+                self.local_reply(token, seq, &Response::Error { message });
+            }
+        }
+    }
+
+    /// Queues a locally generated response (no wake needed — the caller
+    /// is the owning I/O thread and pumps before returning to the
+    /// poller).
+    fn local_reply(&mut self, token: usize, seq: u64, response: &Response) {
+        if let Some(conn) = self.conns.get(token) {
+            conn.sink.push(Reply::frame(seq, response));
+        }
+    }
+
+    /// Routes one parsed request: the direct shard path when possible,
+    /// the router's ingest queue otherwise.
+    fn route(&mut self, token: usize, req: Request, seq: u64) {
+        let req = match req {
+            Request::Submit {
+                jobs,
+                shard,
+                tenant,
+            } => {
+                let Some(conn) = self.conns.get(token) else {
+                    return;
+                };
+                // Fence: direct dispatch may only overtake the router
+                // once every earlier router-path frame is answered.
+                let direct_ok = conn.last_router_seq.is_none_or(|s| conn.next_release > s);
+                let table =
+                    direct_ok.then(|| Arc::clone(&self.shared.table.read().expect("table lock")));
+                match table
+                    .as_ref()
+                    .and_then(|t| t.direct.as_ref().map(|d| (t, d)))
+                {
+                    None => Request::Submit {
+                        jobs,
+                        shard,
+                        tenant,
+                    },
+                    Some((table, direct)) => {
+                        let n_shards = table.plan.n_shards();
+                        let target = match shard {
+                            Some(k) if k >= n_shards => {
+                                self.local_reply(
+                                    token,
+                                    seq,
+                                    &Response::UnknownShard { shard: k, n_shards },
+                                );
+                                return;
+                            }
+                            Some(k) => k,
+                            None => {
+                                match derive_route(&table.grid, &table.plan, &table.offline, &jobs)
+                                {
+                                    Ok(k) => k,
+                                    Err(response) => {
+                                        self.local_reply(token, seq, &response);
+                                        return;
+                                    }
+                                }
+                            }
+                        };
+                        gridsec_obs::event!("dispatch", shard = target, jobs = jobs.len());
+                        let d = &direct[target];
+                        let reply =
+                            ReplyHandle(Arc::clone(&self.conns.get(token).expect("checked").sink));
+                        match d.queue.push(DirectSubmit {
+                            jobs,
+                            tenant,
+                            reply,
+                            seq,
+                        }) {
+                            Ok(()) => {
+                                if d.control.send(ShardMsg::Poke).is_err() {
+                                    // Shard thread gone: the queued submit
+                                    // has no consumer, answer for it.
+                                    self.local_reply(
+                                        token,
+                                        seq,
+                                        &Response::Error {
+                                            message: "a shard thread is no longer running".into(),
+                                        },
+                                    );
+                                }
+                                return;
+                            }
+                            // Queue full: fall back to the router path
+                            // (which fences later frames behind it).
+                            Err(back) => Request::Submit {
+                                jobs: back.jobs,
+                                shard,
+                                tenant: back.tenant,
+                            },
+                        }
+                    }
+                }
+            }
+            other => other,
+        };
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        conn.last_router_seq = Some(seq);
+        let reply = ReplyHandle(Arc::clone(&conn.sink));
+        if self
+            .ingest
+            .send(IngestEvent::Frame(req, reply, seq))
+            .is_err()
+        {
+            self.local_reply(
+                token,
+                seq,
+                &Response::Error {
+                    message: "daemon is shutting down".into(),
+                },
+            );
+        }
+    }
+
+    /// Releases in-sequence replies into the outbound buffer, writes,
+    /// enforces the write bound, updates epoll interest and closes
+    /// finished connections. Safe to call repeatedly.
+    fn finish(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        // Pump the reorder heap.
+        let held_bytes = {
+            let mut q = conn.sink.q.lock().expect("sink lock");
+            loop {
+                let release = matches!(q.held.peek(), Some(h) if h.0.seq <= conn.next_release);
+                if !release {
+                    break;
+                }
+                let reply = q.held.pop().expect("peeked").0;
+                q.held_bytes -= reply.line.len();
+                if reply.seq < conn.next_release {
+                    continue; // stale duplicate (dead-shard race); drop
+                }
+                conn.out.extend_from_slice(reply.line.as_bytes());
+                if let Some(tx) = reply.flushed {
+                    conn.flush_marks
+                        .push_back((conn.out_base + conn.out.len() as u64, tx));
+                }
+                conn.next_release += 1;
+            }
+            q.held_bytes
+        };
+        let backlog = conn.unwritten() + held_bytes;
+        if backlog > self.max_write_buffer {
+            // The client is not reading: cut it loose rather than buffer
+            // without bound (satellite: unbounded reply memory).
+            self.shared.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+            self.kill(token);
+            return;
+        }
+        self.try_write(token);
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        // Done? (EOF seen, every frame answered, every byte written.)
+        let idle_out = conn.unwritten() == 0
+            && conn.next_release == conn.seq
+            && conn.sink.q.lock().expect("sink lock").held.is_empty();
+        if conn.read_closed && idle_out {
+            self.kill(token);
+            return;
+        }
+        // Re-arm epoll interest to match what we are waiting for.
+        let want_read = !conn.read_closed;
+        let want_write = conn.unwritten() > 0;
+        if want_read != conn.want_read || want_write != conn.want_write {
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+            let _ = self.poller.modify(
+                conn.stream.as_raw_fd(),
+                token as u64,
+                Interest {
+                    readable: want_read,
+                    writable: want_write,
+                },
+            );
+        }
+    }
+
+    /// Writes as much of the outbound buffer as the socket accepts,
+    /// signalling flush marks as they are passed.
+    fn try_write(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        let mut dead = false;
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.kill(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        let written_abs = conn.out_base + conn.out_pos as u64;
+        while conn
+            .flush_marks
+            .front()
+            .is_some_and(|(off, _)| *off <= written_abs)
+        {
+            let (_, tx) = conn.flush_marks.pop_front().expect("checked");
+            let _ = tx.send(());
+        }
+        if conn.out_pos == conn.out.len() {
+            conn.out_base += conn.out.len() as u64;
+            conn.out.clear();
+            conn.out_pos = 0;
+        } else if conn.out_pos > READ_CHUNK {
+            // Compact so a slowly draining connection cannot grow the
+            // buffer by its own written prefix.
+            conn.out.drain(..conn.out_pos);
+            conn.out_base += conn.out_pos as u64;
+            conn.out_pos = 0;
+        }
+    }
+
+    /// Handles control messages from other threads.
+    fn process_inbox(&mut self) {
+        let ctls: Vec<IoCtl> = std::mem::take(&mut *self.handle.inbox.lock().expect("inbox lock"));
+        for ctl in ctls {
+            match ctl {
+                IoCtl::NewConn(stream) => self.register(stream),
+                IoCtl::Sync(ack) => {
+                    // By now this thread can no longer act on any table
+                    // snapshot read before the router republished it:
+                    // every route() reads the table fresh.
+                    let _ = ack.send(());
+                }
+            }
+        }
+    }
+
+    /// Processes sinks that received replies since the last pass.
+    fn process_ready(&mut self) {
+        let ready: Vec<Arc<ReplySink>> =
+            std::mem::take(&mut *self.handle.ready.lock().expect("ready lock"));
+        for sink in ready {
+            // Reset *before* pumping so a send racing with this pass
+            // re-queues the sink rather than being missed.
+            sink.queued.store(false, Ordering::Release);
+            let token = sink.token;
+            if self
+                .conns
+                .get(token)
+                .is_some_and(|c| Arc::ptr_eq(&c.sink, &sink))
+            {
+                self.finish(token);
+            }
+        }
+    }
+
+    /// Reaps connections idle past the timeout — the half-open-peer
+    /// defence: a client that vanished without FIN never fires an epoll
+    /// event, so readiness alone would leak it (and its routing state)
+    /// forever.
+    fn sweep_idle(&mut self) {
+        let Some(timeout) = self.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        if now.duration_since(self.last_sweep) < timeout / 2 {
+            return;
+        }
+        self.last_sweep = now;
+        for token in self.conns.tokens() {
+            let idle = self
+                .conns
+                .get(token)
+                .is_some_and(|c| now.duration_since(c.last_activity) > timeout);
+            if idle {
+                self.shared.idle_reaped.fetch_add(1, Ordering::SeqCst);
+                self.kill(token);
+            }
+        }
+    }
+}
+
+/// Builds the shared state + per-thread handles for `n_io` I/O threads.
+pub(crate) fn build_io(
+    n_io: usize,
+    table: RoutingTable,
+) -> io::Result<(Arc<IoShared>, Vec<WakeReader>)> {
+    let mut loops = Vec::with_capacity(n_io);
+    let mut readers = Vec::with_capacity(n_io);
+    for _ in 0..n_io {
+        let (waker, rx) = Waker::pair()?;
+        loops.push(Arc::new(IoLoopHandle {
+            waker,
+            inbox: Mutex::new(Vec::new()),
+            ready: Mutex::new(Vec::new()),
+        }));
+        readers.push(rx);
+    }
+    Ok((
+        Arc::new(IoShared {
+            table: RwLock::new(Arc::new(table)),
+            stop: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            slow_disconnects: AtomicUsize::new(0),
+            idle_reaped: AtomicUsize::new(0),
+            loops,
+        }),
+        readers,
+    ))
+}

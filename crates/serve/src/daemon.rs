@@ -1,30 +1,38 @@
 //! The `gridsec-serve` TCP daemon.
 //!
-//! Thread model (one router, one scheduling thread *per shard*, many
-//! clients):
+//! Thread model (a few I/O threads multiplexing *all* client sockets,
+//! one scheduling thread *per shard*, one router for serialised
+//! cross-shard operations):
 //!
 //! ```text
-//!  client A ──► reader A ─┐                      ┌─► shard 0 thread ─┐
-//!  client B ──► reader B ─┼─► ingest ─► router ──┼─► shard 1 thread ─┼─► per-client
-//!  client C ──► reader C ─┘   queue    (routes   └─► shard 2 thread ─┘   writers
-//!                                       frames)
+//!  10k clients ──► epoll I/O threads ──routable submits──► lock-free ┌─► shard 0 thread
+//!        (accept ▪ nonblocking read  ──────────────────►  per-shard  ├─► shard 1 thread
+//!         frame decode ▪ routing     ┐                    queues     └─► shard 2 thread
+//!         seq-ordered write buffers) └─► ingest ─► router ──control──────► (all shards)
+//!                                         queue    (reshard ▪ drain ▪ shutdown ▪
+//!                                                   scrape ▪ autoscale ▪ chaos)
 //! ```
 //!
-//! Each accepted connection gets a *reader* thread (parses NDJSON frames,
-//! tags them with the client's reply channel and a per-client sequence
-//! number, pushes them onto the shared ingest queue) and a *writer*
-//! thread (serialises responses back **in request order** — replies may
-//! arrive from different shard threads, so the writer reorders by
-//! sequence number before touching the socket). A single *router* thread
-//! drains the ingest queue in order and forwards each frame to the shard
-//! that owns it — by the frame's explicit `shard` field or derived from
-//! the jobs' eligible sites — so a given frame arrival order always
-//! produces the same per-shard ingest order. Aggregated queries, global
-//! reconfigures, `drain` and `shutdown` scatter to every shard and gather
-//! the results (a barrier across shards). Each shard thread owns an
+//! Connections are **event-driven** ([`crate::conn`]): a small pool of
+//! I/O threads owns every client socket through a vendored epoll wrapper.
+//! Each connection carries its own NDJSON frame decoder (the same
+//! overflow discipline as [`read_line_bounded`]), a per-client sequence
+//! counter, and a bounded outbound buffer that releases responses **in
+//! request order** — replies may arrive from different shard threads, so
+//! a reorder heap holds them until their sequence number is next. A
+//! `submit` frame whose route is decidable from the shared
+//! [`RoutingTable`](crate::conn::RoutingTable) snapshot is pushed
+//! straight onto the owning shard's lock-free bounded queue, skipping the
+//! router hop; everything serialised — aggregated queries, global
+//! reconfigures, `reshard`, `drain`, `shutdown`, site churn — flows
+//! through the single *router* thread, which scatters to every shard and
+//! gathers the results (a barrier across shards). A per-connection fence
+//! keeps the two paths in per-client order, and the router *seals* the
+//! direct path around every reshard/shutdown barrier so no submit can
+//! race into a retiring shard. Each shard thread owns an
 //! [`OnlineSession`] over its subgrid — the GA population pool, the STGA
 //! history table and the availability model live there untouched across
-//! rounds. A client disconnecting mid-round just drops its reply channel;
+//! rounds. A client disconnecting mid-round just drops its connection;
 //! scheduling continues.
 //!
 //! **Elastic topology.** A daemon started through
@@ -38,24 +46,28 @@
 //! committed schedules of retired shards are archived on the router so
 //! aggregated queries stay cumulative.
 
+use crate::conn::{
+    build_io, DirectShard, DirectSubmit, IoCtl, IoLoop, IoShared, ReplyHandle, RoutingTable,
+    DIRECT_QUEUE_CAP,
+};
 use crate::protocol::{
-    encode, parse_request, read_line_bounded, Line, Placed, QueryWhat, Request, Response,
-    ServeMetrics, TelemetryReport, MAX_LINE_BYTES,
+    encode, read_line_bounded, Line, Placed, QueryWhat, Request, Response, ServeMetrics,
+    TelemetryReport, MAX_LINE_BYTES,
 };
 use crate::reshard::{
     transfer, AutoscaleConfig, AutoscalePolicy, SessionFactory, ShardBuildContext, ShardObservation,
 };
 use crate::session::OnlineSession;
 use crate::shard::{ShardMsg, ShardRuntime, ShardSpec};
+use crossbeam_queue::ArrayQueue;
 use gridsec_core::{Grid, JobId, SiteId, Time};
 use gridsec_obs::{Histogram, HistogramSnapshot};
 use gridsec_sim::ShardPlan;
-use std::collections::BinaryHeap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -104,7 +116,28 @@ pub struct DaemonOptions {
     /// Where to dump the flight recorder (NDJSON, one event per line)
     /// when a reshard is rejected (default `None` = no dump).
     pub flight_dump: Option<PathBuf>,
+    /// Number of I/O threads multiplexing the client sockets
+    /// (default `0` = derive a small pool from the machine's
+    /// parallelism). Connection count is unrelated: one thread holds
+    /// thousands of connections.
+    pub io_threads: usize,
+    /// Bound on one connection's buffered response bytes (unwritten
+    /// socket buffer + replies still held for sequence reordering).
+    /// A client that pipelines requests but stops reading its responses
+    /// is disconnected when it crosses the bound, instead of growing the
+    /// daemon's memory without limit.
+    pub max_write_buffer: usize,
+    /// Reap connections with no socket activity for this long (default
+    /// `None` = never). The defence against half-open peers: a client
+    /// that vanishes without FIN/RST never produces a readiness event,
+    /// so only a timeout can reclaim its connection state.
+    pub idle_timeout: Option<Duration>,
 }
+
+/// Default [`DaemonOptions::max_write_buffer`]: 8 MiB, far above any
+/// normal response backlog but small enough that a few thousand stuck
+/// clients cannot exhaust memory.
+pub const MAX_WRITE_BUFFER: usize = 8 << 20;
 
 impl Default for DaemonOptions {
     fn default() -> Self {
@@ -115,8 +148,22 @@ impl Default for DaemonOptions {
             metrics_addr: None,
             state_prefix: None,
             flight_dump: None,
+            io_threads: 0,
+            max_write_buffer: MAX_WRITE_BUFFER,
+            idle_timeout: None,
         }
     }
+}
+
+/// Resolves [`DaemonOptions::io_threads`]: an explicit count wins; auto
+/// uses half the available parallelism, clamped to `1..=4` (I/O threads
+/// multiplex, they do not need a core each).
+fn resolve_io_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (avail / 2).clamp(1, 4)
 }
 
 /// The state file for shard `k` under `prefix`:
@@ -129,47 +176,26 @@ pub fn shard_state_path(prefix: &Path, shard: usize) -> PathBuf {
     PathBuf::from(s)
 }
 
-/// One response line queued to a client's writer thread. `seq` is the
-/// per-client request sequence number — the writer releases lines in
-/// `seq` order, so pipelined requests answered by different shard
-/// threads still come back in request order. `flushed`, when present, is
-/// signalled after the line hits the socket — the shutdown path waits on
-/// it so the final `bye` cannot be lost to process exit.
+/// One response line bound for a client connection. `seq` is the
+/// per-client request sequence number — the connection's I/O thread
+/// releases lines in `seq` order, so pipelined requests answered by
+/// different shard threads still come back in request order. `flushed`,
+/// when present, is signalled after the line hits the socket — the
+/// shutdown path waits on it so the final `bye` cannot be lost to
+/// process exit.
 pub(crate) struct Reply {
     pub(crate) seq: u64,
     pub(crate) line: String,
     pub(crate) flushed: Option<Sender<()>>,
 }
 
-/// Heap entry ordering replies by sequence number (min-heap via
-/// `Reverse`).
-struct HeldReply(Reply);
-
-impl PartialEq for HeldReply {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.seq == other.0.seq
-    }
-}
-impl Eq for HeldReply {}
-impl PartialOrd for HeldReply {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeldReply {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we pop the smallest seq.
-        other.0.seq.cmp(&self.0.seq)
-    }
-}
-
-/// One parsed (or rejected) frame, tagged with its reply channel and
-/// per-client sequence number — or a tick from the autoscaler thread,
-/// which goes through the same queue so topology decisions are serialised
-/// with client frames.
-enum IngestEvent {
-    Frame(Request, Sender<Reply>, u64),
-    BadFrame(String, Sender<Reply>, u64),
+/// One parsed frame, tagged with its reply handle and per-client
+/// sequence number — or a tick from the autoscaler thread, which goes
+/// through the same queue so topology decisions are serialised with
+/// client frames. (Malformed frames are answered directly on the I/O
+/// threads and never reach this queue.)
+pub(crate) enum IngestEvent {
+    Frame(Request, ReplyHandle, u64),
     Autoscale,
     /// A metrics-listener connection wants one text exposition. Routed
     /// through the ingest queue so the scrape sees a consistent
@@ -177,14 +203,18 @@ enum IngestEvent {
     Scrape(Sender<String>),
 }
 
-/// A running daemon: the accept loop and the router (which in turn owns
-/// the per-shard scheduling threads — they must be respawnable on a
-/// reshard, so their handles live with the plan).
+/// A running daemon: the I/O thread pool (which also owns the accept
+/// path) and the router (which in turn owns the per-shard scheduling
+/// threads — they must be respawnable on a reshard, so their handles
+/// live with the plan).
 pub struct Daemon {
     addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
-    accept: Option<JoinHandle<()>>,
+    io: Vec<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+    scrape: Option<JoinHandle<()>>,
+    shared: Arc<IoShared>,
 }
 
 impl Daemon {
@@ -274,6 +304,7 @@ impl Daemon {
         gridsec_obs::recorder::enable();
 
         let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?; // owned by I/O thread 0's poller
         let addr = listener.local_addr()?;
         let metrics_listener = match &options.metrics_addr {
             Some(bind) => Some(TcpListener::bind(bind.as_str())?),
@@ -283,52 +314,85 @@ impl Daemon {
             Some(l) => Some(l.local_addr()?),
             None => None,
         };
-        let stop = Arc::new(AtomicBool::new(false));
         let (ingest_tx, ingest_rx) = channel::<IngestEvent>();
         let start = Instant::now();
 
-        let (shard_txs, shard_handles) = spawn_shard_threads(&plan, shards, &options, start);
+        let grid = Arc::new(grid);
+        let (shard_txs, direct_queues, shard_handles) =
+            spawn_shard_threads(&plan, shards, &options, start);
 
-        if let Some(cfg) = &autoscale {
-            let tick = ingest_tx.clone();
-            let interval = cfg.interval;
-            // Dies when the router (and with it the ingest receiver) is
-            // gone — the first tick after that fails to send.
-            std::thread::spawn(move || loop {
-                std::thread::sleep(interval);
-                if tick.send(IngestEvent::Autoscale).is_err() {
-                    return;
-                }
-            });
+        // The I/O thread pool, seeded with the initial routing table.
+        let n_io = resolve_io_threads(options.io_threads);
+        let table = RoutingTable {
+            grid: Arc::clone(&grid),
+            plan: Arc::new(plan.clone()),
+            offline: Arc::new(vec![false; grid.len()]),
+            direct: Some(direct_shards(&shard_txs, &direct_queues)),
+        };
+        let (shared, wake_readers) = build_io(n_io, table)?;
+        let mut io = Vec::with_capacity(n_io);
+        let mut listener_slot = Some(listener);
+        for (i, wake_rx) in wake_readers.into_iter().enumerate() {
+            let io_loop = IoLoop::new(
+                Arc::clone(&shared),
+                Arc::clone(&shared.loops[i]),
+                wake_rx,
+                if i == 0 { listener_slot.take() } else { None },
+                ingest_tx.clone(),
+                i,
+                &options,
+            )?;
+            io.push(std::thread::spawn(move || io_loop.run()));
         }
 
-        // Scrape listener: each accepted connection becomes one Scrape
-        // event; the router renders the exposition and the connection
-        // closes after the write (write-on-connect, `nc`-friendly).
-        if let Some(mlistener) = metrics_listener {
+        // Autoscaler ticker: wakes on shutdown (the router drops the
+        // stop sender when it exits) instead of sleeping out a final
+        // interval past the daemon's death.
+        let (ticker, ticker_stop) = match &autoscale {
+            Some(cfg) => {
+                let tick = ingest_tx.clone();
+                let interval = cfg.interval;
+                let (stop_tx, stop_rx) = channel::<()>();
+                let handle = std::thread::spawn(move || loop {
+                    match stop_rx.recv_timeout(interval) {
+                        Err(RecvTimeoutError::Timeout) => {
+                            if tick.send(IngestEvent::Autoscale).is_err() {
+                                return;
+                            }
+                        }
+                        // Explicit stop or the sender dropped: exit now.
+                        _ => return,
+                    }
+                });
+                (Some(handle), Some(stop_tx))
+            }
+            None => (None, None),
+        };
+
+        // Scrape listener: each accepted connection gets its own short-
+        // lived thread with read/write deadlines, so one scraper that
+        // connects and never reads cannot stall any other scrape (nor
+        // can a router busy in a reshard wedge the accept loop).
+        let scrape = metrics_listener.map(|mlistener| {
             let ingest = ingest_tx.clone();
-            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 for stream in mlistener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
+                    if shared.stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(mut stream) = stream else { continue };
-                    let (tx, rx) = channel();
-                    if ingest.send(IngestEvent::Scrape(tx)).is_err() {
-                        break;
-                    }
-                    let Ok(text) = rx.recv() else { break };
-                    let _ = stream.write_all(text.as_bytes());
+                    let Ok(stream) = stream else { continue };
+                    let ingest = ingest.clone();
+                    std::thread::spawn(move || scrape_one(stream, &ingest));
                 }
-            });
-        }
+            })
+        });
 
-        let max_line_bytes = options.max_line_bytes;
         let router_state = Router {
             grid,
             plan,
             shard_txs,
+            direct_queues,
             shard_handles,
             offline: Vec::new(), // sized in run()
             options,
@@ -340,30 +404,18 @@ impl Daemon {
             prev_round_hist: Vec::new(),
             reshard_barrier_nanos: Histogram::new(),
             reshard_migrated_jobs: Histogram::new(),
+            io: Arc::clone(&shared),
         };
         let router = {
-            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 router_state.run(ingest_rx);
-                stop.store(true, Ordering::SeqCst);
-                // Wake the accept and scrape loops so they observe the
-                // stop flag.
-                let _ = TcpStream::connect(addr);
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.wake_all(); // I/O threads observe stop and exit
+                drop(ticker_stop); // autoscaler ticker exits promptly
+                                   // Wake the scrape accept loop so it observes stop.
                 if let Some(maddr) = metrics_addr {
                     let _ = TcpStream::connect(maddr);
-                }
-            })
-        };
-
-        let accept = {
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    spawn_client(stream, ingest_tx.clone(), max_line_bytes);
                 }
             })
         };
@@ -371,8 +423,11 @@ impl Daemon {
         Ok(Daemon {
             addr,
             metrics_addr,
-            accept: Some(accept),
+            io,
             router: Some(router),
+            ticker,
+            scrape,
+            shared,
         })
     }
 
@@ -387,30 +442,97 @@ impl Daemon {
         self.metrics_addr
     }
 
-    /// Blocks until a client sends `shutdown` and the daemon winds down.
-    /// (The router joins the shard threads before it exits.)
+    /// Live client connections across every I/O thread.
+    pub fn connections(&self) -> usize {
+        self.shared.connections.load(Ordering::SeqCst)
+    }
+
+    /// Connections force-closed for exceeding the write-buffer bound
+    /// (clients that pipelined requests but stopped reading responses).
+    pub fn slow_disconnects(&self) -> usize {
+        self.shared.slow_disconnects.load(Ordering::SeqCst)
+    }
+
+    /// Connections reaped by the idle sweep
+    /// ([`DaemonOptions::idle_timeout`]).
+    pub fn idle_reaped(&self) -> usize {
+        self.shared.idle_reaped.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a client sends `shutdown` and the daemon winds down:
+    /// the router joins the shard threads, then the I/O threads, the
+    /// autoscaler ticker and the scrape listener are reaped.
     pub fn join(mut self) {
         if let Some(h) = self.router.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.accept.take() {
+        for h in self.io.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scrape.take() {
             let _ = h.join();
         }
     }
 }
 
+/// Serves one metrics-listener connection on its own thread: deadlines
+/// on both the socket and the router round-trip, so a stuck scraper (or
+/// a router mid-reshard) can neither stall other scrapes nor leak the
+/// connection.
+fn scrape_one(mut stream: TcpStream, ingest: &Sender<IngestEvent>) {
+    const SCRAPE_DEADLINE: Duration = Duration::from_secs(5);
+    let _ = stream.set_write_timeout(Some(SCRAPE_DEADLINE));
+    let _ = stream.set_read_timeout(Some(SCRAPE_DEADLINE));
+    let (tx, rx) = channel();
+    if ingest.send(IngestEvent::Scrape(tx)).is_err() {
+        return;
+    }
+    let text = match rx.recv_timeout(SCRAPE_DEADLINE) {
+        Ok(text) => text,
+        Err(_) => "# gridsec-serve: scrape timed out (router busy or shutting down)\n".to_string(),
+    };
+    let _ = stream.write_all(text.as_bytes());
+}
+
+/// Builds the direct-path endpoints for a routing-table snapshot.
+fn direct_shards(
+    txs: &[Sender<ShardMsg>],
+    queues: &[Arc<ArrayQueue<DirectSubmit>>],
+) -> Vec<DirectShard> {
+    txs.iter()
+        .zip(queues)
+        .map(|(tx, q)| DirectShard {
+            queue: Arc::clone(q),
+            control: tx.clone(),
+        })
+        .collect()
+}
+
 /// Spawns one scheduling thread per shard spec; shard `k` serves
-/// `plan.sites_of(k)`. Shared by daemon startup and the reshard swap.
+/// `plan.sites_of(k)`. Each shard also gets a lock-free bounded queue
+/// for direct (router-bypassing) submits, drained by the shard thread
+/// ahead of every control message. Shared by daemon startup and the
+/// reshard swap.
+#[allow(clippy::type_complexity)]
 fn spawn_shard_threads(
     plan: &ShardPlan,
     shards: Vec<ShardSpec>,
     options: &DaemonOptions,
     start: Instant,
-) -> (Vec<Sender<ShardMsg>>, Vec<JoinHandle<()>>) {
+) -> (
+    Vec<Sender<ShardMsg>>,
+    Vec<Arc<ArrayQueue<DirectSubmit>>>,
+    Vec<JoinHandle<()>>,
+) {
     let mut shard_txs = Vec::with_capacity(shards.len());
+    let mut direct_queues = Vec::with_capacity(shards.len());
     let mut shard_handles = Vec::with_capacity(shards.len());
     for (k, spec) in shards.into_iter().enumerate() {
         let (tx, rx) = channel::<ShardMsg>();
+        let direct = Arc::new(ArrayQueue::new(DIRECT_QUEUE_CAP));
         let runtime = ShardRuntime {
             shard: k,
             session: spec.session,
@@ -420,88 +542,13 @@ fn spawn_shard_threads(
             max_pending: options.max_pending,
             persist: spec.persist,
             history: spec.history,
+            direct: Arc::clone(&direct),
         };
         shard_handles.push(std::thread::spawn(move || runtime.run(rx)));
         shard_txs.push(tx);
+        direct_queues.push(direct);
     }
-    (shard_txs, shard_handles)
-}
-
-/// Spawns the per-connection reader and writer threads.
-fn spawn_client(stream: TcpStream, ingest: Sender<IngestEvent>, max_line: usize) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (reply_tx, reply_rx) = channel::<Reply>();
-
-    // Writer: serialised responses out, one line per frame, released in
-    // request (sequence) order. Exits when every holder of the reply
-    // sender (reader + queued events) is gone, or the client stops
-    // reading.
-    std::thread::spawn(move || writer_loop(write_half, reply_rx));
-
-    // Reader: frames in, stamped with the per-client sequence number.
-    // EOF or a transport error ends the thread; the router never notices
-    // beyond the dropped reply channel.
-    std::thread::spawn(move || {
-        let mut reader = BufReader::new(stream);
-        let mut seq = 0u64;
-        loop {
-            match read_line_bounded(&mut reader, max_line) {
-                Ok(Line::Eof) | Err(_) => break,
-                Ok(Line::TooLong(n)) => {
-                    let msg = format!("frame too long ({n} bytes > {max_line} limit)");
-                    if ingest
-                        .send(IngestEvent::BadFrame(msg, reply_tx.clone(), seq))
-                        .is_err()
-                    {
-                        break;
-                    }
-                    seq += 1;
-                }
-                Ok(Line::Frame(line)) => match parse_request(&line) {
-                    Ok(None) => {} // blank keep-alive line, no response due
-                    Ok(Some(req)) => {
-                        if ingest
-                            .send(IngestEvent::Frame(req, reply_tx.clone(), seq))
-                            .is_err()
-                        {
-                            break;
-                        }
-                        seq += 1;
-                    }
-                    Err(msg) => {
-                        if ingest
-                            .send(IngestEvent::BadFrame(msg, reply_tx.clone(), seq))
-                            .is_err()
-                        {
-                            break;
-                        }
-                        seq += 1;
-                    }
-                },
-            }
-        }
-    });
-}
-
-fn writer_loop(mut stream: TcpStream, replies: Receiver<Reply>) {
-    let mut next = 0u64;
-    let mut held: BinaryHeap<HeldReply> = BinaryHeap::new();
-    'recv: for reply in replies {
-        held.push(HeldReply(reply));
-        while held.peek().is_some_and(|r| r.0.seq == next) {
-            let reply = held.pop().expect("peeked").0;
-            if stream.write_all(reply.line.as_bytes()).is_err() {
-                break 'recv;
-            }
-            let _ = stream.flush();
-            if let Some(flushed) = reply.flushed {
-                let _ = flushed.send(());
-            }
-            next += 1;
-        }
-    }
+    (shard_txs, direct_queues, shard_handles)
 }
 
 /// Sends one message to every shard with a private return channel each,
@@ -530,9 +577,12 @@ fn gather<T>(
 /// churn survives a reshard untouched) and the archives of retired
 /// shards.
 struct Router {
-    grid: Grid,
+    grid: Arc<Grid>,
     plan: ShardPlan,
     shard_txs: Vec<Sender<ShardMsg>>,
+    /// Per-shard direct-submit queues (paired with `shard_txs`; replaced
+    /// together on a reshard).
+    direct_queues: Vec<Arc<ArrayQueue<DirectSubmit>>>,
     shard_handles: Vec<JoinHandle<()>>,
     offline: Vec<bool>,
     options: DaemonOptions,
@@ -555,9 +605,50 @@ struct Router {
     reshard_barrier_nanos: Histogram,
     /// Jobs migrated per completed reshard.
     reshard_migrated_jobs: Histogram,
+    /// The connection layer: routing-table publication and connection
+    /// counters for the exposition.
+    io: Arc<IoShared>,
 }
 
 impl Router {
+    /// Publishes a fresh routing-table snapshot to the I/O threads.
+    /// `sealed` removes the direct path (reshard/shutdown barrier);
+    /// unsealed snapshots carry the current shard queues + channels.
+    fn publish_table(&self, sealed: bool) {
+        let direct = (!sealed).then(|| direct_shards(&self.shard_txs, &self.direct_queues));
+        let table = Arc::new(RoutingTable {
+            grid: Arc::clone(&self.grid),
+            plan: Arc::new(self.plan.clone()),
+            offline: Arc::new(self.offline.clone()),
+            direct,
+        });
+        *self.io.table.write().expect("table lock") = table;
+    }
+
+    /// Seals the direct path and waits until every I/O thread has
+    /// observed the sealed table. After this returns, any direct submit
+    /// is already in a shard queue (drained at the coming barrier) and
+    /// every later submit takes the router path — nothing can race into
+    /// a retiring shard.
+    fn seal_direct(&self) {
+        self.publish_table(true);
+        let acks: Vec<Receiver<()>> = self
+            .io
+            .loops
+            .iter()
+            .map(|l| {
+                let (tx, rx) = channel();
+                l.inbox.lock().expect("inbox lock").push(IoCtl::Sync(tx));
+                l.waker.wake();
+                rx
+            })
+            .collect();
+        for rx in acks {
+            // An I/O thread that died takes its connections with it; a
+            // bounded wait keeps the barrier from hanging on it.
+            let _ = rx.recv_timeout(Duration::from_secs(5));
+        }
+    }
     /// The router loop: drains the ingest queue in order, forwards each
     /// frame to the shard that owns it, and scatter-gathers the
     /// cross-shard operations. Exits after a `shutdown` frame (stopping
@@ -569,11 +660,13 @@ impl Router {
         // applied the injection — so routing and shard state can never
         // disagree.
         self.offline = vec![false; self.grid.len()];
+        self.publish_table(false);
         loop {
             let event = match ingest.recv() {
                 Ok(ev) => ev,
                 Err(_) => {
-                    // Listener gone: disconnect the shard channels so the
+                    // Every ingest sender (I/O threads, ticker, scrape)
+                    // is gone: disconnect the shard channels so the
                     // shard threads exit, then reap them.
                     self.shard_txs.clear();
                     for h in self.shard_handles.drain(..) {
@@ -583,10 +676,6 @@ impl Router {
                 }
             };
             let (req, reply, seq) = match event {
-                IngestEvent::BadFrame(message, reply, seq) => {
-                    let _ = reply.send(Reply::frame(seq, &Response::Error { message }));
-                    continue;
-                }
                 IngestEvent::Autoscale => {
                     self.autoscale_tick();
                     continue;
@@ -606,7 +695,7 @@ impl Router {
                 } => {
                     let target = match shard {
                         Some(k) if k >= n_shards => {
-                            let _ = reply.send(Reply::frame(
+                            reply.send(Reply::frame(
                                 seq,
                                 &Response::UnknownShard { shard: k, n_shards },
                             ));
@@ -616,7 +705,7 @@ impl Router {
                         None => match derive_route(&self.grid, &self.plan, &self.offline, &jobs) {
                             Ok(k) => k,
                             Err(response) => {
-                                let _ = reply.send(Reply::frame(seq, &response));
+                                reply.send(Reply::frame(seq, &response));
                                 continue;
                             }
                         },
@@ -639,7 +728,7 @@ impl Router {
                     shard: Some(k),
                 } => {
                     if k >= n_shards {
-                        let _ = reply.send(Reply::frame(
+                        reply.send(Reply::frame(
                             seq,
                             &Response::UnknownShard { shard: k, n_shards },
                         ));
@@ -658,7 +747,7 @@ impl Router {
                 }
                 Request::Query { what, shard: None } => {
                     let response = self.aggregate_query(what);
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    reply.send(Reply::frame(seq, &response));
                 }
                 Request::Reconfigure {
                     security_levels,
@@ -666,7 +755,7 @@ impl Router {
                     at,
                 } => {
                     if k >= n_shards {
-                        let _ = reply.send(Reply::frame(
+                        reply.send(Reply::frame(
                             seq,
                             &Response::UnknownShard { shard: k, n_shards },
                         ));
@@ -696,17 +785,24 @@ impl Router {
                         &security_levels,
                         at,
                     );
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    reply.send(Reply::frame(seq, &response));
                 }
                 Request::FailSite { site, at } => {
                     let response =
                         fail_site(&self.plan, &self.shard_txs, &mut self.offline, site, at);
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    if matches!(response, Response::SiteFailed { .. }) {
+                        // Derived routing must stop targeting the site.
+                        self.publish_table(false);
+                    }
+                    reply.send(Reply::frame(seq, &response));
                 }
                 Request::RejoinSite { site, at } => {
                     let response =
                         rejoin_site(&self.plan, &self.shard_txs, &mut self.offline, site, at);
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    if matches!(response, Response::SiteRejoined { .. }) {
+                        self.publish_table(false);
+                    }
+                    reply.send(Reply::frame(seq, &response));
                 }
                 Request::Reshard { shards } => {
                     let shards: Vec<Vec<SiteId>> = shards
@@ -721,14 +817,14 @@ impl Router {
                         },
                         Err(message) => Response::ReshardRejected { message },
                     };
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    reply.send(Reply::frame(seq, &response));
                 }
                 Request::Drain => {
                     let response = self.drain();
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    reply.send(Reply::frame(seq, &response));
                 }
                 Request::TraceDump => {
-                    let _ = reply.send(Reply::frame(
+                    reply.send(Reply::frame(
                         seq,
                         &Response::TraceDump {
                             events: gridsec_obs::recorder::snapshot(),
@@ -736,6 +832,10 @@ impl Router {
                     ));
                 }
                 Request::Shutdown => {
+                    // Seal the direct path: in-flight direct submits are
+                    // consumed by the drain barrier below, later submits
+                    // hit the router and get the post-`bye` rejection.
+                    self.seal_direct();
                     let drained = self.drain();
                     let response = match drained {
                         Response::Drained { .. } => Response::Bye,
@@ -756,16 +856,14 @@ impl Router {
                     // for the writer to flush the final frame so the
                     // client is guaranteed its `bye`.
                     let (flushed_tx, flushed_rx) = channel();
-                    let sent = reply
-                        .send(Reply {
-                            seq,
-                            line: encode(&response),
-                            flushed: Some(flushed_tx),
-                        })
-                        .is_ok();
-                    if sent {
-                        let _ = flushed_rx.recv_timeout(Duration::from_secs(5));
-                    }
+                    reply.send(Reply {
+                        seq,
+                        line: encode(&response),
+                        flushed: Some(flushed_tx),
+                    });
+                    // A dead connection drops the mark, so this returns
+                    // immediately (disconnected) rather than timing out.
+                    let _ = flushed_rx.recv_timeout(Duration::from_secs(5));
                     self.reject_late_frames(&ingest);
                     return;
                 }
@@ -785,9 +883,20 @@ impl Router {
     fn reshard(&mut self, shards: Vec<Vec<SiteId>>) -> Result<usize, String> {
         let from = self.plan.n_shards();
         let to = shards.len();
+        // Seal the direct path before the barrier: submits pushed before
+        // the seal are drained by the old shards (each shard empties its
+        // direct queue ahead of every control message, and the I/O sync
+        // ack below guarantees no push straddles the swap); submits
+        // arriving after take the router path and queue behind this
+        // reshard. The table is republished (resealed or fresh) on both
+        // exits below.
         let barrier = gridsec_obs::span!("reshard_barrier", from = from, to = to);
+        self.seal_direct();
         let t0 = Instant::now();
         let result = self.reshard_inner(shards);
+        // Success republishes with the new shards' queues; failure
+        // re-opens the old ones (the topology did not change).
+        self.publish_table(false);
         drop(barrier);
         match &result {
             Ok(moved) => {
@@ -947,8 +1056,10 @@ impl Router {
             self.archive_metrics = ServeMetrics::merge(&[self.archive_metrics.clone(), m]);
             self.archive_schedule.extend_from_slice(&e.schedule);
         }
-        let (txs, handles) = spawn_shard_threads(&new_plan, specs, &self.options, self.start);
+        let (txs, queues, handles) =
+            spawn_shard_threads(&new_plan, specs, &self.options, self.start);
         self.shard_txs = txs;
+        self.direct_queues = queues;
         self.shard_handles = handles;
         self.plan = new_plan;
         self.archive_metrics.reshards_completed += 1;
@@ -973,14 +1084,18 @@ impl Router {
         let Some(policy) = self.autoscale.as_mut() else {
             return;
         };
-        let infos = gather(&self.shard_txs, |tx| ShardMsg::GatherInfo { reply: tx });
-        let telemetry = gather(&self.shard_txs, |tx| ShardMsg::GatherTelemetry {
+        // One scatter/gather instead of separate GatherInfo +
+        // GatherTelemetry passes: each shard answers queue depth and
+        // round-latency telemetry from the *same* instant, halving the
+        // hold time and closing the window where the two samples could
+        // straddle a round.
+        let samples = gather(&self.shard_txs, |tx| ShardMsg::GatherObservation {
             reply: tx,
         });
-        let mut observations = Vec::with_capacity(infos.len());
-        let mut next_prev = Vec::with_capacity(infos.len());
-        for (i, (info, t)) in infos.into_iter().zip(telemetry).enumerate() {
-            let (Some(info), Some(t)) = (info, t) else {
+        let mut observations = Vec::with_capacity(samples.len());
+        let mut next_prev = Vec::with_capacity(samples.len());
+        for (i, sample) in samples.into_iter().enumerate() {
+            let Some((info, t)) = sample else {
                 return; // a shard is down; routing will surface it
             };
             let baseline = self.prev_round_hist.get(i).cloned().unwrap_or_default();
@@ -1129,6 +1244,16 @@ impl Router {
             "Jobs that changed shard across reshards.",
             m.jobs_migrated as u64,
         );
+        counter(
+            "gridsec_slow_disconnects_total",
+            "Connections dropped for exceeding the write-buffer bound.",
+            self.io.slow_disconnects.load(Ordering::Relaxed) as u64,
+        );
+        counter(
+            "gridsec_idle_reaped_total",
+            "Connections reaped by the idle timeout.",
+            self.io.idle_reaped.load(Ordering::Relaxed) as u64,
+        );
         out.push_str("# HELP gridsec_pending Jobs waiting for the next round, per shard.\n");
         out.push_str("# TYPE gridsec_pending gauge\n");
         for (k, s) in per_shard.iter().enumerate() {
@@ -1157,6 +1282,11 @@ impl Router {
             "Wall-clock nanoseconds a reshard barrier held.",
             &self.reshard_barrier_nanos.snapshot(),
         );
+        out.push_str(&format!(
+            "# HELP gridsec_connections Client connections currently open.\n\
+             # TYPE gridsec_connections gauge\ngridsec_connections {}\n",
+            self.io.connections.load(Ordering::Relaxed)
+        ));
         out
     }
 
@@ -1186,7 +1316,7 @@ impl Router {
         while Instant::now() < deadline {
             match ingest.recv_timeout(Duration::from_millis(50)) {
                 Ok(IngestEvent::Frame(Request::Reshard { .. }, reply, seq)) => {
-                    let _ = reply.send(Reply::frame(
+                    reply.send(Reply::frame(
                         seq,
                         &Response::ReshardRejected {
                             message: "daemon is draining for shutdown".into(),
@@ -1194,15 +1324,12 @@ impl Router {
                     ));
                 }
                 Ok(IngestEvent::Frame(_, reply, seq)) => {
-                    let _ = reply.send(Reply::frame(
+                    reply.send(Reply::frame(
                         seq,
                         &Response::Error {
                             message: "daemon is shutting down".into(),
                         },
                     ));
-                }
-                Ok(IngestEvent::BadFrame(message, reply, seq)) => {
-                    let _ = reply.send(Reply::frame(seq, &Response::Error { message }));
                 }
                 Ok(IngestEvent::Autoscale) => {}
                 Ok(IngestEvent::Scrape(reply)) => {
@@ -1224,7 +1351,7 @@ impl Router {
 /// of queueing on a dead shard. Explicit-`shard` submits bypass this
 /// (they enqueue and defer until a site rejoins — the scenario engine's
 /// replay path).
-fn derive_route(
+pub(crate) fn derive_route(
     grid: &Grid,
     plan: &ShardPlan,
     offline: &[bool],
@@ -1482,9 +1609,9 @@ fn shard_down() -> Response {
 /// Forwards a message to a shard thread, answering the client with an
 /// error if the shard is gone — every request must produce exactly one
 /// response or the writer's in-order release would stall the connection.
-fn forward(shard: &Sender<ShardMsg>, msg: ShardMsg, reply: &Sender<Reply>, seq: u64) {
+fn forward(shard: &Sender<ShardMsg>, msg: ShardMsg, reply: &ReplyHandle, seq: u64) {
     if shard.send(msg).is_err() {
-        let _ = reply.send(Reply::frame(seq, &shard_down()));
+        reply.send(Reply::frame(seq, &shard_down()));
     }
 }
 

@@ -20,11 +20,16 @@
 //!   backpressure. The `sharding_equivalence` suite proves a 1-shard
 //!   daemon bit-identical to the engine and an N-shard daemon
 //!   bit-identical to N independent single-shard daemons.
-//! * [`Daemon`] — the TCP front end: one reader thread per connection
-//!   feeding an MPSC ingest queue, a router thread forwarding frames to
-//!   the owning shard, per-client writer threads releasing responses in
-//!   request order. [`ClockMode::Virtual`] serves deterministic replays
-//!   (bit-identical to the simulator — see the golden cross-check test);
+//! * [`Daemon`] — the TCP front end: a small pool of epoll-driven I/O
+//!   threads multiplexing every client socket (C10k-ready — the thread
+//!   count is fixed, not per-connection). Each I/O thread decodes NDJSON
+//!   frames, routes `submit` frames against a shared routing-table
+//!   snapshot straight onto lock-free per-shard queues, and releases
+//!   responses in request order from a bounded per-connection write
+//!   buffer; a single router thread serialises the cross-shard
+//!   operations (reshard, drain, shutdown, chaos, scrape).
+//!   [`ClockMode::Virtual`] serves deterministic replays (bit-identical
+//!   to the simulator — see the golden cross-check test);
 //!   [`ClockMode::WallClock`] serves real time.
 //! * [`reshard`] — elastic topology: a `reshard` frame (or the
 //!   autoscaler, [`AutoscalePolicy`]) moves a live daemon to a new
@@ -66,6 +71,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod conn;
 pub mod daemon;
 pub mod protocol;
 pub mod reshard;

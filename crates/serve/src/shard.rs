@@ -11,14 +11,17 @@
 //! runs over the re-indexed subgrid) and translates to global site ids on
 //! every outbound schedule, so clients only ever see the real grid.
 
+use crate::conn::{DirectSubmit, ReplyHandle};
 use crate::daemon::{ClockMode, Reply};
 use crate::protocol::{
     encode, Placed, QueryWhat, Response, ServeMetrics, ShardInfo, ShardTelemetry, TelemetryReport,
 };
 use crate::session::{Admission, OnlineSession};
+use crossbeam_queue::ArrayQueue;
 use gridsec_core::{Job, SiteId, Time};
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where and how a shard persists its scheduler state across restarts.
@@ -77,13 +80,13 @@ pub(crate) enum ShardMsg {
     Submit {
         jobs: Vec<Job>,
         tenant: Option<String>,
-        reply: Sender<Reply>,
+        reply: ReplyHandle,
         seq: u64,
     },
     /// One shard's view; replies `schedule`/`metrics`/`shards`.
     Query {
         what: QueryWhat,
-        reply: Sender<Reply>,
+        reply: ReplyHandle,
         seq: u64,
     },
     /// Scoped trust update (shard-local site order); replies
@@ -92,9 +95,15 @@ pub(crate) enum ShardMsg {
     Reconfigure {
         levels: Vec<f64>,
         at: Option<Time>,
-        reply: Sender<Reply>,
+        reply: ReplyHandle,
         seq: u64,
     },
+    /// Wake-up from an I/O thread after a push onto the shard's direct
+    /// queue: the drain that runs ahead of every message (and this one's
+    /// no-op handler) consumes it. Sent on the same channel *after* the
+    /// push, so the mpsc happens-before edge guarantees the submit is
+    /// visible by the time the poke is received.
+    Poke,
     /// Take a shard-local site offline at `at`; returns how many
     /// stranded jobs were requeued. The router owns the global offline
     /// set and only updates it on success, so it blocks on the reply.
@@ -118,6 +127,12 @@ pub(crate) enum ShardMsg {
     GatherSchedule { reply: Sender<Vec<Placed>> },
     /// Topology + cheap counters.
     GatherInfo { reply: Sender<ShardInfo> },
+    /// One autoscaler sample: topology counters and telemetry taken from
+    /// the same instant, so queue depth and round-latency trend can never
+    /// straddle a round (and the shard is held once per tick, not twice).
+    GatherObservation {
+        reply: Sender<(ShardInfo, ShardTelemetry)>,
+    },
     /// Trust update as part of a global reconfigure (levels already
     /// validated by the router).
     GatherReconfigure {
@@ -155,6 +170,10 @@ pub(crate) struct ShardRuntime {
     pub max_pending: Option<usize>,
     pub persist: Option<ShardPersistence>,
     pub history: Option<Box<dyn Fn() -> String + Send>>,
+    /// Lock-free submit queue fed by the I/O threads (the direct path).
+    /// Drained ahead of every control message so router-serialised
+    /// barriers (drain, reshard, shutdown) observe every accepted submit.
+    pub direct: Arc<ArrayQueue<DirectSubmit>>,
 }
 
 impl ShardRuntime {
@@ -183,6 +202,9 @@ impl ShardRuntime {
                         Some(wait) => match rx.recv_timeout(wait) {
                             Ok(m) => m,
                             Err(RecvTimeoutError::Timeout) => {
+                                // Jobs pushed before the boundary make the
+                                // round (their arrival stamps precede it).
+                                self.drain_direct();
                                 let t = Time::new(self.start.elapsed().as_secs_f64());
                                 if self.session.tick(t).is_err() {
                                     // A scheduler failure on a timer round
@@ -196,6 +218,11 @@ impl ShardRuntime {
                     }
                 }
             };
+            // Direct submits were pushed (and poked) before this message
+            // was sent, so draining first keeps the per-client order and
+            // lets barriers (drain/reshard/shutdown) see every accepted
+            // submit.
+            self.drain_direct();
             match msg {
                 ShardMsg::Submit {
                     jobs,
@@ -204,11 +231,11 @@ impl ShardRuntime {
                     seq,
                 } => {
                     let response = self.handle_submit(jobs, tenant.as_deref());
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    reply.send(Reply::frame(seq, &response));
                 }
                 ShardMsg::Query { what, reply, seq } => {
                     let response = self.handle_query(what);
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    reply.send(Reply::frame(seq, &response));
                 }
                 ShardMsg::Reconfigure {
                     levels,
@@ -225,7 +252,7 @@ impl ShardRuntime {
                             message: format!("shard {}: {e}", self.shard),
                         },
                     };
-                    let _ = reply.send(Reply::frame(seq, &response));
+                    reply.send(Reply::frame(seq, &response));
                 }
                 ShardMsg::GatherFail { site, at, reply } => {
                     let at = self.injection_instant(at);
@@ -256,6 +283,10 @@ impl ShardRuntime {
                 ShardMsg::GatherInfo { reply } => {
                     let _ = reply.send(self.info());
                 }
+                ShardMsg::GatherObservation { reply } => {
+                    let _ = reply.send((self.info(), self.session.telemetry(self.shard)));
+                }
+                ShardMsg::Poke => {} // drained above
                 ShardMsg::GatherReconfigure { levels, at, reply } => {
                     let at = self.injection_instant(at);
                     let result = self
@@ -308,6 +339,17 @@ impl ShardRuntime {
         }
         // Router gone or fatal timer round: persist best-effort.
         self.save_state();
+    }
+
+    /// Empties the direct submit queue, answering each client straight
+    /// from the shard thread. Uses the same `handle_submit` as the
+    /// router path, so the response (and every schedule it leads to) is
+    /// bit-identical whichever path a frame took.
+    fn drain_direct(&mut self) {
+        while let Some(d) = self.direct.pop() {
+            let response = self.handle_submit(d.jobs, d.tenant.as_deref());
+            d.reply.send(Reply::frame(d.seq, &response));
+        }
     }
 
     /// The instant a chaos injection (fail/rejoin/reconfigure) applies

@@ -1,0 +1,316 @@
+//! Connection-layer tests for the event-driven front end: many
+//! concurrent clients on a fixed thread pool, in-order pipelined
+//! responses, the bounded write buffer (a pipelining client that never
+//! reads is disconnected, not buffered forever), the idle sweep that
+//! reaps half-open peers, scrape-listener isolation (one stuck scraper
+//! cannot stall another), and prompt autoscaler-ticker exit at
+//! shutdown. Deterministic at every thread count (CI re-runs the serve
+//! suites under `RAYON_NUM_THREADS=1`).
+
+use gridsec_core::{Grid, Job, Site, Time};
+use gridsec_serve::{
+    Client, Daemon, DaemonOptions, OnlineSession, Request, Response, SessionFactory, ShardSpec,
+};
+use gridsec_sim::scheduler::EarliestCompletion;
+use gridsec_sim::{BatchPolicy, ShardPlan, SimConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn grid() -> Grid {
+    Grid::new(vec![
+        Site::builder(0)
+            .nodes(2)
+            .speed(1.0)
+            .security_level(1.0)
+            .build()
+            .unwrap(),
+        Site::builder(1)
+            .nodes(2)
+            .speed(2.0)
+            .security_level(0.6)
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+fn config() -> SimConfig {
+    SimConfig::default()
+        .with_interval(Time::new(10.0))
+        .with_batch_policy(BatchPolicy::Periodic)
+}
+
+fn job(id: u64, arrival: f64, work: f64) -> Job {
+    Job::builder(id)
+        .arrival(Time::new(arrival))
+        .work(work)
+        .security_demand(0.5)
+        .build()
+        .unwrap()
+}
+
+fn spawn_daemon(options: DaemonOptions) -> Daemon {
+    let session = OnlineSession::new(grid(), Box::new(EarliestCompletion), &config()).unwrap();
+    Daemon::spawn(session, "127.0.0.1:0", options).unwrap()
+}
+
+/// Polls `cond` until it holds or `within` elapses; asserts it held.
+fn eventually(within: Duration, what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + within;
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(cond(), "timed out waiting for: {what}");
+}
+
+/// A thousand concurrent clients on one daemon: every connection gets
+/// its responses in request order, the connection gauge tracks the
+/// population, and the daemon's thread count stays a small constant —
+/// the C10k property the old thread-per-connection front end lacked.
+#[test]
+fn a_thousand_concurrent_clients_get_in_order_responses() {
+    const N: usize = 1000;
+    let daemon = spawn_daemon(DaemonOptions::default());
+    let addr = daemon.addr();
+    let mut clients = Vec::with_capacity(N);
+    for i in 0..N {
+        let stream = loop {
+            // Connect retries absorb transient accept-queue overflow
+            // while the burst lands.
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        clients.push((i, stream));
+    }
+    eventually(Duration::from_secs(20), "all clients connected", || {
+        daemon.connections() == N
+    });
+
+    // Pipeline three queries per client *before* reading anything, then
+    // check each connection's replies arrive and parse in order.
+    let line = "{\"type\":\"query\",\"what\":\"shards\"}\n";
+    for (_, stream) in &mut clients {
+        stream.write_all(line.repeat(3).as_bytes()).unwrap();
+    }
+    for (i, stream) in &mut clients {
+        let mut reader = BufReader::new(stream);
+        for k in 0..3 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert!(
+                reply.contains("\"shards\""),
+                "client {i} reply {k} malformed: {reply}"
+            );
+        }
+    }
+
+    // The whole front end runs on a fixed pool: well under 2 OS threads
+    // per 1000 connections over the pre-connect baseline.
+    let threads = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse::<usize>().ok())
+        });
+    if let Some(threads) = threads {
+        assert!(
+            threads < 64,
+            "expected a fixed thread pool, found {threads} OS threads for {N} connections"
+        );
+    }
+
+    drop(clients);
+    eventually(Duration::from_secs(20), "disconnects observed", || {
+        daemon.connections() == 0
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.send(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join();
+}
+
+/// A client that pipelines submits but never reads its replies must be
+/// disconnected when its buffered responses cross
+/// [`DaemonOptions::max_write_buffer`] — not wedge the daemon behind an
+/// ever-growing reply queue (the old per-client writer buffered without
+/// bound).
+#[test]
+fn never_reading_pipelining_client_is_disconnected_not_buffered() {
+    let daemon = spawn_daemon(DaemonOptions {
+        max_write_buffer: 4096,
+        ..DaemonOptions::default()
+    });
+    let mut stream = TcpStream::connect(daemon.addr()).unwrap();
+
+    // Pump frames without ever reading. Replies pile up in the daemon
+    // (this end's receive buffer fills, then the daemon's write stalls)
+    // until the bound trips and the daemon closes the connection, which
+    // surfaces here as a write error (EPIPE/ECONNRESET) — the socket's
+    // send buffer masks the close for a while, hence the generous loop.
+    let frame = "{\"type\":\"query\",\"what\":\"shards\"}\n".repeat(64);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut killed = false;
+    while Instant::now() < deadline {
+        if stream.write_all(frame.as_bytes()).is_err() {
+            killed = true;
+            break;
+        }
+        if daemon.slow_disconnects() > 0 {
+            killed = true;
+            break;
+        }
+    }
+    assert!(killed, "write-bound disconnect never happened");
+    eventually(Duration::from_secs(10), "slow disconnect counted", || {
+        daemon.slow_disconnects() == 1
+    });
+    drop(stream);
+
+    // The daemon survived: a fresh, well-behaved client still works.
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    match client.send(&Request::Submit {
+        jobs: vec![job(0, 0.0, 5.0)],
+        shard: None,
+        tenant: None,
+    }) {
+        Ok(Response::Accepted { jobs, .. }) => assert_eq!(jobs, 1),
+        other => panic!("daemon unhealthy after slow-client disconnect: {other:?}"),
+    }
+    assert_eq!(client.send(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join();
+}
+
+/// A half-open peer — connected, then silent forever (no FIN, no RST,
+/// as after a pulled cable) — never produces a readiness event, so only
+/// the idle sweep can reclaim its connection state.
+#[test]
+fn idle_sweep_reaps_half_open_connections() {
+    let daemon = spawn_daemon(DaemonOptions {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..DaemonOptions::default()
+    });
+    // One silent connection; we hold it open (no shutdown/close) while
+    // the daemon reaps it server-side.
+    let silent = TcpStream::connect(daemon.addr()).unwrap();
+    eventually(Duration::from_secs(5), "silent peer connected", || {
+        daemon.connections() == 1
+    });
+    eventually(Duration::from_secs(10), "idle peer reaped", || {
+        daemon.idle_reaped() == 1 && daemon.connections() == 0
+    });
+    drop(silent);
+
+    // An *active* client is not an idle one: keep a lock-step client
+    // busy across several sweep periods and it must survive.
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    for _ in 0..8 {
+        std::thread::sleep(Duration::from_millis(60));
+        match client.send(&Request::Query {
+            what: gridsec_serve::QueryWhat::Shards,
+            shard: None,
+        }) {
+            Ok(Response::Shards { .. }) => {}
+            other => panic!("active client reaped or broken: {other:?}"),
+        }
+    }
+    assert_eq!(daemon.idle_reaped(), 1, "active client must not be reaped");
+    assert_eq!(client.send(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join();
+}
+
+/// One scraper that connects and never reads must not delay another
+/// scraper: each scrape runs on its own deadline-bounded thread (the
+/// old accept loop wrote inline, so one stuck peer stalled everyone).
+#[test]
+fn stuck_scraper_does_not_stall_the_next_scrape() {
+    let daemon = spawn_daemon(DaemonOptions {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..DaemonOptions::default()
+    });
+    let maddr = daemon.metrics_addr().expect("metrics listener bound");
+
+    // Scraper A: connects, sets a tiny receive buffer so the daemon's
+    // write cannot complete, and never reads.
+    let stuck = TcpStream::connect(maddr).unwrap();
+    // Scraper B right behind it must still get the exposition promptly.
+    let t0 = Instant::now();
+    let mut b = TcpStream::connect(maddr).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut text = String::new();
+    b.read_to_string(&mut text).unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        text.contains("gridsec_jobs_submitted_total"),
+        "scrape B missing exposition: {text:?}"
+    );
+    assert!(
+        text.contains("gridsec_connections"),
+        "exposition missing connection gauge: {text:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "scrape B stalled {elapsed:?} behind a stuck scraper"
+    );
+    drop(stuck);
+
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    assert_eq!(client.send(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join();
+}
+
+/// Shutdown must not wait out the autoscaler's sampling interval: the
+/// ticker blocks on a stop channel, not a bare `sleep`, so a daemon
+/// with a one-hour interval still joins in milliseconds (the old ticker
+/// leaked until its post-shutdown sleep expired).
+#[test]
+fn autoscaler_ticker_exits_promptly_at_shutdown() {
+    let grid = grid();
+    let cfg = config();
+    let plan = ShardPlan::contiguous(&grid, 2).unwrap();
+    let shards = (0..2)
+        .map(|k| {
+            let sub = plan.subgrid(&grid, k).unwrap();
+            ShardSpec::new(OnlineSession::new(sub, Box::new(EarliestCompletion), &cfg).unwrap())
+        })
+        .collect();
+    let factory: SessionFactory = Box::new({
+        let cfg = cfg.clone();
+        move |ctx| {
+            OnlineSession::restore(ctx.subgrid, Box::new(EarliestCompletion), &cfg, ctx.seed)
+                .map(ShardSpec::new)
+                .map_err(|e| e.to_string())
+        }
+    });
+    let daemon = Daemon::spawn_elastic(
+        grid,
+        plan,
+        shards,
+        factory,
+        Some(gridsec_serve::AutoscaleConfig {
+            interval: Duration::from_secs(3600),
+            ..gridsec_serve::AutoscaleConfig::default()
+        }),
+        "127.0.0.1:0",
+        DaemonOptions::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    assert_eq!(client.send(&Request::Shutdown).unwrap(), Response::Bye);
+    let t0 = Instant::now();
+    daemon.join(); // joins the ticker too — would hang ~1h if it slept
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "join() waited {:?} on the autoscaler ticker",
+        t0.elapsed()
+    );
+}

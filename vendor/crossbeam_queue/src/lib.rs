@@ -1,0 +1,347 @@
+//! Vendored minimal stand-in for the `crossbeam-queue` crate (the build
+//! environment has no access to crates.io), in the spirit of the other
+//! `vendor/` stand-ins. Provides [`ArrayQueue`], the bounded lock-free
+//! multi-producer multi-consumer queue, implemented with the classic
+//! Vyukov bounded-MPMC algorithm the real crate uses: one atomic stamp
+//! per slot, a lap counter folded into head/tail so full/empty are
+//! distinguishable without a separate length field.
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{self, AtomicUsize, Ordering};
+
+/// Pads a value out to its own cache line(s) to avoid false sharing
+/// between the producer-side and consumer-side cursors.
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    /// The lap-stamped state of this slot: equals the slot's index when
+    /// empty and writable on lap 0; incremented past the matching
+    /// head/tail value as values move through.
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer multi-consumer queue.
+///
+/// Allocates all slots up front; `push` fails (returning the value) when
+/// full, `pop` returns `None` when empty. Never blocks, never spins
+/// unboundedly under contention on this workload shape (one CAS retry
+/// loop per operation).
+pub struct ArrayQueue<T> {
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    buffer: Box<[Slot<T>]>,
+    cap: usize,
+    /// Distance between values with the same index on consecutive laps.
+    one_lap: usize,
+}
+
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue holding at most `cap` values.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> ArrayQueue<T> {
+        assert!(cap > 0, "capacity must be non-zero");
+        let buffer: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        ArrayQueue {
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            buffer,
+            cap,
+            one_lap: (cap + 1).next_power_of_two(),
+        }
+    }
+
+    /// Attempts to enqueue `value`, handing it back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut backoff = 0u32;
+        let mut tail = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let index = tail & (self.one_lap - 1);
+            let lap = tail & !(self.one_lap - 1);
+            debug_assert!(index < self.cap);
+            let slot = &self.buffer[index];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+
+            if tail == stamp {
+                // The slot is vacant on our lap: claim it by advancing tail.
+                let new_tail = if index + 1 < self.cap {
+                    tail + 1
+                } else {
+                    lap.wrapping_add(self.one_lap)
+                };
+                match self.tail.0.compare_exchange_weak(
+                    tail,
+                    new_tail,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { slot.value.get().write(MaybeUninit::new(value)) };
+                        slot.stamp.store(tail + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => {
+                        tail = t;
+                        spin(&mut backoff);
+                    }
+                }
+            } else if stamp.wrapping_add(self.one_lap) == tail + 1 {
+                // One full lap behind: the slot still holds an unpopped
+                // value from the previous lap, i.e. the queue is full —
+                // unless head moved since we read tail.
+                atomic::fence(Ordering::SeqCst);
+                let head = self.head.0.load(Ordering::Relaxed);
+                if head.wrapping_add(self.one_lap) == tail {
+                    return Err(value);
+                }
+                spin(&mut backoff);
+                tail = self.tail.0.load(Ordering::Relaxed);
+            } else {
+                // Another producer is mid-claim; snoop the fresh tail.
+                spin(&mut backoff);
+                tail = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue the oldest value.
+    pub fn pop(&self) -> Option<T> {
+        let mut backoff = 0u32;
+        let mut head = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let index = head & (self.one_lap - 1);
+            let lap = head & !(self.one_lap - 1);
+            debug_assert!(index < self.cap);
+            let slot = &self.buffer[index];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+
+            if head + 1 == stamp {
+                // The slot holds a value from our lap: claim it.
+                let new_head = if index + 1 < self.cap {
+                    head + 1
+                } else {
+                    lap.wrapping_add(self.one_lap)
+                };
+                match self.head.0.compare_exchange_weak(
+                    head,
+                    new_head,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { slot.value.get().read().assume_init() };
+                        // Mark the slot writable on the next lap.
+                        slot.stamp
+                            .store(head.wrapping_add(self.one_lap), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(h) => {
+                        head = h;
+                        spin(&mut backoff);
+                    }
+                }
+            } else if stamp == head {
+                // The slot is still empty on our lap: the queue is empty —
+                // unless tail moved since we read head.
+                atomic::fence(Ordering::SeqCst);
+                let tail = self.tail.0.load(Ordering::Relaxed);
+                if tail == head {
+                    return None;
+                }
+                spin(&mut backoff);
+                head = self.head.0.load(Ordering::Relaxed);
+            } else {
+                spin(&mut backoff);
+                head = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// A point-in-time count of enqueued values (racy under concurrency,
+    /// exact when quiescent).
+    pub fn len(&self) -> usize {
+        loop {
+            let tail = self.tail.0.load(Ordering::SeqCst);
+            let head = self.head.0.load(Ordering::SeqCst);
+            // Only trust the pair if tail didn't move while we read head.
+            if self.tail.0.load(Ordering::SeqCst) == tail {
+                let hix = head & (self.one_lap - 1);
+                let tix = tail & (self.one_lap - 1);
+                return if hix < tix {
+                    tix - hix
+                } else if hix > tix {
+                    self.cap - hix + tix
+                } else if tail == head {
+                    0
+                } else {
+                    self.cap
+                };
+            }
+        }
+    }
+
+    /// True when no values are enqueued (racy under concurrency).
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.0.load(Ordering::SeqCst);
+        let tail = self.tail.0.load(Ordering::SeqCst);
+        tail == head
+    }
+
+    /// True when the queue holds `capacity()` values (racy under
+    /// concurrency).
+    pub fn is_full(&self) -> bool {
+        let tail = self.tail.0.load(Ordering::SeqCst);
+        let head = self.head.0.load(Ordering::SeqCst);
+        head.wrapping_add(self.one_lap) == tail
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        // We have &mut self: no concurrent access. Drop whatever is left.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArrayQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.cap)
+            .finish()
+    }
+}
+
+#[inline]
+fn spin(backoff: &mut u32) {
+    for _ in 0..(1u32 << (*backoff).min(6)) {
+        std::hint::spin_loop();
+    }
+    if *backoff < 10 {
+        *backoff += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = ArrayQueue::new(3);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(4), Err(4));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.push(4).unwrap();
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let q = ArrayQueue::new(2);
+        for i in 0..1000 {
+            q.push(i).unwrap();
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_releases_remaining_values() {
+        let v = Arc::new(());
+        {
+            let q = ArrayQueue::new(4);
+            q.push(v.clone()).unwrap();
+            q.push(v.clone()).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&v), 1);
+    }
+
+    #[test]
+    fn mpmc_stress_preserves_every_value() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 5_000;
+        let q = Arc::new(ArrayQueue::new(64));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    let mut v = p * PER + i;
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = q.clone();
+            let seen = seen.clone();
+            let sum = sum.clone();
+            handles.push(std::thread::spawn(move || loop {
+                match q.pop() {
+                    Some(v) => {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        if seen.fetch_add(1, Ordering::Relaxed) + 1 == PRODUCERS * PER {
+                            return;
+                        }
+                    }
+                    None => {
+                        if seen.load(Ordering::Relaxed) == PRODUCERS * PER {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = PRODUCERS * PER;
+        assert_eq!(seen.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,418 @@
+//! Vendored minimal stand-in for the `epoll` crate (the build environment
+//! has no access to crates.io), in the spirit of the other `vendor/`
+//! stand-ins. Thin, safe wrappers over the Linux readiness-notification
+//! API — `epoll_create1` / `epoll_ctl` / `epoll_wait` — declared directly
+//! against the C library the Rust standard library already links, so no
+//! external crate is needed.
+//!
+//! On top of the raw surface this crate adds the small convenience layer
+//! `gridsec-serve`'s event-driven connection loop is built on:
+//!
+//! * [`Poller`] — an owned epoll instance: register file descriptors with
+//!   a `u64` key and level-triggered [`Interest`], then [`Poller::wait`]
+//!   for readiness [`Event`]s.
+//! * [`Waker`] / [`WakeReader`] — a cross-thread wakeup built on a
+//!   nonblocking `UnixStream` pair (no unsafe): any thread calls
+//!   [`Waker::wake`], the poller owning the read end observes readability.
+//! * [`raise_nofile_limit`] — best-effort `RLIMIT_NOFILE` bump for
+//!   many-connection harnesses (`loadgen --connections 10000`).
+//!
+//! Linux-only, like the real crate.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use std::os::raw::{c_int, c_uint};
+
+// The readiness API of the C library. `std` already links libc, so these
+// resolve without any build-script or external crate.
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut RawEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: c_uint = 0x001;
+const EPOLLPRI: c_uint = 0x002;
+const EPOLLOUT: c_uint = 0x004;
+const EPOLLERR: c_uint = 0x008;
+const EPOLLHUP: c_uint = 0x010;
+const EPOLLRDHUP: c_uint = 0x2000;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+/// One slot of the kernel's event array. Packed on x86-64 (the kernel ABI
+/// packs `struct epoll_event` there), naturally aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: c_uint,
+    data: u64,
+}
+
+/// Which readiness directions a registration asks for (level-triggered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn bits(self) -> c_uint {
+        let mut e = 0;
+        if self.readable {
+            // RDHUP only with read interest: a half-closed peer is
+            // level-triggered-readable forever, so a connection that has
+            // finished reading must be able to quiesce it.
+            e |= EPOLLIN | EPOLLPRI | EPOLLRDHUP;
+        }
+        if self.writable {
+            e |= EPOLLOUT;
+        }
+        e
+    }
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The `key` the fd was registered with.
+    pub key: u64,
+    /// Readable (includes error/hang-up conditions, which a read will
+    /// surface as `Ok(0)` or an error — the standard level-triggered
+    /// idiom).
+    pub readable: bool,
+    /// Writable (includes error conditions, surfaced by the write).
+    pub writable: bool,
+    /// The peer is gone in both directions (`EPOLLHUP`) or the socket is
+    /// in an error state (`EPOLLERR`) — delivered even with an empty
+    /// interest set, so an otherwise-quiesced connection can be reaped.
+    pub hangup: bool,
+}
+
+/// A reusable buffer of readiness events.
+pub struct Events {
+    raw: Vec<RawEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![RawEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Iterates the events delivered by the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|r| {
+            let e = r.events;
+            Event {
+                key: r.data,
+                readable: e & (EPOLLIN | EPOLLPRI | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                writable: e & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                hangup: e & (EPOLLHUP | EPOLLERR) != 0,
+            }
+        })
+    }
+
+    /// Events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the last wait delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An owned epoll instance (closed on drop).
+pub struct Poller {
+    epfd: RawFd,
+}
+
+// The epoll fd is just an fd; the kernel serialises operations on it.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, key: u64, interest: Option<Interest>) -> io::Result<()> {
+        let mut ev = RawEvent {
+            events: interest.map_or(0, Interest::bits),
+            data: key,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `key` with level-triggered `interest`.
+    pub fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, key, Some(interest))
+    }
+
+    /// Re-arms an existing registration with a new interest set.
+    pub fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, key, Some(interest))
+    }
+
+    /// Removes a registration (must happen before the fd is closed, or the
+    /// kernel does it implicitly at close).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, None)
+    }
+
+    /// Blocks until at least one registered fd is ready, `timeout`
+    /// elapses (`None` = forever), or a signal interrupts the wait (which
+    /// returns `Ok` with zero events, like the `polling` crate). Fills
+    /// `events` and returns how many arrived.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let ms: c_int = match timeout {
+            None => -1,
+            // Round up so a 0 < t < 1 ms timeout cannot busy-spin.
+            Some(t) => t
+                .as_millis()
+                .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                .min(c_int::MAX as u128) as c_int,
+        };
+        events.len = 0;
+        let n = unsafe {
+            epoll_wait(
+                self.epfd,
+                events.raw.as_mut_ptr(),
+                events.raw.len() as c_int,
+                ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// The write end of a wakeup pair: cheap, clonable, callable from any
+/// thread. Built on a nonblocking `UnixStream` pair — no unsafe.
+#[derive(Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Creates a connected waker; register the [`WakeReader`]'s fd with a
+    /// [`Poller`] and call [`WakeReader::drain`] when it turns readable.
+    pub fn pair() -> io::Result<(Waker, WakeReader)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Waker { tx: Arc::new(tx) }, WakeReader { rx }))
+    }
+
+    /// Wakes the poller owning the read end. A full pipe means a wakeup
+    /// is already pending — that is success, not an error.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// The read end of a wakeup pair (owned by the polling thread).
+pub struct WakeReader {
+    rx: UnixStream,
+}
+
+impl WakeReader {
+    /// The fd to register with the poller (readable interest).
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes all pending wakeups so level-triggered polling quiesces.
+    pub fn drain(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!(self.rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Raises the process's `RLIMIT_NOFILE` soft limit toward `target`
+/// (bounded by the hard limit), returning the resulting soft limit.
+/// Harnesses that open tens of thousands of sockets call this first;
+/// failures degrade to the current limit rather than erroring the run.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    let mut lim = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= target {
+        return Ok(lim.rlim_cur);
+    }
+    if target > lim.rlim_max {
+        // Privileged (CAP_SYS_RESOURCE) processes may lift the hard
+        // limit too; unprivileged ones fall through to the capped bump.
+        let want = RLimit {
+            rlim_cur: target,
+            rlim_max: target,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+            return Ok(target);
+        }
+    }
+    let want = RLimit {
+        rlim_cur: target.min(lim.rlim_max),
+        rlim_max: lim.rlim_max,
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &want) } < 0 {
+        return Ok(lim.rlim_cur); // best effort: keep the old limit
+    }
+    Ok(want.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readiness_on_a_socket_pair() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // Nothing readable yet: a zero timeout returns empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        a.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        poller.delete(b.as_raw_fd()).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn level_triggered_write_interest() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.add(a.as_raw_fd(), 1, Interest::READ_WRITE).unwrap();
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().writable);
+        // Dropping write interest quiesces the level-triggered stream.
+        poller.modify(a.as_raw_fd(), 1, Interest::READ).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poller = Poller::new().unwrap();
+        let (waker, mut rx) = Waker::pair().unwrap();
+        poller.add(rx.as_raw_fd(), 9, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(4);
+
+        // Keep `waker` alive in this scope: dropping the last clone closes
+        // the write end, which reads as a (permanently readable) hang-up.
+        let w = waker.clone();
+        let t = std::thread::spawn(move || w.wake());
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events.iter().next().unwrap().key, 9);
+        t.join().unwrap();
+
+        rx.drain();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker must quiesce");
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable() {
+        let now = raise_nofile_limit(0).unwrap();
+        assert!(now > 0);
+        // Raising to the current value is a no-op success.
+        assert_eq!(raise_nofile_limit(now).unwrap(), now);
+    }
+}
